@@ -1,0 +1,23 @@
+//! The common interface for embedding learners.
+
+use crate::Result;
+use rll_tensor::Matrix;
+
+/// A method that learns a feature → embedding map from (possibly noisy) hard
+/// labels. Implemented by [`crate::SiameseNet`], [`crate::TripletNet`],
+/// [`crate::RelationNet`], and by `rll-core`'s RLL model (via an adapter in
+/// the evaluation harness), so experiments can swap methods freely.
+pub trait Embedder {
+    /// Trains the embedding on labeled examples. `seed` controls sampling and
+    /// initialization; equal seeds give identical models.
+    fn fit(&mut self, features: &Matrix, labels: &[u8], seed: u64) -> Result<()>;
+
+    /// Maps features to embeddings. Requires a prior [`Embedder::fit`].
+    fn embed(&self, features: &Matrix) -> Result<Matrix>;
+
+    /// Output embedding dimensionality.
+    fn embedding_dim(&self) -> usize;
+
+    /// Short method name for reports.
+    fn name(&self) -> &'static str;
+}

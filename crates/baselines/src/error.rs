@@ -1,0 +1,95 @@
+//! Typed errors for the baseline learners.
+
+use rll_crowd::CrowdError;
+use rll_nn::NnError;
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by baseline training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A crowdsourcing operation failed.
+    Crowd(CrowdError),
+    /// A model configuration or input was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Inference was requested before `fit`.
+    NotFitted {
+        /// Model name.
+        model: &'static str,
+    },
+    /// The training data cannot support the method (e.g. a single class for a
+    /// pair-based sampler).
+    DegenerateData {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Tensor(e) => write!(f, "tensor error: {e}"),
+            BaselineError::Nn(e) => write!(f, "nn error: {e}"),
+            BaselineError::Crowd(e) => write!(f, "crowd error: {e}"),
+            BaselineError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            BaselineError::NotFitted { model } => {
+                write!(f, "{model} must be fitted before inference")
+            }
+            BaselineError::DegenerateData { reason } => write!(f, "degenerate data: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Tensor(e) => Some(e),
+            BaselineError::Nn(e) => Some(e),
+            BaselineError::Crowd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for BaselineError {
+    fn from(e: TensorError) -> Self {
+        BaselineError::Tensor(e)
+    }
+}
+
+impl From<NnError> for BaselineError {
+    fn from(e: NnError) -> Self {
+        BaselineError::Nn(e)
+    }
+}
+
+impl From<CrowdError> for BaselineError {
+    fn from(e: CrowdError) -> Self {
+        BaselineError::Crowd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e: BaselineError = TensorError::Empty { op: "x" }.into();
+        assert!(e.source().is_some());
+        let e = BaselineError::NotFitted { model: "SiameseNet" };
+        assert!(e.to_string().contains("SiameseNet"));
+        let e = BaselineError::DegenerateData { reason: "one class".into() };
+        assert!(e.to_string().contains("one class"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # `rll-baselines` — comparison methods from the paper's evaluation
+//!
+//! Implements every baseline Table I compares RLL against, plus the logistic
+//! regression that serves as the downstream classifier for *all* methods
+//! (including RLL itself):
+//!
+//! - [`LogisticRegression`] — L2-regularized, trained by gradient descent on
+//!   hard, soft, or per-example-weighted targets (the paper's "basic
+//!   classifier", also the Group-1 `SoftProb`/`EM`/`GLAD` classifier);
+//! - Group 2, representation learning with limited labels:
+//!   [`SiameseNet`] (contrastive pairs), [`TripletNet`] (anchor /
+//!   positive / negative), [`RelationNet`] (learned pairwise relation score);
+//! - Group 3, two-stage pipelines: [`two_stage::TwoStagePipeline`] combines a
+//!   Group-1 label inference with a Group-2 embedding learner.
+//!
+//! All embedding learners implement the common [`Embedder`] trait so the
+//! evaluation harness can treat them interchangeably.
+
+pub mod embedder;
+pub mod error;
+pub mod logreg;
+pub mod mlp_classifier;
+pub mod relation;
+pub mod sampler;
+pub mod siamese;
+pub mod triplet;
+pub mod two_stage;
+
+pub use embedder::Embedder;
+pub use error::BaselineError;
+pub use logreg::{LogisticRegression, LogisticRegressionConfig};
+pub use mlp_classifier::{MlpClassifier, MlpClassifierConfig};
+pub use relation::{RelationNet, RelationNetConfig};
+pub use siamese::{SiameseNet, SiameseNetConfig};
+pub use triplet::{TripletNet, TripletNetConfig};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

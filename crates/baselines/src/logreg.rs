@@ -1,0 +1,346 @@
+//! L2-regularized logistic regression.
+//!
+//! The paper's "basic classifier": every representation method (Groups 1–4)
+//! feeds its features or embeddings into logistic regression, so differences
+//! in Table I reflect representation quality, not classifier strength. The
+//! implementation supports hard labels, *soft* targets (SoftProb, EM/GLAD
+//! posteriors), and per-example weights.
+
+use crate::error::BaselineError;
+use crate::Result;
+use rll_tensor::ops::sigmoid;
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Full-batch gradient steps.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            learning_rate: 0.5,
+            epochs: 400,
+            l2: 1e-3,
+        }
+    }
+}
+
+impl LogisticRegressionConfig {
+    fn validate(&self) -> Result<()> {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("learning_rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "epochs must be positive".into(),
+            });
+        }
+        if self.l2 < 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("l2 must be non-negative, got {}", self.l2),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A binary logistic-regression classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    config: LogisticRegressionConfig,
+    weights: Option<Vec<f64>>,
+    bias: f64,
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted classifier.
+    pub fn new(config: LogisticRegressionConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(LogisticRegression {
+            config,
+            weights: None,
+            bias: 0.0,
+        })
+    }
+
+    /// Creates a classifier with default hyperparameters.
+    pub fn with_defaults() -> Self {
+        LogisticRegression {
+            config: LogisticRegressionConfig::default(),
+            weights: None,
+            bias: 0.0,
+        }
+    }
+
+    /// Fits on soft targets in `[0, 1]` with optional per-example weights.
+    ///
+    /// Full-batch gradient descent on the weighted cross-entropy; this is the
+    /// most general entry point — [`LogisticRegression::fit`] wraps it for
+    /// hard labels.
+    pub fn fit_soft(
+        &mut self,
+        features: &Matrix,
+        targets: &[f64],
+        sample_weights: Option<&[f64]>,
+    ) -> Result<()> {
+        let n = features.rows();
+        if n == 0 {
+            return Err(BaselineError::DegenerateData {
+                reason: "cannot fit on zero examples".into(),
+            });
+        }
+        if targets.len() != n {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("{} targets for {n} rows", targets.len()),
+            });
+        }
+        if let Some(&bad) = targets.iter().find(|t| !(0.0..=1.0).contains(*t)) {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("soft target {bad} outside [0, 1]"),
+            });
+        }
+        if let Some(w) = sample_weights {
+            if w.len() != n {
+                return Err(BaselineError::InvalidConfig {
+                    reason: format!("{} sample weights for {n} rows", w.len()),
+                });
+            }
+            if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+                return Err(BaselineError::InvalidConfig {
+                    reason: "sample weights must be finite and non-negative".into(),
+                });
+            }
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err(BaselineError::DegenerateData {
+                    reason: "all sample weights are zero".into(),
+                });
+            }
+        }
+
+        let dim = features.cols();
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let weight_total: f64 = sample_weights
+            .map(|w| w.iter().sum())
+            .unwrap_or(n as f64);
+
+        for _ in 0..self.config.epochs {
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for i in 0..n {
+                let row = features.row(i)?;
+                let z: f64 = weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + bias;
+                let sw = sample_weights.map_or(1.0, |w| w[i]);
+                let err = sw * (sigmoid(z) - targets[i]);
+                for (g, &x) in gw.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+                gb += err;
+            }
+            let step = self.config.learning_rate / weight_total;
+            for (w, g) in weights.iter_mut().zip(&gw) {
+                *w -= step * g + self.config.learning_rate * self.config.l2 * *w;
+            }
+            bias -= step * gb;
+        }
+        self.weights = Some(weights);
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// Fits on hard binary labels.
+    pub fn fit(&mut self, features: &Matrix, labels: &[u8]) -> Result<()> {
+        if let Some(&bad) = labels.iter().find(|&&l| l > 1) {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("label {bad} is not binary"),
+            });
+        }
+        let targets: Vec<f64> = labels.iter().map(|&l| f64::from(l)).collect();
+        self.fit_soft(features, &targets, None)
+    }
+
+    /// `P(y = 1 | x)` for every row.
+    pub fn predict_proba(&self, features: &Matrix) -> Result<Vec<f64>> {
+        let weights = self
+            .weights
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "LogisticRegression" })?;
+        if features.cols() != weights.len() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!(
+                    "model fitted on {} features, input has {}",
+                    weights.len(),
+                    features.cols()
+                ),
+            });
+        }
+        let mut out = Vec::with_capacity(features.rows());
+        for i in 0..features.rows() {
+            let row = features.row(i)?;
+            let z: f64 = weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>() + self.bias;
+            out.push(sigmoid(z));
+        }
+        Ok(out)
+    }
+
+    /// Hard predictions at threshold 0.5.
+    pub fn predict(&self, features: &Matrix) -> Result<Vec<u8>> {
+        Ok(self
+            .predict_proba(features)?
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect())
+    }
+
+    /// The fitted weights, if any.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The fitted bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_tensor::Rng64;
+
+    fn separable(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.5));
+            let c = if l == 1 { 1.5 } else { -1.5 };
+            rows.push(vec![rng.normal(c, 0.5).unwrap(), rng.normal(-c, 0.5).unwrap()]);
+            labels.push(l);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let (x, y) = separable(200, 1);
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y).unwrap();
+        let pred = lr.predict(&x).unwrap();
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn soft_targets_shift_probabilities() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let mut strong = LogisticRegression::with_defaults();
+        strong.fit_soft(&x, &[1.0, 1.0], None).unwrap();
+        let mut weak = LogisticRegression::with_defaults();
+        weak.fit_soft(&x, &[0.6, 0.6], None).unwrap();
+        let ps = strong.predict_proba(&x).unwrap()[0];
+        let pw = weak.predict_proba(&x).unwrap()[0];
+        assert!(ps > pw, "strong {ps} vs weak {pw}");
+        assert!((pw - 0.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn sample_weights_downweight_examples() {
+        // Two contradictory examples at the same point; weights decide.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit_soft(&x, &[1.0, 0.0], Some(&[10.0, 1.0])).unwrap();
+        assert!(lr.predict_proba(&x).unwrap()[0] > 0.7);
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit_soft(&x, &[1.0, 0.0], Some(&[1.0, 10.0])).unwrap();
+        assert!(lr.predict_proba(&x).unwrap()[0] < 0.3);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = Matrix::ones(2, 2);
+        let mut lr = LogisticRegression::with_defaults();
+        assert!(lr.fit(&x, &[1]).is_err());
+        assert!(lr.fit(&x, &[1, 2]).is_err());
+        assert!(lr.fit_soft(&x, &[0.5, 1.5], None).is_err());
+        assert!(lr.fit_soft(&x, &[0.5, 0.5], Some(&[1.0])).is_err());
+        assert!(lr.fit_soft(&x, &[0.5, 0.5], Some(&[-1.0, 1.0])).is_err());
+        assert!(lr.fit_soft(&x, &[0.5, 0.5], Some(&[0.0, 0.0])).is_err());
+        assert!(lr.fit(&Matrix::zeros(0, 2), &[]).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LogisticRegression::new(LogisticRegressionConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(LogisticRegression::new(LogisticRegressionConfig {
+            epochs: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(LogisticRegression::new(LogisticRegressionConfig {
+            l2: -0.1,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn predict_before_fit_is_error() {
+        let lr = LogisticRegression::with_defaults();
+        assert!(matches!(
+            lr.predict(&Matrix::ones(1, 2)),
+            Err(BaselineError::NotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_dim_mismatch_is_error() {
+        let (x, y) = separable(50, 2);
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y).unwrap();
+        assert!(lr.predict(&Matrix::ones(1, 3)).is_err());
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = separable(100, 3);
+        let mut free = LogisticRegression::new(LogisticRegressionConfig {
+            l2: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        free.fit(&x, &y).unwrap();
+        let mut tight = LogisticRegression::new(LogisticRegressionConfig {
+            l2: 0.5,
+            ..Default::default()
+        })
+        .unwrap();
+        tight.fit(&x, &y).unwrap();
+        let norm = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm(tight.weights().unwrap()) < norm(free.weights().unwrap()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (x, y) = separable(50, 4);
+        let mut lr = LogisticRegression::with_defaults();
+        lr.fit(&x, &y).unwrap();
+        let json = serde_json::to_string(&lr).unwrap();
+        let back: LogisticRegression = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&x).unwrap(), lr.predict(&x).unwrap());
+    }
+}

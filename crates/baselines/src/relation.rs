@@ -1,0 +1,287 @@
+//! RelationNet (Sung et al., CVPR 2018): learned pairwise relation scores.
+//!
+//! Two modules: an embedding MLP `f` and a relation MLP `g` that scores the
+//! concatenation `[f(a), f(b)]` with a sigmoid output. Training regresses the
+//! relation score onto the same-class indicator with MSE, exactly as the
+//! original few-shot formulation does. [`Embedder::embed`] exposes the
+//! embedding module's output.
+
+use crate::embedder::Embedder;
+use crate::error::BaselineError;
+use crate::sampler::sample_pairs;
+use crate::Result;
+use rll_nn::{loss, Activation, Adam, Mlp, MlpConfig, Optimizer};
+use rll_tensor::{init::Init, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`RelationNet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationNetConfig {
+    /// Hidden layer sizes of the embedding module.
+    pub embed_hidden_dims: Vec<usize>,
+    /// Embedding dimensionality.
+    pub embedding_dim: usize,
+    /// Hidden layer sizes of the relation module.
+    pub relation_hidden_dims: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Pairs sampled per epoch.
+    pub pairs_per_epoch: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for RelationNetConfig {
+    fn default() -> Self {
+        RelationNetConfig {
+            embed_hidden_dims: vec![64, 32],
+            embedding_dim: 16,
+            relation_hidden_dims: vec![16],
+            epochs: 30,
+            pairs_per_epoch: 256,
+            learning_rate: 1e-3,
+        }
+    }
+}
+
+impl RelationNetConfig {
+    fn validate(&self) -> Result<()> {
+        if self.embedding_dim == 0 || self.epochs == 0 || self.pairs_per_epoch == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "embedding_dim, epochs, and pairs_per_epoch must be positive".into(),
+            });
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "learning_rate must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The relation network.
+#[derive(Debug, Clone)]
+pub struct RelationNet {
+    config: RelationNetConfig,
+    embedding: Option<Mlp>,
+    relation: Option<Mlp>,
+}
+
+impl RelationNet {
+    /// Creates an unfitted network.
+    pub fn new(config: RelationNetConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(RelationNet {
+            config,
+            embedding: None,
+            relation: None,
+        })
+    }
+
+    /// Creates a network with default hyperparameters.
+    pub fn with_defaults() -> Self {
+        RelationNet {
+            config: RelationNetConfig::default(),
+            embedding: None,
+            relation: None,
+        }
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &RelationNetConfig {
+        &self.config
+    }
+
+    /// Relation scores in `[0, 1]` for aligned rows of `a` and `b`
+    /// (1 = confidently same class). Requires a prior fit.
+    pub fn relation_scores(&self, a: &Matrix, b: &Matrix) -> Result<Vec<f64>> {
+        let embedding = self
+            .embedding
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
+        let relation = self
+            .relation
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
+        let ea = embedding.forward(a)?;
+        let eb = embedding.forward(b)?;
+        let joint = ea.hstack(&eb)?;
+        let scores = relation.forward(&joint)?;
+        Ok(scores.col(0)?)
+    }
+}
+
+impl Embedder for RelationNet {
+    fn fit(&mut self, features: &Matrix, labels: &[u8], seed: u64) -> Result<()> {
+        if features.rows() != labels.len() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("{} rows for {} labels", features.rows(), labels.len()),
+            });
+        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut embedding = Mlp::new(
+            &MlpConfig {
+                input_dim: features.cols(),
+                hidden_dims: self.config.embed_hidden_dims.clone(),
+                output_dim: self.config.embedding_dim,
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Identity,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            &mut rng,
+        )?;
+        let mut relation = Mlp::new(
+            &MlpConfig {
+                input_dim: self.config.embedding_dim * 2,
+                hidden_dims: self.config.relation_hidden_dims.clone(),
+                output_dim: 1,
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Sigmoid,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            &mut rng,
+        )?;
+        let mut opt = Adam::new(self.config.learning_rate)?;
+
+        for _ in 0..self.config.epochs {
+            let pairs = sample_pairs(labels, self.config.pairs_per_epoch, &mut rng)?;
+            let a_idx: Vec<usize> = pairs.iter().map(|p| p.a).collect();
+            let b_idx: Vec<usize> = pairs.iter().map(|p| p.b).collect();
+            let a = features.select_rows(&a_idx)?;
+            let b = features.select_rows(&b_idx)?;
+            let targets = Matrix::col_vector(
+                &pairs
+                    .iter()
+                    .map(|p| if p.same { 1.0 } else { 0.0 })
+                    .collect::<Vec<f64>>(),
+            );
+
+            embedding.zero_grad();
+            relation.zero_grad();
+            let cache_a = embedding.forward_cached(&a, &mut rng)?;
+            let cache_b = embedding.forward_cached(&b, &mut rng)?;
+            let joint = cache_a.output().hstack(cache_b.output())?;
+            let cache_rel = relation.forward_cached(&joint, &mut rng)?;
+            let (_, grad_scores) = loss::mse(cache_rel.output(), &targets)?;
+            let grad_joint = relation.backward(&cache_rel, &grad_scores)?;
+
+            // Split the joint gradient back into the two embedding branches.
+            let dim = self.config.embedding_dim;
+            let rows = grad_joint.rows();
+            let mut grad_a = Matrix::zeros(rows, dim);
+            let mut grad_b = Matrix::zeros(rows, dim);
+            for r in 0..rows {
+                let row = grad_joint.row(r)?;
+                grad_a.row_mut(r)?.copy_from_slice(&row[..dim]);
+                grad_b.row_mut(r)?.copy_from_slice(&row[dim..]);
+            }
+            embedding.backward(&cache_a, &grad_a)?;
+            embedding.backward(&cache_b, &grad_b)?;
+
+            // One optimizer instance steps both modules; collect parameters in
+            // a stable order.
+            let mut params = embedding.param_grad_pairs();
+            params.extend(relation.param_grad_pairs());
+            opt.step(params)?;
+        }
+        self.embedding = Some(embedding);
+        self.relation = Some(relation);
+        Ok(())
+    }
+
+    fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        let embedding = self
+            .embedding
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
+        Ok(embedding.forward(features)?)
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    fn name(&self) -> &'static str {
+        "RelationNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.5));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![rng.normal(c, 0.4).unwrap(), rng.normal(-c, 0.4).unwrap()]);
+            labels.push(l);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn relation_scores_separate_pairs() {
+        let (x, y) = toy_data(80, 1);
+        let mut net = RelationNet::new(RelationNetConfig {
+            epochs: 50,
+            ..Default::default()
+        })
+        .unwrap();
+        net.fit(&x, &y, 3).unwrap();
+
+        // Average relation score of same-class pairs should beat
+        // different-class pairs.
+        let pos: Vec<usize> = y.iter().enumerate().filter(|(_, &l)| l == 1).map(|(i, _)| i).collect();
+        let neg: Vec<usize> = y.iter().enumerate().filter(|(_, &l)| l == 0).map(|(i, _)| i).collect();
+        let a_same = x.select_rows(&pos[..8]).unwrap();
+        let b_same = x.select_rows(&pos[8..16]).unwrap();
+        let same_scores = net.relation_scores(&a_same, &b_same).unwrap();
+        let a_diff = x.select_rows(&pos[..8]).unwrap();
+        let b_diff = x.select_rows(&neg[..8]).unwrap();
+        let diff_scores = net.relation_scores(&a_diff, &b_diff).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same_scores) > mean(&diff_scores) + 0.1,
+            "same {} vs diff {}",
+            mean(&same_scores),
+            mean(&diff_scores)
+        );
+        assert!(same_scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn embed_shape_and_determinism() {
+        let (x, y) = toy_data(40, 2);
+        let mut a = RelationNet::with_defaults();
+        a.fit(&x, &y, 5).unwrap();
+        assert_eq!(a.embed(&x).unwrap().shape(), (40, 16));
+        let mut b = RelationNet::with_defaults();
+        b.fit(&x, &y, 5).unwrap();
+        assert!(a.embed(&x).unwrap().approx_eq(&b.embed(&x).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn errors_and_validation() {
+        let net = RelationNet::with_defaults();
+        assert!(matches!(
+            net.embed(&Matrix::ones(1, 2)),
+            Err(BaselineError::NotFitted { .. })
+        ));
+        assert!(net.relation_scores(&Matrix::ones(1, 2), &Matrix::ones(1, 2)).is_err());
+        assert!(RelationNet::new(RelationNetConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        let mut net = RelationNet::with_defaults();
+        assert!(net.fit(&Matrix::ones(2, 2), &[1, 1], 1).is_err());
+        assert_eq!(net.name(), "RelationNet");
+    }
+}

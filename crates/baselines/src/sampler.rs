@@ -1,0 +1,215 @@
+//! Pair / triplet / episode sampling from labeled data.
+//!
+//! The Group-2 baselines re-assemble the handful of labeled examples into
+//! many training tuples — the same leverage the RLL grouping layer uses, but
+//! with pair/triplet structure instead of groups.
+
+use crate::error::BaselineError;
+use crate::Result;
+use rll_tensor::Rng64;
+
+/// Splits example indices by binary label, validating that both classes are
+/// present.
+pub fn class_indices(labels: &[u8]) -> Result<(Vec<usize>, Vec<usize>)> {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        match l {
+            1 => pos.push(i),
+            0 => neg.push(i),
+            other => {
+                return Err(BaselineError::InvalidConfig {
+                    reason: format!("label {other} is not binary"),
+                })
+            }
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return Err(BaselineError::DegenerateData {
+            reason: format!(
+                "need both classes, got {} positives / {} negatives",
+                pos.len(),
+                neg.len()
+            ),
+        });
+    }
+    Ok((pos, neg))
+}
+
+/// A labeled pair for contrastive training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// First example index.
+    pub a: usize,
+    /// Second example index.
+    pub b: usize,
+    /// Whether the two share a class.
+    pub same: bool,
+}
+
+/// Samples `count` pairs, alternating similar and dissimilar, never pairing an
+/// example with itself.
+pub fn sample_pairs(labels: &[u8], count: usize, rng: &mut Rng64) -> Result<Vec<Pair>> {
+    let (pos, neg) = class_indices(labels)?;
+    let mut pairs = Vec::with_capacity(count);
+    for i in 0..count {
+        if i % 2 == 0 {
+            // Similar pair from a random class (weighted by class size so both
+            // classes contribute).
+            let from_pos = rng.bernoulli(pos.len() as f64 / labels.len() as f64);
+            let class = if from_pos { &pos } else { &neg };
+            if class.len() < 2 {
+                // Fall back to a dissimilar pair when the class is a singleton.
+                pairs.push(Pair {
+                    a: *rng.choose(&pos)?,
+                    b: *rng.choose(&neg)?,
+                    same: false,
+                });
+                continue;
+            }
+            let picks = rng.sample_indices(class.len(), 2)?;
+            pairs.push(Pair {
+                a: class[picks[0]],
+                b: class[picks[1]],
+                same: true,
+            });
+        } else {
+            pairs.push(Pair {
+                a: *rng.choose(&pos)?,
+                b: *rng.choose(&neg)?,
+                same: false,
+            });
+        }
+    }
+    Ok(pairs)
+}
+
+/// A training triplet: anchor and positive share a class, negative differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triplet {
+    /// Anchor example index.
+    pub anchor: usize,
+    /// Same-class example index (distinct from the anchor).
+    pub positive: usize,
+    /// Different-class example index.
+    pub negative: usize,
+}
+
+/// Samples `count` triplets. Requires at least two examples in some class.
+pub fn sample_triplets(labels: &[u8], count: usize, rng: &mut Rng64) -> Result<Vec<Triplet>> {
+    let (pos, neg) = class_indices(labels)?;
+    if pos.len() < 2 && neg.len() < 2 {
+        return Err(BaselineError::DegenerateData {
+            reason: "triplet sampling needs a class with at least 2 members".into(),
+        });
+    }
+    let mut triplets = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Prefer anchoring in a class with >= 2 members.
+        let anchor_in_pos = if pos.len() < 2 {
+            false
+        } else if neg.len() < 2 {
+            true
+        } else {
+            rng.bernoulli(pos.len() as f64 / labels.len() as f64)
+        };
+        let (same, other) = if anchor_in_pos { (&pos, &neg) } else { (&neg, &pos) };
+        let picks = rng.sample_indices(same.len(), 2)?;
+        triplets.push(Triplet {
+            anchor: same[picks[0]],
+            positive: same[picks[1]],
+            negative: *rng.choose(other)?,
+        });
+    }
+    Ok(triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<u8> {
+        vec![1, 1, 1, 0, 0, 1, 0, 1]
+    }
+
+    #[test]
+    fn class_indices_split() {
+        let (pos, neg) = class_indices(&labels()).unwrap();
+        assert_eq!(pos, vec![0, 1, 2, 5, 7]);
+        assert_eq!(neg, vec![3, 4, 6]);
+        assert!(class_indices(&[1, 1]).is_err());
+        assert!(class_indices(&[0]).is_err());
+        assert!(class_indices(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn pairs_are_valid() {
+        let labels = labels();
+        let mut rng = Rng64::seed_from_u64(1);
+        let pairs = sample_pairs(&labels, 100, &mut rng).unwrap();
+        assert_eq!(pairs.len(), 100);
+        for p in &pairs {
+            assert_ne!(p.a, p.b);
+            assert_eq!(p.same, labels[p.a] == labels[p.b]);
+        }
+        // Both polarities occur.
+        assert!(pairs.iter().any(|p| p.same));
+        assert!(pairs.iter().any(|p| !p.same));
+    }
+
+    #[test]
+    fn pairs_singleton_class_falls_back() {
+        let labels = vec![1u8, 0, 0, 0];
+        let mut rng = Rng64::seed_from_u64(2);
+        let pairs = sample_pairs(&labels, 50, &mut rng).unwrap();
+        for p in pairs {
+            assert_ne!(p.a, p.b);
+            // Any "same" pair must come from class 0 (class 1 is a singleton).
+            if p.same {
+                assert_eq!(labels[p.a], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn triplets_are_valid() {
+        let labels = labels();
+        let mut rng = Rng64::seed_from_u64(3);
+        let triplets = sample_triplets(&labels, 100, &mut rng).unwrap();
+        assert_eq!(triplets.len(), 100);
+        for t in triplets {
+            assert_ne!(t.anchor, t.positive);
+            assert_eq!(labels[t.anchor], labels[t.positive]);
+            assert_ne!(labels[t.anchor], labels[t.negative]);
+        }
+    }
+
+    #[test]
+    fn triplets_with_singleton_class_anchor_elsewhere() {
+        let labels = vec![1u8, 0, 0, 0];
+        let mut rng = Rng64::seed_from_u64(4);
+        let triplets = sample_triplets(&labels, 30, &mut rng).unwrap();
+        for t in triplets {
+            assert_eq!(labels[t.anchor], 0); // must anchor in the big class
+            assert_eq!(labels[t.negative], 1);
+        }
+    }
+
+    #[test]
+    fn triplets_need_a_pairable_class() {
+        let labels = vec![1u8, 0];
+        let mut rng = Rng64::seed_from_u64(5);
+        assert!(sample_triplets(&labels, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_deterministic_per_seed() {
+        let labels = labels();
+        let a = sample_pairs(&labels, 20, &mut Rng64::seed_from_u64(9)).unwrap();
+        let b = sample_pairs(&labels, 20, &mut Rng64::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+        let t1 = sample_triplets(&labels, 20, &mut Rng64::seed_from_u64(9)).unwrap();
+        let t2 = sample_triplets(&labels, 20, &mut Rng64::seed_from_u64(9)).unwrap();
+        assert_eq!(t1, t2);
+    }
+}

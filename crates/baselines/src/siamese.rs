@@ -1,0 +1,265 @@
+//! SiameseNet (Koch et al.): contrastive embedding learning on pairs.
+
+use crate::embedder::Embedder;
+use crate::error::BaselineError;
+use crate::sampler::sample_pairs;
+use crate::Result;
+use rll_nn::{loss, Activation, Adam, Mlp, MlpConfig, Optimizer};
+use rll_tensor::{init::Init, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`SiameseNet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiameseNetConfig {
+    /// Hidden layer sizes of the shared encoder.
+    pub hidden_dims: Vec<usize>,
+    /// Embedding dimensionality.
+    pub embedding_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Pairs sampled per epoch.
+    pub pairs_per_epoch: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Contrastive margin for dissimilar pairs.
+    pub margin: f64,
+}
+
+impl Default for SiameseNetConfig {
+    fn default() -> Self {
+        SiameseNetConfig {
+            hidden_dims: vec![64, 32],
+            embedding_dim: 16,
+            epochs: 30,
+            pairs_per_epoch: 256,
+            learning_rate: 1e-3,
+            margin: 1.0,
+        }
+    }
+}
+
+impl SiameseNetConfig {
+    fn validate(&self) -> Result<()> {
+        if self.embedding_dim == 0 || self.epochs == 0 || self.pairs_per_epoch == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "embedding_dim, epochs, and pairs_per_epoch must be positive".into(),
+            });
+        }
+        if self.learning_rate <= 0.0 || self.margin <= 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "learning_rate and margin must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A Siamese network: one shared MLP encoder trained so same-class pairs sit
+/// close and different-class pairs sit at least `margin` apart.
+#[derive(Debug, Clone)]
+pub struct SiameseNet {
+    config: SiameseNetConfig,
+    encoder: Option<Mlp>,
+}
+
+impl SiameseNet {
+    /// Creates an unfitted network.
+    pub fn new(config: SiameseNetConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SiameseNet {
+            config,
+            encoder: None,
+        })
+    }
+
+    /// Creates a network with default hyperparameters.
+    pub fn with_defaults() -> Self {
+        SiameseNet {
+            config: SiameseNetConfig::default(),
+            encoder: None,
+        }
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &SiameseNetConfig {
+        &self.config
+    }
+}
+
+impl Embedder for SiameseNet {
+    fn fit(&mut self, features: &Matrix, labels: &[u8], seed: u64) -> Result<()> {
+        if features.rows() != labels.len() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("{} rows for {} labels", features.rows(), labels.len()),
+            });
+        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut encoder = Mlp::new(
+            &MlpConfig {
+                input_dim: features.cols(),
+                hidden_dims: self.config.hidden_dims.clone(),
+                output_dim: self.config.embedding_dim,
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Identity,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            &mut rng,
+        )?;
+        let mut opt = Adam::new(self.config.learning_rate)?;
+
+        for _ in 0..self.config.epochs {
+            let pairs = sample_pairs(labels, self.config.pairs_per_epoch, &mut rng)?;
+            let a_idx: Vec<usize> = pairs.iter().map(|p| p.a).collect();
+            let b_idx: Vec<usize> = pairs.iter().map(|p| p.b).collect();
+            let same: Vec<bool> = pairs.iter().map(|p| p.same).collect();
+            let a = features.select_rows(&a_idx)?;
+            let b = features.select_rows(&b_idx)?;
+
+            encoder.zero_grad();
+            let cache_a = encoder.forward_cached(&a, &mut rng)?;
+            let cache_b = encoder.forward_cached(&b, &mut rng)?;
+            let (_, grad_a, grad_b) =
+                loss::contrastive(cache_a.output(), cache_b.output(), &same, self.config.margin)?;
+            encoder.backward(&cache_a, &grad_a)?;
+            encoder.backward(&cache_b, &grad_b)?;
+            let params = encoder.param_grad_pairs();
+            opt.step(params)?;
+        }
+        self.encoder = Some(encoder);
+        Ok(())
+    }
+
+    fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "SiameseNet" })?;
+        Ok(encoder.forward(features)?)
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    fn name(&self) -> &'static str {
+        "SiameseNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_tensor::ops::euclidean_distance;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.5));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                rng.normal(c, 0.4).unwrap(),
+                rng.normal(-c, 0.4).unwrap(),
+                rng.normal(0.0, 1.0).unwrap(), // nuisance dimension
+            ]);
+            labels.push(l);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn mean_distances(emb: &Matrix, labels: &[u8]) -> (f64, f64) {
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0, 0.0, 0);
+        for i in 0..emb.rows() {
+            for j in (i + 1)..emb.rows() {
+                let d = euclidean_distance(emb.row(i).unwrap(), emb.row(j).unwrap()).unwrap();
+                if labels[i] == labels[j] {
+                    same += d;
+                    same_n += 1;
+                } else {
+                    diff += d;
+                    diff_n += 1;
+                }
+            }
+        }
+        (same / same_n as f64, diff / diff_n as f64)
+    }
+
+    #[test]
+    fn learns_separated_embedding() {
+        let (x, y) = toy_data(80, 1);
+        let mut net = SiameseNet::new(SiameseNetConfig {
+            epochs: 40,
+            ..Default::default()
+        })
+        .unwrap();
+        net.fit(&x, &y, 7).unwrap();
+        let emb = net.embed(&x).unwrap();
+        assert_eq!(emb.shape(), (80, 16));
+        let (same, diff) = mean_distances(&emb, &y);
+        assert!(
+            diff > same * 1.5,
+            "different-class distance {diff} should exceed same-class {same}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = toy_data(40, 2);
+        let mut a = SiameseNet::with_defaults();
+        a.fit(&x, &y, 5).unwrap();
+        let mut b = SiameseNet::with_defaults();
+        b.fit(&x, &y, 5).unwrap();
+        assert!(a.embed(&x).unwrap().approx_eq(&b.embed(&x).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn embed_before_fit_errors() {
+        let net = SiameseNet::with_defaults();
+        assert!(matches!(
+            net.embed(&Matrix::ones(1, 3)),
+            Err(BaselineError::NotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn single_class_data_rejected() {
+        let x = Matrix::ones(4, 2);
+        let mut net = SiameseNet::with_defaults();
+        assert!(net.fit(&x, &[1, 1, 1, 1], 1).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SiameseNet::new(SiameseNetConfig {
+            embedding_dim: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SiameseNet::new(SiameseNetConfig {
+            margin: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SiameseNet::new(SiameseNetConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn label_row_mismatch_rejected() {
+        let (x, _) = toy_data(10, 3);
+        let mut net = SiameseNet::with_defaults();
+        assert!(net.fit(&x, &[1, 0], 1).is_err());
+    }
+
+    #[test]
+    fn name_and_dim() {
+        let net = SiameseNet::with_defaults();
+        assert_eq!(net.name(), "SiameseNet");
+        assert_eq!(net.embedding_dim(), 16);
+    }
+}

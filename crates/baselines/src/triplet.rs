@@ -1,0 +1,235 @@
+//! TripletNet (Schroff et al., FaceNet): triplet-margin embedding learning.
+
+use crate::embedder::Embedder;
+use crate::error::BaselineError;
+use crate::sampler::sample_triplets;
+use crate::Result;
+use rll_nn::{loss, Activation, Adam, Mlp, MlpConfig, Optimizer};
+use rll_tensor::{init::Init, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for [`TripletNet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripletNetConfig {
+    /// Hidden layer sizes of the shared encoder.
+    pub hidden_dims: Vec<usize>,
+    /// Embedding dimensionality.
+    pub embedding_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Triplets sampled per epoch.
+    pub triplets_per_epoch: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Triplet margin.
+    pub margin: f64,
+}
+
+impl Default for TripletNetConfig {
+    fn default() -> Self {
+        TripletNetConfig {
+            hidden_dims: vec![64, 32],
+            embedding_dim: 16,
+            epochs: 30,
+            triplets_per_epoch: 256,
+            learning_rate: 1e-3,
+            margin: 1.0,
+        }
+    }
+}
+
+impl TripletNetConfig {
+    fn validate(&self) -> Result<()> {
+        if self.embedding_dim == 0 || self.epochs == 0 || self.triplets_per_epoch == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "embedding_dim, epochs, and triplets_per_epoch must be positive".into(),
+            });
+        }
+        if self.learning_rate <= 0.0 || self.margin <= 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "learning_rate and margin must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A triplet network: one shared MLP encoder trained so every anchor sits
+/// closer to a same-class example than to a different-class example by at
+/// least `margin`.
+#[derive(Debug, Clone)]
+pub struct TripletNet {
+    config: TripletNetConfig,
+    encoder: Option<Mlp>,
+}
+
+impl TripletNet {
+    /// Creates an unfitted network.
+    pub fn new(config: TripletNetConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(TripletNet {
+            config,
+            encoder: None,
+        })
+    }
+
+    /// Creates a network with default hyperparameters.
+    pub fn with_defaults() -> Self {
+        TripletNet {
+            config: TripletNetConfig::default(),
+            encoder: None,
+        }
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &TripletNetConfig {
+        &self.config
+    }
+}
+
+impl Embedder for TripletNet {
+    fn fit(&mut self, features: &Matrix, labels: &[u8], seed: u64) -> Result<()> {
+        if features.rows() != labels.len() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("{} rows for {} labels", features.rows(), labels.len()),
+            });
+        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut encoder = Mlp::new(
+            &MlpConfig {
+                input_dim: features.cols(),
+                hidden_dims: self.config.hidden_dims.clone(),
+                output_dim: self.config.embedding_dim,
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Identity,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            &mut rng,
+        )?;
+        let mut opt = Adam::new(self.config.learning_rate)?;
+
+        for _ in 0..self.config.epochs {
+            let triplets = sample_triplets(labels, self.config.triplets_per_epoch, &mut rng)?;
+            let a_idx: Vec<usize> = triplets.iter().map(|t| t.anchor).collect();
+            let p_idx: Vec<usize> = triplets.iter().map(|t| t.positive).collect();
+            let n_idx: Vec<usize> = triplets.iter().map(|t| t.negative).collect();
+            let a = features.select_rows(&a_idx)?;
+            let p = features.select_rows(&p_idx)?;
+            let n = features.select_rows(&n_idx)?;
+
+            encoder.zero_grad();
+            let cache_a = encoder.forward_cached(&a, &mut rng)?;
+            let cache_p = encoder.forward_cached(&p, &mut rng)?;
+            let cache_n = encoder.forward_cached(&n, &mut rng)?;
+            let (_, ga, gp, gn) = loss::triplet(
+                cache_a.output(),
+                cache_p.output(),
+                cache_n.output(),
+                self.config.margin,
+            )?;
+            encoder.backward(&cache_a, &ga)?;
+            encoder.backward(&cache_p, &gp)?;
+            encoder.backward(&cache_n, &gn)?;
+            let params = encoder.param_grad_pairs();
+            opt.step(params)?;
+        }
+        self.encoder = Some(encoder);
+        Ok(())
+    }
+
+    fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "TripletNet" })?;
+        Ok(encoder.forward(features)?)
+    }
+
+    fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    fn name(&self) -> &'static str {
+        "TripletNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_tensor::ops::euclidean_distance;
+
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.5));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                rng.normal(c, 0.4).unwrap(),
+                rng.normal(-c, 0.4).unwrap(),
+                rng.normal(0.0, 1.0).unwrap(),
+            ]);
+            labels.push(l);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn satisfies_triplet_constraint_on_average() {
+        let (x, y) = toy_data(80, 1);
+        let mut net = TripletNet::new(TripletNetConfig {
+            epochs: 40,
+            ..Default::default()
+        })
+        .unwrap();
+        net.fit(&x, &y, 3).unwrap();
+        let emb = net.embed(&x).unwrap();
+
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0, 0.0, 0);
+        for i in 0..emb.rows() {
+            for j in (i + 1)..emb.rows() {
+                let d = euclidean_distance(emb.row(i).unwrap(), emb.row(j).unwrap()).unwrap();
+                if y[i] == y[j] {
+                    same += d;
+                    same_n += 1;
+                } else {
+                    diff += d;
+                    diff_n += 1;
+                }
+            }
+        }
+        let (same, diff) = (same / same_n as f64, diff / diff_n as f64);
+        assert!(diff > same, "diff {diff} should exceed same {same}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = toy_data(40, 2);
+        let mut a = TripletNet::with_defaults();
+        a.fit(&x, &y, 5).unwrap();
+        let mut b = TripletNet::with_defaults();
+        b.fit(&x, &y, 5).unwrap();
+        assert!(a.embed(&x).unwrap().approx_eq(&b.embed(&x).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn errors_and_validation() {
+        let net = TripletNet::with_defaults();
+        assert!(matches!(
+            net.embed(&Matrix::ones(1, 3)),
+            Err(BaselineError::NotFitted { .. })
+        ));
+        assert!(TripletNet::new(TripletNetConfig {
+            epochs: 0,
+            ..Default::default()
+        })
+        .is_err());
+        let mut net = TripletNet::with_defaults();
+        assert!(net.fit(&Matrix::ones(3, 2), &[1, 1, 1], 1).is_err());
+        assert!(net.fit(&Matrix::ones(3, 2), &[1, 0], 1).is_err());
+        assert_eq!(net.name(), "TripletNet");
+    }
+}

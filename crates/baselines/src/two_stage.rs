@@ -1,0 +1,257 @@
+//! Two-stage pipelines (the paper's Group 3): first infer labels from the
+//! crowd, then learn an embedding from the inferred labels.
+//!
+//! These address the two crowdsourcing problems *sequentially* — label
+//! inconsistency in stage one, label scarcity in stage two — which is exactly
+//! the coupling RLL's joint objective removes. The pipeline is generic over
+//! the Group-1 aggregator and the Group-2 embedder, covering every
+//! `X+Y` row of Table I.
+
+use crate::embedder::Embedder;
+use crate::error::BaselineError;
+use crate::relation::{RelationNet, RelationNetConfig};
+use crate::siamese::{SiameseNet, SiameseNetConfig};
+use crate::triplet::{TripletNet, TripletNetConfig};
+use crate::Result;
+use rll_crowd::aggregate::{Aggregator, DawidSkene, Glad, MajorityVote};
+use rll_crowd::AnnotationMatrix;
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Stage-one label inference method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationMethod {
+    /// Majority vote (ties toward positive).
+    MajorityVote,
+    /// Dawid–Skene EM.
+    Em,
+    /// GLAD (worker expertise × item difficulty).
+    Glad,
+}
+
+impl AggregationMethod {
+    /// Infers hard labels from an annotation table.
+    pub fn infer(&self, annotations: &AnnotationMatrix) -> Result<Vec<u8>> {
+        match self {
+            AggregationMethod::MajorityVote => {
+                Ok(MajorityVote::positive_ties().hard_labels(annotations)?)
+            }
+            AggregationMethod::Em => Ok(DawidSkene::default().hard_labels(annotations)?),
+            AggregationMethod::Glad => Ok(Glad::default().hard_labels(annotations)?),
+        }
+    }
+
+    /// Method name as it appears in Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregationMethod::MajorityVote => "MV",
+            AggregationMethod::Em => "EM",
+            AggregationMethod::Glad => "GLAD",
+        }
+    }
+}
+
+/// Stage-two embedding method with its configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EmbeddingMethod {
+    /// Contrastive Siamese network.
+    Siamese(SiameseNetConfig),
+    /// Triplet-margin network.
+    Triplet(TripletNetConfig),
+    /// Relation network.
+    Relation(RelationNetConfig),
+}
+
+impl EmbeddingMethod {
+    fn build(&self) -> Result<Box<dyn Embedder>> {
+        Ok(match self {
+            EmbeddingMethod::Siamese(cfg) => Box::new(SiameseNet::new(cfg.clone())?),
+            EmbeddingMethod::Triplet(cfg) => Box::new(TripletNet::new(cfg.clone())?),
+            EmbeddingMethod::Relation(cfg) => Box::new(RelationNet::new(cfg.clone())?),
+        })
+    }
+
+    /// Method name as it appears in Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EmbeddingMethod::Siamese(_) => "SiameseNet",
+            EmbeddingMethod::Triplet(_) => "TripletNet",
+            EmbeddingMethod::Relation(_) => "RelationNet",
+        }
+    }
+}
+
+/// A Group-3 pipeline: `aggregate → embed`.
+pub struct TwoStagePipeline {
+    aggregation: AggregationMethod,
+    embedding: EmbeddingMethod,
+    embedder: Option<Box<dyn Embedder>>,
+    inferred_labels: Vec<u8>,
+}
+
+impl TwoStagePipeline {
+    /// Creates an unfitted pipeline.
+    pub fn new(aggregation: AggregationMethod, embedding: EmbeddingMethod) -> Self {
+        TwoStagePipeline {
+            aggregation,
+            embedding,
+            embedder: None,
+            inferred_labels: Vec::new(),
+        }
+    }
+
+    /// Combined name, e.g. `"SiameseNet+EM"`.
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.embedding.name(), self.aggregation.name())
+    }
+
+    /// Stage one then stage two.
+    pub fn fit(
+        &mut self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        seed: u64,
+    ) -> Result<()> {
+        if features.rows() != annotations.num_items() {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!(
+                    "{} feature rows for {} annotated items",
+                    features.rows(),
+                    annotations.num_items()
+                ),
+            });
+        }
+        let labels = self.aggregation.infer(annotations)?;
+        let mut embedder = self.embedding.build()?;
+        embedder.fit(features, &labels, seed)?;
+        self.inferred_labels = labels;
+        self.embedder = Some(embedder);
+        Ok(())
+    }
+
+    /// The labels stage one inferred (available after [`TwoStagePipeline::fit`]).
+    pub fn inferred_labels(&self) -> &[u8] {
+        &self.inferred_labels
+    }
+
+    /// Embeds features with the stage-two model.
+    pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        self.embedder
+            .as_ref()
+            .ok_or(BaselineError::NotFitted { model: "TwoStagePipeline" })?
+            .embed(features)
+    }
+
+    /// Embedding dimensionality.
+    pub fn embedding_dim(&self) -> usize {
+        match &self.embedding {
+            EmbeddingMethod::Siamese(c) => c.embedding_dim,
+            EmbeddingMethod::Triplet(c) => c.embedding_dim,
+            EmbeddingMethod::Relation(c) => c.embedding_dim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_crowd::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn crowd_dataset(n: usize, seed: u64) -> (Matrix, AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.5));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![rng.normal(c, 0.5).unwrap(), rng.normal(-c, 0.5).unwrap()]);
+            truth.push(l);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let pool = WorkerPool::new(vec![
+            WorkerModel::OneCoin { accuracy: 0.85 },
+            WorkerModel::OneCoin { accuracy: 0.8 },
+            WorkerModel::OneCoin { accuracy: 0.75 },
+        ]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (features, ann, truth)
+    }
+
+    fn fast_siamese() -> EmbeddingMethod {
+        EmbeddingMethod::Siamese(SiameseNetConfig {
+            epochs: 10,
+            pairs_per_epoch: 64,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn pipeline_names() {
+        let p = TwoStagePipeline::new(AggregationMethod::Em, fast_siamese());
+        assert_eq!(p.name(), "SiameseNet+EM");
+        let p = TwoStagePipeline::new(
+            AggregationMethod::Glad,
+            EmbeddingMethod::Triplet(TripletNetConfig::default()),
+        );
+        assert_eq!(p.name(), "TripletNet+GLAD");
+        let p = TwoStagePipeline::new(
+            AggregationMethod::MajorityVote,
+            EmbeddingMethod::Relation(RelationNetConfig::default()),
+        );
+        assert_eq!(p.name(), "RelationNet+MV");
+    }
+
+    #[test]
+    fn fits_and_embeds() {
+        let (x, ann, _) = crowd_dataset(60, 1);
+        let mut p = TwoStagePipeline::new(AggregationMethod::Em, fast_siamese());
+        p.fit(&x, &ann, 7).unwrap();
+        let emb = p.embed(&x).unwrap();
+        assert_eq!(emb.shape(), (60, p.embedding_dim()));
+        assert_eq!(p.inferred_labels().len(), 60);
+    }
+
+    #[test]
+    fn stage_one_labels_track_truth() {
+        let (x, ann, truth) = crowd_dataset(150, 2);
+        let mut p = TwoStagePipeline::new(AggregationMethod::Em, fast_siamese());
+        p.fit(&x, &ann, 7).unwrap();
+        let acc = p
+            .inferred_labels()
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.85, "stage-one accuracy {acc}");
+    }
+
+    #[test]
+    fn all_aggregation_methods_work() {
+        let (x, ann, _) = crowd_dataset(50, 3);
+        for agg in [
+            AggregationMethod::MajorityVote,
+            AggregationMethod::Em,
+            AggregationMethod::Glad,
+        ] {
+            let mut p = TwoStagePipeline::new(agg, fast_siamese());
+            p.fit(&x, &ann, 9).unwrap();
+            assert_eq!(p.embed(&x).unwrap().rows(), 50);
+        }
+    }
+
+    #[test]
+    fn errors_before_fit_and_on_mismatch() {
+        let p = TwoStagePipeline::new(AggregationMethod::Em, fast_siamese());
+        assert!(matches!(
+            p.embed(&Matrix::ones(1, 2)),
+            Err(BaselineError::NotFitted { .. })
+        ));
+        let (x, ann, _) = crowd_dataset(20, 4);
+        let mut p = TwoStagePipeline::new(AggregationMethod::Em, fast_siamese());
+        let wrong = Matrix::zeros(5, 2);
+        assert!(p.fit(&wrong, &ann, 1).is_err());
+        drop(x);
+    }
+}

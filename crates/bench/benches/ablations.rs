@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out: the cost
+//! of each confidence estimator (the Bayesian estimator is a closed form;
+//! the worker-aware extension pays for a Dawid–Skene fit), the η-independent
+//! cost of the loss, and uniform vs. confidence-biased negative sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rll_core::{GroupSampler, RllConfig, RllTrainer, RllVariant, SamplingStrategy};
+use rll_data::presets;
+use rll_tensor::Rng64;
+use std::hint::black_box;
+
+fn quick_config(variant: RllVariant) -> RllConfig {
+    RllConfig {
+        variant,
+        epochs: 6,
+        groups_per_epoch: 64,
+        ..RllConfig::default()
+    }
+}
+
+fn bench_confidence_variants(c: &mut Criterion) {
+    let ds = presets::oral_scaled(160, 42).unwrap();
+    let mut group = c.benchmark_group("ablation/confidence_variant_fit");
+    group.sample_size(10);
+    for variant in [
+        RllVariant::Plain,
+        RllVariant::Mle,
+        RllVariant::Bayesian,
+        RllVariant::WorkerAware,
+    ] {
+        group.bench_function(variant.name(), |bench| {
+            let trainer = RllTrainer::new(quick_config(variant)).unwrap();
+            bench.iter(|| black_box(trainer.fit(&ds.features, &ds.annotations, 7).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_strategies(c: &mut Criterion) {
+    let mut labels = vec![1u8; 566];
+    labels.extend(vec![0u8; 314]);
+    let conf = vec![0.8f64; labels.len()];
+    let uniform = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None).unwrap();
+    let biased = GroupSampler::new(
+        &labels,
+        3,
+        SamplingStrategy::ConfidenceBiased { gamma: 1.0 },
+        Some(&conf),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("ablation/negative_sampling_256_groups");
+    group.bench_function("uniform", |bench| {
+        bench.iter_batched(
+            || Rng64::seed_from_u64(3),
+            |mut rng| black_box(uniform.sample_batch(256, &mut rng).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("confidence_biased", |bench| {
+        bench.iter_batched(
+            || Rng64::seed_from_u64(3),
+            |mut rng| black_box(biased.sample_batch(256, &mut rng).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_k_group_cost(c: &mut Criterion) {
+    // Marginal cost of larger groups: one loss+gradient evaluation per k.
+    let mut rng = Rng64::seed_from_u64(9);
+    let mut group = c.benchmark_group("ablation/group_loss_by_k");
+    for k in [2usize, 3, 4, 5] {
+        let emb = rll_tensor::Matrix::from_fn(k + 2, 16, |_, _| rng.standard_normal());
+        let conf = vec![0.8f64; k + 1];
+        group.bench_function(format!("k={k}"), |bench| {
+            bench.iter(|| {
+                black_box(rll_core::loss::group_softmax_loss(&emb, &conf, 10.0).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_confidence_variants,
+    bench_sampling_strategies,
+    bench_k_group_cost
+);
+criterion_main!(benches);

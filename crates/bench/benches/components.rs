@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the substrate components each experiment leans on:
+//! GEMM, group sampling, the confidence-weighted group-softmax loss, the
+//! Dawid–Skene and GLAD EM aggregators, and the dataset simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rll_core::loss::group_softmax_loss;
+use rll_core::{GroupSampler, SamplingStrategy};
+use rll_crowd::aggregate::{DawidSkene, Glad};
+use rll_crowd::simulate::WorkerPool;
+use rll_data::presets;
+use rll_tensor::{Matrix, Rng64};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor/matmul");
+    for &n in &[32usize, 128] {
+        let mut rng = Rng64::seed_from_u64(1);
+        let a = Matrix::from_fn(n, n, |_, _| rng.standard_normal());
+        let b = Matrix::from_fn(n, n, |_, _| rng.standard_normal());
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_sampling(c: &mut Criterion) {
+    let mut labels = vec![1u8; 566];
+    labels.extend(vec![0u8; 314]);
+    let sampler = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None).unwrap();
+    c.bench_function("core/group_sampling_256_groups", |bench| {
+        bench.iter_batched(
+            || Rng64::seed_from_u64(7),
+            |mut rng| black_box(sampler.sample_batch(256, &mut rng).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_group_loss(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(3);
+    let embeddings = Matrix::from_fn(5, 16, |_, _| rng.standard_normal());
+    let conf = [0.9, 0.7, 0.8, 0.6];
+    c.bench_function("core/group_softmax_loss_k3_dim16", |bench| {
+        bench.iter(|| black_box(group_softmax_loss(&embeddings, &conf, 10.0).unwrap()))
+    });
+}
+
+fn bench_dawid_skene(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(5);
+    let truth: Vec<u8> = (0..880).map(|_| u8::from(rng.bernoulli(0.64))).collect();
+    let pool = WorkerPool::graded(5, 0.6, 0.9).unwrap();
+    let ann = pool.annotate(&truth, &mut rng).unwrap();
+    c.bench_function("crowd/dawid_skene_880x5", |bench| {
+        bench.iter(|| black_box(DawidSkene::default().fit(&ann).unwrap()))
+    });
+}
+
+fn bench_glad(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from_u64(6);
+    let truth: Vec<u8> = (0..472).map(|_| u8::from(rng.bernoulli(0.68))).collect();
+    let pool = WorkerPool::graded(5, 0.6, 0.9).unwrap();
+    let ann = pool.annotate(&truth, &mut rng).unwrap();
+    let glad = Glad {
+        max_iters: 20,
+        ..Glad::default()
+    };
+    c.bench_function("crowd/glad_472x5_20iters", |bench| {
+        bench.iter(|| black_box(glad.fit(&ann).unwrap()))
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("data/oral_preset_880", |bench| {
+        bench.iter(|| black_box(presets::oral(9).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_group_sampling,
+    bench_group_loss,
+    bench_dawid_skene,
+    bench_glad,
+    bench_dataset_generation
+);
+criterion_main!(benches);

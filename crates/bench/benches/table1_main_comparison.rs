@@ -1,0 +1,55 @@
+//! Table I as a benchmark: time one train+predict fold for each method
+//! group on a quick-scale `oral` simulation. (The full-table reproduction
+//! with scores is `repro_table1`; this measures the cost of each row.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rll_core::RllVariant;
+use rll_data::{presets, StratifiedKFold};
+use rll_eval::method::{fit_predict, EmbedKind, MethodSpec, TrainBudget, TwoStageAgg};
+use std::hint::black_box;
+
+fn bench_table1_methods(c: &mut Criterion) {
+    let ds = presets::oral_scaled(160, 42).unwrap();
+    let folds = StratifiedKFold::new(&ds.expert_labels, 5, 42).unwrap();
+    let split = folds.split(0).unwrap();
+    let train = ds.select(&split.train).unwrap();
+    let test = ds.select(&split.test).unwrap();
+    let budget = TrainBudget::quick();
+
+    let methods = [
+        MethodSpec::SoftProb,
+        MethodSpec::Em,
+        MethodSpec::Glad,
+        MethodSpec::Embed(EmbedKind::Siamese),
+        MethodSpec::Embed(EmbedKind::Triplet),
+        MethodSpec::Embed(EmbedKind::Relation),
+        MethodSpec::TwoStage(EmbedKind::Triplet, TwoStageAgg::Em),
+        MethodSpec::Rll(RllVariant::Plain),
+        MethodSpec::Rll(RllVariant::Mle),
+        MethodSpec::Rll(RllVariant::Bayesian),
+    ];
+
+    let mut group = c.benchmark_group("table1/fit_predict_one_fold");
+    group.sample_size(10);
+    for spec in methods {
+        group.bench_function(spec.name(), |bench| {
+            bench.iter(|| {
+                black_box(
+                    fit_predict(
+                        spec,
+                        budget,
+                        &train.features,
+                        &train.annotations,
+                        &test.features,
+                        7,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_methods);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table II as a benchmark: RLL-Bayesian train+predict cost as the group's
+//! negative count `k` sweeps over the paper's {2, 3, 4, 5}.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rll_core::RllVariant;
+use rll_data::{presets, StratifiedKFold};
+use rll_eval::method::{fit_predict, MethodSpec, TrainBudget};
+use std::hint::black_box;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let ds = presets::oral_scaled(160, 42).unwrap();
+    let folds = StratifiedKFold::new(&ds.expert_labels, 5, 42).unwrap();
+    let split = folds.split(0).unwrap();
+    let train = ds.select(&split.train).unwrap();
+    let test = ds.select(&split.test).unwrap();
+
+    let mut group = c.benchmark_group("table2/rll_bayesian_by_k");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let budget = TrainBudget {
+            k,
+            ..TrainBudget::quick()
+        };
+        group.bench_function(format!("k={k}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    fit_predict(
+                        MethodSpec::Rll(RllVariant::Bayesian),
+                        budget,
+                        &train.features,
+                        &train.annotations,
+                        &test.features,
+                        7,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table III as a benchmark: RLL-Bayesian train+predict cost as the number
+//! of crowd workers per item `d` sweeps over the paper's {1, 3, 5}.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rll_core::RllVariant;
+use rll_data::{presets, StratifiedKFold};
+use rll_eval::method::{fit_predict, MethodSpec, TrainBudget};
+use std::hint::black_box;
+
+fn bench_d_sweep(c: &mut Criterion) {
+    let ds_full = presets::oral_scaled(160, 42).unwrap();
+    let folds = StratifiedKFold::new(&ds_full.expert_labels, 5, 42).unwrap();
+    let split = folds.split(0).unwrap();
+
+    let mut group = c.benchmark_group("table3/rll_bayesian_by_d");
+    group.sample_size(10);
+    for d in [1usize, 3, 5] {
+        let ds = ds_full.with_workers(d).unwrap();
+        let train = ds.select(&split.train).unwrap();
+        let test = ds.select(&split.test).unwrap();
+        group.bench_function(format!("d={d}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    fit_predict(
+                        MethodSpec::Rll(RllVariant::Bayesian),
+                        TrainBudget::quick(),
+                        &train.features,
+                        &train.annotations,
+                        &test.features,
+                        7,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_d_sweep);
+criterion_main!(benches);

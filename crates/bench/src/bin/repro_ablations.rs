@@ -1,0 +1,52 @@
+//! Runs the DESIGN.md §7 ablations: η sweep, confidence estimator comparison,
+//! embedding-dimension sweep, and the confidence-biased sampling extension.
+
+use rll_bench::Cli;
+use rll_eval::experiments::ablations;
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", Cli::usage("repro_ablations"));
+            std::process::exit(2);
+        }
+    };
+    println!("Running ablations at {:?} scale (seed {})...", cli.scale, cli.seed);
+
+    let run = || -> Result<(), rll_eval::EvalError> {
+        println!("\n-- eta sweep (oral) --");
+        for p in ablations::eta_sweep(cli.scale, cli.seed, &[2.0, 5.0, 10.0, 20.0, 40.0])? {
+            println!(
+                "  {:<10} acc {:.3} ± {:.3}   f1 {:.3}",
+                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
+            );
+        }
+
+        println!("\n-- confidence estimator (class) --");
+        for p in ablations::confidence_ablation(cli.scale, cli.seed)? {
+            println!(
+                "  {:<14} acc {:.3} ± {:.3}   f1 {:.3}",
+                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
+            );
+        }
+
+        println!("\n-- embedding dimension (oral) --");
+        for p in ablations::dim_sweep(cli.scale, cli.seed, &[4, 8, 16, 32])? {
+            println!(
+                "  {:<10} acc {:.3} ± {:.3}   f1 {:.3}",
+                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
+            );
+        }
+
+        println!("\n-- negative sampling strategy (class) --");
+        let s = ablations::sampling_ablation(cli.scale, cli.seed, 1.0)?;
+        println!("  uniform             acc {:.3}", s.uniform_accuracy);
+        println!("  confidence-biased   acc {:.3} (gamma {})", s.biased_accuracy, s.gamma);
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("ablations failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,38 @@
+//! Runs the label-budget learning curve (extension; see EXPERIMENTS.md):
+//! SoftProb vs RLL-Bayesian as the number of labeled examples shrinks.
+
+use rll_bench::Cli;
+use rll_eval::experiments::{learning_curve, ExperimentScale};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", Cli::usage("repro_learning_curve"));
+            std::process::exit(2);
+        }
+    };
+    let (ns, repeats): (&[usize], usize) = match cli.scale {
+        ExperimentScale::Quick => (&[60, 120, 240], 1),
+        ExperimentScale::Full => (&[110, 220, 440, 880], 3),
+    };
+    println!(
+        "Running learning curve at {:?} scale (seed {}), n in {:?}, {} dataset seed(s) per point...",
+        cli.scale, cli.seed, ns, repeats
+    );
+    let result = match learning_curve::run_repeated(cli.scale, cli.seed, ns, repeats) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", result.render());
+    if let Some(path) = cli.json {
+        if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}

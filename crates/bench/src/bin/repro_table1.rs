@@ -1,0 +1,63 @@
+//! Reproduces Table I: 15 methods × {oral, class} × {accuracy, F1}.
+
+use rll_bench::Cli;
+use rll_eval::experiments::{paper, table1};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", Cli::usage("repro_table1"));
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Running Table I at {:?} scale (seed {}). This trains 15 methods x 2 datasets x {} folds...",
+        cli.scale,
+        cli.seed,
+        cli.scale.folds()
+    );
+    let result = match table1::run(cli.scale, cli.seed, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", result.render());
+
+    println!("Paper-reported Table I for reference:");
+    println!(
+        "{:<22}{:<11}{:<11}{:<11}{:<11}",
+        "Method", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
+    );
+    for (name, oa, of, ca, cf) in paper::TABLE1 {
+        println!("{name:<22}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+    }
+
+    println!("\nShape checks (measured):");
+    println!(
+        "  best method on oral : {} ({:.3})",
+        result.best_method(true).method,
+        result.best_method(true).accuracy.mean
+    );
+    println!(
+        "  best method on class: {} ({:.3})",
+        result.best_method(false).method,
+        result.best_method(false).accuracy.mean
+    );
+    for g in 1..=4u8 {
+        println!(
+            "  group {g} mean accuracy: {:.3}",
+            result.group_mean_accuracy(g)
+        );
+    }
+
+    if let Some(path) = cli.json {
+        if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    }
+}

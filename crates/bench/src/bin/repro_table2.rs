@@ -1,0 +1,47 @@
+//! Reproduces Table II: RLL-Bayesian vs. the number of negatives `k`.
+
+use rll_bench::Cli;
+use rll_eval::experiments::{paper, table2};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", Cli::usage("repro_table2"));
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Running Table II (k sweep) at {:?} scale (seed {})...",
+        cli.scale, cli.seed
+    );
+    let result = match table2::run(cli.scale, cli.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", result.render());
+
+    println!("Paper-reported Table II for reference:");
+    println!(
+        "{:<8}{:<11}{:<11}{:<11}{:<11}",
+        "k", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
+    );
+    for (k, oa, of, ca, cf) in paper::TABLE2 {
+        println!("{k:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+    }
+
+    println!("\nShape checks (measured):");
+    println!("  best k on oral : {} (paper: {})", result.best_k(true), paper::BEST_K);
+    println!("  best k on class: {} (paper: {})", result.best_k(false), paper::BEST_K);
+
+    if let Some(path) = cli.json {
+        if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduces Table III: RLL-Bayesian vs. the number of crowd workers `d`.
+
+use rll_bench::Cli;
+use rll_eval::experiments::{paper, table3};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", Cli::usage("repro_table3"));
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Running Table III (d sweep) at {:?} scale (seed {})...",
+        cli.scale, cli.seed
+    );
+    let result = match table3::run(cli.scale, cli.seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\n{}", result.render());
+
+    println!("Paper-reported Table III for reference:");
+    println!(
+        "{:<8}{:<11}{:<11}{:<11}{:<11}",
+        "d", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
+    );
+    for (d, oa, of, ca, cf) in paper::TABLE3 {
+        println!("{d:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+    }
+
+    println!("\nShape checks (measured):");
+    println!(
+        "  accuracy monotone in d on oral : {}",
+        result.monotone_accuracy(true)
+    );
+    println!(
+        "  accuracy monotone in d on class: {}",
+        result.monotone_accuracy(false)
+    );
+
+    if let Some(path) = cli.json {
+        if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path}");
+    }
+}

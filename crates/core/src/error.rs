@@ -1,0 +1,100 @@
+//! Typed errors for the RLL framework.
+
+use rll_baselines::BaselineError;
+use rll_crowd::CrowdError;
+use rll_nn::NnError;
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by RLL training and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RllError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A crowdsourcing operation failed.
+    Crowd(CrowdError),
+    /// A baseline component (e.g. the downstream classifier) failed.
+    Baseline(BaselineError),
+    /// A configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The training data cannot support grouping (e.g. fewer than two
+    /// positives, or fewer than `k` negatives).
+    DegenerateData {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Inference was requested before training.
+    NotFitted,
+}
+
+impl fmt::Display for RllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RllError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RllError::Nn(e) => write!(f, "nn error: {e}"),
+            RllError::Crowd(e) => write!(f, "crowd error: {e}"),
+            RllError::Baseline(e) => write!(f, "baseline error: {e}"),
+            RllError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RllError::DegenerateData { reason } => write!(f, "degenerate data: {reason}"),
+            RllError::NotFitted => write!(f, "model must be fitted before inference"),
+        }
+    }
+}
+
+impl std::error::Error for RllError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RllError::Tensor(e) => Some(e),
+            RllError::Nn(e) => Some(e),
+            RllError::Crowd(e) => Some(e),
+            RllError::Baseline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for RllError {
+    fn from(e: TensorError) -> Self {
+        RllError::Tensor(e)
+    }
+}
+
+impl From<NnError> for RllError {
+    fn from(e: NnError) -> Self {
+        RllError::Nn(e)
+    }
+}
+
+impl From<CrowdError> for RllError {
+    fn from(e: CrowdError) -> Self {
+        RllError::Crowd(e)
+    }
+}
+
+impl From<BaselineError> for RllError {
+    fn from(e: BaselineError) -> Self {
+        RllError::Baseline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e: RllError = TensorError::Empty { op: "x" }.into();
+        assert!(e.source().is_some());
+        assert!(RllError::NotFitted.to_string().contains("fitted"));
+        let e = RllError::DegenerateData {
+            reason: "1 positive".into(),
+        };
+        assert!(e.to_string().contains("1 positive"));
+    }
+}

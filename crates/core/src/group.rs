@@ -1,0 +1,344 @@
+//! The grouping layer (paper §III-A).
+//!
+//! For each training group, pick a positive anchor `x⁺_i`, a distinct
+//! positive `x⁺_j`, and `k` distinct negatives. The combinatorial space has
+//! `O(|D⁺|² · |D⁻|^k)` groups, which is how a few hundred crowd-labeled
+//! examples become an effectively unlimited stream of training instances.
+
+use crate::error::RllError;
+use crate::Result;
+use rll_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// One training group: indices into the training set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// The anchor positive `x⁺_i`.
+    pub anchor: usize,
+    /// The paired positive `x⁺_j` the model must retrieve.
+    pub positive: usize,
+    /// The `k` negative examples.
+    pub negatives: Vec<usize>,
+}
+
+impl Group {
+    /// Total member count (`k + 2`).
+    pub fn len(&self) -> usize {
+        self.negatives.len() + 2
+    }
+
+    /// Groups always contain at least the anchor and the positive.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Members in embedding order: anchor, positive, then negatives.
+    pub fn members(&self) -> Vec<usize> {
+        let mut m = Vec::with_capacity(self.len());
+        m.push(self.anchor);
+        m.push(self.positive);
+        m.extend_from_slice(&self.negatives);
+        m
+    }
+}
+
+/// How negatives are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Uniform over the negative set (the paper's scheme).
+    Uniform,
+    /// Extension (ablation): bias negative sampling toward *high-confidence*
+    /// negatives, so probably-mislabeled examples appear in fewer groups.
+    /// Weight for negative `m` is `confidence[m]^gamma`.
+    ConfidenceBiased {
+        /// Sharpness of the bias (0 = uniform).
+        gamma: f64,
+    },
+}
+
+/// Generates training groups from crowd-inferred labels.
+///
+/// ```
+/// use rll_core::{GroupSampler, SamplingStrategy};
+/// use rll_tensor::Rng64;
+///
+/// let labels = vec![1u8, 1, 1, 0, 0, 0, 0];
+/// let sampler = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None)?;
+/// let mut rng = Rng64::seed_from_u64(7);
+/// let group = sampler.sample(&mut rng)?;
+/// assert_eq!(group.len(), 5); // anchor + positive + 3 negatives
+/// assert_ne!(group.anchor, group.positive);
+/// # Ok::<(), rll_core::RllError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupSampler {
+    positives: Vec<usize>,
+    negatives: Vec<usize>,
+    k: usize,
+    strategy: SamplingStrategy,
+    negative_weights: Vec<f64>,
+}
+
+impl GroupSampler {
+    /// Builds a sampler over binary `labels` with `k` negatives per group.
+    ///
+    /// `confidences` (aligned with `labels`) are only consulted by
+    /// [`SamplingStrategy::ConfidenceBiased`]; pass `None` for uniform.
+    pub fn new(
+        labels: &[u8],
+        k: usize,
+        strategy: SamplingStrategy,
+        confidences: Option<&[f64]>,
+    ) -> Result<Self> {
+        if k == 0 {
+            return Err(RllError::InvalidConfig {
+                reason: "k must be at least 1".into(),
+            });
+        }
+        let mut positives = Vec::new();
+        let mut negatives = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            match l {
+                1 => positives.push(i),
+                0 => negatives.push(i),
+                other => {
+                    return Err(RllError::InvalidConfig {
+                        reason: format!("label {other} is not binary"),
+                    })
+                }
+            }
+        }
+        if positives.len() < 2 {
+            return Err(RllError::DegenerateData {
+                reason: format!(
+                    "grouping needs at least 2 positives, got {}",
+                    positives.len()
+                ),
+            });
+        }
+        if negatives.len() < k {
+            return Err(RllError::DegenerateData {
+                reason: format!("grouping needs at least k={k} negatives, got {}", negatives.len()),
+            });
+        }
+        let negative_weights = match strategy {
+            SamplingStrategy::Uniform => vec![1.0; negatives.len()],
+            SamplingStrategy::ConfidenceBiased { gamma } => {
+                if gamma < 0.0 || !gamma.is_finite() {
+                    return Err(RllError::InvalidConfig {
+                        reason: format!("gamma must be non-negative and finite, got {gamma}"),
+                    });
+                }
+                let conf = confidences.ok_or_else(|| RllError::InvalidConfig {
+                    reason: "ConfidenceBiased sampling requires confidences".into(),
+                })?;
+                if conf.len() != labels.len() {
+                    return Err(RllError::InvalidConfig {
+                        reason: format!("{} confidences for {} labels", conf.len(), labels.len()),
+                    });
+                }
+                negatives
+                    .iter()
+                    .map(|&i| conf[i].max(1e-6).powf(gamma))
+                    .collect()
+            }
+        };
+        Ok(GroupSampler {
+            positives,
+            negatives,
+            k,
+            strategy,
+            negative_weights,
+        })
+    }
+
+    /// Number of negatives per group.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The strategy in use.
+    pub fn strategy(&self) -> SamplingStrategy {
+        self.strategy
+    }
+
+    /// Size of the theoretical group space `|D⁺|·(|D⁺|-1)·C(|D⁻|, k)`
+    /// (saturating; the point is that it dwarfs the raw label count).
+    pub fn group_space_size(&self) -> u128 {
+        let p = self.positives.len() as u128;
+        let n = self.negatives.len() as u128;
+        let mut combos: u128 = 1;
+        for i in 0..self.k as u128 {
+            combos = combos.saturating_mul(n.saturating_sub(i));
+            combos /= i + 1;
+        }
+        p.saturating_mul(p - 1).saturating_mul(combos)
+    }
+
+    /// Samples one group.
+    pub fn sample(&self, rng: &mut Rng64) -> Result<Group> {
+        let picks = rng.sample_indices(self.positives.len(), 2)?;
+        let anchor = self.positives[picks[0]];
+        let positive = self.positives[picks[1]];
+        let negatives = match self.strategy {
+            SamplingStrategy::Uniform => rng
+                .sample_indices(self.negatives.len(), self.k)?
+                .into_iter()
+                .map(|i| self.negatives[i])
+                .collect(),
+            SamplingStrategy::ConfidenceBiased { .. } => {
+                // Weighted sampling without replacement: draw by categorical,
+                // zero out the winner, repeat.
+                let mut weights = self.negative_weights.clone();
+                let mut chosen = Vec::with_capacity(self.k);
+                for _ in 0..self.k {
+                    let idx = rng.categorical(&weights)?;
+                    chosen.push(self.negatives[idx]);
+                    weights[idx] = 0.0;
+                }
+                chosen
+            }
+        };
+        Ok(Group {
+            anchor,
+            positive,
+            negatives,
+        })
+    }
+
+    /// Samples a batch of groups.
+    pub fn sample_batch(&self, count: usize, rng: &mut Rng64) -> Result<Vec<Group>> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<u8> {
+        // 5 positives (0-4), 5 negatives (5-9).
+        let mut l = vec![1u8; 5];
+        l.extend(vec![0u8; 5]);
+        l
+    }
+
+    #[test]
+    fn groups_are_well_formed() {
+        let labels = labels();
+        let sampler = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None).unwrap();
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..200 {
+            let g = sampler.sample(&mut rng).unwrap();
+            assert_ne!(g.anchor, g.positive);
+            assert_eq!(labels[g.anchor], 1);
+            assert_eq!(labels[g.positive], 1);
+            assert_eq!(g.negatives.len(), 3);
+            let mut negs = g.negatives.clone();
+            negs.sort_unstable();
+            negs.dedup();
+            assert_eq!(negs.len(), 3, "negatives must be distinct");
+            assert!(g.negatives.iter().all(|&n| labels[n] == 0));
+            assert_eq!(g.len(), 5);
+            assert_eq!(g.members()[0], g.anchor);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(GroupSampler::new(&labels(), 0, SamplingStrategy::Uniform, None).is_err());
+        assert!(GroupSampler::new(&[1, 1, 0], 2, SamplingStrategy::Uniform, None).is_err()); // k > negs
+        assert!(GroupSampler::new(&[1, 0, 0, 0], 2, SamplingStrategy::Uniform, None).is_err()); // 1 pos
+        assert!(GroupSampler::new(&[1, 1, 2, 0], 1, SamplingStrategy::Uniform, None).is_err()); // bad label
+    }
+
+    #[test]
+    fn confidence_biased_requires_confidences() {
+        let labels = labels();
+        assert!(GroupSampler::new(
+            &labels,
+            2,
+            SamplingStrategy::ConfidenceBiased { gamma: 1.0 },
+            None
+        )
+        .is_err());
+        assert!(GroupSampler::new(
+            &labels,
+            2,
+            SamplingStrategy::ConfidenceBiased { gamma: -1.0 },
+            Some(&vec![1.0; 10])
+        )
+        .is_err());
+        assert!(GroupSampler::new(
+            &labels,
+            2,
+            SamplingStrategy::ConfidenceBiased { gamma: 1.0 },
+            Some(&[1.0])
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn confidence_biased_prefers_confident_negatives() {
+        let labels = labels();
+        // Negative at index 5 has tiny confidence, index 9 has high.
+        let mut conf = vec![1.0; 10];
+        conf[5] = 0.01;
+        conf[9] = 1.0;
+        let sampler = GroupSampler::new(
+            &labels,
+            1,
+            SamplingStrategy::ConfidenceBiased { gamma: 2.0 },
+            Some(&conf),
+        )
+        .unwrap();
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut count5 = 0;
+        let mut count9 = 0;
+        for _ in 0..2000 {
+            let g = sampler.sample(&mut rng).unwrap();
+            if g.negatives[0] == 5 {
+                count5 += 1;
+            }
+            if g.negatives[0] == 9 {
+                count9 += 1;
+            }
+        }
+        assert!(count9 > count5 * 10, "9: {count9}, 5: {count5}");
+    }
+
+    #[test]
+    fn group_space_is_huge() {
+        // The paper's point: 880 examples with ratio 1.8 → ~566 pos, 314 neg.
+        let mut l = vec![1u8; 566];
+        l.extend(vec![0u8; 314]);
+        let sampler = GroupSampler::new(&l, 3, SamplingStrategy::Uniform, None).unwrap();
+        let space = sampler.group_space_size();
+        // |D+|^2 * C(|D-|, 3) ≈ 566*565 * 5.1e6 ≈ 1.6e12 ≫ 880.
+        assert!(space > 1_000_000_000_000u128, "space {space}");
+    }
+
+    #[test]
+    fn batch_and_determinism() {
+        let labels = labels();
+        let sampler = GroupSampler::new(&labels, 2, SamplingStrategy::Uniform, None).unwrap();
+        let a = sampler
+            .sample_batch(20, &mut Rng64::seed_from_u64(5))
+            .unwrap();
+        let b = sampler
+            .sample_batch(20, &mut Rng64::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn k_equals_negative_count_ok() {
+        let labels = labels();
+        let sampler = GroupSampler::new(&labels, 5, SamplingStrategy::Uniform, None).unwrap();
+        let g = sampler.sample(&mut Rng64::seed_from_u64(6)).unwrap();
+        let mut negs = g.negatives.clone();
+        negs.sort_unstable();
+        assert_eq!(negs, vec![5, 6, 7, 8, 9]);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # `rll-core` — Representation Learning with crowdsourced Labels
+//!
+//! The paper's primary contribution (Xu et al., ICDE 2019): learn embeddings
+//! from *limited* and *inconsistent* crowdsourced labels by combining
+//!
+//! 1. a **grouping based deep architecture** — re-assemble the few labeled
+//!    examples into groups `g = <x⁺_i, x⁺_j, x⁻_1, …, x⁻_k>` and train a
+//!    shared MLP to retrieve the paired positive under a cosine-relevance
+//!    softmax (module [`group`], [`loss`], [`model`]);
+//! 2. a **Bayesian confidence estimator** — weight each group member's
+//!    relevance score by the confidence `δ` of its crowd label (eq. 3),
+//!    estimated by vote-fraction MLE (eq. 1) or a Beta-posterior mean
+//!    (eq. 2) (re-exported from `rll-crowd`).
+//!
+//! The three variants evaluated in the paper map to [`RllVariant`]:
+//! `RLL` (no confidence), `RLL+MLE`, and `RLL+Bayesian`.
+//!
+//! [`RllTrainer`] owns the training loop; [`RllPipeline`] adds the downstream
+//! logistic-regression classifier and produces the accuracy/F1 numbers the
+//! tables report.
+
+pub mod error;
+pub mod group;
+pub mod loss;
+pub mod model;
+pub mod pipeline;
+pub mod trainer;
+
+pub use error::RllError;
+pub use group::{Group, GroupSampler, SamplingStrategy};
+pub use model::{RllModel, RllModelConfig};
+pub use pipeline::{EvalReport, RllPipeline};
+pub use trainer::{RllConfig, RllTrainer, RllVariant, TrainingTrace};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RllError>;

@@ -1,0 +1,293 @@
+//! The confidence-weighted group-softmax loss (paper eq. 3).
+//!
+//! Given a group's embeddings `f(x⁺_i), f(x⁺_j), f(x⁻_1), …, f(x⁻_k)` and the
+//! candidates' label confidences `δ`, the model's posterior of retrieving the
+//! paired positive is
+//!
+//! ```text
+//!                 exp(η · δ_j · r(f_i, f_j))
+//! p̂(x⁺_j | x⁺_i) = ─────────────────────────────────
+//!                 Σ_{x_* ∈ g, x_* ≠ x_i} exp(η · δ_* · r(f_i, f_*))
+//! ```
+//!
+//! with `r = cosine`. The loss is `-log p̂`. Setting every `δ = 1` recovers
+//! the unweighted objective (plain RLL, the paper's eq. for `p`).
+//!
+//! [`group_softmax_loss`] returns both the loss and its gradient with respect
+//! to **every** embedding in the group (anchor included), so the trainer can
+//! push one backward pass per member through the shared MLP.
+
+// Index-based loops below walk several parallel arrays at once; iterator
+// zips would obscure the alignment, so the clippy lint is silenced.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::RllError;
+use crate::Result;
+use rll_tensor::ops;
+use rll_tensor::Matrix;
+
+/// Computes the loss and embedding gradients for one group.
+///
+/// `embeddings` holds the group members as rows: row 0 is the anchor
+/// `x⁺_i`, row 1 the paired positive `x⁺_j`, rows 2.. the negatives.
+/// `confidences` aligns with the *candidates* (rows 1..): `confidences[0]` is
+/// `δ_j`, `confidences[m]` is `δ` of negative `m-1`. `eta` is the softmax
+/// smoothing hyperparameter `η`.
+///
+/// Returns `(loss, gradients)` where `gradients` has the same shape as
+/// `embeddings`.
+pub fn group_softmax_loss(
+    embeddings: &Matrix,
+    confidences: &[f64],
+    eta: f64,
+) -> Result<(f64, Matrix)> {
+    let members = embeddings.rows();
+    if members < 3 {
+        return Err(RllError::InvalidConfig {
+            reason: format!("a group needs at least 3 members (anchor, positive, ≥1 negative), got {members}"),
+        });
+    }
+    let candidates = members - 1;
+    if confidences.len() != candidates {
+        return Err(RllError::InvalidConfig {
+            reason: format!(
+                "{} confidences for {candidates} candidates",
+                confidences.len()
+            ),
+        });
+    }
+    if eta <= 0.0 || !eta.is_finite() {
+        return Err(RllError::InvalidConfig {
+            reason: format!("eta must be positive and finite, got {eta}"),
+        });
+    }
+    if let Some(&bad) = confidences.iter().find(|c| !(0.0..=1.0).contains(*c)) {
+        return Err(RllError::InvalidConfig {
+            reason: format!("confidence {bad} outside [0, 1]"),
+        });
+    }
+
+    let anchor = embeddings.row(0)?;
+    let anchor_norm = ops::norm(anchor);
+
+    // Scores s_c = η δ_c cos(anchor, candidate_c).
+    let mut cosines = Vec::with_capacity(candidates);
+    let mut scores = Vec::with_capacity(candidates);
+    for c in 0..candidates {
+        let cand = embeddings.row(c + 1)?;
+        let r = ops::cosine_similarity(anchor, cand)?;
+        cosines.push(r);
+        scores.push(eta * confidences[c] * r);
+    }
+    let probs = ops::softmax(&scores)?;
+    let loss = -probs[0].max(1e-300).ln();
+
+    // dL/ds_c = p_c - 1[c == positive].
+    let mut grads = Matrix::zeros(members, embeddings.cols());
+    let dim = embeddings.cols();
+    let mut grad_anchor = vec![0.0; dim];
+    for c in 0..candidates {
+        let dl_ds = probs[c] - if c == 0 { 1.0 } else { 0.0 };
+        let dl_dr = dl_ds * eta * confidences[c];
+        let cand = embeddings.row(c + 1)?;
+        let cand_norm = ops::norm(cand);
+        if anchor_norm <= f64::EPSILON || cand_norm <= f64::EPSILON {
+            // cosine() returned the neutral 0 here; use the zero subgradient.
+            continue;
+        }
+        let inv = 1.0 / (anchor_norm * cand_norm);
+        let r = cosines[c];
+        // dr/d(anchor) = cand/(|a||c|) - r * a / |a|^2
+        for d in 0..dim {
+            grad_anchor[d] +=
+                dl_dr * (cand[d] * inv - r * anchor[d] / (anchor_norm * anchor_norm));
+        }
+        // dr/d(cand) = a/(|a||c|) - r * c / |c|^2
+        let grad_cand = grads.row_mut(c + 1)?;
+        for d in 0..dim {
+            grad_cand[d] = dl_dr * (anchor[d] * inv - r * cand[d] / (cand_norm * cand_norm));
+        }
+    }
+    grads.row_mut(0)?.copy_from_slice(&grad_anchor);
+    Ok((loss, grads))
+}
+
+/// The posterior `p̂(x⁺_j | x⁺_i)` for a group (no gradients) — used by
+/// diagnostics and tests.
+pub fn group_posterior(embeddings: &Matrix, confidences: &[f64], eta: f64) -> Result<f64> {
+    let candidates = embeddings.rows().saturating_sub(1);
+    if confidences.len() != candidates || candidates < 2 {
+        return Err(RllError::InvalidConfig {
+            reason: "malformed group".into(),
+        });
+    }
+    let anchor = embeddings.row(0)?;
+    let mut scores = Vec::with_capacity(candidates);
+    for c in 0..candidates {
+        let r = ops::cosine_similarity(anchor, embeddings.row(c + 1)?)?;
+        scores.push(eta * confidences[c] * r);
+    }
+    Ok(ops::softmax(&scores)?[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_tensor::Rng64;
+
+    fn random_group(members: usize, dim: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        Matrix::from_fn(members, dim, |_, _| rng.standard_normal())
+    }
+
+    #[test]
+    fn perfect_embedding_has_low_loss() {
+        // Anchor == positive direction, negatives opposite.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![-1.0, 0.0],
+        ])
+        .unwrap();
+        let (loss, _) = group_softmax_loss(&emb, &[1.0, 1.0, 1.0], 10.0).unwrap();
+        assert!(loss < 0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn inverted_embedding_has_high_loss() {
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0], // positive far away
+            vec![1.0, 0.0],  // negative identical to anchor
+            vec![1.0, 0.0],
+        ])
+        .unwrap();
+        let (loss, _) = group_softmax_loss(&emb, &[1.0, 1.0, 1.0], 10.0).unwrap();
+        assert!(loss > 5.0, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_embedding_gives_log_candidates() {
+        // All candidates identical → uniform softmax → loss = ln(k + 1).
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let (loss, _) = group_softmax_loss(&emb, &[1.0, 1.0, 1.0], 5.0).unwrap();
+        assert!((loss - 3.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let emb = random_group(5, 4, 1);
+        let conf = [0.9, 0.7, 0.8, 0.6];
+        let eta = 8.0;
+        let (_, grads) = group_softmax_loss(&emb, &conf, eta).unwrap();
+        let eps = 1e-6;
+        for r in 0..emb.rows() {
+            for c in 0..emb.cols() {
+                let mut up = emb.clone();
+                up.set(r, c, emb.get(r, c).unwrap() + eps).unwrap();
+                let mut down = emb.clone();
+                down.set(r, c, emb.get(r, c).unwrap() - eps).unwrap();
+                let lu = group_softmax_loss(&up, &conf, eta).unwrap().0;
+                let ld = group_softmax_loss(&down, &conf, eta).unwrap().0;
+                let numeric = (lu - ld) / (2.0 * eps);
+                let analytic = grads.get(r, c).unwrap();
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "grad[{r}][{c}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_across_random_groups() {
+        for seed in 2..8 {
+            let emb = random_group(4, 3, seed);
+            let conf = [1.0, 0.5, 0.75];
+            let (_, grads) = group_softmax_loss(&emb, &conf, 12.0).unwrap();
+            let eps = 1e-6;
+            // Spot-check one coordinate per member.
+            for r in 0..4 {
+                let mut up = emb.clone();
+                up.set(r, 0, emb.get(r, 0).unwrap() + eps).unwrap();
+                let mut down = emb.clone();
+                down.set(r, 0, emb.get(r, 0).unwrap() - eps).unwrap();
+                let numeric = (group_softmax_loss(&up, &conf, 12.0).unwrap().0
+                    - group_softmax_loss(&down, &conf, 12.0).unwrap().0)
+                    / (2.0 * eps);
+                assert!((numeric - grads.get(r, 0).unwrap()).abs() < 1e-4, "seed {seed} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_weighting_softens_negative_push() {
+        // A confusable negative with low confidence should contribute a
+        // smaller gradient than the same negative at full confidence.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.1],
+            vec![0.8, 0.3],
+            vec![0.9, 0.2], // near-anchor negative
+        ])
+        .unwrap();
+        let (_, g_full) = group_softmax_loss(&emb, &[1.0, 1.0], 10.0).unwrap();
+        let (_, g_soft) = group_softmax_loss(&emb, &[1.0, 0.2], 10.0).unwrap();
+        let norm_neg = |g: &Matrix| ops::norm(g.row(2).unwrap());
+        assert!(
+            norm_neg(&g_soft) < norm_neg(&g_full),
+            "soft {} vs full {}",
+            norm_neg(&g_soft),
+            norm_neg(&g_full)
+        );
+    }
+
+    #[test]
+    fn eta_sharpens_probabilities() {
+        let emb = random_group(4, 3, 9);
+        let conf = [1.0, 1.0, 1.0];
+        let p_soft = group_posterior(&emb, &conf, 1.0).unwrap();
+        let p_sharp = group_posterior(&emb, &conf, 50.0).unwrap();
+        // Sharpening pushes the posterior toward 0 or 1.
+        assert!((p_sharp - 0.5).abs() >= (p_soft - 0.5).abs() - 1e-9);
+    }
+
+    #[test]
+    fn zero_norm_embedding_yields_zero_subgradient() {
+        let emb = Matrix::from_rows(&[
+            vec![0.0, 0.0], // degenerate anchor
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let (loss, grads) = group_softmax_loss(&emb, &[1.0, 1.0], 10.0).unwrap();
+        assert!(loss.is_finite());
+        assert_eq!(grads.sum(), 0.0);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let emb = random_group(4, 3, 10);
+        assert!(group_softmax_loss(&emb, &[1.0, 1.0], 10.0).is_err()); // conf count
+        assert!(group_softmax_loss(&emb, &[1.0, 1.0, 1.0], 0.0).is_err()); // eta
+        assert!(group_softmax_loss(&emb, &[1.0, 1.0, 1.5], 10.0).is_err()); // conf range
+        let tiny = random_group(2, 3, 11);
+        assert!(group_softmax_loss(&tiny, &[1.0], 10.0).is_err()); // too small
+        assert!(group_posterior(&tiny, &[1.0], 10.0).is_err());
+    }
+
+    #[test]
+    fn posterior_consistent_with_loss() {
+        let emb = random_group(5, 4, 12);
+        let conf = [0.8, 0.9, 0.7, 0.85];
+        let (loss, _) = group_softmax_loss(&emb, &conf, 6.0).unwrap();
+        let p = group_posterior(&emb, &conf, 6.0).unwrap();
+        assert!((loss + p.ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! The RLL embedding model: a shared multi-layer non-linear projection.
+
+use crate::error::RllError;
+use crate::Result;
+use rll_nn::{Activation, Mlp, MlpConfig};
+use rll_tensor::{init::Init, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Architecture of the shared encoder (Figure 1's "multi-layer non-linear
+/// projection").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RllModelConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Hidden layer sizes.
+    pub hidden_dims: Vec<usize>,
+    /// Embedding dimension (the semantic feature vector's size).
+    pub embedding_dim: usize,
+    /// Hidden activation (tanh following the DSSM lineage).
+    pub hidden_activation: Activation,
+    /// Output activation. Tanh keeps embeddings in a bounded cube, which
+    /// plays well with cosine relevance.
+    pub output_activation: Activation,
+}
+
+impl RllModelConfig {
+    /// Standard architecture for a given input dimension.
+    pub fn for_input(input_dim: usize) -> Self {
+        RllModelConfig {
+            input_dim,
+            hidden_dims: vec![64, 32],
+            embedding_dim: 16,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Tanh,
+        }
+    }
+}
+
+/// A trained (or in-training) RLL encoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RllModel {
+    mlp: Mlp,
+    config: RllModelConfig,
+}
+
+impl RllModel {
+    /// Builds a fresh encoder with random weights.
+    pub fn new(config: RllModelConfig, rng: &mut Rng64) -> Result<Self> {
+        let mlp = Mlp::new(
+            &MlpConfig {
+                input_dim: config.input_dim,
+                hidden_dims: config.hidden_dims.clone(),
+                output_dim: config.embedding_dim,
+                hidden_activation: config.hidden_activation,
+                output_activation: config.output_activation,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            rng,
+        )?;
+        Ok(RllModel { mlp, config })
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &RllModelConfig {
+        &self.config
+    }
+
+    /// Embedding dimensionality.
+    pub fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    /// Embeds a batch of feature rows.
+    pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        if features.cols() != self.config.input_dim {
+            return Err(RllError::InvalidConfig {
+                reason: format!(
+                    "model expects {} input features, got {}",
+                    self.config.input_dim,
+                    features.cols()
+                ),
+            });
+        }
+        Ok(self.mlp.forward(features)?)
+    }
+
+    /// Mutable access to the underlying network (used by the trainer).
+    pub(crate) fn mlp_mut(&mut self) -> &mut Mlp {
+        &mut self.mlp
+    }
+
+    /// Read access to the underlying network.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_embeds() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let model = RllModel::new(RllModelConfig::for_input(10), &mut rng).unwrap();
+        assert_eq!(model.embedding_dim(), 16);
+        let emb = model.embed(&Matrix::ones(4, 10)).unwrap();
+        assert_eq!(emb.shape(), (4, 16));
+        // Tanh output is bounded.
+        assert!(emb.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn rejects_wrong_input_dim() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let model = RllModel::new(RllModelConfig::for_input(10), &mut rng).unwrap();
+        assert!(model.embed(&Matrix::ones(1, 9)).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let model = RllModel::new(RllModelConfig::for_input(6), &mut rng).unwrap();
+        let x = Matrix::from_fn(2, 6, |r, c| (r + c) as f64 * 0.1);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: RllModel = serde_json::from_str(&json).unwrap();
+        assert!(back.embed(&x).unwrap().approx_eq(&model.embed(&x).unwrap(), 1e-9));
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end pipeline: RLL embeddings + logistic-regression classifier.
+//!
+//! Mirrors the paper's evaluation protocol: the encoder and the classifier
+//! train on *crowd-derived* labels only; expert labels are consulted
+//! exclusively to score held-out predictions.
+
+use crate::error::RllError;
+use crate::model::RllModel;
+use crate::trainer::{RllConfig, RllTrainer, TrainingTrace};
+use crate::Result;
+use rll_baselines::LogisticRegression;
+use rll_crowd::AnnotationMatrix;
+use rll_data::{Normalizer, StratifiedKFold};
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Held-out classification scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// F1 of the positive class.
+    pub f1: f64,
+    /// Precision of the positive class.
+    pub precision: f64,
+    /// Recall of the positive class.
+    pub recall: f64,
+    /// Held-out example count.
+    pub n_test: usize,
+}
+
+/// Computes accuracy/precision/recall/F1 against expert labels.
+pub fn score_predictions(predictions: &[u8], expert: &[u8]) -> Result<EvalReport> {
+    if predictions.len() != expert.len() || predictions.is_empty() {
+        return Err(RllError::InvalidConfig {
+            reason: format!(
+                "{} predictions for {} labels",
+                predictions.len(),
+                expert.len()
+            ),
+        });
+    }
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut tn = 0usize;
+    let mut fn_ = 0usize;
+    for (&p, &t) in predictions.iter().zip(expert) {
+        match (p, t) {
+            (1, 1) => tp += 1,
+            (1, 0) => fp += 1,
+            (0, 0) => tn += 1,
+            (0, 1) => fn_ += 1,
+            _ => {
+                return Err(RllError::InvalidConfig {
+                    reason: "labels must be binary".into(),
+                })
+            }
+        }
+    }
+    let accuracy = (tp + tn) as f64 / predictions.len() as f64;
+    let precision = if tp + fp > 0 {
+        tp as f64 / (tp + fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if tp + fn_ > 0 {
+        tp as f64 / (tp + fn_) as f64
+    } else {
+        0.0
+    };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Ok(EvalReport {
+        accuracy,
+        f1,
+        precision,
+        recall,
+        n_test: predictions.len(),
+    })
+}
+
+/// RLL encoder + logistic-regression classifier, trained together from crowd
+/// annotations.
+pub struct RllPipeline {
+    config: RllConfig,
+    normalizer: Option<Normalizer>,
+    model: Option<RllModel>,
+    classifier: Option<LogisticRegression>,
+    trace: Option<TrainingTrace>,
+}
+
+impl RllPipeline {
+    /// Creates an unfitted pipeline.
+    pub fn new(config: RllConfig) -> Self {
+        RllPipeline {
+            config,
+            normalizer: None,
+            model: None,
+            classifier: None,
+            trace: None,
+        }
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &RllConfig {
+        &self.config
+    }
+
+    /// The training trace of the last fit.
+    pub fn trace(&self) -> Option<&TrainingTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Trains the encoder and the downstream classifier from crowd labels.
+    pub fn fit(
+        &mut self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        seed: u64,
+    ) -> Result<()> {
+        let normalizer = Normalizer::fit(features).map_err(|e| RllError::InvalidConfig {
+            reason: format!("feature normalization failed: {e}"),
+        })?;
+        let normalized = normalizer
+            .transform(features)
+            .map_err(|e| RllError::InvalidConfig {
+                reason: format!("feature normalization failed: {e}"),
+            })?;
+        let trainer = RllTrainer::new(self.config.clone())?;
+        let (model, trace) = trainer.fit(&normalized, annotations, seed)?;
+        let embeddings = model.embed(&normalized)?;
+        let mut classifier = LogisticRegression::with_defaults();
+        classifier.fit(&embeddings, &trace.inferred_labels)?;
+        self.normalizer = Some(normalizer);
+        self.model = Some(model);
+        self.classifier = Some(classifier);
+        self.trace = Some(trace);
+        Ok(())
+    }
+
+    /// Embeds features with the trained encoder.
+    pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
+        let normalizer = self.normalizer.as_ref().ok_or(RllError::NotFitted)?;
+        let model = self.model.as_ref().ok_or(RllError::NotFitted)?;
+        let normalized = normalizer
+            .transform(features)
+            .map_err(|e| RllError::InvalidConfig {
+                reason: format!("feature normalization failed: {e}"),
+            })?;
+        model.embed(&normalized)
+    }
+
+    /// `P(y = 1 | x)` for every row.
+    pub fn predict_proba(&self, features: &Matrix) -> Result<Vec<f64>> {
+        let classifier = self.classifier.as_ref().ok_or(RllError::NotFitted)?;
+        let embeddings = self.embed(features)?;
+        Ok(classifier.predict_proba(&embeddings)?)
+    }
+
+    /// Hard predictions at threshold 0.5.
+    pub fn predict(&self, features: &Matrix) -> Result<Vec<u8>> {
+        Ok(self
+            .predict_proba(features)?
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect())
+    }
+
+    /// Single-split convenience: train on 4/5 of the data, score on the held
+    /// 1/5 against expert labels. Splits stratify on crowd majority-vote
+    /// labels so no expert information leaks into training.
+    pub fn fit_evaluate(
+        &mut self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        expert_labels: &[u8],
+        seed: u64,
+    ) -> Result<EvalReport> {
+        if expert_labels.len() != features.rows() {
+            return Err(RllError::InvalidConfig {
+                reason: format!(
+                    "{} expert labels for {} rows",
+                    expert_labels.len(),
+                    features.rows()
+                ),
+            });
+        }
+        use rll_crowd::aggregate::{Aggregator, MajorityVote};
+        let crowd_labels = MajorityVote::positive_ties().hard_labels(annotations)?;
+        let folds = StratifiedKFold::new(&crowd_labels, 5, seed).map_err(|e| {
+            RllError::InvalidConfig {
+                reason: format!("cross-validation split failed: {e}"),
+            }
+        })?;
+        let split = folds.split(0).map_err(|e| RllError::InvalidConfig {
+            reason: format!("cross-validation split failed: {e}"),
+        })?;
+        let train_x = features.select_rows(&split.train)?;
+        let train_ann = annotations.select_items(&split.train)?;
+        self.fit(&train_x, &train_ann, seed)?;
+        let test_x = features.select_rows(&split.test)?;
+        let predictions = self.predict(&test_x)?;
+        let test_expert: Vec<u8> = split.test.iter().map(|&i| expert_labels[i]).collect();
+        score_predictions(&predictions, &test_expert)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::RllVariant;
+    use rll_crowd::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn crowd_dataset(n: usize, seed: u64) -> (Matrix, AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.6));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                rng.normal(c, 0.6).unwrap(),
+                rng.normal(-c, 0.6).unwrap(),
+            ]);
+            truth.push(l);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let pool = WorkerPool::new(vec![WorkerModel::OneCoin { accuracy: 0.8 }; 5]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (features, ann, truth)
+    }
+
+    fn fast_config() -> RllConfig {
+        RllConfig {
+            variant: RllVariant::Bayesian,
+            epochs: 15,
+            groups_per_epoch: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn score_predictions_known_values() {
+        let report = score_predictions(&[1, 1, 0, 0], &[1, 0, 0, 1]).unwrap();
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+        assert!((report.precision - 0.5).abs() < 1e-12);
+        assert!((report.recall - 0.5).abs() < 1e-12);
+        assert!((report.f1 - 0.5).abs() < 1e-12);
+        assert_eq!(report.n_test, 4);
+    }
+
+    #[test]
+    fn score_predictions_perfect_and_degenerate() {
+        let p = score_predictions(&[1, 0, 1], &[1, 0, 1]).unwrap();
+        assert_eq!(p.accuracy, 1.0);
+        assert_eq!(p.f1, 1.0);
+        // No positive predictions → zero precision/recall/F1, not NaN.
+        let z = score_predictions(&[0, 0], &[1, 1]).unwrap();
+        assert_eq!(z.f1, 0.0);
+        assert!(score_predictions(&[1], &[1, 0]).is_err());
+        assert!(score_predictions(&[], &[]).is_err());
+        assert!(score_predictions(&[2], &[1]).is_err());
+    }
+
+    #[test]
+    fn fit_predict_beats_chance() {
+        let (x, ann, truth) = crowd_dataset(100, 1);
+        let mut pipeline = RllPipeline::new(fast_config());
+        pipeline.fit(&x, &ann, 2).unwrap();
+        let pred = pipeline.predict(&x).unwrap();
+        let acc = pred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.8, "training accuracy {acc}");
+        assert!(pipeline.trace().is_some());
+    }
+
+    #[test]
+    fn fit_evaluate_produces_sane_report() {
+        let (x, ann, truth) = crowd_dataset(120, 3);
+        let mut pipeline = RllPipeline::new(fast_config());
+        let report = pipeline.fit_evaluate(&x, &ann, &truth, 4).unwrap();
+        assert!(report.accuracy > 0.6, "held-out accuracy {}", report.accuracy);
+        assert!(report.f1 > 0.6, "held-out F1 {}", report.f1);
+        assert!(report.n_test >= 20);
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let pipeline = RllPipeline::new(fast_config());
+        assert!(matches!(
+            pipeline.predict(&Matrix::ones(1, 2)),
+            Err(RllError::NotFitted)
+        ));
+        assert!(matches!(
+            pipeline.embed(&Matrix::ones(1, 2)),
+            Err(RllError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn fit_evaluate_validates_label_count() {
+        let (x, ann, _) = crowd_dataset(40, 5);
+        let mut pipeline = RllPipeline::new(fast_config());
+        assert!(pipeline.fit_evaluate(&x, &ann, &[1, 0], 1).is_err());
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, ann, _) = crowd_dataset(60, 6);
+        let mut pipeline = RllPipeline::new(fast_config());
+        pipeline.fit(&x, &ann, 7).unwrap();
+        let probs = pipeline.predict_proba(&x).unwrap();
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

@@ -1,0 +1,509 @@
+//! The RLL training loop.
+
+use crate::group::{GroupSampler, SamplingStrategy};
+use crate::loss::group_softmax_loss;
+use crate::model::{RllModel, RllModelConfig};
+use crate::Result;
+use crate::error::RllError;
+use rll_crowd::aggregate::{Aggregator, MajorityVote};
+use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
+use rll_nn::{Adam, GradClip, Optimizer};
+use rll_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's RLL variants to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RllVariant {
+    /// `RLL`: no confidence weighting (every `δ = 1`).
+    Plain,
+    /// `RLL+MLE`: confidence from the vote fraction (eq. 1).
+    Mle,
+    /// `RLL+Bayesian`: confidence from the Beta-posterior mean (eq. 2), with
+    /// the prior set from the label class prior as the paper prescribes.
+    Bayesian,
+    /// `RLL+Worker`: this reproduction's implementation of the paper's stated
+    /// future work — confidence from a Dawid–Skene fit, so each worker's vote
+    /// is weighted by that worker's estimated confusion matrix.
+    WorkerAware,
+}
+
+impl RllVariant {
+    /// Method name as it appears in Table I (`RLL+Worker` is this
+    /// reproduction's extension and does not appear in the paper).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RllVariant::Plain => "RLL",
+            RllVariant::Mle => "RLL+MLE",
+            RllVariant::Bayesian => "RLL+Bayesian",
+            RllVariant::WorkerAware => "RLL+Worker",
+        }
+    }
+}
+
+/// Hyperparameters for RLL training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RllConfig {
+    /// Which confidence estimator to use.
+    pub variant: RllVariant,
+    /// Softmax smoothing `η` (set empirically on held-out data in the paper).
+    pub eta: f64,
+    /// Negatives per group (the paper's best value is 3; Table II sweeps it).
+    pub k: usize,
+    /// Encoder hidden layers.
+    pub hidden_dims: Vec<usize>,
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Groups sampled per epoch.
+    pub groups_per_epoch: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Total pseudo-count `α + β` of the Bayesian prior.
+    pub prior_strength: f64,
+    /// Negative sampling strategy (the paper's scheme is uniform; the biased
+    /// variant is this reproduction's ablation extension).
+    pub sampling: SamplingStrategy,
+    /// Optional global-norm gradient clipping.
+    pub grad_clip: Option<f64>,
+    /// Optional learning-rate schedule; `None` keeps `learning_rate` fixed.
+    /// When set, the schedule's rate at each epoch overrides `learning_rate`.
+    pub lr_schedule: Option<rll_nn::LrSchedule>,
+}
+
+impl Default for RllConfig {
+    fn default() -> Self {
+        RllConfig {
+            variant: RllVariant::Bayesian,
+            eta: 10.0,
+            k: 3,
+            hidden_dims: vec![64, 32],
+            embedding_dim: 16,
+            epochs: 30,
+            groups_per_epoch: 256,
+            learning_rate: 1e-3,
+            prior_strength: 2.0,
+            sampling: SamplingStrategy::Uniform,
+            grad_clip: Some(5.0),
+            lr_schedule: None,
+        }
+    }
+}
+
+impl RllConfig {
+    /// Validates all parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.eta <= 0.0 || !self.eta.is_finite() {
+            return Err(RllError::InvalidConfig {
+                reason: format!("eta must be positive, got {}", self.eta),
+            });
+        }
+        if self.k == 0 {
+            return Err(RllError::InvalidConfig {
+                reason: "k must be at least 1".into(),
+            });
+        }
+        if self.embedding_dim == 0 || self.epochs == 0 || self.groups_per_epoch == 0 {
+            return Err(RllError::InvalidConfig {
+                reason: "embedding_dim, epochs, and groups_per_epoch must be positive".into(),
+            });
+        }
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(RllError::InvalidConfig {
+                reason: format!("learning_rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if self.prior_strength <= 0.0 || !self.prior_strength.is_finite() {
+            return Err(RllError::InvalidConfig {
+                reason: format!("prior_strength must be positive, got {}", self.prior_strength),
+            });
+        }
+        if let Some(c) = self.grad_clip {
+            if c <= 0.0 || !c.is_finite() {
+                return Err(RllError::InvalidConfig {
+                    reason: format!("grad_clip must be positive, got {c}"),
+                });
+            }
+        }
+        if let Some(schedule) = &self.lr_schedule {
+            schedule.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-epoch diagnostics from a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingTrace {
+    /// Mean group loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Labels inferred from the crowd (majority vote) that training used.
+    pub inferred_labels: Vec<u8>,
+    /// Per-item label confidences `δ` that eq. (3) used.
+    pub confidences: Vec<f64>,
+}
+
+/// Trains [`RllModel`]s from features + crowd annotations.
+#[derive(Debug, Clone)]
+pub struct RllTrainer {
+    config: RllConfig,
+}
+
+impl RllTrainer {
+    /// Creates a trainer after validating the config.
+    pub fn new(config: RllConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(RllTrainer { config })
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &RllConfig {
+        &self.config
+    }
+
+    /// Builds the vote-counting confidence estimator for the configured
+    /// variant, given the positive prior of the crowd-inferred labels.
+    /// [`RllVariant::WorkerAware`] does not reduce to a per-item vote count —
+    /// it needs the full Dawid–Skene fit — so it is rejected here and handled
+    /// directly in [`RllTrainer::fit`].
+    pub fn confidence_estimator(&self, positive_prior: f64) -> Result<ConfidenceEstimator> {
+        Ok(match self.config.variant {
+            RllVariant::Plain => ConfidenceEstimator::None,
+            RllVariant::Mle => ConfidenceEstimator::Mle,
+            RllVariant::Bayesian => {
+                let prior = BetaPrior::from_class_prior(
+                    positive_prior.clamp(0.05, 0.95),
+                    self.config.prior_strength,
+                )?;
+                ConfidenceEstimator::Bayesian(prior)
+            }
+            RllVariant::WorkerAware => {
+                return Err(RllError::InvalidConfig {
+                    reason: "WorkerAware confidence requires the annotation table; use RllTrainer::fit".into(),
+                })
+            }
+        })
+    }
+
+    /// Computes the per-item label confidences `δ` for any variant.
+    pub fn compute_confidences(
+        &self,
+        annotations: &AnnotationMatrix,
+        labels: &[u8],
+        positive_prior: f64,
+    ) -> Result<Vec<f64>> {
+        match self.config.variant {
+            RllVariant::WorkerAware => {
+                let fit = rll_crowd::aggregate::DawidSkene::default().fit(annotations)?;
+                Ok(rll_crowd::confidence::worker_aware_label_confidences(&fit, labels)?)
+            }
+            _ => {
+                let estimator = self.confidence_estimator(positive_prior)?;
+                Ok(estimator.label_confidences(annotations, labels)?)
+            }
+        }
+    }
+
+    /// Full training run: infer labels, estimate confidences, sample groups,
+    /// optimize the encoder.
+    pub fn fit(
+        &self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        seed: u64,
+    ) -> Result<(RllModel, TrainingTrace)> {
+        if features.rows() != annotations.num_items() {
+            return Err(RllError::InvalidConfig {
+                reason: format!(
+                    "{} feature rows for {} annotated items",
+                    features.rows(),
+                    annotations.num_items()
+                ),
+            });
+        }
+        if features.rows() == 0 {
+            return Err(RllError::DegenerateData {
+                reason: "no training examples".into(),
+            });
+        }
+
+        // Step 1: crowd labels → hard training labels (majority vote, as the
+        // paper's group-4 setup prescribes).
+        let labels = MajorityVote::positive_ties().hard_labels(annotations)?;
+        let positive_prior =
+            labels.iter().filter(|&&l| l == 1).count() as f64 / labels.len() as f64;
+
+        // Step 2: per-item label confidence δ (eq. 1 / eq. 2 / all-ones /
+        // worker-aware Dawid–Skene posterior).
+        let confidences = self.compute_confidences(annotations, &labels, positive_prior)?;
+
+        // Step 3: grouping layer.
+        let sampler = GroupSampler::new(
+            &labels,
+            self.config.k,
+            self.config.sampling,
+            Some(&confidences),
+        )?;
+
+        // Step 4: optimize the shared encoder.
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut model = RllModel::new(
+            RllModelConfig {
+                input_dim: features.cols(),
+                hidden_dims: self.config.hidden_dims.clone(),
+                embedding_dim: self.config.embedding_dim,
+                ..RllModelConfig::for_input(features.cols())
+            },
+            &mut rng,
+        )?;
+        let mut opt = Adam::new(self.config.learning_rate)?;
+        let clip = self
+            .config
+            .grad_clip
+            .map(GradClip::new)
+            .transpose()?;
+
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            if let Some(schedule) = &self.config.lr_schedule {
+                opt.set_learning_rate(schedule.at_epoch(epoch));
+            }
+            let groups = sampler.sample_batch(self.config.groups_per_epoch, &mut rng)?;
+            model.mlp_mut().zero_grad();
+            let mut total_loss = 0.0;
+            for group in &groups {
+                let members = group.members();
+                let member_features = features.select_rows(&members)?;
+                let cache = model.mlp_mut().forward_cached(&member_features, &mut rng)?;
+                // Candidate confidences: δ_j for the positive, then the
+                // negatives' δ, in member order.
+                let cand_conf: Vec<f64> =
+                    members[1..].iter().map(|&m| confidences[m]).collect();
+                let (loss, grads) =
+                    group_softmax_loss(cache.output(), &cand_conf, self.config.eta)?;
+                total_loss += loss;
+                model.mlp_mut().backward(&cache, &grads)?;
+            }
+            model.mlp_mut().scale_grads(1.0 / groups.len() as f64);
+            let mut params = model.mlp_mut().param_grad_pairs();
+            if let Some(clip) = &clip {
+                let mut grads: Vec<Matrix> = params.iter().map(|(_, g)| g.clone()).collect();
+                clip.clip(&mut grads);
+                for ((_, g), clipped) in params.iter_mut().zip(grads) {
+                    *g = clipped;
+                }
+            }
+            opt.step(params)?;
+            epoch_losses.push(total_loss / groups.len() as f64);
+        }
+
+        Ok((
+            model,
+            TrainingTrace {
+                epoch_losses,
+                inferred_labels: labels,
+                confidences,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_crowd::simulate::{WorkerModel, WorkerPool};
+
+    fn crowd_dataset(n: usize, seed: u64) -> (Matrix, AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n {
+            let l = u8::from(rng.bernoulli(0.6));
+            let c = if l == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                rng.normal(c, 0.6).unwrap(),
+                rng.normal(-c, 0.6).unwrap(),
+                rng.normal(0.0, 1.0).unwrap(),
+            ]);
+            truth.push(l);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let pool = WorkerPool::new(vec![
+            WorkerModel::OneCoin { accuracy: 0.85 },
+            WorkerModel::OneCoin { accuracy: 0.8 },
+            WorkerModel::OneCoin { accuracy: 0.75 },
+            WorkerModel::OneCoin { accuracy: 0.8 },
+            WorkerModel::OneCoin { accuracy: 0.9 },
+        ]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (features, ann, truth)
+    }
+
+    fn fast_config(variant: RllVariant) -> RllConfig {
+        RllConfig {
+            variant,
+            epochs: 15,
+            groups_per_epoch: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (x, ann, _) = crowd_dataset(80, 1);
+        let trainer = RllTrainer::new(fast_config(RllVariant::Bayesian)).unwrap();
+        let (_, trace) = trainer.fit(&x, &ann, 3).unwrap();
+        let first = trace.epoch_losses.first().unwrap();
+        let last = trace.epoch_losses.last().unwrap();
+        assert!(last < first, "loss {first} -> {last} should decrease");
+    }
+
+    #[test]
+    fn embeddings_separate_classes() {
+        let (x, ann, truth) = crowd_dataset(100, 2);
+        let trainer = RllTrainer::new(RllConfig {
+            epochs: 40,
+            ..fast_config(RllVariant::Bayesian)
+        })
+        .unwrap();
+        let (model, _) = trainer.fit(&x, &ann, 4).unwrap();
+        let emb = model.embed(&x).unwrap();
+        // Mean cosine similarity within class should beat across class.
+        let mut same = 0.0;
+        let mut same_n = 0;
+        let mut diff = 0.0;
+        let mut diff_n = 0;
+        for i in 0..emb.rows() {
+            for j in (i + 1)..emb.rows() {
+                let c = rll_tensor::ops::cosine_similarity(
+                    emb.row(i).unwrap(),
+                    emb.row(j).unwrap(),
+                )
+                .unwrap();
+                if truth[i] == truth[j] {
+                    same += c;
+                    same_n += 1;
+                } else {
+                    diff += c;
+                    diff_n += 1;
+                }
+            }
+        }
+        let (same, diff) = (same / same_n as f64, diff / diff_n as f64);
+        assert!(same > diff + 0.2, "same-cos {same} vs diff-cos {diff}");
+    }
+
+    #[test]
+    fn all_variants_train() {
+        let (x, ann, _) = crowd_dataset(60, 5);
+        for variant in [RllVariant::Plain, RllVariant::Mle, RllVariant::Bayesian] {
+            let trainer = RllTrainer::new(fast_config(variant)).unwrap();
+            let (model, trace) = trainer.fit(&x, &ann, 6).unwrap();
+            assert_eq!(model.embedding_dim(), 16);
+            assert_eq!(trace.inferred_labels.len(), 60);
+            assert_eq!(trace.confidences.len(), 60);
+            assert_eq!(variant.name().is_empty(), false);
+        }
+    }
+
+    #[test]
+    fn variant_confidences_differ_as_specified() {
+        let (x, ann, _) = crowd_dataset(50, 7);
+        let plain = RllTrainer::new(fast_config(RllVariant::Plain)).unwrap();
+        let (_, trace_plain) = plain.fit(&x, &ann, 8).unwrap();
+        assert!(trace_plain.confidences.iter().all(|&c| c == 1.0));
+
+        let mle = RllTrainer::new(fast_config(RllVariant::Mle)).unwrap();
+        let (_, trace_mle) = mle.fit(&x, &ann, 8).unwrap();
+        assert!(trace_mle.confidences.iter().any(|&c| c < 1.0));
+
+        let bay = RllTrainer::new(fast_config(RllVariant::Bayesian)).unwrap();
+        let (_, trace_bay) = bay.fit(&x, &ann, 8).unwrap();
+        // Bayesian shrinkage: no confidence exactly 1.
+        assert!(trace_bay.confidences.iter().all(|&c| c < 1.0 && c > 0.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, ann, _) = crowd_dataset(40, 9);
+        let trainer = RllTrainer::new(fast_config(RllVariant::Bayesian)).unwrap();
+        let (m1, _) = trainer.fit(&x, &ann, 11).unwrap();
+        let (m2, _) = trainer.fit(&x, &ann, 11).unwrap();
+        assert!(m1.embed(&x).unwrap().approx_eq(&m2.embed(&x).unwrap(), 0.0));
+        let (m3, _) = trainer.fit(&x, &ann, 12).unwrap();
+        assert!(!m1.embed(&x).unwrap().approx_eq(&m3.embed(&x).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn worker_aware_variant_trains_and_uses_ds_posteriors() {
+        let (x, ann, _) = crowd_dataset(70, 15);
+        let trainer = RllTrainer::new(fast_config(RllVariant::WorkerAware)).unwrap();
+        let (model, trace) = trainer.fit(&x, &ann, 16).unwrap();
+        assert_eq!(model.embedding_dim(), 16);
+        // DS posteriors of the argmax label are never below 0.5 and rarely
+        // exactly 1 under smoothing.
+        assert!(trace.confidences.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        assert!(trace.confidences.iter().any(|&c| c < 1.0));
+        // The vote-counting estimator path rejects this variant explicitly.
+        assert!(trainer.confidence_estimator(0.5).is_err());
+    }
+
+    #[test]
+    fn lr_schedule_is_applied() {
+        use rll_nn::LrSchedule;
+        let (x, ann, _) = crowd_dataset(50, 17);
+        // A cosine schedule down to ~0 should still train without error and
+        // validate its own parameters.
+        let cfg = RllConfig {
+            lr_schedule: Some(LrSchedule::Cosine {
+                lr: 1e-3,
+                min_lr: 1e-5,
+                total_epochs: 15,
+            }),
+            ..fast_config(RllVariant::Bayesian)
+        };
+        let trainer = RllTrainer::new(cfg).unwrap();
+        assert!(trainer.fit(&x, &ann, 18).is_ok());
+        // Invalid schedules are rejected at construction.
+        let bad = RllConfig {
+            lr_schedule: Some(LrSchedule::Constant { lr: 0.0 }),
+            ..fast_config(RllVariant::Bayesian)
+        };
+        assert!(RllTrainer::new(bad).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RllTrainer::new(RllConfig { eta: 0.0, ..Default::default() }).is_err());
+        assert!(RllTrainer::new(RllConfig { k: 0, ..Default::default() }).is_err());
+        assert!(RllTrainer::new(RllConfig { epochs: 0, ..Default::default() }).is_err());
+        assert!(RllTrainer::new(RllConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            prior_strength: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            grad_clip: Some(0.0),
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn degenerate_data_rejected() {
+        let trainer = RllTrainer::new(fast_config(RllVariant::Plain)).unwrap();
+        // All-positive crowd votes → no negatives → grouping impossible.
+        let x = Matrix::ones(4, 2);
+        let ann = AnnotationMatrix::from_dense_binary(&vec![vec![1; 3]; 4]).unwrap();
+        assert!(trainer.fit(&x, &ann, 1).is_err());
+        // Row mismatch.
+        let (x2, ann2, _) = crowd_dataset(10, 13);
+        assert!(trainer.fit(&x2.select_rows(&[0, 1]).unwrap(), &ann2, 1).is_err());
+        drop(x);
+    }
+}

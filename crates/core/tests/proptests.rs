@@ -1,0 +1,144 @@
+//! Property-based tests for the RLL core: grouping invariants and loss
+//! identities that must hold for arbitrary well-formed inputs.
+
+use proptest::prelude::*;
+use rll_core::loss::{group_posterior, group_softmax_loss};
+use rll_core::{GroupSampler, SamplingStrategy};
+use rll_tensor::{Matrix, Rng64};
+
+/// Strategy: a label vector with at least 2 positives and 3 negatives.
+fn viable_labels() -> impl Strategy<Value = Vec<u8>> {
+    (2usize..12, 3usize..12, 0u64..1000).prop_map(|(pos, neg, seed)| {
+        let mut labels = vec![1u8; pos];
+        labels.extend(vec![0u8; neg]);
+        let mut rng = Rng64::seed_from_u64(seed);
+        rng.shuffle(&mut labels);
+        labels
+    })
+}
+
+/// Strategy: a random embedding matrix for a k-negative group.
+fn group_embeddings() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (1usize..6, 2usize..8, 0u64..1000).prop_map(|(k, dim, seed)| {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let emb = Matrix::from_fn(k + 2, dim, |_, _| rng.standard_normal());
+        let conf: Vec<f64> = (0..k + 1).map(|_| 0.05 + 0.9 * rng.uniform()).collect();
+        (emb, conf)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sampled_groups_satisfy_invariants(labels in viable_labels(), seed in 0u64..500, k in 1usize..4) {
+        prop_assume!(labels.iter().filter(|&&l| l == 0).count() >= k);
+        let sampler = GroupSampler::new(&labels, k, SamplingStrategy::Uniform, None).unwrap();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng).unwrap();
+        prop_assert_ne!(g.anchor, g.positive);
+        prop_assert_eq!(labels[g.anchor], 1);
+        prop_assert_eq!(labels[g.positive], 1);
+        prop_assert_eq!(g.negatives.len(), k);
+        let mut negs = g.negatives.clone();
+        negs.sort_unstable();
+        negs.dedup();
+        prop_assert_eq!(negs.len(), k, "negatives must be distinct");
+        for &n in &g.negatives {
+            prop_assert_eq!(labels[n], 0);
+        }
+    }
+
+    #[test]
+    fn group_space_matches_combinatorics(labels in viable_labels()) {
+        let pos = labels.iter().filter(|&&l| l == 1).count() as u128;
+        let neg = labels.iter().filter(|&&l| l == 0).count() as u128;
+        prop_assume!(neg >= 3);
+        let sampler = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None).unwrap();
+        let c3 = neg * (neg - 1) * (neg - 2) / 6; // C(neg, 3)
+        prop_assert_eq!(sampler.group_space_size(), pos * (pos - 1) * c3);
+    }
+
+    #[test]
+    fn loss_is_positive_and_finite((emb, conf) in group_embeddings(), eta in 0.5f64..30.0) {
+        let (loss, grads) = group_softmax_loss(&emb, &conf, eta).unwrap();
+        prop_assert!(loss > 0.0, "softmax NLL is strictly positive, got {loss}");
+        prop_assert!(loss.is_finite());
+        prop_assert!(grads.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn loss_matches_posterior((emb, conf) in group_embeddings(), eta in 0.5f64..30.0) {
+        let (loss, _) = group_softmax_loss(&emb, &conf, eta).unwrap();
+        let p = group_posterior(&emb, &conf, eta).unwrap();
+        prop_assert!((loss + p.ln()).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn gradient_spot_check((emb, conf) in group_embeddings()) {
+        let eta = 8.0;
+        let (_, grads) = group_softmax_loss(&emb, &conf, eta).unwrap();
+        let eps = 1e-6;
+        // Check the anchor's first coordinate against finite differences.
+        let mut up = emb.clone();
+        up.set(0, 0, emb.get(0, 0).unwrap() + eps).unwrap();
+        let mut down = emb.clone();
+        down.set(0, 0, emb.get(0, 0).unwrap() - eps).unwrap();
+        let numeric = (group_softmax_loss(&up, &conf, eta).unwrap().0
+            - group_softmax_loss(&down, &conf, eta).unwrap().0)
+            / (2.0 * eps);
+        let analytic = grads.get(0, 0).unwrap();
+        prop_assert!(
+            (numeric - analytic).abs() < 1e-4,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn embedding_scale_invariance((emb, conf) in group_embeddings(), scale in 0.5f64..5.0) {
+        // Cosine relevance is scale-invariant, so scaling ALL embeddings by a
+        // positive constant leaves the loss unchanged.
+        let (loss, _) = group_softmax_loss(&emb, &conf, 10.0).unwrap();
+        let scaled = emb.scale(scale);
+        let (loss_scaled, _) = group_softmax_loss(&scaled, &conf, 10.0).unwrap();
+        prop_assert!((loss - loss_scaled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_confidence_on_positive_reduces_loss_when_aligned(seed in 0u64..500) {
+        // Build a group where the positive is the best-aligned candidate;
+        // raising δ_j (positive's confidence) must then lower the loss.
+        let mut rng = Rng64::seed_from_u64(seed);
+        let dim = 4;
+        let mut anchor: Vec<f64> = (0..dim).map(|_| rng.standard_normal()).collect();
+        rll_tensor::ops::l2_normalize(&mut anchor);
+        let positive = anchor.clone();
+        let negatives: Vec<Vec<f64>> = (0..2)
+            .map(|_| anchor.iter().map(|x| -x + 0.1 * rng.standard_normal()).collect())
+            .collect();
+        let mut rows = vec![anchor, positive];
+        rows.extend(negatives);
+        let emb = Matrix::from_rows(&rows).unwrap();
+        let (loss_low, _) = group_softmax_loss(&emb, &[0.3, 0.8, 0.8], 10.0).unwrap();
+        let (loss_high, _) = group_softmax_loss(&emb, &[0.95, 0.8, 0.8], 10.0).unwrap();
+        prop_assert!(loss_high < loss_low, "high {loss_high} vs low {loss_low}");
+    }
+
+    #[test]
+    fn confidence_biased_sampler_only_picks_negatives(labels in viable_labels(), seed in 0u64..200) {
+        let conf: Vec<f64> = labels.iter().map(|&l| if l == 1 { 0.9 } else { 0.6 }).collect();
+        let negs = labels.iter().filter(|&&l| l == 0).count();
+        prop_assume!(negs >= 2);
+        let sampler = GroupSampler::new(
+            &labels,
+            2,
+            SamplingStrategy::ConfidenceBiased { gamma: 1.5 },
+            Some(&conf),
+        )
+        .unwrap();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let g = sampler.sample(&mut rng).unwrap();
+        for &n in &g.negatives {
+            prop_assert_eq!(labels[n], 0);
+        }
+    }
+}

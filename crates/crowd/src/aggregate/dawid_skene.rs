@@ -1,0 +1,337 @@
+//! Dawid–Skene EM estimator of true labels and worker confusion matrices.
+//!
+//! The paper's "EM" baseline: labels are latent, each worker `w` has a
+//! confusion matrix `π_w[true][observed]`, and EM alternates between
+//!
+//! - **E-step**: posterior over each item's true class given current worker
+//!   confusions and the class prior;
+//! - **M-step**: re-estimate class priors and confusion matrices from the
+//!   posteriors (with a small Laplace smoothing so empty cells stay finite).
+//!
+//! The observed-data log-likelihood is tracked per iteration and is
+//! non-decreasing (a property test asserts this).
+
+// Index-based loops below walk several parallel arrays at once; iterator
+// zips would obscure the alignment, so the clippy lint is silenced.
+#![allow(clippy::needless_range_loop)]
+
+use crate::aggregate::Aggregator;
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the Dawid–Skene EM run.
+///
+/// ```
+/// use rll_crowd::aggregate::{Aggregator, DawidSkene};
+/// use rll_crowd::AnnotationMatrix;
+///
+/// // Three items, three workers; worker 2 disagrees once.
+/// let ann = AnnotationMatrix::from_dense_binary(&[
+///     vec![1, 1, 0],
+///     vec![0, 0, 0],
+///     vec![1, 1, 1],
+/// ])?;
+/// let labels = DawidSkene::default().hard_labels(&ann)?;
+/// assert_eq!(labels, vec![1, 0, 1]);
+/// # Ok::<(), rll_crowd::CrowdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DawidSkene {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the absolute log-likelihood improvement.
+    pub tol: f64,
+    /// Laplace smoothing pseudo-count for confusion-matrix cells.
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene {
+            max_iters: 100,
+            tol: 1e-7,
+            smoothing: 0.01,
+        }
+    }
+}
+
+/// A fitted Dawid–Skene model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DawidSkeneFit {
+    /// Per-item class posteriors, `num_items x num_classes`.
+    pub posteriors: Vec<Vec<f64>>,
+    /// Class prior estimated in the final M-step.
+    pub class_prior: Vec<f64>,
+    /// Per-worker confusion matrices, `num_workers x num_classes x num_classes`
+    /// (`confusions[w][true][observed]`).
+    pub confusions: Vec<Vec<Vec<f64>>>,
+    /// Observed-data log-likelihood after each iteration.
+    pub log_likelihoods: Vec<f64>,
+    /// Number of EM iterations performed.
+    pub iterations: usize,
+    /// Whether the run stopped because the tolerance was met (vs. hitting
+    /// `max_iters`).
+    pub converged: bool,
+}
+
+impl DawidSkene {
+    /// Creates a config with explicit limits.
+    pub fn new(max_iters: usize, tol: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "max_iters must be positive".into(),
+            });
+        }
+        if tol < 0.0 || !tol.is_finite() {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!("tol must be non-negative and finite, got {tol}"),
+            });
+        }
+        Ok(DawidSkene {
+            max_iters,
+            tol,
+            ..DawidSkene::default()
+        })
+    }
+
+    /// Runs EM and returns the full fit.
+    pub fn fit(&self, annotations: &AnnotationMatrix) -> Result<DawidSkeneFit> {
+        let n = annotations.num_items();
+        let w = annotations.num_workers();
+        let c = annotations.num_classes() as usize;
+        if n == 0 || w == 0 {
+            return Err(CrowdError::InvalidAnnotations {
+                reason: "Dawid-Skene requires at least one item and one worker".into(),
+            });
+        }
+        for i in 0..n {
+            if annotations.annotation_count(i)? == 0 {
+                return Err(CrowdError::InvalidAnnotations {
+                    reason: format!("item {i} has no annotations"),
+                });
+            }
+        }
+
+        // Initialize posteriors from per-item vote fractions (the standard
+        // majority-vote initialization).
+        let mut posteriors: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let counts = annotations.vote_counts(i)?;
+                let total: usize = counts.iter().sum();
+                Ok(counts.iter().map(|&x| x as f64 / total as f64).collect())
+            })
+            .collect::<Result<_>>()?;
+
+        let mut class_prior = vec![1.0 / c as f64; c];
+        let mut confusions = vec![vec![vec![0.0; c]; c]; w];
+        let mut log_likelihoods = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            // ---------------- M-step ----------------
+            // Class prior.
+            for k in 0..c {
+                class_prior[k] =
+                    posteriors.iter().map(|p| p[k]).sum::<f64>() / n as f64;
+            }
+            // Worker confusion matrices with Laplace smoothing.
+            for worker in 0..w {
+                let mut counts = vec![vec![self.smoothing; c]; c];
+                for (item, observed) in annotations.worker_labels(worker)? {
+                    for (k, row) in counts.iter_mut().enumerate() {
+                        row[observed as usize] += posteriors[item][k];
+                    }
+                }
+                for (k, row) in counts.iter().enumerate() {
+                    let total: f64 = row.iter().sum();
+                    for l in 0..c {
+                        confusions[worker][k][l] = row[l] / total;
+                    }
+                }
+            }
+
+            // ---------------- E-step ----------------
+            let mut ll = 0.0;
+            for i in 0..n {
+                let mut log_post: Vec<f64> = class_prior
+                    .iter()
+                    .map(|&p| p.max(1e-300).ln())
+                    .collect();
+                for (worker, observed) in annotations.item_labels(i)? {
+                    for (k, lp) in log_post.iter_mut().enumerate() {
+                        *lp += confusions[worker][k][observed as usize].max(1e-300).ln();
+                    }
+                }
+                let lse = rll_tensor::ops::log_sum_exp(&log_post)?;
+                if !lse.is_finite() {
+                    return Err(CrowdError::NumericalFailure {
+                        algorithm: "dawid-skene",
+                        reason: format!("non-finite likelihood at item {i}"),
+                    });
+                }
+                ll += lse;
+                for (k, lp) in log_post.iter().enumerate() {
+                    posteriors[i][k] = (lp - lse).exp();
+                }
+            }
+            let improved = log_likelihoods
+                .last()
+                .map(|&prev: &f64| (ll - prev).abs() < self.tol)
+                .unwrap_or(false);
+            log_likelihoods.push(ll);
+            if improved {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(DawidSkeneFit {
+            posteriors,
+            class_prior,
+            confusions,
+            log_likelihoods,
+            iterations,
+            converged,
+        })
+    }
+}
+
+impl Aggregator for DawidSkene {
+    fn posteriors(&self, annotations: &AnnotationMatrix) -> Result<Vec<Vec<f64>>> {
+        Ok(self.fit(annotations)?.posteriors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn simulated(n: usize, accs: &[f64], seed: u64) -> (AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+        let pool = WorkerPool::new(
+            accs.iter()
+                .map(|&a| WorkerModel::OneCoin { accuracy: a })
+                .collect(),
+        );
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (ann, truth)
+    }
+
+    #[test]
+    fn recovers_labels_with_reliable_workers() {
+        let (ann, truth) = simulated(200, &[0.9, 0.85, 0.9, 0.8, 0.95], 1);
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        let labels = DawidSkene::default().hard_labels(&ann).unwrap();
+        let acc = labels
+            .iter()
+            .zip(&truth)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert!(fit.iterations >= 1);
+    }
+
+    #[test]
+    fn log_likelihood_non_decreasing() {
+        let (ann, _) = simulated(100, &[0.8, 0.7, 0.6, 0.9, 0.75], 2);
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        for pair in fit.log_likelihoods.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-6,
+                "LL decreased: {} -> {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn identifies_worker_quality() {
+        let (ann, _) = simulated(400, &[0.95, 0.55, 0.95, 0.95, 0.95], 3);
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        // Diagonal mass of the good worker 0 should exceed the spammer 1.
+        let diag = |w: usize| fit.confusions[w][0][0] + fit.confusions[w][1][1];
+        assert!(diag(0) > diag(1) + 0.3, "{} vs {}", diag(0), diag(1));
+    }
+
+    #[test]
+    fn beats_majority_vote_with_mixed_quality() {
+        // Three noisy workers outvote two excellent ones under MV; DS should
+        // discover the reliable pair and do at least as well.
+        let (ann, truth) = simulated(500, &[0.95, 0.95, 0.58, 0.58, 0.58], 4);
+        let ds = DawidSkene::default().hard_labels(&ann).unwrap();
+        let mv = crate::aggregate::MajorityVote::positive_ties()
+            .hard_labels(&ann)
+            .unwrap();
+        let acc = |ls: &[u8]| {
+            ls.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+        };
+        assert!(
+            acc(&ds) >= acc(&mv),
+            "DS {} should be >= MV {}",
+            acc(&ds),
+            acc(&mv)
+        );
+        assert!(acc(&ds) > 0.9);
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let (ann, _) = simulated(50, &[0.7, 0.8, 0.9], 5);
+        let post = DawidSkene::default().posteriors(&ann).unwrap();
+        for row in post {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(DawidSkene::new(0, 1e-6).is_err());
+        assert!(DawidSkene::new(10, -1.0).is_err());
+        let empty = AnnotationMatrix::new(0, 3, 2).unwrap();
+        assert!(DawidSkene::default().fit(&empty).is_err());
+        let mut sparse = AnnotationMatrix::new(2, 2, 2).unwrap();
+        sparse.set(0, 0, 1).unwrap();
+        assert!(DawidSkene::default().fit(&sparse).is_err());
+    }
+
+    #[test]
+    fn converges_quickly_on_unanimous_data() {
+        let ann =
+            AnnotationMatrix::from_dense_binary(&[vec![1; 5], vec![0; 5], vec![1; 5]]).unwrap();
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        assert!(fit.converged);
+        let labels = DawidSkene::default().hard_labels(&ann).unwrap();
+        assert_eq!(labels, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn multiclass_support() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let truth: Vec<u8> = (0..150).map(|_| rng.below(3).unwrap() as u8).collect();
+        let mut ann = AnnotationMatrix::new(truth.len(), 4, 3).unwrap();
+        for (i, &t) in truth.iter().enumerate() {
+            for w in 0..4 {
+                let observed = if rng.bernoulli(0.8) {
+                    t
+                } else {
+                    rng.below(3).unwrap() as u8
+                };
+                ann.set(i, w, observed).unwrap();
+            }
+        }
+        let labels = DawidSkene::default().hard_labels(&ann).unwrap();
+        let acc = labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.9, "multiclass accuracy {acc}");
+    }
+}

@@ -1,0 +1,325 @@
+//! GLAD: Generative model of Labels, Abilities, and Difficulties
+//! (Whitehill et al., NIPS 2009) — the paper's "GLAD" baseline.
+//!
+//! Binary true labels `z_i` are latent. Worker `j` has ability `α_j ∈ ℝ`
+//! (negative = adversarial) and item `i` has inverse-difficulty
+//! `β_i = exp(b_i) > 0`. A label is correct with probability
+//! `σ(α_j β_i)`. EM alternates a closed-form E-step over `z` with a
+//! gradient-ascent M-step over `(α, b)`; a weak Gaussian prior on both keeps
+//! the ascent bounded.
+
+use crate::aggregate::Aggregator;
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+use rll_tensor::ops::{log_sum_exp, sigmoid};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a GLAD run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Glad {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the log-likelihood improvement.
+    pub tol: f64,
+    /// Gradient-ascent steps per M-step.
+    pub m_steps: usize,
+    /// Gradient-ascent learning rate.
+    pub learning_rate: f64,
+    /// Precision of the zero-mean Gaussian prior on `α` and `b`.
+    pub prior_precision: f64,
+    /// Prior probability of the positive class.
+    pub positive_prior: f64,
+}
+
+impl Default for Glad {
+    fn default() -> Self {
+        Glad {
+            max_iters: 60,
+            tol: 1e-6,
+            m_steps: 20,
+            learning_rate: 0.05,
+            prior_precision: 0.01,
+            positive_prior: 0.5,
+        }
+    }
+}
+
+/// A fitted GLAD model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GladFit {
+    /// Posterior `P(z_i = 1)` per item.
+    pub posterior_positive: Vec<f64>,
+    /// Worker abilities `α_j`.
+    pub abilities: Vec<f64>,
+    /// Item inverse-difficulties `β_i` (larger = easier).
+    pub inverse_difficulties: Vec<f64>,
+    /// Log-likelihood trace.
+    pub log_likelihoods: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before `max_iters`.
+    pub converged: bool,
+}
+
+impl Glad {
+    /// Creates a config with explicit EM limits, keeping the other defaults.
+    pub fn new(max_iters: usize, tol: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "max_iters must be positive".into(),
+            });
+        }
+        if tol < 0.0 || !tol.is_finite() {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!("tol must be non-negative and finite, got {tol}"),
+            });
+        }
+        Ok(Glad {
+            max_iters,
+            tol,
+            ..Glad::default()
+        })
+    }
+
+    /// Sets the positive-class prior (e.g. from the dataset class ratio).
+    pub fn with_positive_prior(mut self, prior: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&prior) || prior == 0.0 {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!("positive prior must be in (0, 1), got {prior}"),
+            });
+        }
+        self.positive_prior = prior;
+        Ok(self)
+    }
+
+    /// Runs EM and returns the full fit.
+    pub fn fit(&self, annotations: &AnnotationMatrix) -> Result<GladFit> {
+        if annotations.num_classes() != 2 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "GLAD supports binary labels only".into(),
+            });
+        }
+        let n = annotations.num_items();
+        let w = annotations.num_workers();
+        if n == 0 || w == 0 {
+            return Err(CrowdError::InvalidAnnotations {
+                reason: "GLAD requires at least one item and one worker".into(),
+            });
+        }
+        for i in 0..n {
+            if annotations.annotation_count(i)? == 0 {
+                return Err(CrowdError::InvalidAnnotations {
+                    reason: format!("item {i} has no annotations"),
+                });
+            }
+        }
+
+        // Flatten annotations once: (item, worker, label).
+        let mut obs: Vec<(usize, usize, u8)> = Vec::with_capacity(annotations.total_annotations());
+        for i in 0..n {
+            for (j, l) in annotations.item_labels(i)? {
+                obs.push((i, j, l));
+            }
+        }
+
+        let mut alpha = vec![1.0_f64; w]; // start mildly competent
+        let mut b = vec![0.0_f64; n]; // β = e^0 = 1
+        let mut post = vec![self.positive_prior; n];
+        let log_prior_pos = self.positive_prior.ln();
+        let log_prior_neg = (1.0 - self.positive_prior).ln();
+        let mut log_likelihoods: Vec<f64> = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+
+            // ---------------- E-step ----------------
+            let mut ll = 0.0;
+            let mut log_pos = vec![log_prior_pos; n];
+            let mut log_neg = vec![log_prior_neg; n];
+            for &(i, j, l) in &obs {
+                let x = alpha[j] * b[i].exp();
+                let log_correct = rll_tensor::ops::log_sigmoid(x);
+                let log_wrong = rll_tensor::ops::log_sigmoid(-x);
+                if l == 1 {
+                    log_pos[i] += log_correct;
+                    log_neg[i] += log_wrong;
+                } else {
+                    log_pos[i] += log_wrong;
+                    log_neg[i] += log_correct;
+                }
+            }
+            for i in 0..n {
+                let lse = log_sum_exp(&[log_pos[i], log_neg[i]])?;
+                if !lse.is_finite() {
+                    return Err(CrowdError::NumericalFailure {
+                        algorithm: "glad",
+                        reason: format!("non-finite likelihood at item {i}"),
+                    });
+                }
+                post[i] = (log_pos[i] - lse).exp();
+                ll += lse;
+            }
+
+            // ---------------- M-step (gradient ascent) ----------------
+            for _ in 0..self.m_steps {
+                let mut g_alpha = vec![0.0; w];
+                let mut g_b = vec![0.0; n];
+                for &(i, j, l) in &obs {
+                    let beta = b[i].exp();
+                    let s = sigmoid(alpha[j] * beta);
+                    // Expected "label matches z" indicator under the posterior.
+                    let m = if l == 1 { post[i] } else { 1.0 - post[i] };
+                    let common = m - s;
+                    g_alpha[j] += common * beta;
+                    g_b[i] += common * alpha[j] * beta;
+                }
+                for j in 0..w {
+                    g_alpha[j] -= self.prior_precision * alpha[j];
+                    alpha[j] += self.learning_rate * g_alpha[j];
+                }
+                for i in 0..n {
+                    g_b[i] -= self.prior_precision * b[i];
+                    b[i] += self.learning_rate * g_b[i];
+                    // Keep β in a numerically safe range.
+                    b[i] = b[i].clamp(-6.0, 6.0);
+                }
+            }
+
+            let done = log_likelihoods
+                .last()
+                .map(|&prev| (ll - prev).abs() < self.tol)
+                .unwrap_or(false);
+            log_likelihoods.push(ll);
+            if done {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(GladFit {
+            posterior_positive: post,
+            abilities: alpha,
+            inverse_difficulties: b.iter().map(|x| x.exp()).collect(),
+            log_likelihoods,
+            iterations,
+            converged,
+        })
+    }
+}
+
+impl Aggregator for Glad {
+    fn posteriors(&self, annotations: &AnnotationMatrix) -> Result<Vec<Vec<f64>>> {
+        let fit = self.fit(annotations)?;
+        Ok(fit
+            .posterior_positive
+            .iter()
+            .map(|&p| vec![1.0 - p, p])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn simulated(n: usize, accs: &[f64], seed: u64) -> (AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let pool = WorkerPool::new(
+            accs.iter()
+                .map(|&a| WorkerModel::OneCoin { accuracy: a })
+                .collect(),
+        );
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (ann, truth)
+    }
+
+    fn accuracy(labels: &[u8], truth: &[u8]) -> f64 {
+        labels.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    }
+
+    #[test]
+    fn recovers_labels_with_reliable_workers() {
+        let (ann, truth) = simulated(200, &[0.9, 0.85, 0.8, 0.9, 0.85], 11);
+        let labels = Glad::default().hard_labels(&ann).unwrap();
+        assert!(accuracy(&labels, &truth) > 0.93);
+    }
+
+    #[test]
+    fn ability_separates_good_from_bad_workers() {
+        let (ann, _) = simulated(400, &[0.95, 0.95, 0.52, 0.95, 0.52], 12);
+        let fit = Glad::default().fit(&ann).unwrap();
+        let good = (fit.abilities[0] + fit.abilities[1] + fit.abilities[3]) / 3.0;
+        let bad = (fit.abilities[2] + fit.abilities[4]) / 2.0;
+        assert!(good > bad + 0.5, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn log_likelihood_trends_upward() {
+        let (ann, _) = simulated(100, &[0.8, 0.7, 0.9, 0.6, 0.75], 13);
+        let fit = Glad::default().fit(&ann).unwrap();
+        let first = fit.log_likelihoods.first().unwrap();
+        let last = fit.log_likelihoods.last().unwrap();
+        assert!(last >= first, "LL fell from {first} to {last}");
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let (ann, _) = simulated(60, &[0.8, 0.8, 0.8], 14);
+        for row in Glad::default().posteriors(&ann).unwrap() {
+            assert!((row[0] + row[1] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Glad::new(0, 1e-6).is_err());
+        assert!(Glad::new(10, f64::NAN).is_err());
+        assert!(Glad::default().with_positive_prior(0.0).is_err());
+        assert!(Glad::default().with_positive_prior(1.0).is_err());
+        let multi = AnnotationMatrix::new(2, 2, 3).unwrap();
+        assert!(Glad::default().fit(&multi).is_err());
+        let mut sparse = AnnotationMatrix::new(2, 2, 2).unwrap();
+        sparse.set(0, 0, 1).unwrap();
+        assert!(Glad::default().fit(&sparse).is_err());
+    }
+
+    #[test]
+    fn class_prior_shifts_uncertain_items() {
+        // One item, one coin-flip vote each way from two workers: the
+        // posterior should lean toward the configured prior.
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 0]]).unwrap();
+        let high = Glad::default()
+            .with_positive_prior(0.9)
+            .unwrap()
+            .fit(&ann)
+            .unwrap();
+        let low = Glad::default()
+            .with_positive_prior(0.1)
+            .unwrap()
+            .fit(&ann)
+            .unwrap();
+        assert!(high.posterior_positive[0] > low.posterior_positive[0]);
+    }
+
+    #[test]
+    fn handles_adversarial_worker_via_negative_ability() {
+        let mut rng = Rng64::seed_from_u64(15);
+        let truth: Vec<u8> = (0..300).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let pool = WorkerPool::new(vec![
+            WorkerModel::OneCoin { accuracy: 0.9 },
+            WorkerModel::OneCoin { accuracy: 0.9 },
+            WorkerModel::OneCoin { accuracy: 0.1 }, // systematically wrong
+        ]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let fit = Glad::default().fit(&ann).unwrap();
+        assert!(fit.abilities[2] < 0.0, "adversary ability {}", fit.abilities[2]);
+        let labels = Glad::default().hard_labels(&ann).unwrap();
+        assert!(accuracy(&labels, &truth) > 0.9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Majority vote with configurable tie-breaking.
+
+use crate::aggregate::Aggregator;
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+use rll_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// What to do when two or more classes tie for the most votes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Pick the lowest class index (deterministic, biases toward negative in
+    /// the binary setting).
+    LowestClass,
+    /// Pick the highest class index (biases toward positive).
+    HighestClass,
+    /// Pick uniformly at random among the tied classes (seeded).
+    Random {
+        /// Seed for the tie-breaking stream.
+        seed: u64,
+    },
+}
+
+/// The majority-vote aggregator.
+///
+/// Posteriors are vote fractions; ties in [`Aggregator::hard_labels`] resolve
+/// per [`TieBreak`]. Items with zero annotations are an error — majority vote
+/// has no opinion about them.
+#[derive(Debug, Clone)]
+pub struct MajorityVote {
+    tie_break: TieBreak,
+    rng: RefCell<Rng64>,
+}
+
+impl MajorityVote {
+    /// Creates the aggregator with the given tie-breaking rule.
+    pub fn new(tie_break: TieBreak) -> Self {
+        let seed = match tie_break {
+            TieBreak::Random { seed } => seed,
+            _ => 0,
+        };
+        MajorityVote {
+            tie_break,
+            rng: RefCell::new(Rng64::seed_from_u64(seed)),
+        }
+    }
+
+    /// Majority vote breaking ties toward the positive class, the convention
+    /// the paper's Group-2 baselines use ("majority vote from the
+    /// crowdsourced labels").
+    pub fn positive_ties() -> Self {
+        MajorityVote::new(TieBreak::HighestClass)
+    }
+}
+
+impl Aggregator for MajorityVote {
+    fn posteriors(&self, annotations: &AnnotationMatrix) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(annotations.num_items());
+        for i in 0..annotations.num_items() {
+            let counts = annotations.vote_counts(i)?;
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                return Err(CrowdError::InvalidAnnotations {
+                    reason: format!("item {i} has no annotations"),
+                });
+            }
+            out.push(counts.iter().map(|&c| c as f64 / total as f64).collect());
+        }
+        Ok(out)
+    }
+
+    fn hard_labels(&self, annotations: &AnnotationMatrix) -> Result<Vec<u8>> {
+        let mut labels = Vec::with_capacity(annotations.num_items());
+        for i in 0..annotations.num_items() {
+            let counts = annotations.vote_counts(i)?;
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                return Err(CrowdError::InvalidAnnotations {
+                    reason: format!("item {i} has no annotations"),
+                });
+            }
+            let max = *counts.iter().max().expect("non-empty counts");
+            let tied: Vec<u8> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == max)
+                .map(|(cls, _)| cls as u8)
+                .collect();
+            let label = if tied.len() == 1 {
+                tied[0]
+            } else {
+                match self.tie_break {
+                    TieBreak::LowestClass => tied[0],
+                    TieBreak::HighestClass => *tied.last().expect("non-empty tie set"),
+                    TieBreak::Random { .. } => {
+                        let mut rng = self.rng.borrow_mut();
+                        *rng.choose(&tied)?
+                    }
+                }
+            };
+            labels.push(label);
+        }
+        Ok(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_majorities() {
+        let ann = AnnotationMatrix::from_dense_binary(&[
+            vec![1, 1, 1, 0, 0],
+            vec![0, 0, 0, 0, 1],
+        ])
+        .unwrap();
+        let mv = MajorityVote::positive_ties();
+        assert_eq!(mv.hard_labels(&ann).unwrap(), vec![1, 0]);
+        let post = mv.posteriors(&ann).unwrap();
+        assert!((post[0][1] - 0.6).abs() < 1e-12);
+        assert!((post[1][0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_breaking_rules() {
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 0, 1, 0]]).unwrap();
+        assert_eq!(
+            MajorityVote::new(TieBreak::LowestClass).hard_labels(&ann).unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            MajorityVote::new(TieBreak::HighestClass).hard_labels(&ann).unwrap(),
+            vec![1]
+        );
+        // Random tie-break is deterministic for a fixed seed.
+        let a = MajorityVote::new(TieBreak::Random { seed: 1 })
+            .hard_labels(&ann)
+            .unwrap();
+        let b = MajorityVote::new(TieBreak::Random { seed: 1 })
+            .hard_labels(&ann)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_tie_break_hits_both_sides() {
+        let ann = AnnotationMatrix::from_dense_binary(&vec![vec![1, 0]; 64]).unwrap();
+        let mv = MajorityVote::new(TieBreak::Random { seed: 3 });
+        let labels = mv.hard_labels(&ann).unwrap();
+        assert!(labels.iter().any(|&l| l == 0));
+        assert!(labels.iter().any(|&l| l == 1));
+    }
+
+    #[test]
+    fn empty_item_is_error() {
+        let mut ann = AnnotationMatrix::new(2, 3, 2).unwrap();
+        ann.set(0, 0, 1).unwrap();
+        let mv = MajorityVote::positive_ties();
+        assert!(mv.hard_labels(&ann).is_err());
+        assert!(mv.posteriors(&ann).is_err());
+    }
+
+    #[test]
+    fn multiclass_majority() {
+        let mut ann = AnnotationMatrix::new(1, 4, 3).unwrap();
+        ann.set(0, 0, 2).unwrap();
+        ann.set(0, 1, 2).unwrap();
+        ann.set(0, 2, 0).unwrap();
+        ann.set(0, 3, 1).unwrap();
+        let mv = MajorityVote::new(TieBreak::LowestClass);
+        assert_eq!(mv.hard_labels(&ann).unwrap(), vec![2]);
+    }
+}

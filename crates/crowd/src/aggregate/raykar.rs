@@ -1,0 +1,350 @@
+//! Raykar et al., "Learning from Crowds" (JMLR 2010).
+//!
+//! Jointly estimates a logistic-regression classifier and per-worker
+//! sensitivity (`P(vote 1 | z = 1)`) / specificity (`P(vote 0 | z = 0)`) by
+//! EM. Unlike the feature-free aggregators, the classifier's prediction acts
+//! as a data-dependent prior in the E-step, so items with similar features
+//! share evidence. This underlies the paper's SoftProb discussion and is the
+//! strongest Group-1-style baseline we implement.
+
+// Index-based loops below walk several parallel arrays at once; iterator
+// zips would obscure the alignment, so the clippy lint is silenced.
+#![allow(clippy::needless_range_loop)]
+
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+use rll_tensor::ops::sigmoid;
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a Raykar EM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Raykar {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the mean absolute posterior change.
+    pub tol: f64,
+    /// Gradient steps for the logistic-regression M-step.
+    pub lr_steps: usize,
+    /// Learning rate for the logistic-regression M-step.
+    pub learning_rate: f64,
+    /// L2 regularization on the classifier weights.
+    pub l2: f64,
+}
+
+impl Default for Raykar {
+    fn default() -> Self {
+        Raykar {
+            max_iters: 50,
+            tol: 1e-5,
+            lr_steps: 100,
+            learning_rate: 0.5,
+            l2: 1e-3,
+        }
+    }
+}
+
+/// A fitted Raykar model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaykarFit {
+    /// Posterior `P(z_i = 1)` per item.
+    pub posterior_positive: Vec<f64>,
+    /// Classifier weights (one per feature).
+    pub weights: Vec<f64>,
+    /// Classifier bias.
+    pub bias: f64,
+    /// Per-worker sensitivity `P(vote 1 | z = 1)`.
+    pub sensitivities: Vec<f64>,
+    /// Per-worker specificity `P(vote 0 | z = 0)`.
+    pub specificities: Vec<f64>,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// Whether the posterior change fell below tolerance.
+    pub converged: bool,
+}
+
+impl RaykarFit {
+    /// Classifier probability `P(z = 1 | x)` for a feature row.
+    pub fn predict_proba(&self, features: &[f64]) -> Result<f64> {
+        if features.len() != self.weights.len() {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!(
+                    "feature dim {} does not match model dim {}",
+                    features.len(),
+                    self.weights.len()
+                ),
+            });
+        }
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.bias;
+        Ok(sigmoid(z))
+    }
+}
+
+impl Raykar {
+    /// Creates a config with explicit EM limits, keeping the other defaults.
+    pub fn new(max_iters: usize, tol: f64) -> Result<Self> {
+        if max_iters == 0 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "max_iters must be positive".into(),
+            });
+        }
+        if tol < 0.0 || !tol.is_finite() {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!("tol must be non-negative and finite, got {tol}"),
+            });
+        }
+        Ok(Raykar {
+            max_iters,
+            tol,
+            ..Raykar::default()
+        })
+    }
+
+    /// Runs EM over features + annotations.
+    pub fn fit(&self, features: &Matrix, annotations: &AnnotationMatrix) -> Result<RaykarFit> {
+        if annotations.num_classes() != 2 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "Raykar supports binary labels only".into(),
+            });
+        }
+        let n = annotations.num_items();
+        let w = annotations.num_workers();
+        if features.rows() != n {
+            return Err(CrowdError::InvalidConfig {
+                reason: format!(
+                    "{} feature rows for {} annotated items",
+                    features.rows(),
+                    n
+                ),
+            });
+        }
+        if n == 0 || w == 0 {
+            return Err(CrowdError::InvalidAnnotations {
+                reason: "Raykar requires at least one item and one worker".into(),
+            });
+        }
+        let dim = features.cols();
+
+        // Initialize posteriors with vote fractions.
+        let mut post: Vec<f64> = (0..n)
+            .map(|i| {
+                let counts = annotations.vote_counts(i)?;
+                let total: usize = counts.iter().sum();
+                if total == 0 {
+                    return Err(CrowdError::InvalidAnnotations {
+                        reason: format!("item {i} has no annotations"),
+                    });
+                }
+                Ok(counts[1] as f64 / total as f64)
+            })
+            .collect::<Result<_>>()?;
+
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut sens = vec![0.8; w];
+        let mut spec = vec![0.8; w];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+
+            // ---------------- M-step ----------------
+            // Worker parameters (smoothed so degenerate workers stay finite).
+            for j in 0..w {
+                let (mut s_num, mut s_den) = (1.0, 2.0);
+                let (mut c_num, mut c_den) = (1.0, 2.0);
+                for (i, l) in annotations.worker_labels(j)? {
+                    s_den += post[i];
+                    c_den += 1.0 - post[i];
+                    if l == 1 {
+                        s_num += post[i];
+                    } else {
+                        c_num += 1.0 - post[i];
+                    }
+                }
+                sens[j] = s_num / s_den;
+                spec[j] = c_num / c_den;
+            }
+
+            // Logistic regression on soft targets `post` by gradient descent.
+            for _ in 0..self.lr_steps {
+                let mut gw = vec![0.0; dim];
+                let mut gb = 0.0;
+                for i in 0..n {
+                    let row = features.row(i)?;
+                    let z: f64 =
+                        weights.iter().zip(row).map(|(wk, x)| wk * x).sum::<f64>() + bias;
+                    let err = sigmoid(z) - post[i];
+                    for (g, &x) in gw.iter_mut().zip(row) {
+                        *g += err * x;
+                    }
+                    gb += err;
+                }
+                let scale = self.learning_rate / n as f64;
+                for (wk, g) in weights.iter_mut().zip(&gw) {
+                    *wk -= scale * (g + self.l2 * *wk * n as f64);
+                }
+                bias -= scale * gb;
+            }
+
+            // ---------------- E-step ----------------
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let row = features.row(i)?;
+                let z: f64 = weights.iter().zip(row).map(|(wk, x)| wk * x).sum::<f64>() + bias;
+                let mut log_pos = rll_tensor::ops::log_sigmoid(z);
+                let mut log_neg = rll_tensor::ops::log_sigmoid(-z);
+                for (j, l) in annotations.item_labels(i)? {
+                    if l == 1 {
+                        log_pos += sens[j].max(1e-12).ln();
+                        log_neg += (1.0 - spec[j]).max(1e-12).ln();
+                    } else {
+                        log_pos += (1.0 - sens[j]).max(1e-12).ln();
+                        log_neg += spec[j].max(1e-12).ln();
+                    }
+                }
+                let lse = rll_tensor::ops::log_sum_exp(&[log_pos, log_neg])?;
+                if !lse.is_finite() {
+                    return Err(CrowdError::NumericalFailure {
+                        algorithm: "raykar",
+                        reason: format!("non-finite likelihood at item {i}"),
+                    });
+                }
+                let new_post = (log_pos - lse).exp();
+                max_delta = max_delta.max((new_post - post[i]).abs());
+                post[i] = new_post;
+            }
+
+            if max_delta < self.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(RaykarFit {
+            posterior_positive: post,
+            weights,
+            bias,
+            sensitivities: sens,
+            specificities: spec,
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    /// Linearly separable features + noisy crowd votes.
+    fn dataset(n: usize, seed: u64) -> (Matrix, AnnotationMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = u8::from(rng.bernoulli(0.5));
+            let center = if label == 1 { 1.0 } else { -1.0 };
+            rows.push(vec![
+                rng.normal(center, 0.7).unwrap(),
+                rng.normal(-center, 0.7).unwrap(),
+            ]);
+            truth.push(label);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let pool = WorkerPool::new(vec![
+            WorkerModel::TwoCoin { sensitivity: 0.85, specificity: 0.8 },
+            WorkerModel::TwoCoin { sensitivity: 0.75, specificity: 0.9 },
+            WorkerModel::OneCoin { accuracy: 0.7 },
+        ]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        (features, ann, truth)
+    }
+
+    #[test]
+    fn recovers_labels_and_learns_classifier() {
+        let (x, ann, truth) = dataset(300, 21);
+        let fit = Raykar::default().fit(&x, &ann).unwrap();
+        let inferred: Vec<u8> = fit
+            .posterior_positive
+            .iter()
+            .map(|&p| u8::from(p > 0.5))
+            .collect();
+        let acc = inferred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
+            / truth.len() as f64;
+        assert!(acc > 0.9, "posterior accuracy {acc}");
+
+        // The classifier generalizes to fresh points.
+        let p_pos = fit.predict_proba(&[2.0, -2.0]).unwrap();
+        let p_neg = fit.predict_proba(&[-2.0, 2.0]).unwrap();
+        assert!(p_pos > 0.8, "positive side {p_pos}");
+        assert!(p_neg < 0.2, "negative side {p_neg}");
+    }
+
+    #[test]
+    fn estimates_worker_operating_points() {
+        let (x, ann, _) = dataset(600, 22);
+        let fit = Raykar::default().fit(&x, &ann).unwrap();
+        // Worker 0 was simulated at sens 0.85 / spec 0.8.
+        assert!((fit.sensitivities[0] - 0.85).abs() < 0.1);
+        assert!((fit.specificities[0] - 0.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn predict_proba_validates_dim() {
+        let (x, ann, _) = dataset(50, 23);
+        let fit = Raykar::default().fit(&x, &ann).unwrap();
+        assert!(fit.predict_proba(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(Raykar::new(0, 1e-5).is_err());
+        assert!(Raykar::new(5, -0.1).is_err());
+        let (x, ann, _) = dataset(10, 24);
+        let wrong_rows = Matrix::zeros(5, 2);
+        assert!(Raykar::default().fit(&wrong_rows, &ann).is_err());
+        let multi = AnnotationMatrix::new(10, 2, 3).unwrap();
+        assert!(Raykar::default().fit(&x, &multi).is_err());
+    }
+
+    #[test]
+    fn features_rescue_items_with_bad_votes() {
+        // Items whose votes are all wrong but whose features sit deep in the
+        // correct class should be pulled toward the feature side.
+        let mut rng = Rng64::seed_from_u64(25);
+        let n = 200;
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for _ in 0..n {
+            let label = u8::from(rng.bernoulli(0.5));
+            let center = if label == 1 { 2.0 } else { -2.0 };
+            rows.push(vec![rng.normal(center, 0.4).unwrap()]);
+            truth.push(label);
+        }
+        let features = Matrix::from_rows(&rows).unwrap();
+        let pool = WorkerPool::new(vec![WorkerModel::OneCoin { accuracy: 0.75 }; 3]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let fit = Raykar::default().fit(&features, &ann).unwrap();
+        let acc = fit
+            .posterior_positive
+            .iter()
+            .zip(&truth)
+            .filter(|(&p, &t)| u8::from(p > 0.5) == t)
+            .count() as f64
+            / n as f64;
+        // Majority vote of three 0.75 workers is right ~84% of the time; the
+        // feature-aware posterior should do better.
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+}

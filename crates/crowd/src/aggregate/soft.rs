@@ -1,0 +1,115 @@
+//! Soft probabilistic labels (the paper's SoftProb baseline).
+//!
+//! Rather than inferring one hard label per item, every `(instance, label)`
+//! pair contributed by a crowd worker is kept — equivalently, each item gets a
+//! *soft* label equal to its per-class vote fraction, "a soft probabilistic
+//! estimate of the actual ground truth" (Raykar et al., cited by the paper as
+//! the SoftProb baseline). Downstream classifiers consume either the soft
+//! targets directly or the expanded pair list with per-pair weights.
+
+use crate::aggregate::Aggregator;
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+
+/// The SoftProb aggregator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftLabels;
+
+impl SoftLabels {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        SoftLabels
+    }
+
+    /// Expands the table into `(item, label)` training pairs — one per
+    /// annotation — exactly the "every pair provided by each crowd worker as a
+    /// separate example" construction from the paper.
+    pub fn expand_pairs(&self, annotations: &AnnotationMatrix) -> Result<Vec<(usize, u8)>> {
+        let mut pairs = Vec::with_capacity(annotations.total_annotations());
+        for i in 0..annotations.num_items() {
+            for (_, label) in annotations.item_labels(i)? {
+                pairs.push((i, label));
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Per-item soft positive targets for a binary table (`P(y=1)` = positive
+    /// vote fraction).
+    pub fn soft_binary_targets(&self, annotations: &AnnotationMatrix) -> Result<Vec<f64>> {
+        if annotations.num_classes() != 2 {
+            return Err(CrowdError::InvalidConfig {
+                reason: "soft_binary_targets requires a binary table".into(),
+            });
+        }
+        self.posteriors(annotations)
+            .map(|rows| rows.into_iter().map(|r| r[1]).collect())
+    }
+}
+
+impl Aggregator for SoftLabels {
+    fn posteriors(&self, annotations: &AnnotationMatrix) -> Result<Vec<Vec<f64>>> {
+        let mut out = Vec::with_capacity(annotations.num_items());
+        for i in 0..annotations.num_items() {
+            let counts = annotations.vote_counts(i)?;
+            let total: usize = counts.iter().sum();
+            if total == 0 {
+                return Err(CrowdError::InvalidAnnotations {
+                    reason: format!("item {i} has no annotations"),
+                });
+            }
+            out.push(counts.iter().map(|&c| c as f64 / total as f64).collect());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soft_targets_are_vote_fractions() {
+        let ann = AnnotationMatrix::from_dense_binary(&[
+            vec![1, 1, 1, 0, 0],
+            vec![1, 1, 1, 1, 1],
+            vec![0, 0, 0, 0, 0],
+        ])
+        .unwrap();
+        let s = SoftLabels::new();
+        let targets = s.soft_binary_targets(&ann).unwrap();
+        assert!((targets[0] - 0.6).abs() < 1e-12);
+        assert_eq!(targets[1], 1.0);
+        assert_eq!(targets[2], 0.0);
+    }
+
+    #[test]
+    fn expand_pairs_one_per_annotation() {
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 0], vec![1, 1]]).unwrap();
+        let pairs = SoftLabels::new().expand_pairs(&ann).unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs, vec![(0, 1), (0, 0), (1, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn expand_pairs_skips_missing_votes() {
+        let mut ann = AnnotationMatrix::new(2, 3, 2).unwrap();
+        ann.set(0, 0, 1).unwrap();
+        ann.set(1, 2, 0).unwrap();
+        let pairs = SoftLabels::new().expand_pairs(&ann).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn requires_binary_for_soft_targets() {
+        let ann = AnnotationMatrix::new(1, 2, 3).unwrap();
+        assert!(SoftLabels::new().soft_binary_targets(&ann).is_err());
+    }
+
+    #[test]
+    fn hard_labels_are_majority() {
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 1, 0], vec![0, 0, 1]]).unwrap();
+        assert_eq!(SoftLabels::new().hard_labels(&ann).unwrap(), vec![1, 0]);
+    }
+}

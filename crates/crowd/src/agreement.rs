@@ -1,0 +1,307 @@
+//! Inter-annotator agreement statistics.
+//!
+//! The paper motivates RLL with the observation that educational labels are
+//! "very inconsistent". These estimators quantify that inconsistency on an
+//! [`AnnotationMatrix`]: raw observed agreement, pairwise Cohen's κ, and
+//! Fleiss' κ for the whole worker pool. The `class` preset, for instance,
+//! shows markedly lower κ than `oral`, matching the paper's description of
+//! the two tasks.
+
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+
+/// Fraction of item-pairs on which two workers gave the same label, over the
+/// items both annotated. Returns an error if they share no items.
+pub fn observed_agreement(
+    annotations: &AnnotationMatrix,
+    worker_a: usize,
+    worker_b: usize,
+) -> Result<f64> {
+    let mut shared = 0usize;
+    let mut agree = 0usize;
+    for i in 0..annotations.num_items() {
+        if let (Some(a), Some(b)) = (
+            annotations.get(i, worker_a)?,
+            annotations.get(i, worker_b)?,
+        ) {
+            shared += 1;
+            if a == b {
+                agree += 1;
+            }
+        }
+    }
+    if shared == 0 {
+        return Err(CrowdError::InvalidAnnotations {
+            reason: format!("workers {worker_a} and {worker_b} share no items"),
+        });
+    }
+    Ok(agree as f64 / shared as f64)
+}
+
+/// Cohen's κ between two workers: agreement corrected for chance, using each
+/// worker's own marginal label distribution.
+///
+/// κ = 1 is perfect agreement, 0 is chance level, negative is systematic
+/// disagreement. Returns an error when the workers share no items; when
+/// chance agreement is 1 (both workers constant and equal) the convention
+/// κ = 1 on full agreement is used.
+pub fn cohens_kappa(
+    annotations: &AnnotationMatrix,
+    worker_a: usize,
+    worker_b: usize,
+) -> Result<f64> {
+    let c = annotations.num_classes() as usize;
+    let mut joint = vec![vec![0usize; c]; c];
+    let mut shared = 0usize;
+    for i in 0..annotations.num_items() {
+        if let (Some(a), Some(b)) = (
+            annotations.get(i, worker_a)?,
+            annotations.get(i, worker_b)?,
+        ) {
+            joint[a as usize][b as usize] += 1;
+            shared += 1;
+        }
+    }
+    if shared == 0 {
+        return Err(CrowdError::InvalidAnnotations {
+            reason: format!("workers {worker_a} and {worker_b} share no items"),
+        });
+    }
+    let n = shared as f64;
+    let po: f64 = (0..c).map(|k| joint[k][k] as f64).sum::<f64>() / n;
+    let mut pe = 0.0;
+    for k in 0..c {
+        let row: usize = joint[k].iter().sum();
+        let col: usize = joint.iter().map(|r| r[k]).sum();
+        pe += (row as f64 / n) * (col as f64 / n);
+    }
+    if (1.0 - pe).abs() < 1e-12 {
+        // Degenerate marginals: both constant. Perfect observed agreement is
+        // κ = 1 by convention, anything else is undefined → 0.
+        return Ok(if (po - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+    }
+    Ok((po - pe) / (1.0 - pe))
+}
+
+/// Mean pairwise Cohen's κ over all worker pairs that share at least one
+/// item.
+pub fn mean_pairwise_kappa(annotations: &AnnotationMatrix) -> Result<f64> {
+    let w = annotations.num_workers();
+    if w < 2 {
+        return Err(CrowdError::InvalidConfig {
+            reason: "pairwise kappa needs at least 2 workers".into(),
+        });
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..w {
+        for b in (a + 1)..w {
+            if let Ok(k) = cohens_kappa(annotations, a, b) {
+                total += k;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        return Err(CrowdError::InvalidAnnotations {
+            reason: "no worker pair shares any item".into(),
+        });
+    }
+    Ok(total / pairs as f64)
+}
+
+/// Fleiss' κ: chance-corrected agreement for many raters.
+///
+/// Only items with at least two annotations contribute (agreement is
+/// undefined on singly-annotated items). Returns an error when no item
+/// qualifies.
+pub fn fleiss_kappa(annotations: &AnnotationMatrix) -> Result<f64> {
+    let c = annotations.num_classes() as usize;
+    let mut p_bar_sum = 0.0;
+    let mut class_totals = vec![0usize; c];
+    let mut total_votes = 0usize;
+    let mut items = 0usize;
+    for i in 0..annotations.num_items() {
+        let counts = annotations.vote_counts(i)?;
+        let n: usize = counts.iter().sum();
+        if n < 2 {
+            continue;
+        }
+        items += 1;
+        total_votes += n;
+        for (k, &ct) in counts.iter().enumerate() {
+            class_totals[k] += ct;
+        }
+        let agree_pairs: usize = counts.iter().map(|&ct| ct * ct.saturating_sub(1)).sum();
+        p_bar_sum += agree_pairs as f64 / (n * (n - 1)) as f64;
+    }
+    if items == 0 {
+        return Err(CrowdError::InvalidAnnotations {
+            reason: "Fleiss kappa needs items with at least 2 annotations".into(),
+        });
+    }
+    let p_bar = p_bar_sum / items as f64;
+    let pe: f64 = class_totals
+        .iter()
+        .map(|&ct| {
+            let p = ct as f64 / total_votes as f64;
+            p * p
+        })
+        .sum();
+    if (1.0 - pe).abs() < 1e-12 {
+        return Ok(if (p_bar - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+    }
+    Ok((p_bar - pe) / (1.0 - pe))
+}
+
+/// Summary of a table's annotation quality, for reports and examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementReport {
+    /// Fleiss' κ over the table.
+    pub fleiss_kappa: f64,
+    /// Mean pairwise Cohen's κ.
+    pub mean_cohens_kappa: f64,
+    /// Fraction of items whose votes are not unanimous.
+    pub split_vote_fraction: f64,
+}
+
+/// Computes the full agreement summary.
+pub fn agreement_report(annotations: &AnnotationMatrix) -> Result<AgreementReport> {
+    let mut split = 0usize;
+    let mut counted = 0usize;
+    for i in 0..annotations.num_items() {
+        let counts = annotations.vote_counts(i)?;
+        let n: usize = counts.iter().sum();
+        if n == 0 {
+            continue;
+        }
+        counted += 1;
+        if counts.iter().all(|&ct| ct < n) {
+            split += 1;
+        }
+    }
+    if counted == 0 {
+        return Err(CrowdError::InvalidAnnotations {
+            reason: "no annotated items".into(),
+        });
+    }
+    Ok(AgreementReport {
+        fleiss_kappa: fleiss_kappa(annotations)?,
+        mean_cohens_kappa: mean_pairwise_kappa(annotations)?,
+        split_vote_fraction: split as f64 / counted as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn perfect_table() -> AnnotationMatrix {
+        AnnotationMatrix::from_dense_binary(&[vec![1, 1, 1], vec![0, 0, 0], vec![1, 1, 1]])
+            .unwrap()
+    }
+
+    #[test]
+    fn perfect_agreement_is_kappa_one() {
+        let ann = perfect_table();
+        assert!((observed_agreement(&ann, 0, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((cohens_kappa(&ann, 0, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((fleiss_kappa(&ann).unwrap() - 1.0).abs() < 1e-12);
+        assert!((mean_pairwise_kappa(&ann).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn systematic_disagreement_is_negative_kappa() {
+        // Worker 1 always inverts worker 0.
+        let ann = AnnotationMatrix::from_dense_binary(&[
+            vec![1, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![0, 1],
+        ])
+        .unwrap();
+        assert_eq!(observed_agreement(&ann, 0, 1).unwrap(), 0.0);
+        assert!(cohens_kappa(&ann, 0, 1).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn random_voting_has_near_zero_kappa() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let truth: Vec<u8> = (0..600).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let pool = WorkerPool::new(vec![WorkerModel::Spammer { positive_rate: 0.5 }; 4]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let k = fleiss_kappa(&ann).unwrap();
+        assert!(k.abs() < 0.06, "kappa {k}");
+        let ck = mean_pairwise_kappa(&ann).unwrap();
+        assert!(ck.abs() < 0.06, "cohen {ck}");
+    }
+
+    #[test]
+    fn reliable_workers_have_high_kappa() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let truth: Vec<u8> = (0..400).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+        let pool = WorkerPool::new(vec![WorkerModel::OneCoin { accuracy: 0.95 }; 4]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        assert!(fleiss_kappa(&ann).unwrap() > 0.7);
+    }
+
+    #[test]
+    fn kappa_orders_task_difficulty() {
+        // Noisier workers → lower agreement, the paper's oral-vs-class story.
+        let mut rng = Rng64::seed_from_u64(7);
+        let truth: Vec<u8> = (0..400).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+        let easy = WorkerPool::new(vec![WorkerModel::OneCoin { accuracy: 0.9 }; 5])
+            .annotate(&truth, &mut rng)
+            .unwrap();
+        let hard = WorkerPool::new(vec![WorkerModel::OneCoin { accuracy: 0.65 }; 5])
+            .annotate(&truth, &mut rng)
+            .unwrap();
+        assert!(fleiss_kappa(&easy).unwrap() > fleiss_kappa(&hard).unwrap() + 0.2);
+    }
+
+    #[test]
+    fn handles_missing_votes() {
+        let mut ann = AnnotationMatrix::new(3, 3, 2).unwrap();
+        // Workers 0 and 1 share only item 0.
+        ann.set(0, 0, 1).unwrap();
+        ann.set(0, 1, 1).unwrap();
+        ann.set(1, 0, 0).unwrap();
+        ann.set(2, 1, 1).unwrap();
+        assert_eq!(observed_agreement(&ann, 0, 1).unwrap(), 1.0);
+        // Workers 0 and 2 share nothing.
+        assert!(observed_agreement(&ann, 0, 2).is_err());
+        assert!(cohens_kappa(&ann, 0, 2).is_err());
+    }
+
+    #[test]
+    fn fleiss_requires_multi_annotated_items() {
+        let mut ann = AnnotationMatrix::new(2, 2, 2).unwrap();
+        ann.set(0, 0, 1).unwrap();
+        ann.set(1, 1, 0).unwrap();
+        assert!(fleiss_kappa(&ann).is_err());
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let ann = AnnotationMatrix::from_dense_binary(&[
+            vec![1, 1, 1],
+            vec![1, 0, 1],
+            vec![0, 0, 0],
+            vec![0, 1, 0],
+        ])
+        .unwrap();
+        let report = agreement_report(&ann).unwrap();
+        assert!((report.split_vote_fraction - 0.5).abs() < 1e-12);
+        assert!(report.fleiss_kappa > 0.0 && report.fleiss_kappa < 1.0);
+        assert!(report.mean_cohens_kappa > 0.0);
+    }
+
+    #[test]
+    fn mean_kappa_validates() {
+        let single = AnnotationMatrix::from_dense_binary(&[vec![1], vec![0]]).unwrap();
+        assert!(mean_pairwise_kappa(&single).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Typed errors for the crowdsourcing substrate.
+
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by annotation handling, aggregation, and simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The annotation matrix was malformed (e.g. a label outside the class
+    /// range, or an item with no annotations where one is required).
+    InvalidAnnotations {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A model or estimator configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An iterative algorithm failed to make progress (e.g. EM produced a
+    /// non-finite likelihood).
+    NumericalFailure {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrowdError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CrowdError::InvalidAnnotations { reason } => {
+                write!(f, "invalid annotations: {reason}")
+            }
+            CrowdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CrowdError::NumericalFailure { algorithm, reason } => {
+                write!(f, "numerical failure in {algorithm}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrowdError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CrowdError {
+    fn from(e: TensorError) -> Self {
+        CrowdError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CrowdError::InvalidAnnotations {
+            reason: "label 3 with 2 classes".into(),
+        };
+        assert!(e.to_string().contains("label 3"));
+        let e = CrowdError::NumericalFailure {
+            algorithm: "dawid-skene",
+            reason: "NaN likelihood".into(),
+        };
+        assert!(e.to_string().contains("dawid-skene"));
+        let t: CrowdError = TensorError::Empty { op: "mean" }.into();
+        assert!(t.source().is_some());
+    }
+}

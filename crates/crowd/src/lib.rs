@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # `rll-crowd` — crowdsourced-label substrate
+//!
+//! Everything the RLL reproduction needs to model labels that come from the
+//! crowd rather than from an oracle:
+//!
+//! - [`AnnotationMatrix`] — the items × workers label table (workers may skip
+//!   items);
+//! - [`aggregate`] — true-label inference baselines from the paper's Group 1:
+//!   majority vote, soft probabilistic labels (SoftProb), the Dawid–Skene EM
+//!   estimator, GLAD (worker expertise × item difficulty), and Raykar's joint
+//!   "learning from crowds" logistic-regression EM;
+//! - [`confidence`] — the paper's two label-confidence estimators: the MLE
+//!   vote fraction (eq. 1) and the Beta-posterior mean (eq. 2), plus the
+//!   class-prior → `(α, β)` mapping the paper uses to set the prior;
+//! - [`simulate`] — crowd-worker models (one-coin, two-coin, spammer,
+//!   adversary, hammer) used to synthesize annotations for the `oral` and
+//!   `class` dataset simulators, since the original proprietary datasets are
+//!   unavailable.
+
+pub mod aggregate;
+pub mod agreement;
+pub mod annotations;
+pub mod confidence;
+pub mod error;
+pub mod quality;
+pub mod simulate;
+
+pub use annotations::AnnotationMatrix;
+pub use confidence::{BetaPrior, ConfidenceEstimator};
+pub use error::CrowdError;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CrowdError>;

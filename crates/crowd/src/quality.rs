@@ -1,0 +1,193 @@
+//! Worker-quality estimation and spammer detection.
+//!
+//! Production crowdsourcing pipelines need to know *which* workers to trust,
+//! pay, or drop. These utilities rank workers from a fitted Dawid–Skene model
+//! and flag probable spammers — workers whose votes carry (almost) no
+//! information about the true label.
+
+use crate::aggregate::DawidSkeneFit;
+use crate::annotations::AnnotationMatrix;
+use crate::error::CrowdError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Quality summary for one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerQuality {
+    /// Worker index (column in the annotation table).
+    pub worker: usize,
+    /// Expected accuracy: `Σ_k P(z = k) π_w[k][k]` under the fitted class
+    /// prior.
+    pub expected_accuracy: f64,
+    /// Informativeness: how far the worker's response distribution moves with
+    /// the true class, measured as the total-variation distance between the
+    /// confusion matrix's rows (binary) or the mean pairwise row TV
+    /// (multi-class). 0 = spammer (response independent of truth), 1 =
+    /// deterministic signal.
+    pub informativeness: f64,
+    /// Number of annotations the worker contributed.
+    pub annotation_count: usize,
+}
+
+/// Derives per-worker quality from a Dawid–Skene fit.
+pub fn worker_qualities(
+    fit: &DawidSkeneFit,
+    annotations: &AnnotationMatrix,
+) -> Result<Vec<WorkerQuality>> {
+    if fit.confusions.len() != annotations.num_workers() {
+        return Err(CrowdError::InvalidConfig {
+            reason: format!(
+                "fit covers {} workers, table has {}",
+                fit.confusions.len(),
+                annotations.num_workers()
+            ),
+        });
+    }
+    let c = fit.class_prior.len();
+    let mut out = Vec::with_capacity(fit.confusions.len());
+    for (w, confusion) in fit.confusions.iter().enumerate() {
+        let expected_accuracy = (0..c)
+            .map(|k| fit.class_prior[k] * confusion[k][k])
+            .sum::<f64>();
+        // Mean pairwise total-variation distance between class-conditional
+        // response rows.
+        let mut tv_sum = 0.0;
+        let mut pairs = 0usize;
+        for a in 0..c {
+            for b in (a + 1)..c {
+                let tv: f64 = confusion[a]
+                    .iter()
+                    .zip(&confusion[b])
+                    .map(|(x, y)| (x - y).abs())
+                    .sum::<f64>()
+                    / 2.0;
+                tv_sum += tv;
+                pairs += 1;
+            }
+        }
+        let informativeness = if pairs > 0 { tv_sum / pairs as f64 } else { 0.0 };
+        out.push(WorkerQuality {
+            worker: w,
+            expected_accuracy,
+            informativeness,
+            annotation_count: annotations.worker_labels(w)?.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Indices of workers whose informativeness falls below `threshold`
+/// (probable spammers). A common operating point is 0.2.
+pub fn detect_spammers(qualities: &[WorkerQuality], threshold: f64) -> Vec<usize> {
+    qualities
+        .iter()
+        .filter(|q| q.informativeness < threshold)
+        .map(|q| q.worker)
+        .collect()
+}
+
+/// Workers ranked best-first by informativeness (ties by expected accuracy).
+pub fn rank_workers(qualities: &[WorkerQuality]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..qualities.len()).collect();
+    order.sort_by(|&a, &b| {
+        let qa = &qualities[a];
+        let qb = &qualities[b];
+        qb.informativeness
+            .partial_cmp(&qa.informativeness)
+            .expect("informativeness is finite")
+            .then(
+                qb.expected_accuracy
+                    .partial_cmp(&qa.expected_accuracy)
+                    .expect("accuracy is finite"),
+            )
+    });
+    order.into_iter().map(|i| qualities[i].worker).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::DawidSkene;
+    use crate::simulate::{WorkerModel, WorkerPool};
+    use rll_tensor::Rng64;
+
+    fn fit_pool(models: Vec<WorkerModel>, n: usize, seed: u64) -> (DawidSkeneFit, AnnotationMatrix) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+        let pool = WorkerPool::new(models);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        (fit, ann)
+    }
+
+    #[test]
+    fn spammer_scores_near_zero_informativeness() {
+        let (fit, ann) = fit_pool(
+            vec![
+                WorkerModel::OneCoin { accuracy: 0.9 },
+                WorkerModel::OneCoin { accuracy: 0.9 },
+                WorkerModel::Spammer { positive_rate: 0.6 },
+            ],
+            500,
+            1,
+        );
+        let q = worker_qualities(&fit, &ann).unwrap();
+        assert!(q[0].informativeness > 0.6, "good worker {:?}", q[0]);
+        assert!(q[2].informativeness < 0.15, "spammer {:?}", q[2]);
+        let spammers = detect_spammers(&q, 0.2);
+        assert_eq!(spammers, vec![2]);
+    }
+
+    #[test]
+    fn adversary_is_informative_but_inaccurate() {
+        // A systematically-wrong worker carries signal (flip their votes!);
+        // informativeness is high while expected accuracy is low.
+        let (fit, ann) = fit_pool(
+            vec![
+                WorkerModel::OneCoin { accuracy: 0.9 },
+                WorkerModel::OneCoin { accuracy: 0.9 },
+                WorkerModel::OneCoin { accuracy: 0.1 },
+            ],
+            500,
+            2,
+        );
+        let q = worker_qualities(&fit, &ann).unwrap();
+        assert!(q[2].informativeness > 0.6, "adversary {:?}", q[2]);
+        assert!(q[2].expected_accuracy < 0.3);
+        assert!(detect_spammers(&q, 0.2).is_empty());
+    }
+
+    #[test]
+    fn ranking_puts_best_workers_first() {
+        let (fit, ann) = fit_pool(
+            vec![
+                WorkerModel::Spammer { positive_rate: 0.5 },
+                WorkerModel::OneCoin { accuracy: 0.95 },
+                WorkerModel::OneCoin { accuracy: 0.95 },
+                WorkerModel::OneCoin { accuracy: 0.6 },
+            ],
+            800,
+            3,
+        );
+        let q = worker_qualities(&fit, &ann).unwrap();
+        let ranked = rank_workers(&q);
+        // The spammer is last; the two excellent workers occupy the top two.
+        assert_eq!(*ranked.last().unwrap(), 0);
+        assert!(ranked[..2].contains(&1) && ranked[..2].contains(&2), "{ranked:?}");
+        // Ranking is ordered by informativeness.
+        let info_of = |w: usize| q.iter().find(|x| x.worker == w).unwrap().informativeness;
+        for pair in ranked.windows(2) {
+            assert!(info_of(pair[0]) >= info_of(pair[1]) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn counts_and_validation() {
+        let (fit, ann) = fit_pool(vec![WorkerModel::Hammer; 2], 50, 4);
+        let q = worker_qualities(&fit, &ann).unwrap();
+        assert!(q.iter().all(|w| w.annotation_count == 50));
+        // Mismatched table rejected.
+        let other = AnnotationMatrix::from_dense_binary(&[vec![1, 0, 1]]).unwrap();
+        assert!(worker_qualities(&fit, &other).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the crowdsourcing substrate.
+
+use proptest::prelude::*;
+use rll_crowd::aggregate::{Aggregator, DawidSkene, MajorityVote, SoftLabels};
+use rll_crowd::simulate::{WorkerModel, WorkerPool};
+use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
+use rll_tensor::Rng64;
+
+/// Strategy: a dense binary annotation table with 1-30 items and 1-7 workers.
+fn dense_table() -> impl Strategy<Value = AnnotationMatrix> {
+    (1usize..30, 1usize..7).prop_flat_map(|(items, workers)| {
+        prop::collection::vec(prop::collection::vec(0u8..2, workers), items)
+            .prop_map(|votes| AnnotationMatrix::from_dense_binary(&votes).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn majority_posteriors_are_distributions(ann in dense_table()) {
+        let mv = MajorityVote::positive_ties();
+        for row in mv.posteriors(&ann).unwrap() {
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn majority_agrees_with_soft_argmax_when_no_tie(ann in dense_table()) {
+        let mv = MajorityVote::positive_ties().hard_labels(&ann).unwrap();
+        let soft = SoftLabels::new().soft_binary_targets(&ann).unwrap();
+        for (i, (&label, &p)) in mv.iter().zip(&soft).enumerate() {
+            if (p - 0.5).abs() > 1e-9 {
+                prop_assert_eq!(label, u8::from(p > 0.5), "item {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_items_are_certain(workers in 1usize..8, label in 0u8..2) {
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![label; workers]]).unwrap();
+        let labels = MajorityVote::positive_ties().hard_labels(&ann).unwrap();
+        prop_assert_eq!(labels[0], label);
+        let conf = ConfidenceEstimator::Mle.positiveness_all(&ann).unwrap();
+        prop_assert_eq!(conf[0], f64::from(label));
+    }
+
+    #[test]
+    fn bayesian_confidence_strictly_inside_unit_interval(
+        pos in 0usize..10,
+        extra in 0usize..10,
+        alpha in 0.1f64..10.0,
+        beta in 0.1f64..10.0,
+    ) {
+        let total = pos + extra;
+        let prior = BetaPrior::new(alpha, beta).unwrap();
+        let c = ConfidenceEstimator::Bayesian(prior).positiveness(pos, total).unwrap();
+        prop_assert!(c > 0.0 && c < 1.0);
+    }
+
+    #[test]
+    fn bayesian_between_prior_and_mle(pos in 0usize..10, extra in 1usize..10) {
+        let total = pos + extra;
+        let prior = BetaPrior::new(2.0, 2.0).unwrap();
+        let bay = ConfidenceEstimator::Bayesian(prior).positiveness(pos, total).unwrap();
+        let mle = ConfidenceEstimator::Mle.positiveness(pos, total).unwrap();
+        let prior_mean = prior.mean();
+        let lo = mle.min(prior_mean) - 1e-12;
+        let hi = mle.max(prior_mean) + 1e-12;
+        prop_assert!(bay >= lo && bay <= hi, "bay {bay} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bayesian_monotone_in_votes(total in 1usize..10, alpha in 0.5f64..5.0, beta in 0.5f64..5.0) {
+        let prior = BetaPrior::new(alpha, beta).unwrap();
+        let est = ConfidenceEstimator::Bayesian(prior);
+        let mut prev = -1.0;
+        for pos in 0..=total {
+            let c = est.positiveness(pos, total).unwrap();
+            prop_assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn dawid_skene_ll_non_decreasing(seed in 0u64..50) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..40).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+        let pool = WorkerPool::graded(4, 0.55, 0.95).unwrap();
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        for w in fit.log_likelihoods.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn dawid_skene_confusions_are_stochastic(seed in 0u64..30) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..30).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let pool = WorkerPool::graded(3, 0.6, 0.9).unwrap();
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let fit = DawidSkene::default().fit(&ann).unwrap();
+        for worker in &fit.confusions {
+            for row in worker {
+                prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_workers_preserves_prefix_votes(ann in dense_table(), keep_frac in 0.1f64..1.0) {
+        let keep = ((ann.num_workers() as f64 * keep_frac).ceil() as usize)
+            .clamp(1, ann.num_workers());
+        let restricted = ann.restrict_workers(keep).unwrap();
+        for i in 0..ann.num_items() {
+            for w in 0..keep {
+                prop_assert_eq!(ann.get(i, w).unwrap(), restricted.get(i, w).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_annotations_match_worker_count(
+        seed in 0u64..100,
+        d in 1usize..9,
+        n in 1usize..40,
+    ) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let pool = WorkerPool::graded(d, 0.6, 0.9).unwrap();
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        prop_assert_eq!(ann.total_annotations(), n * d);
+        for i in 0..n {
+            prop_assert_eq!(ann.annotation_count(i).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn hammer_pool_always_unanimous(seed in 0u64..50, n in 1usize..20) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.4))).collect();
+        let pool = WorkerPool::new(vec![WorkerModel::Hammer; 3]);
+        let ann = pool.annotate(&truth, &mut rng).unwrap();
+        let labels = MajorityVote::positive_ties().hard_labels(&ann).unwrap();
+        prop_assert_eq!(labels, truth);
+    }
+}

@@ -1,0 +1,283 @@
+//! The dataset container shared by every experiment.
+
+use crate::error::DataError;
+use crate::Result;
+use rll_crowd::AnnotationMatrix;
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A labeled, crowd-annotated dataset.
+///
+/// `features` rows align with `expert_labels`, `annotations` items, and (when
+/// present) `latent_traits` / `difficulties`. Expert labels play the role of
+/// ground truth for *evaluation only* — training code must consume the crowd
+/// `annotations`, mirroring the paper's protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"oral"`).
+    pub name: String,
+    /// Feature matrix, `n x dim`.
+    pub features: Matrix,
+    /// Expert ground-truth labels (0/1), used only for evaluation.
+    pub expert_labels: Vec<u8>,
+    /// Crowdsourced labels.
+    pub annotations: AnnotationMatrix,
+    /// The latent trait each example was generated from (simulation metadata;
+    /// empty for real data).
+    pub latent_traits: Vec<f64>,
+    /// Per-item annotation difficulty used by the worker simulator (empty for
+    /// real data).
+    pub difficulties: Vec<f64>,
+}
+
+impl Dataset {
+    /// Validates the cross-field invariants and returns the dataset.
+    pub fn new(
+        name: impl Into<String>,
+        features: Matrix,
+        expert_labels: Vec<u8>,
+        annotations: AnnotationMatrix,
+    ) -> Result<Self> {
+        let ds = Dataset {
+            name: name.into(),
+            features,
+            expert_labels,
+            annotations,
+            latent_traits: Vec::new(),
+            difficulties: Vec::new(),
+        };
+        ds.validate()?;
+        Ok(ds)
+    }
+
+    /// Checks all length invariants.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.features.rows();
+        if self.expert_labels.len() != n {
+            return Err(DataError::Inconsistent {
+                reason: format!("{} labels for {} feature rows", self.expert_labels.len(), n),
+            });
+        }
+        if self.annotations.num_items() != n {
+            return Err(DataError::Inconsistent {
+                reason: format!(
+                    "{} annotated items for {} feature rows",
+                    self.annotations.num_items(),
+                    n
+                ),
+            });
+        }
+        if !self.latent_traits.is_empty() && self.latent_traits.len() != n {
+            return Err(DataError::Inconsistent {
+                reason: "latent trait count mismatch".into(),
+            });
+        }
+        if !self.difficulties.is_empty() && self.difficulties.len() != n {
+            return Err(DataError::Inconsistent {
+                reason: "difficulty count mismatch".into(),
+            });
+        }
+        if let Some(&bad) = self.expert_labels.iter().find(|&&l| l > 1) {
+            return Err(DataError::Inconsistent {
+                reason: format!("expert label {bad} is not binary"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of crowd workers per item.
+    pub fn num_workers(&self) -> usize {
+        self.annotations.num_workers()
+    }
+
+    /// Positive/negative expert-label counts.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let pos = self.expert_labels.iter().filter(|&&l| l == 1).count();
+        (pos, self.expert_labels.len() - pos)
+    }
+
+    /// Positive-to-negative ratio of expert labels (the paper reports 1.8 for
+    /// `oral` and 2.1 for `class`). Returns `None` when there are no
+    /// negatives.
+    pub fn class_ratio(&self) -> Option<f64> {
+        let (pos, neg) = self.class_counts();
+        (neg > 0).then(|| pos as f64 / neg as f64)
+    }
+
+    /// Positive-class prior `P(y = 1)` of the expert labels.
+    pub fn positive_prior(&self) -> f64 {
+        if self.expert_labels.is_empty() {
+            return 0.0;
+        }
+        let (pos, _) = self.class_counts();
+        pos as f64 / self.expert_labels.len() as f64
+    }
+
+    /// Builds the sub-dataset at the given indices (order preserved, repeats
+    /// allowed) — the workhorse of cross-validation.
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::Inconsistent {
+                    reason: format!("index {i} out of range ({} examples)", self.len()),
+                });
+            }
+        }
+        Ok(Dataset {
+            name: self.name.clone(),
+            features: self.features.select_rows(indices)?,
+            expert_labels: indices.iter().map(|&i| self.expert_labels[i]).collect(),
+            annotations: self.annotations.select_items(indices)?,
+            latent_traits: if self.latent_traits.is_empty() {
+                Vec::new()
+            } else {
+                indices.iter().map(|&i| self.latent_traits[i]).collect()
+            },
+            difficulties: if self.difficulties.is_empty() {
+                Vec::new()
+            } else {
+                indices.iter().map(|&i| self.difficulties[i]).collect()
+            },
+        })
+    }
+
+    /// Returns a copy restricted to the first `d` crowd workers (the paper's
+    /// Table III sweep).
+    pub fn with_workers(&self, d: usize) -> Result<Dataset> {
+        let mut out = self.clone();
+        out.annotations = self.annotations.restrict_workers(d)?;
+        Ok(out)
+    }
+
+    /// Indices of examples whose expert label is positive.
+    pub fn positive_indices(&self) -> Vec<usize> {
+        self.expert_labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 1)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of examples whose expert label is negative.
+    pub fn negative_indices(&self) -> Vec<usize> {
+        self.expert_labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![0.9, 0.1],
+        ])
+        .unwrap();
+        let ann = AnnotationMatrix::from_dense_binary(&[
+            vec![1, 1, 0],
+            vec![0, 0, 0],
+            vec![1, 0, 1],
+            vec![1, 1, 1],
+        ])
+        .unwrap();
+        Dataset::new("tiny", features, vec![1, 0, 1, 1], ann).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let features = Matrix::zeros(3, 2);
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1], vec![0], vec![1]]).unwrap();
+        assert!(Dataset::new("x", features.clone(), vec![0, 1], ann.clone()).is_err());
+        let short_ann = AnnotationMatrix::from_dense_binary(&[vec![1]]).unwrap();
+        assert!(Dataset::new("x", features.clone(), vec![0, 1, 1], short_ann).is_err());
+        assert!(Dataset::new("x", features, vec![0, 1, 2], ann).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.num_workers(), 3);
+        assert_eq!(ds.class_counts(), (3, 1));
+        assert!((ds.class_ratio().unwrap() - 3.0).abs() < 1e-12);
+        assert!((ds.positive_prior() - 0.75).abs() < 1e-12);
+        assert_eq!(ds.positive_indices(), vec![0, 2, 3]);
+        assert_eq!(ds.negative_indices(), vec![1]);
+    }
+
+    #[test]
+    fn class_ratio_none_without_negatives() {
+        let features = Matrix::zeros(1, 1);
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1]]).unwrap();
+        let ds = Dataset::new("p", features, vec![1], ann).unwrap();
+        assert!(ds.class_ratio().is_none());
+    }
+
+    #[test]
+    fn select_keeps_alignment() {
+        let ds = tiny();
+        let sub = ds.select(&[2, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.expert_labels, vec![1, 1]);
+        assert_eq!(sub.features.row(0).unwrap(), &[0.5, 0.5]);
+        assert_eq!(sub.annotations.item_labels(0).unwrap(), vec![(0, 1), (1, 0), (2, 1)]);
+        assert!(ds.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn with_workers_restricts_annotations() {
+        let ds = tiny();
+        let d1 = ds.with_workers(1).unwrap();
+        assert_eq!(d1.num_workers(), 1);
+        assert_eq!(d1.len(), ds.len());
+        assert!(ds.with_workers(0).is_err());
+        assert!(ds.with_workers(9).is_err());
+    }
+
+    #[test]
+    fn metadata_length_validation() {
+        let mut ds = tiny();
+        ds.latent_traits = vec![0.5; 2];
+        assert!(ds.validate().is_err());
+        ds.latent_traits = vec![0.5; 4];
+        ds.difficulties = vec![1.0; 3];
+        assert!(ds.validate().is_err());
+        ds.difficulties = vec![1.0; 4];
+        assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = tiny();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.expert_labels, ds.expert_labels);
+        assert_eq!(back.len(), ds.len());
+    }
+}

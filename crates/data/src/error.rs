@@ -1,0 +1,74 @@
+//! Typed errors for dataset generation and handling.
+
+use rll_crowd::CrowdError;
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by dataset generation, splitting, and normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A crowdsourcing operation failed.
+    Crowd(CrowdError),
+    /// A generator or split configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A dataset invariant was violated (e.g. label/feature count mismatch).
+    Inconsistent {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::Crowd(e) => write!(f, "crowd error: {e}"),
+            DataError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            DataError::Inconsistent { reason } => write!(f, "inconsistent dataset: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            DataError::Crowd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+impl From<CrowdError> for DataError {
+    fn from(e: CrowdError) -> Self {
+        DataError::Crowd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        use std::error::Error;
+        let e: DataError = TensorError::Empty { op: "mean" }.into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(e.source().is_some());
+        let e: DataError = CrowdError::InvalidConfig { reason: "x".into() }.into();
+        assert!(e.to_string().contains("crowd"));
+        let e = DataError::Inconsistent { reason: "labels".into() };
+        assert!(e.to_string().contains("labels"));
+    }
+}

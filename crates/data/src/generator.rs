@@ -1,0 +1,401 @@
+//! The dataset generator: latent traits → features + expert labels + crowd
+//! votes.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::features::{ClassFeatures, FeatureModel, OralFeatures};
+use crate::Result;
+use rll_crowd::simulate::{WorkerModel, WorkerPool};
+use rll_tensor::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Which educational domain to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Oral math-question fluency (the paper's `oral` dataset).
+    Oral,
+    /// Online 1-v-1 class quality (the paper's `class` dataset).
+    Class,
+}
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Domain (selects the feature model and the dataset name).
+    pub domain: Domain,
+    /// Number of examples.
+    pub n: usize,
+    /// Positive-to-negative expert-label ratio (1.8 for `oral`, 2.1 for
+    /// `class` in the paper). Counts are rounded to the nearest split.
+    pub positive_ratio: f64,
+    /// How strongly latent traits concentrate near the decision boundary, in
+    /// `[0, 1)`. `0` = uniform traits; higher values make more examples
+    /// genuinely ambiguous (harder features *and* noisier crowd votes).
+    pub ambiguity: f64,
+    /// Feature residual-noise scale (1.0 = calibrated default).
+    pub feature_noise: f64,
+    /// Scale on per-item annotation difficulty (drives
+    /// [`WorkerModel::DifficultyAware`] annotators).
+    pub difficulty_scale: f64,
+    /// The crowd that annotates every item.
+    pub workers: Vec<WorkerModel>,
+}
+
+impl GeneratorConfig {
+    /// Validates all parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.n < 4 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("need at least 4 examples, got {}", self.n),
+            });
+        }
+        if self.positive_ratio <= 0.0 || !self.positive_ratio.is_finite() {
+            return Err(DataError::InvalidConfig {
+                reason: format!("positive_ratio must be positive, got {}", self.positive_ratio),
+            });
+        }
+        if !(0.0..1.0).contains(&self.ambiguity) {
+            return Err(DataError::InvalidConfig {
+                reason: format!("ambiguity must be in [0, 1), got {}", self.ambiguity),
+            });
+        }
+        if self.feature_noise <= 0.0 || self.difficulty_scale <= 0.0 {
+            return Err(DataError::InvalidConfig {
+                reason: "feature_noise and difficulty_scale must be positive".into(),
+            });
+        }
+        if self.workers.is_empty() {
+            return Err(DataError::InvalidConfig {
+                reason: "need at least one crowd worker".into(),
+            });
+        }
+        for w in &self.workers {
+            w.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates [`Dataset`]s from a [`GeneratorConfig`].
+#[derive(Debug, Clone)]
+pub struct DatasetGenerator {
+    config: GeneratorConfig,
+}
+
+impl DatasetGenerator {
+    /// Creates a generator after validating the config.
+    pub fn new(config: GeneratorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(DatasetGenerator { config })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a dataset. Equal seeds produce identical datasets.
+    pub fn generate(&self, seed: u64) -> Result<Dataset> {
+        let cfg = &self.config;
+        let mut rng = Rng64::seed_from_u64(seed);
+
+        // Exact class split matching the requested ratio.
+        let n_pos =
+            ((cfg.n as f64) * cfg.positive_ratio / (1.0 + cfg.positive_ratio)).round() as usize;
+        let n_pos = n_pos.clamp(1, cfg.n - 1);
+        let threshold = 1.0 / (1.0 + cfg.positive_ratio);
+
+        // Latent traits: positives above the threshold, negatives below, with
+        // a Beta skew pulling mass toward the boundary as ambiguity rises.
+        let skew = 1.0 + 3.0 * cfg.ambiguity;
+        let mut latent = Vec::with_capacity(cfg.n);
+        let mut labels = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            let positive = i < n_pos;
+            // Beta(1, skew) concentrates near 0; map that end to the boundary.
+            let u = rng.beta(1.0, skew)?;
+            let t = if positive {
+                threshold + u * (1.0 - threshold)
+            } else {
+                threshold - u * threshold
+            };
+            latent.push(t.clamp(0.0, 1.0));
+            labels.push(u8::from(positive));
+        }
+        // Shuffle example order so class blocks do not leak into splits.
+        let mut order: Vec<usize> = (0..cfg.n).collect();
+        rng.shuffle(&mut order);
+        let latent: Vec<f64> = order.iter().map(|&i| latent[i]).collect();
+        let labels: Vec<u8> = order.iter().map(|&i| labels[i]).collect();
+
+        // Observable features.
+        let mut rows = Vec::with_capacity(cfg.n);
+        match cfg.domain {
+            Domain::Oral => {
+                let model = OralFeatures::new(cfg.feature_noise)?;
+                for &t in &latent {
+                    rows.push(model.sample(t, &mut rng)?);
+                }
+            }
+            Domain::Class => {
+                let model = ClassFeatures::new(cfg.feature_noise)?;
+                for &t in &latent {
+                    rows.push(model.sample(t, &mut rng)?);
+                }
+            }
+        }
+        let features = Matrix::from_rows(&rows)?;
+
+        // Annotation difficulty peaks at the decision boundary: an example the
+        // expert barely calls positive is exactly the one crowd workers
+        // disagree on.
+        let difficulties: Vec<f64> = latent
+            .iter()
+            .map(|&t| (cfg.difficulty_scale * 0.25 / ((t - threshold).abs() + 0.08)).clamp(0.3, 4.0))
+            .collect();
+
+        let pool = WorkerPool::new(cfg.workers.clone());
+        let annotations = pool.annotate_with_difficulty(&labels, Some(&difficulties), &mut rng)?;
+
+        let mut ds = Dataset::new(
+            match cfg.domain {
+                Domain::Oral => "oral",
+                Domain::Class => "class",
+            },
+            features,
+            labels,
+            annotations,
+        )?;
+        ds.latent_traits = latent;
+        ds.difficulties = difficulties;
+        ds.validate()?;
+        Ok(ds)
+    }
+}
+
+/// A plain two-Gaussian mixture generator for controlled unit tests: class 1
+/// is `N(+μ, σ²)` per dimension, class 0 is `N(-μ, σ²)`, annotated by the
+/// given worker pool with unit difficulty.
+pub fn gaussian_mixture(
+    n: usize,
+    dim: usize,
+    separation: f64,
+    positive_prior: f64,
+    workers: &[WorkerModel],
+    seed: u64,
+) -> Result<Dataset> {
+    if n == 0 || dim == 0 {
+        return Err(DataError::InvalidConfig {
+            reason: "n and dim must be positive".into(),
+        });
+    }
+    if !(0.0..1.0).contains(&positive_prior) || positive_prior == 0.0 {
+        return Err(DataError::InvalidConfig {
+            reason: format!("positive_prior must be in (0, 1), got {positive_prior}"),
+        });
+    }
+    if workers.is_empty() {
+        return Err(DataError::InvalidConfig {
+            reason: "need at least one crowd worker".into(),
+        });
+    }
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mu = separation / 2.0;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = u8::from(rng.bernoulli(positive_prior));
+        let center = if label == 1 { mu } else { -mu };
+        let row: Vec<f64> = (0..dim)
+            .map(|_| rng.normal(center, 1.0))
+            .collect::<rll_tensor::Result<_>>()?;
+        rows.push(row);
+        labels.push(label);
+    }
+    let features = Matrix::from_rows(&rows)?;
+    let pool = WorkerPool::new(workers.to_vec());
+    let annotations = pool.annotate(&labels, &mut rng)?;
+    Dataset::new("gaussian", features, labels, annotations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oral_config(n: usize) -> GeneratorConfig {
+        GeneratorConfig {
+            domain: Domain::Oral,
+            n,
+            positive_ratio: 1.8,
+            ambiguity: 0.35,
+            feature_noise: 1.0,
+            difficulty_scale: 1.0,
+            workers: vec![WorkerModel::DifficultyAware { ability: 2.0 }; 5],
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = DatasetGenerator::new(oral_config(200)).unwrap();
+        let ds = g.generate(1).unwrap();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.dim(), 14);
+        assert_eq!(ds.num_workers(), 5);
+        assert_eq!(ds.latent_traits.len(), 200);
+        assert_eq!(ds.difficulties.len(), 200);
+    }
+
+    #[test]
+    fn class_ratio_matches_config() {
+        let g = DatasetGenerator::new(oral_config(880)).unwrap();
+        let ds = g.generate(2).unwrap();
+        let ratio = ds.class_ratio().unwrap();
+        assert!((ratio - 1.8).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let g = DatasetGenerator::new(oral_config(60)).unwrap();
+        let a = g.generate(7).unwrap();
+        let b = g.generate(7).unwrap();
+        let c = g.generate(8).unwrap();
+        assert!(a.features.approx_eq(&b.features, 0.0));
+        assert_eq!(a.expert_labels, b.expert_labels);
+        assert!(!a.features.approx_eq(&c.features, 1e-9));
+    }
+
+    #[test]
+    fn boundary_items_are_harder() {
+        let g = DatasetGenerator::new(oral_config(400)).unwrap();
+        let ds = g.generate(3).unwrap();
+        let threshold = 1.0 / (1.0 + 1.8);
+        // Correlation between closeness-to-boundary and difficulty is strong.
+        let closeness: Vec<f64> = ds
+            .latent_traits
+            .iter()
+            .map(|t| -(t - threshold).abs())
+            .collect();
+        let r = rll_tensor::stats::pearson(&closeness, &ds.difficulties).unwrap();
+        assert!(r > 0.7, "correlation {r}");
+    }
+
+    #[test]
+    fn crowd_disagreement_concentrates_on_hard_items() {
+        let g = DatasetGenerator::new(oral_config(500)).unwrap();
+        let ds = g.generate(4).unwrap();
+        let mut hard_disagree = 0.0;
+        let mut hard_n = 0.0;
+        let mut easy_disagree = 0.0;
+        let mut easy_n = 0.0;
+        for i in 0..ds.len() {
+            let pos = ds.annotations.positive_votes(i).unwrap() as f64;
+            let d = ds.annotations.annotation_count(i).unwrap() as f64;
+            let disagreement = (pos / d) * (1.0 - pos / d); // 0 when unanimous
+            if ds.difficulties[i] > 1.5 {
+                hard_disagree += disagreement;
+                hard_n += 1.0;
+            } else if ds.difficulties[i] < 0.6 {
+                easy_disagree += disagreement;
+                easy_n += 1.0;
+            }
+        }
+        assert!(hard_n > 10.0 && easy_n > 10.0);
+        assert!(
+            hard_disagree / hard_n > easy_disagree / easy_n,
+            "hard {} vs easy {}",
+            hard_disagree / hard_n,
+            easy_disagree / easy_n
+        );
+    }
+
+    #[test]
+    fn features_separate_classes() {
+        let g = DatasetGenerator::new(oral_config(400)).unwrap();
+        let ds = g.generate(5).unwrap();
+        // Mean lexical diversity (feature 8) of positives should exceed
+        // negatives. (Rate is style-conditional by design.)
+        let rate = ds.features.col(8).unwrap();
+        let pos_mean: f64 = ds
+            .positive_indices()
+            .iter()
+            .map(|&i| rate[i])
+            .sum::<f64>()
+            / ds.positive_indices().len() as f64;
+        let neg_mean: f64 = ds
+            .negative_indices()
+            .iter()
+            .map(|&i| rate[i])
+            .sum::<f64>()
+            / ds.negative_indices().len() as f64;
+        assert!(pos_mean > neg_mean + 0.05, "{pos_mean} vs {neg_mean}");
+    }
+
+    #[test]
+    fn class_domain_generates() {
+        let cfg = GeneratorConfig {
+            domain: Domain::Class,
+            positive_ratio: 2.1,
+            ..oral_config(100)
+        };
+        let ds = DatasetGenerator::new(cfg).unwrap().generate(6).unwrap();
+        assert_eq!(ds.name, "class");
+        assert_eq!(ds.dim(), 12);
+        assert!((ds.class_ratio().unwrap() - 2.1).abs() < 0.3);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DatasetGenerator::new(GeneratorConfig { n: 2, ..oral_config(10) }).is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            positive_ratio: 0.0,
+            ..oral_config(10)
+        })
+        .is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            ambiguity: 1.0,
+            ..oral_config(10)
+        })
+        .is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            feature_noise: 0.0,
+            ..oral_config(10)
+        })
+        .is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            workers: vec![],
+            ..oral_config(10)
+        })
+        .is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            workers: vec![WorkerModel::OneCoin { accuracy: 2.0 }],
+            ..oral_config(10)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn gaussian_mixture_basic() {
+        let workers = [WorkerModel::OneCoin { accuracy: 0.8 }; 3];
+        let ds = gaussian_mixture(200, 4, 3.0, 0.5, &workers, 9).unwrap();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.dim(), 4);
+        let (pos, neg) = ds.class_counts();
+        assert!(pos > 50 && neg > 50);
+        // Strong separation: feature mean differs by ~3 per dimension.
+        let col = ds.features.col(0).unwrap();
+        let pos_mean: f64 =
+            ds.positive_indices().iter().map(|&i| col[i]).sum::<f64>() / pos as f64;
+        let neg_mean: f64 =
+            ds.negative_indices().iter().map(|&i| col[i]).sum::<f64>() / neg as f64;
+        assert!(pos_mean - neg_mean > 2.0);
+    }
+
+    #[test]
+    fn gaussian_mixture_validates() {
+        let workers = [WorkerModel::Hammer];
+        assert!(gaussian_mixture(0, 2, 1.0, 0.5, &workers, 1).is_err());
+        assert!(gaussian_mixture(10, 0, 1.0, 0.5, &workers, 1).is_err());
+        assert!(gaussian_mixture(10, 2, 1.0, 0.0, &workers, 1).is_err());
+        assert!(gaussian_mixture(10, 2, 1.0, 0.5, &[], 1).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Dataset persistence.
+//!
+//! Simulated datasets are cheap to regenerate from a seed, but persisting
+//! them (a) freezes an exact corpus for cross-language comparisons and
+//! (b) defines the on-disk schema a real `oral`/`class`-style corpus would
+//! use to enter this pipeline: features + expert labels + the full
+//! items × workers annotation table.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use std::path::Path;
+
+/// Serializes a dataset to pretty JSON.
+pub fn to_json(dataset: &Dataset) -> Result<String> {
+    serde_json::to_string_pretty(dataset).map_err(|e| DataError::InvalidConfig {
+        reason: format!("serialization failed: {e}"),
+    })
+}
+
+/// Parses a dataset from JSON and validates its invariants.
+pub fn from_json(json: &str) -> Result<Dataset> {
+    let ds: Dataset = serde_json::from_str(json).map_err(|e| DataError::InvalidConfig {
+        reason: format!("deserialization failed: {e}"),
+    })?;
+    ds.validate()?;
+    Ok(ds)
+}
+
+/// Writes a dataset to a JSON file, creating parent directories.
+pub fn save(dataset: &Dataset, path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| DataError::InvalidConfig {
+            reason: format!("cannot create {}: {e}", parent.display()),
+        })?;
+    }
+    std::fs::write(path, to_json(dataset)?).map_err(|e| DataError::InvalidConfig {
+        reason: format!("cannot write {}: {e}", path.display()),
+    })
+}
+
+/// Loads and validates a dataset from a JSON file.
+pub fn load(path: &Path) -> Result<Dataset> {
+    let json = std::fs::read_to_string(path).map_err(|e| DataError::InvalidConfig {
+        reason: format!("cannot read {}: {e}", path.display()),
+    })?;
+    from_json(&json)
+}
+
+/// Exports the feature matrix plus expert labels as CSV with a header row —
+/// the interchange format for inspecting simulations in external tools.
+pub fn features_to_csv(dataset: &Dataset, feature_names: Option<&[&str]>) -> Result<String> {
+    if let Some(names) = feature_names {
+        if names.len() != dataset.dim() {
+            return Err(DataError::InvalidConfig {
+                reason: format!(
+                    "{} feature names for {} columns",
+                    names.len(),
+                    dataset.dim()
+                ),
+            });
+        }
+    }
+    let mut out = String::new();
+    match feature_names {
+        Some(names) => {
+            out.push_str(&names.join(","));
+        }
+        None => {
+            let cols: Vec<String> = (0..dataset.dim()).map(|c| format!("f{c}")).collect();
+            out.push_str(&cols.join(","));
+        }
+    }
+    out.push_str(",expert_label\n");
+    for i in 0..dataset.len() {
+        let row = dataset.features.row(i)?;
+        for v in row {
+            out.push_str(&format!("{v:.6},"));
+        }
+        out.push_str(&format!("{}\n", dataset.expert_labels[i]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ds = presets::oral_scaled(30, 1).unwrap();
+        let json = to_json(&ds).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.expert_labels, ds.expert_labels);
+        assert_eq!(back.annotations, ds.annotations);
+        assert!(back.features.approx_eq(&ds.features, 1e-9));
+        assert_eq!(back.latent_traits.len(), ds.latent_traits.len());
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_data() {
+        assert!(from_json("{").is_err());
+        // Valid JSON but violated invariants (label count mismatch).
+        let ds = presets::oral_scaled(10, 2).unwrap();
+        let mut json = to_json(&ds).unwrap();
+        json = json.replacen("\"expert_labels\": [", "\"expert_labels\": [0,", 1);
+        assert!(from_json(&json).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rll_data_io_test");
+        let path = dir.join("nested/oral.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ds = presets::class_scaled(20, 3).unwrap();
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.name, "class");
+        assert_eq!(back.len(), 20);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load(&path).is_err()); // gone now
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let ds = presets::oral_scaled(5, 4).unwrap();
+        let csv = features_to_csv(&ds, None).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6); // header + 5 rows
+        assert!(lines[0].starts_with("f0,"));
+        assert!(lines[0].ends_with("expert_label"));
+        assert_eq!(lines[1].matches(',').count(), ds.dim());
+        // Named columns.
+        let names: Vec<&str> = (0..ds.dim()).map(|_| "x").collect();
+        assert!(features_to_csv(&ds, Some(&names)).is_ok());
+        assert!(features_to_csv(&ds, Some(&names[..2])).is_err());
+    }
+}

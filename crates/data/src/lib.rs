@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # `rll-data` — synthetic educational datasets
+//!
+//! The paper evaluates on two proprietary TAL datasets that were never
+//! released:
+//!
+//! - **`oral`** — 880 audio clips of grade-2 students talking through a math
+//!   problem; the task is predicting whether the speech is *fluent*
+//!   (pos:neg = 1.8, 5 crowd annotators per clip, expert ground truth);
+//! - **`class`** — 472 recordings of 65-minute online 1-v-1 classes; the task
+//!   is predicting whether the class is *good quality* (pos:neg = 2.1, same
+//!   annotation protocol, noticeably harder to judge).
+//!
+//! This crate substitutes generative simulators that reproduce the *learning
+//! problem*: each example carries a latent trait (fluency / class quality);
+//! observable features are noisy functions of the trait (speech-rate, filler
+//! and pause statistics for `oral`; interaction and engagement statistics for
+//! `class`); the expert label thresholds the trait at the quantile that hits
+//! the paper's class ratio; and crowd votes come from `rll-crowd`'s worker
+//! models, with per-item difficulty growing near the decision boundary so
+//! ambiguous examples get inconsistent votes — exactly the regime RLL targets.
+//!
+//! See `DESIGN.md` §2 for the substitution argument.
+
+pub mod dataset;
+pub mod error;
+pub mod features;
+pub mod generator;
+pub mod io;
+pub mod presets;
+pub mod splits;
+
+pub use dataset::Dataset;
+pub use error::DataError;
+pub use features::Normalizer;
+pub use generator::{DatasetGenerator, Domain, GeneratorConfig};
+pub use splits::{train_test_split, StratifiedKFold};
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,147 @@
+//! Ready-made configurations matching the paper's two datasets.
+//!
+//! | Preset | n | pos:neg | d | Feature model | Judgement difficulty |
+//! |---|---|---|---|---|---|
+//! | [`oral`] | 880 | 1.8 | 5 | 14 prosodic/linguistic stats | moderate |
+//! | [`class`] | 472 | 2.1 | 5 | 12 interaction stats | high (shallower feature slopes, weaker annotators, more boundary mass) |
+//!
+//! The `class` preset is deliberately harder: the paper observes that judging
+//! a 65-minute class is far more ambiguous than judging a short speech sample,
+//! and every method scores lower on `class` than on `oral`.
+
+use crate::dataset::Dataset;
+use crate::generator::{DatasetGenerator, Domain, GeneratorConfig};
+use crate::Result;
+use rll_crowd::simulate::WorkerModel;
+
+/// Annotator pool used by the `oral` preset: five difficulty-aware workers of
+/// mixed but generally decent ability.
+pub fn oral_workers() -> Vec<WorkerModel> {
+    [2.6, 2.2, 1.9, 1.5, 2.4]
+        .iter()
+        .map(|&ability| WorkerModel::DifficultyAware { ability })
+        .collect()
+}
+
+/// Annotator pool used by the `class` preset: five weaker workers (watching a
+/// 65-minute class and judging its quality is genuinely hard).
+pub fn class_workers() -> Vec<WorkerModel> {
+    [1.2, 0.9, 0.7, 0.55, 1.05]
+        .iter()
+        .map(|&ability| WorkerModel::DifficultyAware { ability })
+        .collect()
+}
+
+/// Generator config for the full-size `oral` dataset (n = 880).
+pub fn oral_config() -> GeneratorConfig {
+    GeneratorConfig {
+        domain: Domain::Oral,
+        n: 880,
+        positive_ratio: 1.8,
+        ambiguity: 0.45,
+        feature_noise: 1.0,
+        difficulty_scale: 1.1,
+        workers: oral_workers(),
+    }
+}
+
+/// Generator config for the full-size `class` dataset (n = 472).
+pub fn class_config() -> GeneratorConfig {
+    GeneratorConfig {
+        domain: Domain::Class,
+        n: 472,
+        positive_ratio: 2.1,
+        ambiguity: 0.65,
+        feature_noise: 1.3,
+        difficulty_scale: 1.8,
+        workers: class_workers(),
+    }
+}
+
+/// The full-size `oral` dataset (880 examples, 5 annotators).
+pub fn oral(seed: u64) -> Result<Dataset> {
+    DatasetGenerator::new(oral_config())?.generate(seed)
+}
+
+/// The full-size `class` dataset (472 examples, 5 annotators).
+pub fn class(seed: u64) -> Result<Dataset> {
+    DatasetGenerator::new(class_config())?.generate(seed)
+}
+
+/// An `oral`-flavoured dataset at a custom size (for fast tests/doctests).
+pub fn oral_scaled(n: usize, seed: u64) -> Result<Dataset> {
+    DatasetGenerator::new(GeneratorConfig { n, ..oral_config() })?.generate(seed)
+}
+
+/// A `class`-flavoured dataset at a custom size.
+pub fn class_scaled(n: usize, seed: u64) -> Result<Dataset> {
+    DatasetGenerator::new(GeneratorConfig { n, ..class_config() })?.generate(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oral_matches_paper_statistics() {
+        let ds = oral(1).unwrap();
+        assert_eq!(ds.len(), 880);
+        assert_eq!(ds.num_workers(), 5);
+        assert!((ds.class_ratio().unwrap() - 1.8).abs() < 0.05);
+        assert_eq!(ds.name, "oral");
+    }
+
+    #[test]
+    fn class_matches_paper_statistics() {
+        let ds = class(1).unwrap();
+        assert_eq!(ds.len(), 472);
+        assert_eq!(ds.num_workers(), 5);
+        assert!((ds.class_ratio().unwrap() - 2.1).abs() < 0.1);
+        assert_eq!(ds.name, "class");
+    }
+
+    #[test]
+    fn class_annotations_noisier_than_oral() {
+        let o = oral(2).unwrap();
+        let c = class(2).unwrap();
+        let disagreement = |ds: &Dataset| {
+            let mut total = 0.0;
+            for i in 0..ds.len() {
+                let pos = ds.annotations.positive_votes(i).unwrap() as f64;
+                let d = ds.annotations.annotation_count(i).unwrap() as f64;
+                total += (pos / d) * (1.0 - pos / d);
+            }
+            total / ds.len() as f64
+        };
+        assert!(
+            disagreement(&c) > disagreement(&o),
+            "class {} should exceed oral {}",
+            disagreement(&c),
+            disagreement(&o)
+        );
+    }
+
+    #[test]
+    fn crowd_majority_not_perfect_but_informative() {
+        use rll_crowd::aggregate::{Aggregator, MajorityVote};
+        let ds = oral(3).unwrap();
+        let mv = MajorityVote::positive_ties().hard_labels(&ds.annotations).unwrap();
+        let acc = mv
+            .iter()
+            .zip(&ds.expert_labels)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / ds.len() as f64;
+        // Crowd labels are noisy (the problem the paper addresses) but far
+        // better than chance.
+        assert!(acc > 0.75 && acc < 0.99, "MV accuracy {acc}");
+    }
+
+    #[test]
+    fn scaled_variants_respect_n() {
+        let ds = oral_scaled(120, 4).unwrap();
+        assert_eq!(ds.len(), 120);
+        let ds = class_scaled(64, 4).unwrap();
+        assert_eq!(ds.len(), 64);
+    }
+}

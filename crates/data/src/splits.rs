@@ -1,0 +1,235 @@
+//! Train/test splitting and stratified K-fold cross validation.
+//!
+//! The paper evaluates every method with 5-fold cross validation; with only
+//! hundreds of examples and a 2:1 class skew, stratification matters, so
+//! [`StratifiedKFold`] preserves the class ratio inside every fold.
+
+use crate::error::DataError;
+use crate::Result;
+use rll_tensor::Rng64;
+
+/// A single train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the training examples.
+    pub train: Vec<usize>,
+    /// Indices of the held-out examples.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` examples into train/test with the given test fraction,
+/// stratified by the provided binary labels.
+pub fn train_test_split(labels: &[u8], test_fraction: f64, seed: u64) -> Result<Split> {
+    if labels.is_empty() {
+        return Err(DataError::InvalidConfig {
+            reason: "cannot split an empty dataset".into(),
+        });
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::InvalidConfig {
+            reason: format!("test_fraction must be in (0, 1), got {test_fraction}"),
+        });
+    }
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in [0u8, 1] {
+        let mut idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        rng.shuffle(&mut idx);
+        let n_test = ((idx.len() as f64) * test_fraction).round() as usize;
+        test.extend_from_slice(&idx[..n_test]);
+        train.extend_from_slice(&idx[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    if train.is_empty() || test.is_empty() {
+        return Err(DataError::InvalidConfig {
+            reason: "split produced an empty train or test set".into(),
+        });
+    }
+    Ok(Split { train, test })
+}
+
+/// Stratified K-fold cross validation over binary labels.
+#[derive(Debug, Clone)]
+pub struct StratifiedKFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl StratifiedKFold {
+    /// Partitions the examples into `k` folds, each approximately preserving
+    /// the global class ratio. Requires every class to have at least `k`
+    /// members.
+    pub fn new(labels: &[u8], k: usize, seed: u64) -> Result<Self> {
+        if k < 2 {
+            return Err(DataError::InvalidConfig {
+                reason: format!("k must be at least 2, got {k}"),
+            });
+        }
+        if labels.len() < k {
+            return Err(DataError::InvalidConfig {
+                reason: format!("{} examples cannot fill {k} folds", labels.len()),
+            });
+        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut folds = vec![Vec::new(); k];
+        for class in [0u8, 1] {
+            let mut idx: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, &l)| l == class)
+                .map(|(i, _)| i)
+                .collect();
+            if !idx.is_empty() && idx.len() < k {
+                return Err(DataError::InvalidConfig {
+                    reason: format!(
+                        "class {class} has only {} examples for {k} folds",
+                        idx.len()
+                    ),
+                });
+            }
+            rng.shuffle(&mut idx);
+            for (pos, example) in idx.into_iter().enumerate() {
+                folds[pos % k].push(example);
+            }
+        }
+        for fold in &mut folds {
+            fold.sort_unstable();
+        }
+        Ok(StratifiedKFold { folds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `i`-th train/test split (fold `i` is the test set).
+    pub fn split(&self, fold: usize) -> Result<Split> {
+        if fold >= self.folds.len() {
+            return Err(DataError::InvalidConfig {
+                reason: format!("fold {fold} out of range ({} folds)", self.folds.len()),
+            });
+        }
+        let test = self.folds[fold].clone();
+        let mut train: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        train.sort_unstable();
+        Ok(Split { train, test })
+    }
+
+    /// Iterator over all `k` splits.
+    pub fn splits(&self) -> impl Iterator<Item = Split> + '_ {
+        (0..self.k()).map(|i| self.split(i).expect("fold index in range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<u8> {
+        let mut l = vec![1u8; n_pos];
+        l.extend(vec![0u8; n_neg]);
+        l
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let l = labels(60, 40);
+        let s = train_test_split(&l, 0.25, 1).unwrap();
+        assert_eq!(s.train.len() + s.test.len(), 100);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_test_split_stratifies() {
+        let l = labels(60, 40);
+        let s = train_test_split(&l, 0.25, 2).unwrap();
+        let pos_in_test = s.test.iter().filter(|&&i| l[i] == 1).count();
+        assert_eq!(pos_in_test, 15); // 25% of 60
+        assert_eq!(s.test.len(), 25);
+    }
+
+    #[test]
+    fn train_test_split_validates() {
+        assert!(train_test_split(&[], 0.2, 1).is_err());
+        assert!(train_test_split(&[1, 0], 0.0, 1).is_err());
+        assert!(train_test_split(&[1, 0], 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let l = labels(33, 17);
+        let kf = StratifiedKFold::new(&l, 5, 3).unwrap();
+        assert_eq!(kf.k(), 5);
+        let mut seen = vec![0usize; 50];
+        for split in kf.splits() {
+            assert_eq!(split.train.len() + split.test.len(), 50);
+            for &i in &split.test {
+                seen[i] += 1;
+            }
+        }
+        // Every example appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_preserves_class_ratio() {
+        let l = labels(60, 30);
+        let kf = StratifiedKFold::new(&l, 5, 4).unwrap();
+        for split in kf.splits() {
+            let pos = split.test.iter().filter(|&&i| l[i] == 1).count();
+            let neg = split.test.len() - pos;
+            // Global ratio 2:1; folds stay within one example of it.
+            assert_eq!(pos, 12);
+            assert_eq!(neg, 6);
+        }
+    }
+
+    #[test]
+    fn kfold_deterministic_per_seed() {
+        let l = labels(20, 20);
+        let a = StratifiedKFold::new(&l, 4, 5).unwrap();
+        let b = StratifiedKFold::new(&l, 4, 5).unwrap();
+        for i in 0..4 {
+            assert_eq!(a.split(i).unwrap(), b.split(i).unwrap());
+        }
+        let c = StratifiedKFold::new(&l, 4, 6).unwrap();
+        let differs = (0..4).any(|i| a.split(i).unwrap() != c.split(i).unwrap());
+        assert!(differs);
+    }
+
+    #[test]
+    fn kfold_validates() {
+        let l = labels(10, 10);
+        assert!(StratifiedKFold::new(&l, 1, 1).is_err());
+        assert!(StratifiedKFold::new(&l, 21, 1).is_err());
+        // A class smaller than k is rejected.
+        let skew = labels(2, 18);
+        assert!(StratifiedKFold::new(&skew, 5, 1).is_err());
+        let kf = StratifiedKFold::new(&l, 5, 1).unwrap();
+        assert!(kf.split(5).is_err());
+    }
+
+    #[test]
+    fn single_class_dataset_folds() {
+        // All-positive labels still fold (class 0 simply contributes nothing).
+        let l = vec![1u8; 20];
+        let kf = StratifiedKFold::new(&l, 4, 2).unwrap();
+        let total: usize = (0..4).map(|i| kf.split(i).unwrap().test.len()).sum();
+        assert_eq!(total, 20);
+    }
+}

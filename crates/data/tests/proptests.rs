@@ -1,0 +1,125 @@
+//! Property-based tests for the dataset simulators and splits.
+
+use proptest::prelude::*;
+use rll_data::generator::{DatasetGenerator, Domain, GeneratorConfig};
+use rll_data::{Normalizer, StratifiedKFold};
+use rll_crowd::simulate::WorkerModel;
+use rll_tensor::{Matrix, Rng64};
+
+fn config(domain: Domain, n: usize, ratio: f64, ambiguity: f64) -> GeneratorConfig {
+    GeneratorConfig {
+        domain,
+        n,
+        positive_ratio: ratio,
+        ambiguity,
+        feature_noise: 1.0,
+        difficulty_scale: 1.0,
+        workers: vec![WorkerModel::DifficultyAware { ability: 1.8 }; 5],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_datasets_satisfy_invariants(
+        n in 20usize..200,
+        ratio in 0.5f64..4.0,
+        ambiguity in 0.0f64..0.9,
+        seed in 0u64..500,
+        oral in any::<bool>(),
+    ) {
+        let domain = if oral { Domain::Oral } else { Domain::Class };
+        let ds = DatasetGenerator::new(config(domain, n, ratio, ambiguity))
+            .unwrap()
+            .generate(seed)
+            .unwrap();
+        prop_assert_eq!(ds.len(), n);
+        prop_assert!(ds.validate().is_ok());
+        // Class counts match the requested ratio to within rounding.
+        let (pos, neg) = ds.class_counts();
+        let expected_pos = ((n as f64) * ratio / (1.0 + ratio)).round() as usize;
+        prop_assert!((pos as i64 - expected_pos as i64).abs() <= 1, "pos {pos} vs {expected_pos}");
+        prop_assert_eq!(pos + neg, n);
+        // All features finite; every item fully annotated.
+        prop_assert!(ds.features.as_slice().iter().all(|x| x.is_finite()));
+        prop_assert_eq!(ds.annotations.total_annotations(), n * 5);
+        // Latent traits in [0, 1] and consistent with expert labels.
+        let threshold = 1.0 / (1.0 + ratio);
+        for (i, &t) in ds.latent_traits.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&t));
+            if ds.expert_labels[i] == 1 {
+                prop_assert!(t >= threshold - 1e-9);
+            } else {
+                prop_assert!(t <= threshold + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..200) {
+        let gen = DatasetGenerator::new(config(Domain::Oral, 40, 1.8, 0.3)).unwrap();
+        let a = gen.generate(seed).unwrap();
+        let b = gen.generate(seed).unwrap();
+        prop_assert!(a.features.approx_eq(&b.features, 0.0));
+        prop_assert_eq!(a.expert_labels, b.expert_labels);
+        prop_assert_eq!(a.annotations, b.annotations);
+    }
+
+    #[test]
+    fn kfold_is_a_partition(
+        n_pos in 6usize..40,
+        n_neg in 6usize..40,
+        k in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let mut labels = vec![1u8; n_pos];
+        labels.extend(vec![0u8; n_neg]);
+        let mut rng = Rng64::seed_from_u64(seed);
+        rng.shuffle(&mut labels);
+        prop_assume!(n_pos >= k && n_neg >= k);
+        let kfold = StratifiedKFold::new(&labels, k, seed).unwrap();
+        let mut seen = vec![0usize; labels.len()];
+        for split in kfold.splits() {
+            for &i in &split.test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint and cover everything.
+            let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn normalizer_round_trip_statistics(
+        rows in 2usize..20,
+        cols in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| 5.0 * rng.standard_normal() + 2.0);
+        let norm = Normalizer::fit(&m).unwrap();
+        let z = norm.transform(&m).unwrap();
+        for c in 0..cols {
+            let col = z.col(c).unwrap();
+            let mean = col.iter().sum::<f64>() / rows as f64;
+            prop_assert!(mean.abs() < 1e-9, "column {c} mean {mean}");
+        }
+        prop_assert!(z.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn with_workers_preserves_items_and_labels(seed in 0u64..100, d in 1usize..6) {
+        let ds = DatasetGenerator::new(config(Domain::Class, 30, 2.1, 0.4))
+            .unwrap()
+            .generate(seed)
+            .unwrap();
+        let restricted = ds.with_workers(d).unwrap();
+        prop_assert_eq!(restricted.len(), ds.len());
+        prop_assert_eq!(restricted.num_workers(), d);
+        prop_assert_eq!(&restricted.expert_labels, &ds.expert_labels);
+        prop_assert!(restricted.features.approx_eq(&ds.features, 0.0));
+    }
+}

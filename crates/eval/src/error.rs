@@ -1,0 +1,109 @@
+//! Typed errors for the evaluation harness.
+
+use rll_baselines::BaselineError;
+use rll_core::RllError;
+use rll_crowd::CrowdError;
+use rll_data::DataError;
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by metrics, cross validation, and experiment runners.
+#[derive(Debug)]
+pub enum EvalError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A crowdsourcing operation failed.
+    Crowd(CrowdError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// A baseline learner failed.
+    Baseline(BaselineError),
+    /// The RLL framework failed.
+    Rll(RllError),
+    /// An evaluation configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Serializing results failed.
+    Serialization(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EvalError::Crowd(e) => write!(f, "crowd error: {e}"),
+            EvalError::Data(e) => write!(f, "data error: {e}"),
+            EvalError::Baseline(e) => write!(f, "baseline error: {e}"),
+            EvalError::Rll(e) => write!(f, "rll error: {e}"),
+            EvalError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            EvalError::Serialization(msg) => write!(f, "serialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Tensor(e) => Some(e),
+            EvalError::Crowd(e) => Some(e),
+            EvalError::Data(e) => Some(e),
+            EvalError::Baseline(e) => Some(e),
+            EvalError::Rll(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for EvalError {
+    fn from(e: TensorError) -> Self {
+        EvalError::Tensor(e)
+    }
+}
+
+impl From<CrowdError> for EvalError {
+    fn from(e: CrowdError) -> Self {
+        EvalError::Crowd(e)
+    }
+}
+
+impl From<DataError> for EvalError {
+    fn from(e: DataError) -> Self {
+        EvalError::Data(e)
+    }
+}
+
+impl From<BaselineError> for EvalError {
+    fn from(e: BaselineError) -> Self {
+        EvalError::Baseline(e)
+    }
+}
+
+impl From<RllError> for EvalError {
+    fn from(e: RllError) -> Self {
+        EvalError::Rll(e)
+    }
+}
+
+impl From<serde_json::Error> for EvalError {
+    fn from(e: serde_json::Error) -> Self {
+        EvalError::Serialization(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e: EvalError = TensorError::Empty { op: "x" }.into();
+        assert!(e.source().is_some());
+        let e = EvalError::InvalidConfig { reason: "folds".into() };
+        assert!(e.to_string().contains("folds"));
+        let e = EvalError::Serialization("bad json".into());
+        assert!(e.to_string().contains("bad json"));
+    }
+}

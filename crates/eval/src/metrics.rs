@@ -1,0 +1,280 @@
+//! Classification metrics.
+//!
+//! The paper reports accuracy and F1; precision, recall, the confusion
+//! matrix, and rank-based AUC are provided for the extended analyses in
+//! `EXPERIMENTS.md`.
+
+use crate::error::EvalError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted 1, truth 1.
+    pub tp: usize,
+    /// Predicted 1, truth 0.
+    pub fp: usize,
+    /// Predicted 0, truth 0.
+    pub tn: usize,
+    /// Predicted 0, truth 1.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against truth.
+    pub fn from_predictions(predictions: &[u8], truth: &[u8]) -> Result<Self> {
+        if predictions.len() != truth.len() {
+            return Err(EvalError::InvalidConfig {
+                reason: format!(
+                    "{} predictions for {} labels",
+                    predictions.len(),
+                    truth.len()
+                ),
+            });
+        }
+        if predictions.is_empty() {
+            return Err(EvalError::InvalidConfig {
+                reason: "cannot score zero predictions".into(),
+            });
+        }
+        let mut m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&p, &t) in predictions.iter().zip(truth) {
+            match (p, t) {
+                (1, 1) => m.tp += 1,
+                (1, 0) => m.fp += 1,
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fn_ += 1,
+                _ => {
+                    return Err(EvalError::InvalidConfig {
+                        reason: format!("non-binary pair ({p}, {t})"),
+                    })
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Positive-class precision (0 when nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Positive-class recall (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Positive-class F1 (harmonic mean of precision and recall; 0 when both
+    /// are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient (0 for degenerate denominators).
+    pub fn mcc(&self) -> f64 {
+        let (tp, fp, tn, fn_) = (
+            self.tp as f64,
+            self.fp as f64,
+            self.tn as f64,
+            self.fn_ as f64,
+        );
+        let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fn_) / denom
+        }
+    }
+}
+
+/// Accuracy shortcut.
+pub fn accuracy(predictions: &[u8], truth: &[u8]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_predictions(predictions, truth)?.accuracy())
+}
+
+/// Positive-class F1 shortcut.
+pub fn f1_score(predictions: &[u8], truth: &[u8]) -> Result<f64> {
+    Ok(ConfusionMatrix::from_predictions(predictions, truth)?.f1())
+}
+
+/// Rank-based ROC AUC from probabilistic scores (ties share average rank).
+///
+/// Returns an error when either class is absent — AUC is undefined there.
+pub fn roc_auc(scores: &[f64], truth: &[u8]) -> Result<f64> {
+    if scores.len() != truth.len() || scores.is_empty() {
+        return Err(EvalError::InvalidConfig {
+            reason: format!("{} scores for {} labels", scores.len(), truth.len()),
+        });
+    }
+    let n_pos = truth.iter().filter(|&&t| t == 1).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(EvalError::InvalidConfig {
+            reason: "AUC undefined with a single class".into(),
+        });
+    }
+    // Average ranks with tie handling.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not contain NaN")
+    });
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let pos_rank_sum: f64 = truth
+        .iter()
+        .zip(&ranks)
+        .filter(|(&t, _)| t == 1)
+        .map(|(_, &r)| r)
+        .sum();
+    Ok((pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let m = ConfusionMatrix::from_predictions(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]).unwrap();
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn metric_values() {
+        let m = ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 5,
+            fn_: 5,
+        };
+        assert!((m.accuracy() - 0.65).abs() < 1e-12);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 13.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 13.0) / (0.8 + 8.0 / 13.0);
+        assert!((m.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero_not_nan() {
+        let m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 3,
+            fn_: 2,
+        };
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.mcc(), 0.0);
+        assert!(m.accuracy() > 0.0);
+    }
+
+    #[test]
+    fn mcc_perfect_and_inverted() {
+        let perfect = ConfusionMatrix {
+            tp: 5,
+            fp: 0,
+            tn: 5,
+            fn_: 0,
+        };
+        assert!((perfect.mcc() - 1.0).abs() < 1e-12);
+        let inverted = ConfusionMatrix {
+            tp: 0,
+            fp: 5,
+            tn: 0,
+            fn_: 5,
+        };
+        assert!((inverted.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(ConfusionMatrix::from_predictions(&[1], &[1, 0]).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[], &[]).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[2], &[1]).is_err());
+    }
+
+    #[test]
+    fn shortcuts_match_matrix() {
+        let p = [1u8, 0, 1, 1];
+        let t = [1u8, 0, 0, 1];
+        let m = ConfusionMatrix::from_predictions(&p, &t).unwrap();
+        assert_eq!(accuracy(&p, &t).unwrap(), m.accuracy());
+        assert_eq!(f1_score(&p, &t).unwrap(), m.f1());
+    }
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let truth = [1u8, 1, 0, 0];
+        assert!((roc_auc(&scores, &truth).unwrap() - 1.0).abs() < 1e-12);
+        let inverted = [0.1, 0.2, 0.8, 0.9];
+        assert!(roc_auc(&inverted, &truth).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied → AUC is exactly 0.5 by average-rank convention.
+        let scores = [0.5; 6];
+        let truth = [1u8, 0, 1, 0, 1, 0];
+        assert!((roc_auc(&scores, &truth).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_validates() {
+        assert!(roc_auc(&[0.5], &[1]).is_err()); // single class
+        assert!(roc_auc(&[0.5, 0.5], &[1]).is_err()); // length
+        assert!(roc_auc(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let scores = [0.9, 0.6, 0.65, 0.2];
+        let truth = [1u8, 1, 0, 0];
+        // One inversion among 4 pos-neg pairs → 3/4.
+        assert!((roc_auc(&scores, &truth).unwrap() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! Rendering experiment results as paper-style text tables and JSON.
+
+use crate::harness::MethodScore;
+use crate::Result;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Formats a Table-I-style comparison: one row per method, accuracy and F1
+/// columns per dataset. `scores_by_dataset` holds one aligned score list per
+/// dataset (same method order).
+pub fn format_comparison_table(
+    title: &str,
+    dataset_names: &[&str],
+    scores_by_dataset: &[Vec<MethodScore>],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:<22}{:<7}", "Method", "Group");
+    for name in dataset_names {
+        header.push_str(&format!("{:<11}{:<11}", format!("{name}-Acc"), format!("{name}-F1")));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    if let Some(first) = scores_by_dataset.first() {
+        for (row, score) in first.iter().enumerate() {
+            let mut line = format!("{:<22}{:<7}", score.method, score.group);
+            for scores in scores_by_dataset {
+                let s = &scores[row];
+                line.push_str(&format!("{:<11.3}{:<11.3}", s.accuracy.mean, s.f1.mean));
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+/// Formats a parameter-sweep table (Tables II and III): one row per parameter
+/// value, accuracy and F1 per dataset.
+pub fn format_sweep_table(
+    title: &str,
+    param_name: &str,
+    param_values: &[String],
+    dataset_names: &[&str],
+    scores_by_dataset: &[Vec<MethodScore>],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{param_name:<8}");
+    for name in dataset_names {
+        header.push_str(&format!("{:<11}{:<11}", format!("{name}-Acc"), format!("{name}-F1")));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for (row, value) in param_values.iter().enumerate() {
+        let mut line = format!("{value:<8}");
+        for scores in scores_by_dataset {
+            let s = &scores[row];
+            line.push_str(&format!("{:<11.3}{:<11.3}", s.accuracy.mean, s.f1.mean));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Serializes any experiment result to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String> {
+    Ok(serde_json::to_string_pretty(value)?)
+}
+
+/// Writes a JSON result file, creating parent directories as needed.
+pub fn write_json<T: Serialize>(path: &std::path::Path, value: &T) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| crate::EvalError::Serialization(e.to_string()))?;
+    }
+    std::fs::write(path, to_json(value)?)
+        .map_err(|e| crate::EvalError::Serialization(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::FoldScores;
+
+    fn score(method: &str, group: u8, acc: f64, f1: f64) -> MethodScore {
+        MethodScore {
+            method: method.into(),
+            group,
+            dataset: "oral".into(),
+            accuracy: FoldScores::from_values(&[acc]).unwrap(),
+            f1: FoldScores::from_values(&[f1]).unwrap(),
+            fold_accuracies: vec![acc],
+            fold_f1s: vec![f1],
+        }
+    }
+
+    #[test]
+    fn comparison_table_contains_rows_and_values() {
+        let oral = vec![score("SoftProb", 1, 0.815, 0.869), score("RLL+Bayesian", 4, 0.888, 0.915)];
+        let class = vec![score("SoftProb", 1, 0.758, 0.810), score("RLL+Bayesian", 4, 0.879, 0.920)];
+        let table = format_comparison_table("Table I", &["oral", "class"], &[oral, class]);
+        assert!(table.contains("Table I"));
+        assert!(table.contains("SoftProb"));
+        assert!(table.contains("RLL+Bayesian"));
+        assert!(table.contains("0.888"));
+        assert!(table.contains("0.920"));
+        assert!(table.contains("oral-Acc"));
+        assert!(table.contains("class-F1"));
+    }
+
+    #[test]
+    fn sweep_table_rows_align_with_params() {
+        let oral = vec![score("RLL+Bayesian", 4, 0.809, 0.852), score("RLL+Bayesian", 4, 0.888, 0.915)];
+        let table = format_sweep_table(
+            "Table II",
+            "k",
+            &["2".into(), "3".into()],
+            &["oral"],
+            &[oral],
+        );
+        assert!(table.contains("Table II"));
+        assert!(table.lines().count() >= 5);
+        assert!(table.contains("0.809"));
+        assert!(table.contains("0.888"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = score("EM", 1, 0.843, 0.887);
+        let json = to_json(&s).unwrap();
+        assert!(json.contains("\"method\": \"EM\""));
+    }
+
+    #[test]
+    fn write_json_creates_dirs() {
+        let dir = std::env::temp_dir().join("rll_eval_test_json");
+        let path = dir.join("nested/result.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

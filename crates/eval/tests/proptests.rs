@@ -1,0 +1,85 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use rll_eval::metrics::{accuracy, f1_score, roc_auc, ConfusionMatrix};
+use rll_tensor::Rng64;
+
+/// Strategy: a prediction/truth pair with both classes present in truth.
+fn labeled_pairs() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (2usize..60, 0u64..1000).prop_map(|(n, seed)| {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        // Guarantee both classes.
+        truth[0] = 1;
+        if n > 1 {
+            truth[1] = 0;
+        }
+        let preds: Vec<u8> = truth
+            .iter()
+            .map(|&t| if rng.bernoulli(0.8) { t } else { 1 - t })
+            .collect();
+        (preds, truth)
+    })
+}
+
+proptest! {
+    #[test]
+    fn accuracy_bounds_and_identity((preds, truth) in labeled_pairs()) {
+        let acc = accuracy(&preds, &truth).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        // Perfect predictor scores 1; inverted predictor scores 1 - acc.
+        prop_assert_eq!(accuracy(&truth, &truth).unwrap(), 1.0);
+        let inverted: Vec<u8> = preds.iter().map(|&p| 1 - p).collect();
+        let inv_acc = accuracy(&inverted, &truth).unwrap();
+        prop_assert!((acc + inv_acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_bounded_by_precision_recall((preds, truth) in labeled_pairs()) {
+        let m = ConfusionMatrix::from_predictions(&preds, &truth).unwrap();
+        let f1 = m.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        // Harmonic mean lies between min and max of precision/recall.
+        let (p, r) = (m.precision(), m.recall());
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f1 <= p.max(r) + 1e-12);
+            prop_assert!(f1 >= p.min(r) - 1e-12);
+        }
+        prop_assert_eq!(f1_score(&truth, &truth).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_totals((preds, truth) in labeled_pairs()) {
+        let m = ConfusionMatrix::from_predictions(&preds, &truth).unwrap();
+        prop_assert_eq!(m.total(), truth.len());
+        prop_assert!((-1.0..=1.0).contains(&m.mcc()));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform(seed in 0u64..500, n in 4usize..40) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        truth[0] = 1;
+        truth[1] = 0;
+        let scores: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let auc = roc_auc(&scores, &truth).unwrap();
+        // Strictly monotone transform preserves the ranking, hence AUC.
+        let transformed: Vec<f64> = scores.iter().map(|&s| (3.0 * s + 1.0).exp()).collect();
+        let auc2 = roc_auc(&transformed, &truth).unwrap();
+        prop_assert!((auc - auc2).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_flips_under_negation(seed in 0u64..500, n in 4usize..40) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        truth[0] = 1;
+        truth[1] = 0;
+        let scores: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let auc = roc_auc(&scores, &truth).unwrap();
+        let negated: Vec<f64> = scores.iter().map(|&s| -s).collect();
+        let auc_neg = roc_auc(&negated, &truth).unwrap();
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+    }
+}

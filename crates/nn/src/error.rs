@@ -1,0 +1,74 @@
+//! Typed errors for the neural-network substrate.
+
+use rll_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by layers, losses, and optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor operation failed (almost always a shape mismatch that
+    /// indicates a wiring bug in the calling code).
+    Tensor(TensorError),
+    /// A network or training configuration was invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Backward was called without a matching forward cache, or with a cache
+    /// from a different network topology.
+    CacheMismatch {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            NnError::CacheMismatch { reason } => write!(f, "cache mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::InvalidConfig {
+            reason: "zero layers".into(),
+        };
+        assert!(e.to_string().contains("zero layers"));
+        let e = NnError::CacheMismatch {
+            reason: "layer count".into(),
+        };
+        assert!(e.to_string().contains("cache mismatch"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        use std::error::Error;
+        let te = TensorError::Empty { op: "softmax" };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(ne.source().is_some());
+    }
+}

@@ -1,0 +1,230 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by this crate's tests and re-used by `rll-core` to validate the
+//! confidence-weighted group-softmax loss end to end.
+
+use crate::mlp::Mlp;
+use crate::Result;
+use rll_tensor::Matrix;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f64,
+    /// Maximum relative difference (`|a - n| / max(1, |a|, |n|)`).
+    pub max_rel_diff: f64,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// True when both error measures are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_diff < tol || self.max_rel_diff < tol
+    }
+}
+
+/// Checks the analytic parameter gradients of `mlp` against central finite
+/// differences of an arbitrary scalar loss.
+///
+/// `loss_fn` must evaluate the *same* loss the analytic gradients were
+/// accumulated for: call it as a pure function of the network (it runs
+/// inference-mode forward passes internally). `stride` subsamples the
+/// parameter coordinates (1 = check all); checking everything is O(params ×
+/// forward cost), so tests use small networks.
+pub fn check_mlp_grads(
+    mlp: &mut Mlp,
+    loss_fn: &mut dyn FnMut(&Mlp) -> Result<f64>,
+    eps: f64,
+    stride: usize,
+) -> Result<GradCheckReport> {
+    let stride = stride.max(1);
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    let mut checked = 0usize;
+    for li in 0..mlp.depth() {
+        // Snapshot analytic gradients for this layer.
+        let gw = mlp.layers()[li]
+            .grad_weights()
+            .cloned()
+            .unwrap_or_else(|| {
+                let l = &mlp.layers()[li];
+                Matrix::zeros(l.in_dim(), l.out_dim())
+            });
+        let gb = mlp.layers()[li]
+            .grad_bias()
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(1, mlp.layers()[li].out_dim()));
+
+        // Weights.
+        let (rows, cols) = gw.shape();
+        let mut idx = 0usize;
+        for r in 0..rows {
+            for c in 0..cols {
+                if idx.is_multiple_of(stride) {
+                    let orig = mlp.layers()[li].weights().get(r, c)?;
+                    mlp.layers_mut()[li].weights_mut().set(r, c, orig + eps)?;
+                    let up = loss_fn(mlp)?;
+                    mlp.layers_mut()[li].weights_mut().set(r, c, orig - eps)?;
+                    let down = loss_fn(mlp)?;
+                    mlp.layers_mut()[li].weights_mut().set(r, c, orig)?;
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = gw.get(r, c)?;
+                    let abs = (numeric - analytic).abs();
+                    let rel = abs / numeric.abs().max(analytic.abs()).max(1.0);
+                    max_abs = max_abs.max(abs);
+                    max_rel = max_rel.max(rel);
+                    checked += 1;
+                }
+                idx += 1;
+            }
+        }
+        // Biases.
+        for c in 0..gb.cols() {
+            let orig = mlp.layers()[li].bias().get(0, c)?;
+            mlp.layers_mut()[li].bias_mut().set(0, c, orig + eps)?;
+            let up = loss_fn(mlp)?;
+            mlp.layers_mut()[li].bias_mut().set(0, c, orig - eps)?;
+            let down = loss_fn(mlp)?;
+            mlp.layers_mut()[li].bias_mut().set(0, c, orig)?;
+            let numeric = (up - down) / (2.0 * eps);
+            let analytic = gb.get(0, c)?;
+            let abs = (numeric - analytic).abs();
+            let rel = abs / numeric.abs().max(analytic.abs()).max(1.0);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            checked += 1;
+        }
+    }
+    Ok(GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        checked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::loss;
+    use crate::mlp::MlpConfig;
+    use rll_tensor::{init::Init, Rng64};
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        let mut rng = Rng64::seed_from_u64(seed);
+        Mlp::new(
+            &MlpConfig {
+                input_dim: 3,
+                hidden_dims: vec![4],
+                output_dim: 2,
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Identity,
+                dropout: 0.0,
+                init: Init::XavierNormal,
+            },
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mse_pipeline_passes_gradcheck() {
+        let mut mlp = tiny_mlp(1);
+        let x = Matrix::from_fn(4, 3, |r, c| 0.1 * r as f64 - 0.2 * c as f64 + 0.3);
+        let target = Matrix::from_fn(4, 2, |r, c| ((r + c) % 2) as f64);
+
+        // Accumulate analytic gradients.
+        let mut rng = Rng64::seed_from_u64(2);
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        let (_, grad) = loss::mse(cache.output(), &target).unwrap();
+        mlp.backward(&cache, &grad).unwrap();
+
+        let report = check_mlp_grads(
+            &mut mlp,
+            &mut |m| {
+                let out = m.forward(&x)?;
+                Ok(loss::mse(&out, &target)?.0)
+            },
+            1e-6,
+            1,
+        )
+        .unwrap();
+        assert!(report.checked > 20);
+        assert!(report.passes(1e-4), "report: {report:?}");
+    }
+
+    #[test]
+    fn bce_pipeline_passes_gradcheck() {
+        let mut mlp = tiny_mlp(3);
+        let x = Matrix::from_fn(3, 3, |r, c| 0.2 * (r as f64) * (c as f64 + 1.0) - 0.3);
+        let target = Matrix::from_fn(3, 2, |r, _| (r % 2) as f64);
+
+        let mut rng = Rng64::seed_from_u64(4);
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        let (_, grad) = loss::bce_with_logits(cache.output(), &target).unwrap();
+        mlp.backward(&cache, &grad).unwrap();
+
+        let report = check_mlp_grads(
+            &mut mlp,
+            &mut |m| {
+                let out = m.forward(&x)?;
+                Ok(loss::bce_with_logits(&out, &target)?.0)
+            },
+            1e-6,
+            1,
+        )
+        .unwrap();
+        assert!(report.passes(1e-4), "report: {report:?}");
+    }
+
+    #[test]
+    fn detects_wrong_gradients() {
+        let mut mlp = tiny_mlp(5);
+        let x = Matrix::ones(2, 3);
+        let target = Matrix::zeros(2, 2);
+        let mut rng = Rng64::seed_from_u64(6);
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        let (_, grad) = loss::mse(cache.output(), &target).unwrap();
+        // Deliberately double the loss gradient so analytics disagree.
+        mlp.backward(&cache, &grad.scale(2.0)).unwrap();
+        let report = check_mlp_grads(
+            &mut mlp,
+            &mut |m| {
+                let out = m.forward(&x)?;
+                Ok(loss::mse(&out, &target)?.0)
+            },
+            1e-6,
+            1,
+        )
+        .unwrap();
+        assert!(!report.passes(1e-6), "should fail: {report:?}");
+    }
+
+    #[test]
+    fn stride_reduces_work() {
+        let mut mlp = tiny_mlp(7);
+        let x = Matrix::ones(1, 3);
+        let target = Matrix::zeros(1, 2);
+        let mut rng = Rng64::seed_from_u64(8);
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        let (_, grad) = loss::mse(cache.output(), &target).unwrap();
+        mlp.backward(&cache, &grad).unwrap();
+        let full = check_mlp_grads(
+            &mut mlp,
+            &mut |m| Ok(loss::mse(&m.forward(&x)?, &target)?.0),
+            1e-6,
+            1,
+        )
+        .unwrap();
+        let strided = check_mlp_grads(
+            &mut mlp,
+            &mut |m| Ok(loss::mse(&m.forward(&x)?, &target)?.0),
+            1e-6,
+            3,
+        )
+        .unwrap();
+        assert!(strided.checked < full.checked);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # `rll-nn` — from-scratch neural-network substrate
+//!
+//! The RLL paper embeds every group member with a shared "multi-layer
+//! non-linear projection" — a plain MLP. No mature pure-Rust deep-learning
+//! stack is available offline, so this crate implements exactly the pieces the
+//! reproduction needs, verified by finite-difference gradient checks:
+//!
+//! - [`Dense`] layers with configurable [`Activation`] and optional dropout,
+//!   composed into an [`Mlp`];
+//! - manual reverse-mode differentiation: [`Mlp::forward_cached`] +
+//!   [`Mlp::backward`] accumulate parameter gradients;
+//! - [`loss`] — MSE, binary cross-entropy, softmax cross-entropy, contrastive
+//!   (SiameseNet), and triplet-margin (TripletNet) losses, each returning the
+//!   loss value and the gradient with respect to its inputs;
+//! - [`optimizer`] — SGD, SGD+momentum, RMSProp, Adam, AdamW, plus global-norm
+//!   gradient clipping;
+//! - [`scheduler`] — constant / step / exponential / cosine learning-rate
+//!   schedules;
+//! - [`gradcheck`] — the finite-difference harness used by this crate's own
+//!   tests and by `rll-core` to validate the confidence-weighted group loss.
+
+pub mod activation;
+pub mod error;
+pub mod gradcheck;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+pub mod scheduler;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use layer::Dense;
+pub use mlp::{Mlp, MlpCache, MlpConfig};
+pub use optimizer::{Adam, AdamW, GradClip, Momentum, Optimizer, RmsProp, Sgd};
+pub use scheduler::LrSchedule;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,420 @@
+//! Multi-layer perceptron: the paper's "multi-layer non-linear projection".
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::{Dense, DenseCache};
+use crate::Result;
+use rll_tensor::{init::Init, Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for building an [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Sizes of the hidden layers (may be empty for a single linear map).
+    pub hidden_dims: Vec<usize>,
+    /// Output (embedding) dimension.
+    pub output_dim: usize,
+    /// Activation for the hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation for the output layer. The RLL embedding layer uses
+    /// [`Activation::Tanh`] following the DSSM-style architecture the paper
+    /// builds on; use [`Activation::Identity`] for an unsquashed space.
+    pub output_activation: Activation,
+    /// Dropout rate applied to hidden-layer outputs during training
+    /// (`0.0` disables dropout).
+    pub dropout: f64,
+    /// Weight initializer.
+    pub init: Init,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            input_dim: 32,
+            hidden_dims: vec![64, 32],
+            output_dim: 16,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Tanh,
+            dropout: 0.0,
+            init: Init::XavierNormal,
+        }
+    }
+}
+
+/// A sequential stack of [`Dense`] layers.
+///
+/// ```
+/// use rll_nn::{Activation, Mlp, MlpConfig};
+/// use rll_tensor::{init::Init, Matrix, Rng64};
+///
+/// let mut rng = Rng64::seed_from_u64(1);
+/// let mlp = Mlp::new(&MlpConfig {
+///     input_dim: 4,
+///     hidden_dims: vec![8],
+///     output_dim: 2,
+///     ..MlpConfig::default()
+/// }, &mut rng)?;
+/// let out = mlp.forward(&Matrix::ones(3, 4))?;
+/// assert_eq!(out.shape(), (3, 2));
+/// # Ok::<(), rll_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    dropout: f64,
+}
+
+/// Per-layer caches from one training-mode forward pass.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    caches: Vec<DenseCache>,
+}
+
+impl MlpCache {
+    /// The network output for the cached pass.
+    pub fn output(&self) -> &Matrix {
+        &self
+            .caches
+            .last()
+            .expect("MlpCache always holds at least one layer cache")
+            .output
+    }
+}
+
+impl Mlp {
+    /// Builds the network described by `config` with weights drawn from `rng`.
+    pub fn new(config: &MlpConfig, rng: &mut Rng64) -> Result<Self> {
+        if config.input_dim == 0 || config.output_dim == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "input_dim and output_dim must be positive".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&config.dropout) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("dropout must be in [0, 1), got {}", config.dropout),
+            });
+        }
+        let mut dims = Vec::with_capacity(config.hidden_dims.len() + 2);
+        dims.push(config.input_dim);
+        dims.extend_from_slice(&config.hidden_dims);
+        dims.push(config.output_dim);
+        if dims.contains(&0) {
+            return Err(NnError::InvalidConfig {
+                reason: "hidden dims must be positive".into(),
+            });
+        }
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let is_last = layers.len() == dims.len() - 2;
+            let act = if is_last {
+                config.output_activation
+            } else {
+                config.hidden_activation
+            };
+            layers.push(Dense::new(w[0], w[1], act, config.init, rng)?);
+        }
+        Ok(Mlp {
+            layers,
+            dropout: config.dropout,
+        })
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, Dense::in_dim)
+    }
+
+    /// Output (embedding) dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, Dense::out_dim)
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Read-only access to the layers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by gradient checking).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Inference-mode forward pass (no dropout, no cache).
+    pub fn forward(&self, input: &Matrix) -> Result<Matrix> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Training-mode forward pass. Dropout (if configured) applies to every
+    /// hidden layer's output but never to the final embedding layer.
+    pub fn forward_cached(&self, input: &Matrix, rng: &mut Rng64) -> Result<MlpCache> {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        let last = self.layers.len().saturating_sub(1);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let rate = if i < last && self.dropout > 0.0 {
+                Some(self.dropout)
+            } else {
+                None
+            };
+            let cache = layer.forward_cached(&x, rate, rng)?;
+            x = cache.output.clone();
+            caches.push(cache);
+        }
+        Ok(MlpCache { caches })
+    }
+
+    /// Backward pass for a cached forward. `grad_output` is `dL/d(output)`.
+    /// Accumulates parameter gradients into each layer and returns
+    /// `dL/d(input)`.
+    pub fn backward(&mut self, cache: &MlpCache, grad_output: &Matrix) -> Result<Matrix> {
+        if cache.caches.len() != self.layers.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "cache has {} layer entries, network has {}",
+                    cache.caches.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        let mut grad = grad_output.clone();
+        for (layer, layer_cache) in self.layers.iter_mut().zip(&cache.caches).rev() {
+            grad = layer.backward(layer_cache, &grad)?;
+        }
+        Ok(grad)
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Scales all accumulated gradients by `factor` (used to average over the
+    /// number of groups in a minibatch).
+    pub fn scale_grads(&mut self, factor: f64) {
+        for layer in &mut self.layers {
+            layer.scale_grads(factor);
+        }
+    }
+
+    /// Returns `(param, grad)` pairs across all layers in a stable order.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut Matrix, Matrix)> {
+        self.layers
+            .iter_mut()
+            .flat_map(Dense::param_grad_pairs)
+            .collect()
+    }
+
+    /// Global L2 norm of all accumulated gradients.
+    pub fn grad_norm(&self) -> f64 {
+        let mut sq = 0.0;
+        for layer in &self.layers {
+            if let Some(g) = layer.grad_weights() {
+                sq += g.frobenius_norm().powi(2);
+            }
+            if let Some(g) = layer.grad_bias() {
+                sq += g.frobenius_norm().powi(2);
+            }
+        }
+        sq.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> MlpConfig {
+        MlpConfig {
+            input_dim: 4,
+            hidden_dims: vec![5],
+            output_dim: 3,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Identity,
+            dropout: 0.0,
+            init: Init::XavierNormal,
+        }
+    }
+
+    #[test]
+    fn builds_expected_topology() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        assert_eq!(mlp.param_count(), 4 * 5 + 5 + 5 * 3 + 3);
+    }
+
+    #[test]
+    fn no_hidden_layers_is_linear_model() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let cfg = MlpConfig {
+            hidden_dims: vec![],
+            ..small_config()
+        };
+        let mlp = Mlp::new(&cfg, &mut rng).unwrap();
+        assert_eq!(mlp.depth(), 1);
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let bad_dim = MlpConfig {
+            input_dim: 0,
+            ..small_config()
+        };
+        assert!(Mlp::new(&bad_dim, &mut rng).is_err());
+        let bad_hidden = MlpConfig {
+            hidden_dims: vec![4, 0],
+            ..small_config()
+        };
+        assert!(Mlp::new(&bad_hidden, &mut rng).is_err());
+        let bad_dropout = MlpConfig {
+            dropout: 1.0,
+            ..small_config()
+        };
+        assert!(Mlp::new(&bad_dropout, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_shapes_and_cache_output() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        let x = Matrix::ones(7, 4);
+        let y = mlp.forward(&x).unwrap();
+        assert_eq!(y.shape(), (7, 3));
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        assert!(cache.output().approx_eq(&y, 1e-12));
+    }
+
+    #[test]
+    fn backward_cache_mismatch_detected() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mlp_a = Mlp::new(&small_config(), &mut rng).unwrap();
+        let cfg_b = MlpConfig {
+            hidden_dims: vec![5, 5],
+            ..small_config()
+        };
+        let mut mlp_b = Mlp::new(&cfg_b, &mut rng).unwrap();
+        let cache = mlp_a.forward_cached(&Matrix::ones(1, 4), &mut rng).unwrap();
+        assert!(mlp_b.backward(&cache, &Matrix::ones(1, 3)).is_err());
+    }
+
+    #[test]
+    fn full_network_gradient_check() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let cfg = MlpConfig {
+            input_dim: 3,
+            hidden_dims: vec![4, 4],
+            output_dim: 2,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Sigmoid,
+            dropout: 0.0,
+            init: Init::XavierNormal,
+        };
+        let mut mlp = Mlp::new(&cfg, &mut rng).unwrap();
+        let x = Matrix::from_fn(2, 3, |r, c| 0.2 * r as f64 - 0.3 * c as f64 + 0.4);
+
+        // Loss: sum of outputs. Analytic gradient via backward.
+        let cache = mlp.forward_cached(&x, &mut rng).unwrap();
+        let grad_in = mlp.backward(&cache, &Matrix::ones(2, 2)).unwrap();
+
+        let eps = 1e-6;
+        // Spot-check a weight in every layer.
+        for li in 0..mlp.depth() {
+            let analytic = mlp.layers()[li].grad_weights().unwrap().get(0, 0).unwrap();
+            let orig = mlp.layers()[li].weights().get(0, 0).unwrap();
+            mlp.layers_mut()[li].weights_mut().set(0, 0, orig + eps).unwrap();
+            let up = mlp.forward(&x).unwrap().sum();
+            mlp.layers_mut()[li].weights_mut().set(0, 0, orig - eps).unwrap();
+            let down = mlp.forward(&x).unwrap().sum();
+            mlp.layers_mut()[li].weights_mut().set(0, 0, orig).unwrap();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-4,
+                "layer {li}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Input gradient.
+        let orig = x.get(1, 2).unwrap();
+        let mut xu = x.clone();
+        xu.set(1, 2, orig + eps).unwrap();
+        let mut xd = x.clone();
+        xd.set(1, 2, orig - eps).unwrap();
+        let numeric =
+            (mlp.forward(&xu).unwrap().sum() - mlp.forward(&xd).unwrap().sum()) / (2.0 * eps);
+        assert!((numeric - grad_in.get(1, 2).unwrap()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_grad_and_grad_norm() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        assert_eq!(mlp.grad_norm(), 0.0);
+        let cache = mlp.forward_cached(&Matrix::ones(1, 4), &mut rng).unwrap();
+        mlp.backward(&cache, &Matrix::ones(1, 3)).unwrap();
+        assert!(mlp.grad_norm() > 0.0);
+        mlp.zero_grad();
+        assert_eq!(mlp.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn scale_grads_halves_norm() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let mut mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        let cache = mlp.forward_cached(&Matrix::ones(1, 4), &mut rng).unwrap();
+        mlp.backward(&cache, &Matrix::ones(1, 3)).unwrap();
+        let before = mlp.grad_norm();
+        mlp.scale_grads(0.5);
+        assert!((mlp.grad_norm() - before * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropout_only_on_hidden_layers() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let cfg = MlpConfig {
+            dropout: 0.5,
+            ..small_config()
+        };
+        let mlp = Mlp::new(&cfg, &mut rng).unwrap();
+        let cache = mlp.forward_cached(&Matrix::ones(10, 4), &mut rng).unwrap();
+        assert!(cache.caches[0].dropout_mask.is_some());
+        assert!(cache.caches[1].dropout_mask.is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = Rng64::seed_from_u64(10);
+        let mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        let x = Matrix::ones(2, 4);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert!(back.forward(&x).unwrap().approx_eq(&mlp.forward(&x).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn param_grad_pairs_cover_all_layers() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        let pairs = mlp.param_grad_pairs();
+        assert_eq!(pairs.len(), 4); // 2 layers x (W, b)
+    }
+}

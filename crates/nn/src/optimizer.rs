@@ -1,0 +1,503 @@
+//! First-order optimizers.
+//!
+//! An [`Optimizer`] consumes `(parameter, gradient)` pairs in a stable order
+//! and updates the parameters in place. Stateful optimizers (momentum, Adam,
+//! …) index their per-parameter state by position, so a given optimizer
+//! instance must always be stepped with the same network.
+
+use crate::error::NnError;
+use crate::Result;
+use rll_tensor::Matrix;
+
+/// A first-order gradient optimizer.
+pub trait Optimizer {
+    /// Applies one update step. `params` pairs each trainable tensor with its
+    /// gradient; order must be stable across calls.
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()>;
+
+    /// Sets the learning rate (used by schedulers).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+fn validate_lr(lr: f64) -> Result<()> {
+    if lr <= 0.0 || !lr.is_finite() {
+        return Err(NnError::InvalidConfig {
+            reason: format!("learning rate must be positive and finite, got {lr}"),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SGD
+// ---------------------------------------------------------------------------
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    weight_decay: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f64) -> Result<Self> {
+        validate_lr(lr)?;
+        Ok(Sgd {
+            lr,
+            weight_decay: 0.0,
+        })
+    }
+
+    /// Adds L2 weight decay (decoupled: applied directly to the parameters).
+    pub fn with_weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd.max(0.0);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()> {
+        for (param, grad) in params {
+            if self.weight_decay > 0.0 {
+                param.scale_inplace(1.0 - self.lr * self.weight_decay);
+            }
+            param.add_scaled(&grad, -self.lr)?;
+        }
+        Ok(())
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Momentum
+// ---------------------------------------------------------------------------
+
+/// SGD with classical momentum: `v = mu * v - lr * g; p += v`.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    lr: f64,
+    mu: f64,
+    velocity: Vec<Matrix>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD. `mu` is typically 0.9.
+    pub fn new(lr: f64, mu: f64) -> Result<Self> {
+        validate_lr(lr)?;
+        if !(0.0..1.0).contains(&mu) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("momentum must be in [0, 1), got {mu}"),
+            });
+        }
+        Ok(Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()> {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|(p, _)| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+        }
+        if self.velocity.len() != params.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "optimizer state holds {} tensors but step received {}",
+                    self.velocity.len(),
+                    params.len()
+                ),
+            });
+        }
+        for ((param, grad), v) in params.into_iter().zip(&mut self.velocity) {
+            v.scale_inplace(self.mu);
+            v.add_scaled(&grad, -self.lr)?;
+            param.add_assign(v)?;
+        }
+        Ok(())
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RMSProp
+// ---------------------------------------------------------------------------
+
+/// RMSProp: per-coordinate learning rates from an EMA of squared gradients.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f64,
+    decay: f64,
+    eps: f64,
+    mean_square: Vec<Matrix>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp; `decay` is typically 0.9.
+    pub fn new(lr: f64, decay: f64) -> Result<Self> {
+        validate_lr(lr)?;
+        if !(0.0..1.0).contains(&decay) {
+            return Err(NnError::InvalidConfig {
+                reason: format!("decay must be in [0, 1), got {decay}"),
+            });
+        }
+        Ok(RmsProp {
+            lr,
+            decay,
+            eps: 1e-8,
+            mean_square: Vec::new(),
+        })
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()> {
+        if self.mean_square.is_empty() {
+            self.mean_square = params
+                .iter()
+                .map(|(p, _)| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+        }
+        if self.mean_square.len() != params.len() {
+            return Err(NnError::InvalidConfig {
+                reason: "optimizer state size mismatch".into(),
+            });
+        }
+        for ((param, grad), ms) in params.into_iter().zip(&mut self.mean_square) {
+            for i in 0..grad.len() {
+                let g = grad.as_slice()[i];
+                let m = &mut ms.as_mut_slice()[i];
+                *m = self.decay * *m + (1.0 - self.decay) * g * g;
+                param.as_mut_slice()[i] -= self.lr * g / (m.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adam / AdamW
+// ---------------------------------------------------------------------------
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `beta1 = 0.9`, `beta2 = 0.999`.
+    pub fn new(lr: f64) -> Result<Self> {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit betas.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Result<Self> {
+        validate_lr(lr)?;
+        for (name, b) in [("beta1", beta1), ("beta2", beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(NnError::InvalidConfig {
+                    reason: format!("{name} must be in [0, 1), got {b}"),
+                });
+            }
+        }
+        Ok(Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        })
+    }
+
+    fn step_inner(
+        &mut self,
+        params: Vec<(&mut Matrix, Matrix)>,
+        weight_decay: f64,
+    ) -> Result<()> {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|(p, _)| Matrix::zeros(p.rows(), p.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        if self.m.len() != params.len() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "optimizer state holds {} tensors but step received {}",
+                    self.m.len(),
+                    params.len()
+                ),
+            });
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (param, grad)) in params.into_iter().enumerate() {
+            if weight_decay > 0.0 {
+                // Decoupled decay (AdamW): shrink parameters directly.
+                param.scale_inplace(1.0 - self.lr * weight_decay);
+            }
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..grad.len() {
+                let g = grad.as_slice()[j];
+                let mj = &mut m.as_mut_slice()[j];
+                *mj = self.beta1 * *mj + (1.0 - self.beta1) * g;
+                let vj = &mut v.as_mut_slice()[j];
+                *vj = self.beta2 * *vj + (1.0 - self.beta2) * g * g;
+                let m_hat = *mj / bc1;
+                let v_hat = *vj / bc2;
+                param.as_mut_slice()[j] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()> {
+        self.step_inner(params, 0.0)
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// AdamW: Adam with decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    inner: Adam,
+    weight_decay: f64,
+}
+
+impl AdamW {
+    /// Creates AdamW with the given learning rate and decay coefficient.
+    pub fn new(lr: f64, weight_decay: f64) -> Result<Self> {
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("weight decay must be non-negative, got {weight_decay}"),
+            });
+        }
+        Ok(AdamW {
+            inner: Adam::new(lr)?,
+            weight_decay,
+        })
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: Vec<(&mut Matrix, Matrix)>) -> Result<()> {
+        let wd = self.weight_decay;
+        self.inner.step_inner(params, wd)
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.inner.set_learning_rate(lr);
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.inner.learning_rate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gradient clipping
+// ---------------------------------------------------------------------------
+
+/// Global-norm gradient clipping.
+#[derive(Debug, Clone, Copy)]
+pub struct GradClip {
+    /// Maximum allowed global L2 norm.
+    pub max_norm: f64,
+}
+
+impl GradClip {
+    /// Creates a clipper; `max_norm` must be positive.
+    pub fn new(max_norm: f64) -> Result<Self> {
+        if max_norm <= 0.0 || !max_norm.is_finite() {
+            return Err(NnError::InvalidConfig {
+                reason: format!("max_norm must be positive and finite, got {max_norm}"),
+            });
+        }
+        Ok(GradClip { max_norm })
+    }
+
+    /// Rescales the gradient set in place when its global norm exceeds
+    /// `max_norm`; returns the pre-clip norm.
+    pub fn clip(&self, grads: &mut [Matrix]) -> f64 {
+        let norm = grads
+            .iter()
+            .map(|g| g.frobenius_norm().powi(2))
+            .sum::<f64>()
+            .sqrt();
+        if norm > self.max_norm && norm > 0.0 {
+            let scale = self.max_norm / norm;
+            for g in grads {
+                g.scale_inplace(scale);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = (x - 3)^2 starting at x = 0 with the given optimizer.
+    fn converges_on_quadratic(opt: &mut dyn Optimizer, iters: usize) -> f64 {
+        let mut x = Matrix::zeros(1, 1);
+        for _ in 0..iters {
+            let g = Matrix::full(1, 1, 2.0 * (x.at(0, 0) - 3.0));
+            opt.step(vec![(&mut x, g)]).unwrap();
+        }
+        x.at(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.1).unwrap();
+        let x = converges_on_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn momentum_converges() {
+        let mut opt = Momentum::new(0.05, 0.9).unwrap();
+        let x = converges_on_quadratic(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-4, "x = {x}");
+    }
+
+    #[test]
+    fn rmsprop_converges() {
+        let mut opt = RmsProp::new(0.05, 0.9).unwrap();
+        let x = converges_on_quadratic(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.1).unwrap();
+        let x = converges_on_quadratic(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adamw_converges_with_decay() {
+        let mut opt = AdamW::new(0.1, 0.001).unwrap();
+        let x = converges_on_quadratic(&mut opt, 500);
+        // Decay biases slightly toward zero but must stay near the optimum.
+        assert!((x - 3.0).abs() < 0.05, "x = {x}");
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Sgd::new(0.0).is_err());
+        assert!(Sgd::new(f64::NAN).is_err());
+        assert!(Momentum::new(0.1, 1.0).is_err());
+        assert!(RmsProp::new(0.1, -0.1).is_err());
+        assert!(Adam::with_betas(0.1, 1.0, 0.9).is_err());
+        assert!(AdamW::new(0.1, -1.0).is_err());
+        assert!(GradClip::new(0.0).is_err());
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(0.1).unwrap().with_weight_decay(0.5);
+        let mut x = Matrix::full(1, 1, 10.0);
+        opt.step(vec![(&mut x, Matrix::zeros(1, 1))]).unwrap();
+        assert!((x.at(0, 0) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stateful_optimizers_reject_param_count_change() {
+        let mut opt = Adam::new(0.1).unwrap();
+        let mut a = Matrix::zeros(1, 1);
+        opt.step(vec![(&mut a, Matrix::ones(1, 1))]).unwrap();
+        let mut b = Matrix::zeros(1, 1);
+        let mut c = Matrix::zeros(1, 1);
+        assert!(opt
+            .step(vec![(&mut b, Matrix::ones(1, 1)), (&mut c, Matrix::ones(1, 1))])
+            .is_err());
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.1).unwrap();
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        let mut w = AdamW::new(0.2, 0.0).unwrap();
+        w.set_learning_rate(0.05);
+        assert_eq!(w.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn grad_clip_rescales_only_above_threshold() {
+        let clip = GradClip::new(1.0).unwrap();
+        let mut grads = vec![Matrix::full(1, 2, 3.0)]; // norm = sqrt(18) > 1
+        let pre = clip.clip(&mut grads);
+        assert!((pre - 18f64.sqrt()).abs() < 1e-12);
+        let post = grads[0].frobenius_norm();
+        assert!((post - 1.0).abs() < 1e-12);
+
+        let mut small = vec![Matrix::full(1, 2, 0.1)];
+        clip.clip(&mut small);
+        assert!((small[0].at(0, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut opt = Adam::new(0.5).unwrap();
+        let mut x = Matrix::zeros(1, 1);
+        opt.step(vec![(&mut x, Matrix::full(1, 1, 10.0))]).unwrap();
+        assert!((x.at(0, 0) + 0.5).abs() < 1e-6, "x = {}", x.at(0, 0));
+    }
+}

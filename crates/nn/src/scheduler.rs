@@ -1,0 +1,210 @@
+//! Learning-rate schedules.
+
+use crate::error::NnError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule mapping an epoch index to a learning rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f64,
+    },
+    /// Multiplies the rate by `gamma` every `step_size` epochs.
+    Step {
+        /// Initial learning rate.
+        lr: f64,
+        /// Epochs between decays.
+        step_size: usize,
+        /// Multiplicative decay factor in `(0, 1]`.
+        gamma: f64,
+    },
+    /// Exponential decay `lr * gamma^epoch`.
+    Exponential {
+        /// Initial learning rate.
+        lr: f64,
+        /// Per-epoch decay factor in `(0, 1]`.
+        gamma: f64,
+    },
+    /// Cosine annealing from `lr` down to `min_lr` over `total_epochs`.
+    Cosine {
+        /// Initial learning rate.
+        lr: f64,
+        /// Final learning rate.
+        min_lr: f64,
+        /// Annealing horizon; epochs beyond it stay at `min_lr`.
+        total_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Validates the schedule's parameters.
+    pub fn validate(&self) -> Result<()> {
+        let check_lr = |lr: f64| -> Result<()> {
+            if lr <= 0.0 || !lr.is_finite() {
+                return Err(NnError::InvalidConfig {
+                    reason: format!("learning rate must be positive and finite, got {lr}"),
+                });
+            }
+            Ok(())
+        };
+        match *self {
+            LrSchedule::Constant { lr } => check_lr(lr),
+            LrSchedule::Step { lr, step_size, gamma } => {
+                check_lr(lr)?;
+                if step_size == 0 {
+                    return Err(NnError::InvalidConfig {
+                        reason: "step_size must be positive".into(),
+                    });
+                }
+                if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+                    return Err(NnError::InvalidConfig {
+                        reason: format!("gamma must be in (0, 1], got {gamma}"),
+                    });
+                }
+                Ok(())
+            }
+            LrSchedule::Exponential { lr, gamma } => {
+                check_lr(lr)?;
+                if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+                    return Err(NnError::InvalidConfig {
+                        reason: format!("gamma must be in (0, 1], got {gamma}"),
+                    });
+                }
+                Ok(())
+            }
+            LrSchedule::Cosine { lr, min_lr, total_epochs } => {
+                check_lr(lr)?;
+                if min_lr < 0.0 || min_lr > lr {
+                    return Err(NnError::InvalidConfig {
+                        reason: format!("min_lr must be in [0, lr], got {min_lr}"),
+                    });
+                }
+                if total_epochs == 0 {
+                    return Err(NnError::InvalidConfig {
+                        reason: "total_epochs must be positive".into(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Learning rate at the given (0-based) epoch.
+    pub fn at_epoch(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Step { lr, step_size, gamma } => {
+                lr * gamma.powi((epoch / step_size) as i32)
+            }
+            LrSchedule::Exponential { lr, gamma } => lr * gamma.powi(epoch as i32),
+            LrSchedule::Cosine { lr, min_lr, total_epochs } => {
+                if epoch >= total_epochs {
+                    return min_lr;
+                }
+                let progress = epoch as f64 / total_epochs as f64;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f64::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.01 };
+        s.validate().unwrap();
+        assert_eq!(s.at_epoch(0), 0.01);
+        assert_eq!(s.at_epoch(1000), 0.01);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            lr: 1.0,
+            step_size: 10,
+            gamma: 0.1,
+        };
+        s.validate().unwrap();
+        assert_eq!(s.at_epoch(0), 1.0);
+        assert_eq!(s.at_epoch(9), 1.0);
+        assert!((s.at_epoch(10) - 0.1).abs() < 1e-12);
+        assert!((s.at_epoch(25) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_decays_monotonically() {
+        let s = LrSchedule::Exponential { lr: 0.5, gamma: 0.9 };
+        s.validate().unwrap();
+        let mut prev = f64::INFINITY;
+        for e in 0..20 {
+            let lr = s.at_epoch(e);
+            assert!(lr < prev);
+            prev = lr;
+        }
+        assert!((s.at_epoch(2) - 0.5 * 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_midpoint() {
+        let s = LrSchedule::Cosine {
+            lr: 1.0,
+            min_lr: 0.0,
+            total_epochs: 100,
+        };
+        s.validate().unwrap();
+        assert!((s.at_epoch(0) - 1.0).abs() < 1e-12);
+        assert!((s.at_epoch(50) - 0.5).abs() < 1e-12);
+        assert!(s.at_epoch(100) == 0.0);
+        assert!(s.at_epoch(500) == 0.0);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.001,
+            total_epochs: 30,
+        };
+        let mut prev = f64::INFINITY;
+        for e in 0..=30 {
+            let lr = s.at_epoch(e);
+            assert!(lr <= prev + 1e-15);
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(LrSchedule::Constant { lr: 0.0 }.validate().is_err());
+        assert!(LrSchedule::Step { lr: 0.1, step_size: 0, gamma: 0.5 }
+            .validate()
+            .is_err());
+        assert!(LrSchedule::Step { lr: 0.1, step_size: 5, gamma: 0.0 }
+            .validate()
+            .is_err());
+        assert!(LrSchedule::Exponential { lr: 0.1, gamma: 1.5 }.validate().is_err());
+        assert!(LrSchedule::Cosine { lr: 0.1, min_lr: 0.2, total_epochs: 10 }
+            .validate()
+            .is_err());
+        assert!(LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_epochs: 0 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.01,
+            total_epochs: 50,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<LrSchedule>(&json).unwrap(), s);
+    }
+}

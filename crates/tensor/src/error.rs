@@ -1,0 +1,129 @@
+//! Typed errors for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by matrix and sampling operations.
+///
+/// Every fallible entry point in this crate returns `TensorError` rather than
+/// panicking; shape mismatches are the most common variant and carry both
+/// shapes so the message pinpoints the offending call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor received a buffer whose length does not match `rows * cols`.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index as `(row, col)`.
+        index: (usize, usize),
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An operation requiring a non-empty input received an empty one.
+    Empty {
+        /// Operation name.
+        op: &'static str,
+    },
+    /// A scalar parameter was outside its valid domain (e.g. a non-positive
+    /// gamma shape, a Beta prior with `alpha <= 0`).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length mismatch: expected {expected} elements, got {actual}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty input"),
+            TensorError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("expected 6"));
+        assert!(e.to_string().contains("got 5"));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = TensorError::IndexOutOfBounds {
+            index: (3, 0),
+            shape: (2, 2),
+        };
+        assert!(e.to_string().contains("(3, 0)"));
+        assert!(e.to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn display_empty_and_invalid() {
+        assert!(TensorError::Empty { op: "mean" }.to_string().contains("mean"));
+        let e = TensorError::InvalidParameter {
+            name: "alpha",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::Empty { op: "x" });
+    }
+}

@@ -1,0 +1,149 @@
+//! Weight initializers for neural-network layers.
+//!
+//! The RLL paper uses a standard multi-layer fully-connected projection; for
+//! tanh-style layers the original DSSM-family models initialize with
+//! Xavier/Glorot, and He initialization is provided for ReLU layers.
+
+use crate::matrix::Matrix;
+use crate::rng::Rng64;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Initialization scheme for a dense layer's weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Xavier/Glorot normal: `N(0, 2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// He (Kaiming) uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    HeUniform,
+    /// He (Kaiming) normal: `N(0, 2 / fan_in)`.
+    HeNormal,
+    /// LeCun normal: `N(0, 1 / fan_in)`.
+    LeCunNormal,
+}
+
+impl Init {
+    /// Builds a `fan_in x fan_out` weight matrix using this scheme.
+    pub fn build(self, fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Result<Matrix> {
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        let fi = fan_in.max(1) as f64;
+        let fo = fan_out.max(1) as f64;
+        match self {
+            Init::Zeros => {}
+            Init::XavierUniform => {
+                let a = (6.0 / (fi + fo)).sqrt();
+                rng.fill_uniform(m.as_mut_slice(), -a, a)?;
+            }
+            Init::XavierNormal => {
+                let std = (2.0 / (fi + fo)).sqrt();
+                rng.fill_standard_normal(m.as_mut_slice());
+                m.scale_inplace(std);
+            }
+            Init::HeUniform => {
+                let a = (6.0 / fi).sqrt();
+                rng.fill_uniform(m.as_mut_slice(), -a, a)?;
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fi).sqrt();
+                rng.fill_standard_normal(m.as_mut_slice());
+                m.scale_inplace(std);
+            }
+            Init::LeCunNormal => {
+                let std = (1.0 / fi).sqrt();
+                rng.fill_standard_normal(m.as_mut_slice());
+                m.scale_inplace(std);
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_std(m: &Matrix) -> f64 {
+        let mean = m.mean();
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / m.len() as f64;
+        var.sqrt()
+    }
+
+    #[test]
+    fn zeros_builds_zero_matrix() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let m = Init::Zeros.build(4, 5, &mut rng).unwrap();
+        assert_eq!(m.sum(), 0.0);
+        assert_eq!(m.shape(), (4, 5));
+    }
+
+    #[test]
+    fn xavier_uniform_within_bound() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let (fi, fo) = (64, 32);
+        let a = (6.0 / (fi + fo) as f64).sqrt();
+        let m = Init::XavierUniform.build(fi, fo, &mut rng).unwrap();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn xavier_normal_std_matches() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let (fi, fo) = (256, 256);
+        let m = Init::XavierNormal.build(fi, fo, &mut rng).unwrap();
+        let expected = (2.0 / (fi + fo) as f64).sqrt();
+        assert!((sample_std(&m) - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn he_normal_std_matches() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let fi = 512;
+        let m = Init::HeNormal.build(fi, 128, &mut rng).unwrap();
+        let expected = (2.0 / fi as f64).sqrt();
+        assert!((sample_std(&m) - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn he_uniform_within_bound() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let fi = 100;
+        let a = (6.0 / fi as f64).sqrt();
+        let m = Init::HeUniform.build(fi, 10, &mut rng).unwrap();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn lecun_normal_std_matches() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let fi = 400;
+        let m = Init::LeCunNormal.build(fi, 100, &mut rng).unwrap();
+        let expected = (1.0 / fi as f64).sqrt();
+        assert!((sample_std(&m) - expected).abs() < expected * 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng64::seed_from_u64(9);
+        let mut r2 = Rng64::seed_from_u64(9);
+        let a = Init::XavierNormal.build(8, 8, &mut r1).unwrap();
+        let b = Init::XavierNormal.build(8, 8, &mut r2).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn degenerate_fan_does_not_divide_by_zero() {
+        let mut rng = Rng64::seed_from_u64(10);
+        let m = Init::HeNormal.build(0, 3, &mut rng).unwrap();
+        assert_eq!(m.shape(), (0, 3));
+    }
+}

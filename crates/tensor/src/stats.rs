@@ -1,0 +1,306 @@
+//! Summary statistics over `f64` slices.
+//!
+//! Used by the evaluation harness (per-fold means and standard deviations),
+//! the data simulator (feature standardization), and tests.
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// Arithmetic mean. Returns [`TensorError::Empty`] for an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TensorError::Empty { op: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`). Requires at least two elements.
+pub fn sample_variance(xs: &[f64]) -> Result<f64> {
+    if xs.len() < 2 {
+        return Err(TensorError::InvalidParameter {
+            name: "sample_variance",
+            reason: format!("requires at least 2 samples, got {}", xs.len()),
+        });
+    }
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Sample standard deviation.
+pub fn sample_std_dev(xs: &[f64]) -> Result<f64> {
+    sample_variance(xs).map(f64::sqrt)
+}
+
+/// Minimum value. Returns [`TensorError::Empty`] for an empty slice.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TensorError::Empty { op: "min" });
+    }
+    Ok(xs.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum value. Returns [`TensorError::Empty`] for an empty slice.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TensorError::Empty { op: "max" });
+    }
+    Ok(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Median (average of the two middle values for even length).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile, `q` in `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(TensorError::Empty { op: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(TensorError::InvalidParameter {
+            name: "q",
+            reason: format!("must be in [0, 1], got {q}"),
+        });
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length slices.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "pearson",
+            lhs: (1, xs.len()),
+            rhs: (1, ys.len()),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return Err(TensorError::InvalidParameter {
+            name: "pearson",
+            reason: "inputs must have non-zero variance".into(),
+        });
+    }
+    Ok(cov / (vx * vy).sqrt())
+}
+
+/// Welch's t-statistic for the difference of means of two samples.
+///
+/// Used by the evaluation harness to report whether per-fold score differences
+/// between two methods are likely noise. Returns the t-statistic and the
+/// Welch–Satterthwaite degrees of freedom.
+pub fn welch_t(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let vx = sample_variance(xs)?;
+    let vy = sample_variance(ys)?;
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let se2 = vx / nx + vy / ny;
+    if se2 <= 0.0 {
+        return Err(TensorError::InvalidParameter {
+            name: "welch_t",
+            reason: "zero pooled variance".into(),
+        });
+    }
+    let t = (mx - my) / se2.sqrt();
+    let df = se2 * se2
+        / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
+    Ok((t, df))
+}
+
+/// Paired t-statistic for matched samples (e.g. two methods scored on the
+/// same cross-validation folds): `t = mean(d) / (sd(d) / sqrt(n))` with
+/// `d_i = xs_i - ys_i`. Returns `(t, degrees_of_freedom)`.
+///
+/// Returns an error for mismatched lengths, fewer than two pairs, or
+/// zero-variance differences (the statistic is undefined; equal vectors are
+/// the common trigger and callers should treat them as "no difference").
+pub fn paired_t(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
+    if xs.len() != ys.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "paired_t",
+            lhs: (1, xs.len()),
+            rhs: (1, ys.len()),
+        });
+    }
+    let diffs: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| x - y).collect();
+    let n = diffs.len() as f64;
+    let sd = sample_std_dev(&diffs)?;
+    if sd <= 0.0 {
+        return Err(TensorError::InvalidParameter {
+            name: "paired_t",
+            reason: "zero variance in paired differences".into(),
+        });
+    }
+    let m = mean(&diffs)?;
+    Ok((m / (sd / n.sqrt()), n - 1.0))
+}
+
+/// Two-sided p-value for a t-statistic under a normal approximation to the
+/// t-distribution — adequate for the coarse "is this difference noise?"
+/// judgement the evaluation harness makes. For df >= 30 the approximation is
+/// within ~0.005 of the exact value; below that it is conservative-ish but
+/// clearly labeled approximate.
+pub fn approx_two_sided_p(t: f64, _df: f64) -> f64 {
+    // Φ(-|t|) * 2 via the Abramowitz–Stegun erf approximation.
+    let z = t.abs() / std::f64::consts::SQRT_2;
+    // erf(z) approximation, |error| <= 1.5e-7.
+    let a1 = 0.254829592;
+    let a2 = -0.284496736;
+    let a3 = 1.421413741;
+    let a4 = -1.453152027;
+    let a5 = 1.061405429;
+    let p = 0.3275911;
+    let tt = 1.0 / (1.0 + p * z);
+    let erf = 1.0 - (((((a5 * tt + a4) * tt) + a3) * tt + a2) * tt + a1) * tt * (-z * z).exp();
+    (1.0 - erf).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 5] = [2.0, 4.0, 4.0, 4.0, 6.0];
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&XS).unwrap(), 4.0);
+        assert!((variance(&XS).unwrap() - 1.6).abs() < 1e-12);
+        assert!((sample_variance(&XS).unwrap() - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+        assert!(sample_variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn std_devs() {
+        assert!((std_dev(&XS).unwrap() - 1.6f64.sqrt()).abs() < 1e-12);
+        assert!((sample_std_dev(&XS).unwrap() - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&XS).unwrap(), 2.0);
+        assert_eq!(max(&XS).unwrap(), 6.0);
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&XS).unwrap(), 4.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 0.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 10.0);
+        assert_eq!(quantile(&xs, 0.25).unwrap(), 2.5);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_validates() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn welch_t_zero_for_identical_means() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        let (t, df) = welch_t(&xs, &ys).unwrap();
+        assert!(t.abs() < 1e-12);
+        assert!(df > 0.0);
+    }
+
+    #[test]
+    fn welch_t_detects_separation() {
+        let xs = [10.0, 10.5, 9.5, 10.2];
+        let ys = [1.0, 1.5, 0.5, 0.9];
+        let (t, _) = welch_t(&xs, &ys).unwrap();
+        assert!(t > 10.0);
+    }
+
+    #[test]
+    fn welch_t_validates() {
+        assert!(welch_t(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn paired_t_detects_consistent_improvement() {
+        let a = [0.85, 0.87, 0.84, 0.86, 0.88];
+        let b = [0.80, 0.82, 0.79, 0.81, 0.83];
+        let (t, df) = paired_t(&a, &b).unwrap();
+        assert!(t > 10.0, "t = {t}");
+        assert_eq!(df, 4.0);
+        let p = approx_two_sided_p(t, df);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn paired_t_symmetric_and_validates() {
+        let a = [0.8, 0.9, 0.7];
+        let b = [0.75, 0.95, 0.72];
+        let (t_ab, _) = paired_t(&a, &b).unwrap();
+        let (t_ba, _) = paired_t(&b, &a).unwrap();
+        assert!((t_ab + t_ba).abs() < 1e-12);
+        assert!(paired_t(&a, &b[..2]).is_err());
+        assert!(paired_t(&[1.0], &[2.0]).is_err());
+        // Identical vectors → zero-variance differences → error.
+        assert!(paired_t(&a, &a).is_err());
+    }
+
+    #[test]
+    fn approx_p_values_sane() {
+        assert!(approx_two_sided_p(0.0, 10.0) > 0.99);
+        assert!(approx_two_sided_p(1.96, 1000.0) < 0.06);
+        assert!(approx_two_sided_p(1.96, 1000.0) > 0.04);
+        assert!(approx_two_sided_p(5.0, 10.0) < 1e-4);
+        assert!(approx_two_sided_p(-5.0, 10.0) < 1e-4); // two-sided: sign-free
+    }
+}

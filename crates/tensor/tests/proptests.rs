@@ -1,0 +1,176 @@
+//! Property-based tests for the tensor substrate: algebraic laws that must
+//! hold for arbitrary well-formed inputs.
+
+use proptest::prelude::*;
+use rll_tensor::{ops, Matrix, Rng64};
+
+/// Strategy: a matrix with shape in [1, 6] x [1, 6] and elements in [-10, 10].
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Strategy: a pair of multiplication-compatible matrices.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=5, 1usize..=5, 1usize..=5).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-5.0f64..5.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap()),
+            prop::collection::vec(-5.0f64..5.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap()),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix()) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn add_commutes(m in small_matrix()) {
+        let doubled = m.add(&m).unwrap();
+        let scaled = m.scale(2.0);
+        prop_assert!(doubled.approx_eq(&scaled, 1e-12));
+    }
+
+    #[test]
+    fn sub_self_is_zero(m in small_matrix()) {
+        let z = m.sub(&m).unwrap();
+        prop_assert_eq!(z.sum(), 0.0);
+    }
+
+    #[test]
+    fn matmul_transpose_law((a, b) in matmul_pair()) {
+        // (AB)^T = B^T A^T
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent((a, b) in matmul_pair()) {
+        // a: m x k, b: k x n. a^T has shape k x m so (a^T)^T b = a b.
+        let at = a.transpose();
+        let via_tn = at.matmul_tn(&b).unwrap();
+        let direct = a.matmul(&b).unwrap();
+        prop_assert!(via_tn.approx_eq(&direct, 1e-9));
+
+        let bt = b.transpose();
+        let via_nt = a.matmul_nt(&bt).unwrap();
+        prop_assert!(via_nt.approx_eq(&direct, 1e-9));
+    }
+
+    #[test]
+    fn identity_is_neutral(m in small_matrix()) {
+        let id = Matrix::identity(m.cols());
+        prop_assert!(m.matmul(&id).unwrap().approx_eq(&m, 1e-12));
+        let id_left = Matrix::identity(m.rows());
+        prop_assert!(id_left.matmul(&m).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in matmul_pair()) {
+        // a(b + b) = ab + ab
+        let b2 = b.add(&b).unwrap();
+        let left = a.matmul(&b2).unwrap();
+        let ab = a.matmul(&b).unwrap();
+        let right = ab.add(&ab).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn frobenius_norm_scales(m in small_matrix(), s in -4.0f64..4.0) {
+        let scaled = m.scale(s);
+        let expected = m.frobenius_norm() * s.abs();
+        prop_assert!((scaled.frobenius_norm() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_distribution(xs in prop::collection::vec(-50.0f64..50.0, 1..12)) {
+        let p = ops::softmax(&xs).unwrap();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_shift_invariance(xs in prop::collection::vec(-20.0f64..20.0, 1..8), shift in -100.0f64..100.0) {
+        let a = ops::softmax(&xs).unwrap();
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let b = ops::softmax(&shifted).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_ge_max(xs in prop::collection::vec(-30.0f64..30.0, 1..10)) {
+        let lse = ops::log_sum_exp(&xs).unwrap();
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn cosine_bounded_and_symmetric(
+        a in prop::collection::vec(-10.0f64..10.0, 2..8),
+        b_seed in 0u64..1000,
+    ) {
+        let mut rng = Rng64::seed_from_u64(b_seed);
+        let b: Vec<f64> = (0..a.len()).map(|_| rng.standard_normal()).collect();
+        let c1 = ops::cosine_similarity(&a, &b).unwrap();
+        let c2 = ops::cosine_similarity(&b, &a).unwrap();
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_scale_invariant(a in prop::collection::vec(0.1f64..10.0, 2..6), s in 0.1f64..50.0) {
+        let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+        let c = ops::cosine_similarity(&a, &scaled).unwrap();
+        prop_assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_monotone(x in -30.0f64..30.0, dx in 0.001f64..5.0) {
+        prop_assert!(ops::sigmoid(x + dx) > ops::sigmoid(x));
+    }
+
+    #[test]
+    fn sample_indices_always_distinct(n in 1usize..40, seed in 0u64..500) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let count = n / 2;
+        let idx = rng.sample_indices(n, count).unwrap();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), count);
+    }
+
+    #[test]
+    fn beta_support(seed in 0u64..300, a in 0.2f64..8.0, b in 0.2f64..8.0) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let x = rng.beta(a, b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&x));
+    }
+
+    #[test]
+    fn select_rows_round_trip(m in small_matrix()) {
+        let all: Vec<usize> = (0..m.rows()).collect();
+        let s = m.select_rows(&all).unwrap();
+        prop_assert!(s.approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn hstack_vstack_shapes(m in small_matrix()) {
+        let h = m.hstack(&m).unwrap();
+        prop_assert_eq!(h.shape(), (m.rows(), m.cols() * 2));
+        let v = m.vstack(&m).unwrap();
+        prop_assert_eq!(v.shape(), (m.rows() * 2, m.cols()));
+        prop_assert!((h.sum() - 2.0 * m.sum()).abs() < 1e-9);
+        prop_assert!((v.sum() - 2.0 * m.sum()).abs() < 1e-9);
+    }
+}

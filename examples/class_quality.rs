@@ -1,0 +1,91 @@
+//! The paper's second application: judging the quality of 65-minute online
+//! 1-v-1 classes ("class" dataset) — the harder, more ambiguous task.
+//!
+//! Demonstrates why confidence weighting matters there: the example inspects
+//! crowd disagreement, compares the MLE and Bayesian confidence estimates on
+//! ambiguous items, and shows the downstream effect on held-out accuracy.
+//!
+//! ```text
+//! cargo run --release --example class_quality
+//! ```
+
+use rll::core::{RllConfig, RllPipeline, RllVariant};
+use rll::crowd::aggregate::{Aggregator, MajorityVote};
+use rll::crowd::{BetaPrior, ConfidenceEstimator};
+use rll::data::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = presets::class_scaled(280, 13)?;
+    println!(
+        "class quality: {} recorded classes, {} interaction features, {} annotators\n",
+        ds.len(),
+        ds.dim(),
+        ds.num_workers()
+    );
+
+    // How inconsistent are the crowd votes?
+    let mut split_votes = 0usize;
+    for i in 0..ds.len() {
+        let pos = ds.annotations.positive_votes(i)?;
+        let d = ds.annotations.annotation_count(i)?;
+        if pos != 0 && pos != d {
+            split_votes += 1;
+        }
+    }
+    println!(
+        "{} of {} classes ({:.0}%) have split votes — judging a 65-minute class is ambiguous",
+        split_votes,
+        ds.len(),
+        100.0 * split_votes as f64 / ds.len() as f64
+    );
+
+    // Confidence estimates on a few representative vote patterns.
+    let labels = MajorityVote::positive_ties().hard_labels(&ds.annotations)?;
+    let prior = BetaPrior::from_class_prior(ds.positive_prior(), 2.0)?;
+    let mle = ConfidenceEstimator::Mle;
+    let bayes = ConfidenceEstimator::Bayesian(prior);
+    println!("\nvotes (of 5)   δ_MLE    δ_Bayesian   (prior mean {:.2})", prior.mean());
+    for target in [5usize, 4, 3] {
+        if let Some(i) = (0..ds.len()).find(|&i| {
+            ds.annotations.positive_votes(i).unwrap() == target && labels[i] == 1
+        }) {
+            let d = ds.annotations.annotation_count(i)?;
+            println!(
+                "  {target}/{d} positive   {:.3}    {:.3}",
+                mle.positiveness(target, d)?,
+                bayes.positiveness(target, d)?
+            );
+        }
+    }
+    println!("Bayesian shrinkage keeps 5/5 votes from being treated as absolute certainty\nand pulls 3/5 votes toward the class prior — exactly eq. (2).");
+
+    // Downstream effect: plain RLL vs RLL-Bayesian, averaged over three
+    // held-out splits (a single split at this size is too noisy to read).
+    println!("\ntraining plain RLL and RLL-Bayesian (3 splits each, same budget)...");
+    for variant in [RllVariant::Plain, RllVariant::Bayesian] {
+        let seeds = [42u64, 43, 44];
+        let (mut acc, mut f1) = (0.0, 0.0);
+        for &seed in &seeds {
+            let mut pipeline = RllPipeline::new(RllConfig {
+                variant,
+                epochs: 40,
+                groups_per_epoch: 256,
+                ..RllConfig::default()
+            });
+            let report =
+                pipeline.fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, seed)?;
+            acc += report.accuracy;
+            f1 += report.f1;
+        }
+        println!(
+            "  {:<14} mean held-out accuracy {:.3}, F1 {:.3}",
+            variant.name(),
+            acc / seeds.len() as f64,
+            f1 / seeds.len() as f64
+        );
+    }
+    println!(
+        "At full scale (472 classes, 5-fold CV) the confidence-weighted variants\nlead plain RLL by about a point — see EXPERIMENTS.md Table I."
+    );
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Quickstart: walk the RLL architecture (paper Figure 1) stage by stage,
+//! then train the full pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rll::core::loss::{group_posterior, group_softmax_loss};
+use rll::core::{GroupSampler, RllConfig, RllPipeline, RllVariant, SamplingStrategy};
+use rll::crowd::aggregate::{Aggregator, MajorityVote};
+use rll::crowd::{BetaPrior, ConfidenceEstimator};
+use rll::data::presets;
+use rll::nn::{Activation, Mlp, MlpConfig};
+use rll::tensor::{init::Init, Rng64};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== RLL quickstart: the five stages of Figure 1 ==\n");
+
+    // Simulate a small slice of the paper's `oral` dataset: 200 speech
+    // samples, each annotated by 5 crowd workers, expert labels held out.
+    let ds = presets::oral_scaled(200, 7)?;
+    println!(
+        "dataset: {} examples x {} features, {} workers/item, pos:neg = {:.2}",
+        ds.len(),
+        ds.dim(),
+        ds.num_workers(),
+        ds.class_ratio().unwrap_or(f64::NAN)
+    );
+
+    // Stage 1 — infer hard labels from the crowd (majority vote) and build
+    // the GROUPING LAYER: g = <x+_i, x+_j, x-_1, ..., x-_k>.
+    let labels = MajorityVote::positive_ties().hard_labels(&ds.annotations)?;
+    let sampler = GroupSampler::new(&labels, 3, SamplingStrategy::Uniform, None)?;
+    println!(
+        "\n[grouping layer] theoretical group space: {} groups from {} labels",
+        sampler.group_space_size(),
+        ds.len()
+    );
+    let mut rng = Rng64::seed_from_u64(1);
+    let group = sampler.sample(&mut rng)?;
+    println!("  sampled group: anchor={}, positive={}, negatives={:?}",
+        group.anchor, group.positive, group.negatives);
+
+    // Stage 2 — estimate label confidences δ (Bayesian, eq. 2) with the prior
+    // set from the class ratio, as the paper prescribes.
+    let prior = BetaPrior::from_class_prior(ds.positive_prior(), 2.0)?;
+    let estimator = ConfidenceEstimator::Bayesian(prior);
+    let confidences = estimator.label_confidences(&ds.annotations, &labels)?;
+    println!("\n[confidence] Beta prior = ({:.2}, {:.2})", prior.alpha, prior.beta);
+    for &m in group.members().iter().take(3) {
+        let votes = ds.annotations.positive_votes(m)?;
+        println!(
+            "  example {m}: votes {votes}/5 positive, label {}, δ = {:.3}",
+            labels[m], confidences[m]
+        );
+    }
+
+    // Stage 3 — the multi-layer non-linear projection (shared MLP encoder).
+    let mlp = Mlp::new(
+        &MlpConfig {
+            input_dim: ds.dim(),
+            hidden_dims: vec![64, 32],
+            output_dim: 16,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Tanh,
+            dropout: 0.0,
+            init: Init::XavierNormal,
+        },
+        &mut rng,
+    )?;
+    let member_features = ds.features.select_rows(&group.members())?;
+    let embeddings = mlp.forward(&member_features)?;
+    println!(
+        "\n[projection] embedded {} group members into {} dims ({} parameters)",
+        embeddings.rows(),
+        embeddings.cols(),
+        mlp.param_count()
+    );
+
+    // Stage 4 — cosine relevance + confidence-weighted softmax (eq. 3).
+    let cand_conf: Vec<f64> = group.members()[1..].iter().map(|&m| confidences[m]).collect();
+    let posterior = group_posterior(&embeddings, &cand_conf, 10.0)?;
+    let (loss, grads) = group_softmax_loss(&embeddings, &cand_conf, 10.0)?;
+    println!("\n[posterior] p(x+_j | x+_i) = {posterior:.4} (untrained), loss = {loss:.4}");
+    println!("  gradient norms per member: {:?}",
+        (0..grads.rows())
+            .map(|r| format!("{:.3}", rll::tensor::ops::norm(grads.row(r).unwrap())))
+            .collect::<Vec<_>>());
+
+    // Stage 5 — the full pipeline: train RLL-Bayesian end to end and score
+    // held-out predictions against the expert labels.
+    println!("\n[training] RLL-Bayesian, 20 epochs x 128 groups...");
+    let mut pipeline = RllPipeline::new(RllConfig {
+        variant: RllVariant::Bayesian,
+        epochs: 20,
+        groups_per_epoch: 128,
+        ..RllConfig::default()
+    });
+    let report = pipeline.fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 42)?;
+    println!(
+        "held-out: accuracy {:.3}, F1 {:.3} (precision {:.3}, recall {:.3}, n={})",
+        report.accuracy, report.f1, report.precision, report.recall, report.n_test
+    );
+    let trace = pipeline.trace().expect("fitted pipeline has a trace");
+    println!(
+        "training loss: {:.3} (epoch 1) -> {:.3} (epoch {})",
+        trace.epoch_losses.first().unwrap(),
+        trace.epoch_losses.last().unwrap(),
+        trace.epoch_losses.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # `rll` — Representation Learning with Crowdsourced Labels
+//!
+//! Umbrella crate for the reproduction of *“Learning Effective Embeddings From
+//! Crowdsourced Labels: An Educational Case Study”* (Xu et al., ICDE 2019).
+//!
+//! The workspace is split into focused subsystem crates; this crate re-exports
+//! each of them under a stable module name so downstream users can depend on a
+//! single crate:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `rll-tensor` | dense matrices, sampling, initializers |
+//! | [`nn`] | `rll-nn` | MLP layers, losses, optimizers |
+//! | [`crowd`] | `rll-crowd` | label aggregation, confidence estimation, worker simulation |
+//! | [`data`] | `rll-data` | synthetic `oral` / `class` datasets, splits |
+//! | [`baselines`] | `rll-baselines` | logistic regression, Siamese/Triplet/Relation nets |
+//! | [`core`] | `rll-core` | the RLL framework itself |
+//! | [`eval`] | `rll-eval` | metrics, cross-validation, experiment runners |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rll::data::presets;
+//! use rll::core::{RllConfig, RllPipeline, RllVariant};
+//!
+//! // Simulate the paper's `oral` dataset at 1/8 scale (fast for doctests).
+//! let ds = presets::oral_scaled(110, 7).expect("valid preset");
+//! let cfg = RllConfig {
+//!     variant: RllVariant::Bayesian,
+//!     epochs: 3,
+//!     groups_per_epoch: 64,
+//!     ..RllConfig::default()
+//! };
+//! let mut pipeline = RllPipeline::new(cfg);
+//! let report = pipeline
+//!     .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 42)
+//!     .expect("training succeeds");
+//! assert!(report.accuracy >= 0.0 && report.accuracy <= 1.0);
+//! ```
+
+pub use rll_baselines as baselines;
+pub use rll_core as core;
+pub use rll_crowd as crowd;
+pub use rll_data as data;
+pub use rll_eval as eval;
+pub use rll_nn as nn;
+pub use rll_tensor as tensor;

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the full RLL story from simulated crowd
+//! data to held-out scores.
+
+use rll::core::{RllConfig, RllPipeline, RllVariant};
+use rll::crowd::aggregate::{Aggregator, MajorityVote};
+use rll::crowd::simulate::{WorkerModel, WorkerPool};
+use rll::data::presets;
+use rll::tensor::Rng64;
+
+fn fast_config(variant: RllVariant) -> RllConfig {
+    RllConfig {
+        variant,
+        epochs: 20,
+        groups_per_epoch: 128,
+        ..RllConfig::default()
+    }
+}
+
+#[test]
+fn rll_learns_oral_task_end_to_end() {
+    let ds = presets::oral_scaled(240, 3).unwrap();
+    let mut pipeline = RllPipeline::new(fast_config(RllVariant::Bayesian));
+    let report = pipeline
+        .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 42)
+        .unwrap();
+    assert!(
+        report.accuracy > 0.7,
+        "held-out accuracy {} too low",
+        report.accuracy
+    );
+    assert!(report.f1 > 0.7, "held-out F1 {} too low", report.f1);
+}
+
+#[test]
+fn rll_learns_class_task_end_to_end() {
+    let ds = presets::class_scaled(200, 4).unwrap();
+    let mut pipeline = RllPipeline::new(fast_config(RllVariant::Bayesian));
+    let report = pipeline
+        .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 42)
+        .unwrap();
+    // `class` is the harder task by design; the bar is lower but real.
+    assert!(
+        report.accuracy > 0.6,
+        "held-out accuracy {} too low",
+        report.accuracy
+    );
+}
+
+#[test]
+fn shuffled_labels_destroy_performance() {
+    // Control experiment: break the feature↔label link by shuffling the
+    // annotation rows. The pipeline should fall to chance, proving the signal
+    // comes from the data rather than from leakage.
+    let ds = presets::oral_scaled(240, 5).unwrap();
+    let mut rng = Rng64::seed_from_u64(99);
+    let mut shuffled: Vec<usize> = (0..ds.len()).collect();
+    rng.shuffle(&mut shuffled);
+    let shuffled_ann = ds.annotations.select_items(&shuffled).unwrap();
+
+    let mut real = RllPipeline::new(fast_config(RllVariant::Bayesian));
+    let real_report = real
+        .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 42)
+        .unwrap();
+    let mut control = RllPipeline::new(fast_config(RllVariant::Bayesian));
+    let control_report = control
+        .fit_evaluate(&ds.features, &shuffled_ann, &ds.expert_labels, 42)
+        .unwrap();
+    assert!(
+        real_report.accuracy > control_report.accuracy + 0.1,
+        "real {} should clearly beat shuffled control {}",
+        real_report.accuracy,
+        control_report.accuracy
+    );
+}
+
+#[test]
+fn confidence_weighting_helps_under_heavy_noise() {
+    // With very noisy annotators, confidence weighting should not hurt and
+    // typically helps. Average over three seeds to control variance, and
+    // require Bayesian to win on average.
+    let ds = presets::class_scaled(200, 6).unwrap();
+    let mut plain_sum = 0.0;
+    let mut bayes_sum = 0.0;
+    for seed in [41u64, 42, 43] {
+        let mut plain = RllPipeline::new(fast_config(RllVariant::Plain));
+        plain_sum += plain
+            .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, seed)
+            .unwrap()
+            .accuracy;
+        let mut bayes = RllPipeline::new(fast_config(RllVariant::Bayesian));
+        bayes_sum += bayes
+            .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, seed)
+            .unwrap()
+            .accuracy;
+    }
+    assert!(
+        bayes_sum >= plain_sum - 0.05,
+        "Bayesian ({}) should not lose badly to plain ({})",
+        bayes_sum / 3.0,
+        plain_sum / 3.0
+    );
+}
+
+#[test]
+fn trained_model_serializes_and_restores() {
+    let ds = presets::oral_scaled(160, 7).unwrap();
+    let trainer = rll::core::RllTrainer::new(fast_config(RllVariant::Mle)).unwrap();
+    let (model, _) = trainer.fit(&ds.features, &ds.annotations, 11).unwrap();
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: rll::core::RllModel = serde_json::from_str(&json).unwrap();
+    let original = model.embed(&ds.features).unwrap();
+    let round_tripped = restored.embed(&ds.features).unwrap();
+    assert!(original.approx_eq(&round_tripped, 1e-9));
+}
+
+#[test]
+fn crowd_simulation_aggregation_agrees_with_expert_on_easy_data() {
+    // Full stack sanity: hammer annotators → majority vote recovers expert
+    // labels exactly through the whole data pipeline.
+    let mut rng = Rng64::seed_from_u64(21);
+    let truth: Vec<u8> = (0..100).map(|_| u8::from(rng.bernoulli(0.6))).collect();
+    let pool = WorkerPool::new(vec![WorkerModel::Hammer; 3]);
+    let ann = pool.annotate(&truth, &mut rng).unwrap();
+    let labels = MajorityVote::positive_ties().hard_labels(&ann).unwrap();
+    assert_eq!(labels, truth);
+}
+
+#[test]
+fn pipeline_handles_d_sweep_datasets() {
+    let ds = presets::oral_scaled(160, 8).unwrap();
+    for d in [1usize, 3, 5] {
+        let restricted = ds.with_workers(d).unwrap();
+        let mut pipeline = RllPipeline::new(fast_config(RllVariant::Bayesian));
+        let report = pipeline
+            .fit_evaluate(
+                &restricted.features,
+                &restricted.annotations,
+                &restricted.expert_labels,
+                42,
+            )
+            .unwrap();
+        assert!(report.accuracy > 0.5, "d={d} accuracy {}", report.accuracy);
+    }
+}

@@ -1,0 +1,142 @@
+//! Failure injection: degenerate and adversarial inputs must surface as
+//! typed errors at every layer of the stack — never panics, never NaN
+//! results.
+
+use rll::baselines::LogisticRegression;
+use rll::core::{RllConfig, RllPipeline, RllTrainer, RllVariant};
+use rll::crowd::aggregate::{Aggregator, DawidSkene, Glad, MajorityVote};
+use rll::crowd::AnnotationMatrix;
+use rll::data::{Dataset, Normalizer, StratifiedKFold};
+use rll::tensor::Matrix;
+
+fn fast_config() -> RllConfig {
+    RllConfig {
+        epochs: 3,
+        groups_per_epoch: 16,
+        ..RllConfig::default()
+    }
+}
+
+#[test]
+fn single_class_crowd_is_rejected_not_panicking() {
+    // Every worker says "positive" for every item → no negatives to group.
+    let x = Matrix::ones(6, 3);
+    let ann = AnnotationMatrix::from_dense_binary(&vec![vec![1u8; 3]; 6]).unwrap();
+    let trainer = RllTrainer::new(fast_config()).unwrap();
+    let err = trainer.fit(&x, &ann, 1).unwrap_err();
+    assert!(err.to_string().contains("negatives"), "got: {err}");
+}
+
+#[test]
+fn empty_annotation_rows_error_through_aggregators() {
+    let mut ann = AnnotationMatrix::new(3, 2, 2).unwrap();
+    ann.set(0, 0, 1).unwrap(); // items 1, 2 unannotated
+    assert!(MajorityVote::positive_ties().hard_labels(&ann).is_err());
+    assert!(DawidSkene::default().fit(&ann).is_err());
+    assert!(Glad::default().fit(&ann).is_err());
+}
+
+#[test]
+fn zero_variance_features_do_not_produce_nan() {
+    // All-constant feature column: normalization must not divide by zero and
+    // the pipeline must still produce finite probabilities.
+    let mut rows = Vec::new();
+    let mut votes = Vec::new();
+    for i in 0..40 {
+        let label = u8::from(i % 3 != 0);
+        rows.push(vec![5.0, label as f64 + 0.1 * (i as f64 % 7.0)]);
+        votes.push(vec![label; 5]);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    let ann = AnnotationMatrix::from_dense_binary(&votes).unwrap();
+    let mut pipeline = RllPipeline::new(fast_config());
+    pipeline.fit(&x, &ann, 2).unwrap();
+    let probs = pipeline.predict_proba(&x).unwrap();
+    assert!(probs.iter().all(|p| p.is_finite()));
+}
+
+#[test]
+fn dataset_invariant_violations_are_typed_errors() {
+    let x = Matrix::ones(3, 2);
+    let ann = AnnotationMatrix::from_dense_binary(&[vec![1], vec![0], vec![1]]).unwrap();
+    // Non-binary expert label.
+    let err = Dataset::new("bad", x.clone(), vec![0, 1, 2], ann.clone()).unwrap_err();
+    assert!(err.to_string().contains("not binary"));
+    // Length mismatch.
+    assert!(Dataset::new("bad", x, vec![0, 1], ann).is_err());
+}
+
+#[test]
+fn kfold_rejects_impossible_configurations() {
+    let labels = vec![1u8, 1, 0];
+    assert!(StratifiedKFold::new(&labels, 5, 1).is_err());
+    assert!(StratifiedKFold::new(&[], 2, 1).is_err());
+}
+
+#[test]
+fn classifier_surfaces_dimension_mismatches() {
+    let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.2, 0.8], vec![0.9, 0.3]])
+        .unwrap();
+    let mut lr = LogisticRegression::with_defaults();
+    lr.fit(&x, &[1, 0, 1, 0]).unwrap();
+    assert!(lr.predict(&Matrix::ones(1, 3)).is_err());
+}
+
+#[test]
+fn normalizer_rejects_empty_and_mismatched() {
+    assert!(Normalizer::fit(&Matrix::zeros(0, 4)).is_err());
+    let norm = Normalizer::fit(&Matrix::ones(2, 2)).unwrap();
+    assert!(norm.transform(&Matrix::ones(1, 3)).is_err());
+}
+
+#[test]
+fn pipeline_survives_extreme_feature_scales() {
+    // Features spanning 12 orders of magnitude: z-scoring inside the
+    // pipeline must keep training numerically sane.
+    let mut rows = Vec::new();
+    let mut votes = Vec::new();
+    for i in 0..40 {
+        let label = u8::from(i % 2 == 0);
+        let sign = if label == 1 { 1.0 } else { -1.0 };
+        rows.push(vec![sign * 1e9 + i as f64, sign * 1e-6, i as f64]);
+        votes.push(vec![label; 5]);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    let ann = AnnotationMatrix::from_dense_binary(&votes).unwrap();
+    let mut pipeline = RllPipeline::new(fast_config());
+    pipeline.fit(&x, &ann, 3).unwrap();
+    let pred = pipeline.predict(&x).unwrap();
+    let truth: Vec<u8> = (0..40).map(|i| u8::from(i % 2 == 0)).collect();
+    let acc = pred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / 40.0;
+    assert!(acc > 0.9, "accuracy {acc}");
+}
+
+#[test]
+fn worker_restriction_beyond_pool_errors() {
+    let ds = rll::data::presets::oral_scaled(20, 1).unwrap();
+    assert!(ds.with_workers(6).is_err());
+    assert!(ds.with_workers(0).is_err());
+}
+
+#[test]
+fn variant_worker_aware_handles_tiny_data() {
+    // WorkerAware runs a Dawid-Skene fit internally; a tiny but valid table
+    // must still train (or fail with a typed error, not a panic).
+    let mut rows = Vec::new();
+    let mut votes = Vec::new();
+    for i in 0..12 {
+        let label = u8::from(i % 2 == 0);
+        rows.push(vec![label as f64 * 2.0 - 1.0 + 0.01 * i as f64, 0.5]);
+        votes.push(vec![label; 3]);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    let ann = AnnotationMatrix::from_dense_binary(&votes).unwrap();
+    let trainer = RllTrainer::new(RllConfig {
+        variant: RllVariant::WorkerAware,
+        ..fast_config()
+    })
+    .unwrap();
+    let (model, trace) = trainer.fit(&x, &ann, 4).unwrap();
+    assert_eq!(model.embedding_dim(), 16);
+    assert!(trace.confidences.iter().all(|c| c.is_finite()));
+}

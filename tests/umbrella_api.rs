@@ -1,0 +1,40 @@
+//! The umbrella crate re-exports every subsystem under stable module names —
+//! this test pins that public surface.
+
+#[test]
+fn all_modules_are_reachable() {
+    // tensor
+    let m = rll::tensor::Matrix::identity(2);
+    assert_eq!(m.sum(), 2.0);
+    let mut rng = rll::tensor::Rng64::seed_from_u64(1);
+    assert!(rng.uniform() < 1.0);
+
+    // nn
+    let act = rll::nn::Activation::Relu;
+    assert_eq!(act.apply(-1.0), 0.0);
+
+    // crowd
+    let ann = rll::crowd::AnnotationMatrix::from_dense_binary(&[vec![1, 0, 1]]).unwrap();
+    assert_eq!(ann.positive_votes(0).unwrap(), 2);
+    let est = rll::crowd::ConfidenceEstimator::Mle;
+    assert!((est.positiveness(2, 3).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+
+    // data
+    let ds = rll::data::presets::oral_scaled(40, 2).unwrap();
+    assert_eq!(ds.len(), 40);
+
+    // baselines
+    let lr = rll::baselines::LogisticRegression::with_defaults();
+    assert!(lr.weights().is_none());
+
+    // core
+    let cfg = rll::core::RllConfig::default();
+    assert_eq!(cfg.k, 3);
+    assert_eq!(rll::core::RllVariant::Bayesian.name(), "RLL+Bayesian");
+
+    // eval
+    let rows = rll::eval::method::MethodSpec::table1_rows();
+    assert_eq!(rows.len(), 15);
+    let acc = rll::eval::metrics::accuracy(&[1, 0], &[1, 1]).unwrap();
+    assert!((acc - 0.5).abs() < 1e-12);
+}
