@@ -87,9 +87,13 @@ mod tests {
         use std::error::Error;
         let e: BaselineError = TensorError::Empty { op: "x" }.into();
         assert!(e.source().is_some());
-        let e = BaselineError::NotFitted { model: "SiameseNet" };
+        let e = BaselineError::NotFitted {
+            model: "SiameseNet",
+        };
         assert!(e.to_string().contains("SiameseNet"));
-        let e = BaselineError::DegenerateData { reason: "one class".into() };
+        let e = BaselineError::DegenerateData {
+            reason: "one class".into(),
+        };
         assert!(e.to_string().contains("one class"));
     }
 }

@@ -130,9 +130,7 @@ impl LogisticRegression {
         let dim = features.cols();
         let mut weights = vec![0.0; dim];
         let mut bias = 0.0;
-        let weight_total: f64 = sample_weights
-            .map(|w| w.iter().sum())
-            .unwrap_or(n as f64);
+        let weight_total: f64 = sample_weights.map(|w| w.iter().sum()).unwrap_or(n as f64);
 
         for _ in 0..self.config.epochs {
             let mut gw = vec![0.0; dim];
@@ -171,10 +169,9 @@ impl LogisticRegression {
 
     /// `P(y = 1 | x)` for every row.
     pub fn predict_proba(&self, features: &Matrix) -> Result<Vec<f64>> {
-        let weights = self
-            .weights
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "LogisticRegression" })?;
+        let weights = self.weights.as_ref().ok_or(BaselineError::NotFitted {
+            model: "LogisticRegression",
+        })?;
         if features.cols() != weights.len() {
             return Err(BaselineError::InvalidConfig {
                 reason: format!(
@@ -225,7 +222,10 @@ mod tests {
         for _ in 0..n {
             let l = u8::from(rng.bernoulli(0.5));
             let c = if l == 1 { 1.5 } else { -1.5 };
-            rows.push(vec![rng.normal(c, 0.5).unwrap(), rng.normal(-c, 0.5).unwrap()]);
+            rows.push(vec![
+                rng.normal(c, 0.5).unwrap(),
+                rng.normal(-c, 0.5).unwrap(),
+            ]);
             labels.push(l);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)

@@ -145,11 +145,17 @@ impl MlpClassifier {
         }
         let train_x = features.select_rows(train_idx)?;
         let train_y = Matrix::col_vector(
-            &train_idx.iter().map(|&i| f64::from(labels[i])).collect::<Vec<_>>(),
+            &train_idx
+                .iter()
+                .map(|&i| f64::from(labels[i]))
+                .collect::<Vec<_>>(),
         );
         let val_x = features.select_rows(val_idx)?;
         let val_y = Matrix::col_vector(
-            &val_idx.iter().map(|&i| f64::from(labels[i])).collect::<Vec<_>>(),
+            &val_idx
+                .iter()
+                .map(|&i| f64::from(labels[i]))
+                .collect::<Vec<_>>(),
         );
 
         let mut network = Mlp::new(
@@ -178,8 +184,7 @@ impl MlpClassifier {
             opt.step(params)?;
 
             if n_val > 0 {
-                let (val_loss, _) =
-                    loss::bce_with_logits(&network.forward(&val_x)?, &val_y)?;
+                let (val_loss, _) = loss::bce_with_logits(&network.forward(&val_x)?, &val_y)?;
                 let improved = best.as_ref().is_none_or(|(b, _, _)| val_loss < *b);
                 if improved {
                     best = Some((val_loss, network.clone(), epoch + 1));
@@ -204,12 +209,15 @@ impl MlpClassifier {
 
     /// `P(y = 1 | x)` per row.
     pub fn predict_proba(&self, features: &Matrix) -> Result<Vec<f64>> {
-        let network = self
-            .network
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "MlpClassifier" })?;
+        let network = self.network.as_ref().ok_or(BaselineError::NotFitted {
+            model: "MlpClassifier",
+        })?;
         let logits = network.forward(features)?;
-        Ok(logits.col(0)?.into_iter().map(rll_tensor::ops::sigmoid).collect())
+        Ok(logits
+            .col(0)?
+            .into_iter()
+            .map(rll_tensor::ops::sigmoid)
+            .collect())
     }
 
     /// Hard predictions at threshold 0.5.
@@ -233,7 +241,10 @@ mod tests {
         for _ in 0..n {
             let l = u8::from(rng.bernoulli(0.5));
             let c = if l == 1 { sep / 2.0 } else { -sep / 2.0 };
-            rows.push(vec![rng.normal(c, 1.0).unwrap(), rng.normal(-c, 1.0).unwrap()]);
+            rows.push(vec![
+                rng.normal(c, 1.0).unwrap(),
+                rng.normal(-c, 1.0).unwrap(),
+            ]);
             labels.push(l);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)

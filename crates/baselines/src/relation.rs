@@ -96,14 +96,12 @@ impl RelationNet {
     /// Relation scores in `[0, 1]` for aligned rows of `a` and `b`
     /// (1 = confidently same class). Requires a prior fit.
     pub fn relation_scores(&self, a: &Matrix, b: &Matrix) -> Result<Vec<f64>> {
-        let embedding = self
-            .embedding
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
-        let relation = self
-            .relation
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
+        let embedding = self.embedding.as_ref().ok_or(BaselineError::NotFitted {
+            model: "RelationNet",
+        })?;
+        let relation = self.relation.as_ref().ok_or(BaselineError::NotFitted {
+            model: "RelationNet",
+        })?;
         let ea = embedding.forward(a)?;
         let eb = embedding.forward(b)?;
         let joint = ea.hstack(&eb)?;
@@ -193,10 +191,9 @@ impl Embedder for RelationNet {
     }
 
     fn embed(&self, features: &Matrix) -> Result<Matrix> {
-        let embedding = self
-            .embedding
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "RelationNet" })?;
+        let embedding = self.embedding.as_ref().ok_or(BaselineError::NotFitted {
+            model: "RelationNet",
+        })?;
         Ok(embedding.forward(features)?)
     }
 
@@ -220,7 +217,10 @@ mod tests {
         for _ in 0..n {
             let l = u8::from(rng.bernoulli(0.5));
             let c = if l == 1 { 1.0 } else { -1.0 };
-            rows.push(vec![rng.normal(c, 0.4).unwrap(), rng.normal(-c, 0.4).unwrap()]);
+            rows.push(vec![
+                rng.normal(c, 0.4).unwrap(),
+                rng.normal(-c, 0.4).unwrap(),
+            ]);
             labels.push(l);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)
@@ -238,8 +238,18 @@ mod tests {
 
         // Average relation score of same-class pairs should beat
         // different-class pairs.
-        let pos: Vec<usize> = y.iter().enumerate().filter(|(_, &l)| l == 1).map(|(i, _)| i).collect();
-        let neg: Vec<usize> = y.iter().enumerate().filter(|(_, &l)| l == 0).map(|(i, _)| i).collect();
+        let pos: Vec<usize> = y
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 1)
+            .map(|(i, _)| i)
+            .collect();
+        let neg: Vec<usize> = y
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == 0)
+            .map(|(i, _)| i)
+            .collect();
         let a_same = x.select_rows(&pos[..8]).unwrap();
         let b_same = x.select_rows(&pos[8..16]).unwrap();
         let same_scores = net.relation_scores(&a_same, &b_same).unwrap();
@@ -274,7 +284,9 @@ mod tests {
             net.embed(&Matrix::ones(1, 2)),
             Err(BaselineError::NotFitted { .. })
         ));
-        assert!(net.relation_scores(&Matrix::ones(1, 2), &Matrix::ones(1, 2)).is_err());
+        assert!(net
+            .relation_scores(&Matrix::ones(1, 2), &Matrix::ones(1, 2))
+            .is_err());
         assert!(RelationNet::new(RelationNetConfig {
             learning_rate: 0.0,
             ..Default::default()

@@ -113,7 +113,11 @@ pub fn sample_triplets(labels: &[u8], count: usize, rng: &mut Rng64) -> Result<V
         } else {
             rng.bernoulli(pos.len() as f64 / labels.len() as f64)
         };
-        let (same, other) = if anchor_in_pos { (&pos, &neg) } else { (&neg, &pos) };
+        let (same, other) = if anchor_in_pos {
+            (&pos, &neg)
+        } else {
+            (&neg, &pos)
+        };
         let picks = rng.sample_indices(same.len(), 2)?;
         triplets.push(Triplet {
             anchor: same[picks[0]],

@@ -119,8 +119,12 @@ impl Embedder for SiameseNet {
             encoder.zero_grad();
             let cache_a = encoder.forward_cached(&a, &mut rng)?;
             let cache_b = encoder.forward_cached(&b, &mut rng)?;
-            let (_, grad_a, grad_b) =
-                loss::contrastive(cache_a.output(), cache_b.output(), &same, self.config.margin)?;
+            let (_, grad_a, grad_b) = loss::contrastive(
+                cache_a.output(),
+                cache_b.output(),
+                &same,
+                self.config.margin,
+            )?;
             encoder.backward(&cache_a, &grad_a)?;
             encoder.backward(&cache_b, &grad_b)?;
             let params = encoder.param_grad_pairs();
@@ -131,10 +135,9 @@ impl Embedder for SiameseNet {
     }
 
     fn embed(&self, features: &Matrix) -> Result<Matrix> {
-        let encoder = self
-            .encoder
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "SiameseNet" })?;
+        let encoder = self.encoder.as_ref().ok_or(BaselineError::NotFitted {
+            model: "SiameseNet",
+        })?;
         Ok(encoder.forward(features)?)
     }
 

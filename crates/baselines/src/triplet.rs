@@ -139,10 +139,9 @@ impl Embedder for TripletNet {
     }
 
     fn embed(&self, features: &Matrix) -> Result<Matrix> {
-        let encoder = self
-            .encoder
-            .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "TripletNet" })?;
+        let encoder = self.encoder.as_ref().ok_or(BaselineError::NotFitted {
+            model: "TripletNet",
+        })?;
         Ok(encoder.forward(features)?)
     }
 

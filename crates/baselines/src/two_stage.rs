@@ -138,7 +138,9 @@ impl TwoStagePipeline {
     pub fn embed(&self, features: &Matrix) -> Result<Matrix> {
         self.embedder
             .as_ref()
-            .ok_or(BaselineError::NotFitted { model: "TwoStagePipeline" })?
+            .ok_or(BaselineError::NotFitted {
+                model: "TwoStagePipeline",
+            })?
             .embed(features)
     }
 
@@ -165,7 +167,10 @@ mod tests {
         for _ in 0..n {
             let l = u8::from(rng.bernoulli(0.5));
             let c = if l == 1 { 1.0 } else { -1.0 };
-            rows.push(vec![rng.normal(c, 0.5).unwrap(), rng.normal(-c, 0.5).unwrap()]);
+            rows.push(vec![
+                rng.normal(c, 0.5).unwrap(),
+                rng.normal(-c, 0.5).unwrap(),
+            ]);
             truth.push(l);
         }
         let features = Matrix::from_rows(&rows).unwrap();

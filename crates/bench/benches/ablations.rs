@@ -74,9 +74,7 @@ fn bench_k_group_cost(c: &mut Criterion) {
         let emb = rll_tensor::Matrix::from_fn(k + 2, 16, |_, _| rng.standard_normal());
         let conf = vec![0.8f64; k + 1];
         group.bench_function(format!("k={k}"), |bench| {
-            bench.iter(|| {
-                black_box(rll_core::loss::group_softmax_loss(&emb, &conf, 10.0).unwrap())
-            })
+            bench.iter(|| black_box(rll_core::loss::group_softmax_loss(&emb, &conf, 10.0).unwrap()))
         });
     }
     group.finish();

@@ -3,6 +3,20 @@
 
 use rll_bench::Cli;
 use rll_eval::experiments::ablations;
+use rll_obs::{EventKind, Recorder, TableText};
+use std::fmt::Write as _;
+
+fn render_points(points: &[ablations::AblationPoint]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<14} acc {:.3} ± {:.3}   f1 {:.3}",
+            p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
+        );
+    }
+    out
+}
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -12,41 +26,49 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!("Running ablations at {:?} scale (seed {})...", cli.scale, cli.seed);
+    let recorder = cli.recorder("ablations");
+    recorder.note(format!(
+        "ablations at {:?} scale (seed {})",
+        cli.scale, cli.seed
+    ));
 
-    let run = || -> Result<(), rll_eval::EvalError> {
-        println!("\n-- eta sweep (oral) --");
-        for p in ablations::eta_sweep(cli.scale, cli.seed, &[2.0, 5.0, 10.0, 20.0, 40.0])? {
-            println!(
-                "  {:<10} acc {:.3} ± {:.3}   f1 {:.3}",
-                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
-            );
-        }
+    let run = |recorder: &Recorder| -> Result<(), rll_eval::EvalError> {
+        let points = ablations::eta_sweep_observed(
+            cli.scale,
+            cli.seed,
+            &[2.0, 5.0, 10.0, 20.0, 40.0],
+            recorder,
+        )?;
+        recorder.emit(EventKind::Table(TableText {
+            title: "eta sweep (oral)".into(),
+            text: render_points(&points),
+        }));
 
-        println!("\n-- confidence estimator (class) --");
-        for p in ablations::confidence_ablation(cli.scale, cli.seed)? {
-            println!(
-                "  {:<14} acc {:.3} ± {:.3}   f1 {:.3}",
-                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
-            );
-        }
+        let points = ablations::confidence_ablation_observed(cli.scale, cli.seed, recorder)?;
+        recorder.emit(EventKind::Table(TableText {
+            title: "confidence estimator (class)".into(),
+            text: render_points(&points),
+        }));
 
-        println!("\n-- embedding dimension (oral) --");
-        for p in ablations::dim_sweep(cli.scale, cli.seed, &[4, 8, 16, 32])? {
-            println!(
-                "  {:<10} acc {:.3} ± {:.3}   f1 {:.3}",
-                p.label, p.score.accuracy.mean, p.score.accuracy.std, p.score.f1.mean
-            );
-        }
+        let points = ablations::dim_sweep_observed(cli.scale, cli.seed, &[4, 8, 16, 32], recorder)?;
+        recorder.emit(EventKind::Table(TableText {
+            title: "embedding dimension (oral)".into(),
+            text: render_points(&points),
+        }));
 
-        println!("\n-- negative sampling strategy (class) --");
-        let s = ablations::sampling_ablation(cli.scale, cli.seed, 1.0)?;
-        println!("  uniform             acc {:.3}", s.uniform_accuracy);
-        println!("  confidence-biased   acc {:.3} (gamma {})", s.biased_accuracy, s.gamma);
+        let s = ablations::sampling_ablation_observed(cli.scale, cli.seed, 1.0, recorder)?;
+        recorder.emit(EventKind::Table(TableText {
+            title: "negative sampling strategy (class)".into(),
+            text: format!(
+                "uniform             acc {:.3}\nconfidence-biased   acc {:.3} (gamma {})\n",
+                s.uniform_accuracy, s.biased_accuracy, s.gamma
+            ),
+        }));
         Ok(())
     };
-    if let Err(e) = run() {
+    if let Err(e) = run(&recorder) {
         eprintln!("ablations failed: {e}");
         std::process::exit(1);
     }
+    recorder.finish();
 }

@@ -3,6 +3,7 @@
 
 use rll_bench::Cli;
 use rll_eval::experiments::{learning_curve, ExperimentScale};
+use rll_obs::{EventKind, TableText};
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -16,23 +17,29 @@ fn main() {
         ExperimentScale::Quick => (&[60, 120, 240], 1),
         ExperimentScale::Full => (&[110, 220, 440, 880], 3),
     };
-    println!(
-        "Running learning curve at {:?} scale (seed {}), n in {:?}, {} dataset seed(s) per point...",
+    let recorder = cli.recorder("learning_curve");
+    recorder.note(format!(
+        "learning curve at {:?} scale (seed {}), n in {:?}, {} dataset seed(s) per point",
         cli.scale, cli.seed, ns, repeats
-    );
-    let result = match learning_curve::run_repeated(cli.scale, cli.seed, ns, repeats) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("experiment failed: {e}");
-            std::process::exit(1);
-        }
-    };
-    println!("\n{}", result.render());
+    ));
+    let result =
+        match learning_curve::run_repeated_observed(cli.scale, cli.seed, ns, repeats, &recorder) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("experiment failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    recorder.emit(EventKind::Table(TableText {
+        title: "Learning curve (measured)".into(),
+        text: result.render(),
+    }));
     if let Some(path) = cli.json {
         if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
-        println!("wrote {path}");
+        recorder.note(format!("wrote {path}"));
     }
+    recorder.finish();
 }

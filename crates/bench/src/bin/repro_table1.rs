@@ -2,6 +2,8 @@
 
 use rll_bench::Cli;
 use rll_eval::experiments::{paper, table1};
+use rll_obs::{EventKind, TableText};
+use std::fmt::Write as _;
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -11,46 +13,57 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!(
-        "Running Table I at {:?} scale (seed {}). This trains 15 methods x 2 datasets x {} folds...",
+    let recorder = cli.recorder("table1");
+    recorder.note(format!(
+        "Table I at {:?} scale (seed {}): 15 methods x 2 datasets x {} folds",
         cli.scale,
         cli.seed,
         cli.scale.folds()
-    );
-    let result = match table1::run(cli.scale, cli.seed, None) {
+    ));
+    let result = match table1::run_observed(cli.scale, cli.seed, None, &recorder) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     };
-    println!("\n{}", result.render());
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table I (measured)".into(),
+        text: result.render(),
+    }));
 
-    println!("Paper-reported Table I for reference:");
-    println!(
+    let mut reference = String::new();
+    let _ = writeln!(
+        reference,
         "{:<22}{:<11}{:<11}{:<11}{:<11}",
         "Method", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
     );
     for (name, oa, of, ca, cf) in paper::TABLE1 {
-        println!("{name:<22}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+        let _ = writeln!(
+            reference,
+            "{name:<22}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}"
+        );
     }
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table I (paper-reported, for reference)".into(),
+        text: reference,
+    }));
 
-    println!("\nShape checks (measured):");
-    println!(
-        "  best method on oral : {} ({:.3})",
+    recorder.note(format!(
+        "best method on oral : {} ({:.3})",
         result.best_method(true).method,
         result.best_method(true).accuracy.mean
-    );
-    println!(
-        "  best method on class: {} ({:.3})",
+    ));
+    recorder.note(format!(
+        "best method on class: {} ({:.3})",
         result.best_method(false).method,
         result.best_method(false).accuracy.mean
-    );
+    ));
     for g in 1..=4u8 {
-        println!(
-            "  group {g} mean accuracy: {:.3}",
+        recorder.note(format!(
+            "group {g} mean accuracy: {:.3}",
             result.group_mean_accuracy(g)
-        );
+        ));
     }
 
     if let Some(path) = cli.json {
@@ -58,6 +71,7 @@ fn main() {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
-        println!("\nwrote {path}");
+        recorder.note(format!("wrote {path}"));
     }
+    recorder.finish();
 }

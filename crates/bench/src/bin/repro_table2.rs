@@ -2,6 +2,8 @@
 
 use rll_bench::Cli;
 use rll_eval::experiments::{paper, table2};
+use rll_obs::{EventKind, TableText};
+use std::fmt::Write as _;
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -11,37 +13,54 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!(
-        "Running Table II (k sweep) at {:?} scale (seed {})...",
+    let recorder = cli.recorder("table2");
+    recorder.note(format!(
+        "Table II (k sweep) at {:?} scale (seed {})",
         cli.scale, cli.seed
-    );
-    let result = match table2::run(cli.scale, cli.seed) {
+    ));
+    let result = match table2::run_observed(cli.scale, cli.seed, &recorder) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     };
-    println!("\n{}", result.render());
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table II (measured)".into(),
+        text: result.render(),
+    }));
 
-    println!("Paper-reported Table II for reference:");
-    println!(
+    let mut reference = String::new();
+    let _ = writeln!(
+        reference,
         "{:<8}{:<11}{:<11}{:<11}{:<11}",
         "k", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
     );
     for (k, oa, of, ca, cf) in paper::TABLE2 {
-        println!("{k:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+        let _ = writeln!(reference, "{k:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
     }
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table II (paper-reported, for reference)".into(),
+        text: reference,
+    }));
 
-    println!("\nShape checks (measured):");
-    println!("  best k on oral : {} (paper: {})", result.best_k(true), paper::BEST_K);
-    println!("  best k on class: {} (paper: {})", result.best_k(false), paper::BEST_K);
+    recorder.note(format!(
+        "best k on oral : {} (paper: {})",
+        result.best_k(true),
+        paper::BEST_K
+    ));
+    recorder.note(format!(
+        "best k on class: {} (paper: {})",
+        result.best_k(false),
+        paper::BEST_K
+    ));
 
     if let Some(path) = cli.json {
         if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
-        println!("\nwrote {path}");
+        recorder.note(format!("wrote {path}"));
     }
+    recorder.finish();
 }

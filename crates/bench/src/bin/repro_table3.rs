@@ -2,6 +2,8 @@
 
 use rll_bench::Cli;
 use rll_eval::experiments::{paper, table3};
+use rll_obs::{EventKind, TableText};
+use std::fmt::Write as _;
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -11,43 +13,52 @@ fn main() {
             std::process::exit(2);
         }
     };
-    println!(
-        "Running Table III (d sweep) at {:?} scale (seed {})...",
+    let recorder = cli.recorder("table3");
+    recorder.note(format!(
+        "Table III (d sweep) at {:?} scale (seed {})",
         cli.scale, cli.seed
-    );
-    let result = match table3::run(cli.scale, cli.seed) {
+    ));
+    let result = match table3::run_observed(cli.scale, cli.seed, &recorder) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     };
-    println!("\n{}", result.render());
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table III (measured)".into(),
+        text: result.render(),
+    }));
 
-    println!("Paper-reported Table III for reference:");
-    println!(
+    let mut reference = String::new();
+    let _ = writeln!(
+        reference,
         "{:<8}{:<11}{:<11}{:<11}{:<11}",
         "d", "oral-Acc", "oral-F1", "class-Acc", "class-F1"
     );
     for (d, oa, of, ca, cf) in paper::TABLE3 {
-        println!("{d:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
+        let _ = writeln!(reference, "{d:<8}{oa:<11.3}{of:<11.3}{ca:<11.3}{cf:<11.3}");
     }
+    recorder.emit(EventKind::Table(TableText {
+        title: "Table III (paper-reported, for reference)".into(),
+        text: reference,
+    }));
 
-    println!("\nShape checks (measured):");
-    println!(
-        "  accuracy monotone in d on oral : {}",
+    recorder.note(format!(
+        "accuracy monotone in d on oral : {}",
         result.monotone_accuracy(true)
-    );
-    println!(
-        "  accuracy monotone in d on class: {}",
+    ));
+    recorder.note(format!(
+        "accuracy monotone in d on class: {}",
         result.monotone_accuracy(false)
-    );
+    ));
 
     if let Some(path) = cli.json {
         if let Err(e) = rll_eval::report::write_json(std::path::Path::new(&path), &result) {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         }
-        println!("\nwrote {path}");
+        recorder.note(format!("wrote {path}"));
     }
+    recorder.finish();
 }

@@ -44,6 +44,19 @@ impl Default for Cli {
 }
 
 impl Cli {
+    /// Standard telemetry wiring for a repro binary: human-readable stdout
+    /// plus an append-only `results/runs/<run_id>.jsonl`, with the `RunStart`
+    /// event already emitted. Callers must `recorder.finish()` at the end.
+    pub fn recorder(&self, experiment: &str) -> rll_obs::Recorder {
+        let recorder = rll_obs::Recorder::for_experiment(experiment, self.seed);
+        let scale = match self.scale {
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Full => "full",
+        };
+        recorder.run_start(experiment, scale, self.seed);
+        recorder
+    }
+
     /// Parses the binaries' shared flags. Unknown flags produce an error
     /// message (returned as `Err` so `main` can print usage and exit).
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {

@@ -9,6 +9,7 @@ use crate::error::RllError;
 use crate::Result;
 use rll_tensor::Rng64;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// One training group: indices into the training set.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +55,23 @@ pub enum SamplingStrategy {
         /// Sharpness of the bias (0 = uniform).
         gamma: f64,
     },
+}
+
+/// Telemetry for one sampled batch (see [`GroupSampler::sample_batch_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Groups produced.
+    pub groups: usize,
+    /// Size of the positive candidate pool.
+    pub positive_pool: usize,
+    /// Size of the negative candidate pool.
+    pub negative_pool: usize,
+    /// Weighted-sampling rejections (candidate drawn but already in the
+    /// group). Always 0 for [`SamplingStrategy::Uniform`].
+    pub rejections: u64,
+    /// Fraction of groups in the batch that duplicate an earlier group
+    /// (same anchor, positive, and negative *set*).
+    pub duplicate_rate: f64,
 }
 
 /// Generates training groups from crowd-inferred labels.
@@ -118,7 +136,10 @@ impl GroupSampler {
         }
         if negatives.len() < k {
             return Err(RllError::DegenerateData {
-                reason: format!("grouping needs at least k={k} negatives, got {}", negatives.len()),
+                reason: format!(
+                    "grouping needs at least k={k} negatives, got {}",
+                    negatives.len()
+                ),
             });
         }
         let negative_weights = match strategy {
@@ -175,8 +196,25 @@ impl GroupSampler {
         p.saturating_mul(p - 1).saturating_mul(combos)
     }
 
+    /// Number of positive candidates.
+    pub fn num_positives(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Number of negative candidates.
+    pub fn num_negatives(&self) -> usize {
+        self.negatives.len()
+    }
+
     /// Samples one group.
     pub fn sample(&self, rng: &mut Rng64) -> Result<Group> {
+        let mut rejections = 0;
+        self.sample_counting(rng, &mut rejections)
+    }
+
+    /// [`Self::sample`] that also accumulates weighted-sampling rejections
+    /// into `rejections`.
+    fn sample_counting(&self, rng: &mut Rng64, rejections: &mut u64) -> Result<Group> {
         let picks = rng.sample_indices(self.positives.len(), 2)?;
         let anchor = self.positives[picks[0]];
         let positive = self.positives[picks[1]];
@@ -187,14 +225,45 @@ impl GroupSampler {
                 .map(|i| self.negatives[i])
                 .collect(),
             SamplingStrategy::ConfidenceBiased { .. } => {
-                // Weighted sampling without replacement: draw by categorical,
-                // zero out the winner, repeat.
-                let mut weights = self.negative_weights.clone();
+                // Weighted sampling without replacement by rejection: draw
+                // from the full categorical and retry on repeats. Conditioned
+                // on landing outside the already-chosen set this is exactly
+                // the renormalized distribution, so it matches zeroing-and-
+                // renormalizing while exposing a real rejection count (how
+                // contended the weight mass is). A zeroing fallback guards
+                // against pathological weight concentration.
+                let mut weights: Option<Vec<f64>> = None;
+                let mut taken = vec![false; self.negatives.len()];
                 let mut chosen = Vec::with_capacity(self.k);
                 for _ in 0..self.k {
-                    let idx = rng.categorical(&weights)?;
+                    let idx = loop {
+                        match &weights {
+                            None => {
+                                let idx = rng.categorical(&self.negative_weights)?;
+                                if !taken[idx] {
+                                    break idx;
+                                }
+                                *rejections += 1;
+                                // After many consecutive repeats the remaining
+                                // mass is tiny; switch to explicit zeroing.
+                                if (*rejections).is_multiple_of(64) {
+                                    let mut w = self.negative_weights.clone();
+                                    for (i, &t) in taken.iter().enumerate() {
+                                        if t {
+                                            w[i] = 0.0;
+                                        }
+                                    }
+                                    weights = Some(w);
+                                }
+                            }
+                            Some(w) => break rng.categorical(w)?,
+                        }
+                    };
+                    taken[idx] = true;
+                    if let Some(w) = &mut weights {
+                        w[idx] = 0.0;
+                    }
                     chosen.push(self.negatives[idx]);
-                    weights[idx] = 0.0;
                 }
                 chosen
             }
@@ -209,6 +278,42 @@ impl GroupSampler {
     /// Samples a batch of groups.
     pub fn sample_batch(&self, count: usize, rng: &mut Rng64) -> Result<Vec<Group>> {
         (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Samples a batch and reports sampler telemetry: candidate-pool sizes,
+    /// weighted-sampling rejections, and the duplicate-group rate (how often
+    /// the batch revisits an identical group — a proxy for how exhausted the
+    /// group space is at this dataset size).
+    pub fn sample_batch_with_stats(
+        &self,
+        count: usize,
+        rng: &mut Rng64,
+    ) -> Result<(Vec<Group>, BatchStats)> {
+        let mut rejections = 0;
+        let mut groups = Vec::with_capacity(count);
+        let mut seen: HashSet<(usize, usize, Vec<usize>)> = HashSet::with_capacity(count);
+        let mut duplicates = 0usize;
+        for _ in 0..count {
+            let group = self.sample_counting(rng, &mut rejections)?;
+            let mut negs = group.negatives.clone();
+            negs.sort_unstable();
+            if !seen.insert((group.anchor, group.positive, negs)) {
+                duplicates += 1;
+            }
+            groups.push(group);
+        }
+        let stats = BatchStats {
+            groups: groups.len(),
+            positive_pool: self.positives.len(),
+            negative_pool: self.negatives.len(),
+            rejections,
+            duplicate_rate: if groups.is_empty() {
+                0.0
+            } else {
+                duplicates as f64 / groups.len() as f64
+            },
+        };
+        Ok((groups, stats))
     }
 }
 
@@ -249,7 +354,8 @@ mod tests {
         assert!(GroupSampler::new(&labels(), 0, SamplingStrategy::Uniform, None).is_err());
         assert!(GroupSampler::new(&[1, 1, 0], 2, SamplingStrategy::Uniform, None).is_err()); // k > negs
         assert!(GroupSampler::new(&[1, 0, 0, 0], 2, SamplingStrategy::Uniform, None).is_err()); // 1 pos
-        assert!(GroupSampler::new(&[1, 1, 2, 0], 1, SamplingStrategy::Uniform, None).is_err()); // bad label
+        assert!(GroupSampler::new(&[1, 1, 2, 0], 1, SamplingStrategy::Uniform, None).is_err());
+        // bad label
     }
 
     #[test]
@@ -266,7 +372,7 @@ mod tests {
             &labels,
             2,
             SamplingStrategy::ConfidenceBiased { gamma: -1.0 },
-            Some(&vec![1.0; 10])
+            Some(&[1.0; 10])
         )
         .is_err());
         assert!(GroupSampler::new(
@@ -330,6 +436,63 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn batch_stats_uniform_has_no_rejections() {
+        let labels = labels();
+        let sampler = GroupSampler::new(&labels, 2, SamplingStrategy::Uniform, None).unwrap();
+        let (groups, stats) = sampler
+            .sample_batch_with_stats(50, &mut Rng64::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(groups.len(), 50);
+        assert_eq!(stats.groups, 50);
+        assert_eq!(stats.positive_pool, 5);
+        assert_eq!(stats.negative_pool, 5);
+        assert_eq!(stats.rejections, 0);
+        assert!((0.0..=1.0).contains(&stats.duplicate_rate));
+    }
+
+    #[test]
+    fn batch_stats_detects_duplicates_in_tiny_space() {
+        // 2 positives, 1 negative, k=1: only 2 distinct groups exist, so a
+        // 50-group batch must be almost entirely duplicates.
+        let sampler = GroupSampler::new(&[1, 1, 0], 1, SamplingStrategy::Uniform, None).unwrap();
+        let (_, stats) = sampler
+            .sample_batch_with_stats(50, &mut Rng64::seed_from_u64(12))
+            .unwrap();
+        assert!(
+            stats.duplicate_rate >= 48.0 / 50.0,
+            "{}",
+            stats.duplicate_rate
+        );
+    }
+
+    #[test]
+    fn batch_stats_counts_confidence_biased_rejections() {
+        let labels = labels();
+        // One negative hoards nearly all the weight; with k=3 the second and
+        // third draws keep landing on already-taken indices.
+        let mut conf = vec![0.01; 10];
+        conf[9] = 1.0;
+        let sampler = GroupSampler::new(
+            &labels,
+            3,
+            SamplingStrategy::ConfidenceBiased { gamma: 2.0 },
+            Some(&conf),
+        )
+        .unwrap();
+        let (groups, stats) = sampler
+            .sample_batch_with_stats(100, &mut Rng64::seed_from_u64(13))
+            .unwrap();
+        assert_eq!(groups.len(), 100);
+        assert!(stats.rejections > 0, "expected rejections, got 0");
+        for g in &groups {
+            let mut negs = g.negatives.clone();
+            negs.sort_unstable();
+            negs.dedup();
+            assert_eq!(negs.len(), 3, "negatives must stay distinct");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod pipeline;
 pub mod trainer;
 
 pub use error::RllError;
-pub use group::{Group, GroupSampler, SamplingStrategy};
+pub use group::{BatchStats, Group, GroupSampler, SamplingStrategy};
 pub use model::{RllModel, RllModelConfig};
 pub use pipeline::{EvalReport, RllPipeline};
 pub use trainer::{RllConfig, RllTrainer, RllVariant, TrainingTrace};

@@ -44,7 +44,9 @@ pub fn group_softmax_loss(
     let members = embeddings.rows();
     if members < 3 {
         return Err(RllError::InvalidConfig {
-            reason: format!("a group needs at least 3 members (anchor, positive, ≥1 negative), got {members}"),
+            reason: format!(
+                "a group needs at least 3 members (anchor, positive, ≥1 negative), got {members}"
+            ),
         });
     }
     let candidates = members - 1;
@@ -99,8 +101,7 @@ pub fn group_softmax_loss(
         let r = cosines[c];
         // dr/d(anchor) = cand/(|a||c|) - r * a / |a|^2
         for d in 0..dim {
-            grad_anchor[d] +=
-                dl_dr * (cand[d] * inv - r * anchor[d] / (anchor_norm * anchor_norm));
+            grad_anchor[d] += dl_dr * (cand[d] * inv - r * anchor[d] / (anchor_norm * anchor_norm));
         }
         // dr/d(cand) = a/(|a||c|) - r * c / |c|^2
         let grad_cand = grads.row_mut(c + 1)?;
@@ -222,7 +223,10 @@ mod tests {
                 let numeric = (group_softmax_loss(&up, &conf, 12.0).unwrap().0
                     - group_softmax_loss(&down, &conf, 12.0).unwrap().0)
                     / (2.0 * eps);
-                assert!((numeric - grads.get(r, 0).unwrap()).abs() < 1e-4, "seed {seed} row {r}");
+                assert!(
+                    (numeric - grads.get(r, 0).unwrap()).abs() < 1e-4,
+                    "seed {seed} row {r}"
+                );
             }
         }
     }

@@ -125,6 +125,9 @@ mod tests {
         let x = Matrix::from_fn(2, 6, |r, c| (r + c) as f64 * 0.1);
         let json = serde_json::to_string(&model).unwrap();
         let back: RllModel = serde_json::from_str(&json).unwrap();
-        assert!(back.embed(&x).unwrap().approx_eq(&model.embed(&x).unwrap(), 1e-9));
+        assert!(back
+            .embed(&x)
+            .unwrap()
+            .approx_eq(&model.embed(&x).unwrap(), 1e-9));
     }
 }

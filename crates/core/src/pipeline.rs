@@ -86,6 +86,7 @@ pub fn score_predictions(predictions: &[u8], expert: &[u8]) -> Result<EvalReport
 /// annotations.
 pub struct RllPipeline {
     config: RllConfig,
+    recorder: rll_obs::Recorder,
     normalizer: Option<Normalizer>,
     model: Option<RllModel>,
     classifier: Option<LogisticRegression>,
@@ -97,11 +98,19 @@ impl RllPipeline {
     pub fn new(config: RllConfig) -> Self {
         RllPipeline {
             config,
+            recorder: rll_obs::Recorder::disabled(),
             normalizer: None,
             model: None,
             classifier: None,
             trace: None,
         }
+    }
+
+    /// Attaches a telemetry recorder; it is handed to the trainer on
+    /// [`Self::fit`], so training emits per-epoch events through it.
+    pub fn with_recorder(mut self, recorder: rll_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The hyperparameters.
@@ -129,7 +138,7 @@ impl RllPipeline {
             .map_err(|e| RllError::InvalidConfig {
                 reason: format!("feature normalization failed: {e}"),
             })?;
-        let trainer = RllTrainer::new(self.config.clone())?;
+        let trainer = RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
         let (model, trace) = trainer.fit(&normalized, annotations, seed)?;
         let embeddings = model.embed(&normalized)?;
         let mut classifier = LogisticRegression::with_defaults();
@@ -190,11 +199,10 @@ impl RllPipeline {
         }
         use rll_crowd::aggregate::{Aggregator, MajorityVote};
         let crowd_labels = MajorityVote::positive_ties().hard_labels(annotations)?;
-        let folds = StratifiedKFold::new(&crowd_labels, 5, seed).map_err(|e| {
-            RllError::InvalidConfig {
+        let folds =
+            StratifiedKFold::new(&crowd_labels, 5, seed).map_err(|e| RllError::InvalidConfig {
                 reason: format!("cross-validation split failed: {e}"),
-            }
-        })?;
+            })?;
         let split = folds.split(0).map_err(|e| RllError::InvalidConfig {
             reason: format!("cross-validation split failed: {e}"),
         })?;
@@ -272,8 +280,8 @@ mod tests {
         let mut pipeline = RllPipeline::new(fast_config());
         pipeline.fit(&x, &ann, 2).unwrap();
         let pred = pipeline.predict(&x).unwrap();
-        let acc = pred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
-            / truth.len() as f64;
+        let acc =
+            pred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64;
         assert!(acc > 0.8, "training accuracy {acc}");
         assert!(pipeline.trace().is_some());
     }
@@ -283,7 +291,11 @@ mod tests {
         let (x, ann, truth) = crowd_dataset(120, 3);
         let mut pipeline = RllPipeline::new(fast_config());
         let report = pipeline.fit_evaluate(&x, &ann, &truth, 4).unwrap();
-        assert!(report.accuracy > 0.6, "held-out accuracy {}", report.accuracy);
+        assert!(
+            report.accuracy > 0.6,
+            "held-out accuracy {}",
+            report.accuracy
+        );
         assert!(report.f1 > 0.6, "held-out F1 {}", report.f1);
         assert!(report.n_test >= 20);
     }

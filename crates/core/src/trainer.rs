@@ -1,15 +1,17 @@
 //! The RLL training loop.
 
+use crate::error::RllError;
 use crate::group::{GroupSampler, SamplingStrategy};
 use crate::loss::group_softmax_loss;
 use crate::model::{RllModel, RllModelConfig};
 use crate::Result;
-use crate::error::RllError;
 use rll_crowd::aggregate::{Aggregator, MajorityVote};
 use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
 use rll_nn::{Adam, GradClip, Optimizer};
+use rll_obs::{EpochStats, EventKind, Recorder, SamplerStats};
 use rll_tensor::{Matrix, Rng64};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which of the paper's RLL variants to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -115,7 +117,10 @@ impl RllConfig {
         }
         if self.prior_strength <= 0.0 || !self.prior_strength.is_finite() {
             return Err(RllError::InvalidConfig {
-                reason: format!("prior_strength must be positive, got {}", self.prior_strength),
+                reason: format!(
+                    "prior_strength must be positive, got {}",
+                    self.prior_strength
+                ),
             });
         }
         if let Some(c) = self.grad_clip {
@@ -141,19 +146,43 @@ pub struct TrainingTrace {
     pub inferred_labels: Vec<u8>,
     /// Per-item label confidences `δ` that eq. (3) used.
     pub confidences: Vec<f64>,
+    /// Global gradient norm per epoch, before clipping.
+    pub grad_norms_pre_clip: Vec<f64>,
+    /// Global gradient norm per epoch, after clipping (equal to the pre-clip
+    /// norm when clipping is off or the threshold was not hit).
+    pub grad_norms_post_clip: Vec<f64>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_wall_secs: Vec<f64>,
 }
 
 /// Trains [`RllModel`]s from features + crowd annotations.
 #[derive(Debug, Clone)]
 pub struct RllTrainer {
     config: RllConfig,
+    recorder: Recorder,
 }
 
 impl RllTrainer {
-    /// Creates a trainer after validating the config.
+    /// Creates a trainer after validating the config. Telemetry is disabled
+    /// until a recorder is attached with [`Self::with_recorder`].
     pub fn new(config: RllConfig) -> Result<Self> {
         config.validate()?;
-        Ok(RllTrainer { config })
+        Ok(RllTrainer {
+            config,
+            recorder: Recorder::disabled(),
+        })
+    }
+
+    /// Attaches a telemetry recorder; [`Self::fit`] will emit per-epoch
+    /// `EpochEnd`, `SamplerBatch`, and `ConfidenceSummary` events through it.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached recorder (a disabled one by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The hyperparameters.
@@ -179,7 +208,9 @@ impl RllTrainer {
             }
             RllVariant::WorkerAware => {
                 return Err(RllError::InvalidConfig {
-                    reason: "WorkerAware confidence requires the annotation table; use RllTrainer::fit".into(),
+                    reason:
+                        "WorkerAware confidence requires the annotation table; use RllTrainer::fit"
+                            .into(),
                 })
             }
         })
@@ -195,11 +226,17 @@ impl RllTrainer {
         match self.config.variant {
             RllVariant::WorkerAware => {
                 let fit = rll_crowd::aggregate::DawidSkene::default().fit(annotations)?;
-                Ok(rll_crowd::confidence::worker_aware_label_confidences(&fit, labels)?)
+                Ok(
+                    rll_crowd::confidence::worker_aware_label_confidences_observed(
+                        &fit,
+                        labels,
+                        &self.recorder,
+                    )?,
+                )
             }
             _ => {
                 let estimator = self.confidence_estimator(positive_prior)?;
-                Ok(estimator.label_confidences(annotations, labels)?)
+                Ok(estimator.label_confidences_observed(annotations, labels, &self.recorder)?)
             }
         }
     }
@@ -257,44 +294,105 @@ impl RllTrainer {
             &mut rng,
         )?;
         let mut opt = Adam::new(self.config.learning_rate)?;
-        let clip = self
-            .config
-            .grad_clip
-            .map(GradClip::new)
-            .transpose()?;
+        let clip = self.config.grad_clip.map(GradClip::new).transpose()?;
 
+        let _fit_span = self.recorder.span("train.fit");
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let mut grad_norms_pre_clip = Vec::with_capacity(self.config.epochs);
+        let mut grad_norms_post_clip = Vec::with_capacity(self.config.epochs);
+        let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
-            if let Some(schedule) = &self.config.lr_schedule {
-                opt.set_learning_rate(schedule.at_epoch(epoch));
-            }
-            let groups = sampler.sample_batch(self.config.groups_per_epoch, &mut rng)?;
+            let epoch_start = Instant::now();
+            let learning_rate = match &self.config.lr_schedule {
+                Some(schedule) => {
+                    let lr = schedule.at_epoch(epoch);
+                    opt.set_learning_rate(lr);
+                    lr
+                }
+                None => self.config.learning_rate,
+            };
+
+            let sample_start = Instant::now();
+            let (groups, batch_stats) =
+                sampler.sample_batch_with_stats(self.config.groups_per_epoch, &mut rng)?;
+            let sample_secs = sample_start.elapsed().as_secs_f64();
+            self.recorder.emit(EventKind::SamplerBatch(SamplerStats {
+                groups: batch_stats.groups,
+                positive_pool: batch_stats.positive_pool,
+                negative_pool: batch_stats.negative_pool,
+                rejections: batch_stats.rejections,
+                duplicate_rate: batch_stats.duplicate_rate,
+            }));
+            let metrics = self.recorder.metrics();
+            metrics
+                .counter("train.groups_sampled")
+                .add(groups.len() as u64);
+            metrics
+                .counter("train.sampler_rejections")
+                .add(batch_stats.rejections);
+
             model.mlp_mut().zero_grad();
             let mut total_loss = 0.0;
+            let mut forward_secs = 0.0;
+            let mut backward_secs = 0.0;
             for group in &groups {
                 let members = group.members();
+                let forward_start = Instant::now();
                 let member_features = features.select_rows(&members)?;
                 let cache = model.mlp_mut().forward_cached(&member_features, &mut rng)?;
                 // Candidate confidences: δ_j for the positive, then the
                 // negatives' δ, in member order.
-                let cand_conf: Vec<f64> =
-                    members[1..].iter().map(|&m| confidences[m]).collect();
+                let cand_conf: Vec<f64> = members[1..].iter().map(|&m| confidences[m]).collect();
                 let (loss, grads) =
                     group_softmax_loss(cache.output(), &cand_conf, self.config.eta)?;
+                forward_secs += forward_start.elapsed().as_secs_f64();
                 total_loss += loss;
+                let backward_start = Instant::now();
                 model.mlp_mut().backward(&cache, &grads)?;
+                backward_secs += backward_start.elapsed().as_secs_f64();
             }
+
+            let step_start = Instant::now();
             model.mlp_mut().scale_grads(1.0 / groups.len() as f64);
             let mut params = model.mlp_mut().param_grad_pairs();
-            if let Some(clip) = &clip {
-                let mut grads: Vec<Matrix> = params.iter().map(|(_, g)| g.clone()).collect();
-                clip.clip(&mut grads);
-                for ((_, g), clipped) in params.iter_mut().zip(grads) {
-                    *g = clipped;
+            let grad_norm_pre_clip = global_grad_norm(params.iter().map(|(_, g)| g));
+            let grad_norm_post_clip = match &clip {
+                Some(clip) => {
+                    let mut grads: Vec<Matrix> = params.iter().map(|(_, g)| g.clone()).collect();
+                    clip.clip(&mut grads);
+                    let post = global_grad_norm(grads.iter());
+                    for ((_, g), clipped) in params.iter_mut().zip(grads) {
+                        *g = clipped;
+                    }
+                    post
                 }
-            }
+                None => grad_norm_pre_clip,
+            };
             opt.step(params)?;
-            epoch_losses.push(total_loss / groups.len() as f64);
+            let step_secs = step_start.elapsed().as_secs_f64();
+
+            let mean_loss = total_loss / groups.len() as f64;
+            let wall_secs = epoch_start.elapsed().as_secs_f64();
+            self.recorder.emit(EventKind::EpochEnd(EpochStats {
+                epoch,
+                mean_loss,
+                grad_norm_pre_clip,
+                grad_norm_post_clip,
+                learning_rate,
+                groups_sampled: groups.len(),
+                wall_secs,
+                sample_secs,
+                forward_secs,
+                backward_secs,
+                step_secs,
+            }));
+            metrics.duration_histogram("train.epoch").observe(wall_secs);
+            metrics.gauge("train.mean_loss").set(mean_loss);
+
+            epoch_losses.push(mean_loss);
+            grad_norms_pre_clip.push(grad_norm_pre_clip);
+            grad_norms_post_clip.push(grad_norm_post_clip);
+            epoch_wall_secs.push(wall_secs);
         }
 
         Ok((
@@ -303,9 +401,20 @@ impl RllTrainer {
                 epoch_losses,
                 inferred_labels: labels,
                 confidences,
+                grad_norms_pre_clip,
+                grad_norms_post_clip,
+                epoch_wall_secs,
             },
         ))
     }
+}
+
+/// Global L2 norm over a set of gradient matrices.
+fn global_grad_norm<'a>(grads: impl Iterator<Item = &'a Matrix>) -> f64 {
+    grads
+        .map(|g| g.frobenius_norm().powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -375,11 +484,9 @@ mod tests {
         let mut diff_n = 0;
         for i in 0..emb.rows() {
             for j in (i + 1)..emb.rows() {
-                let c = rll_tensor::ops::cosine_similarity(
-                    emb.row(i).unwrap(),
-                    emb.row(j).unwrap(),
-                )
-                .unwrap();
+                let c =
+                    rll_tensor::ops::cosine_similarity(emb.row(i).unwrap(), emb.row(j).unwrap())
+                        .unwrap();
                 if truth[i] == truth[j] {
                     same += c;
                     same_n += 1;
@@ -402,7 +509,7 @@ mod tests {
             assert_eq!(model.embedding_dim(), 16);
             assert_eq!(trace.inferred_labels.len(), 60);
             assert_eq!(trace.confidences.len(), 60);
-            assert_eq!(variant.name().is_empty(), false);
+            assert!(!variant.name().is_empty());
         }
     }
 
@@ -431,7 +538,10 @@ mod tests {
         let (m2, _) = trainer.fit(&x, &ann, 11).unwrap();
         assert!(m1.embed(&x).unwrap().approx_eq(&m2.embed(&x).unwrap(), 0.0));
         let (m3, _) = trainer.fit(&x, &ann, 12).unwrap();
-        assert!(!m1.embed(&x).unwrap().approx_eq(&m3.embed(&x).unwrap(), 1e-9));
+        assert!(!m1
+            .embed(&x)
+            .unwrap()
+            .approx_eq(&m3.embed(&x).unwrap(), 1e-9));
     }
 
     #[test]
@@ -474,9 +584,52 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(RllTrainer::new(RllConfig { eta: 0.0, ..Default::default() }).is_err());
-        assert!(RllTrainer::new(RllConfig { k: 0, ..Default::default() }).is_err());
-        assert!(RllTrainer::new(RllConfig { epochs: 0, ..Default::default() }).is_err());
+        assert!(RllTrainer::new(RllConfig {
+            eta: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        // Non-finite values must be rejected, not silently train garbage.
+        assert!(RllTrainer::new(RllConfig {
+            eta: f64::NAN,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            eta: f64::INFINITY,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            learning_rate: f64::NAN,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            learning_rate: f64::INFINITY,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            prior_strength: f64::NAN,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            grad_clip: Some(f64::NAN),
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(RllTrainer::new(RllConfig {
+            epochs: 0,
+            ..Default::default()
+        })
+        .is_err());
         assert!(RllTrainer::new(RllConfig {
             learning_rate: -1.0,
             ..Default::default()
@@ -503,7 +656,9 @@ mod tests {
         assert!(trainer.fit(&x, &ann, 1).is_err());
         // Row mismatch.
         let (x2, ann2, _) = crowd_dataset(10, 13);
-        assert!(trainer.fit(&x2.select_rows(&[0, 1]).unwrap(), &ann2, 1).is_err());
+        assert!(trainer
+            .fit(&x2.select_rows(&[0, 1]).unwrap(), &ann2, 1)
+            .is_err());
         drop(x);
     }
 }

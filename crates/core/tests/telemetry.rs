@@ -1,0 +1,118 @@
+//! Trainer-level telemetry contract: one `EpochEnd` and one `SamplerBatch`
+//! per configured epoch, one `ConfidenceSummary` per fit, and a
+//! `TrainingTrace` whose new diagnostic vectors line up with the epochs.
+
+use std::sync::Arc;
+
+use rll_core::{RllConfig, RllTrainer, RllVariant};
+use rll_crowd::simulate::{WorkerModel, WorkerPool};
+use rll_crowd::AnnotationMatrix;
+use rll_obs::{EventKind, MemorySink, Recorder};
+use rll_tensor::{Matrix, Rng64};
+
+fn crowd_dataset(n: usize, seed: u64) -> (Matrix, AnnotationMatrix) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut truth = Vec::new();
+    for _ in 0..n {
+        let l = u8::from(rng.bernoulli(0.6));
+        let c = if l == 1 { 1.0 } else { -1.0 };
+        rows.push(vec![
+            rng.normal(c, 0.6).unwrap(),
+            rng.normal(-c, 0.6).unwrap(),
+            rng.normal(0.0, 1.0).unwrap(),
+        ]);
+        truth.push(l);
+    }
+    let features = Matrix::from_rows(&rows).unwrap();
+    let pool = WorkerPool::new(vec![
+        WorkerModel::OneCoin { accuracy: 0.85 },
+        WorkerModel::OneCoin { accuracy: 0.8 },
+        WorkerModel::OneCoin { accuracy: 0.9 },
+    ]);
+    let ann = pool.annotate(&truth, &mut rng).unwrap();
+    (features, ann)
+}
+
+#[test]
+fn fit_emits_one_epoch_event_per_configured_epoch() {
+    const EPOCHS: usize = 7;
+    let (x, ann) = crowd_dataset(60, 11);
+    let config = RllConfig {
+        variant: RllVariant::Bayesian,
+        epochs: EPOCHS,
+        groups_per_epoch: 32,
+        ..Default::default()
+    };
+    let sink = Arc::new(MemorySink::new());
+    let recorder = Recorder::new("trainer-telemetry", vec![Box::new(sink.clone())]);
+    let trainer = RllTrainer::new(config)
+        .unwrap()
+        .with_recorder(recorder.clone());
+    let (_, trace) = trainer.fit(&x, &ann, 5).unwrap();
+
+    let events = sink.events();
+    let epoch_events: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::EpochEnd(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    let sampler_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SamplerBatch(_)))
+        .count();
+    let confidence_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ConfidenceSummary(_)))
+        .count();
+
+    assert_eq!(epoch_events.len(), EPOCHS, "one EpochEnd per epoch");
+    assert_eq!(sampler_events, EPOCHS, "one SamplerBatch per epoch");
+    assert_eq!(confidence_events, 1, "one ConfidenceSummary per fit");
+    for (i, stats) in epoch_events.iter().enumerate() {
+        assert_eq!(stats.epoch, i);
+        assert_eq!(stats.groups_sampled, 32);
+        assert!(stats.mean_loss.is_finite());
+        assert!(stats.grad_norm_pre_clip >= stats.grad_norm_post_clip);
+        assert!(stats.learning_rate > 0.0);
+        assert!(stats.wall_secs >= 0.0);
+    }
+
+    // The trace's diagnostic vectors march in step with the epochs.
+    assert_eq!(trace.epoch_losses.len(), EPOCHS);
+    assert_eq!(trace.grad_norms_pre_clip.len(), EPOCHS);
+    assert_eq!(trace.grad_norms_post_clip.len(), EPOCHS);
+    assert_eq!(trace.epoch_wall_secs.len(), EPOCHS);
+
+    // Metrics side: counters and the span histogram saw the same run.
+    let metrics = recorder.metrics().snapshot();
+    assert_eq!(
+        metrics.counters.get("train.groups_sampled"),
+        Some(&(EPOCHS as u64 * 32))
+    );
+    assert_eq!(metrics.histograms["train.epoch"].count, EPOCHS as u64);
+    assert_eq!(metrics.histograms["span.train.fit"].count, 1);
+}
+
+#[test]
+fn disabled_recorder_trains_identically() {
+    let (x, ann) = crowd_dataset(50, 23);
+    let config = RllConfig {
+        variant: RllVariant::Mle,
+        epochs: 5,
+        groups_per_epoch: 24,
+        ..Default::default()
+    };
+    let silent = RllTrainer::new(config.clone()).unwrap();
+    let sink = Arc::new(MemorySink::new());
+    let observed = RllTrainer::new(config)
+        .unwrap()
+        .with_recorder(Recorder::new("t", vec![Box::new(sink.clone())]));
+    let (_, trace_a) = silent.fit(&x, &ann, 7).unwrap();
+    let (_, trace_b) = observed.fit(&x, &ann, 7).unwrap();
+    // Telemetry must be a pure observer: same seed, same losses.
+    assert_eq!(trace_a.epoch_losses, trace_b.epoch_losses);
+    assert!(!sink.is_empty());
+}

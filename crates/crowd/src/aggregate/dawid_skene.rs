@@ -135,8 +135,7 @@ impl DawidSkene {
             // ---------------- M-step ----------------
             // Class prior.
             for k in 0..c {
-                class_prior[k] =
-                    posteriors.iter().map(|p| p[k]).sum::<f64>() / n as f64;
+                class_prior[k] = posteriors.iter().map(|p| p[k]).sum::<f64>() / n as f64;
             }
             // Worker confusion matrices with Laplace smoothing.
             for worker in 0..w {
@@ -157,10 +156,8 @@ impl DawidSkene {
             // ---------------- E-step ----------------
             let mut ll = 0.0;
             for i in 0..n {
-                let mut log_post: Vec<f64> = class_prior
-                    .iter()
-                    .map(|&p| p.max(1e-300).ln())
-                    .collect();
+                let mut log_post: Vec<f64> =
+                    class_prior.iter().map(|&p| p.max(1e-300).ln()).collect();
                 for (worker, observed) in annotations.item_labels(i)? {
                     for (k, lp) in log_post.iter_mut().enumerate() {
                         *lp += confusions[worker][k][observed as usize].max(1e-300).ln();
@@ -229,12 +226,8 @@ mod tests {
         let (ann, truth) = simulated(200, &[0.9, 0.85, 0.9, 0.8, 0.95], 1);
         let fit = DawidSkene::default().fit(&ann).unwrap();
         let labels = DawidSkene::default().hard_labels(&ann).unwrap();
-        let acc = labels
-            .iter()
-            .zip(&truth)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / truth.len() as f64;
+        let acc =
+            labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
         assert!(fit.iterations >= 1);
     }
@@ -330,8 +323,8 @@ mod tests {
             }
         }
         let labels = DawidSkene::default().hard_labels(&ann).unwrap();
-        let acc = labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
-            / truth.len() as f64;
+        let acc =
+            labels.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64;
         assert!(acc > 0.9, "multiclass accuracy {acc}");
     }
 }

@@ -318,7 +318,11 @@ mod tests {
         ]);
         let ann = pool.annotate(&truth, &mut rng).unwrap();
         let fit = Glad::default().fit(&ann).unwrap();
-        assert!(fit.abilities[2] < 0.0, "adversary ability {}", fit.abilities[2]);
+        assert!(
+            fit.abilities[2] < 0.0,
+            "adversary ability {}",
+            fit.abilities[2]
+        );
         let labels = Glad::default().hard_labels(&ann).unwrap();
         assert!(accuracy(&labels, &truth) > 0.9);
     }

@@ -112,11 +112,8 @@ mod tests {
 
     #[test]
     fn clear_majorities() {
-        let ann = AnnotationMatrix::from_dense_binary(&[
-            vec![1, 1, 1, 0, 0],
-            vec![0, 0, 0, 0, 1],
-        ])
-        .unwrap();
+        let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 1, 1, 0, 0], vec![0, 0, 0, 0, 1]])
+            .unwrap();
         let mv = MajorityVote::positive_ties();
         assert_eq!(mv.hard_labels(&ann).unwrap(), vec![1, 0]);
         let post = mv.posteriors(&ann).unwrap();
@@ -128,11 +125,15 @@ mod tests {
     fn tie_breaking_rules() {
         let ann = AnnotationMatrix::from_dense_binary(&[vec![1, 0, 1, 0]]).unwrap();
         assert_eq!(
-            MajorityVote::new(TieBreak::LowestClass).hard_labels(&ann).unwrap(),
+            MajorityVote::new(TieBreak::LowestClass)
+                .hard_labels(&ann)
+                .unwrap(),
             vec![0]
         );
         assert_eq!(
-            MajorityVote::new(TieBreak::HighestClass).hard_labels(&ann).unwrap(),
+            MajorityVote::new(TieBreak::HighestClass)
+                .hard_labels(&ann)
+                .unwrap(),
             vec![1]
         );
         // Random tie-break is deterministic for a fixed seed.
@@ -150,8 +151,8 @@ mod tests {
         let ann = AnnotationMatrix::from_dense_binary(&vec![vec![1, 0]; 64]).unwrap();
         let mv = MajorityVote::new(TieBreak::Random { seed: 3 });
         let labels = mv.hard_labels(&ann).unwrap();
-        assert!(labels.iter().any(|&l| l == 0));
-        assert!(labels.iter().any(|&l| l == 1));
+        assert!(labels.contains(&0));
+        assert!(labels.contains(&1));
     }
 
     #[test]

@@ -118,11 +118,7 @@ impl Raykar {
         let w = annotations.num_workers();
         if features.rows() != n {
             return Err(CrowdError::InvalidConfig {
-                reason: format!(
-                    "{} feature rows for {} annotated items",
-                    features.rows(),
-                    n
-                ),
+                reason: format!("{} feature rows for {} annotated items", features.rows(), n),
             });
         }
         if n == 0 || w == 0 {
@@ -180,8 +176,7 @@ impl Raykar {
                 let mut gb = 0.0;
                 for i in 0..n {
                     let row = features.row(i)?;
-                    let z: f64 =
-                        weights.iter().zip(row).map(|(wk, x)| wk * x).sum::<f64>() + bias;
+                    let z: f64 = weights.iter().zip(row).map(|(wk, x)| wk * x).sum::<f64>() + bias;
                     let err = sigmoid(z) - post[i];
                     for (g, &x) in gw.iter_mut().zip(row) {
                         *g += err * x;
@@ -263,8 +258,14 @@ mod tests {
         }
         let features = Matrix::from_rows(&rows).unwrap();
         let pool = WorkerPool::new(vec![
-            WorkerModel::TwoCoin { sensitivity: 0.85, specificity: 0.8 },
-            WorkerModel::TwoCoin { sensitivity: 0.75, specificity: 0.9 },
+            WorkerModel::TwoCoin {
+                sensitivity: 0.85,
+                specificity: 0.8,
+            },
+            WorkerModel::TwoCoin {
+                sensitivity: 0.75,
+                specificity: 0.9,
+            },
             WorkerModel::OneCoin { accuracy: 0.7 },
         ]);
         let ann = pool.annotate(&truth, &mut rng).unwrap();
@@ -280,8 +281,8 @@ mod tests {
             .iter()
             .map(|&p| u8::from(p > 0.5))
             .collect();
-        let acc = inferred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64
-            / truth.len() as f64;
+        let acc =
+            inferred.iter().zip(&truth).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64;
         assert!(acc > 0.9, "posterior accuracy {acc}");
 
         // The classifier generalizes to fresh points.

@@ -21,10 +21,7 @@ pub fn observed_agreement(
     let mut shared = 0usize;
     let mut agree = 0usize;
     for i in 0..annotations.num_items() {
-        if let (Some(a), Some(b)) = (
-            annotations.get(i, worker_a)?,
-            annotations.get(i, worker_b)?,
-        ) {
+        if let (Some(a), Some(b)) = (annotations.get(i, worker_a)?, annotations.get(i, worker_b)?) {
             shared += 1;
             if a == b {
                 agree += 1;
@@ -55,10 +52,7 @@ pub fn cohens_kappa(
     let mut joint = vec![vec![0usize; c]; c];
     let mut shared = 0usize;
     for i in 0..annotations.num_items() {
-        if let (Some(a), Some(b)) = (
-            annotations.get(i, worker_a)?,
-            annotations.get(i, worker_b)?,
-        ) {
+        if let (Some(a), Some(b)) = (annotations.get(i, worker_a)?, annotations.get(i, worker_b)?) {
             joint[a as usize][b as usize] += 1;
             shared += 1;
         }
@@ -150,7 +144,11 @@ pub fn fleiss_kappa(annotations: &AnnotationMatrix) -> Result<f64> {
         })
         .sum();
     if (1.0 - pe).abs() < 1e-12 {
-        return Ok(if (p_bar - 1.0).abs() < 1e-12 { 1.0 } else { 0.0 });
+        return Ok(if (p_bar - 1.0).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        });
     }
     Ok((p_bar - pe) / (1.0 - pe))
 }
@@ -200,8 +198,7 @@ mod tests {
     use rll_tensor::Rng64;
 
     fn perfect_table() -> AnnotationMatrix {
-        AnnotationMatrix::from_dense_binary(&[vec![1, 1, 1], vec![0, 0, 0], vec![1, 1, 1]])
-            .unwrap()
+        AnnotationMatrix::from_dense_binary(&[vec![1, 1, 1], vec![0, 0, 0], vec![1, 1, 1]]).unwrap()
     }
 
     #[test]
@@ -216,13 +213,9 @@ mod tests {
     #[test]
     fn systematic_disagreement_is_negative_kappa() {
         // Worker 1 always inverts worker 0.
-        let ann = AnnotationMatrix::from_dense_binary(&[
-            vec![1, 0],
-            vec![0, 1],
-            vec![1, 0],
-            vec![0, 1],
-        ])
-        .unwrap();
+        let ann =
+            AnnotationMatrix::from_dense_binary(&[vec![1, 0], vec![0, 1], vec![1, 0], vec![0, 1]])
+                .unwrap();
         assert_eq!(observed_agreement(&ann, 0, 1).unwrap(), 0.0);
         assert!(cohens_kappa(&ann, 0, 1).unwrap() < -0.9);
     }

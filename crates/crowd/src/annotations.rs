@@ -55,10 +55,7 @@ impl AnnotationMatrix {
         for (i, row) in votes.iter().enumerate() {
             if row.len() != num_workers {
                 return Err(CrowdError::InvalidAnnotations {
-                    reason: format!(
-                        "item {i} has {} votes, expected {num_workers}",
-                        row.len()
-                    ),
+                    reason: format!("item {i} has {} votes, expected {num_workers}", row.len()),
                 });
             }
             for (w, &label) in row.iter().enumerate() {
@@ -118,11 +115,13 @@ impl AnnotationMatrix {
                 reason: format!("item {item} out of range ({} items)", self.num_items),
             });
         }
-        Ok(self.labels[item * self.num_workers..(item + 1) * self.num_workers]
-            .iter()
-            .enumerate()
-            .filter_map(|(w, l)| l.map(|label| (w, label)))
-            .collect())
+        Ok(
+            self.labels[item * self.num_workers..(item + 1) * self.num_workers]
+                .iter()
+                .enumerate()
+                .filter_map(|(w, l)| l.map(|label| (w, label)))
+                .collect(),
+        )
     }
 
     /// All `(item, label)` pairs produced by a worker.
@@ -176,11 +175,7 @@ impl AnnotationMatrix {
     /// of items that violate the requirement.
     pub fn items_below_coverage(&self, min: usize) -> Vec<usize> {
         (0..self.num_items)
-            .filter(|&i| {
-                self.annotation_count(i)
-                    .map(|c| c < min)
-                    .unwrap_or(true)
-            })
+            .filter(|&i| self.annotation_count(i).map(|c| c < min).unwrap_or(true))
             .collect()
     }
 

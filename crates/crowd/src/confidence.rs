@@ -100,6 +100,15 @@ pub enum ConfidenceEstimator {
 }
 
 impl ConfidenceEstimator {
+    /// Short stable name for telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConfidenceEstimator::None => "none",
+            ConfidenceEstimator::Mle => "mle",
+            ConfidenceEstimator::Bayesian(_) => "bayesian",
+        }
+    }
+
     /// Posterior "positiveness" `δ_i` for one item given its votes.
     pub fn positiveness(&self, positive_votes: usize, total_votes: usize) -> Result<f64> {
         if positive_votes > total_votes {
@@ -161,6 +170,31 @@ impl ConfidenceEstimator {
             .map(|(&l, p)| if l == 1 { p } else { 1.0 - p })
             .collect())
     }
+
+    /// [`Self::label_confidences`] plus telemetry: emits a
+    /// `ConfidenceSummary` event describing the δ distribution (count, mean,
+    /// spread) for this estimator variant.
+    pub fn label_confidences_observed(
+        &self,
+        annotations: &AnnotationMatrix,
+        labels: &[u8],
+        recorder: &rll_obs::Recorder,
+    ) -> Result<Vec<f64>> {
+        let conf = self.label_confidences(annotations, labels)?;
+        emit_confidence_summary(recorder, self.name(), &conf);
+        Ok(conf)
+    }
+}
+
+/// Emits a `ConfidenceSummary` event for a computed δ vector.
+pub fn emit_confidence_summary(recorder: &rll_obs::Recorder, variant: &str, confidences: &[f64]) {
+    recorder.emit(rll_obs::EventKind::ConfidenceSummary(
+        rll_obs::ConfidenceStats {
+            variant: variant.to_string(),
+            items: confidences.len(),
+            delta: rll_obs::DistSummary::from_values(confidences),
+        },
+    ));
 }
 
 /// Worker-aware label confidence — the extension the paper's conclusion
@@ -190,11 +224,25 @@ pub fn worker_aware_label_confidences(
         .iter()
         .zip(&fit.posteriors)
         .map(|(&l, post)| {
-            post.get(l as usize).copied().ok_or_else(|| CrowdError::InvalidConfig {
-                reason: format!("label {l} out of range for {}-class fit", post.len()),
-            })
+            post.get(l as usize)
+                .copied()
+                .ok_or_else(|| CrowdError::InvalidConfig {
+                    reason: format!("label {l} out of range for {}-class fit", post.len()),
+                })
         })
         .collect()
+}
+
+/// [`worker_aware_label_confidences`] plus a `ConfidenceSummary` event under
+/// the `"worker_aware"` variant name.
+pub fn worker_aware_label_confidences_observed(
+    fit: &crate::aggregate::DawidSkeneFit,
+    labels: &[u8],
+    recorder: &rll_obs::Recorder,
+) -> Result<Vec<f64>> {
+    let conf = worker_aware_label_confidences(fit, labels)?;
+    emit_confidence_summary(recorder, "worker_aware", &conf);
+    Ok(conf)
 }
 
 #[cfg(test)]
@@ -274,9 +322,7 @@ mod tests {
         ])
         .unwrap();
         let est = ConfidenceEstimator::Mle;
-        let conf = est
-            .label_confidences(&ann, &[1, 1, 0])
-            .unwrap();
+        let conf = est.label_confidences(&ann, &[1, 1, 0]).unwrap();
         assert!((conf[0] - 1.0).abs() < 1e-12);
         assert!((conf[1] - 0.6).abs() < 1e-12);
         assert!((conf[2] - 0.8).abs() < 1e-12);
@@ -297,7 +343,10 @@ mod tests {
     fn serde_round_trip() {
         let est = ConfidenceEstimator::Bayesian(BetaPrior::new(1.5, 2.5).unwrap());
         let json = serde_json::to_string(&est).unwrap();
-        assert_eq!(serde_json::from_str::<ConfidenceEstimator>(&json).unwrap(), est);
+        assert_eq!(
+            serde_json::from_str::<ConfidenceEstimator>(&json).unwrap(),
+            est
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod quality;
 pub mod simulate;
 
 pub use annotations::AnnotationMatrix;
-pub use confidence::{BetaPrior, ConfidenceEstimator};
+pub use confidence::{
+    emit_confidence_summary, worker_aware_label_confidences,
+    worker_aware_label_confidences_observed, BetaPrior, ConfidenceEstimator,
+};
 pub use error::CrowdError;
 
 /// Result alias used across the crate.

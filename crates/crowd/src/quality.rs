@@ -65,7 +65,11 @@ pub fn worker_qualities(
                 pairs += 1;
             }
         }
-        let informativeness = if pairs > 0 { tv_sum / pairs as f64 } else { 0.0 };
+        let informativeness = if pairs > 0 {
+            tv_sum / pairs as f64
+        } else {
+            0.0
+        };
         out.push(WorkerQuality {
             worker: w,
             expected_accuracy,
@@ -111,7 +115,11 @@ mod tests {
     use crate::simulate::{WorkerModel, WorkerPool};
     use rll_tensor::Rng64;
 
-    fn fit_pool(models: Vec<WorkerModel>, n: usize, seed: u64) -> (DawidSkeneFit, AnnotationMatrix) {
+    fn fit_pool(
+        models: Vec<WorkerModel>,
+        n: usize,
+        seed: u64,
+    ) -> (DawidSkeneFit, AnnotationMatrix) {
         let mut rng = Rng64::seed_from_u64(seed);
         let truth: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.6))).collect();
         let pool = WorkerPool::new(models);
@@ -173,7 +181,10 @@ mod tests {
         let ranked = rank_workers(&q);
         // The spammer is last; the two excellent workers occupy the top two.
         assert_eq!(*ranked.last().unwrap(), 0);
-        assert!(ranked[..2].contains(&1) && ranked[..2].contains(&2), "{ranked:?}");
+        assert!(
+            ranked[..2].contains(&1) && ranked[..2].contains(&2),
+            "{ranked:?}"
+        );
         // Ranking is ordered by informativeness.
         let info_of = |w: usize| q.iter().find(|x| x.worker == w).unwrap().informativeness;
         for pair in ranked.windows(2) {

@@ -162,7 +162,11 @@ impl WorkerPool {
         }
         let workers = (0..d)
             .map(|i| {
-                let t = if d == 1 { 0.5 } else { i as f64 / (d - 1) as f64 };
+                let t = if d == 1 {
+                    0.5
+                } else {
+                    i as f64 / (d - 1) as f64
+                };
                 WorkerModel::OneCoin {
                     accuracy: lo + t * (hi - lo),
                 }
@@ -304,10 +308,15 @@ mod tests {
     #[test]
     fn validation_catches_bad_params() {
         assert!(WorkerModel::OneCoin { accuracy: 1.5 }.validate().is_err());
-        assert!(WorkerModel::TwoCoin { sensitivity: -0.1, specificity: 0.5 }
+        assert!(WorkerModel::TwoCoin {
+            sensitivity: -0.1,
+            specificity: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(WorkerModel::Spammer { positive_rate: 2.0 }
             .validate()
             .is_err());
-        assert!(WorkerModel::Spammer { positive_rate: 2.0 }.validate().is_err());
         assert!(WorkerModel::DifficultyAware { ability: f64::NAN }
             .validate()
             .is_err());

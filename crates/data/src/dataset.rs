@@ -246,7 +246,10 @@ mod tests {
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.expert_labels, vec![1, 1]);
         assert_eq!(sub.features.row(0).unwrap(), &[0.5, 0.5]);
-        assert_eq!(sub.annotations.item_labels(0).unwrap(), vec![(0, 1), (1, 0), (2, 1)]);
+        assert_eq!(
+            sub.annotations.item_labels(0).unwrap(),
+            vec![(0, 1), (1, 0), (2, 1)]
+        );
         assert!(ds.select(&[9]).is_err());
     }
 

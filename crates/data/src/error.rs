@@ -68,7 +68,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: DataError = CrowdError::InvalidConfig { reason: "x".into() }.into();
         assert!(e.to_string().contains("crowd"));
-        let e = DataError::Inconsistent { reason: "labels".into() };
+        let e = DataError::Inconsistent {
+            reason: "labels".into(),
+        };
         assert!(e.to_string().contains("labels"));
     }
 }

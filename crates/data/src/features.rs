@@ -107,13 +107,21 @@ impl FeatureModel for OralFeatures {
         let duration = rng.normal(40.0 + 20.0 * (1.0 - t), 8.0 * s)?.max(5.0);
         let rate = rng.normal(rate_base + rate_slope * t, 10.0 * s)?.max(10.0);
         let words = (duration / 60.0 * rate).max(3.0);
-        let filler = rng.normal(filler_base + filler_slope * t, 0.03 * s)?.max(0.0);
-        let long_pauses = rng.normal(pauses_base + pauses_slope * t, 1.2 * s)?.max(0.0);
-        let mean_pause = rng.normal(mpause_base + mpause_slope * t, 0.25 * s)?.max(0.05);
+        let filler = rng
+            .normal(filler_base + filler_slope * t, 0.03 * s)?
+            .max(0.0);
+        let long_pauses = rng
+            .normal(pauses_base + pauses_slope * t, 1.2 * s)?
+            .max(0.0);
+        let mean_pause = rng
+            .normal(mpause_base + mpause_slope * t, 0.25 * s)?
+            .max(0.05);
         let restarts = rng
             .normal(2.5 * (1.0 - t) + if quick { 1.5 } else { 0.0 }, 1.2 * s)?
             .max(0.0);
-        let repair = rng.normal(repair_base + repair_slope * t, 0.03 * s)?.max(0.0);
+        let repair = rng
+            .normal(repair_base + repair_slope * t, 0.03 * s)?
+            .max(0.0);
         let ttr = rng.normal(0.35 + 0.2 * t, 0.08 * s)?.clamp(0.05, 1.0);
         let math_terms = rng.normal(2.0 + 4.0 * t, 2.0 * s)?.max(0.0);
         let utt_len = rng
@@ -123,10 +131,24 @@ impl FeatureModel for OralFeatures {
             .normal(if quick { 0.9 } else { 0.4 } + 0.15 * t, 0.15 * s)?
             .max(0.0);
         let energy_var = rng.normal(0.4 + 0.2 * t, 0.15 * s)?.max(0.0);
-        let silence = rng.normal(silence_base + silence_slope * t, 0.06 * s)?.clamp(0.0, 1.0);
+        let silence = rng
+            .normal(silence_base + silence_slope * t, 0.06 * s)?
+            .clamp(0.0, 1.0);
         Ok(vec![
-            duration, words, rate, filler, long_pauses, mean_pause, restarts, repair, ttr,
-            math_terms, utt_len, pitch_var, energy_var, silence,
+            duration,
+            words,
+            rate,
+            filler,
+            long_pauses,
+            mean_pause,
+            restarts,
+            repair,
+            ttr,
+            math_terms,
+            utt_len,
+            pitch_var,
+            energy_var,
+            silence,
         ])
     }
 }
@@ -205,7 +227,11 @@ impl FeatureModel for ClassFeatures {
         let (ex_base, ex_slope) = if lecture { (0.35, 0.50) } else { (0.60, 0.05) };
         let (lat_base, lat_slope) = if lecture { (4.0, -0.5) } else { (6.0, -3.5) };
         let (int_base, int_slope) = if lecture { (3.0, -2.0) } else { (8.0, -7.0) };
-        let (sil_base, sil_slope) = if lecture { (0.35, -0.05) } else { (0.30, -0.15) };
+        let (sil_base, sil_slope) = if lecture {
+            (0.35, -0.05)
+        } else {
+            (0.30, -0.15)
+        };
 
         let teacher_talk = rng
             .normal(if lecture { 0.85 } else { 0.55 } - 0.05 * t, 0.08 * s)?
@@ -214,10 +240,14 @@ impl FeatureModel for ClassFeatures {
         let qa = rng.normal(qa_base + qa_slope * t, 5.0 * s)?.max(0.0);
         let latency = rng.normal(lat_base + lat_slope * t, 1.2 * s)?.max(0.2);
         let notes = rng.normal(notes_base + notes_slope * t, 2.5 * s)?.max(0.0);
-        let exercises = rng.normal(ex_base + ex_slope * t, 0.12 * s)?.clamp(0.0, 1.0);
+        let exercises = rng
+            .normal(ex_base + ex_slope * t, 0.12 * s)?
+            .clamp(0.0, 1.0);
         let questions = rng.normal(quest_base + quest_slope * t, 5.0 * s)?.max(0.0);
         let feedback = rng.normal(3.0 + 8.0 * t, 4.0 * s)?.max(0.0);
-        let silence = rng.normal(sil_base + sil_slope * t, 0.07 * s)?.clamp(0.0, 1.0);
+        let silence = rng
+            .normal(sil_base + sil_slope * t, 0.07 * s)?
+            .clamp(0.0, 1.0);
         let interruptions = rng.normal(int_base + int_slope * t, 2.0 * s)?.max(0.0);
         let on_topic = rng.normal(0.65 + 0.2 * t, 0.12 * s)?.clamp(0.0, 1.0);
         let initiative = rng.normal(init_base + init_slope * t, 2.0 * s)?.max(0.0);
@@ -370,8 +400,7 @@ mod tests {
         for c in 0..2 {
             let col = z.col(c).unwrap();
             let mean = col.iter().sum::<f64>() / col.len() as f64;
-            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-9);
         }

@@ -51,7 +51,10 @@ impl GeneratorConfig {
         }
         if self.positive_ratio <= 0.0 || !self.positive_ratio.is_finite() {
             return Err(DataError::InvalidConfig {
-                reason: format!("positive_ratio must be positive, got {}", self.positive_ratio),
+                reason: format!(
+                    "positive_ratio must be positive, got {}",
+                    self.positive_ratio
+                ),
             });
         }
         if !(0.0..1.0).contains(&self.ambiguity) {
@@ -151,7 +154,9 @@ impl DatasetGenerator {
         // disagree on.
         let difficulties: Vec<f64> = latent
             .iter()
-            .map(|&t| (cfg.difficulty_scale * 0.25 / ((t - threshold).abs() + 0.08)).clamp(0.3, 4.0))
+            .map(|&t| {
+                (cfg.difficulty_scale * 0.25 / ((t - threshold).abs() + 0.08)).clamp(0.3, 4.0)
+            })
             .collect();
 
         let pool = WorkerPool::new(cfg.workers.clone());
@@ -315,17 +320,9 @@ mod tests {
         // Mean lexical diversity (feature 8) of positives should exceed
         // negatives. (Rate is style-conditional by design.)
         let rate = ds.features.col(8).unwrap();
-        let pos_mean: f64 = ds
-            .positive_indices()
-            .iter()
-            .map(|&i| rate[i])
-            .sum::<f64>()
+        let pos_mean: f64 = ds.positive_indices().iter().map(|&i| rate[i]).sum::<f64>()
             / ds.positive_indices().len() as f64;
-        let neg_mean: f64 = ds
-            .negative_indices()
-            .iter()
-            .map(|&i| rate[i])
-            .sum::<f64>()
+        let neg_mean: f64 = ds.negative_indices().iter().map(|&i| rate[i]).sum::<f64>()
             / ds.negative_indices().len() as f64;
         assert!(pos_mean > neg_mean + 0.05, "{pos_mean} vs {neg_mean}");
     }
@@ -345,7 +342,11 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(DatasetGenerator::new(GeneratorConfig { n: 2, ..oral_config(10) }).is_err());
+        assert!(DatasetGenerator::new(GeneratorConfig {
+            n: 2,
+            ..oral_config(10)
+        })
+        .is_err());
         assert!(DatasetGenerator::new(GeneratorConfig {
             positive_ratio: 0.0,
             ..oral_config(10)
@@ -383,10 +384,8 @@ mod tests {
         assert!(pos > 50 && neg > 50);
         // Strong separation: feature mean differs by ~3 per dimension.
         let col = ds.features.col(0).unwrap();
-        let pos_mean: f64 =
-            ds.positive_indices().iter().map(|&i| col[i]).sum::<f64>() / pos as f64;
-        let neg_mean: f64 =
-            ds.negative_indices().iter().map(|&i| col[i]).sum::<f64>() / neg as f64;
+        let pos_mean: f64 = ds.positive_indices().iter().map(|&i| col[i]).sum::<f64>() / pos as f64;
+        let neg_mean: f64 = ds.negative_indices().iter().map(|&i| col[i]).sum::<f64>() / neg as f64;
         assert!(pos_mean - neg_mean > 2.0);
     }
 

@@ -75,7 +75,11 @@ pub fn oral_scaled(n: usize, seed: u64) -> Result<Dataset> {
 
 /// A `class`-flavoured dataset at a custom size.
 pub fn class_scaled(n: usize, seed: u64) -> Result<Dataset> {
-    DatasetGenerator::new(GeneratorConfig { n, ..class_config() })?.generate(seed)
+    DatasetGenerator::new(GeneratorConfig {
+        n,
+        ..class_config()
+    })?
+    .generate(seed)
 }
 
 #[cfg(test)]
@@ -125,7 +129,9 @@ mod tests {
     fn crowd_majority_not_perfect_but_informative() {
         use rll_crowd::aggregate::{Aggregator, MajorityVote};
         let ds = oral(3).unwrap();
-        let mv = MajorityVote::positive_ties().hard_labels(&ds.annotations).unwrap();
+        let mv = MajorityVote::positive_ties()
+            .hard_labels(&ds.annotations)
+            .unwrap();
         let acc = mv
             .iter()
             .zip(&ds.expert_labels)

@@ -1,9 +1,9 @@
 //! Property-based tests for the dataset simulators and splits.
 
 use proptest::prelude::*;
+use rll_crowd::simulate::WorkerModel;
 use rll_data::generator::{DatasetGenerator, Domain, GeneratorConfig};
 use rll_data::{Normalizer, StratifiedKFold};
-use rll_crowd::simulate::WorkerModel;
 use rll_tensor::{Matrix, Rng64};
 
 fn config(domain: Domain, n: usize, ratio: f64, ambiguity: f64) -> GeneratorConfig {

@@ -101,7 +101,9 @@ mod tests {
         use std::error::Error;
         let e: EvalError = TensorError::Empty { op: "x" }.into();
         assert!(e.source().is_some());
-        let e = EvalError::InvalidConfig { reason: "folds".into() };
+        let e = EvalError::InvalidConfig {
+            reason: "folds".into(),
+        };
         assert!(e.to_string().contains("folds"));
         let e = EvalError::Serialization("bad json".into());
         assert!(e.to_string().contains("bad json"));

@@ -8,8 +8,8 @@ use crate::experiments::ExperimentScale;
 use crate::harness::{CrossValidator, MethodScore};
 use crate::method::{MethodSpec, TrainBudget};
 use crate::Result;
-use rll_core::{RllConfig, RllPipeline, RllVariant, SamplingStrategy};
 use rll_core::pipeline::score_predictions;
+use rll_core::{RllConfig, RllPipeline, RllVariant, SamplingStrategy};
 use rll_data::{presets, Dataset, StratifiedKFold};
 use serde::{Deserialize, Serialize};
 
@@ -24,9 +24,20 @@ pub struct AblationPoint {
 
 /// Sweeps the softmax temperature `η` for RLL-Bayesian on `oral`.
 pub fn eta_sweep(scale: ExperimentScale, seed: u64, etas: &[f64]) -> Result<Vec<AblationPoint>> {
+    eta_sweep_observed(scale, seed, etas, &rll_obs::Recorder::disabled())
+}
+
+/// [`eta_sweep`] with telemetry through `recorder`.
+pub fn eta_sweep_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    etas: &[f64],
+    recorder: &rll_obs::Recorder,
+) -> Result<Vec<AblationPoint>> {
     let ds = presets::oral_scaled(scale.oral_n(), seed)?;
     etas.iter()
         .map(|&eta| {
+            recorder.note(format!("ablation: eta={eta}"));
             let budget = TrainBudget {
                 eta,
                 ..scale.budget()
@@ -39,7 +50,7 @@ pub fn eta_sweep(scale: ExperimentScale, seed: u64, etas: &[f64]) -> Result<Vec<
             };
             Ok(AblationPoint {
                 label: format!("eta={eta}"),
-                score: cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &ds)?,
+                score: cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &ds, recorder)?,
             })
         })
         .collect()
@@ -48,6 +59,15 @@ pub fn eta_sweep(scale: ExperimentScale, seed: u64, etas: &[f64]) -> Result<Vec<
 /// Compares the three confidence estimators at a fixed seed and budget — the
 /// core ablation behind the paper's RLL / RLL+MLE / RLL+Bayesian rows.
 pub fn confidence_ablation(scale: ExperimentScale, seed: u64) -> Result<Vec<AblationPoint>> {
+    confidence_ablation_observed(scale, seed, &rll_obs::Recorder::disabled())
+}
+
+/// [`confidence_ablation`] with telemetry through `recorder`.
+pub fn confidence_ablation_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    recorder: &rll_obs::Recorder,
+) -> Result<Vec<AblationPoint>> {
     let ds = presets::class_scaled(scale.class_n(), seed)?;
     let cv = CrossValidator {
         folds: scale.folds(),
@@ -62,20 +82,31 @@ pub fn confidence_ablation(scale: ExperimentScale, seed: u64) -> Result<Vec<Abla
         RllVariant::WorkerAware,
     ]
     .into_iter()
-        .map(|variant| {
-            Ok(AblationPoint {
-                label: variant.name().to_string(),
-                score: cv.evaluate(MethodSpec::Rll(variant), &ds)?,
-            })
+    .map(|variant| {
+        Ok(AblationPoint {
+            label: variant.name().to_string(),
+            score: cv.evaluate_with(MethodSpec::Rll(variant), &ds, recorder)?,
         })
-        .collect()
+    })
+    .collect()
 }
 
 /// Sweeps the embedding dimension for RLL-Bayesian on `oral`.
 pub fn dim_sweep(scale: ExperimentScale, seed: u64, dims: &[usize]) -> Result<Vec<AblationPoint>> {
+    dim_sweep_observed(scale, seed, dims, &rll_obs::Recorder::disabled())
+}
+
+/// [`dim_sweep`] with telemetry through `recorder`.
+pub fn dim_sweep_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    dims: &[usize],
+    recorder: &rll_obs::Recorder,
+) -> Result<Vec<AblationPoint>> {
     let ds = presets::oral_scaled(scale.oral_n(), seed)?;
     dims.iter()
         .map(|&dim| {
+            recorder.note(format!("ablation: embedding dim={dim}"));
             let budget = TrainBudget {
                 embedding_dim: dim,
                 ..scale.budget()
@@ -88,7 +119,7 @@ pub fn dim_sweep(scale: ExperimentScale, seed: u64, dims: &[usize]) -> Result<Ve
             };
             Ok(AblationPoint {
                 label: format!("dim={dim}"),
-                score: cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &ds)?,
+                score: cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &ds, recorder)?,
             })
         })
         .collect()
@@ -112,14 +143,27 @@ pub fn sampling_ablation(
     seed: u64,
     gamma: f64,
 ) -> Result<SamplingAblation> {
+    sampling_ablation_observed(scale, seed, gamma, &rll_obs::Recorder::disabled())
+}
+
+/// [`sampling_ablation`] with telemetry through `recorder`. The sampler's
+/// rejection counts in `SamplerBatch` events are the interesting part here:
+/// they show how contended the confidence-biased weights are.
+pub fn sampling_ablation_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    gamma: f64,
+    recorder: &rll_obs::Recorder,
+) -> Result<SamplingAblation> {
     let ds = presets::class_scaled(scale.class_n(), seed)?;
     let run = |strategy: SamplingStrategy| -> Result<f64> {
+        recorder.note(format!("ablation: sampling strategy {strategy:?}"));
         let budget = scale.budget();
         let config = RllConfig {
             sampling: strategy,
             ..budget.rll_config(RllVariant::Bayesian)
         };
-        single_fold_accuracy(&ds, config, seed)
+        single_fold_accuracy(&ds, config, seed, recorder)
     };
     Ok(SamplingAblation {
         uniform_accuracy: run(SamplingStrategy::Uniform)?,
@@ -129,12 +173,17 @@ pub fn sampling_ablation(
 }
 
 /// Trains on folds 1.. and scores fold 0 against expert labels.
-fn single_fold_accuracy(ds: &Dataset, config: RllConfig, seed: u64) -> Result<f64> {
+fn single_fold_accuracy(
+    ds: &Dataset,
+    config: RllConfig,
+    seed: u64,
+    recorder: &rll_obs::Recorder,
+) -> Result<f64> {
     let folds = StratifiedKFold::new(&ds.expert_labels, 5, seed)?;
     let split = folds.split(0)?;
     let train = ds.select(&split.train)?;
     let test = ds.select(&split.test)?;
-    let mut pipeline = RllPipeline::new(config);
+    let mut pipeline = RllPipeline::new(config).with_recorder(recorder.clone());
     pipeline.fit(&train.features, &train.annotations, seed)?;
     let pred = pipeline.predict(&test.features)?;
     Ok(score_predictions(&pred, &test.expert_labels)?.accuracy)

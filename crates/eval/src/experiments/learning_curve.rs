@@ -45,7 +45,10 @@ impl LearningCurveResult {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Learning curve (oral simulation): SoftProb vs RLL-Bayesian");
+        let _ = writeln!(
+            out,
+            "Learning curve (oral simulation): SoftProb vs RLL-Bayesian"
+        );
         let _ = writeln!(
             out,
             "{:<8}{:<14}{:<14}{:<10}",
@@ -77,6 +80,17 @@ pub fn run_repeated(
     ns: &[usize],
     repeats: usize,
 ) -> Result<LearningCurveResult> {
+    run_repeated_observed(scale, seed, ns, repeats, &rll_obs::Recorder::disabled())
+}
+
+/// [`run_repeated`] with telemetry through `recorder`.
+pub fn run_repeated_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    ns: &[usize],
+    repeats: usize,
+    recorder: &rll_obs::Recorder,
+) -> Result<LearningCurveResult> {
     if repeats == 0 {
         return Err(crate::EvalError::InvalidConfig {
             reason: "repeats must be positive".into(),
@@ -84,6 +98,7 @@ pub fn run_repeated(
     }
     let mut points = Vec::with_capacity(ns.len());
     for &n in ns {
+        recorder.note(format!("learning curve: n={n} ({repeats} repeats)"));
         let mut baseline_runs = Vec::with_capacity(repeats);
         let mut rll_runs = Vec::with_capacity(repeats);
         for r in 0..repeats {
@@ -95,8 +110,12 @@ pub fn run_repeated(
                 parallel: true,
             };
             let ds = presets::oral_scaled(n, run_seed)?;
-            baseline_runs.push(cv.evaluate(MethodSpec::SoftProb, &ds)?);
-            rll_runs.push(cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &ds)?);
+            baseline_runs.push(cv.evaluate_with(MethodSpec::SoftProb, &ds, recorder)?);
+            rll_runs.push(cv.evaluate_with(
+                MethodSpec::Rll(RllVariant::Bayesian),
+                &ds,
+                recorder,
+            )?);
         }
         let mean = |runs: &[MethodScore]| {
             runs.iter().map(|s| s.accuracy.mean).sum::<f64>() / runs.len() as f64
@@ -141,8 +160,7 @@ mod tests {
         let result = run_repeated(ExperimentScale::Quick, 5, &[60], 2).unwrap();
         let p = &result.points[0];
         assert_eq!(p.baseline_runs.len(), 2);
-        let manual =
-            (p.baseline_runs[0].accuracy.mean + p.baseline_runs[1].accuracy.mean) / 2.0;
+        let manual = (p.baseline_runs[0].accuracy.mean + p.baseline_runs[1].accuracy.mean) / 2.0;
         assert!((p.baseline_accuracy - manual).abs() < 1e-12);
         assert!(run_repeated(ExperimentScale::Quick, 5, &[60], 0).is_err());
     }

@@ -74,8 +74,14 @@ mod tests {
     #[test]
     fn table3_monotone_in_d() {
         for w in TABLE3.windows(2) {
-            assert!(w[1].1 >= w[0].1, "oral accuracy should not drop with more workers");
-            assert!(w[1].3 >= w[0].3, "class accuracy should not drop with more workers");
+            assert!(
+                w[1].1 >= w[0].1,
+                "oral accuracy should not drop with more workers"
+            );
+            assert!(
+                w[1].3 >= w[0].3,
+                "class accuracy should not drop with more workers"
+            );
         }
     }
 }

@@ -61,7 +61,22 @@ impl Table1Result {
 
 /// Runs the experiment. `methods` defaults to all 15 rows; pass a subset to
 /// iterate faster.
-pub fn run(scale: ExperimentScale, seed: u64, methods: Option<&[MethodSpec]>) -> Result<Table1Result> {
+pub fn run(
+    scale: ExperimentScale,
+    seed: u64,
+    methods: Option<&[MethodSpec]>,
+) -> Result<Table1Result> {
+    run_observed(scale, seed, methods, &rll_obs::Recorder::disabled())
+}
+
+/// [`run`] with telemetry: per-fold, per-method, and (for RLL rows)
+/// per-epoch events flow through `recorder`.
+pub fn run_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    methods: Option<&[MethodSpec]>,
+    recorder: &rll_obs::Recorder,
+) -> Result<Table1Result> {
     let all = MethodSpec::table1_rows();
     let methods = methods.unwrap_or(&all);
     let oral_ds = presets::oral_scaled(scale.oral_n(), seed)?;
@@ -72,9 +87,15 @@ pub fn run(scale: ExperimentScale, seed: u64, methods: Option<&[MethodSpec]>) ->
         seed,
         parallel: true,
     };
+    recorder.note(format!(
+        "table1: {} methods on oral (n={}) and class (n={})",
+        methods.len(),
+        oral_ds.len(),
+        class_ds.len()
+    ));
     Ok(Table1Result {
-        oral: cv.evaluate_all(methods, &oral_ds)?,
-        class: cv.evaluate_all(methods, &class_ds)?,
+        oral: cv.evaluate_all_with(methods, &oral_ds, recorder)?,
+        class: cv.evaluate_all_with(methods, &class_ds, recorder)?,
         scale,
         seed,
     })
@@ -101,7 +122,12 @@ mod tests {
         assert!(table.contains("RLL+Bayesian"));
         // Everything should beat coin flipping on the simulated data.
         for s in result.oral.iter().chain(&result.class) {
-            assert!(s.accuracy.mean > 0.5, "{} acc {}", s.method, s.accuracy.mean);
+            assert!(
+                s.accuracy.mean > 0.5,
+                "{} acc {}",
+                s.method,
+                s.accuracy.mean
+            );
         }
         let _ = result.best_method(true);
         let _ = result.group_mean_accuracy(1);

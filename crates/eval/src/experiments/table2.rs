@@ -59,13 +59,33 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Table2Result> {
     run_with_ks(scale, seed, &[2, 3, 4, 5])
 }
 
+/// [`run`] with telemetry through `recorder`.
+pub fn run_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    recorder: &rll_obs::Recorder,
+) -> Result<Table2Result> {
+    run_with_ks_observed(scale, seed, &[2, 3, 4, 5], recorder)
+}
+
 /// Runs the sweep with custom `k` values.
 pub fn run_with_ks(scale: ExperimentScale, seed: u64, ks: &[usize]) -> Result<Table2Result> {
+    run_with_ks_observed(scale, seed, ks, &rll_obs::Recorder::disabled())
+}
+
+/// [`run_with_ks`] with telemetry through `recorder`.
+pub fn run_with_ks_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    ks: &[usize],
+    recorder: &rll_obs::Recorder,
+) -> Result<Table2Result> {
     let oral_ds = presets::oral_scaled(scale.oral_n(), seed)?;
     let class_ds = presets::class_scaled(scale.class_n(), seed + 1)?;
     let mut oral = Vec::with_capacity(ks.len());
     let mut class = Vec::with_capacity(ks.len());
     for &k in ks {
+        recorder.note(format!("table2: sweeping k={k}"));
         let budget = TrainBudget {
             k,
             ..scale.budget()
@@ -76,8 +96,8 @@ pub fn run_with_ks(scale: ExperimentScale, seed: u64, ks: &[usize]) -> Result<Ta
             seed,
             parallel: true,
         };
-        oral.push(cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &oral_ds)?);
-        class.push(cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &class_ds)?);
+        oral.push(cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &oral_ds, recorder)?);
+        class.push(cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &class_ds, recorder)?);
     }
     Ok(Table2Result {
         ks: ks.to_vec(),

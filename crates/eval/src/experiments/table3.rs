@@ -8,8 +8,8 @@
 use crate::experiments::ExperimentScale;
 use crate::harness::{CrossValidator, MethodScore};
 use crate::method::MethodSpec;
-use crate::Result;
 use crate::report::format_sweep_table;
+use crate::Result;
 use rll_core::RllVariant;
 use rll_data::presets;
 use serde::{Deserialize, Serialize};
@@ -56,9 +56,28 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Table3Result> {
     run_with_ds(scale, seed, &[1, 3, 5])
 }
 
+/// [`run`] with telemetry through `recorder`.
+pub fn run_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    recorder: &rll_obs::Recorder,
+) -> Result<Table3Result> {
+    run_with_ds_observed(scale, seed, &[1, 3, 5], recorder)
+}
+
 /// Runs the sweep with custom worker counts (each must be ≤ 5, the pool size
 /// of the presets).
 pub fn run_with_ds(scale: ExperimentScale, seed: u64, ds: &[usize]) -> Result<Table3Result> {
+    run_with_ds_observed(scale, seed, ds, &rll_obs::Recorder::disabled())
+}
+
+/// [`run_with_ds`] with telemetry through `recorder`.
+pub fn run_with_ds_observed(
+    scale: ExperimentScale,
+    seed: u64,
+    ds: &[usize],
+    recorder: &rll_obs::Recorder,
+) -> Result<Table3Result> {
     let oral_full = presets::oral_scaled(scale.oral_n(), seed)?;
     let class_full = presets::class_scaled(scale.class_n(), seed + 1)?;
     let cv = CrossValidator {
@@ -70,10 +89,11 @@ pub fn run_with_ds(scale: ExperimentScale, seed: u64, ds: &[usize]) -> Result<Ta
     let mut oral = Vec::with_capacity(ds.len());
     let mut class = Vec::with_capacity(ds.len());
     for &d in ds {
+        recorder.note(format!("table3: restricting to d={d} workers"));
         let oral_d = oral_full.with_workers(d)?;
         let class_d = class_full.with_workers(d)?;
-        oral.push(cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &oral_d)?);
-        class.push(cv.evaluate(MethodSpec::Rll(RllVariant::Bayesian), &class_d)?);
+        oral.push(cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &oral_d, recorder)?);
+        class.push(cv.evaluate_with(MethodSpec::Rll(RllVariant::Bayesian), &class_d, recorder)?);
     }
     Ok(Table3Result {
         ds: ds.to_vec(),

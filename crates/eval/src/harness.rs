@@ -3,11 +3,12 @@
 //! datasets and report the average performance").
 
 use crate::error::EvalError;
-use crate::method::{fit_predict, MethodSpec, TrainBudget};
+use crate::method::{fit_predict_observed, MethodSpec, TrainBudget};
 use crate::metrics::ConfusionMatrix;
 use crate::Result;
 use parking_lot::Mutex;
 use rll_data::{Dataset, StratifiedKFold};
+use rll_obs::{EventKind, FoldStats, MethodStats, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// Mean ± std of a metric across folds.
@@ -78,14 +79,29 @@ impl CrossValidator {
         }
     }
 
-    /// Evaluates one method on one dataset.
+    /// Evaluates one method on one dataset (no telemetry).
     pub fn evaluate(&self, spec: MethodSpec, dataset: &Dataset) -> Result<MethodScore> {
+        self.evaluate_with(spec, dataset, &Recorder::disabled())
+    }
+
+    /// Evaluates one method on one dataset, emitting a `FoldEnd` event per
+    /// fold and a `MethodEnd` summary through `recorder`. The recorder is
+    /// also threaded into RLL training, so per-epoch events appear inside
+    /// each fold (interleaved across folds when `parallel` is set; fold ids
+    /// on `FoldEnd` events disambiguate).
+    pub fn evaluate_with(
+        &self,
+        spec: MethodSpec,
+        dataset: &Dataset,
+        recorder: &Recorder,
+    ) -> Result<MethodScore> {
         if self.folds < 2 {
             return Err(EvalError::InvalidConfig {
                 reason: format!("need at least 2 folds, got {}", self.folds),
             });
         }
         dataset.validate()?;
+        let method_start = std::time::Instant::now();
         // Stratify on expert labels: the paper's CV splits the *dataset*, and
         // fold boundaries are part of the protocol, not the method. (Expert
         // labels still never reach training.)
@@ -93,18 +109,26 @@ impl CrossValidator {
 
         let results: Mutex<Vec<(usize, f64, f64)>> = Mutex::new(Vec::with_capacity(self.folds));
         let run_fold = |fold: usize| -> Result<()> {
+            let fold_start = std::time::Instant::now();
             let split = kfold.split(fold)?;
             let train = dataset.select(&split.train)?;
             let test = dataset.select(&split.test)?;
-            let predictions = fit_predict(
+            let predictions = fit_predict_observed(
                 spec,
                 self.budget,
                 &train.features,
                 &train.annotations,
                 &test.features,
                 self.seed + fold as u64,
+                recorder,
             )?;
             let cm = ConfusionMatrix::from_predictions(&predictions, &test.expert_labels)?;
+            recorder.emit(EventKind::FoldEnd(FoldStats {
+                method: spec.name(),
+                fold,
+                accuracy: cm.accuracy(),
+                wall_secs: fold_start.elapsed().as_secs_f64(),
+            }));
             results.lock().push((fold, cm.accuracy(), cm.f1()));
             Ok(())
         };
@@ -138,24 +162,46 @@ impl CrossValidator {
         fold_results.sort_by_key(|(fold, _, _)| *fold);
         let accs: Vec<f64> = fold_results.iter().map(|(_, a, _)| *a).collect();
         let f1s: Vec<f64> = fold_results.iter().map(|(_, _, f)| *f).collect();
+        let accuracy = FoldScores::from_values(&accs)?;
+        recorder.emit(EventKind::MethodEnd(MethodStats {
+            method: spec.name(),
+            folds: accs.len(),
+            mean_accuracy: accuracy.mean,
+            std_accuracy: accuracy.std,
+            wall_secs: method_start.elapsed().as_secs_f64(),
+        }));
         Ok(MethodScore {
             method: spec.name(),
             group: spec.group(),
             dataset: dataset.name.clone(),
-            accuracy: FoldScores::from_values(&accs)?,
+            accuracy,
             f1: FoldScores::from_values(&f1s)?,
             fold_accuracies: accs,
             fold_f1s: f1s,
         })
     }
 
-    /// Evaluates a list of methods on one dataset.
+    /// Evaluates a list of methods on one dataset (no telemetry).
     pub fn evaluate_all(
         &self,
         specs: &[MethodSpec],
         dataset: &Dataset,
     ) -> Result<Vec<MethodScore>> {
-        specs.iter().map(|&s| self.evaluate(s, dataset)).collect()
+        self.evaluate_all_with(specs, dataset, &Recorder::disabled())
+    }
+
+    /// Evaluates a list of methods on one dataset, emitting per-fold and
+    /// per-method events through `recorder`.
+    pub fn evaluate_all_with(
+        &self,
+        specs: &[MethodSpec],
+        dataset: &Dataset,
+        recorder: &Recorder,
+    ) -> Result<Vec<MethodScore>> {
+        specs
+            .iter()
+            .map(|&s| self.evaluate_with(s, dataset, recorder))
+            .collect()
     }
 }
 
@@ -240,13 +286,15 @@ mod tests {
     #[test]
     fn evaluates_a_simple_method() {
         let ds = dataset();
-        let score = quick_cv(false)
-            .evaluate(MethodSpec::SoftProb, &ds)
-            .unwrap();
+        let score = quick_cv(false).evaluate(MethodSpec::SoftProb, &ds).unwrap();
         assert_eq!(score.method, "SoftProb");
         assert_eq!(score.group, 1);
         assert_eq!(score.fold_accuracies.len(), 3);
-        assert!(score.accuracy.mean > 0.7, "accuracy {}", score.accuracy.mean);
+        assert!(
+            score.accuracy.mean > 0.7,
+            "accuracy {}",
+            score.accuracy.mean
+        );
         assert!(score.f1.mean > 0.7);
     }
 
@@ -267,7 +315,11 @@ mod tests {
             .unwrap();
         assert_eq!(score.method, "RLL+Bayesian");
         assert_eq!(score.group, 4);
-        assert!(score.accuracy.mean > 0.6, "accuracy {}", score.accuracy.mean);
+        assert!(
+            score.accuracy.mean > 0.6,
+            "accuracy {}",
+            score.accuracy.mean
+        );
     }
 
     #[test]

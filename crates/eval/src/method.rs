@@ -215,6 +215,30 @@ pub fn fit_predict(
     test_x: &Matrix,
     seed: u64,
 ) -> Result<Vec<u8>> {
+    fit_predict_observed(
+        spec,
+        budget,
+        train_x,
+        train_ann,
+        test_x,
+        seed,
+        &rll_obs::Recorder::disabled(),
+    )
+}
+
+/// [`fit_predict`] with a telemetry recorder threaded into training. Only the
+/// RLL methods emit training events (epoch/sampler/confidence); the baseline
+/// methods run unobserved apart from the harness's fold-level events.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_predict_observed(
+    spec: MethodSpec,
+    budget: TrainBudget,
+    train_x: &Matrix,
+    train_ann: &AnnotationMatrix,
+    test_x: &Matrix,
+    seed: u64,
+    recorder: &rll_obs::Recorder,
+) -> Result<Vec<u8>> {
     budget.validate()?;
     if train_x.rows() != train_ann.num_items() {
         return Err(EvalError::InvalidConfig {
@@ -279,7 +303,8 @@ pub fn fit_predict(
             Ok(lr.predict(&test_emb)?)
         }
         MethodSpec::Rll(variant) => {
-            let mut pipeline = RllPipeline::new(budget.rll_config(variant));
+            let mut pipeline =
+                RllPipeline::new(budget.rll_config(variant)).with_recorder(recorder.clone());
             pipeline.fit(train_x, train_ann, seed)?;
             Ok(pipeline.predict(test_x)?)
         }
@@ -337,7 +362,10 @@ mod tests {
         assert_eq!(names[14], "RLL+Bayesian");
         // Groups partition as 3 / 3 / 6 / 3.
         let by_group = |g: u8| rows.iter().filter(|r| r.group() == g).count();
-        assert_eq!((by_group(1), by_group(2), by_group(3), by_group(4)), (3, 3, 6, 3));
+        assert_eq!(
+            (by_group(1), by_group(2), by_group(3), by_group(4)),
+            (3, 3, 6, 3)
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@ pub fn format_comparison_table(
     let _ = writeln!(out, "{title}");
     let mut header = format!("{:<22}{:<7}", "Method", "Group");
     for name in dataset_names {
-        header.push_str(&format!("{:<11}{:<11}", format!("{name}-Acc"), format!("{name}-F1")));
+        header.push_str(&format!(
+            "{:<11}{:<11}",
+            format!("{name}-Acc"),
+            format!("{name}-F1")
+        ));
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
@@ -47,7 +51,11 @@ pub fn format_sweep_table(
     let _ = writeln!(out, "{title}");
     let mut header = format!("{param_name:<8}");
     for name in dataset_names {
-        header.push_str(&format!("{:<11}{:<11}", format!("{name}-Acc"), format!("{name}-F1")));
+        header.push_str(&format!(
+            "{:<11}{:<11}",
+            format!("{name}-Acc"),
+            format!("{name}-F1")
+        ));
     }
     let _ = writeln!(out, "{header}");
     let _ = writeln!(out, "{}", "-".repeat(header.len()));
@@ -70,7 +78,8 @@ pub fn to_json<T: Serialize>(value: &T) -> Result<String> {
 /// Writes a JSON result file, creating parent directories as needed.
 pub fn write_json<T: Serialize>(path: &std::path::Path, value: &T) -> Result<()> {
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).map_err(|e| crate::EvalError::Serialization(e.to_string()))?;
+        std::fs::create_dir_all(parent)
+            .map_err(|e| crate::EvalError::Serialization(e.to_string()))?;
     }
     std::fs::write(path, to_json(value)?)
         .map_err(|e| crate::EvalError::Serialization(e.to_string()))
@@ -95,8 +104,14 @@ mod tests {
 
     #[test]
     fn comparison_table_contains_rows_and_values() {
-        let oral = vec![score("SoftProb", 1, 0.815, 0.869), score("RLL+Bayesian", 4, 0.888, 0.915)];
-        let class = vec![score("SoftProb", 1, 0.758, 0.810), score("RLL+Bayesian", 4, 0.879, 0.920)];
+        let oral = vec![
+            score("SoftProb", 1, 0.815, 0.869),
+            score("RLL+Bayesian", 4, 0.888, 0.915),
+        ];
+        let class = vec![
+            score("SoftProb", 1, 0.758, 0.810),
+            score("RLL+Bayesian", 4, 0.879, 0.920),
+        ];
         let table = format_comparison_table("Table I", &["oral", "class"], &[oral, class]);
         assert!(table.contains("Table I"));
         assert!(table.contains("SoftProb"));
@@ -109,7 +124,10 @@ mod tests {
 
     #[test]
     fn sweep_table_rows_align_with_params() {
-        let oral = vec![score("RLL+Bayesian", 4, 0.809, 0.852), score("RLL+Bayesian", 4, 0.888, 0.915)];
+        let oral = vec![
+            score("RLL+Bayesian", 4, 0.809, 0.852),
+            score("RLL+Bayesian", 4, 0.888, 0.915),
+        ];
         let table = format_sweep_table(
             "Table II",
             "k",

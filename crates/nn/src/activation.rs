@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn relu_derivative_zero_on_negative_side() {
         assert_eq!(Activation::Relu.derivative(-1.0, 0.0), 0.0);
-        assert_eq!(Activation::LeakyRelu { alpha: 0.2 }.derivative(-1.0, -0.2), 0.2);
+        assert_eq!(
+            Activation::LeakyRelu { alpha: 0.2 }.derivative(-1.0, -0.2),
+            0.2
+        );
     }
 
     #[test]

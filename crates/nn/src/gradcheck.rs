@@ -45,13 +45,10 @@ pub fn check_mlp_grads(
     let mut checked = 0usize;
     for li in 0..mlp.depth() {
         // Snapshot analytic gradients for this layer.
-        let gw = mlp.layers()[li]
-            .grad_weights()
-            .cloned()
-            .unwrap_or_else(|| {
-                let l = &mlp.layers()[li];
-                Matrix::zeros(l.in_dim(), l.out_dim())
-            });
+        let gw = mlp.layers()[li].grad_weights().cloned().unwrap_or_else(|| {
+            let l = &mlp.layers()[li];
+            Matrix::zeros(l.in_dim(), l.out_dim())
+        });
         let gb = mlp.layers()[li]
             .grad_bias()
             .cloned()

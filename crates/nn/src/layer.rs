@@ -289,7 +289,11 @@ mod tests {
         let cache = l.forward_cached(&x, Some(0.5), &mut rng).unwrap();
         let mask = cache.dropout_mask.as_ref().unwrap();
         let zeros = mask.as_slice().iter().filter(|&&m| m == 0.0).count();
-        let scaled = mask.as_slice().iter().filter(|&&m| (m - 2.0).abs() < 1e-12).count();
+        let scaled = mask
+            .as_slice()
+            .iter()
+            .filter(|&&m| (m - 2.0).abs() < 1e-12)
+            .count();
         assert_eq!(zeros + scaled, mask.len());
         assert!(zeros > mask.len() / 4 && zeros < 3 * mask.len() / 4);
     }
@@ -298,7 +302,9 @@ mod tests {
     fn dropout_rate_one_rejected() {
         let l = layer(Activation::Identity);
         let mut rng = Rng64::seed_from_u64(9);
-        assert!(l.forward_cached(&Matrix::ones(1, 3), Some(1.0), &mut rng).is_err());
+        assert!(l
+            .forward_cached(&Matrix::ones(1, 3), Some(1.0), &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -321,7 +327,9 @@ mod tests {
     fn backward_rejects_wrong_grad_shape() {
         let mut l = layer(Activation::Relu);
         let mut rng = Rng64::seed_from_u64(5);
-        let cache = l.forward_cached(&Matrix::ones(2, 3), None, &mut rng).unwrap();
+        let cache = l
+            .forward_cached(&Matrix::ones(2, 3), None, &mut rng)
+            .unwrap();
         assert!(l.backward(&cache, &Matrix::ones(1, 2)).is_err());
     }
 
@@ -386,7 +394,9 @@ mod tests {
     fn serde_round_trip_skips_grads() {
         let mut l = layer(Activation::Tanh);
         let mut rng = Rng64::seed_from_u64(5);
-        let cache = l.forward_cached(&Matrix::ones(1, 3), None, &mut rng).unwrap();
+        let cache = l
+            .forward_cached(&Matrix::ones(1, 3), None, &mut rng)
+            .unwrap();
         l.backward(&cache, &Matrix::ones(1, 2)).unwrap();
         let json = serde_json::to_string(&l).unwrap();
         let back: Dense = serde_json::from_str(&json).unwrap();

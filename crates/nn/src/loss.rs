@@ -28,7 +28,9 @@ fn check_same_shape(op: &'static str, a: &Matrix, b: &Matrix) -> Result<()> {
 pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
     check_same_shape("mse", pred, target)?;
     if pred.is_empty() {
-        return Err(NnError::Tensor(rll_tensor::TensorError::Empty { op: "mse" }));
+        return Err(NnError::Tensor(rll_tensor::TensorError::Empty {
+            op: "mse",
+        }));
     }
     let n = pred.len() as f64;
     let diff = pred.sub(target)?;
@@ -137,7 +139,11 @@ pub fn contrastive(
     check_same_shape("contrastive", a, b)?;
     if a.rows() != same.len() {
         return Err(NnError::InvalidConfig {
-            reason: format!("contrastive: {} rows but {} pair labels", a.rows(), same.len()),
+            reason: format!(
+                "contrastive: {} rows but {} pair labels",
+                a.rows(),
+                same.len()
+            ),
         });
     }
     if margin <= 0.0 {
@@ -211,7 +217,9 @@ pub fn triplet(
         });
     }
     if anchor.is_empty() {
-        return Err(NnError::Tensor(rll_tensor::TensorError::Empty { op: "triplet" }));
+        return Err(NnError::Tensor(rll_tensor::TensorError::Empty {
+            op: "triplet",
+        }));
     }
     let n = anchor.rows() as f64;
     let mut loss = 0.0;
@@ -249,12 +257,7 @@ pub fn triplet(
 mod tests {
     use super::*;
 
-    fn finite_diff(
-        f: &dyn Fn(&Matrix) -> f64,
-        at: &Matrix,
-        r: usize,
-        c: usize,
-    ) -> f64 {
+    fn finite_diff(f: &dyn Fn(&Matrix) -> f64, at: &Matrix, r: usize, c: usize) -> f64 {
         let eps = 1e-6;
         let mut up = at.clone();
         up.set(r, c, at.get(r, c).unwrap() + eps).unwrap();
@@ -298,8 +301,12 @@ mod tests {
         let target = Matrix::row_vector(&[1.0, 0.2, 0.5]);
         let (_, g) = binary_cross_entropy(&pred, &target).unwrap();
         for c in 0..3 {
-            let numeric =
-                finite_diff(&|p| binary_cross_entropy(p, &target).unwrap().0, &pred, 0, c);
+            let numeric = finite_diff(
+                &|p| binary_cross_entropy(p, &target).unwrap().0,
+                &pred,
+                0,
+                c,
+            );
             assert!((numeric - g.get(0, c).unwrap()).abs() < 1e-4);
         }
     }
@@ -329,8 +336,7 @@ mod tests {
         let target = Matrix::row_vector(&[1.0, 0.0]);
         let (_, g) = bce_with_logits(&logits, &target).unwrap();
         for c in 0..2 {
-            let numeric =
-                finite_diff(&|z| bce_with_logits(z, &target).unwrap().0, &logits, 0, c);
+            let numeric = finite_diff(&|z| bce_with_logits(z, &target).unwrap().0, &logits, 0, c);
             assert!((numeric - g.get(0, c).unwrap()).abs() < 1e-5);
         }
     }
@@ -380,7 +386,7 @@ mod tests {
         let b = Matrix::row_vector(&[0.0, 1.0]);
         let (l, ga, gb) = contrastive(&a, &b, &[true], 1.0).unwrap();
         assert!((l - 2.0).abs() < 1e-12); // d^2 = 2
-        // Gradient moves a toward b.
+                                          // Gradient moves a toward b.
         assert!(ga.get(0, 0).unwrap() > 0.0);
         assert!(gb.get(0, 0).unwrap() < 0.0);
     }
@@ -444,7 +450,10 @@ mod tests {
         let (_, ga, gp, gn) = triplet(&a, &p, &n, 1.0).unwrap();
         for &(r, c) in &[(0usize, 0usize), (1, 1)] {
             let na = finite_diff(&|x| triplet(x, &p, &n, 1.0).unwrap().0, &a, r, c);
-            assert!((na - ga.get(r, c).unwrap()).abs() < 1e-5, "anchor[{r}][{c}]");
+            assert!(
+                (na - ga.get(r, c).unwrap()).abs() < 1e-5,
+                "anchor[{r}][{c}]"
+            );
             let np = finite_diff(&|x| triplet(&a, x, &n, 1.0).unwrap().0, &p, r, c);
             assert!((np - gp.get(r, c).unwrap()).abs() < 1e-5, "pos[{r}][{c}]");
             let nn = finite_diff(&|x| triplet(&a, &p, x, 1.0).unwrap().0, &n, r, c);

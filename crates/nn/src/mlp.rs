@@ -342,9 +342,15 @@ mod tests {
         for li in 0..mlp.depth() {
             let analytic = mlp.layers()[li].grad_weights().unwrap().get(0, 0).unwrap();
             let orig = mlp.layers()[li].weights().get(0, 0).unwrap();
-            mlp.layers_mut()[li].weights_mut().set(0, 0, orig + eps).unwrap();
+            mlp.layers_mut()[li]
+                .weights_mut()
+                .set(0, 0, orig + eps)
+                .unwrap();
             let up = mlp.forward(&x).unwrap().sum();
-            mlp.layers_mut()[li].weights_mut().set(0, 0, orig - eps).unwrap();
+            mlp.layers_mut()[li]
+                .weights_mut()
+                .set(0, 0, orig - eps)
+                .unwrap();
             let down = mlp.forward(&x).unwrap().sum();
             mlp.layers_mut()[li].weights_mut().set(0, 0, orig).unwrap();
             let numeric = (up - down) / (2.0 * eps);
@@ -407,7 +413,10 @@ mod tests {
         let x = Matrix::ones(2, 4);
         let json = serde_json::to_string(&mlp).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
-        assert!(back.forward(&x).unwrap().approx_eq(&mlp.forward(&x).unwrap(), 1e-12));
+        assert!(back
+            .forward(&x)
+            .unwrap()
+            .approx_eq(&mlp.forward(&x).unwrap(), 1e-12));
     }
 
     #[test]

@@ -249,11 +249,7 @@ impl Adam {
         })
     }
 
-    fn step_inner(
-        &mut self,
-        params: Vec<(&mut Matrix, Matrix)>,
-        weight_decay: f64,
-    ) -> Result<()> {
+    fn step_inner(&mut self, params: Vec<(&mut Matrix, Matrix)>, weight_decay: f64) -> Result<()> {
         if self.m.is_empty() {
             self.m = params
                 .iter()
@@ -463,7 +459,10 @@ mod tests {
         let mut b = Matrix::zeros(1, 1);
         let mut c = Matrix::zeros(1, 1);
         assert!(opt
-            .step(vec![(&mut b, Matrix::ones(1, 1)), (&mut c, Matrix::ones(1, 1))])
+            .step(vec![
+                (&mut b, Matrix::ones(1, 1)),
+                (&mut c, Matrix::ones(1, 1))
+            ])
             .is_err());
     }
 

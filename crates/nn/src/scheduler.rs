@@ -52,7 +52,11 @@ impl LrSchedule {
         };
         match *self {
             LrSchedule::Constant { lr } => check_lr(lr),
-            LrSchedule::Step { lr, step_size, gamma } => {
+            LrSchedule::Step {
+                lr,
+                step_size,
+                gamma,
+            } => {
                 check_lr(lr)?;
                 if step_size == 0 {
                     return Err(NnError::InvalidConfig {
@@ -75,7 +79,11 @@ impl LrSchedule {
                 }
                 Ok(())
             }
-            LrSchedule::Cosine { lr, min_lr, total_epochs } => {
+            LrSchedule::Cosine {
+                lr,
+                min_lr,
+                total_epochs,
+            } => {
                 check_lr(lr)?;
                 if min_lr < 0.0 || min_lr > lr {
                     return Err(NnError::InvalidConfig {
@@ -96,11 +104,17 @@ impl LrSchedule {
     pub fn at_epoch(&self, epoch: usize) -> f64 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::Step { lr, step_size, gamma } => {
-                lr * gamma.powi((epoch / step_size) as i32)
-            }
+            LrSchedule::Step {
+                lr,
+                step_size,
+                gamma,
+            } => lr * gamma.powi((epoch / step_size) as i32),
             LrSchedule::Exponential { lr, gamma } => lr * gamma.powi(epoch as i32),
-            LrSchedule::Cosine { lr, min_lr, total_epochs } => {
+            LrSchedule::Cosine {
+                lr,
+                min_lr,
+                total_epochs,
+            } => {
                 if epoch >= total_epochs {
                     return min_lr;
                 }
@@ -139,7 +153,10 @@ mod tests {
 
     #[test]
     fn exponential_decays_monotonically() {
-        let s = LrSchedule::Exponential { lr: 0.5, gamma: 0.9 };
+        let s = LrSchedule::Exponential {
+            lr: 0.5,
+            gamma: 0.9,
+        };
         s.validate().unwrap();
         let mut prev = f64::INFINITY;
         for e in 0..20 {
@@ -182,19 +199,40 @@ mod tests {
     #[test]
     fn validation_rejects_bad_params() {
         assert!(LrSchedule::Constant { lr: 0.0 }.validate().is_err());
-        assert!(LrSchedule::Step { lr: 0.1, step_size: 0, gamma: 0.5 }
-            .validate()
-            .is_err());
-        assert!(LrSchedule::Step { lr: 0.1, step_size: 5, gamma: 0.0 }
-            .validate()
-            .is_err());
-        assert!(LrSchedule::Exponential { lr: 0.1, gamma: 1.5 }.validate().is_err());
-        assert!(LrSchedule::Cosine { lr: 0.1, min_lr: 0.2, total_epochs: 10 }
-            .validate()
-            .is_err());
-        assert!(LrSchedule::Cosine { lr: 0.1, min_lr: 0.0, total_epochs: 0 }
-            .validate()
-            .is_err());
+        assert!(LrSchedule::Step {
+            lr: 0.1,
+            step_size: 0,
+            gamma: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Step {
+            lr: 0.1,
+            step_size: 5,
+            gamma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Exponential {
+            lr: 0.1,
+            gamma: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.2,
+            total_epochs: 10
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::Cosine {
+            lr: 0.1,
+            min_lr: 0.0,
+            total_epochs: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Typed, serde-serializable run events.
+//!
+//! Every instrumented component reports progress as an [`Event`]: a small
+//! envelope (sequence number, seconds since run start) around a typed
+//! [`EventKind`] payload. Events serialize with the enum's externally-tagged
+//! layout, so a JSONL line looks like:
+//!
+//! ```json
+//! {"seq":12,"elapsed_secs":0.41,"kind":{"EpochEnd":{"epoch":3,...}}}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Envelope written to every sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic per-recorder sequence number (0-based).
+    pub seq: u64,
+    /// Seconds since the recorder was created.
+    pub elapsed_secs: f64,
+    pub kind: EventKind,
+}
+
+/// What happened. One variant per instrumented site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Experiment run begins.
+    RunStart(RunInfo),
+    /// One training epoch finished (emitted by `rll-core::trainer`).
+    EpochEnd(EpochStats),
+    /// Group-sampling statistics for one epoch's batch.
+    SamplerBatch(SamplerStats),
+    /// Confidence-estimator summary (δ distribution) for one fit.
+    ConfidenceSummary(ConfidenceStats),
+    /// One cross-validation fold finished for a method.
+    FoldEnd(FoldStats),
+    /// All folds finished for a method.
+    MethodEnd(MethodStats),
+    /// Free-form progress note.
+    Note(String),
+    /// A rendered results table (kept as text for human replay).
+    Table(TableText),
+    /// Run finished; carries the final metrics snapshot.
+    RunEnd(RunSummary),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunInfo {
+    pub run_id: String,
+    pub experiment: String,
+    pub scale: String,
+    pub seed: u64,
+    /// Unix timestamp (seconds) when the run started.
+    pub started_unix_secs: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    pub mean_loss: f64,
+    /// Global gradient norm before clipping (post-scaling).
+    pub grad_norm_pre_clip: f64,
+    /// Global gradient norm actually applied; equals pre-clip when no
+    /// clipping is configured or the norm is under the threshold.
+    pub grad_norm_post_clip: f64,
+    pub learning_rate: f64,
+    pub groups_sampled: usize,
+    /// Total wall time of the epoch in seconds.
+    pub wall_secs: f64,
+    /// Wall time spent drawing groups.
+    pub sample_secs: f64,
+    /// Wall time in the forward pass (embedding + loss).
+    pub forward_secs: f64,
+    /// Wall time in the backward pass (gradient accumulation).
+    pub backward_secs: f64,
+    /// Wall time in the optimizer step (including clipping).
+    pub step_secs: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerStats {
+    /// Groups drawn in this batch.
+    pub groups: usize,
+    /// Positive-pool size the sampler drew anchors/positives from.
+    pub positive_pool: usize,
+    /// Negative-pool size the sampler drew negatives from.
+    pub negative_pool: usize,
+    /// Candidate draws discarded (confidence-biased rejection sampling).
+    pub rejections: u64,
+    /// Fraction of groups in the batch that duplicate an earlier group.
+    pub duplicate_rate: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceStats {
+    /// Estimator variant name (`none`, `mle`, `bayesian`, `worker_aware`).
+    pub variant: String,
+    /// Number of items the estimator scored.
+    pub items: usize,
+    /// Distribution of per-item label confidences δ_i.
+    pub delta: DistSummary,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldStats {
+    pub method: String,
+    /// 0-based fold index.
+    pub fold: usize,
+    pub accuracy: f64,
+    pub wall_secs: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodStats {
+    pub method: String,
+    pub folds: usize,
+    pub mean_accuracy: f64,
+    pub std_accuracy: f64,
+    pub wall_secs: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableText {
+    pub title: String,
+    pub text: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub wall_secs: f64,
+    pub events_emitted: u64,
+    pub metrics: MetricsSnapshot,
+}
+
+/// Five-number-style summary of an empirical distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    pub count: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub p50: f64,
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarizes `values`, ignoring non-finite entries. Empty (or all
+    /// non-finite) input yields an all-zero summary with `count == 0`.
+    pub fn from_values(values: &[f64]) -> Self {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return DistSummary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = finite.len();
+        let mean = finite.iter().sum::<f64>() / n as f64;
+        let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = finite.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p50 = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        DistSummary {
+            count: n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            p50,
+            max: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_summary_basics() {
+        let s = DistSummary::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+        assert!((s.std - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_summary_skips_non_finite() {
+        let s = DistSummary::from_values(&[f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn dist_summary_empty() {
+        let s = DistSummary::from_values(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn event_serde_round_trip() {
+        let event = Event {
+            seq: 7,
+            elapsed_secs: 1.25,
+            kind: EventKind::EpochEnd(EpochStats {
+                epoch: 3,
+                mean_loss: 0.42,
+                grad_norm_pre_clip: 1.8,
+                grad_norm_post_clip: 1.0,
+                learning_rate: 0.01,
+                groups_sampled: 256,
+                wall_secs: 0.9,
+                sample_secs: 0.1,
+                forward_secs: 0.4,
+                backward_secs: 0.3,
+                step_secs: 0.1,
+            }),
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+        assert!(json.contains("\"EpochEnd\""));
+    }
+
+    #[test]
+    fn note_round_trip() {
+        let event = Event {
+            seq: 0,
+            elapsed_secs: 0.0,
+            kind: EventKind::Note("starting".into()),
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
+    }
+}

@@ -1,0 +1,48 @@
+//! # rll-obs — zero-dependency observability for the RLL pipeline
+//!
+//! Telemetry layer threaded through the trainer (`rll-core`), group sampler,
+//! confidence estimators (`rll-crowd`), and the cross-validation harness
+//! (`rll-eval`). Three complementary surfaces:
+//!
+//! - **Metrics** ([`MetricsRegistry`]): named counters, gauges, and
+//!   fixed-bucket histograms (p50/p95/p99), thread-safe and allocation-light
+//!   on the hot path.
+//! - **Spans** ([`span!`], [`SpanTimer`]): RAII wall-time guards that record
+//!   into duration histograms on drop.
+//! - **Events** ([`Event`], [`EventKind`]): typed, serde-serializable run
+//!   records fanned out through pluggable [`Sink`]s — [`NullSink`] (off),
+//!   [`StdoutSink`] (human-readable), [`JsonlSink`] (append-only
+//!   `results/runs/<run_id>.jsonl`), [`MemorySink`] (tests).
+//!
+//! The [`Recorder`] ties the three together. Library code takes a recorder
+//! and defaults to [`Recorder::disabled()`], so instrumentation is silent
+//! and near-free unless a binary opts in:
+//!
+//! ```
+//! use rll_obs::{EventKind, Recorder};
+//!
+//! let recorder = Recorder::disabled(); // or Recorder::for_experiment("table1", 42)
+//! recorder.run_start("table1", "quick", 42);
+//! {
+//!     let _timer = rll_obs::span!(recorder, "epoch");
+//!     recorder.metrics().counter("groups.sampled").add(256);
+//! }
+//! recorder.note("epoch 0 done");
+//! recorder.finish();
+//! assert_eq!(recorder.events_emitted(), 3);
+//! ```
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+pub mod span;
+
+pub use event::{
+    ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats, MethodStats, RunInfo,
+    RunSummary, SamplerStats, TableText,
+};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use recorder::Recorder;
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink, StdoutSink};
+pub use span::SpanTimer;

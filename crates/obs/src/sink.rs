@@ -1,0 +1,243 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every [`Event`] a recorder emits. Sinks must be
+//! `Send + Sync`: the eval harness emits from worker threads when fold
+//! parallelism is on.
+
+use parking_lot::Mutex;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::{Event, EventKind};
+
+/// Receives structured events; implementations decide representation.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event);
+
+    /// Force buffered output to its destination. Called by
+    /// `Recorder::finish` and safe to call repeatedly.
+    fn flush(&self) {}
+}
+
+/// `Arc<S>` forwards to `S`, so tests can hand a recorder a
+/// `Box::new(sink.clone())` and keep reading the original.
+impl<S: Sink + ?Sized> Sink for std::sync::Arc<S> {
+    fn emit(&self, event: &Event) {
+        (**self).emit(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
+/// Discards everything. Used by `Recorder::disabled()`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-readable progress on stdout; one line per event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdoutSink;
+
+impl Sink for StdoutSink {
+    fn emit(&self, event: &Event) {
+        match &event.kind {
+            EventKind::RunStart(info) => {
+                println!(
+                    "[{:>9.3}s] run {} start: {} (scale={}, seed={})",
+                    event.elapsed_secs, info.run_id, info.experiment, info.scale, info.seed
+                );
+            }
+            EventKind::EpochEnd(e) => {
+                println!(
+                    "[{:>9.3}s] epoch {:>3}: loss {:.6}  |g| {:.4}->{:.4}  lr {:.5}  \
+                     {} groups  {:.3}s (sample {:.3} fwd {:.3} bwd {:.3} step {:.3})",
+                    event.elapsed_secs,
+                    e.epoch,
+                    e.mean_loss,
+                    e.grad_norm_pre_clip,
+                    e.grad_norm_post_clip,
+                    e.learning_rate,
+                    e.groups_sampled,
+                    e.wall_secs,
+                    e.sample_secs,
+                    e.forward_secs,
+                    e.backward_secs,
+                    e.step_secs,
+                );
+            }
+            EventKind::SamplerBatch(s) => {
+                println!(
+                    "[{:>9.3}s] sampler: {} groups (pools +{}/-{}), {} rejections, \
+                     {:.1}% duplicate groups",
+                    event.elapsed_secs,
+                    s.groups,
+                    s.positive_pool,
+                    s.negative_pool,
+                    s.rejections,
+                    100.0 * s.duplicate_rate,
+                );
+            }
+            EventKind::ConfidenceSummary(c) => {
+                println!(
+                    "[{:>9.3}s] confidence[{}]: {} items, δ mean {:.4} ± {:.4} \
+                     (min {:.4}, p50 {:.4}, max {:.4})",
+                    event.elapsed_secs,
+                    c.variant,
+                    c.items,
+                    c.delta.mean,
+                    c.delta.std,
+                    c.delta.min,
+                    c.delta.p50,
+                    c.delta.max,
+                );
+            }
+            EventKind::FoldEnd(f) => {
+                println!(
+                    "[{:>9.3}s] {} fold {}: accuracy {:.4} ({:.2}s)",
+                    event.elapsed_secs, f.method, f.fold, f.accuracy, f.wall_secs
+                );
+            }
+            EventKind::MethodEnd(m) => {
+                println!(
+                    "[{:>9.3}s] {} done: {:.4} ± {:.4} over {} folds ({:.2}s)",
+                    event.elapsed_secs,
+                    m.method,
+                    m.mean_accuracy,
+                    m.std_accuracy,
+                    m.folds,
+                    m.wall_secs
+                );
+            }
+            EventKind::Note(text) => {
+                println!("[{:>9.3}s] {text}", event.elapsed_secs);
+            }
+            EventKind::Table(t) => {
+                println!("\n== {} ==\n{}", t.title, t.text);
+            }
+            EventKind::RunEnd(summary) => {
+                println!(
+                    "[{:>9.3}s] run end: {} events in {:.2}s",
+                    event.elapsed_secs, summary.events_emitted, summary.wall_secs
+                );
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let _ = std::io::stdout().flush();
+    }
+}
+
+/// Appends each event as one JSON line to `results/runs/<run_id>.jsonl`.
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Opens (append) `dir/<run_id>.jsonl`, creating `dir` if needed.
+    pub fn create(dir: impl AsRef<Path>, run_id: &str) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{run_id}.jsonl"));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        // Serialization of our own event model cannot fail; IO errors are
+        // deliberately swallowed (telemetry must never abort training).
+        if let Ok(line) = serde_json::to_string(event) {
+            let mut writer = self.writer.lock();
+            let _ = writeln!(writer, "{line}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Buffers events in memory; the test workhorse.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(seq: u64, text: &str) -> Event {
+        Event {
+            seq,
+            elapsed_secs: 0.5,
+            kind: EventKind::Note(text.to_string()),
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers() {
+        let sink = MemorySink::new();
+        sink.emit(&note(0, "a"));
+        sink.emit(&note(1, "b"));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events()[1].seq, 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("rll-obs-test-{}", std::process::id()));
+        let sink = JsonlSink::create(&dir, "unit").unwrap();
+        sink.emit(&note(0, "hello"));
+        sink.emit(&note(1, "world"));
+        sink.flush();
+        let text = fs::read_to_string(sink.path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let event: Event = serde_json::from_str(line).unwrap();
+            assert_eq!(event.seq, i as u64);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

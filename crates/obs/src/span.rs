@@ -1,0 +1,96 @@
+//! RAII wall-time spans.
+//!
+//! A [`SpanTimer`] measures the elapsed time between its creation and drop
+//! and records it (in seconds) into a [`Histogram`]. Use via
+//! [`crate::Recorder::span`] or the [`crate::span!`] macro:
+//!
+//! ```
+//! use rll_obs::Recorder;
+//! let recorder = Recorder::disabled();
+//! {
+//!     let _epoch = rll_obs::span!(recorder, "epoch");
+//!     // ... timed work ...
+//! } // recorded on drop
+//! assert_eq!(recorder.metrics().duration_histogram("span.epoch").count(), 1);
+//! ```
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Guard that records its lifetime into a histogram on drop.
+#[must_use = "a span records when dropped; binding it to `_` drops immediately"]
+pub struct SpanTimer {
+    histogram: Histogram,
+    start: Instant,
+    recorded: bool,
+}
+
+impl SpanTimer {
+    pub(crate) fn new(histogram: Histogram) -> Self {
+        SpanTimer {
+            histogram,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Seconds elapsed so far, without ending the span.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Ends the span early and returns the recorded duration in seconds.
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if !self.recorded {
+            self.recorded = true;
+            self.histogram.observe(secs);
+        }
+        secs
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// `span!(recorder, "name")` — sugar for `recorder.span("name")`.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $name:expr) => {
+        $recorder.span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::duration_seconds();
+        {
+            let _span = SpanTimer::new(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 0.002, "recorded {}", snap.max);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let h = Histogram::duration_seconds();
+        let span = SpanTimer::new(h.clone());
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

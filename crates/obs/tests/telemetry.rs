@@ -1,0 +1,182 @@
+//! Integration tests: thread-safety of the metrics registry and JSONL
+//! round-trips of the full event taxonomy.
+
+use std::sync::Arc;
+
+use rll_obs::{
+    ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats, MemorySink, MethodStats,
+    Recorder, RunInfo, RunSummary, SamplerStats, TableText,
+};
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 10_000;
+    let recorder = Recorder::disabled();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                let counter = recorder.metrics().counter("stress.hits");
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        recorder.metrics().counter("stress.hits").get(),
+        THREADS as u64 * INCREMENTS
+    );
+}
+
+#[test]
+fn concurrent_histogram_observations_are_lossless() {
+    const THREADS: usize = 4;
+    const OBSERVATIONS: usize = 5_000;
+    let recorder = Recorder::disabled();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                let histogram = recorder
+                    .metrics()
+                    .histogram("stress.values", &[0.25, 0.5, 0.75]);
+                for i in 0..OBSERVATIONS {
+                    histogram
+                        .observe((t * OBSERVATIONS + i) as f64 / (THREADS * OBSERVATIONS) as f64);
+                }
+            });
+        }
+    });
+    let snap = recorder
+        .metrics()
+        .histogram("stress.values", &[0.25, 0.5, 0.75])
+        .snapshot();
+    assert_eq!(snap.count, (THREADS * OBSERVATIONS) as u64);
+    assert!(snap.min >= 0.0 && snap.max < 1.0);
+    assert!((snap.p50 - 0.5).abs() < 0.05, "p50 {}", snap.p50);
+}
+
+#[test]
+fn concurrent_emitters_produce_unique_seqs() {
+    const THREADS: usize = 6;
+    const EVENTS: usize = 500;
+    let sink = Arc::new(MemorySink::new());
+    let recorder = Recorder::new("stress", vec![Box::new(sink.clone())]);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let recorder = recorder.clone();
+            scope.spawn(move || {
+                for i in 0..EVENTS {
+                    recorder.note(format!("t{t} e{i}"));
+                }
+            });
+        }
+    });
+    let mut seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+    assert_eq!(seqs.len(), THREADS * EVENTS);
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), THREADS * EVENTS, "seq numbers must be unique");
+}
+
+fn sample_events() -> Vec<EventKind> {
+    vec![
+        EventKind::RunStart(RunInfo {
+            run_id: "t-1".into(),
+            experiment: "table1".into(),
+            scale: "quick".into(),
+            seed: 42,
+            started_unix_secs: 1_700_000_000,
+        }),
+        EventKind::ConfidenceSummary(ConfidenceStats {
+            variant: "bayesian".into(),
+            items: 3,
+            delta: DistSummary::from_values(&[0.2, 0.5, 0.9]),
+        }),
+        EventKind::SamplerBatch(SamplerStats {
+            groups: 128,
+            positive_pool: 60,
+            negative_pool: 40,
+            rejections: 7,
+            duplicate_rate: 0.03125,
+        }),
+        EventKind::EpochEnd(EpochStats {
+            epoch: 4,
+            mean_loss: 1.25,
+            grad_norm_pre_clip: 6.5,
+            grad_norm_post_clip: 5.0,
+            learning_rate: 1e-3,
+            groups_sampled: 128,
+            wall_secs: 0.05,
+            sample_secs: 0.001,
+            forward_secs: 0.03,
+            backward_secs: 0.015,
+            step_secs: 0.002,
+        }),
+        EventKind::FoldEnd(FoldStats {
+            method: "RLL+Bayesian".into(),
+            fold: 2,
+            accuracy: 0.875,
+            wall_secs: 1.5,
+        }),
+        EventKind::MethodEnd(MethodStats {
+            method: "RLL+Bayesian".into(),
+            folds: 5,
+            mean_accuracy: 0.86,
+            std_accuracy: 0.02,
+            wall_secs: 7.5,
+        }),
+        EventKind::Note("free-form".into()),
+        EventKind::Table(TableText {
+            title: "Table I".into(),
+            text: "a  b\n1  2\n".into(),
+        }),
+    ]
+}
+
+#[test]
+fn every_event_kind_round_trips_through_jsonl() {
+    for (seq, kind) in sample_events().into_iter().enumerate() {
+        let event = Event {
+            seq: seq as u64,
+            elapsed_secs: 0.25 * seq as f64,
+            kind,
+        };
+        let line = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event, "round-trip changed: {line}");
+    }
+}
+
+#[test]
+fn run_end_metrics_snapshot_round_trips() {
+    let recorder = Recorder::disabled();
+    recorder.metrics().counter("events.note").add(3);
+    recorder.metrics().gauge("loss").set(0.5);
+    recorder
+        .metrics()
+        .duration_histogram("span.epoch")
+        .observe(0.125);
+    let event = Event {
+        seq: 9,
+        elapsed_secs: 1.0,
+        kind: EventKind::RunEnd(RunSummary {
+            wall_secs: 1.0,
+            events_emitted: 10,
+            metrics: recorder.metrics().snapshot(),
+        }),
+    };
+    let line = serde_json::to_string(&event).unwrap();
+    let back: Event = serde_json::from_str(&line).unwrap();
+    match back.kind {
+        EventKind::RunEnd(summary) => {
+            assert_eq!(summary.events_emitted, 10);
+            assert_eq!(summary.metrics.counters.get("events.note"), Some(&3));
+            let h = &summary.metrics.histograms["span.epoch"];
+            assert_eq!(h.count, 1);
+        }
+        other => panic!("expected RunEnd, got {other:?}"),
+    }
+}

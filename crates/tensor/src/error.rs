@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn display_empty_and_invalid() {
-        assert!(TensorError::Empty { op: "mean" }.to_string().contains("mean"));
+        assert!(TensorError::Empty { op: "mean" }
+            .to_string()
+            .contains("mean"));
         let e = TensorError::InvalidParameter {
             name: "alpha",
             reason: "must be positive".into(),

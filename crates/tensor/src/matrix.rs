@@ -262,7 +262,9 @@ impl Matrix {
                 shape: self.shape(),
             });
         }
-        Ok((0..self.rows).map(|r| self.data[r * self.cols + c]).collect())
+        Ok((0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect())
     }
 
     /// Iterator over rows as slices.

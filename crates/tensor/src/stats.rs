@@ -134,8 +134,7 @@ pub fn welch_t(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
         });
     }
     let t = (mx - my) / se2.sqrt();
-    let df = se2 * se2
-        / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
+    let df = se2 * se2 / ((vx / nx) * (vx / nx) / (nx - 1.0) + (vy / ny) * (vy / ny) / (ny - 1.0));
     Ok((t, df))
 }
 

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== worker quality from the Dawid-Skene fit ==");
     let fit = DawidSkene::default().fit(&ann)?;
     let qualities = worker_qualities(&fit, &ann)?;
-    println!("{:<8}{:<16}{:<18}{}", "worker", "exp. accuracy", "informativeness", "votes");
+    println!(
+        "{:<8}{:<16}{:<18}votes",
+        "worker", "exp. accuracy", "informativeness"
+    );
     for q in &qualities {
         println!(
             "{:<8}{:<16.3}{:<18.3}{}",

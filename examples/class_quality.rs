@@ -44,11 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prior = BetaPrior::from_class_prior(ds.positive_prior(), 2.0)?;
     let mle = ConfidenceEstimator::Mle;
     let bayes = ConfidenceEstimator::Bayesian(prior);
-    println!("\nvotes (of 5)   δ_MLE    δ_Bayesian   (prior mean {:.2})", prior.mean());
+    println!(
+        "\nvotes (of 5)   δ_MLE    δ_Bayesian   (prior mean {:.2})",
+        prior.mean()
+    );
     for target in [5usize, 4, 3] {
-        if let Some(i) = (0..ds.len()).find(|&i| {
-            ds.annotations.positive_votes(i).unwrap() == target && labels[i] == 1
-        }) {
+        if let Some(i) = (0..ds.len())
+            .find(|&i| ds.annotations.positive_votes(i).unwrap() == target && labels[i] == 1)
+        {
             let d = ds.annotations.annotation_count(i)?;
             println!(
                 "  {target}/{d} positive   {:.3}    {:.3}",

@@ -38,15 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut rng = Rng64::seed_from_u64(1);
     let group = sampler.sample(&mut rng)?;
-    println!("  sampled group: anchor={}, positive={}, negatives={:?}",
-        group.anchor, group.positive, group.negatives);
+    println!(
+        "  sampled group: anchor={}, positive={}, negatives={:?}",
+        group.anchor, group.positive, group.negatives
+    );
 
     // Stage 2 — estimate label confidences δ (Bayesian, eq. 2) with the prior
     // set from the class ratio, as the paper prescribes.
     let prior = BetaPrior::from_class_prior(ds.positive_prior(), 2.0)?;
     let estimator = ConfidenceEstimator::Bayesian(prior);
     let confidences = estimator.label_confidences(&ds.annotations, &labels)?;
-    println!("\n[confidence] Beta prior = ({:.2}, {:.2})", prior.alpha, prior.beta);
+    println!(
+        "\n[confidence] Beta prior = ({:.2}, {:.2})",
+        prior.alpha, prior.beta
+    );
     for &m in group.members().iter().take(3) {
         let votes = ds.annotations.positive_votes(m)?;
         println!(
@@ -78,14 +83,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Stage 4 — cosine relevance + confidence-weighted softmax (eq. 3).
-    let cand_conf: Vec<f64> = group.members()[1..].iter().map(|&m| confidences[m]).collect();
+    let cand_conf: Vec<f64> = group.members()[1..]
+        .iter()
+        .map(|&m| confidences[m])
+        .collect();
     let posterior = group_posterior(&embeddings, &cand_conf, 10.0)?;
     let (loss, grads) = group_softmax_loss(&embeddings, &cand_conf, 10.0)?;
     println!("\n[posterior] p(x+_j | x+_i) = {posterior:.4} (untrained), loss = {loss:.4}");
-    println!("  gradient norms per member: {:?}",
+    println!(
+        "  gradient norms per member: {:?}",
         (0..grads.rows())
             .map(|r| format!("{:.3}", rll::tensor::ops::norm(grads.row(r).unwrap())))
-            .collect::<Vec<_>>());
+            .collect::<Vec<_>>()
+    );
 
     // Stage 5 — the full pipeline: train RLL-Bayesian end to end and score
     // held-out predictions against the expert labels.

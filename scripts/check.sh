@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Run before every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -6,10 +6,7 @@ use rll::eval::method::MethodSpec;
 
 #[test]
 fn table1_subset_runs_and_renders() {
-    let methods = [
-        MethodSpec::SoftProb,
-        MethodSpec::Rll(RllVariant::Bayesian),
-    ];
+    let methods = [MethodSpec::SoftProb, MethodSpec::Rll(RllVariant::Bayesian)];
     let result = table1::run(ExperimentScale::Quick, 5, Some(&methods)).unwrap();
     assert_eq!(result.oral.len(), 2);
     assert_eq!(result.class.len(), 2);

@@ -75,8 +75,13 @@ fn kfold_rejects_impossible_configurations() {
 
 #[test]
 fn classifier_surfaces_dimension_mismatches() {
-    let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.2, 0.8], vec![0.9, 0.3]])
-        .unwrap();
+    let x = Matrix::from_rows(&[
+        vec![0.0, 1.0],
+        vec![1.0, 0.0],
+        vec![0.2, 0.8],
+        vec![0.9, 0.3],
+    ])
+    .unwrap();
     let mut lr = LogisticRegression::with_defaults();
     lr.fit(&x, &[1, 0, 1, 0]).unwrap();
     assert!(lr.predict(&Matrix::ones(1, 3)).is_err());

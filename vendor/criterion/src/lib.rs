@@ -1,0 +1,253 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Covers the workspace's bench surface: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`), `Bencher::iter`/`iter_batched`,
+//! `BatchSize::SmallInput`, and the simple forms of `criterion_group!` /
+//! `criterion_main!`.
+//!
+//! Behavior:
+//! - Invoked via `cargo bench` (a `--bench` flag appears in argv): each
+//!   routine is warmed up, then timed for `sample_size` samples; the mean,
+//!   minimum, and maximum per-iteration times are printed.
+//! - Otherwise (e.g. built/run by `cargo test` on a `harness = false`
+//!   target): each routine runs exactly once as a smoke test, keeping tier-1
+//!   wall time bounded.
+//!
+//! No statistical analysis, plots, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times setup and routine
+/// separately, so the variants are equivalent; they exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// `cargo bench`: warm up and take timed samples.
+    Measure { sample_size: usize },
+    /// `cargo test` on a harness=false target: run each routine once.
+    Smoke,
+}
+
+/// Benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if bench_mode {
+                Mode::Measure { sample_size: 20 }
+            } else {
+                Mode::Smoke
+            },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), self.mode, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            _parent: self,
+        }
+    }
+}
+
+/// Named group of related benchmarks (`table1/...`, `ablation/...`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if let Mode::Measure { sample_size } = &mut self.mode {
+            *sample_size = n.max(2);
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.mode, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mode: Mode, mut f: F) {
+    match mode {
+        Mode::Smoke => {
+            let mut bencher = Bencher {
+                mode,
+                samples: Vec::new(),
+            };
+            f(&mut bencher);
+            println!("bench {id:<50} smoke ok");
+        }
+        Mode::Measure { sample_size } => {
+            let mut bencher = Bencher {
+                mode: Mode::Measure { sample_size },
+                samples: Vec::with_capacity(sample_size),
+            };
+            f(&mut bencher);
+            let ns: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+            if ns.is_empty() {
+                println!("bench {id:<50} no samples");
+                return;
+            }
+            let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+            let min = *ns.iter().min().unwrap();
+            let max = *ns.iter().max().unwrap();
+            println!(
+                "bench {id:<50} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+                fmt_ns(mean),
+                fmt_ns(min),
+                fmt_ns(max),
+                ns.len()
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times the routine it is handed; one `Bencher` per benchmark id.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { sample_size } => {
+                // Warmup.
+                for _ in 0..2 {
+                    black_box(routine());
+                }
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_size } => {
+                black_box(routine(setup()));
+                for _ in 0..sample_size {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Simple form only: `criterion_group!(benches, fn_a, fn_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(benches);` — emits `fn main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0usize;
+        let mut c = Criterion { mode: Mode::Smoke };
+        c.bench_function("unit/smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut calls = 0usize;
+        let mut c = Criterion {
+            mode: Mode::Measure { sample_size: 5 },
+        };
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(4);
+        group.bench_function("counted", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 2 warmup + 4 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut total = 0u64;
+        let mut c = Criterion { mode: Mode::Smoke };
+        c.bench_function("unit/batched", |b| {
+            b.iter_batched(|| 21u64, |x| total += x * 2, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,542 @@
+//! Vendored, dependency-free stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: range/tuple/collection
+//! strategies, `prop_map`/`prop_flat_map`, `any::<bool>()`, the `proptest!`
+//! macro with optional `#![proptest_config(...)]`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Deliberate simplifications vs upstream:
+//! - **No shrinking.** A failing case reports its value (via the assertion
+//!   message) and the case index, but is not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the test
+//!   name, so failures reproduce across runs without a regression file
+//!   (`proptest-regressions` files are ignored).
+//! - Default case count is 64 (override with `PROPTEST_CASES`), trading some
+//!   coverage for tier-1 wall time.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test run aborts with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the input; another case is drawn.
+        Reject,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` upstream).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        /// Abort if `cases * max_global_rejects_factor` inputs are rejected.
+        pub max_global_rejects_factor: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config {
+                cases,
+                max_global_rejects_factor: 256,
+            }
+        }
+    }
+
+    /// Splitmix64-based generator dedicated to strategy sampling.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant for test-input generation.
+            self.next_u64() % bound
+        }
+    }
+
+    /// Drives one `proptest!` test function: draws `config.cases` inputs from
+    /// `strategy` and applies `test` to each. Panics on the first failure.
+    pub fn run<S, F>(config: Config, name: &str, strategy: &S, test: F)
+    where
+        S: crate::Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        let mut rng = TestRng::seed_from_u64(hasher.finish());
+
+        let max_rejects = config
+            .cases
+            .saturating_mul(config.max_global_rejects_factor);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest `{name}`: too many prop_assume! rejections \
+                             ({rejects}) after {case} passing cases"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest `{name}` failed at case {case}: {message}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+use test_runner::TestRng;
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F, O>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            source: self,
+            func,
+            _out: PhantomData,
+        }
+    }
+
+    fn prop_flat_map<S2, F>(self, func: F) -> FlatMap<Self, F, S2>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap {
+            source: self,
+            func,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F, O> {
+    source: S,
+    func: F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<S, F, O> Strategy for Map<S, F, O>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.source.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F, S2> {
+    source: S,
+    func: F,
+    _out: PhantomData<fn() -> S2>,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.func)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+// Integer ranges. `Range`/`RangeInclusive` literals are themselves strategies.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding landing exactly on the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)` — `len` may be an exact `usize`
+    /// or a range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works via the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, prop, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        #[test]
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run(
+                $config,
+                stringify!($name),
+                &strategy,
+                |($($pat,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}\n {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (1usize..=6).generate(&mut rng);
+            assert!((1..=6).contains(&y));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(11);
+        let s = prop::collection::vec(0u64..5, 2..6);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let exact = prop::collection::vec(0u64..5, 4usize);
+        assert_eq!(exact.generate(&mut rng).len(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_round_trip(a in 0u64..100, (b, c) in (1usize..4, -1.0f64..1.0)) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(c - 2.0, c);
+            prop_assume!(a != 99);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_composes(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0u64..10, n).prop_map(move |xs| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert_eq!(xs.len(), n);
+        }
+    }
+}

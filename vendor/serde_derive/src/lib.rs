@@ -1,0 +1,474 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! `syn`/`quote` are unavailable in this container, so the input is parsed
+//! directly from `proc_macro::TokenTree`s and the impls are generated as
+//! strings. Supported shapes — which cover every derived type in this
+//! workspace — are:
+//!
+//! - structs with named fields (`#[serde(skip)]` honored: omitted when
+//!   serializing, filled from `Default` when deserializing);
+//! - enums with unit, newtype, tuple, and struct variants, externally tagged
+//!   exactly like upstream serde (`"Unit"`, `{"Newtype": v}`,
+//!   `{"Tuple": [a, b]}`, `{"Struct": {"f": v}}`).
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with a
+//! compile error naming the offending item, so unsupported shapes fail loudly
+//! at the definition site rather than corrupting data at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    is_option: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: `{name}` must have a braced body (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+
+    match keyword.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)` and friends.
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips `#[...]` attributes; returns whether any was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_skip = false;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Bracket {
+                has_skip |= attr_is_serde_skip(&g.stream());
+                *pos += 1;
+                continue;
+            }
+        }
+        panic!("serde_derive: malformed attribute");
+    }
+    has_skip
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let names: Vec<String> = args
+                .stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.to_string()),
+                    _ => None,
+                })
+                .collect();
+            if let Some(unsupported) = names.iter().find(|n| *n != "skip") {
+                panic!(
+                    "serde_derive: unsupported serde attribute `{unsupported}` (only `skip` is vendored)"
+                );
+            }
+            names.iter().any(|n| n == "skip")
+        }
+        _ => false,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type, tracking angle-bracket depth so `Map<K, V>` commas
+        // do not end the field early.
+        let mut is_option = false;
+        let mut first_type_token = true;
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                TokenTree::Ident(id) if first_type_token => {
+                    is_option = id.to_string() == "Option";
+                    first_type_token = false;
+                }
+                _ => first_type_token = false,
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_token = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(fields)\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn field_extraction(owner: &str, source: &str, f: &Field) -> String {
+    if f.skip {
+        return format!("{n}: ::std::default::Default::default(),\n", n = f.name);
+    }
+    let missing = if f.is_option {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::custom(\
+             \"missing field `{n}` in {owner}\"))",
+            n = f.name
+        )
+    };
+    format!(
+        "{n}: match {source}.field(\"{n}\") {{\n\
+         ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n",
+        n = f.name
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut extractions = String::new();
+    for f in fields {
+        extractions.push_str(&field_extraction(name, "value", f));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         if value.as_object().is_none() {{\n\
+         return ::std::result::Result::Err(::serde::DeError::custom(\
+         \"expected object for struct {name}\"));\n\
+         }}\n\
+         ::std::result::Result::Ok({name} {{\n\
+         {extractions}\
+         }})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+            )),
+            VariantKind::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\
+                 ::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let values: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::Value::Array(vec![{vals}]))]),\n",
+                    binds = binders.join(", "),
+                    vals = values.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let pushes: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{n}\"), \
+                             ::serde::Serialize::to_value({n}))",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::Value::Object(vec![{fields}]))]),\n",
+                    binds = binders.join(", "),
+                    fields = pushes.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n\
+         {arms}\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let items = inner.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                     \"expected array payload for {name}::{vn}\"))?;\n\
+                     if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"wrong payload arity for {name}::{vn}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({gets}))\n\
+                     }}\n",
+                    gets = gets.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let mut extractions = String::new();
+                for f in fields {
+                    extractions.push_str(&field_extraction(&format!("{name}::{vn}"), "inner", f));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     if inner.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected object payload for {name}::{vn}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n\
+                     {extractions}\
+                     }})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         match value {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::custom(\
+         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         let (tag, inner) = &pairs[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => ::std::result::Result::Err(::serde::DeError::custom(\
+         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::DeError::custom(\
+         format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}
