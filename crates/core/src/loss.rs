@@ -24,7 +24,7 @@
 use crate::error::RllError;
 use crate::Result;
 use rll_tensor::ops;
-use rll_tensor::Matrix;
+use rll_tensor::{debug_assert_finite, Matrix};
 
 /// Computes the loss and embedding gradients for one group.
 ///
@@ -110,6 +110,8 @@ pub fn group_softmax_loss(
         }
     }
     grads.row_mut(0)?.copy_from_slice(&grad_anchor);
+    debug_assert_finite!([loss], "group softmax loss");
+    debug_assert_finite!(grads, "group softmax gradients");
     Ok((loss, grads))
 }
 

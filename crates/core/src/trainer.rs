@@ -8,10 +8,9 @@ use crate::Result;
 use rll_crowd::aggregate::{Aggregator, MajorityVote};
 use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
 use rll_nn::{Adam, GradClip, Optimizer};
-use rll_obs::{EpochStats, EventKind, Recorder, SamplerStats};
-use rll_tensor::{Matrix, Rng64};
+use rll_obs::{EpochStats, EventKind, Recorder, SamplerStats, Stopwatch};
+use rll_tensor::{debug_assert_finite, Matrix, Rng64};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which of the paper's RLL variants to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -302,7 +301,7 @@ impl RllTrainer {
         let mut grad_norms_post_clip = Vec::with_capacity(self.config.epochs);
         let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
-            let epoch_start = Instant::now();
+            let epoch_start = Stopwatch::start();
             let learning_rate = match &self.config.lr_schedule {
                 Some(schedule) => {
                     let lr = schedule.at_epoch(epoch);
@@ -312,10 +311,10 @@ impl RllTrainer {
                 None => self.config.learning_rate,
             };
 
-            let sample_start = Instant::now();
+            let sample_start = Stopwatch::start();
             let (groups, batch_stats) =
                 sampler.sample_batch_with_stats(self.config.groups_per_epoch, &mut rng)?;
-            let sample_secs = sample_start.elapsed().as_secs_f64();
+            let sample_secs = sample_start.elapsed_secs();
             self.recorder.emit(EventKind::SamplerBatch(SamplerStats {
                 groups: batch_stats.groups,
                 positive_pool: batch_stats.positive_pool,
@@ -337,7 +336,7 @@ impl RllTrainer {
             let mut backward_secs = 0.0;
             for group in &groups {
                 let members = group.members();
-                let forward_start = Instant::now();
+                let forward_start = Stopwatch::start();
                 let member_features = features.select_rows(&members)?;
                 let cache = model.mlp_mut().forward_cached(&member_features, &mut rng)?;
                 // Candidate confidences: δ_j for the positive, then the
@@ -345,17 +344,18 @@ impl RllTrainer {
                 let cand_conf: Vec<f64> = members[1..].iter().map(|&m| confidences[m]).collect();
                 let (loss, grads) =
                     group_softmax_loss(cache.output(), &cand_conf, self.config.eta)?;
-                forward_secs += forward_start.elapsed().as_secs_f64();
+                forward_secs += forward_start.elapsed_secs();
                 total_loss += loss;
-                let backward_start = Instant::now();
+                let backward_start = Stopwatch::start();
                 model.mlp_mut().backward(&cache, &grads)?;
-                backward_secs += backward_start.elapsed().as_secs_f64();
+                backward_secs += backward_start.elapsed_secs();
             }
 
-            let step_start = Instant::now();
+            let step_start = Stopwatch::start();
             model.mlp_mut().scale_grads(1.0 / groups.len() as f64);
             let mut params = model.mlp_mut().param_grad_pairs();
             let grad_norm_pre_clip = global_grad_norm(params.iter().map(|(_, g)| g));
+            debug_assert_finite!([grad_norm_pre_clip], "epoch gradient norm (pre-clip)");
             let grad_norm_post_clip = match &clip {
                 Some(clip) => {
                     let mut grads: Vec<Matrix> = params.iter().map(|(_, g)| g.clone()).collect();
@@ -369,10 +369,10 @@ impl RllTrainer {
                 None => grad_norm_pre_clip,
             };
             opt.step(params)?;
-            let step_secs = step_start.elapsed().as_secs_f64();
+            let step_secs = step_start.elapsed_secs();
 
             let mean_loss = total_loss / groups.len() as f64;
-            let wall_secs = epoch_start.elapsed().as_secs_f64();
+            let wall_secs = epoch_start.elapsed_secs();
             self.recorder.emit(EventKind::EpochEnd(EpochStats {
                 epoch,
                 mean_loss,

@@ -84,7 +84,8 @@ impl Glad {
 
     /// Sets the positive-class prior (e.g. from the dataset class ratio).
     pub fn with_positive_prior(mut self, prior: f64) -> Result<Self> {
-        if !(0.0..1.0).contains(&prior) || prior == 0.0 {
+        // Open interval (0, 1): rejects 0, 1, and NaN in one comparison.
+        if !(prior > 0.0 && prior < 1.0) {
             return Err(CrowdError::InvalidConfig {
                 reason: format!("positive prior must be in (0, 1), got {prior}"),
             });

@@ -81,7 +81,9 @@ impl Aggregator for MajorityVote {
                     reason: format!("item {i} has no annotations"),
                 });
             }
-            let max = *counts.iter().max().expect("non-empty counts");
+            // `total > 0` (checked above) means `counts` is non-empty; the
+            // fallback keeps this branch panic-free regardless.
+            let max = counts.iter().copied().max().unwrap_or(0);
             let tied: Vec<u8> = counts
                 .iter()
                 .enumerate()
@@ -93,7 +95,7 @@ impl Aggregator for MajorityVote {
             } else {
                 match self.tie_break {
                     TieBreak::LowestClass => tied[0],
-                    TieBreak::HighestClass => *tied.last().expect("non-empty tie set"),
+                    TieBreak::HighestClass => tied.last().copied().unwrap_or(0),
                     TieBreak::Random { .. } => {
                         let mut rng = self.rng.borrow_mut();
                         *rng.choose(&tied)?

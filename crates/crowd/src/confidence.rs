@@ -56,7 +56,8 @@ impl BetaPrior {
     /// `positive_prior` is `P(y = 1)`; `strength` is the total pseudo-count
     /// `α + β` (how strongly the prior resists the observed votes).
     pub fn from_class_prior(positive_prior: f64, strength: f64) -> Result<Self> {
-        if !(0.0..1.0).contains(&positive_prior) || positive_prior == 0.0 {
+        // Open interval (0, 1): rejects 0, 1, and NaN in one comparison.
+        if !(positive_prior > 0.0 && positive_prior < 1.0) {
             return Err(CrowdError::InvalidConfig {
                 reason: format!("positive prior must be in (0, 1), got {positive_prior}"),
             });

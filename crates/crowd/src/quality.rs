@@ -97,13 +97,8 @@ pub fn rank_workers(qualities: &[WorkerQuality]) -> Vec<usize> {
         let qa = &qualities[a];
         let qb = &qualities[b];
         qb.informativeness
-            .partial_cmp(&qa.informativeness)
-            .expect("informativeness is finite")
-            .then(
-                qb.expected_accuracy
-                    .partial_cmp(&qa.expected_accuracy)
-                    .expect("accuracy is finite"),
-            )
+            .total_cmp(&qa.informativeness)
+            .then(qb.expected_accuracy.total_cmp(&qa.expected_accuracy))
     });
     order.into_iter().map(|i| qualities[i].worker).collect()
 }

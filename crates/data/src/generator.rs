@@ -194,7 +194,8 @@ pub fn gaussian_mixture(
             reason: "n and dim must be positive".into(),
         });
     }
-    if !(0.0..1.0).contains(&positive_prior) || positive_prior == 0.0 {
+    // Open interval (0, 1): rejects 0, 1, and NaN in one comparison.
+    if !(positive_prior > 0.0 && positive_prior < 1.0) {
         return Err(DataError::InvalidConfig {
             reason: format!("positive_prior must be in (0, 1), got {positive_prior}"),
         });

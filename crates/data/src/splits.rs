@@ -25,7 +25,8 @@ pub fn train_test_split(labels: &[u8], test_fraction: f64, seed: u64) -> Result<
             reason: "cannot split an empty dataset".into(),
         });
     }
-    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+    // Open interval (0, 1): rejects 0, 1, and NaN in one comparison.
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
         return Err(DataError::InvalidConfig {
             reason: format!("test_fraction must be in (0, 1), got {test_fraction}"),
         });
@@ -130,7 +131,10 @@ impl StratifiedKFold {
 
     /// Iterator over all `k` splits.
     pub fn splits(&self) -> impl Iterator<Item = Split> + '_ {
-        (0..self.k()).map(|i| self.split(i).expect("fold index in range"))
+        // Every `i < k()` is a valid fold index, so `split(i)` cannot fail
+        // here; `filter_map` keeps the iterator panic-free without changing
+        // the yielded sequence.
+        (0..self.k()).filter_map(|i| self.split(i).ok())
     }
 }
 

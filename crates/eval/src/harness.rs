@@ -8,7 +8,7 @@ use crate::metrics::ConfusionMatrix;
 use crate::Result;
 use parking_lot::Mutex;
 use rll_data::{Dataset, StratifiedKFold};
-use rll_obs::{EventKind, FoldStats, MethodStats, Recorder};
+use rll_obs::{EventKind, FoldStats, MethodStats, Recorder, Stopwatch};
 use serde::{Deserialize, Serialize};
 
 /// Mean ± std of a metric across folds.
@@ -101,7 +101,7 @@ impl CrossValidator {
             });
         }
         dataset.validate()?;
-        let method_start = std::time::Instant::now();
+        let method_start = Stopwatch::start();
         // Stratify on expert labels: the paper's CV splits the *dataset*, and
         // fold boundaries are part of the protocol, not the method. (Expert
         // labels still never reach training.)
@@ -109,7 +109,7 @@ impl CrossValidator {
 
         let results: Mutex<Vec<(usize, f64, f64)>> = Mutex::new(Vec::with_capacity(self.folds));
         let run_fold = |fold: usize| -> Result<()> {
-            let fold_start = std::time::Instant::now();
+            let fold_start = Stopwatch::start();
             let split = kfold.split(fold)?;
             let train = dataset.select(&split.train)?;
             let test = dataset.select(&split.test)?;
@@ -127,7 +127,7 @@ impl CrossValidator {
                 method: spec.name(),
                 fold,
                 accuracy: cm.accuracy(),
-                wall_secs: fold_start.elapsed().as_secs_f64(),
+                wall_secs: fold_start.elapsed_secs(),
             }));
             results.lock().push((fold, cm.accuracy(), cm.f1()));
             Ok(())
@@ -168,7 +168,7 @@ impl CrossValidator {
             folds: accs.len(),
             mean_accuracy: accuracy.mean,
             std_accuracy: accuracy.std,
-            wall_secs: method_start.elapsed().as_secs_f64(),
+            wall_secs: method_start.elapsed_secs(),
         }));
         Ok(MethodScore {
             method: spec.name(),

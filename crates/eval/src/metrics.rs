@@ -93,10 +93,10 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
-        if p + r == 0.0 {
-            0.0
-        } else {
+        if p + r > 0.0 {
             2.0 * p * r / (p + r)
+        } else {
+            0.0
         }
     }
 
@@ -109,10 +109,10 @@ impl ConfusionMatrix {
             self.fn_ as f64,
         );
         let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)).sqrt();
-        if denom == 0.0 {
-            0.0
-        } else {
+        if denom > 0.0 {
             (tp * tn - fp * fn_) / denom
+        } else {
+            0.0
         }
     }
 }
@@ -143,18 +143,21 @@ pub fn roc_auc(scores: &[f64], truth: &[u8]) -> Result<f64> {
             reason: "AUC undefined with a single class".into(),
         });
     }
+    // AUC is meaningless over NaN scores: reject them up front with a typed
+    // error instead of panicking mid-sort.
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(EvalError::InvalidConfig {
+            reason: "scores must not contain NaN".into(),
+        });
+    }
     // Average ranks with tie handling.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores must not contain NaN")
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+        while j + 1 < order.len() && scores[order[j + 1]].total_cmp(&scores[order[i]]).is_eq() {
             j += 1;
         }
         let avg_rank = (i + j) as f64 / 2.0 + 1.0;

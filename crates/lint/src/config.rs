@@ -1,0 +1,230 @@
+//! `lint.toml` — path scoping for the file walker and individual rules.
+//!
+//! The linter is zero-dependency, so this module implements the tiny TOML
+//! subset the config actually needs: `[section]` headers (dotted), `key =
+//! "string"` and `key = ["array", "of", "strings"]` entries, `#` comments.
+//! Globs are workspace-relative with `*` (within a path segment) and `**`
+//! (any number of segments).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scoping configuration for the whole run and for individual rules.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Globs a file must match to be scanned at all (empty = scan nothing).
+    pub include: Vec<String>,
+    /// Globs that remove files from the scan set.
+    pub exclude: Vec<String>,
+    /// Per-rule scoping, keyed by rule id.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+/// Per-rule include/exclude globs. An empty `include` means "everywhere the
+/// file walker looks"; `exclude` always subtracts.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    pub include: Vec<String>,
+    pub exclude: Vec<String>,
+}
+
+/// A config-file parse error with its 1-based line number.
+#[derive(Debug, Clone)]
+pub struct ConfigError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// The built-in scoping used when no `lint.toml` exists: scan library
+    /// sources, skip tests/benches/vendored code.
+    pub fn default_scoping() -> Self {
+        Config {
+            include: vec!["crates/*/src/**".into(), "src/**".into()],
+            exclude: vec![
+                "crates/bench/**".into(),
+                "**/tests/**".into(),
+                "vendor/**".into(),
+                "target/**".into(),
+            ],
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Config::default();
+        // Current section as its dotted path segments.
+        let mut section: Vec<String> = Vec::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let mut line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming until the closing bracket.
+            while line.contains('[') && !line.starts_with('[') && !line.contains(']') {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        line.push(' ');
+                        line.push_str(strip_comment(cont).trim());
+                    }
+                    None => {
+                        return Err(ConfigError {
+                            line: line_no,
+                            reason: "unterminated array".into(),
+                        })
+                    }
+                }
+            }
+            if let Some(inner) = line.strip_prefix('[') {
+                let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: line_no,
+                    reason: format!("unterminated section header: {raw}"),
+                })?;
+                section = inner
+                    .split('.')
+                    .map(|s| s.trim().trim_matches('"').to_string())
+                    .collect();
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: line_no,
+                reason: format!("expected `key = value`, got: {raw}"),
+            })?;
+            let key = key.trim();
+            let values = parse_string_or_array(value.trim(), line_no)?;
+            match section.as_slice() {
+                [s] if s == "files" => match key {
+                    "include" => config.include = values,
+                    "exclude" => config.exclude = values,
+                    other => {
+                        return Err(ConfigError {
+                            line: line_no,
+                            reason: format!("unknown key `{other}` in [files]"),
+                        })
+                    }
+                },
+                [s, rule] if s == "rules" => {
+                    let scope = config.rules.entry(rule.clone()).or_default();
+                    match key {
+                        "include" => scope.include = values,
+                        "exclude" => scope.exclude = values,
+                        other => {
+                            return Err(ConfigError {
+                                line: line_no,
+                                reason: format!("unknown key `{other}` in [rules.{rule}]"),
+                            })
+                        }
+                    }
+                }
+                _ => {
+                    return Err(ConfigError {
+                        line: line_no,
+                        reason: format!("key `{key}` outside [files] or [rules.<id>]"),
+                    })
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is in the scan set.
+    pub fn file_in_scope(&self, path: &str) -> bool {
+        self.include.iter().any(|g| glob_match(g, path))
+            && !self.exclude.iter().any(|g| glob_match(g, path))
+    }
+
+    /// Whether `rule` applies to `path` given its per-rule scoping.
+    pub fn rule_applies(&self, rule: &str, path: &str) -> bool {
+        match self.rules.get(rule) {
+            None => true,
+            Some(scope) => {
+                (scope.include.is_empty() || scope.include.iter().any(|g| glob_match(g, path)))
+                    && !scope.exclude.iter().any(|g| glob_match(g, path))
+            }
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this config dialect: `#` never appears inside the
+    // quoted glob strings we use.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_string_or_array(value: &str, line_no: usize) -> Result<Vec<String>, ConfigError> {
+    let unquote = |s: &str| -> Result<String, ConfigError> {
+        let s = s.trim();
+        if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+            Ok(s[1..s.len() - 1].to_string())
+        } else {
+            Err(ConfigError {
+                line: line_no,
+                reason: format!("expected a double-quoted string, got: {s}"),
+            })
+        }
+    };
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError {
+            line: line_no,
+            reason: "unterminated array (arrays must be single-line)".into(),
+        })?;
+        inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(unquote)
+            .collect()
+    } else {
+        Ok(vec![unquote(value)?])
+    }
+}
+
+/// Segment-wise glob match: `*` matches within one path segment, `**` matches
+/// any number of segments (including zero).
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            // `**` swallows zero or more leading segments.
+            (0..=segs.len()).any(|skip| match_segments(&pat[1..], &segs[skip..]))
+        }
+        Some(p) => match segs.first() {
+            None => false,
+            Some(s) => segment_match(p, s) && match_segments(&pat[1..], &segs[1..]),
+        },
+    }
+}
+
+/// `*`-wildcard match within a single segment.
+fn segment_match(pat: &str, seg: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let s: Vec<char> = seg.chars().collect();
+    fn rec(p: &[char], s: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('*') => (0..=s.len()).any(|skip| rec(&p[1..], &s[skip..])),
+            Some(&c) => s.first() == Some(&c) && rec(&p[1..], &s[1..]),
+        }
+    }
+    rec(&p, &s)
+}

@@ -1,0 +1,329 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! The rule engine must never fire on text inside comments, string literals,
+//! raw strings, or char literals, and must skip `#[cfg(test)]` blocks (test
+//! code is allowed to panic and compare floats exactly). Instead of a full
+//! parse, [`lex`] produces a *masked* copy of the source in which every
+//! non-code character is replaced by a space — line and column positions are
+//! preserved, so rules can scan the mask and report accurate locations — plus
+//! the comment text per line, which the suppression-pragma parser consumes.
+
+/// One lexed source file.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// The source split into lines, with comment/string/char-literal content
+    /// and `#[cfg(test)]` blocks blanked out. Same shape as the input.
+    pub code: Vec<String>,
+    /// Comment text (without the `//` / `/*` markers) per 0-based line index.
+    /// A line can carry several comments; they are concatenated.
+    pub comments: Vec<(usize, String)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Lexes `src`, returning the masked code and extracted comments.
+#[allow(unused_assignments)] // the final end_line! bumps line_idx one past the end
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut state = State::Code;
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut cur_code = String::new();
+    let mut cur_comment = String::new();
+    let mut line_idx = 0usize;
+    let mut i = 0usize;
+
+    macro_rules! end_line {
+        () => {{
+            code_lines.push(std::mem::take(&mut cur_code));
+            if !cur_comment.trim().is_empty() {
+                comments.push((line_idx, std::mem::take(&mut cur_comment)));
+            } else {
+                cur_comment.clear();
+            }
+            line_idx += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            end_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    cur_code.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    cur_code.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    // Keep the quotes in the mask (they delimit "not code"
+                    // visually) but blank the contents.
+                    state = State::Str;
+                    cur_code.push('"');
+                    i += 1;
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        cur_code.push(' ');
+                    }
+                    cur_code.push('"');
+                    i += consumed + 1;
+                }
+                '\'' => {
+                    if is_char_literal(&chars, i) {
+                        state = State::CharLit;
+                        cur_code.push('\'');
+                        i += 1;
+                    } else {
+                        // A lifetime: leave it in the code mask.
+                        cur_code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    cur_code.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur_comment.push(c);
+                cur_code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    cur_code.push_str("  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur_comment.push_str("/*");
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else {
+                    cur_comment.push(c);
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    cur_code.push_str("  ");
+                    i += 2;
+                    // A `\` just before a newline (string continuation):
+                    // don't swallow the newline bookkeeping.
+                    if chars.get(i - 1) == Some(&'\n') {
+                        end_line!();
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    cur_code.push('"');
+                    i += 1;
+                }
+                _ => {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && has_n_hashes(&chars, i + 1, hashes) {
+                    state = State::Code;
+                    cur_code.push('"');
+                    for _ in 0..hashes {
+                        cur_code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    cur_code.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    state = State::Code;
+                    cur_code.push('\'');
+                    i += 1;
+                }
+                _ => {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    end_line!();
+
+    let mut lexed = LexedFile {
+        code: code_lines,
+        comments,
+    };
+    blank_test_blocks(&mut lexed.code);
+    lexed
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — but not an identifier that merely
+/// ends in `r`/`b` (those are always separated from `"` by an operator in
+/// valid Rust, but be defensive and check the preceding character).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    // Optional `b` before `r`, or standalone `b"..."` byte string.
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'"') {
+            return true;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Number of hashes and characters consumed up to (excluding) the opening `"`.
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i)
+}
+
+fn has_n_hashes(chars: &[char], start: usize, n: u32) -> bool {
+    (0..n as usize).all(|k| chars.get(start + k) == Some(&'#'))
+}
+
+/// Distinguishes `'a'` (char literal) from `'a` (lifetime). A `'` begins a
+/// char literal when it is followed by an escape, or by exactly one character
+/// and a closing `'`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => chars.get(i + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Blanks every `#[cfg(test)]`-gated item (typically `mod tests { … }`) out
+/// of the code mask. Works on the mask, so attributes inside strings are
+/// already gone. The attribute itself and everything through the end of the
+/// following brace-balanced block (or through a `;` for brace-less items) is
+/// replaced by spaces.
+fn blank_test_blocks(code: &mut [String]) {
+    // Flatten to (line, col) addressable characters for a simple scan.
+    let mut pos: Vec<(usize, usize)> = Vec::new();
+    let mut flat: Vec<char> = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        for (ci, ch) in line.chars().enumerate() {
+            pos.push((li, ci));
+            flat.push(ch);
+        }
+        pos.push((li, usize::MAX));
+        flat.push('\n');
+    }
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut blank_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i + needle.len() <= flat.len() {
+        if flat[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        // Scan forward to the first `{` or `;` at top level from here.
+        let mut end = None;
+        while j < flat.len() {
+            match flat[j] {
+                ';' => {
+                    end = Some(j + 1);
+                    break;
+                }
+                '{' => {
+                    let mut depth = 1i64;
+                    let mut k = j + 1;
+                    while k < flat.len() && depth > 0 {
+                        match flat[k] {
+                            '{' => depth += 1,
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = Some(k);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = end.unwrap_or(flat.len());
+        blank_ranges.push((start, end));
+        i = end;
+    }
+    for (start, end) in blank_ranges {
+        for &(li, ci) in &pos[start..end] {
+            if ci == usize::MAX {
+                continue; // the synthetic newline
+            }
+            // Replace by byte-safe char substitution.
+            let line = &mut code[li];
+            let replaced: String = line
+                .chars()
+                .enumerate()
+                .map(|(idx, ch)| if idx == ci { ' ' } else { ch })
+                .collect();
+            *line = replaced;
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! # rll-lint — workspace invariant checker
+//!
+//! A zero-dependency static-analysis pass over this workspace's own Rust
+//! sources. Clippy checks generic Rust hygiene; `rll-lint` enforces the
+//! *project-specific* invariants the RLL pipeline's correctness rests on
+//! (see `DESIGN.md` §9 for the rationale):
+//!
+//! - **no-panic-lib** — library code returns typed errors, it does not panic;
+//! - **no-float-eq** — no `==`/`!=` against float literals in loss/confidence
+//!   math;
+//! - **no-raw-stdout** — output routes through `rll-obs` sinks;
+//! - **no-wallclock** — `Instant`/`SystemTime` stay behind the observability
+//!   boundary so seeded runs are comparable;
+//! - **no-unseeded-rng** — all randomness is seed-threaded.
+//!
+//! Violations can be suppressed inline with a *justified* pragma:
+//!
+//! ```text
+//! // lint: allow(no-panic-lib) — cache is non-empty by construction (see new())
+//! ```
+//!
+//! on the offending line or the line directly above it. A pragma without a
+//! justification is itself a violation (`suppression-needs-justification`),
+//! as is a pragma naming an unknown rule (`unknown-lint-rule`). Path-level
+//! scoping lives in the workspace-root `lint.toml`.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use report::{human_report, json_report};
+pub use rules::{Rule, RULES};
+
+/// One reported problem, pointing at `file:line:col` (1-based).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters).
+    pub col: usize,
+    /// Rule id (one of [`RULES`] or a meta-rule id).
+    pub rule: String,
+    /// The offending token or construct.
+    pub snippet: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+/// A violation that an inline pragma waived, with its recorded justification.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub rule: String,
+    pub snippet: String,
+    pub justification: String,
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+impl LintReport {
+    /// True when the scan found nothing to fix.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn merge(&mut self, other: LintReport) {
+        self.files_scanned += other.files_scanned;
+        self.violations.extend(other.violations);
+        self.suppressed.extend(other.suppressed);
+    }
+}
+
+/// A suppression pragma parsed out of a comment line.
+#[derive(Debug, Clone)]
+struct Pragma {
+    /// 0-based line the pragma text sits on.
+    line: usize,
+    rules: Vec<String>,
+    justification: String,
+}
+
+/// Lints every in-scope `.rs` file under `root`.
+pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for rel in files {
+        if !config.file_in_scope(&rel) {
+            continue;
+        }
+        let source = fs::read_to_string(root.join(&rel))?;
+        report.merge(lint_source(&rel, &source, config));
+    }
+    Ok(report)
+}
+
+/// Lints a single source text as `path` (workspace-relative). Exposed for
+/// tests and for editors that want to lint unsaved buffers.
+pub fn lint_source(path: &str, source: &str, config: &Config) -> LintReport {
+    let lexed = lexer::lex(source);
+    let mut report = LintReport {
+        files_scanned: 1,
+        ..LintReport::default()
+    };
+
+    let pragmas = parse_pragmas(&lexed.comments);
+    // line -> rule -> justification, for suppression lookup. A pragma covers
+    // its own line and the line directly below it.
+    let mut allowed: BTreeMap<usize, BTreeMap<String, String>> = BTreeMap::new();
+    for pragma in &pragmas {
+        for rule in &pragma.rules {
+            if !rules::is_known_rule(rule) {
+                report.violations.push(Violation {
+                    file: path.into(),
+                    line: pragma.line + 1,
+                    col: 1,
+                    rule: rules::RULE_UNKNOWN.into(),
+                    snippet: format!("allow({rule})"),
+                    hint: format!(
+                        "known rules: {}",
+                        RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                    ),
+                });
+                continue;
+            }
+            if pragma.justification.is_empty() {
+                report.violations.push(Violation {
+                    file: path.into(),
+                    line: pragma.line + 1,
+                    col: 1,
+                    rule: rules::RULE_SUPPRESSION_JUSTIFICATION.into(),
+                    snippet: format!("allow({rule})"),
+                    hint: "write `// lint: allow(<rule>) — <why this site is safe>`; \
+                           unexplained suppressions rot"
+                        .into(),
+                });
+                continue;
+            }
+            // A pragma covers its own line (trailing-comment style) and the
+            // next line that actually contains code — so a multi-line
+            // justification comment between pragma and code still works.
+            let mut covered = vec![pragma.line];
+            let mut next = pragma.line + 1;
+            while let Some(code_line) = lexed.code.get(next) {
+                if code_line.trim().is_empty() {
+                    next += 1;
+                } else {
+                    covered.push(next);
+                    break;
+                }
+            }
+            for line in covered {
+                allowed
+                    .entry(line)
+                    .or_default()
+                    .insert(rule.clone(), pragma.justification.clone());
+            }
+        }
+    }
+
+    for rule in RULES {
+        if !config.rule_applies(rule.id, path) {
+            continue;
+        }
+        for hit in rules::scan(rule.id, &lexed.code) {
+            let justification = allowed.get(&hit.line).and_then(|m| m.get(rule.id)).cloned();
+            match justification {
+                Some(justification) => report.suppressed.push(Suppressed {
+                    file: path.into(),
+                    line: hit.line + 1,
+                    col: hit.col + 1,
+                    rule: rule.id.into(),
+                    snippet: hit.token,
+                    justification,
+                }),
+                None => report.violations.push(Violation {
+                    file: path.into(),
+                    line: hit.line + 1,
+                    col: hit.col + 1,
+                    rule: rule.id.into(),
+                    snippet: hit.token,
+                    hint: rule.hint.into(),
+                }),
+            }
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    report
+}
+
+/// Parses suppression pragmas — `allow(rule, …)` plus a justification after
+/// the marker word `lint:` — out of the comment stream.
+fn parse_pragmas(comments: &[(usize, String)]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (line, text) in comments {
+        let Some(at) = text.find("lint:") else {
+            continue;
+        };
+        let rest = text[at + "lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let justification = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        out.push(Pragma {
+            line: *line,
+            rules,
+            justification,
+        });
+    }
+    out
+}
+
+/// Recursively collects `.rs` files, skipping VCS/build/vendored trees that
+/// are never in scope regardless of configuration.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), ".git" | "target" | "vendor" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel_to_slash(rel));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_to_slash(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Loads `lint.toml` from `root` if present, falling back to the built-in
+/// scoping.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path: PathBuf = root.join("lint.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Config::default_scoping()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}

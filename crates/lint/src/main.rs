@@ -1,0 +1,100 @@
+//! `rll-lint` CLI.
+//!
+//! ```text
+//! rll-lint [--root DIR] [--config FILE] [--json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean, 1 when violations were found,
+//! 2 on usage or I/O errors. `--out FILE` writes the JSON report to a file
+//! (for `results/lint.json` trend tracking) while keeping the human report on
+//! stdout; `--json` swaps stdout to the JSON report instead.
+
+use rll_lint::{human_report, json_report, lint_workspace, load_config, RULES};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        out: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                );
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--out needs a value".to_string())?,
+                ));
+            }
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: rll-lint [--root DIR] [--json] [--out FILE] [--list-rules]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut stdout = std::io::stdout().lock();
+    if args.list_rules {
+        for rule in RULES {
+            writeln!(stdout, "{:<18} {}", rule.id, rule.summary)
+                .map_err(|e| format!("stdout: {e}"))?;
+        }
+        return Ok(true);
+    }
+    let config = load_config(&args.root)?;
+    let report = lint_workspace(&args.root, &config)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+    if let Some(out_path) = &args.out {
+        if let Some(parent) = out_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(out_path, json_report(&report))
+            .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    }
+    let rendered = if args.json {
+        json_report(&report)
+    } else {
+        human_report(&report)
+    };
+    write!(stdout, "{rendered}").map_err(|e| format!("stdout: {e}"))?;
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            let mut stderr = std::io::stderr().lock();
+            let _ = writeln!(stderr, "rll-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Rendering: human-readable and `--json` machine-readable reports.
+//!
+//! The JSON is written by hand (this crate depends on nothing), but the
+//! format is plain JSON and round-trips through `serde_json` — the test
+//! suite asserts that with the vendored parser.
+
+use crate::{LintReport, RULES};
+use std::fmt::Write as _;
+
+/// Schema version of the JSON report.
+pub const JSON_VERSION: u32 = 1;
+
+/// The human-readable report: one `file:line:col [rule] snippet` block per
+/// violation, a suppression tally, and a verdict line.
+pub fn human_report(report: &LintReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        let _ = writeln!(
+            out,
+            "{}:{}:{}: [{}] `{}`\n    fix: {}",
+            v.file, v.line, v.col, v.rule, v.snippet, v.hint
+        );
+    }
+    let _ = writeln!(
+        out,
+        "rll-lint: {} file(s) scanned, {} violation(s), {} justified suppression(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    if report.is_clean() {
+        let _ = writeln!(out, "rll-lint: workspace is clean");
+    }
+    out
+}
+
+/// The `--json` report. Stable field order, LF-separated, trailing newline.
+pub fn json_report(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {JSON_VERSION},");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(
+        out,
+        "  \"rules\": [{}],",
+        RULES
+            .iter()
+            .map(|r| json_string(r.id))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"snippet\": {}, \"hint\": {}}}",
+            json_string(&v.file),
+            v.line,
+            v.col,
+            json_string(&v.rule),
+            json_string(&v.snippet),
+            json_string(&v.hint)
+        );
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"suppressed\": [");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \
+             \"snippet\": {}, \"justification\": {}}}",
+            json_string(&s.file),
+            s.line,
+            s.col,
+            json_string(&s.rule),
+            json_string(&s.snippet),
+            json_string(&s.justification)
+        );
+    }
+    out.push_str("\n  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// JSON string literal with full escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+}

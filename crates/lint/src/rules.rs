@@ -1,0 +1,347 @@
+//! The rule catalogue and per-line scanners.
+//!
+//! Every rule scans the *masked* code produced by [`crate::lexer`] — string
+//! and comment contents are already blanked, so a pattern hit is a real code
+//! token. Scanners are plain substring searches with identifier-boundary
+//! checks; no regex engine is needed (or available — this crate is
+//! dependency-free on purpose).
+
+/// A single invariant the workspace enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case identifier, used in pragmas and `lint.toml`.
+    pub id: &'static str,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+    /// What to do instead, shown with every violation.
+    pub hint: &'static str,
+}
+
+/// The enforced rules, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-panic-lib",
+        summary: "library code must not contain unwrap/expect/panic!/todo!/unimplemented!",
+        hint: "return the crate's error type (e.g. `?` + typed error) or, for a structural \
+               invariant, add `// lint: allow(no-panic-lib) — <why it cannot fire>`",
+    },
+    Rule {
+        id: "no-float-eq",
+        summary: "`==`/`!=` against a float literal hides NaN and rounding bugs",
+        hint: "compare with an explicit tolerance (`(a - b).abs() <= eps`), a range check, or \
+               restructure so the branch uses `<`/`>`",
+    },
+    Rule {
+        id: "no-raw-stdout",
+        summary: "println!/eprintln!/print!/eprint!/dbg! bypass the rll-obs sinks",
+        hint: "emit through a `Recorder` (events/metrics) or write to an injected \
+               `std::io::Write` handle",
+    },
+    Rule {
+        id: "no-wallclock",
+        summary: "std::time::Instant/SystemTime outside rll-obs breaks seeded-run comparability",
+        hint: "use `rll_obs::Stopwatch` (or take timings from a Recorder span) so wall-clock \
+               reads stay behind the observability boundary",
+    },
+    Rule {
+        id: "no-unseeded-rng",
+        summary: "ambient entropy (thread_rng/from_entropy/OsRng) breaks seed-threaded training",
+        hint: "thread a seeded `Rng64` (or a child seed derived from it) through the call path",
+    },
+];
+
+/// Meta-rule id reported when a suppression pragma omits its justification.
+pub const RULE_SUPPRESSION_JUSTIFICATION: &str = "suppression-needs-justification";
+/// Meta-rule id reported when a pragma names a rule that does not exist.
+pub const RULE_UNKNOWN: &str = "unknown-lint-rule";
+
+/// True if `id` names a scanning rule (not a meta-rule).
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// A single rule hit: 0-based line, 0-based column (chars), and the matched
+/// token for the report snippet.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    pub line: usize,
+    pub col: usize,
+    pub token: String,
+}
+
+/// Runs one rule's scanner over the masked code.
+pub fn scan(rule_id: &str, code: &[String]) -> Vec<Hit> {
+    match rule_id {
+        "no-panic-lib" => scan_panic(code),
+        "no-float-eq" => scan_float_eq(code),
+        "no-raw-stdout" => scan_tokens(
+            code,
+            &["println!", "eprintln!", "print!", "eprint!", "dbg!"],
+        ),
+        "no-wallclock" => scan_tokens(code, &["Instant", "SystemTime"]),
+        "no-unseeded-rng" => scan_tokens(
+            code,
+            &["thread_rng", "from_entropy", "OsRng", "StdRng::from_os_rng"],
+        ),
+        _ => Vec::new(),
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` occurrences that start at an identifier boundary. The
+/// needle itself may end in `!`/`(`/`)` which are their own boundaries.
+fn find_bounded(line: &str, needle: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let pat: Vec<char> = needle.chars().collect();
+    let mut out = Vec::new();
+    if pat.is_empty() || chars.len() < pat.len() {
+        return out;
+    }
+    for start in 0..=chars.len() - pat.len() {
+        if chars[start..start + pat.len()] != pat[..] {
+            continue;
+        }
+        let first = pat[0];
+        if is_ident_char(first) && start > 0 && is_ident_char(chars[start - 1]) {
+            continue;
+        }
+        let last = *pat.last().unwrap_or(&' ');
+        if is_ident_char(last) {
+            if let Some(&after) = chars.get(start + pat.len()) {
+                if is_ident_char(after) {
+                    continue;
+                }
+            }
+        }
+        out.push(start);
+    }
+    out
+}
+
+fn scan_tokens(code: &[String], needles: &[&str]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        for needle in needles {
+            for col in find_bounded(line, needle) {
+                hits.push(Hit {
+                    line: li,
+                    col,
+                    token: (*needle).to_string(),
+                });
+            }
+        }
+    }
+    hits.sort_by_key(|h| (h.line, h.col));
+    hits
+}
+
+fn scan_panic(code: &[String]) -> Vec<Hit> {
+    let mut hits = scan_tokens(code, &["panic!", "todo!", "unimplemented!"]);
+    for (li, line) in code.iter().enumerate() {
+        for col in find_bounded(line, ".unwrap()") {
+            hits.push(Hit {
+                line: li,
+                col,
+                token: ".unwrap()".into(),
+            });
+        }
+        for col in find_bounded(line, ".expect(") {
+            hits.push(Hit {
+                line: li,
+                col,
+                token: ".expect(".into(),
+            });
+        }
+    }
+    hits.sort_by_key(|h| (h.line, h.col));
+    hits
+}
+
+/// Flags `==`/`!=` where either operand token is a floating-point literal or
+/// a float special-value path (`f64::NAN`, `f32::INFINITY`, …).
+///
+/// This is deliberately literal-based: without type inference a textual
+/// linter cannot see through variables, so `a == b` on two floats passes.
+/// The dynamic companion is `rll_tensor::debug_assert_finite!`, and direct
+/// float comparisons against *literals* — the overwhelmingly common shape of
+/// this bug — are all caught here.
+fn scan_float_eq(code: &[String]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i + 1 < chars.len() {
+            let two: String = chars[i..i + 2].iter().collect();
+            if two != "==" && two != "!=" {
+                i += 1;
+                continue;
+            }
+            // Not part of `<=`, `>=`, `=>`, `===`-like runs.
+            if i > 0 && matches!(chars[i - 1], '<' | '>' | '=' | '!') {
+                i += 2;
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'=') {
+                i += 3;
+                continue;
+            }
+            let left = token_before(&chars, i);
+            let right = token_after(&chars, i + 2);
+            if is_float_literal(&left) || is_float_literal(&right) {
+                hits.push(Hit {
+                    line: li,
+                    col: i,
+                    token: format!("{left} {two} {right}"),
+                });
+            }
+            i += 2;
+        }
+    }
+    hits
+}
+
+fn token_before(chars: &[char], op_start: usize) -> String {
+    let mut j = op_start;
+    while j > 0 && chars[j - 1] == ' ' {
+        j -= 1;
+    }
+    let end = j;
+    loop {
+        if j > 0 && (is_ident_char(chars[j - 1]) || matches!(chars[j - 1], '.' | ':')) {
+            j -= 1;
+        } else if j > 1
+            && j < end
+            && matches!(chars[j - 1], '+' | '-')
+            && matches!(chars[j - 2], 'e' | 'E')
+        {
+            // Exponent sign inside a literal like `1.5e-3`.
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    chars[j..end].iter().collect()
+}
+
+fn token_after(chars: &[char], mut j: usize) -> String {
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'-') {
+        j += 1; // negative literal
+    }
+    let start = j;
+    while j < chars.len() {
+        let c = chars[j];
+        if is_ident_char(c) || matches!(c, '.' | ':') {
+            j += 1;
+        } else if matches!(c, '+' | '-') && j > start && matches!(chars[j - 1], 'e' | 'E') {
+            // Exponent sign inside a literal like `1.5e-3`.
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    chars[start..j].iter().collect()
+}
+
+/// `1.0`, `0.`, `.5`, `1e-3`, `2.5e10`, `1_000.0`, `1.0f64`, `f64::NAN`,
+/// `f32::INFINITY`, `std::f64::consts::PI`, …
+fn is_float_literal(token: &str) -> bool {
+    let token = token.trim_end_matches("f64").trim_end_matches("f32");
+    if token.is_empty() {
+        return false;
+    }
+    // Special-value and constant paths.
+    for suffix in [
+        "::NAN",
+        "::INFINITY",
+        "::NEG_INFINITY",
+        "::EPSILON",
+        "::MIN_POSITIVE",
+    ] {
+        if token.ends_with(suffix) && (token.contains("f64") || token.contains("f32")) {
+            return true;
+        }
+    }
+    if token.contains("::consts::") {
+        return true;
+    }
+    // Numeric literal with a decimal point or exponent.
+    let body: String = token.chars().filter(|&c| c != '_').collect();
+    let mut has_digit = false;
+    let mut has_dot = false;
+    let mut has_exp = false;
+    let mut prev = ' ';
+    for c in body.chars() {
+        match c {
+            '0'..='9' => has_digit = true,
+            '.' => {
+                if has_dot || has_exp {
+                    return false;
+                }
+                has_dot = true;
+            }
+            'e' | 'E' => {
+                if !has_digit || has_exp {
+                    return false;
+                }
+                has_exp = true;
+            }
+            '+' | '-' => {
+                if prev != 'e' && prev != 'E' {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+        prev = c;
+    }
+    has_digit && (has_dot || has_exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_line(s: &str) -> Vec<String> {
+        vec![s.to_string()]
+    }
+
+    #[test]
+    fn float_literal_shapes() {
+        for t in ["1.0", "0.", ".5", "1e-3", "2.5E10", "1_000.0", "1.0f64"] {
+            assert!(is_float_literal(t), "{t}");
+        }
+        for t in ["1", "100", "0x1f", "name", "f64", "len", ""] {
+            assert!(!is_float_literal(t), "{t}");
+        }
+        assert!(is_float_literal("f64::NAN"));
+        assert!(is_float_literal("std::f64::consts::PI"));
+    }
+
+    #[test]
+    fn float_eq_scanner() {
+        assert_eq!(scan_float_eq(&one_line("if a == 0.0 {")).len(), 1);
+        assert_eq!(scan_float_eq(&one_line("if 1.5 != b {")).len(), 1);
+        assert_eq!(scan_float_eq(&one_line("if a == b {")).len(), 0);
+        assert_eq!(scan_float_eq(&one_line("if n == 0 {")).len(), 0);
+        assert_eq!(scan_float_eq(&one_line("if a <= 0.0 {")).len(), 0);
+        assert_eq!(scan_float_eq(&one_line("let f = |x| x == 0.5;")).len(), 1);
+        assert_eq!(scan_float_eq(&one_line("x == f64::NAN")).len(), 1);
+    }
+
+    #[test]
+    fn bounded_token_search() {
+        assert_eq!(find_bounded("thread_rng()", "thread_rng").len(), 1);
+        assert_eq!(find_bounded("my_thread_rng()", "thread_rng").len(), 0);
+        assert_eq!(find_bounded("x.unwrap_or(0)", ".unwrap()").len(), 0);
+        assert_eq!(find_bounded("x.unwrap()", ".unwrap()").len(), 1);
+        assert_eq!(find_bounded("x.expect_err(e)", ".expect(").len(), 0);
+        assert_eq!(find_bounded("Instant::now()", "Instant").len(), 1);
+        assert_eq!(find_bounded("MyInstant::now()", "Instant").len(), 0);
+    }
+}

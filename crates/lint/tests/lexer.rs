@@ -1,0 +1,160 @@
+//! Lexer edge cases: every masking decision the rule engine depends on.
+//!
+//! The scanners only ever see `LexedFile::code`, so a lexer bug here is a
+//! false positive (rule fires on a comment) or a false negative (string
+//! content leaks into the mask) everywhere else.
+
+use rll_lint::lexer::{lex, LexedFile};
+
+/// The comment text recorded for `line` (0-based), or `""`.
+fn comment_on(lexed: &LexedFile, line: usize) -> &str {
+    lexed
+        .comments
+        .iter()
+        .find(|(l, _)| *l == line)
+        .map(|(_, text)| text.as_str())
+        .unwrap_or("")
+}
+
+#[test]
+fn line_comment_is_masked_and_captured() {
+    let lexed = lex("let x = 1; // panic!(\"nope\")\n");
+    assert_eq!(lexed.code.len(), 2, "trailing newline yields an empty line");
+    assert!(lexed.code[0].starts_with("let x = 1;"));
+    assert!(
+        !lexed.code[0].contains("panic!"),
+        "comment text must not reach the code mask: {:?}",
+        lexed.code[0]
+    );
+    assert!(comment_on(&lexed, 0).contains("panic!(\"nope\")"));
+}
+
+#[test]
+fn mask_preserves_line_and_column_positions() {
+    let src = "abc /* xx */ def\n";
+    let lexed = lex(src);
+    // `def` must sit at the same column as in the original text.
+    let col_in_src = src.find("def").unwrap();
+    let col_in_mask = lexed.code[0].find("def").unwrap();
+    assert_eq!(col_in_src, col_in_mask);
+    assert_eq!(
+        lexed.code[0].chars().count(),
+        src.trim_end().chars().count()
+    );
+}
+
+#[test]
+fn block_comment_spans_lines() {
+    let lexed = lex("start /* one\ntwo unwrap()\nthree */ end\n");
+    assert!(lexed.code[0].starts_with("start"));
+    assert_eq!(lexed.code[1].trim(), "", "interior line is fully blanked");
+    assert!(lexed.code[2].contains("end"));
+    assert!(!lexed.code[1].contains("unwrap"));
+    assert!(comment_on(&lexed, 1).contains("two unwrap()"));
+}
+
+#[test]
+fn block_comments_nest() {
+    // Rust block comments nest; the lexer must not resurface at the first */.
+    let lexed = lex("a /* outer /* inner */ still comment */ b\n");
+    let mask = &lexed.code[0];
+    assert!(mask.contains('a') && mask.contains('b'));
+    assert!(!mask.contains("still"), "mask: {mask:?}");
+}
+
+#[test]
+fn string_contents_are_blanked_quotes_kept() {
+    let lexed = lex(r#"let s = "x.unwrap() == 0.0"; y();"#);
+    let mask = &lexed.code[0];
+    assert!(!mask.contains("unwrap"), "mask: {mask:?}");
+    assert!(!mask.contains("0.0"));
+    assert_eq!(mask.matches('"').count(), 2, "delimiters stay in the mask");
+    assert!(mask.contains("y();"), "code after the string survives");
+}
+
+#[test]
+fn escaped_quote_does_not_terminate_string() {
+    let lexed = lex(r#"let s = "a\"b == 1.0"; z();"#);
+    let mask = &lexed.code[0];
+    assert!(!mask.contains("1.0"), "mask: {mask:?}");
+    assert!(mask.contains("z();"));
+}
+
+#[test]
+fn raw_strings_with_hashes() {
+    let src = "let s = r#\"contains \"quotes\" and println!(x)\"#; tail();\n";
+    let lexed = lex(src);
+    let mask = &lexed.code[0];
+    assert!(!mask.contains("println"), "mask: {mask:?}");
+    assert!(!mask.contains("quotes"));
+    assert!(mask.contains("tail();"));
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let lexed = lex("let a = b\"panic!\"; let c = br#\"todo!\"#; k();\n");
+    let mask = &lexed.code[0];
+    assert!(!mask.contains("panic"), "mask: {mask:?}");
+    assert!(!mask.contains("todo"));
+    assert!(mask.contains("k();"));
+}
+
+#[test]
+fn char_literal_blanked_lifetime_preserved() {
+    let lexed = lex("fn f<'a>(x: &'a str) { let q = '\"'; let e = '\\n'; }\n");
+    let mask = &lexed.code[0];
+    assert!(
+        mask.contains("<'a>"),
+        "lifetimes stay in the mask: {mask:?}"
+    );
+    assert!(mask.contains("&'a str"));
+    // The quote character inside the char literal must not open a string —
+    // if it did, the rest of the line would be blanked.
+    assert!(mask.contains('}'));
+}
+
+#[test]
+fn cfg_test_module_is_blanked() {
+    let src = "pub fn lib() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { x.unwrap(); assert!(y == 0.0); }\n\
+               }\n\
+               pub fn after() {}\n";
+    let lexed = lex(src);
+    let joined = lexed.code.join("\n");
+    assert!(joined.contains("pub fn lib()"));
+    assert!(
+        joined.contains("pub fn after()"),
+        "code after the test block survives"
+    );
+    assert!(!joined.contains("unwrap"), "test bodies are out of scope");
+    assert!(!joined.contains("0.0"));
+}
+
+#[test]
+fn cfg_test_semicolon_item_is_blanked() {
+    let src = "#[cfg(test)]\nuse std::time::Instant;\npub fn live() {}\n";
+    let lexed = lex(src);
+    let joined = lexed.code.join("\n");
+    assert!(!joined.contains("Instant"), "mask: {joined:?}");
+    assert!(joined.contains("pub fn live()"));
+}
+
+#[test]
+fn cfg_test_inside_string_is_not_a_block() {
+    // The needle search runs on the mask, so an attribute spelled inside a
+    // string must not trigger blanking of the following code.
+    let src = "let s = \"#[cfg(test)]\";\nlet keep = 1;\n";
+    let lexed = lex(src);
+    assert!(lexed.code[1].contains("let keep = 1;"));
+}
+
+#[test]
+fn empty_and_comment_only_sources() {
+    assert_eq!(lex("").code.len(), 1);
+    let lexed = lex("// only a comment");
+    assert_eq!(lexed.code[0].trim(), "");
+    assert!(comment_on(&lexed, 0).contains("only a comment"));
+}

@@ -11,7 +11,7 @@
 
 use crate::error::NnError;
 use crate::Result;
-use rll_tensor::{ops, Matrix};
+use rll_tensor::{debug_assert_finite, ops, Matrix};
 
 fn check_same_shape(op: &'static str, a: &Matrix, b: &Matrix) -> Result<()> {
     if a.shape() != b.shape() {
@@ -36,6 +36,7 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
     let diff = pred.sub(target)?;
     let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
     let grad = diff.scale(2.0 / n);
+    debug_assert_finite!(grad, "mse gradient");
     Ok((loss, grad))
 }
 
@@ -60,6 +61,7 @@ pub fn binary_cross_entropy(pred: &Matrix, target: &Matrix) -> Result<(f64, Matr
         loss += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
         grad.as_mut_slice()[i] = (p - t) / (p * (1.0 - p)) / n;
     }
+    debug_assert_finite!(grad, "binary_cross_entropy gradient");
     Ok((loss / n, grad))
 }
 
@@ -82,6 +84,7 @@ pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> Result<(f64, Matrix)
         loss += -(t * ops::log_sigmoid(z) + (1.0 - t) * ops::log_sigmoid(-z));
         grad.as_mut_slice()[i] = (ops::sigmoid(z) - t) / n;
     }
+    debug_assert_finite!(grad, "bce_with_logits gradient");
     Ok((loss / n, grad))
 }
 
@@ -121,6 +124,7 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<(f64, 
             grad_row[c] = (p - if c == label { 1.0 } else { 0.0 }) / n;
         }
     }
+    debug_assert_finite!(grad, "softmax_cross_entropy gradient");
     Ok((loss / n, grad))
 }
 
@@ -196,6 +200,8 @@ pub fn contrastive(
             }
         }
     }
+    debug_assert_finite!(ga, "contrastive gradient (a)");
+    debug_assert_finite!(gb, "contrastive gradient (b)");
     Ok((loss / n, ga, gb))
 }
 
@@ -250,6 +256,9 @@ pub fn triplet(
             }
         }
     }
+    debug_assert_finite!(ga, "triplet gradient (anchor)");
+    debug_assert_finite!(gp, "triplet gradient (positive)");
+    debug_assert_finite!(gn, "triplet gradient (negative)");
     Ok((loss / n, ga, gp, gn))
 }
 

@@ -78,6 +78,9 @@ impl MlpCache {
         &self
             .caches
             .last()
+            // lint: allow(no-panic-lib) — structural invariant: MlpCache is only
+            // built by forward_cached, which pushes one cache per layer, and
+            // Mlp::new rejects empty layer stacks.
             .expect("MlpCache always holds at least one layer cache")
             .output
     }

@@ -63,7 +63,8 @@ impl LrSchedule {
                         reason: "step_size must be positive".into(),
                     });
                 }
-                if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+                // Half-open interval (0, 1]: rejects 0, >1, and NaN at once.
+                if !(gamma > 0.0 && gamma <= 1.0) {
                     return Err(NnError::InvalidConfig {
                         reason: format!("gamma must be in (0, 1], got {gamma}"),
                     });
@@ -72,7 +73,8 @@ impl LrSchedule {
             }
             LrSchedule::Exponential { lr, gamma } => {
                 check_lr(lr)?;
-                if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+                // Half-open interval (0, 1]: rejects 0, >1, and NaN at once.
+                if !(gamma > 0.0 && gamma <= 1.0) {
                     return Err(NnError::InvalidConfig {
                         reason: format!("gamma must be in (0, 1], got {gamma}"),
                     });

@@ -1,0 +1,51 @@
+//! The sanctioned wall-clock reader.
+//!
+//! `rll-lint`'s `no-wallclock` rule bans `std::time::{Instant, SystemTime}`
+//! outside `rll-obs`: seeded training runs must be bit-identical across
+//! machines, so wall-clock reads are observability data, never control flow.
+//! Code that wants timings takes them through this [`Stopwatch`] (or a
+//! [`crate::SpanTimer`]) so every clock read stays behind the telemetry
+//! boundary and is auditable in one place.
+
+use std::time::Instant;
+
+/// A monotonic elapsed-seconds reader.
+///
+/// ```
+/// let clock = rll_obs::Stopwatch::start();
+/// let secs = clock.elapsed_secs();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`], as `f64` (the unit every
+    /// `*_secs` telemetry field uses).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotone() {
+        let clock = Stopwatch::start();
+        let a = clock.elapsed_secs();
+        let b = clock.elapsed_secs();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

@@ -165,7 +165,7 @@ impl DistSummary {
         let mean = finite.iter().sum::<f64>() / n as f64;
         let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         let mut sorted = finite.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let p50 = if n % 2 == 1 {
             sorted[n / 2]
         } else {

@@ -32,12 +32,14 @@
 //! assert_eq!(recorder.events_emitted(), 3);
 //! ```
 
+pub mod clock;
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod span;
 
+pub use clock::Stopwatch;
 pub use event::{
     ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats, MethodStats, RunInfo,
     RunSummary, SamplerStats, TableText,

@@ -21,6 +21,7 @@
 //! layers above can surface shape bugs as typed errors.
 
 pub mod error;
+pub mod finite;
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -481,6 +481,8 @@ impl Matrix {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];
             for (p, &a) in a_row.iter().enumerate() {
+                // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
+                // take it, every other value (subnormals, NaN) multiplies normally.
                 if a == 0.0 {
                     continue;
                 }
@@ -512,6 +514,8 @@ impl Matrix {
             let a_row = &self.data[p * m..(p + 1) * m];
             let b_row = &other.data[p * n..(p + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
+                // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
+                // take it, every other value (subnormals, NaN) multiplies normally.
                 if a == 0.0 {
                     continue;
                 }
@@ -653,6 +657,14 @@ impl Matrix {
             });
         }
         Ok(())
+    }
+}
+
+impl AsRef<[f64]> for Matrix {
+    /// Row-major buffer view; lets a `Matrix` flow into slice-generic helpers
+    /// like [`crate::debug_assert_finite!`].
+    fn as_ref(&self) -> &[f64] {
+        &self.data
     }
 }
 

@@ -191,10 +191,15 @@ impl Rng64 {
             }
         }
         // Floating-point slack: return the last positively-weighted index.
-        Ok(weights
+        // `total > 0` (checked above) implies one exists, but surface a typed
+        // error rather than panicking if that invariant ever breaks.
+        weights
             .iter()
             .rposition(|&w| w > 0.0)
-            .expect("total > 0 implies a positive weight"))
+            .ok_or(TensorError::InvalidParameter {
+                name: "weights",
+                reason: "at least one weight must be positive".into(),
+            })
     }
 
     /// Fisher–Yates shuffle of a slice.

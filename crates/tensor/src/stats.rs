@@ -75,7 +75,9 @@ pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
         });
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    // total_cmp gives NaN a fixed place (after +inf) instead of panicking, so
+    // a stray NaN degrades the estimate deterministically rather than aborting.
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -9,6 +9,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rll-lint (workspace invariants) =="
+mkdir -p results
+cargo run -q -p rll-lint --release -- --out results/lint.json
+
 echo "== cargo test =="
 cargo test -q --workspace
 
