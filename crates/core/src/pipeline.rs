@@ -123,6 +123,22 @@ impl RllPipeline {
         self.trace.as_ref()
     }
 
+    /// The trained encoder, if [`Self::fit`] has run.
+    ///
+    /// Together with [`Self::normalizer`] this is the train→checkpoint
+    /// handoff: `rll-serve` snapshots both into a versioned checkpoint so a
+    /// server process can answer embedding queries without retraining.
+    pub fn model(&self) -> Option<&RllModel> {
+        self.model.as_ref()
+    }
+
+    /// The fitted feature normalizer, if [`Self::fit`] has run. Serving must
+    /// apply the *training-time* normalization to raw features before the
+    /// encoder sees them, so it ships inside the checkpoint next to the model.
+    pub fn normalizer(&self) -> Option<&Normalizer> {
+        self.normalizer.as_ref()
+    }
+
     /// Trains the encoder and the downstream classifier from crowd labels.
     pub fn fit(
         &mut self,
@@ -298,6 +314,20 @@ mod tests {
         );
         assert!(report.f1 > 0.6, "held-out F1 {}", report.f1);
         assert!(report.n_test >= 20);
+    }
+
+    #[test]
+    fn fitted_parts_are_exposed_for_checkpointing() {
+        let (x, ann, _) = crowd_dataset(60, 8);
+        let mut pipeline = RllPipeline::new(fast_config());
+        assert!(pipeline.model().is_none());
+        assert!(pipeline.normalizer().is_none());
+        pipeline.fit(&x, &ann, 9).unwrap();
+        let model = pipeline.model().unwrap();
+        let normalizer = pipeline.normalizer().unwrap();
+        // The exposed parts reproduce the pipeline's own embedding exactly.
+        let direct = model.embed(&normalizer.transform(&x).unwrap()).unwrap();
+        assert_eq!(direct, pipeline.embed(&x).unwrap());
     }
 
     #[test]

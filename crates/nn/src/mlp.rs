@@ -139,6 +139,17 @@ impl Mlp {
         self.layers.last().map_or(0, Dense::out_dim)
     }
 
+    /// Full layer-size chain `[input, hidden…, output]`.
+    ///
+    /// Checkpoint tooling uses this to validate that a deserialized network
+    /// matches the architecture its header advertises.
+    pub fn layer_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.layers.len() + 1);
+        dims.push(self.input_dim());
+        dims.extend(self.layers.iter().map(|l| l.out_dim()));
+        dims
+    }
+
     /// Total trainable scalar count.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(Dense::param_count).sum()
@@ -264,6 +275,22 @@ mod tests {
         assert_eq!(mlp.input_dim(), 4);
         assert_eq!(mlp.output_dim(), 3);
         assert_eq!(mlp.param_count(), 4 * 5 + 5 + 5 * 3 + 3);
+    }
+
+    #[test]
+    fn layer_dims_reports_full_chain() {
+        let mut rng = Rng64::seed_from_u64(21);
+        let mlp = Mlp::new(&small_config(), &mut rng).unwrap();
+        assert_eq!(mlp.layer_dims(), vec![4, 5, 3]);
+        let linear = Mlp::new(
+            &MlpConfig {
+                hidden_dims: vec![],
+                ..small_config()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(linear.layer_dims(), vec![4, 3]);
     }
 
     #[test]

@@ -190,6 +190,33 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl MetricsSnapshot {
+    /// Renders the snapshot as stable, line-oriented plain text — one
+    /// `name value` (or `name{stat} value`) pair per line, sorted by name.
+    ///
+    /// This is the human-readable `/metrics?format=text` surface of the
+    /// serving layer; the JSON form (via serde) stays the machine interface.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{name}{{count}} {}", h.count);
+            let _ = writeln!(out, "{name}{{mean}} {}", h.mean);
+            let _ = writeln!(out, "{name}{{p50}} {}", h.p50);
+            let _ = writeln!(out, "{name}{{p95}} {}", h.p95);
+            let _ = writeln!(out, "{name}{{p99}} {}", h.p99);
+            let _ = writeln!(out, "{name}{{max}} {}", h.max);
+        }
+        out
+    }
+}
+
 #[derive(Default)]
 struct RegistryState {
     counters: BTreeMap<String, Counter>,
@@ -309,6 +336,19 @@ mod tests {
         assert!(s.p95 > 5.0 && s.p95 <= 10.0, "p95 = {}", s.p95);
         assert!(s.p99 >= s.p95);
         assert!(s.max >= s.p99);
+    }
+
+    #[test]
+    fn snapshot_renders_stable_text() {
+        let registry = MetricsRegistry::new();
+        registry.counter("requests").add(3);
+        registry.gauge("depth").set(1.5);
+        registry.histogram("lat", &[1.0]).observe(0.5);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("requests 3\n"));
+        assert!(text.contains("depth 1.5\n"));
+        assert!(text.contains("lat{count} 1\n"));
+        assert!(text.contains("lat{p99}"));
     }
 
     #[test]

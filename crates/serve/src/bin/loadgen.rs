@@ -1,0 +1,449 @@
+//! `loadgen` — seeded, deterministic load generator for `serve`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--seed S]
+//!         [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH]
+//! ```
+//!
+//! Workers hold keep-alive connections and issue a mixed `/embed` + `/score`
+//! workload. A fraction `--repeat-frac` of requests re-sends a vector from a
+//! fixed `--pool` of seeded queries, which is what exercises the server's LRU
+//! cache; the rest are fresh vectors. The request *sequence* is fully
+//! determined by `--seed` (latencies of course are not), so runs are
+//! comparable across commits. A summary JSON lands on stdout and in `--out`
+//! (default `results/serve_bench.json`) — the schema is documented in
+//! EXPERIMENTS.md and pinned by the `schema` field.
+//!
+//! Exit status: non-zero when no request succeeded (used by the CI smoke
+//! test) or when the server is unreachable.
+
+use rll_obs::Stopwatch;
+use rll_serve::http;
+use rll_serve::{EmbedRequest, EmbedResponse, HealthResponse, ScoreRequest, ScoreResponse};
+use rll_tensor::Rng64;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+#[derive(Clone)]
+struct Args {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    pool: usize,
+    repeat_frac: f64,
+    score_frac: f64,
+    out: String,
+}
+
+const USAGE: &str = "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
+[--seed S] [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH]";
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LatencySummary {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    mean: f64,
+    max: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheSummary {
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BatchSummary {
+    batches: u64,
+    mean_size: f64,
+    max_size: f64,
+}
+
+/// The `results/serve_bench.json` artifact, version-pinned by `schema`.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchSummary {
+    schema: String,
+    addr: String,
+    seed: u64,
+    requests: usize,
+    concurrency: usize,
+    succeeded: usize,
+    failed: usize,
+    wall_secs: f64,
+    throughput_rps: f64,
+    latency_secs: LatencySummary,
+    cache: CacheSummary,
+    batch: BatchSummary,
+}
+
+/// One keep-alive connection speaking the minimal client side of HTTP/1.1.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+            addr: addr.to_string(),
+        })
+    }
+
+    fn call(&mut self, method: &str, path: &str, body: Option<&str>) -> Option<http::Response> {
+        let request = match body {
+            Some(b) => format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+                self.addr,
+                b.len()
+            ),
+            None => format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.addr),
+        };
+        if self.writer.write_all(request.as_bytes()).is_err() {
+            return None;
+        }
+        if self.writer.flush().is_err() {
+            return None;
+        }
+        http::read_response(&mut self.reader).ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("loadgen: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(summary) => {
+            let json = match serde_json::to_string_pretty(&summary) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("loadgen: cannot serialize summary: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{json}");
+            if let Some(parent) = std::path::Path::new(&args.out).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+                eprintln!("loadgen: cannot write {}: {e}", args.out);
+                return ExitCode::FAILURE;
+            }
+            if summary.succeeded == 0 {
+                eprintln!("loadgen: no request succeeded");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        addr: String::new(),
+        requests: 200,
+        concurrency: 4,
+        seed: 42,
+        pool: 16,
+        repeat_frac: 0.5,
+        score_frac: 0.2,
+        out: "results/serve_bench.json".to_string(),
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => out.addr = take(args, &mut i, "--addr")?,
+            "--requests" => {
+                out.requests = take(args, &mut i, "--requests")?
+                    .parse()
+                    .map_err(|_| "invalid --requests".to_string())?
+            }
+            "--concurrency" => {
+                out.concurrency = take(args, &mut i, "--concurrency")?
+                    .parse()
+                    .map_err(|_| "invalid --concurrency".to_string())?
+            }
+            "--seed" => {
+                out.seed = take(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            "--pool" => {
+                out.pool = take(args, &mut i, "--pool")?
+                    .parse()
+                    .map_err(|_| "invalid --pool".to_string())?
+            }
+            "--repeat-frac" => {
+                out.repeat_frac = take(args, &mut i, "--repeat-frac")?
+                    .parse()
+                    .map_err(|_| "invalid --repeat-frac".to_string())?
+            }
+            "--score-frac" => {
+                out.score_frac = take(args, &mut i, "--score-frac")?
+                    .parse()
+                    .map_err(|_| "invalid --score-frac".to_string())?
+            }
+            "--out" => out.out = take(args, &mut i, "--out")?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    if out.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if out.requests == 0 || out.concurrency == 0 || out.pool == 0 {
+        return Err("--requests, --concurrency and --pool must be positive".to_string());
+    }
+    if !(0.0..=1.0).contains(&out.repeat_frac) || !(0.0..=1.0).contains(&out.score_frac) {
+        return Err("--repeat-frac and --score-frac must be in [0, 1]".to_string());
+    }
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<BenchSummary, String> {
+    // Discover the model's input dimension from the server itself.
+    let mut probe =
+        Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
+    let health = probe
+        .call("GET", "/healthz", None)
+        .ok_or_else(|| "healthz request failed".to_string())?;
+    if health.status != 200 {
+        return Err(format!("healthz returned {}", health.status));
+    }
+    let health: HealthResponse = parse_body(&health.body)?;
+    let dim = health.input_dim;
+
+    // Seeded query pool shared by all workers: the repeated fraction of the
+    // workload draws from here, which is what produces cache hits.
+    let mut pool_rng = Rng64::seed_from_u64(args.seed);
+    let pool: Vec<Vec<f64>> = (0..args.pool)
+        .map(|_| {
+            let mut v = vec![0.0; dim];
+            pool_rng.fill_standard_normal(&mut v);
+            v
+        })
+        .collect();
+
+    let clock = Stopwatch::start();
+    let mut handles = Vec::new();
+    for worker in 0..args.concurrency {
+        let share = args.requests / args.concurrency
+            + usize::from(worker < args.requests % args.concurrency);
+        let args = args.clone();
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            worker_loop(&args, worker as u64, share, dim, &pool)
+        }));
+    }
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut succeeded = 0usize;
+    let mut failed = 0usize;
+    for handle in handles {
+        let (ok, bad, mut lats) = handle.join().unwrap_or_else(|_| (0, 0, Vec::new()));
+        succeeded += ok;
+        failed += bad;
+        latencies.append(&mut lats);
+    }
+    let wall_secs = clock.elapsed_secs();
+
+    // Server-side counters for cache and batching behaviour.
+    let metrics = probe
+        .call("GET", "/metrics", None)
+        .ok_or_else(|| "metrics request failed".to_string())?;
+    let metrics: rll_obs::MetricsSnapshot = parse_body(&metrics.body)?;
+    let hits = metrics
+        .counters
+        .get("serve.cache.hits")
+        .copied()
+        .unwrap_or(0);
+    let misses = metrics
+        .counters
+        .get("serve.cache.misses")
+        .copied()
+        .unwrap_or(0);
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let batches = metrics
+        .counters
+        .get("serve.engine.batches")
+        .copied()
+        .unwrap_or(0);
+    let (mean_size, max_size) = metrics
+        .histograms
+        .get("serve.batch.size")
+        .map_or((0.0, 0.0), |h| (h.mean, h.max));
+
+    latencies.sort_by(f64::total_cmp);
+    Ok(BenchSummary {
+        schema: "serve_bench/v1".to_string(),
+        addr: args.addr.clone(),
+        seed: args.seed,
+        requests: args.requests,
+        concurrency: args.concurrency,
+        succeeded,
+        failed,
+        wall_secs,
+        throughput_rps: if wall_secs > 0.0 {
+            succeeded as f64 / wall_secs
+        } else {
+            0.0
+        },
+        latency_secs: LatencySummary {
+            p50: percentile(&latencies, 0.50),
+            p90: percentile(&latencies, 0.90),
+            p99: percentile(&latencies, 0.99),
+            mean: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            max: latencies.last().copied().unwrap_or(0.0),
+        },
+        cache: CacheSummary {
+            hits,
+            misses,
+            hit_rate,
+        },
+        batch: BatchSummary {
+            batches,
+            mean_size,
+            max_size,
+        },
+    })
+}
+
+/// One worker: a keep-alive connection issuing its share of the workload.
+/// Returns `(succeeded, failed, latencies)`.
+fn worker_loop(
+    args: &Args,
+    worker: u64,
+    share: usize,
+    dim: usize,
+    pool: &[Vec<f64>],
+) -> (usize, usize, Vec<f64>) {
+    let mut rng =
+        Rng64::seed_from_u64(args.seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(worker + 1)));
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(_) => return (0, share, Vec::new()),
+    };
+    let mut succeeded = 0;
+    let mut failed = 0;
+    let mut latencies = Vec::with_capacity(share);
+    for _ in 0..share {
+        let pick_pool = rng.bernoulli(args.repeat_frac);
+        let vector = |rng: &mut Rng64, pool: &[Vec<f64>], pick_pool: bool| -> Vec<f64> {
+            if pick_pool {
+                let idx = rng.below(pool.len()).unwrap_or(0);
+                pool[idx].clone()
+            } else {
+                let mut v = vec![0.0; dim];
+                rng.fill_standard_normal(&mut v);
+                v
+            }
+        };
+        let (path, body) = if rng.bernoulli(args.score_frac) {
+            let a = vector(&mut rng, pool, pick_pool);
+            let b = vector(&mut rng, pool, pick_pool);
+            match serde_json::to_string(&ScoreRequest { a, b }) {
+                Ok(b) => ("/score", b),
+                Err(_) => {
+                    failed += 1;
+                    continue;
+                }
+            }
+        } else {
+            let features = vec![vector(&mut rng, pool, pick_pool)];
+            match serde_json::to_string(&EmbedRequest { features }) {
+                Ok(b) => ("/embed", b),
+                Err(_) => {
+                    failed += 1;
+                    continue;
+                }
+            }
+        };
+        let timer = Stopwatch::start();
+        let response = client.call("POST", path, Some(&body));
+        let elapsed = timer.elapsed_secs();
+        match response {
+            Some(r) if r.status == 200 && response_is_sane(path, &r.body) => {
+                succeeded += 1;
+                latencies.push(elapsed);
+            }
+            Some(_) => failed += 1,
+            None => {
+                failed += 1;
+                // The connection is dead (timeout, server restart): reconnect
+                // once and keep going.
+                match Client::connect(&args.addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        failed += share - succeeded - failed;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (succeeded, failed, latencies)
+}
+
+/// Cheap response validation so "succeeded" means a well-formed payload, not
+/// just a 200 status line.
+fn response_is_sane(path: &str, body: &[u8]) -> bool {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return false;
+    };
+    match path {
+        "/embed" => serde_json::from_str::<EmbedResponse>(text)
+            .map(|r| !r.embeddings.is_empty() && r.embeddings.iter().all(|e| e.len() == r.dim))
+            .unwrap_or(false),
+        "/score" => serde_json::from_str::<ScoreResponse>(text)
+            .map(|r| r.score.is_finite() && (-1.0..=1.0).contains(&r.score))
+            .unwrap_or(false),
+        _ => false,
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "non-UTF-8 response body".to_string())?;
+    serde_json::from_str(text).map_err(|e| format!("unparseable response body: {e}"))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}

@@ -1,0 +1,227 @@
+//! `serve` — load a checkpoint and answer embedding queries over HTTP.
+//!
+//! Two modes:
+//!
+//! ```text
+//! serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N]
+//! serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N]
+//!       [--queue N] [--cache N] [--port-file PATH]
+//! ```
+//!
+//! `train-demo` trains a small RLL pipeline on a simulated preset and writes
+//! a checkpoint — the train→checkpoint handoff in miniature, stamping the
+//! rll-obs run id of the training run into the checkpoint header. The serving
+//! mode loads any checkpoint and listens until killed. `--addr` with port 0
+//! binds an ephemeral port; `--port-file` writes the resolved `host:port` so
+//! scripts (e.g. the CI smoke test) can find it.
+
+use rll_core::{RllConfig, RllPipeline};
+use rll_serve::{
+    Checkpoint, EmbedServer, EngineConfig, InferenceEngine, ServerConfig, ServingModel,
+};
+use std::process::ExitCode;
+
+struct TrainDemoArgs {
+    out: String,
+    preset: String,
+    n: usize,
+    epochs: usize,
+    seed: u64,
+}
+
+struct ServeArgs {
+    checkpoint: String,
+    addr: String,
+    workers: usize,
+    batch: usize,
+    queue: usize,
+    cache: usize,
+    port_file: Option<String>,
+}
+
+const USAGE: &str = "usage:
+  serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N]
+  serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("train-demo") {
+        parse_train_demo(&args[1..]).map(|a| train_demo(&a))
+    } else {
+        parse_serve(&args).map(|a| run_server(&a))
+    };
+    match result {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+        Err(usage_error) => {
+            eprintln!("serve: {usage_error}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_train_demo(args: &[String]) -> Result<TrainDemoArgs, String> {
+    let mut out = TrainDemoArgs {
+        out: "results/demo.rllckpt".to_string(),
+        preset: "oral".to_string(),
+        n: 240,
+        epochs: 20,
+        seed: 42,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out.out = take_value(args, &mut i, "--out")?,
+            "--preset" => out.preset = take_value(args, &mut i, "--preset")?,
+            "--n" => {
+                out.n = take_value(args, &mut i, "--n")?
+                    .parse()
+                    .map_err(|_| "invalid --n".to_string())?
+            }
+            "--epochs" => {
+                out.epochs = take_value(args, &mut i, "--epochs")?
+                    .parse()
+                    .map_err(|_| "invalid --epochs".to_string())?
+            }
+            "--seed" => {
+                out.seed = take_value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let defaults = EngineConfig::default();
+    let mut out = ServeArgs {
+        checkpoint: String::new(),
+        addr: "127.0.0.1:7878".to_string(),
+        workers: defaults.workers,
+        batch: defaults.max_batch,
+        queue: defaults.queue_capacity,
+        cache: defaults.cache_capacity,
+        port_file: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--checkpoint" => out.checkpoint = take_value(args, &mut i, "--checkpoint")?,
+            "--addr" => out.addr = take_value(args, &mut i, "--addr")?,
+            "--workers" => {
+                out.workers = take_value(args, &mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "invalid --workers".to_string())?
+            }
+            "--batch" => {
+                out.batch = take_value(args, &mut i, "--batch")?
+                    .parse()
+                    .map_err(|_| "invalid --batch".to_string())?
+            }
+            "--queue" => {
+                out.queue = take_value(args, &mut i, "--queue")?
+                    .parse()
+                    .map_err(|_| "invalid --queue".to_string())?
+            }
+            "--cache" => {
+                out.cache = take_value(args, &mut i, "--cache")?
+                    .parse()
+                    .map_err(|_| "invalid --cache".to_string())?
+            }
+            "--port-file" => out.port_file = Some(take_value(args, &mut i, "--port-file")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    if out.checkpoint.is_empty() {
+        return Err("--checkpoint is required".to_string());
+    }
+    Ok(out)
+}
+
+fn train_demo(args: &TrainDemoArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = match args.preset.as_str() {
+        "oral" => rll_data::presets::oral_scaled(args.n, args.seed)?,
+        "class" => rll_data::presets::class_scaled(args.n, args.seed)?,
+        other => return Err(format!("unknown preset {other:?} (use oral|class)").into()),
+    };
+    let recorder = rll_obs::Recorder::for_experiment("serve-train-demo", args.seed);
+    recorder.run_start("serve-train-demo", &args.preset, args.seed);
+    let config = RllConfig {
+        epochs: args.epochs,
+        groups_per_epoch: 128,
+        ..RllConfig::default()
+    };
+    let mut pipeline = RllPipeline::new(config).with_recorder(recorder.clone());
+    pipeline.fit(&ds.features, &ds.annotations, args.seed)?;
+    let checkpoint = Checkpoint::from_pipeline(&pipeline, recorder.run_id())?;
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    checkpoint.save(&args.out)?;
+    recorder.note(format!(
+        "checkpoint {} (input_dim {}, embedding_dim {}, run {})",
+        args.out,
+        checkpoint.meta.input_dim,
+        checkpoint.meta.embedding_dim,
+        checkpoint.meta.train_run_id,
+    ));
+    recorder.finish();
+    println!("wrote {}", args.out);
+    Ok(())
+}
+
+fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let checkpoint = Checkpoint::load(&args.checkpoint)?;
+    let meta = checkpoint.meta.clone();
+    println!(
+        "loaded {} (v{}, input_dim {}, embedding_dim {}, trained by run {})",
+        args.checkpoint, meta.version, meta.input_dim, meta.embedding_dim, meta.train_run_id
+    );
+    // Metrics-only recorder: the server's signal surface is GET /metrics, not
+    // a stdout event stream.
+    let recorder = rll_obs::Recorder::new("serve", Vec::new());
+    let engine = InferenceEngine::start(
+        ServingModel::from_checkpoint(checkpoint),
+        EngineConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            max_batch: args.batch,
+            cache_capacity: args.cache,
+        },
+        recorder.clone(),
+    )?;
+    let server = EmbedServer::start(
+        engine,
+        ServerConfig {
+            addr: args.addr.clone(),
+            ..ServerConfig::default()
+        },
+        recorder,
+        &meta.train_run_id,
+    )?;
+    let addr = server.local_addr();
+    println!("rll-serve listening on {addr}");
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    // Serve until killed; the acceptor and workers own all the activity.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,351 @@
+//! Versioned, checksummed model checkpoints.
+//!
+//! A checkpoint is the train→serve handoff artifact: the trained encoder
+//! ([`RllModel`]) plus the feature [`Normalizer`] fitted alongside it, wrapped
+//! in a header that makes silent corruption and architecture drift impossible
+//! to load.
+//!
+//! # On-disk format (`RLLCKPT` v1)
+//!
+//! ```text
+//! <header JSON, one line>\n
+//! <payload JSON: {"model": …, "normalizer": …}>
+//! ```
+//!
+//! The header records the format version, the FNV-1a hash of the serialized
+//! architecture config, the input/embedding dimensions, the rll-obs run id of
+//! the training run that produced the weights, and the byte length + FNV-1a
+//! checksum of the payload. [`Checkpoint::load`] verifies all of it and
+//! returns a typed [`ServeError`] per failure mode: [`ServeError::VersionMismatch`],
+//! [`ServeError::ChecksumMismatch`] (covers truncation), and
+//! [`ServeError::DimMismatch`] when the deserialized network disagrees with
+//! the header.
+//!
+//! JSON is byte-exact for `f64` here: the vendored writer renders floats via
+//! Rust's shortest-round-trip formatting, so a save→load cycle reproduces
+//! bit-identical weights and therefore bit-identical embeddings.
+
+use crate::error::ServeError;
+use crate::Result;
+use rll_core::{RllModel, RllPipeline};
+use rll_data::Normalizer;
+use rll_tensor::hash::fnv1a;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic string opening every checkpoint header.
+pub const MAGIC: &str = "RLLCKPT";
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header metadata carried alongside the weights.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointMeta {
+    /// Always [`MAGIC`].
+    pub magic: String,
+    /// Checkpoint format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// FNV-1a hash of the serialized [`rll_core::RllModelConfig`]; lets tools
+    /// group checkpoints by architecture without parsing the payload.
+    pub config_hash: u64,
+    /// Feature dimension the encoder expects.
+    pub input_dim: usize,
+    /// Embedding dimension the encoder produces.
+    pub embedding_dim: usize,
+    /// rll-obs run id of the training run that produced these weights
+    /// (`"untracked"` when training ran without telemetry).
+    pub train_run_id: String,
+    /// Byte length of the payload that follows the header line.
+    pub payload_bytes: u64,
+    /// FNV-1a checksum of those payload bytes.
+    pub payload_fnv1a: u64,
+}
+
+/// Serialized alongside the header; split out so the checksum covers exactly
+/// these bytes.
+#[derive(Serialize, Deserialize)]
+struct Payload {
+    model: RllModel,
+    normalizer: Normalizer,
+}
+
+/// A loaded (or about-to-be-saved) model checkpoint.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Header metadata (checksum fields are recomputed on save).
+    pub meta: CheckpointMeta,
+    /// The trained encoder.
+    pub model: RllModel,
+    /// The feature normalizer fitted at training time. Serving must apply it
+    /// to raw features before the encoder sees them.
+    pub normalizer: Normalizer,
+}
+
+impl Checkpoint {
+    /// Wraps a trained model + normalizer, stamping fresh metadata.
+    pub fn new(model: RllModel, normalizer: Normalizer, train_run_id: &str) -> Result<Self> {
+        let config_json =
+            serde_json::to_string(model.config()).map_err(|e| ServeError::InvalidConfig {
+                reason: format!("cannot serialize model config: {e}"),
+            })?;
+        let meta = CheckpointMeta {
+            magic: MAGIC.to_string(),
+            version: FORMAT_VERSION,
+            config_hash: fnv1a(config_json.as_bytes()),
+            input_dim: model.config().input_dim,
+            embedding_dim: model.embedding_dim(),
+            train_run_id: train_run_id.to_string(),
+            // Filled in by `to_bytes`.
+            payload_bytes: 0,
+            payload_fnv1a: 0,
+        };
+        Ok(Checkpoint {
+            meta,
+            model,
+            normalizer,
+        })
+    }
+
+    /// Snapshots a fitted [`RllPipeline`] — the standard train→checkpoint
+    /// handoff. Fails with [`rll_core::RllError::NotFitted`] (wrapped) if the
+    /// pipeline has not been trained.
+    pub fn from_pipeline(pipeline: &RllPipeline, train_run_id: &str) -> Result<Self> {
+        let model = pipeline
+            .model()
+            .ok_or(ServeError::Core(rll_core::RllError::NotFitted))?;
+        let normalizer = pipeline
+            .normalizer()
+            .ok_or(ServeError::Core(rll_core::RllError::NotFitted))?;
+        Checkpoint::new(model.clone(), normalizer.clone(), train_run_id)
+    }
+
+    /// Serializes to the on-disk byte format.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let payload = Payload {
+            model: self.model.clone(),
+            normalizer: self.normalizer.clone(),
+        };
+        let payload_json =
+            serde_json::to_string(&payload).map_err(|e| ServeError::InvalidConfig {
+                reason: format!("cannot serialize checkpoint payload: {e}"),
+            })?;
+        let mut meta = self.meta.clone();
+        meta.payload_bytes = payload_json.len() as u64;
+        meta.payload_fnv1a = fnv1a(payload_json.as_bytes());
+        let header_json = serde_json::to_string(&meta).map_err(|e| ServeError::InvalidConfig {
+            reason: format!("cannot serialize checkpoint header: {e}"),
+        })?;
+        let mut bytes = Vec::with_capacity(header_json.len() + 1 + payload_json.len());
+        bytes.extend_from_slice(header_json.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(payload_json.as_bytes());
+        Ok(bytes)
+    }
+
+    /// Parses and fully validates the on-disk byte format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let newline = bytes.iter().position(|&b| b == b'\n').ok_or_else(|| {
+            ServeError::MalformedCheckpoint {
+                reason: "no header/payload separator (expected a newline)".into(),
+            }
+        })?;
+        let header_str = std::str::from_utf8(&bytes[..newline]).map_err(|_| {
+            ServeError::MalformedCheckpoint {
+                reason: "header is not UTF-8".into(),
+            }
+        })?;
+        let meta: CheckpointMeta =
+            serde_json::from_str(header_str).map_err(|e| ServeError::MalformedCheckpoint {
+                reason: format!("header is not valid JSON: {e}"),
+            })?;
+        if meta.magic != MAGIC {
+            return Err(ServeError::MalformedCheckpoint {
+                reason: format!("bad magic {:?} (expected {MAGIC:?})", meta.magic),
+            });
+        }
+        if meta.version != FORMAT_VERSION {
+            return Err(ServeError::VersionMismatch {
+                found: meta.version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let payload_bytes = &bytes[newline + 1..];
+        let actual_hash = fnv1a(payload_bytes);
+        if payload_bytes.len() as u64 != meta.payload_bytes || actual_hash != meta.payload_fnv1a {
+            return Err(ServeError::ChecksumMismatch {
+                expected: meta.payload_fnv1a,
+                actual: actual_hash,
+            });
+        }
+        let payload_str =
+            std::str::from_utf8(payload_bytes).map_err(|_| ServeError::MalformedCheckpoint {
+                reason: "payload is not UTF-8".into(),
+            })?;
+        let payload: Payload =
+            serde_json::from_str(payload_str).map_err(|e| ServeError::MalformedCheckpoint {
+                reason: format!("payload is not valid JSON: {e}"),
+            })?;
+        // Header ↔ network consistency: the deserialized layer chain must
+        // match what the header advertises.
+        let dims = payload.model.mlp().layer_dims();
+        let actual_in = dims.first().copied().unwrap_or(0);
+        let actual_out = dims.last().copied().unwrap_or(0);
+        if actual_in != meta.input_dim {
+            return Err(ServeError::DimMismatch {
+                what: "checkpoint input_dim",
+                expected: meta.input_dim,
+                actual: actual_in,
+            });
+        }
+        if actual_out != meta.embedding_dim {
+            return Err(ServeError::DimMismatch {
+                what: "checkpoint embedding_dim",
+                expected: meta.embedding_dim,
+                actual: actual_out,
+            });
+        }
+        Ok(Checkpoint {
+            meta,
+            model: payload.model,
+            normalizer: payload.normalizer,
+        })
+    }
+
+    /// Writes the checkpoint to `path` (parent directories must exist).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let bytes = self.to_bytes()?;
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| ServeError::io(format!("create {}", path.display()), e))?;
+        file.write_all(&bytes)
+            .map_err(|e| ServeError::io(format!("write {}", path.display()), e))?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| ServeError::io(format!("read {}", path.display()), e))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_core::RllModelConfig;
+    use rll_tensor::{Matrix, Rng64};
+
+    fn tiny_checkpoint(seed: u64) -> Checkpoint {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let config = RllModelConfig {
+            hidden_dims: vec![6],
+            embedding_dim: 4,
+            ..RllModelConfig::for_input(5)
+        };
+        let model = RllModel::new(config, &mut rng).unwrap();
+        let features = Matrix::from_fn(8, 5, |r, c| (r * 5 + c) as f64 * 0.17 - 2.0);
+        let normalizer = Normalizer::fit(&features).unwrap();
+        Checkpoint::new(model, normalizer, "run-test").unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let ckpt = tiny_checkpoint(1);
+        let bytes = ckpt.to_bytes().unwrap();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        let x = Matrix::from_fn(3, 5, |r, c| (r as f64) - 0.3 * (c as f64));
+        let nx = ckpt.normalizer.transform(&x).unwrap();
+        let a = ckpt.model.embed(&nx).unwrap();
+        let b = back
+            .model
+            .embed(&back.normalizer.transform(&x).unwrap())
+            .unwrap();
+        // Exact equality, not approx: the format must be lossless.
+        assert_eq!(a, b);
+        assert_eq!(back.meta.train_run_id, "run-test");
+        assert_eq!(back.meta.input_dim, 5);
+        assert_eq!(back.meta.embedding_dim, 4);
+    }
+
+    #[test]
+    fn corruption_is_a_checksum_error() {
+        let mut bytes = tiny_checkpoint(2).to_bytes().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = bytes[last].wrapping_add(1);
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_a_checksum_error() {
+        let bytes = tiny_checkpoint(3).to_bytes().unwrap();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() - 10]),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let ckpt = tiny_checkpoint(4);
+        let mut evil = ckpt.clone();
+        evil.meta.version = FORMAT_VERSION + 1;
+        let bytes = evil.to_bytes().unwrap();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(ServeError::VersionMismatch { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn header_dim_lie_is_a_dim_error() {
+        let ckpt = tiny_checkpoint(5);
+        let mut evil = ckpt.clone();
+        evil.meta.embedding_dim = 99;
+        let bytes = evil.to_bytes().unwrap();
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(ServeError::DimMismatch { expected: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(
+            Checkpoint::from_bytes(b"not a checkpoint"),
+            Err(ServeError::MalformedCheckpoint { .. })
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(b"{\"magic\":\"NOPE\"}\n{}"),
+            Err(ServeError::MalformedCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_via_filesystem() {
+        let dir = std::env::temp_dir().join("rll_serve_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.rllckpt");
+        let ckpt = tiny_checkpoint(6);
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.meta, {
+            let mut m = ckpt.meta.clone();
+            // save() stamps the payload fields the in-memory meta leaves at 0.
+            m.payload_bytes = back.meta.payload_bytes;
+            m.payload_fnv1a = back.meta.payload_fnv1a;
+            m
+        });
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(ServeError::Io { .. })
+        ));
+    }
+}

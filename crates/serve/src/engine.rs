@@ -1,0 +1,541 @@
+//! Micro-batched inference engine.
+//!
+//! A fixed pool of `std::thread` workers drains a **bounded** request queue.
+//! Each wake-up coalesces up to `max_batch` pending feature vectors into one
+//! matrix and runs a single [`RllModel::embed`] forward pass — the matmul
+//! then amortizes per-call overhead across the batch. Because every output
+//! row of the forward pass depends only on its own input row, batched and
+//! unbatched inference produce **bit-identical** embeddings (a property the
+//! integration tests pin down with exact float equality).
+//!
+//! Backpressure: when the queue is at capacity, [`InferenceEngine::embed`]
+//! fails fast with [`ServeError::QueueFull`] instead of growing without
+//! bound; the HTTP layer maps that to `503` so clients retry with jitter.
+//!
+//! Caching: results are memoized in a hand-rolled [`LruCache`] keyed on the
+//! FNV-1a hash of the *raw* feature vector, so repeated queries skip the
+//! queue and the forward pass entirely.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::ServeError;
+use crate::lru::LruCache;
+use crate::Result;
+use rll_core::RllModel;
+use rll_data::Normalizer;
+use rll_obs::Recorder;
+use rll_tensor::hash::fnv1a_f64s;
+use rll_tensor::Matrix;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for the worker pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected
+    /// ([`ServeError::QueueFull`]).
+    pub queue_capacity: usize,
+    /// Maximum feature vectors coalesced into one forward pass.
+    pub max_batch: usize,
+    /// LRU embedding-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<()> {
+        if self.workers == 0 || self.max_batch == 0 || self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "workers ({}), max_batch ({}) and queue_capacity ({}) must all be positive",
+                    self.workers, self.max_batch, self.queue_capacity
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The frozen model a server process answers queries with: the trained
+/// encoder plus its training-time feature normalizer.
+#[derive(Debug, Clone)]
+pub struct ServingModel {
+    model: RllModel,
+    normalizer: Normalizer,
+}
+
+impl ServingModel {
+    /// Unwraps a validated checkpoint.
+    pub fn from_checkpoint(checkpoint: Checkpoint) -> Self {
+        ServingModel {
+            model: checkpoint.model,
+            normalizer: checkpoint.normalizer,
+        }
+    }
+
+    /// Feature dimension requests must carry.
+    pub fn input_dim(&self) -> usize {
+        self.model.config().input_dim
+    }
+
+    /// Embedding dimension responses carry.
+    pub fn embedding_dim(&self) -> usize {
+        self.model.embedding_dim()
+    }
+
+    /// Normalize-then-embed for a whole batch (rows are independent).
+    pub fn embed_matrix(&self, raw: &Matrix) -> Result<Matrix> {
+        let normalized =
+            self.normalizer
+                .transform(raw)
+                .map_err(|e| ServeError::InvalidRequest {
+                    reason: format!("feature normalization failed: {e}"),
+                })?;
+        Ok(self.model.embed(&normalized)?)
+    }
+}
+
+struct Job {
+    features: Vec<f64>,
+    key: u64,
+    reply: mpsc::Sender<Result<Vec<f64>>>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+    model: ServingModel,
+    cache: Mutex<LruCache<Vec<f64>>>,
+    recorder: Recorder,
+    config: EngineConfig,
+}
+
+impl Shared {
+    /// Locks ignoring poisoning: a panicking worker must not wedge the whole
+    /// server, and both guarded structures are valid after any partial
+    /// mutation (the queue is a VecDeque, the cache re-checks its own links).
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn lock_cache(&self) -> MutexGuard<'_, LruCache<Vec<f64>>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Shared-model inference front-end; cheap to clone across HTTP connection
+/// handlers.
+#[derive(Clone)]
+pub struct InferenceEngine {
+    shared: Arc<Shared>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl InferenceEngine {
+    /// Spawns the worker pool and returns the engine handle.
+    pub fn start(model: ServingModel, config: EngineConfig, recorder: Recorder) -> Result<Self> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            model,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            recorder,
+            config: config.clone(),
+        });
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .map_err(|e| ServeError::io("spawn worker thread", e))?;
+            workers.push(handle);
+        }
+        Ok(InferenceEngine {
+            shared,
+            workers: Arc::new(Mutex::new(workers)),
+        })
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ServingModel {
+        &self.shared.model
+    }
+
+    /// Embeds one raw feature vector, waiting for the batch it lands in.
+    ///
+    /// Returns immediately on a cache hit. Fails fast with
+    /// [`ServeError::QueueFull`] under backpressure and
+    /// [`ServeError::DimMismatch`]/[`ServeError::InvalidRequest`] on bad
+    /// input.
+    pub fn embed(&self, features: Vec<f64>) -> Result<Vec<f64>> {
+        let rx = self.submit(features)?;
+        match rx {
+            Submitted::Cached(hit) => Ok(hit),
+            Submitted::Pending(rx) => rx
+                .recv()
+                .map_err(|_| ServeError::EngineShutdown)
+                .and_then(|r| r),
+        }
+    }
+
+    /// Embeds several vectors, preserving order. Each row rides the shared
+    /// micro-batching queue, so concurrent calls coalesce.
+    pub fn embed_many(&self, rows: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>> {
+        if rows.is_empty() {
+            return Err(ServeError::InvalidRequest {
+                reason: "empty feature batch".into(),
+            });
+        }
+        // Submit everything first so one wave of workers can coalesce it…
+        let pending: Vec<Submitted> = rows
+            .into_iter()
+            .map(|row| self.submit(row))
+            .collect::<Result<_>>()?;
+        // …then collect in submission order.
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Submitted::Cached(hit) => Ok(hit),
+                Submitted::Pending(rx) => rx
+                    .recv()
+                    .map_err(|_| ServeError::EngineShutdown)
+                    .and_then(|r| r),
+            })
+            .collect()
+    }
+
+    /// Cosine relevance between the embeddings of two raw feature vectors —
+    /// the serving form of the paper's eq. 3 relevance score (without the
+    /// training-only confidence weight).
+    pub fn score(&self, a: Vec<f64>, b: Vec<f64>) -> Result<f64> {
+        let embedded = self.embed_many(vec![a, b])?;
+        rll_tensor::ops::cosine_similarity(&embedded[0], &embedded[1]).map_err(|e| {
+            ServeError::InvalidRequest {
+                reason: format!("cosine similarity failed: {e}"),
+            }
+        })
+    }
+
+    /// Current queue depth (for metrics/tests).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_queue().len()
+    }
+
+    /// Lifetime cache hit/miss counts.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let cache = self.shared.lock_cache();
+        (cache.hits(), cache.misses())
+    }
+
+    /// Stops the workers and waits for them to exit. In-flight requests
+    /// complete; queued-but-undrained requests get [`ServeError::EngineShutdown`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.not_empty.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+        for handle in workers.drain(..) {
+            // A worker that panicked already poisoned nothing we rely on;
+            // ignore its join error and keep shutting down.
+            let _ = handle.join();
+        }
+        // Anything still queued will never be drained: fail it explicitly.
+        let mut queue = self.shared.lock_queue();
+        for job in queue.drain(..) {
+            let _ = job.reply.send(Err(ServeError::EngineShutdown));
+        }
+    }
+
+    fn submit(&self, features: Vec<f64>) -> Result<Submitted> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::EngineShutdown);
+        }
+        let expected = self.shared.model.input_dim();
+        if features.len() != expected {
+            return Err(ServeError::DimMismatch {
+                what: "request feature vector",
+                expected,
+                actual: features.len(),
+            });
+        }
+        if features.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::InvalidRequest {
+                reason: "features must be finite".into(),
+            });
+        }
+        let metrics = self.shared.recorder.metrics();
+        let key = fnv1a_f64s(&features);
+        if let Some(hit) = self.shared.lock_cache().get(key) {
+            metrics.counter("serve.cache.hits").inc();
+            return Ok(Submitted::Cached(hit));
+        }
+        metrics.counter("serve.cache.misses").inc();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.len() >= self.shared.config.queue_capacity {
+                metrics.counter("serve.queue.rejected").inc();
+                return Err(ServeError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            queue.push_back(Job {
+                features,
+                key,
+                reply: tx,
+            });
+            metrics.gauge("serve.queue.depth").set(queue.len() as f64);
+        }
+        metrics.counter("serve.queue.submitted").inc();
+        self.shared.not_empty.notify_one();
+        Ok(Submitted::Pending(rx))
+    }
+}
+
+enum Submitted {
+    Cached(Vec<f64>),
+    Pending(mpsc::Receiver<Result<Vec<f64>>>),
+}
+
+fn worker_loop(shared: &Shared) {
+    let metrics = shared.recorder.metrics();
+    let batch_sizes = metrics.histogram(
+        "serve.batch.size",
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+    );
+    loop {
+        let jobs = {
+            let mut queue = shared.lock_queue();
+            while queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            if queue.is_empty() {
+                // Shutdown with nothing left to drain.
+                return;
+            }
+            let take = queue.len().min(shared.config.max_batch);
+            let jobs: Vec<Job> = queue.drain(..take).collect();
+            metrics.gauge("serve.queue.depth").set(queue.len() as f64);
+            jobs
+        };
+        batch_sizes.observe(jobs.len() as f64);
+        metrics.counter("serve.engine.batches").inc();
+        run_batch(shared, jobs);
+    }
+}
+
+/// One coalesced forward pass; fans results (or the failure) back out to
+/// every job in the batch and feeds the cache.
+fn run_batch(shared: &Shared, jobs: Vec<Job>) {
+    let _span = shared.recorder.span("serve.batch");
+    let dim = shared.model.input_dim();
+    let mut data = Vec::with_capacity(jobs.len() * dim);
+    for job in &jobs {
+        data.extend_from_slice(&job.features);
+    }
+    let batch = match Matrix::from_vec(jobs.len(), dim, data) {
+        Ok(m) => m,
+        Err(e) => {
+            for job in jobs {
+                let _ = job.reply.send(Err(ServeError::InvalidRequest {
+                    reason: format!("batch assembly failed: {e}"),
+                }));
+            }
+            return;
+        }
+    };
+    match shared.model.embed_matrix(&batch) {
+        Ok(embeddings) => {
+            let mut cache = shared.lock_cache();
+            for (i, job) in jobs.into_iter().enumerate() {
+                let row = embeddings.row(i).map(<[f64]>::to_vec).unwrap_or_default();
+                cache.insert(job.key, row.clone());
+                let _ = job.reply.send(Ok(row));
+            }
+        }
+        Err(e) => {
+            let reason = e.to_string();
+            for job in jobs {
+                let _ = job.reply.send(Err(ServeError::InvalidRequest {
+                    reason: format!("inference failed: {reason}"),
+                }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rll_core::RllModelConfig;
+    use rll_tensor::Rng64;
+
+    fn tiny_model(seed: u64) -> ServingModel {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let config = RllModelConfig {
+            hidden_dims: vec![6],
+            embedding_dim: 4,
+            ..RllModelConfig::for_input(3)
+        };
+        let model = RllModel::new(config, &mut rng).unwrap();
+        let features = Matrix::from_fn(12, 3, |r, c| (r as f64) * 0.3 - (c as f64) * 0.7);
+        let normalizer = Normalizer::fit(&features).unwrap();
+        ServingModel { model, normalizer }
+    }
+
+    fn engine(seed: u64, config: EngineConfig) -> InferenceEngine {
+        InferenceEngine::start(tiny_model(seed), config, Recorder::disabled()).unwrap()
+    }
+
+    #[test]
+    fn embed_matches_direct_forward_exactly() {
+        let model = tiny_model(1);
+        let eng =
+            InferenceEngine::start(model.clone(), EngineConfig::default(), Recorder::disabled())
+                .unwrap();
+        let x = vec![0.5, -1.0, 2.0];
+        let via_engine = eng.embed(x.clone()).unwrap();
+        let direct = model
+            .embed_matrix(&Matrix::from_rows(&[x]).unwrap())
+            .unwrap();
+        assert_eq!(via_engine, direct.row(0).unwrap().to_vec());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_skips_queue() {
+        let eng = engine(2, EngineConfig::default());
+        let x = vec![1.0, 2.0, 3.0];
+        let first = eng.embed(x.clone()).unwrap();
+        let second = eng.embed(x.clone()).unwrap();
+        assert_eq!(first, second);
+        let (hits, misses) = eng.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn rejects_bad_dims_and_non_finite() {
+        let eng = engine(3, EngineConfig::default());
+        assert!(matches!(
+            eng.embed(vec![1.0, 2.0]),
+            Err(ServeError::DimMismatch {
+                expected: 3,
+                actual: 2,
+                ..
+            })
+        ));
+        assert!(matches!(
+            eng.embed(vec![1.0, f64::NAN, 0.0]),
+            Err(ServeError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            eng.embed_many(vec![]),
+            Err(ServeError::InvalidRequest { .. })
+        ));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn embed_many_is_order_preserving() {
+        let eng = engine(4, EngineConfig::default());
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, -(i as f64), 0.5 * i as f64])
+            .collect();
+        let batched = eng.embed_many(rows.clone()).unwrap();
+        for (row, got) in rows.into_iter().zip(&batched) {
+            let single = eng.embed(row).unwrap();
+            assert_eq!(&single, got);
+        }
+        eng.shutdown();
+    }
+
+    #[test]
+    fn score_is_cosine_of_embeddings() {
+        let eng = engine(5, EngineConfig::default());
+        let a = vec![1.0, 0.0, -1.0];
+        let b = vec![0.0, 2.0, 1.0];
+        let s = eng.score(a.clone(), b.clone()).unwrap();
+        let ea = eng.embed(a.clone()).unwrap();
+        let eb = eng.embed(b.clone()).unwrap();
+        let expected = rll_tensor::ops::cosine_similarity(&ea, &eb).unwrap();
+        assert!((s - expected).abs() < 1e-15);
+        // Self-similarity of a cached embedding is exactly 1 (same bits).
+        let self_score = eng.score(a.clone(), a).unwrap();
+        assert!((self_score - 1.0).abs() < 1e-12);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_submit_errors() {
+        let eng = engine(6, EngineConfig::default());
+        eng.shutdown();
+        assert!(matches!(
+            eng.embed(vec![0.0, 0.0, 0.0]),
+            Err(ServeError::EngineShutdown)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let bad = EngineConfig {
+            workers: 0,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            InferenceEngine::start(tiny_model(7), bad, Recorder::disabled()),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_load_coalesces_into_batches() {
+        let eng = engine(
+            8,
+            EngineConfig {
+                workers: 1,
+                max_batch: 8,
+                queue_capacity: 64,
+                cache_capacity: 0,
+            },
+        );
+        let recorder = Recorder::disabled();
+        let _ = recorder; // engine has its own disabled recorder
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let e = eng.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..16)
+                    .map(|i| {
+                        let v = vec![t as f64, i as f64, (t * i) as f64];
+                        e.embed(v).unwrap().len()
+                    })
+                    .sum::<usize>()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4 * 16 * 4); // every request returned a 4-dim embedding
+        eng.shutdown();
+    }
+}

@@ -1,0 +1,484 @@
+//! Minimal HTTP/1.1 on `std::net`: request parsing and response writing.
+//!
+//! Deliberately small surface, sized to what the serving API needs:
+//!
+//! - request line + headers + `Content-Length` bodies (no chunked encoding,
+//!   no TLS, no HTTP/2);
+//! - keep-alive with pipelining: a connection handler calls
+//!   [`read_request`] in a loop until the peer closes or sends
+//!   `Connection: close`;
+//! - every malformed input is a typed [`HttpError`] carrying the 4xx status
+//!   the server should answer with — the parser itself never panics, which
+//!   the `no-panic-lib` invariant and the parser test-suite both enforce.
+//!
+//! A tiny client-side [`read_response`] lives here too, shared by the
+//! `loadgen` binary and the integration tests.
+
+use std::io::{BufRead, Write};
+
+/// Hard ceiling on header-section size (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (before `?`).
+    pub path: String,
+    /// Raw query string (after `?`, empty if none).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+    /// True when the client asked to keep the connection open after this
+    /// exchange (HTTP/1.1 default, overridable with `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lowercased) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one [`read_request`] call.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly before sending another request.
+    Closed,
+}
+
+/// Parse failures, each knowing the HTTP status it maps to.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request line, header, or length field → 400.
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A body-bearing method arrived without `Content-Length` → 411.
+    LengthRequired,
+    /// Declared `Content-Length` exceeds the configured ceiling → 413.
+    PayloadTooLarge {
+        /// Declared body size.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+    /// Socket failure or mid-message EOF; no response can be delivered.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// `(status code, reason phrase)` for the error response.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::Malformed { .. } => (400, "Bad Request"),
+            HttpError::LengthRequired => (411, "Length Required"),
+            HttpError::PayloadTooLarge { .. } => (413, "Payload Too Large"),
+            HttpError::Io(_) => (400, "Bad Request"),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed { reason } => write!(f, "malformed request: {reason}"),
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::PayloadTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn malformed(reason: impl Into<String>) -> HttpError {
+    HttpError::Malformed {
+        reason: reason.into(),
+    }
+}
+
+/// Reads one line terminated by `\n`, enforcing the header-size budget.
+/// Returns `Ok(None)` on clean EOF at a line boundary.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof mid-line",
+                )));
+            }
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(malformed("header section exceeds 16 KiB"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| malformed("non-UTF-8 header bytes"))
+}
+
+/// Reads and validates one request from `reader`.
+///
+/// `max_body` bounds accepted `Content-Length` values; larger declarations
+/// fail with [`HttpError::PayloadTooLarge`] *before* any body byte is read.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<ReadOutcome, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(reader, &mut budget)? {
+        Some(line) => line,
+        None => return Ok(ReadOutcome::Closed),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("").to_string();
+    if method.is_empty()
+        || target.is_empty()
+        || parts.next().is_some()
+        || !method.chars().all(|c| c.is_ascii_uppercase())
+        || !target.starts_with('/')
+    {
+        return Err(malformed(format!("bad request line {request_line:?}")));
+    }
+    let keep_alive_default = match version.as_str() {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(malformed(format!("unsupported version {version:?}"))),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut budget)? {
+            Some(line) => line,
+            None => {
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside header section",
+                )))
+            }
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed(format!("header without colon: {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(malformed(format!("bad header name in {line:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut keep_alive = keep_alive_default;
+    if let Some(conn) = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase())
+    {
+        if conn == "close" {
+            keep_alive = false;
+        } else if conn == "keep-alive" {
+            keep_alive = true;
+        }
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => Some(
+            v.parse::<usize>()
+                .map_err(|_| malformed(format!("unparseable Content-Length {v:?}")))?,
+        ),
+        None => None,
+    };
+
+    let body = match content_length {
+        Some(len) => {
+            if len > max_body {
+                return Err(HttpError::PayloadTooLarge {
+                    declared: len,
+                    limit: max_body,
+                });
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).map_err(HttpError::Io)?;
+            body
+        }
+        None => {
+            if method == "POST" || method == "PUT" || method == "PATCH" {
+                // Without a length we cannot frame the body (chunked encoding
+                // is unsupported), so we must refuse rather than desync.
+                return Err(HttpError::LengthRequired);
+            }
+            Vec::new()
+        }
+    };
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Writes a complete response with `Content-Length` framing.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// A parsed response (client side: tests and `loadgen`).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Reads one `Content-Length`-framed response.
+pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = read_line(reader, &mut budget)?
+        .ok_or_else(|| HttpError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut budget)?
+            .ok_or_else(|| HttpError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| malformed("bad Content-Length in response"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<ReadOutcome, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    fn parse_ok(raw: &[u8]) -> Request {
+        match parse(raw).unwrap() {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => panic!("expected a request"),
+        }
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse_ok(b"GET /metrics?format=text HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query, "format=text");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.keep_alive);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse_ok(b"POST /embed HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let r = parse_ok(b"GET / HTTP/1.1\nHost: x\n\n");
+        assert_eq!(r.path, "/");
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(b"").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET / FTP/1.1\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed { .. })),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert!(matches!(
+            parse(b"POST /embed HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_413_before_reading_body() {
+        let err = parse(b"POST /embed HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::PayloadTooLarge {
+                declared: 4096,
+                limit: 1024
+            }
+        ));
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn unparseable_length_is_400() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn header_without_colon_is_400() {
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: &[u8] =
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let first = match read_request(&mut reader, 1024).unwrap() {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => panic!("expected first request"),
+        };
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive);
+        let second = match read_request(&mut reader, 1024).unwrap() {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => panic!("expected second request"),
+        };
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        assert!(matches!(
+            read_request(&mut reader, 1024).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let r = parse_ok(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.keep_alive);
+        let r = parse_ok(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn giant_header_section_is_400() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 20 * 1024));
+        assert!(matches!(parse(&raw), Err(HttpError::Malformed { .. })));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            "OK",
+            "application/json",
+            b"{\"ok\":1}",
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"ok\":1}");
+    }
+}

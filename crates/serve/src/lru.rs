@@ -1,0 +1,227 @@
+//! Hand-rolled LRU cache for embedding vectors.
+//!
+//! A classic slab + doubly-linked-list design: entries live in a `Vec` of
+//! nodes, the recency list is threaded through `prev`/`next` indices, and a
+//! `HashMap` maps the (already pre-hashed) feature key to its slot. `get` and
+//! `insert` are O(1); eviction pops the list tail. No unsafe, no external
+//! crates, no per-operation allocation once the slab is full.
+//!
+//! Keys are `u64` content hashes ([`rll_tensor::hash::fnv1a_f64s`] of the raw
+//! feature vector). Hash collisions would silently serve the wrong embedding,
+//! but with 64-bit FNV over a cache of `c` entries the collision probability
+//! is ~`c²/2⁶⁵` — at the configured capacities (≤ 2²⁰) that is below 1e-13,
+//! the same order of risk every content-addressed store accepts.
+
+use std::collections::HashMap;
+
+/// Sentinel index meaning "no node".
+const NIL: usize = usize::MAX;
+
+struct Node<V> {
+    key: u64,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used map from `u64` keys to values.
+pub struct LruCache<V> {
+    map: HashMap<u64, usize>,
+    slab: Vec<Node<V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries. A capacity of 0
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: u64) -> Option<V> {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.push_front(idx);
+                Some(self.slab[idx].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            self.detach(idx);
+            self.push_front(idx);
+            return;
+        }
+        let idx = if self.slab.len() < self.capacity {
+            self.slab.push(Node {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Reuse the tail slot.
+            let idx = self.tail;
+            self.detach(idx);
+            self.map.remove(&self.slab[idx].key);
+            self.slab[idx].key = key;
+            self.slab[idx].value = value;
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_promotes_and_counts() {
+        let mut lru = LruCache::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.get(1), Some("a")); // 1 is now MRU
+        lru.insert(3, "c"); // evicts 2 (LRU), not 1
+        assert_eq!(lru.get(2), None);
+        assert_eq!(lru.get(1), Some("a"));
+        assert_eq!(lru.get(3), Some("c"));
+        assert_eq!(lru.hits(), 3);
+        assert_eq!(lru.misses(), 1);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut lru = LruCache::new(3);
+        for k in 0..3 {
+            lru.insert(k, k);
+        }
+        // Touch 0 and 1 → 2 becomes LRU.
+        lru.get(0);
+        lru.get(1);
+        lru.insert(3, 3);
+        assert_eq!(lru.get(2), None);
+        assert_eq!(lru.get(0), Some(0));
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut lru = LruCache::new(2);
+        lru.insert(1, "old");
+        lru.insert(2, "b");
+        lru.insert(1, "new"); // refresh, 2 is now LRU
+        lru.insert(3, "c");
+        assert_eq!(lru.get(1), Some("new"));
+        assert_eq!(lru.get(2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = LruCache::new(0);
+        lru.insert(1, "a");
+        assert_eq!(lru.get(1), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn single_slot_cache() {
+        let mut lru = LruCache::new(1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        assert_eq!(lru.get(1), None);
+        assert_eq!(lru.get(2), Some(2));
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut lru = LruCache::new(16);
+        for i in 0..10_000u64 {
+            lru.insert(i % 37, i);
+            let _ = lru.get((i * 7) % 37);
+            assert!(lru.len() <= 16);
+        }
+        // Every cached key must still map to its latest inserted value.
+        for k in 0..37u64 {
+            if let Some(v) = lru.get(k) {
+                assert_eq!(v % 37, k);
+            }
+        }
+    }
+}

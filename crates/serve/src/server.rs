@@ -1,0 +1,382 @@
+//! The embedding HTTP server: routes, connection lifecycle, shutdown.
+//!
+//! | Route | Method | Body | Response |
+//! |---|---|---|---|
+//! | `/embed` | POST | `{"features": [[f64; d], …]}` | `{"embeddings": [[f64; m], …], "dim": m}` |
+//! | `/score` | POST | `{"a": [f64; d], "b": [f64; d]}` | `{"score": f64}` (cosine relevance, eq. 3 sans confidence) |
+//! | `/healthz` | GET | — | `{"status":"ok", …}` with checkpoint identity |
+//! | `/metrics` | GET | — | rll-obs [`MetricsSnapshot`] JSON (`?format=text` for plain text) |
+//!
+//! Error contract: JSON `{"error": …}` with `400` (bad input), `404`/`405`
+//! (routing), `411`/`413` (framing), `503` (queue backpressure / shutdown),
+//! `500` (internal). Connections are HTTP/1.1 keep-alive with pipelining;
+//! each gets a read timeout so an idle peer cannot pin a handler thread
+//! forever.
+//!
+//! [`MetricsSnapshot`]: rll_obs::MetricsSnapshot
+
+use crate::engine::InferenceEngine;
+use crate::error::ServeError;
+use crate::http::{self, HttpError, ReadOutcome, Request};
+use crate::Result;
+use rll_obs::{Recorder, Stopwatch};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Per-connection read timeout; an idle keep-alive peer is disconnected
+    /// after this long.
+    pub read_timeout_secs: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_body_bytes: 1 << 20,
+            read_timeout_secs: 30,
+        }
+    }
+}
+
+/// `POST /embed` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbedRequest {
+    /// One or more raw feature vectors (each of the model's input dimension).
+    pub features: Vec<Vec<f64>>,
+}
+
+/// `POST /embed` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbedResponse {
+    /// One embedding per input row, in order.
+    pub embeddings: Vec<Vec<f64>>,
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+/// `POST /score` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreRequest {
+    /// First raw feature vector.
+    pub a: Vec<f64>,
+    /// Second raw feature vector.
+    pub b: Vec<f64>,
+}
+
+/// `POST /score` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Cosine relevance between the two embeddings, in `[-1, 1]`.
+    pub score: f64,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Training-run id baked into the served checkpoint.
+    pub train_run_id: String,
+    /// Feature dimension requests must carry.
+    pub input_dim: usize,
+    /// Embedding dimension responses carry.
+    pub embedding_dim: usize,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+}
+
+/// Error body for every non-2xx response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description.
+    pub error: String,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`EmbedServer::shutdown`].
+pub struct EmbedServer {
+    engine: InferenceEngine,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+struct Ctx {
+    engine: InferenceEngine,
+    recorder: Recorder,
+    train_run_id: String,
+    started: Stopwatch,
+    max_body_bytes: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl EmbedServer {
+    /// Binds `config.addr` and starts accepting connections.
+    pub fn start(
+        engine: InferenceEngine,
+        config: ServerConfig,
+        recorder: Recorder,
+        train_run_id: &str,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::io(format!("bind {}", config.addr), e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::io("local_addr", e))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            engine: engine.clone(),
+            recorder,
+            train_run_id: train_run_id.to_string(),
+            started: Stopwatch::start(),
+            max_body_bytes: config.max_body_bytes,
+            shutdown: Arc::clone(&shutdown),
+        });
+        let read_timeout = Duration::from_secs(config.read_timeout_secs.max(1));
+        let acceptor_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if acceptor_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_read_timeout(Some(read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    let conn_ctx = Arc::clone(&ctx);
+                    conn_ctx
+                        .recorder
+                        .metrics()
+                        .counter("serve.http.connections")
+                        .inc();
+                    // Handler threads are detached: each is bounded by the
+                    // read timeout, so they drain on their own after
+                    // shutdown flips.
+                    let _ = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &conn_ctx));
+                }
+            })
+            .map_err(|e| ServeError::io("spawn acceptor thread", e))?;
+        Ok(EmbedServer {
+            engine,
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Stops accepting, unblocks the acceptor, and joins it. The inference
+    /// engine is left running (shut it down separately — it may be shared).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, ctx.max_body_bytes) {
+            Ok(ReadOutcome::Request(request)) => {
+                let _span = ctx.recorder.span("serve.request");
+                ctx.recorder.metrics().counter("serve.http.requests").inc();
+                let keep_alive = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+                let (status, reason, content_type, body) = route(ctx, &request);
+                if status >= 400 {
+                    ctx.recorder.metrics().counter("serve.http.errors").inc();
+                }
+                if http::write_response(
+                    &mut writer,
+                    status,
+                    reason,
+                    content_type,
+                    &body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Err(HttpError::Io(_)) => {
+                // Timeout, reset, or mid-message EOF: nothing sensible to say.
+                return;
+            }
+            Err(parse_error) => {
+                ctx.recorder.metrics().counter("serve.http.errors").inc();
+                let (status, reason) = parse_error.status();
+                let body = error_body(&parse_error.to_string());
+                // Framing is unreliable after a parse error; always close.
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    reason,
+                    "application/json",
+                    &body,
+                    false,
+                );
+                return;
+            }
+        }
+    }
+}
+
+type Routed = (u16, &'static str, &'static str, Vec<u8>);
+
+fn route(ctx: &Ctx, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/embed") => handle_embed(ctx, &request.body),
+        ("POST", "/score") => handle_score(ctx, &request.body),
+        ("GET", "/healthz") => handle_healthz(ctx),
+        ("GET", "/metrics") => handle_metrics(ctx, &request.query),
+        ("GET", "/embed" | "/score") | ("POST", "/healthz" | "/metrics") => (
+            405,
+            "Method Not Allowed",
+            "application/json",
+            error_body("method not allowed for this route"),
+        ),
+        _ => (
+            404,
+            "Not Found",
+            "application/json",
+            error_body(&format!("no route for {}", request.path)),
+        ),
+    }
+}
+
+fn handle_embed(ctx: &Ctx, body: &[u8]) -> Routed {
+    let parsed: EmbedRequest = match parse_json(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    match ctx.engine.embed_many(parsed.features) {
+        Ok(embeddings) => {
+            let dim = ctx.engine.model().embedding_dim();
+            json_ok(&EmbedResponse { embeddings, dim })
+        }
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+fn handle_score(ctx: &Ctx, body: &[u8]) -> Routed {
+    let parsed: ScoreRequest = match parse_json(body) {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    match ctx.engine.score(parsed.a, parsed.b) {
+        Ok(score) => json_ok(&ScoreResponse { score }),
+        Err(e) => serve_error_response(&e),
+    }
+}
+
+fn handle_healthz(ctx: &Ctx) -> Routed {
+    json_ok(&HealthResponse {
+        status: "ok".to_string(),
+        train_run_id: ctx.train_run_id.clone(),
+        input_dim: ctx.engine.model().input_dim(),
+        embedding_dim: ctx.engine.model().embedding_dim(),
+        uptime_secs: ctx.started.elapsed_secs(),
+    })
+}
+
+fn handle_metrics(ctx: &Ctx, query: &str) -> Routed {
+    let snapshot = ctx.recorder.metrics().snapshot();
+    if query.split('&').any(|kv| kv == "format=text") {
+        return (
+            200,
+            "OK",
+            "text/plain; charset=utf-8",
+            snapshot.render_text().into_bytes(),
+        );
+    }
+    json_ok(&snapshot)
+}
+
+fn parse_json<T: serde::Deserialize>(body: &[u8]) -> std::result::Result<T, Routed> {
+    let text = std::str::from_utf8(body).map_err(|_| -> Routed {
+        (
+            400,
+            "Bad Request",
+            "application/json",
+            error_body("body is not UTF-8"),
+        )
+    })?;
+    serde_json::from_str(text).map_err(|e| -> Routed {
+        (
+            400,
+            "Bad Request",
+            "application/json",
+            error_body(&format!("invalid JSON body: {e}")),
+        )
+    })
+}
+
+fn json_ok<T: serde::Serialize>(value: &T) -> Routed {
+    match serde_json::to_string(value) {
+        Ok(json) => (200, "OK", "application/json", json.into_bytes()),
+        Err(e) => (
+            500,
+            "Internal Server Error",
+            "application/json",
+            error_body(&format!("response serialization failed: {e}")),
+        ),
+    }
+}
+
+fn serve_error_response(e: &ServeError) -> Routed {
+    let (status, reason) = match e {
+        ServeError::QueueFull { .. } | ServeError::EngineShutdown => (503, "Service Unavailable"),
+        ServeError::DimMismatch { .. } | ServeError::InvalidRequest { .. } => (400, "Bad Request"),
+        _ => (500, "Internal Server Error"),
+    };
+    (
+        status,
+        reason,
+        "application/json",
+        error_body(&e.to_string()),
+    )
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    match serde_json::to_string(&ErrorResponse {
+        error: message.to_string(),
+    }) {
+        Ok(json) => json.into_bytes(),
+        // The ErrorResponse shape cannot fail to serialize; fall back anyway.
+        Err(_) => b"{\"error\":\"internal\"}".to_vec(),
+    }
+}

@@ -1,0 +1,87 @@
+//! FNV-1a content hashing.
+//!
+//! The serving layer needs two stable, dependency-free hashes: a checksum
+//! over checkpoint payload bytes (corruption detection) and a cache key over
+//! feature vectors (embedding memoisation). Both use 64-bit FNV-1a, which is
+//! deterministic across platforms — unlike `std::collections::hash_map`'s
+//! `RandomState`, which is seeded per process and would defeat
+//! cross-run-comparable cache keys and checksums.
+//!
+//! Floats are hashed by their IEEE-754 bit pattern, so `0.0` and `-0.0` hash
+//! differently and `NaN` payloads are distinguished. That is the right
+//! semantics for a cache key: two inputs get the same key only when they are
+//! bitwise-identical, which is exactly when the (deterministic) forward pass
+//! would produce bitwise-identical embeddings.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+///
+/// ```
+/// // Reference vectors from the FNV specification.
+/// assert_eq!(rll_tensor::hash::fnv1a(b""), 0xcbf29ce484222325);
+/// assert_eq!(rll_tensor::hash::fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes a slice of `f64`s by feeding each value's little-endian IEEE-754
+/// bit pattern through [`fnv1a`]. Length is mixed in first so a vector and
+/// its zero-padded extension cannot collide trivially.
+pub fn fnv1a_f64s(values: &[f64]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in (values.len() as u64).to_le_bytes().iter() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    for &v in values {
+        for &b in v.to_bits().to_le_bytes().iter() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn f64_hash_is_deterministic_and_discriminating() {
+        let a = fnv1a_f64s(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, fnv1a_f64s(&[1.0, 2.0, 3.0]));
+        assert_ne!(a, fnv1a_f64s(&[1.0, 2.0, 3.0000000001]));
+        assert_ne!(a, fnv1a_f64s(&[3.0, 2.0, 1.0]));
+    }
+
+    #[test]
+    fn f64_hash_separates_sign_and_padding() {
+        assert_ne!(fnv1a_f64s(&[0.0]), fnv1a_f64s(&[-0.0]));
+        assert_ne!(fnv1a_f64s(&[0.0]), fnv1a_f64s(&[0.0, 0.0]));
+        assert_ne!(fnv1a_f64s(&[]), fnv1a_f64s(&[0.0]));
+    }
+
+    #[test]
+    fn nan_payloads_hash_by_bit_pattern() {
+        let q = f64::NAN;
+        assert_eq!(fnv1a_f64s(&[q]), fnv1a_f64s(&[q]));
+    }
+}

@@ -15,6 +15,8 @@
 //! - [`init`] — weight initializers (Xavier/Glorot, He, LeCun).
 //! - [`ops`] — numerically-stable vector kernels (softmax, log-sum-exp,
 //!   cosine similarity) used directly by the RLL loss.
+//! - [`hash`] — deterministic FNV-1a content hashing (checkpoint checksums,
+//!   embedding-cache keys in `rll-serve`).
 //! - [`stats`] — summary statistics used by the evaluation harness.
 //!
 //! All fallible operations return [`TensorError`] instead of panicking, so the
@@ -22,6 +24,7 @@
 
 pub mod error;
 pub mod finite;
+pub mod hash;
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -13,7 +13,35 @@ echo "== rll-lint (workspace invariants) =="
 mkdir -p results
 cargo run -q -p rll-lint --release -- --out results/lint.json
 
+echo "== cargo build (all targets, incl. examples and bins) =="
+cargo build --workspace --all-targets
+
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== serve smoke test =="
+# One real round trip through the serving stack: train a tiny checkpoint,
+# serve it on an ephemeral port, fire a seeded load burst, shut down. Gates
+# on loadgen's exit status (non-zero when no request succeeds).
+cargo build -q --release -p rll-serve
+SMOKE_DIR=$(mktemp -d)
+trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
+./target/release/serve train-demo --out "$SMOKE_DIR/smoke.rllckpt" \
+    --n 80 --epochs 5 --seed 42 >/dev/null
+./target/release/serve --checkpoint "$SMOKE_DIR/smoke.rllckpt" \
+    --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/port" >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$SMOKE_DIR/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/port" ] || { echo "serve never wrote its port file"; exit 1; }
+./target/release/loadgen --addr "$(head -n1 "$SMOKE_DIR/port")" \
+    --requests 50 --concurrency 2 --seed 42 \
+    --out "$SMOKE_DIR/serve_bench.json" >/dev/null
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "serve smoke test ok"
 
 echo "All checks passed."

@@ -18,6 +18,7 @@
 //! | [`baselines`] | `rll-baselines` | logistic regression, Siamese/Triplet/Relation nets |
 //! | [`core`] | `rll-core` | the RLL framework itself |
 //! | [`eval`] | `rll-eval` | metrics, cross-validation, experiment runners |
+//! | [`serve`] | `rll-serve` | checkpoints, inference engine, HTTP serving |
 //!
 //! ## Quickstart
 //!
@@ -46,4 +47,5 @@ pub use rll_crowd as crowd;
 pub use rll_data as data;
 pub use rll_eval as eval;
 pub use rll_nn as nn;
+pub use rll_serve as serve;
 pub use rll_tensor as tensor;
