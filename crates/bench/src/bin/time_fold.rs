@@ -1,17 +1,29 @@
-//! Calibration utility: quick per-method timings and a compact Table-I-lite
-//! (representative methods only) at full dataset size. Used while tuning the
-//! dataset simulators; not part of the documented reproduction flow.
+//! Calibration utility: quick per-method timings, a compact Table-I-lite
+//! (representative methods only) at full dataset size, and a
+//! serial-vs-parallel trainer benchmark (`--bench-train`). Used while tuning
+//! the dataset simulators; not part of the documented reproduction flow.
 
 use std::time::Instant;
 
-use rll_core::RllVariant;
+use rll_core::{RllConfig, RllTrainer, RllVariant};
 use rll_eval::experiments::{table1, ExperimentScale};
 use rll_eval::method::{EmbedKind, MethodSpec, TrainBudget, TwoStageAgg};
+use serde::Serialize;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--timings") {
         timings();
+        return;
+    }
+    if args.iter().any(|a| a == "--bench-train") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("results/bench_train.json");
+        bench_train(out);
         return;
     }
     let seed: u64 = args
@@ -34,6 +46,84 @@ fn main() {
     let result = table1::run(ExperimentScale::Full, seed, Some(&methods)).expect("table1 subset");
     println!("{}", result.render());
     println!("elapsed: {:?}", t.elapsed());
+}
+
+#[derive(Serialize)]
+struct BenchTrain {
+    schema: String,
+    workload: String,
+    seed: u64,
+    epochs: usize,
+    groups_per_epoch: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+    parallel_threads: usize,
+    available_cores: usize,
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+/// Times one full `RllTrainer::fit` at 1 worker thread and at 4, checks the
+/// two runs produce bitwise-identical models, and writes the measurements as
+/// `bench_train/v1` JSON.
+///
+/// The speedup is reported as measured, alongside `available_cores`: on a
+/// single-core machine the parallel run cannot beat the serial one (thread
+/// overhead makes it slightly slower), and that is the honest number — the
+/// point of `rll-par` is that the *results* never depend on the thread
+/// count, so the knob is safe to turn wherever cores exist.
+fn bench_train(out: &str) {
+    let seed = 42;
+    let ds = rll_data::presets::oral(seed).expect("oral preset");
+    let config = RllConfig::default();
+
+    let run = |threads: usize| {
+        let trainer = RllTrainer::new(config.clone())
+            .expect("valid config")
+            .with_threads(threads);
+        let t = Instant::now();
+        let fitted = trainer
+            .fit(&ds.features, &ds.annotations, seed)
+            .expect("training succeeds");
+        (t.elapsed().as_secs_f64(), fitted)
+    };
+
+    let (serial_secs, (serial_model, serial_trace)) = run(1);
+    let parallel_threads = 4;
+    let (parallel_secs, (parallel_model, parallel_trace)) = run(parallel_threads);
+
+    let outputs_identical = serial_model.embed(&ds.features).expect("embed")
+        == parallel_model.embed(&ds.features).expect("embed")
+        && serial_trace.epoch_losses == parallel_trace.epoch_losses
+        && serial_trace.grad_norms_pre_clip == parallel_trace.grad_norms_pre_clip;
+
+    let report = BenchTrain {
+        schema: "bench_train/v1".into(),
+        workload: format!(
+            "RllTrainer::fit on presets::oral ({} items, {} workers)",
+            ds.features.rows(),
+            ds.annotations.num_workers()
+        ),
+        seed,
+        epochs: config.epochs,
+        groups_per_epoch: config.groups_per_epoch,
+        serial_secs,
+        parallel_secs,
+        parallel_threads,
+        available_cores: rll_par::available_threads(),
+        speedup: serial_secs / parallel_secs,
+        outputs_identical,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(out, format!("{json}\n")).expect("write bench json");
+    println!("{json}");
+    assert!(
+        outputs_identical,
+        "serial and 4-thread training disagree: determinism regression"
+    );
 }
 
 fn timings() {

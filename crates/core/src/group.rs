@@ -69,6 +69,11 @@ pub struct BatchStats {
     /// Weighted-sampling rejections (candidate drawn but already in the
     /// group). Always 0 for [`SamplingStrategy::Uniform`].
     pub rejections: u64,
+    /// Picks that abandoned weighted sampling for the uniform fallback
+    /// because the remaining confidence mass was degenerate (all-zero
+    /// weights, e.g. after `conf^gamma` underflow). Always 0 for
+    /// [`SamplingStrategy::Uniform`].
+    pub fallbacks: u64,
     /// Fraction of groups in the batch that duplicate an earlier group
     /// (same anchor, positive, and negative *set*).
     pub duplicate_rate: f64,
@@ -209,12 +214,19 @@ impl GroupSampler {
     /// Samples one group.
     pub fn sample(&self, rng: &mut Rng64) -> Result<Group> {
         let mut rejections = 0;
-        self.sample_counting(rng, &mut rejections)
+        let mut fallbacks = 0;
+        self.sample_counting(rng, &mut rejections, &mut fallbacks)
     }
 
     /// [`Self::sample`] that also accumulates weighted-sampling rejections
-    /// into `rejections`.
-    fn sample_counting(&self, rng: &mut Rng64, rejections: &mut u64) -> Result<Group> {
+    /// into `rejections` and degenerate-mass uniform fallbacks into
+    /// `fallbacks`.
+    fn sample_counting(
+        &self,
+        rng: &mut Rng64,
+        rejections: &mut u64,
+        fallbacks: &mut u64,
+    ) -> Result<Group> {
         let picks = rng.sample_indices(self.positives.len(), 2)?;
         let anchor = self.positives[picks[0]];
         let positive = self.positives[picks[1]];
@@ -231,22 +243,31 @@ impl GroupSampler {
                 // the renormalized distribution, so it matches zeroing-and-
                 // renormalizing while exposing a real rejection count (how
                 // contended the weight mass is). A zeroing fallback guards
-                // against pathological weight concentration.
+                // against pathological weight concentration, and a bounded
+                // attempt budget plus uniform fallback guards against
+                // *degenerate* mass — e.g. every weight underflowing to 0.0
+                // under `conf^gamma` — which previously surfaced as a hard
+                // error mid-training.
+                const MAX_DRAWS_PER_PICK: u32 = 128;
                 let mut weights: Option<Vec<f64>> = None;
                 let mut taken = vec![false; self.negatives.len()];
                 let mut chosen = Vec::with_capacity(self.k);
                 for _ in 0..self.k {
-                    let idx = loop {
-                        match &weights {
-                            None => {
-                                let idx = rng.categorical(&self.negative_weights)?;
-                                if !taken[idx] {
-                                    break idx;
-                                }
+                    let mut picked = None;
+                    let mut draws = 0u32;
+                    while draws < MAX_DRAWS_PER_PICK {
+                        draws += 1;
+                        let w = weights.as_deref().unwrap_or(&self.negative_weights);
+                        match rng.categorical(w) {
+                            Ok(cand) if !taken[cand] => {
+                                picked = Some(cand);
+                                break;
+                            }
+                            Ok(_) => {
                                 *rejections += 1;
                                 // After many consecutive repeats the remaining
                                 // mass is tiny; switch to explicit zeroing.
-                                if (*rejections).is_multiple_of(64) {
+                                if (*rejections).is_multiple_of(64) && weights.is_none() {
                                     let mut w = self.negative_weights.clone();
                                     for (i, &t) in taken.iter().enumerate() {
                                         if t {
@@ -256,7 +277,26 @@ impl GroupSampler {
                                     weights = Some(w);
                                 }
                             }
-                            Some(w) => break rng.categorical(w)?,
+                            // Zero total mass: no categorical draw can ever
+                            // succeed, so retrying is pointless.
+                            Err(_) => break,
+                        }
+                    }
+                    let idx = match picked {
+                        Some(idx) => idx,
+                        None => {
+                            // Degenerate confidence mass: fall back to a
+                            // uniform pick over the not-yet-taken negatives
+                            // (never empty: the constructor guarantees
+                            // `k <= negatives.len()`).
+                            *fallbacks += 1;
+                            let untaken: Vec<usize> = taken
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &t)| !t)
+                                .map(|(i, _)| i)
+                                .collect();
+                            untaken[rng.below(untaken.len())?]
                         }
                     };
                     taken[idx] = true;
@@ -290,11 +330,12 @@ impl GroupSampler {
         rng: &mut Rng64,
     ) -> Result<(Vec<Group>, BatchStats)> {
         let mut rejections = 0;
+        let mut fallbacks = 0;
         let mut groups = Vec::with_capacity(count);
         let mut seen: HashSet<(usize, usize, Vec<usize>)> = HashSet::with_capacity(count);
         let mut duplicates = 0usize;
         for _ in 0..count {
-            let group = self.sample_counting(rng, &mut rejections)?;
+            let group = self.sample_counting(rng, &mut rejections, &mut fallbacks)?;
             let mut negs = group.negatives.clone();
             negs.sort_unstable();
             if !seen.insert((group.anchor, group.positive, negs)) {
@@ -307,6 +348,7 @@ impl GroupSampler {
             positive_pool: self.positives.len(),
             negative_pool: self.negatives.len(),
             rejections,
+            fallbacks,
             duplicate_rate: if groups.is_empty() {
                 0.0
             } else {
@@ -411,6 +453,82 @@ mod tests {
             }
         }
         assert!(count9 > count5 * 10, "9: {count9}, 5: {count5}");
+    }
+
+    #[test]
+    fn degenerate_confidence_mass_falls_back_to_uniform() {
+        // Regression: `conf.max(1e-6).powf(gamma)` underflows to exactly 0.0
+        // for tiny confidences and a large gamma, so every negative weight is
+        // zero and `categorical` can never succeed. This used to surface as
+        // a hard error from `sample`; now it must fall back to uniform picks
+        // and report the fallback in the batch stats.
+        let labels = labels();
+        let conf = vec![1e-9; 10];
+        let sampler = GroupSampler::new(
+            &labels,
+            3,
+            SamplingStrategy::ConfidenceBiased { gamma: 100.0 },
+            Some(&conf),
+        )
+        .unwrap();
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..50 {
+            let g = sampler.sample(&mut rng).unwrap();
+            let mut negs = g.negatives.clone();
+            negs.sort_unstable();
+            negs.dedup();
+            assert_eq!(negs.len(), 3, "negatives stay distinct under fallback");
+            assert!(g.negatives.iter().all(|&n| labels[n] == 0));
+        }
+        let (groups, stats) = sampler.sample_batch_with_stats(20, &mut rng).unwrap();
+        assert_eq!(groups.len(), 20);
+        assert_eq!(
+            stats.fallbacks, 60,
+            "every pick of every group used the fallback"
+        );
+    }
+
+    #[test]
+    fn single_candidate_weight_mass_terminates() {
+        // Regression: one dominant weight with all other mass at zero. The
+        // first pick takes the dominant negative; subsequent picks can never
+        // draw an untaken index (the zeroed-weights retry also has zero
+        // total mass) — the old sampler errored out here. Now: bounded
+        // attempts, then uniform fallback.
+        let labels = labels();
+        let mut conf = vec![1e-9; 10];
+        conf[5] = 1.0; // sole surviving weight after gamma sharpening
+        let sampler = GroupSampler::new(
+            &labels,
+            2,
+            SamplingStrategy::ConfidenceBiased { gamma: 100.0 },
+            Some(&conf),
+        )
+        .unwrap();
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut rejections = 0;
+        let mut fallbacks = 0;
+        for _ in 0..20 {
+            let g = sampler
+                .sample_counting(&mut rng, &mut rejections, &mut fallbacks)
+                .unwrap();
+            assert!(
+                g.negatives.contains(&5),
+                "the dominant negative is always drawn first"
+            );
+            assert_eq!(g.negatives.len(), 2);
+        }
+        assert!(fallbacks >= 20, "second pick always needs the fallback");
+        // Well-conditioned weights never fall back (stream compatibility).
+        let healthy = GroupSampler::new(
+            &labels,
+            3,
+            SamplingStrategy::ConfidenceBiased { gamma: 2.0 },
+            Some(&[0.8; 10]),
+        )
+        .unwrap();
+        let (_, stats) = healthy.sample_batch_with_stats(200, &mut rng).unwrap();
+        assert_eq!(stats.fallbacks, 0);
     }
 
     #[test]

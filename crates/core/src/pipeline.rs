@@ -87,6 +87,7 @@ pub fn score_predictions(predictions: &[u8], expert: &[u8]) -> Result<EvalReport
 pub struct RllPipeline {
     config: RllConfig,
     recorder: rll_obs::Recorder,
+    threads: Option<usize>,
     normalizer: Option<Normalizer>,
     model: Option<RllModel>,
     classifier: Option<LogisticRegression>,
@@ -99,6 +100,7 @@ impl RllPipeline {
         RllPipeline {
             config,
             recorder: rll_obs::Recorder::disabled(),
+            threads: None,
             normalizer: None,
             model: None,
             classifier: None,
@@ -110,6 +112,14 @@ impl RllPipeline {
     /// [`Self::fit`], so training emits per-epoch events through it.
     pub fn with_recorder(mut self, recorder: rll_obs::Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Overrides the trainer's worker-thread count (0 is treated as 1).
+    /// Without an override the trainer reads the `RLL_THREADS` knob. Results
+    /// are bitwise identical at every setting — see [`RllTrainer::fit`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -154,7 +164,11 @@ impl RllPipeline {
             .map_err(|e| RllError::InvalidConfig {
                 reason: format!("feature normalization failed: {e}"),
             })?;
-        let trainer = RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
+        let mut trainer =
+            RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
+        if let Some(threads) = self.threads {
+            trainer = trainer.with_threads(threads);
+        }
         let (model, trace) = trainer.fit(&normalized, annotations, seed)?;
         let embeddings = model.embed(&normalized)?;
         let mut classifier = LogisticRegression::with_defaults();

@@ -154,21 +154,31 @@ pub struct TrainingTrace {
     pub epoch_wall_secs: Vec<f64>,
 }
 
+/// Groups per gradient shard. Shard boundaries are a pure function of the
+/// batch size — **never** of the thread count — so the shard-order gradient
+/// reduction in [`RllTrainer::fit`] produces bitwise-identical weights at
+/// any `RLL_THREADS` setting.
+const SHARD_GROUPS: usize = 16;
+
 /// Trains [`RllModel`]s from features + crowd annotations.
 #[derive(Debug, Clone)]
 pub struct RllTrainer {
     config: RllConfig,
     recorder: Recorder,
+    threads: usize,
 }
 
 impl RllTrainer {
     /// Creates a trainer after validating the config. Telemetry is disabled
-    /// until a recorder is attached with [`Self::with_recorder`].
+    /// until a recorder is attached with [`Self::with_recorder`]; the
+    /// worker-thread count defaults to [`rll_par::configured_threads`]
+    /// (the `RLL_THREADS` knob).
     pub fn new(config: RllConfig) -> Result<Self> {
         config.validate()?;
         Ok(RllTrainer {
             config,
             recorder: Recorder::disabled(),
+            threads: rll_par::configured_threads(),
         })
     }
 
@@ -177,6 +187,19 @@ impl RllTrainer {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Overrides the worker-thread count (0 is treated as 1). Training
+    /// results are bitwise identical for every value — see
+    /// [`Self::fit`] — so this knob trades wall-clock time only.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The worker-thread count [`Self::fit`] will use.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The attached recorder (a disabled one by default).
@@ -296,6 +319,10 @@ impl RllTrainer {
         let clip = self.config.grad_clip.map(GradClip::new).transpose()?;
 
         let _fit_span = self.recorder.span("train.fit");
+        self.recorder
+            .metrics()
+            .gauge("train.threads")
+            .set(self.threads as f64);
         let mut epoch_losses = Vec::with_capacity(self.config.epochs);
         let mut grad_norms_pre_clip = Vec::with_capacity(self.config.epochs);
         let mut grad_norms_post_clip = Vec::with_capacity(self.config.epochs);
@@ -320,6 +347,7 @@ impl RllTrainer {
                 positive_pool: batch_stats.positive_pool,
                 negative_pool: batch_stats.negative_pool,
                 rejections: batch_stats.rejections,
+                fallbacks: batch_stats.fallbacks,
                 duplicate_rate: batch_stats.duplicate_rate,
             }));
             let metrics = self.recorder.metrics();
@@ -329,26 +357,64 @@ impl RllTrainer {
             metrics
                 .counter("train.sampler_rejections")
                 .add(batch_stats.rejections);
+            metrics
+                .counter("train.sampler_fallbacks")
+                .add(batch_stats.fallbacks);
 
+            // Forward/backward over the batch, sharded across worker threads.
+            // Determinism contract (holds for every thread count, including
+            // 1): shard boundaries are fixed by SHARD_GROUPS alone; each
+            // shard accumulates gradients into a thread-local clone in
+            // serial group order; partials are reduced into the model in
+            // shard-index order below. Only scheduling varies with
+            // `self.threads` — never which floats are added in which order.
             model.mlp_mut().zero_grad();
+            let shards = rll_par::fixed_shards(groups.len(), SHARD_GROUPS);
+            let shard_outputs = {
+                let mlp = model.mlp();
+                let groups = &groups;
+                let confidences = &confidences;
+                rll_par::try_map_ordered(&shards, self.threads, |shard_idx, range| {
+                    // The RLL encoder trains with dropout 0, so this rng is
+                    // never consulted; seeding it from (seed, epoch, shard)
+                    // keeps the stream thread-count-independent if a future
+                    // config ever enables dropout.
+                    let mut shard_rng = Rng64::seed_from_u64(
+                        seed ^ ((epoch as u64) << 24) ^ ((shard_idx as u64) << 8),
+                    );
+                    let mut local = mlp.clone();
+                    local.zero_grad();
+                    let mut loss_sum = 0.0;
+                    let mut forward_secs = 0.0;
+                    let mut backward_secs = 0.0;
+                    for group in &groups[range.clone()] {
+                        let members = group.members();
+                        let forward_start = Stopwatch::start();
+                        let member_features = features.select_rows(&members)?;
+                        let cache = local.forward_cached(&member_features, &mut shard_rng)?;
+                        // Candidate confidences: δ_j for the positive, then
+                        // the negatives' δ, in member order.
+                        let cand_conf: Vec<f64> =
+                            members[1..].iter().map(|&m| confidences[m]).collect();
+                        let (loss, grads) =
+                            group_softmax_loss(cache.output(), &cand_conf, self.config.eta)?;
+                        forward_secs += forward_start.elapsed_secs();
+                        loss_sum += loss;
+                        let backward_start = Stopwatch::start();
+                        local.backward(&cache, &grads)?;
+                        backward_secs += backward_start.elapsed_secs();
+                    }
+                    Ok::<_, RllError>((loss_sum, forward_secs, backward_secs, local))
+                })?
+            };
             let mut total_loss = 0.0;
             let mut forward_secs = 0.0;
             let mut backward_secs = 0.0;
-            for group in &groups {
-                let members = group.members();
-                let forward_start = Stopwatch::start();
-                let member_features = features.select_rows(&members)?;
-                let cache = model.mlp_mut().forward_cached(&member_features, &mut rng)?;
-                // Candidate confidences: δ_j for the positive, then the
-                // negatives' δ, in member order.
-                let cand_conf: Vec<f64> = members[1..].iter().map(|&m| confidences[m]).collect();
-                let (loss, grads) =
-                    group_softmax_loss(cache.output(), &cand_conf, self.config.eta)?;
-                forward_secs += forward_start.elapsed_secs();
-                total_loss += loss;
-                let backward_start = Stopwatch::start();
-                model.mlp_mut().backward(&cache, &grads)?;
-                backward_secs += backward_start.elapsed_secs();
+            for (loss_sum, fwd, bwd, shard_mlp) in &shard_outputs {
+                total_loss += loss_sum;
+                forward_secs += fwd;
+                backward_secs += bwd;
+                model.mlp_mut().add_grads_from(shard_mlp)?;
             }
 
             let step_start = Stopwatch::start();
@@ -542,6 +608,33 @@ mod tests {
             .embed(&x)
             .unwrap()
             .approx_eq(&m3.embed(&x).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn thread_count_never_changes_training_results() {
+        // The tentpole invariant: bitwise-identical weights and losses for
+        // any worker-thread count. assert_eq! on raw f64 matrices — no
+        // tolerances anywhere.
+        let (x, ann, _) = crowd_dataset(60, 21);
+        let cfg = fast_config(RllVariant::Bayesian);
+        let reference = RllTrainer::new(cfg.clone()).unwrap().with_threads(1);
+        let (ref_model, ref_trace) = reference.fit(&x, &ann, 22).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let trainer = RllTrainer::new(cfg.clone()).unwrap().with_threads(threads);
+            assert_eq!(trainer.threads(), threads);
+            let (model, trace) = trainer.fit(&x, &ann, 22).unwrap();
+            for (got, want) in model.mlp().layers().iter().zip(ref_model.mlp().layers()) {
+                assert_eq!(got.weights(), want.weights(), "threads={threads}");
+                assert_eq!(got.bias(), want.bias(), "threads={threads}");
+            }
+            assert_eq!(trace.epoch_losses, ref_trace.epoch_losses);
+            assert_eq!(trace.grad_norms_pre_clip, ref_trace.grad_norms_pre_clip);
+            assert_eq!(trace.grad_norms_post_clip, ref_trace.grad_norms_post_clip);
+            assert_eq!(model.embed(&x).unwrap(), ref_model.embed(&x).unwrap());
+        }
+        // 0 is clamped to 1, not an error.
+        let clamped = RllTrainer::new(cfg).unwrap().with_threads(0);
+        assert_eq!(clamped.threads(), 1);
     }
 
     #[test]

@@ -21,6 +21,14 @@ pub enum DataError {
         /// Human-readable description.
         reason: String,
     },
+    /// A class stratum is too small to place at least one example on each
+    /// side of a stratified train/test split.
+    DegenerateStratum {
+        /// The class label of the offending stratum.
+        class: u8,
+        /// How many examples that class has.
+        size: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -30,6 +38,11 @@ impl fmt::Display for DataError {
             DataError::Crowd(e) => write!(f, "crowd error: {e}"),
             DataError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             DataError::Inconsistent { reason } => write!(f, "inconsistent dataset: {reason}"),
+            DataError::DegenerateStratum { class, size } => write!(
+                f,
+                "class {class} has {size} example(s): a stratified split needs \
+                 at least 2 per class to fill both train and test"
+            ),
         }
     }
 }

@@ -41,13 +41,30 @@ pub fn train_test_split(labels: &[u8], test_fraction: f64, seed: u64) -> Result<
             .filter(|(_, &l)| l == class)
             .map(|(i, _)| i)
             .collect();
+        // An absent class contributes nothing (single-class datasets are
+        // legal); a 1-example class cannot fill both sides of its stratum.
+        if idx.is_empty() {
+            continue;
+        }
+        if idx.len() < 2 {
+            return Err(DataError::DegenerateStratum {
+                class,
+                size: idx.len(),
+            });
+        }
         rng.shuffle(&mut idx);
-        let n_test = ((idx.len() as f64) * test_fraction).round() as usize;
+        // `round` alone yields an empty test side for small strata (e.g.
+        // 10 examples at fraction 0.04 → 0) or an empty train side near
+        // fraction 1; clamp so every stratum keeps at least one example on
+        // each side.
+        let n_test =
+            (((idx.len() as f64) * test_fraction).round() as usize).clamp(1, idx.len() - 1);
         test.extend_from_slice(&idx[..n_test]);
         train.extend_from_slice(&idx[n_test..]);
     }
     train.sort_unstable();
     test.sort_unstable();
+    // Unreachable with the per-stratum clamp above, kept as a final guard.
     if train.is_empty() || test.is_empty() {
         return Err(DataError::InvalidConfig {
             reason: "split produced an empty train or test set".into(),
@@ -172,6 +189,48 @@ mod tests {
         assert!(train_test_split(&[], 0.2, 1).is_err());
         assert!(train_test_split(&[1, 0], 0.0, 1).is_err());
         assert!(train_test_split(&[1, 0], 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn small_strata_keep_both_sides_populated() {
+        // Regression: `(len * fraction).round()` used to strand whole strata
+        // on one side — 10 examples at fraction 0.04 rounds to 0 test items
+        // (empty test), and fraction 0.96 rounds to 10 (empty train).
+        for (fraction, seed) in [(0.04, 1u64), (0.96, 2)] {
+            let l = labels(10, 10);
+            let s = train_test_split(&l, fraction, seed).unwrap();
+            for class in [0u8, 1] {
+                let in_test = s.test.iter().filter(|&&i| l[i] == class).count();
+                let in_train = s.train.iter().filter(|&&i| l[i] == class).count();
+                assert!(in_test >= 1, "fraction {fraction}: class {class} test side");
+                assert!(
+                    in_train >= 1,
+                    "fraction {fraction}: class {class} train side"
+                );
+            }
+            assert_eq!(s.train.len() + s.test.len(), 20);
+        }
+        // The tiniest viable stratified input still splits.
+        let s = train_test_split(&[1, 1, 0, 0], 0.5, 3).unwrap();
+        assert_eq!(s.test.len(), 2);
+        assert_eq!(s.train.len(), 2);
+    }
+
+    #[test]
+    fn one_example_stratum_is_a_typed_error() {
+        let err = train_test_split(&labels(5, 1), 0.2, 4).unwrap_err();
+        assert_eq!(err, DataError::DegenerateStratum { class: 0, size: 1 });
+        let err = train_test_split(&labels(1, 5), 0.2, 4).unwrap_err();
+        assert_eq!(err, DataError::DegenerateStratum { class: 1, size: 1 });
+    }
+
+    #[test]
+    fn single_class_dataset_still_splits() {
+        // All-positive labels: the empty class-0 stratum is skipped rather
+        // than erroring or clamping against zero length.
+        let s = train_test_split(&[1u8; 8], 0.25, 5).unwrap();
+        assert_eq!(s.test.len(), 2);
+        assert_eq!(s.train.len(), 6);
     }
 
     #[test]

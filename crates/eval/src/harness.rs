@@ -6,7 +6,6 @@ use crate::error::EvalError;
 use crate::method::{fit_predict_observed, MethodSpec, TrainBudget};
 use crate::metrics::ConfusionMatrix;
 use crate::Result;
-use parking_lot::Mutex;
 use rll_data::{Dataset, StratifiedKFold};
 use rll_obs::{EventKind, FoldStats, MethodStats, Recorder, Stopwatch};
 use serde::{Deserialize, Serialize};
@@ -64,7 +63,8 @@ pub struct CrossValidator {
     pub budget: TrainBudget,
     /// Base seed; fold `f` trains with seed `seed + f`.
     pub seed: u64,
-    /// Run folds on scoped threads (one per fold).
+    /// Run folds concurrently on up to `RLL_THREADS` scoped worker threads
+    /// (fold scores are identical either way; only wall-clock time changes).
     pub parallel: bool,
 }
 
@@ -107,8 +107,7 @@ impl CrossValidator {
         // labels still never reach training.)
         let kfold = StratifiedKFold::new(&dataset.expert_labels, self.folds, self.seed)?;
 
-        let results: Mutex<Vec<(usize, f64, f64)>> = Mutex::new(Vec::with_capacity(self.folds));
-        let run_fold = |fold: usize| -> Result<()> {
+        let run_fold = |fold: usize| -> Result<(f64, f64)> {
             let fold_start = Stopwatch::start();
             let split = kfold.split(fold)?;
             let train = dataset.select(&split.train)?;
@@ -129,39 +128,22 @@ impl CrossValidator {
                 accuracy: cm.accuracy(),
                 wall_secs: fold_start.elapsed_secs(),
             }));
-            results.lock().push((fold, cm.accuracy(), cm.f1()));
-            Ok(())
+            Ok((cm.accuracy(), cm.f1()))
         };
 
-        if self.parallel {
-            let errors: Mutex<Vec<EvalError>> = Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
-                for fold in 0..self.folds {
-                    let errors = &errors;
-                    let run_fold = &run_fold;
-                    scope.spawn(move |_| {
-                        if let Err(e) = run_fold(fold) {
-                            errors.lock().push(e);
-                        }
-                    });
-                }
-            })
-            .map_err(|_| EvalError::InvalidConfig {
-                reason: "a cross-validation worker thread panicked".into(),
-            })?;
-            if let Some(e) = errors.into_inner().into_iter().next() {
-                return Err(e);
-            }
+        // Every fold owns an independent seeded RNG (`seed + fold`), so folds
+        // can run concurrently without touching each other's streams.
+        // `try_map_ordered` hands results back in fold order — not completion
+        // order — so fold scores (and any error) are scheduler-independent.
+        let threads = if self.parallel {
+            self.folds.min(rll_par::configured_threads())
         } else {
-            for fold in 0..self.folds {
-                run_fold(fold)?;
-            }
-        }
-
-        let mut fold_results = results.into_inner();
-        fold_results.sort_by_key(|(fold, _, _)| *fold);
-        let accs: Vec<f64> = fold_results.iter().map(|(_, a, _)| *a).collect();
-        let f1s: Vec<f64> = fold_results.iter().map(|(_, _, f)| *f).collect();
+            1
+        };
+        let fold_ids: Vec<usize> = (0..self.folds).collect();
+        let fold_results = rll_par::try_map_ordered(&fold_ids, threads, |_, &fold| run_fold(fold))?;
+        let accs: Vec<f64> = fold_results.iter().map(|(a, _)| *a).collect();
+        let f1s: Vec<f64> = fold_results.iter().map(|(_, f)| *f).collect();
         let accuracy = FoldScores::from_values(&accs)?;
         recorder.emit(EventKind::MethodEnd(MethodStats {
             method: spec.name(),

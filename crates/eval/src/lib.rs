@@ -10,8 +10,8 @@
 //!   of Table I (Group 1 label-inference baselines, Group 2 limited-label
 //!   embedding baselines, Group 3 two-stage combinations, Group 4 RLL
 //!   variants), each with a `fit → predict` implementation;
-//! - [`harness`] — stratified 5-fold cross validation with per-fold
-//!   parallelism (crossbeam scoped threads);
+//! - [`harness`] — stratified 5-fold cross validation with deterministic
+//!   per-fold parallelism (`rll-par` ordered fold reduction, `RLL_THREADS`);
 //! - [`experiments`] — one runner per paper artifact: Table I (main
 //!   comparison), Table II (`k` sweep), Table III (`d` sweep), plus the
 //!   ablations DESIGN.md §7 calls out;

@@ -48,6 +48,13 @@ pub const RULES: &[Rule] = &[
         summary: "ambient entropy (thread_rng/from_entropy/OsRng) breaks seed-threaded training",
         hint: "thread a seeded `Rng64` (or a child seed derived from it) through the call path",
     },
+    Rule {
+        id: "no-unordered-reduce",
+        summary: "accumulating into a lock (`.lock()` + `+=`/`.push(`) reduces in completion \
+                  order, which is nondeterministic for float sums",
+        hint: "collect per-shard partials with `rll_par::map_ordered`/`try_map_ordered` and \
+               fold them in shard-index order after the join",
+    },
 ];
 
 /// Meta-rule id reported when a suppression pragma omits its justification.
@@ -83,6 +90,7 @@ pub fn scan(rule_id: &str, code: &[String]) -> Vec<Hit> {
             code,
             &["thread_rng", "from_entropy", "OsRng", "StdRng::from_os_rng"],
         ),
+        "no-unordered-reduce" => scan_unordered_reduce(code),
         _ => Vec::new(),
     }
 }
@@ -157,6 +165,43 @@ fn scan_panic(code: &[String]) -> Vec<Hit> {
         }
     }
     hits.sort_by_key(|h| (h.line, h.col));
+    hits
+}
+
+/// Flags lines that take a lock and mutate an accumulator on the same line —
+/// the signature of threads racing to fold partial results in whatever order
+/// they finish. Float addition is not associative, so a completion-order
+/// reduction gives a different bit pattern on every run; pushing results into
+/// a shared `Vec` has the same problem for anything order-sensitive.
+///
+/// Line-granular on purpose: a `.lock()` that only *reads* (no `+=`, no
+/// `.push(`) is fine, and multi-line lock-then-accumulate shapes go through a
+/// named guard variable that code review can see. The deterministic
+/// alternative — `rll_par`'s ordered map + shard-index-order fold — needs no
+/// lock at all.
+fn scan_unordered_reduce(code: &[String]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        let locks = find_bounded(line, ".lock()");
+        if locks.is_empty() {
+            continue;
+        }
+        let accumulates = find_bounded(line, "+=")
+            .into_iter()
+            .chain(find_bounded(line, ".push("))
+            .next()
+            .is_some();
+        if !accumulates {
+            continue;
+        }
+        for col in locks {
+            hits.push(Hit {
+                line: li,
+                col,
+                token: ".lock()".into(),
+            });
+        }
+    }
     hits
 }
 
@@ -332,6 +377,31 @@ mod tests {
         assert_eq!(scan_float_eq(&one_line("if a <= 0.0 {")).len(), 0);
         assert_eq!(scan_float_eq(&one_line("let f = |x| x == 0.5;")).len(), 1);
         assert_eq!(scan_float_eq(&one_line("x == f64::NAN")).len(), 1);
+    }
+
+    #[test]
+    fn unordered_reduce_scanner() {
+        // Lock + accumulate on one line: the completion-order reduction smell.
+        assert_eq!(
+            scan_unordered_reduce(&one_line("*total.lock() += shard_loss;")).len(),
+            1
+        );
+        assert_eq!(
+            scan_unordered_reduce(&one_line("results.lock().push(fold_score);")).len(),
+            1
+        );
+        // A read-only lock is fine.
+        assert_eq!(
+            scan_unordered_reduce(&one_line("let n = counts.lock().len();")).len(),
+            0
+        );
+        // Accumulation without a lock is the caller's business.
+        assert_eq!(scan_unordered_reduce(&one_line("total += part;")).len(), 0);
+        // `.unlock()`-style lookalikes don't match the bounded needle.
+        assert_eq!(
+            scan_unordered_reduce(&one_line("v.try_lock() += 1;")).len(),
+            0
+        );
     }
 
     #[test]

@@ -174,6 +174,39 @@ fn unseeded_rng_suppressed() {
     assert_eq!(report.suppressed.len(), 1);
 }
 
+// ── no-unordered-reduce ─────────────────────────────────────────────────────
+
+#[test]
+fn unordered_reduce_true_positives() {
+    let report = lint(
+        "pub fn reduce(total: &Mutex<f64>, parts: &Mutex<Vec<f64>>, x: f64) {\n\
+         \x20   *total.lock() += x;\n\
+         \x20   parts.lock().push(x);\n\
+         }\n",
+    );
+    let hits = rules_hit(&report);
+    assert_eq!(hits.len(), 2, "violations: {:?}", report.violations);
+    assert!(hits.iter().all(|r| *r == "no-unordered-reduce"));
+}
+
+#[test]
+fn read_only_lock_is_not_a_reduction() {
+    let report = lint("pub fn peek(counts: &Mutex<Vec<u64>>) -> usize { counts.lock().len() }\n");
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn unordered_reduce_suppressed() {
+    let report = lint(
+        "pub fn count(hits: &Mutex<u64>) {\n\
+         \x20   // lint: allow(no-unordered-reduce) — integer counter, order-insensitive\n\
+         \x20   *hits.lock() += 1;\n\
+         }\n",
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
 // ── masking and scope interplay ─────────────────────────────────────────────
 
 #[test]

@@ -207,6 +207,41 @@ impl Dense {
         self.grad_bias.as_ref()
     }
 
+    /// Adds `other`'s accumulated gradients into this layer's buffers
+    /// (layers that have not seen a backward pass contribute nothing).
+    ///
+    /// This is the reduction step of sharded data-parallel training: callers
+    /// must invoke it in **shard-index order**, never completion order —
+    /// float addition is not associative, so an order that depends on the
+    /// scheduler would make training results depend on the thread count.
+    pub fn add_grads_from(&mut self, other: &Dense) -> Result<()> {
+        if self.weights.shape() != other.weights.shape() || self.bias.shape() != other.bias.shape()
+        {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "gradient merge across mismatched layers: {:?}/{:?} vs {:?}/{:?}",
+                    self.weights.shape(),
+                    self.bias.shape(),
+                    other.weights.shape(),
+                    other.bias.shape()
+                ),
+            });
+        }
+        if let Some(gw) = &other.grad_weights {
+            match &mut self.grad_weights {
+                Some(acc) => acc.add_assign(gw)?,
+                slot @ None => *slot = Some(gw.clone()),
+            }
+        }
+        if let Some(gb) = &other.grad_bias {
+            match &mut self.grad_bias {
+                Some(acc) => acc.add_assign(gb)?,
+                slot @ None => *slot = Some(gb.clone()),
+            }
+        }
+        Ok(())
+    }
+
     /// Scales both accumulated gradients by `factor` (no-op for layers that
     /// have not seen a backward pass since `zero_grad`).
     pub fn scale_grads(&mut self, factor: f64) {

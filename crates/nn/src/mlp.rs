@@ -220,6 +220,25 @@ impl Mlp {
         }
     }
 
+    /// Adds `other`'s accumulated gradients into this network's buffers,
+    /// layer by layer. The reduction step of sharded data-parallel training:
+    /// call in shard-index order (see [`crate::Dense::add_grads_from`]).
+    pub fn add_grads_from(&mut self, other: &Mlp) -> Result<()> {
+        if self.layers.len() != other.layers.len() {
+            return Err(NnError::CacheMismatch {
+                reason: format!(
+                    "gradient merge across different depths: {} vs {} layers",
+                    self.layers.len(),
+                    other.layers.len()
+                ),
+            });
+        }
+        for (layer, shard) in self.layers.iter_mut().zip(&other.layers) {
+            layer.add_grads_from(shard)?;
+        }
+        Ok(())
+    }
+
     /// Scales all accumulated gradients by `factor` (used to average over the
     /// number of groups in a minibatch).
     pub fn scale_grads(&mut self, factor: f64) {
@@ -291,6 +310,66 @@ mod tests {
         )
         .unwrap();
         assert_eq!(linear.layer_dims(), vec![4, 3]);
+    }
+
+    #[test]
+    fn sharded_grad_merge_is_bitwise_flat_accumulation() {
+        let mut rng = Rng64::seed_from_u64(77);
+        let mut flat = Mlp::new(&small_config(), &mut rng).unwrap();
+        let x1 = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f64 * 0.1 - 1.0);
+        let x2 = Matrix::from_fn(3, 4, |r, c| 0.5 - (r + c) as f64 * 0.2);
+        let g1 = Matrix::from_fn(6, 3, |r, c| ((r + 1) * (c + 2)) as f64 * 0.05);
+        let g2 = Matrix::from_fn(3, 3, |r, c| (r as f64 - c as f64) * 0.3);
+
+        // Flat: both batches accumulate into one network, in order.
+        flat.zero_grad();
+        let c1 = flat.forward_cached(&x1, &mut rng).unwrap();
+        flat.backward(&c1, &g1).unwrap();
+        let c2 = flat.forward_cached(&x2, &mut rng).unwrap();
+        flat.backward(&c2, &g2).unwrap();
+
+        // Sharded: thread-local clones each see one batch, then merge in
+        // shard order. Must be bitwise identical (same additions, same
+        // order, per element).
+        let mut main = flat.clone();
+        main.zero_grad();
+        let mut shard_a = main.clone();
+        let ca = shard_a.forward_cached(&x1, &mut rng).unwrap();
+        shard_a.backward(&ca, &g1).unwrap();
+        let mut shard_b = main.clone();
+        let cb = shard_b.forward_cached(&x2, &mut rng).unwrap();
+        shard_b.backward(&cb, &g2).unwrap();
+        main.add_grads_from(&shard_a).unwrap();
+        main.add_grads_from(&shard_b).unwrap();
+
+        for (merged, reference) in main.layers().iter().zip(flat.layers()) {
+            assert_eq!(merged.grad_weights(), reference.grad_weights());
+            assert_eq!(merged.grad_bias(), reference.grad_bias());
+        }
+    }
+
+    #[test]
+    fn grad_merge_rejects_mismatched_topology() {
+        let mut rng = Rng64::seed_from_u64(78);
+        let mut a = Mlp::new(&small_config(), &mut rng).unwrap();
+        let deeper = Mlp::new(
+            &MlpConfig {
+                hidden_dims: vec![5, 5],
+                ..small_config()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(a.add_grads_from(&deeper).is_err());
+        let wider = Mlp::new(
+            &MlpConfig {
+                hidden_dims: vec![7],
+                ..small_config()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(a.add_grads_from(&wider).is_err());
     }
 
     #[test]

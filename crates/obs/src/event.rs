@@ -90,6 +90,9 @@ pub struct SamplerStats {
     pub negative_pool: usize,
     /// Candidate draws discarded (confidence-biased rejection sampling).
     pub rejections: u64,
+    /// Picks that abandoned weighted sampling for the uniform fallback
+    /// because the remaining confidence mass was degenerate.
+    pub fallbacks: u64,
     /// Fraction of groups in the batch that duplicate an earlier group.
     pub duplicate_rate: f64,
 }

@@ -166,9 +166,32 @@ fn kind_counter(kind: &EventKind) -> &'static str {
     }
 }
 
+/// Environment variable that pins the run id to a fixed string. Run ids are
+/// stamped into downstream artifacts (checkpoint metadata, JSONL events), so
+/// byte-for-byte reproducibility gates — `scripts/check.sh` trains twice at
+/// different `RLL_THREADS` and `cmp`s the checkpoints — need the timestamped
+/// default out of the way.
+pub const RUN_ID_ENV_VAR: &str = "RLL_RUN_ID";
+
 /// `"<experiment>-<seed>-<unix_millis>-<pid>"` — unique enough for a results
-/// directory without needing a PRNG.
+/// directory without needing a PRNG. Overridden verbatim by `RLL_RUN_ID`
+/// (sanitized to filename-safe characters) when set and non-empty.
 fn generate_run_id(experiment: &str, seed: u64) -> String {
+    if let Ok(pinned) = std::env::var(RUN_ID_ENV_VAR) {
+        let sanitized: String = pinned
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        if !sanitized.is_empty() {
+            return sanitized;
+        }
+    }
     let millis = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis())

@@ -100,6 +100,7 @@ fn sample_events() -> Vec<EventKind> {
             positive_pool: 60,
             negative_pool: 40,
             rejections: 7,
+            fallbacks: 1,
             duplicate_rate: 0.03125,
         }),
         EventKind::EpochEnd(EpochStats {

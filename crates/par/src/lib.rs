@@ -1,0 +1,302 @@
+#![warn(missing_docs)]
+
+//! # `rll-par` — deterministic data parallelism
+//!
+//! Scoped-thread primitives with one hard contract: **the result of every
+//! helper is a pure function of its inputs, never of the thread count or of
+//! scheduling order**. The repo's credibility rests on seeded
+//! bit-reproducibility, so `RLL_THREADS=1` and `RLL_THREADS=64` must produce
+//! byte-identical artifacts.
+//!
+//! Two rules make that hold, and every caller in the workspace follows them:
+//!
+//! 1. **Fixed chunking.** Work is split into contiguous chunks whose
+//!    boundaries depend only on the problem size (see [`fixed_shards`]), or
+//!    each output element is written by exactly one worker with the same
+//!    per-element arithmetic as the serial loop (see [`for_each_row_block`]).
+//!    Thread count only decides *which worker* runs a chunk, never what the
+//!    chunk contains.
+//! 2. **Ordered reduction.** Partial results are combined in chunk-index
+//!    order ([`map_ordered`] returns them in input order), never in
+//!    completion order. Floating-point addition is not associative, so a
+//!    completion-order reduce would make the sum depend on the scheduler.
+//!
+//! The crate is dependency-free and uses only [`std::thread::scope`].
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Environment variable that overrides the worker-thread count.
+pub const THREADS_ENV_VAR: &str = "RLL_THREADS";
+
+/// Number of hardware threads the host reports (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a thread-count override from an `RLL_THREADS`-style value.
+/// Returns `None` for anything that is not a positive integer.
+pub fn parse_thread_override(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The configured worker-thread count: `RLL_THREADS` when set to a positive
+/// integer, otherwise [`available_threads`]. Cached after the first read so a
+/// run uses one consistent value throughout.
+///
+/// Changing the thread count never changes results — see the crate docs —
+/// so this knob trades wall-clock time only.
+pub fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .as_deref()
+            .and_then(parse_thread_override)
+            .unwrap_or_else(available_threads)
+    })
+}
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty, balanced
+/// ranges. The first `len % chunks` ranges are one element longer. Returns
+/// fewer ranges when `len < chunks` and an empty vec when `len == 0`.
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Splits `0..len` into consecutive ranges of exactly `shard_len` elements
+/// (the last shard may be shorter). Shard boundaries depend only on `len`
+/// and `shard_len` — **never** on the thread count — which is what makes
+/// shard-order reduction reproducible at any parallelism level.
+pub fn fixed_shards(len: usize, shard_len: usize) -> Vec<Range<usize>> {
+    if len == 0 || shard_len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(len.div_ceil(shard_len));
+    let mut start = 0;
+    while start < len {
+        let end = (start + shard_len).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Applies `f(index, &item)` to every item and returns the results **in item
+/// order**, computing on up to `threads` scoped worker threads. With
+/// `threads <= 1` (or a single item) it runs inline on the caller's thread
+/// with no pool overhead.
+///
+/// Ordering contract: the output vec's `i`-th slot is always `f(i, &items[i])`
+/// regardless of which worker computed it or when it finished.
+pub fn map_ordered<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let ranges = chunk_ranges(items.len(), threads);
+    let mut chunk_results: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || range.map(|i| f(i, &items[i])).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunk_results {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Fallible [`map_ordered`]: applies `f(index, &item)` on up to `threads`
+/// workers and returns all results in item order, or the error of the
+/// **lowest-indexed** failing item (not the first to fail in wall-clock
+/// order, which would be scheduler-dependent).
+pub fn try_map_ordered<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = map_ordered(items, threads, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Runs `f(rows, block)` over disjoint row-blocks of a row-major buffer
+/// (`out.len() == rows * row_len`), in parallel on up to `threads` scoped
+/// threads. Each call receives the global row range it owns and the mutable
+/// sub-slice backing exactly those rows, so every element of `out` is
+/// written by one worker only.
+///
+/// Callers keep bitwise determinism by computing each row with the same
+/// per-element arithmetic as their serial loop; blocking then changes *who*
+/// computes a row, never *what* is computed.
+pub fn for_each_row_block<F>(out: &mut [f64], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    if row_len == 0 || out.is_empty() {
+        return;
+    }
+    debug_assert_eq!(out.len() % row_len, 0, "buffer is not whole rows");
+    let rows = out.len() / row_len;
+    if threads <= 1 || rows <= 1 {
+        f(0..rows, out);
+        return;
+    }
+    let ranges = chunk_ranges(rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for range in ranges {
+            let (block, tail) = rest.split_at_mut((range.end - range.start) * row_len);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(range, block));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 3, 7, 16, 100, 101] {
+            for chunks in [1usize, 2, 3, 4, 7, 64] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    assert!(r.end > r.start, "non-empty");
+                    covered += r.end - r.start;
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, len, "len={len} chunks={chunks}");
+                assert!(ranges.len() <= chunks.max(1));
+                // Balanced: sizes differ by at most one.
+                if let (Some(min), Some(max)) = (
+                    ranges.iter().map(|r| r.end - r.start).min(),
+                    ranges.iter().map(|r| r.end - r.start).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_shards_ignore_thread_count_by_construction() {
+        assert_eq!(fixed_shards(0, 16), vec![]);
+        assert_eq!(fixed_shards(5, 0), vec![]);
+        assert_eq!(fixed_shards(5, 16), vec![0..5]);
+        assert_eq!(fixed_shards(32, 16), vec![0..16, 16..32]);
+        assert_eq!(fixed_shards(33, 16), vec![0..16, 16..32, 32..33]);
+    }
+
+    #[test]
+    fn map_ordered_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            let par = map_ordered(&items, threads, |i, &x| {
+                assert_eq!(items[i], x, "index matches item");
+                x * x + 1
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_ordered_handles_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(map_ordered(&empty, 4, |_, &x| x), Vec::<u8>::new());
+        assert_eq!(map_ordered(&[9u8], 4, |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn try_map_ordered_returns_lowest_index_error() {
+        let items: Vec<usize> = (0..20).collect();
+        for threads in [1usize, 3, 8] {
+            let err = try_map_ordered(&items, threads, |_, &x| {
+                if x == 5 || x == 17 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 5, "threads={threads}");
+        }
+        let ok = try_map_ordered(&items, 4, |_, &x| Ok::<_, ()>(x * 2)).unwrap();
+        assert_eq!(ok, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn row_blocks_cover_buffer_disjointly() {
+        for threads in [1usize, 2, 3, 4, 16] {
+            let rows = 13;
+            let row_len = 5;
+            let mut out = vec![0.0f64; rows * row_len];
+            for_each_row_block(&mut out, row_len, threads, |range, block| {
+                assert_eq!(block.len(), (range.end - range.start) * row_len);
+                for (local_row, global_row) in range.clone().enumerate() {
+                    for c in 0..row_len {
+                        block[local_row * row_len + c] = (global_row * row_len + c) as f64;
+                    }
+                }
+            });
+            let expect: Vec<f64> = (0..rows * row_len).map(|i| i as f64).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override("-3"), None);
+        assert_eq!(parse_thread_override("many"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert!(available_threads() >= 1);
+        assert!(configured_threads() >= 1);
+    }
+}

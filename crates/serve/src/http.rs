@@ -104,6 +104,55 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Extracts and validates the request `Content-Length` **without trusting it
+/// for anything** until it clears the `max_body` ceiling:
+///
+/// - strictly digits (no sign, no whitespace tricks) → otherwise 400;
+/// - duplicate headers must agree (request-smuggling vector) → otherwise 400;
+/// - values that overflow `u64` never reach a `usize` conversion or an
+///   allocation — they are over-limit by definition → 413;
+/// - in-range values above `max_body` → 413.
+///
+/// Callers only read body bytes after this returns `Ok`, so a hostile length
+/// can neither size an allocation nor force a read.
+fn parse_content_length(
+    headers: &[(String, String)],
+    max_body: usize,
+) -> Result<Option<usize>, HttpError> {
+    let mut values = headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str());
+    let Some(first) = values.next() else {
+        return Ok(None);
+    };
+    if values.any(|v| v != first) {
+        return Err(malformed("conflicting Content-Length headers"));
+    }
+    if first.is_empty() || !first.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(malformed(format!("unparseable Content-Length {first:?}")));
+    }
+    let declared = match first.parse::<u64>() {
+        Ok(n) => n,
+        // All-digit but beyond u64: astronomically over any real limit.
+        Err(_) => {
+            return Err(HttpError::PayloadTooLarge {
+                declared: usize::MAX,
+                limit: max_body,
+            })
+        }
+    };
+    if declared > max_body as u64 {
+        return Err(HttpError::PayloadTooLarge {
+            // Saturating: on 32-bit targets the declared value may not fit.
+            declared: usize::try_from(declared).unwrap_or(usize::MAX),
+            limit: max_body,
+        });
+    }
+    // Bounded by max_body, which is a usize, so the cast is lossless.
+    Ok(Some(declared as usize))
+}
+
 fn malformed(reason: impl Into<String>) -> HttpError {
     HttpError::Malformed {
         reason: reason.into(),
@@ -211,22 +260,12 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<ReadOu
         }
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => Some(
-            v.parse::<usize>()
-                .map_err(|_| malformed(format!("unparseable Content-Length {v:?}")))?,
-        ),
-        None => None,
-    };
+    let content_length = parse_content_length(&headers, max_body)?;
 
     let body = match content_length {
+        // `parse_content_length` already bounded `len` by `max_body`, so this
+        // allocation cannot be sized by an untrusted declaration.
         Some(len) => {
-            if len > max_body {
-                return Err(HttpError::PayloadTooLarge {
-                    declared: len,
-                    limit: max_body,
-                });
-            }
             let mut body = vec![0u8; len];
             reader.read_exact(&mut body).map_err(HttpError::Io)?;
             body
@@ -284,6 +323,11 @@ pub struct Response {
     pub body: Vec<u8>,
 }
 
+/// Largest response body [`read_response`] will buffer. The server never
+/// emits anything close to this; it exists so a hostile or corrupted peer
+/// cannot make the client allocate an arbitrary amount from one header.
+pub const MAX_RESPONSE_BODY: usize = 16 * 1024 * 1024;
+
 /// Reads one `Content-Length`-framed response.
 pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
     let mut budget = MAX_HEAD_BYTES;
@@ -309,6 +353,12 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
                     .map_err(|_| malformed("bad Content-Length in response"))?;
             }
         }
+    }
+    if content_length > MAX_RESPONSE_BODY {
+        return Err(HttpError::PayloadTooLarge {
+            declared: content_length,
+            limit: MAX_RESPONSE_BODY,
+        });
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(HttpError::Io)?;
@@ -408,6 +458,52 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
             Err(HttpError::Malformed { .. })
         ));
+        // A sign is not a digit even though Rust's `parse` would accept it.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n"),
+            Err(HttpError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_length_is_413_not_400() {
+        // Regression: a length too large for the integer type used to fall
+        // through the generic parse-failure path (400). It is all digits and
+        // over any limit, so it must be 413 — and must never reach an
+        // allocation or a body read.
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::PayloadTooLarge {
+                declared: usize::MAX,
+                limit: 1024
+            }
+        ));
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn conflicting_duplicate_lengths_are_400() {
+        // Two disagreeing Content-Length headers are the classic request
+        // smuggling vector; picking either one silently is wrong.
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nhihi"),
+            Err(HttpError::Malformed { .. })
+        ));
+        // Identical repeats are merely redundant and stay accepted.
+        let r = parse_ok(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+        assert_eq!(r.body, b"hi");
+    }
+
+    #[test]
+    fn leading_zero_lengths_are_accepted() {
+        let r = parse_ok(b"POST / HTTP/1.1\r\nContent-Length: 0004\r\n\r\nabcd");
+        assert_eq!(r.body, b"abcd");
     }
 
     #[test]
@@ -480,5 +576,19 @@ mod tests {
         let resp = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"ok\":1}");
+    }
+
+    #[test]
+    fn response_length_over_client_cap_is_rejected() {
+        // The client must not size a buffer from an arbitrary peer-declared
+        // length either.
+        let wire = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n",
+            MAX_RESPONSE_BODY + 1
+        );
+        assert!(matches!(
+            read_response(&mut BufReader::new(wire.as_bytes())),
+            Err(HttpError::PayloadTooLarge { .. })
+        ));
     }
 }

@@ -211,6 +211,46 @@ fn oversized_content_length_gets_413_without_reading_body() {
 }
 
 #[test]
+fn over_limit_length_closes_the_connection() {
+    let h = Harness::start(
+        14,
+        ServerConfig {
+            max_body_bytes: 1024,
+            ..ServerConfig::default()
+        },
+    );
+    // A Content-Length that overflows the integer type entirely must be
+    // refused as over-limit (413), and the connection must close: after
+    // rejecting the declaration the server cannot know where this message
+    // ends, so resyncing on the same socket would misparse body bytes as a
+    // request line.
+    let (mut reader, mut writer) = h.connect();
+    writer
+        .write_all(
+            b"POST /embed HTTP/1.1\r\nHost: t\r\n\
+              Content-Length: 99999999999999999999999999\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n",
+        )
+        .expect("write");
+    let response = http::read_response(&mut reader).expect("response");
+    assert_eq!(response.status, 413);
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).expect("read to end");
+    assert_eq!(n, 0, "connection must close after 413, got {rest:?}");
+    h.stop();
+}
+
+#[test]
+fn conflicting_content_lengths_get_400() {
+    let h = Harness::start(15, ServerConfig::default());
+    let response = h.roundtrip(
+        "POST /embed HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nhihi",
+    );
+    assert_eq!(response.status, 400);
+    h.stop();
+}
+
+#[test]
 fn wrong_dimension_gets_400_with_error_body() {
     let h = Harness::start(8, ServerConfig::default());
     let response = h.post_json("/embed", r#"{"features":[[1.0,2.0]]}"#);

@@ -10,6 +10,22 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Multiply-add count (`m·k·n`) below which matmuls stay on the calling
+/// thread: scoped-thread spawns cost more than they save on the small
+/// per-group products that dominate training, while the batch-embed and
+/// backward products sit far above this line.
+const PAR_MIN_WORK: usize = 1 << 18;
+
+/// Effective worker count for a product of `work` multiply-adds. Purely a
+/// scheduling decision — results are bitwise identical either way.
+fn par_threads_for(work: usize, threads: usize) -> usize {
+    if work < PAR_MIN_WORK {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
 /// A dense row-major matrix of `f64` values.
 ///
 /// Rows are contiguous in memory: element `(r, c)` lives at `data[r * cols + c]`.
@@ -466,8 +482,22 @@ impl Matrix {
     ///
     /// Plain ikj-ordered GEMM: the inner loop runs over contiguous memory of
     /// both the output row and the `other` row, which vectorizes well without
-    /// unsafe code.
+    /// unsafe code. Large products are row-blocked across
+    /// [`rll_par::configured_threads`] workers; see
+    /// [`Self::matmul_with_threads`] for the determinism contract.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+    }
+
+    /// [`Self::matmul`] with an explicit worker-thread count (no size
+    /// heuristic — the caller decides).
+    ///
+    /// Bitwise-deterministic: output rows are partitioned into contiguous
+    /// blocks and every element is produced by exactly one worker running
+    /// the serial loop's per-element arithmetic, so the result is identical
+    /// for every `threads` value (including 1).
+    pub fn matmul_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -477,21 +507,24 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
-                // take it, every other value (subnormals, NaN) multiplies normally.
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let threads = threads.max(1);
+        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                let out_row = &mut block[local * n..(local + 1) * n];
+                for (p, &a) in a_row.iter().enumerate() {
+                    // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
+                    // take it, every other value (subnormals, NaN) multiplies normally.
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(Matrix {
             rows: m,
             cols: n,
@@ -499,8 +532,17 @@ impl Matrix {
         })
     }
 
-    /// Computes `self^T * other` without materializing the transpose.
+    /// Computes `self^T * other` without materializing the transpose. Large
+    /// products are row-blocked like [`Self::matmul`].
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * other.cols;
+        self.matmul_tn_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+    }
+
+    /// [`Self::matmul_tn`] with an explicit worker-thread count; bitwise
+    /// identical for every `threads` value (each output row accumulates over
+    /// `p` in the same ascending order as the serial kernel).
+    pub fn matmul_tn_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_tn",
@@ -510,21 +552,24 @@ impl Matrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
-                // take it, every other value (subnormals, NaN) multiplies normally.
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let threads = threads.max(1);
+        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let out_row = &mut block[local * n..(local + 1) * n];
+                for p in 0..k {
+                    let a = self.data[p * m + i];
+                    // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
+                    // take it, every other value (subnormals, NaN) multiplies normally.
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(Matrix {
             rows: m,
             cols: n,
@@ -532,8 +577,17 @@ impl Matrix {
         })
     }
 
-    /// Computes `self * other^T` without materializing the transpose.
+    /// Computes `self * other^T` without materializing the transpose. Large
+    /// products are row-blocked like [`Self::matmul`].
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
+        let work = self.rows * self.cols * other.rows;
+        self.matmul_nt_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+    }
+
+    /// [`Self::matmul_nt`] with an explicit worker-thread count; bitwise
+    /// identical for every `threads` value (each output element is one
+    /// serial dot product owned by a single worker).
+    pub fn matmul_nt_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_nt",
@@ -543,17 +597,20 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let threads = threads.max(1);
+        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    block[local * n + j] = acc;
                 }
-                out[i * n + j] = acc;
             }
-        }
+        });
         Ok(Matrix {
             rows: m,
             cols: n,

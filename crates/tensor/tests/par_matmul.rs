@@ -1,0 +1,104 @@
+//! Parallel matmul kernels must be **bitwise** equal to the serial kernels —
+//! not within a tolerance — for every thread count and for ragged shapes
+//! whose row counts do not divide evenly across workers. This is the
+//! foundation the trainer's any-thread-count reproducibility stands on.
+
+use proptest::prelude::*;
+use rll_tensor::Matrix;
+
+/// Strategy: a multiplication-compatible pair with ragged shapes (including
+/// rows ≪ threads and rows that leave a remainder chunk) and values that
+/// exercise the exact-zero sparsity skip.
+fn ragged_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=17, 1usize..=9, 1usize..=13).prop_flat_map(|(m, k, n)| {
+        // Snap ~20% of draws to exact 0.0 so the sparsity skip is exercised.
+        fn sparse(x: f64) -> f64 {
+            if x.abs() < 2.0 {
+                0.0
+            } else {
+                x
+            }
+        }
+        (
+            prop::collection::vec((-10.0f64..10.0).prop_map(sparse), m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap()),
+            prop::collection::vec((-10.0f64..10.0).prop_map(sparse), k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap()),
+        )
+    })
+}
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 4, 8];
+
+proptest! {
+    #[test]
+    fn matmul_parallel_is_bitwise_serial((a, b) in ragged_pair()) {
+        let serial = a.matmul_with_threads(&b, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_with_threads(&b, threads).unwrap();
+            prop_assert_eq!(&par, &serial, "matmul threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_parallel_is_bitwise_serial((a, b) in ragged_pair()) {
+        // a: m x k → a^T b needs shapes (m x k)^T · (m x n); transpose a to
+        // get the k-rows operand the tn kernel expects.
+        let at = a.transpose();
+        let serial = at.matmul_tn_with_threads(&b, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let par = at.matmul_tn_with_threads(&b, threads).unwrap();
+            prop_assert_eq!(&par, &serial, "matmul_tn threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_parallel_is_bitwise_serial((a, b) in ragged_pair()) {
+        let bt = b.transpose();
+        let serial = a.matmul_nt_with_threads(&bt, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_nt_with_threads(&bt, threads).unwrap();
+            prop_assert_eq!(&par, &serial, "matmul_nt threads={}", threads);
+        }
+    }
+}
+
+#[test]
+fn large_product_is_bitwise_stable_across_thread_counts() {
+    // Big enough that the auto path (`matmul`) takes the threaded branch on
+    // multi-core hosts; pinned against the explicit 1-thread kernel.
+    let mut v = 0.37f64;
+    let mut next = || {
+        v = (v * 997.0 + 0.123).fract();
+        v * 2.0 - 1.0
+    };
+    let a = Matrix::from_vec(96, 80, (0..96 * 80).map(|_| next()).collect()).unwrap();
+    let b = Matrix::from_vec(80, 64, (0..80 * 64).map(|_| next()).collect()).unwrap();
+    let serial = a.matmul_with_threads(&b, 1).unwrap();
+    for threads in [2, 3, 4, 7, 16] {
+        assert_eq!(a.matmul_with_threads(&b, threads).unwrap(), serial);
+    }
+    assert_eq!(a.matmul(&b).unwrap(), serial);
+
+    let serial_tn = a.matmul_tn_with_threads(&a, 1).unwrap();
+    let serial_nt = a.matmul_nt_with_threads(&a, 1).unwrap();
+    for threads in [2, 4, 16] {
+        assert_eq!(a.matmul_tn_with_threads(&a, threads).unwrap(), serial_tn);
+        assert_eq!(a.matmul_nt_with_threads(&a, threads).unwrap(), serial_nt);
+    }
+}
+
+#[test]
+fn with_threads_still_validates_shapes() {
+    let a = Matrix::ones(2, 3);
+    let b = Matrix::ones(2, 3);
+    assert!(a.matmul_with_threads(&b, 4).is_err());
+    assert!(a.matmul_tn_with_threads(&Matrix::ones(5, 2), 4).is_err());
+    assert!(a.matmul_nt_with_threads(&Matrix::ones(5, 4), 4).is_err());
+    // threads = 0 is treated as 1, not an error.
+    let c = Matrix::ones(3, 2);
+    assert_eq!(
+        a.matmul_with_threads(&c, 0).unwrap(),
+        a.matmul_with_threads(&c, 1).unwrap()
+    );
+}

@@ -44,4 +44,18 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "serve smoke test ok"
 
+echo "== determinism gate (RLL_THREADS must not change results) =="
+# Two short training runs that differ only in worker-thread count must emit
+# byte-identical checkpoints. RLL_RUN_ID pins the run id (normally it embeds
+# a timestamp + pid) so the only possible difference is the math itself.
+RLL_RUN_ID=det-gate RLL_THREADS=1 ./target/release/serve train-demo \
+    --out "$SMOKE_DIR/det_t1.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+RLL_RUN_ID=det-gate RLL_THREADS=4 ./target/release/serve train-demo \
+    --out "$SMOKE_DIR/det_t4.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+cmp "$SMOKE_DIR/det_t1.rllckpt" "$SMOKE_DIR/det_t4.rllckpt" || {
+    echo "determinism gate FAILED: thread count changed checkpoint bytes"
+    exit 1
+}
+echo "determinism gate ok (1-thread and 4-thread checkpoints are identical)"
+
 echo "All checks passed."

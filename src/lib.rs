@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`par`] | `rll-par` | deterministic scoped-thread fan-out (`RLL_THREADS`) |
 //! | [`tensor`] | `rll-tensor` | dense matrices, sampling, initializers |
 //! | [`nn`] | `rll-nn` | MLP layers, losses, optimizers |
 //! | [`crowd`] | `rll-crowd` | label aggregation, confidence estimation, worker simulation |
@@ -47,5 +48,6 @@ pub use rll_crowd as crowd;
 pub use rll_data as data;
 pub use rll_eval as eval;
 pub use rll_nn as nn;
+pub use rll_par as par;
 pub use rll_serve as serve;
 pub use rll_tensor as tensor;

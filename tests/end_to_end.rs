@@ -34,6 +34,36 @@ fn rll_learns_oral_task_end_to_end() {
 }
 
 #[test]
+fn thread_count_never_changes_end_to_end_results() {
+    // The whole oral-task demo — normalize, train, fit the classifier, score
+    // held-out predictions — must be bitwise identical at every worker-thread
+    // count (`rll-par`'s ordered-reduction contract). Exact equality on the
+    // embeddings and the eval report, no tolerances.
+    let ds = presets::oral_scaled(240, 3).unwrap();
+    let run = |threads: usize| {
+        let mut pipeline =
+            RllPipeline::new(fast_config(RllVariant::Bayesian)).with_threads(threads);
+        let report = pipeline
+            .fit_evaluate(&ds.features, &ds.annotations, &ds.expert_labels, 41)
+            .unwrap();
+        let embeddings = pipeline.embed(&ds.features).unwrap();
+        (report, embeddings)
+    };
+    let (serial_report, serial_embeddings) = run(1);
+    for threads in [2, 4] {
+        let (report, embeddings) = run(threads);
+        assert_eq!(
+            report, serial_report,
+            "eval report differs at {threads} threads"
+        );
+        assert_eq!(
+            embeddings, serial_embeddings,
+            "embeddings differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn rll_learns_class_task_end_to_end() {
     let ds = presets::class_scaled(200, 4).unwrap();
     let mut pipeline = RllPipeline::new(fast_config(RllVariant::Bayesian));
