@@ -30,6 +30,58 @@ pub enum RllError {
     },
     /// Inference was requested before training.
     NotFitted,
+    /// A filesystem operation on a training-state snapshot failed. Carries
+    /// the rendered `io::Error` so the variant stays `Clone + PartialEq`.
+    Io {
+        /// What was being attempted (e.g. `"write out/run.rllstate"`).
+        context: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// A `.rllstate` snapshot was written by an unsupported format version.
+    StateVersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// The only version this build reads.
+        supported: u32,
+    },
+    /// A `.rllstate` payload does not match its header checksum (covers
+    /// truncation as well as bit corruption).
+    StateChecksumMismatch {
+        /// Checksum the header promised.
+        expected: u64,
+        /// Checksum of the bytes actually on disk.
+        actual: u64,
+    },
+    /// A `.rllstate` snapshot is structurally unreadable (bad magic, not
+    /// JSON, missing separator, …).
+    MalformedState {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A `.rllstate` snapshot is internally valid but does not belong to
+    /// this trainer — different config, seed stream, or data dimensions.
+    ResumeMismatch {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Training was stopped by an injected fault (crash simulation in the
+    /// fault-injection harness). The snapshot on disk, if any, covers at
+    /// most `epochs_done` epochs.
+    Interrupted {
+        /// Epochs fully completed before the fault fired.
+        epochs_done: usize,
+    },
+}
+
+impl RllError {
+    /// Wraps an `io::Error` with a description of the attempted operation.
+    pub fn io(context: impl Into<String>, error: std::io::Error) -> Self {
+        RllError::Io {
+            context: context.into(),
+            message: error.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for RllError {
@@ -42,6 +94,26 @@ impl fmt::Display for RllError {
             RllError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             RllError::DegenerateData { reason } => write!(f, "degenerate data: {reason}"),
             RllError::NotFitted => write!(f, "model must be fitted before inference"),
+            RllError::Io { context, message } => write!(f, "io error ({context}): {message}"),
+            RllError::StateVersionMismatch { found, supported } => write!(
+                f,
+                "training-state version {found} is not supported (this build reads {supported})"
+            ),
+            RllError::StateChecksumMismatch { expected, actual } => write!(
+                f,
+                "training-state checksum mismatch: header promises {expected:#018x}, \
+                 payload hashes to {actual:#018x}"
+            ),
+            RllError::MalformedState { reason } => {
+                write!(f, "malformed training state: {reason}")
+            }
+            RllError::ResumeMismatch { reason } => {
+                write!(f, "training state does not match this trainer: {reason}")
+            }
+            RllError::Interrupted { epochs_done } => write!(
+                f,
+                "training interrupted by injected fault after {epochs_done} epochs"
+            ),
         }
     }
 }

@@ -26,12 +26,15 @@ pub mod group;
 pub mod loss;
 pub mod model;
 pub mod pipeline;
+pub mod snapshot;
+pub mod state;
 pub mod trainer;
 
 pub use error::RllError;
 pub use group::{BatchStats, Group, GroupSampler, SamplingStrategy};
 pub use model::{RllModel, RllModelConfig};
 pub use pipeline::{EvalReport, RllPipeline};
+pub use state::{CheckpointPolicy, FaultPlan, TrainState, TrainStateMeta};
 pub use trainer::{RllConfig, RllTrainer, RllVariant, TrainingTrace};
 
 /// Result alias used across the crate.

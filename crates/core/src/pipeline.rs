@@ -6,6 +6,7 @@
 
 use crate::error::RllError;
 use crate::model::RllModel;
+use crate::state::{CheckpointPolicy, FaultPlan, TrainState};
 use crate::trainer::{RllConfig, RllTrainer, TrainingTrace};
 use crate::Result;
 use rll_baselines::LogisticRegression;
@@ -88,6 +89,8 @@ pub struct RllPipeline {
     config: RllConfig,
     recorder: rll_obs::Recorder,
     threads: Option<usize>,
+    checkpoint: Option<CheckpointPolicy>,
+    fault: Option<FaultPlan>,
     normalizer: Option<Normalizer>,
     model: Option<RllModel>,
     classifier: Option<LogisticRegression>,
@@ -101,11 +104,29 @@ impl RllPipeline {
             config,
             recorder: rll_obs::Recorder::disabled(),
             threads: None,
+            checkpoint: None,
+            fault: None,
             normalizer: None,
             model: None,
             classifier: None,
             trace: None,
         }
+    }
+
+    /// Enables crash-safe checkpointing during [`Self::fit`]; the trainer
+    /// atomically writes a `.rllstate` snapshot on the policy's cadence, and
+    /// [`Self::resume_fit`] finishes an interrupted run from it with
+    /// bitwise-identical results.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Injects a crash for the fault-injection harness — see
+    /// [`RllTrainer::with_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Attaches a telemetry recorder; it is handed to the trainer on
@@ -156,6 +177,46 @@ impl RllPipeline {
         annotations: &AnnotationMatrix,
         seed: u64,
     ) -> Result<()> {
+        let (normalizer, normalized) = Self::normalize(features)?;
+        let (model, trace) = self.trainer()?.fit(&normalized, annotations, seed)?;
+        self.store_fitted(normalizer, &normalized, model, trace)
+    }
+
+    /// Finishes an interrupted [`Self::fit`] from a `.rllstate` snapshot,
+    /// then trains the downstream classifier as usual. `features` and
+    /// `annotations` must be the same data the interrupted run saw — the
+    /// normalizer is re-fitted from them, which reproduces the original
+    /// normalization exactly because `Normalizer::fit` is deterministic.
+    /// The final model is bitwise identical to an uninterrupted run's.
+    pub fn resume_fit(
+        &mut self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        state: TrainState,
+    ) -> Result<()> {
+        let (normalizer, normalized) = Self::normalize(features)?;
+        let (model, trace) = self.trainer()?.resume(&normalized, annotations, state)?;
+        self.store_fitted(normalizer, &normalized, model, trace)
+    }
+
+    /// Builds the trainer with every configured override applied.
+    fn trainer(&self) -> Result<RllTrainer> {
+        let mut trainer =
+            RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
+        if let Some(threads) = self.threads {
+            trainer = trainer.with_threads(threads);
+        }
+        if let Some(policy) = self.checkpoint.clone() {
+            trainer = trainer.with_checkpoint_policy(policy);
+        }
+        if let Some(plan) = self.fault {
+            trainer = trainer.with_fault_plan(plan);
+        }
+        Ok(trainer)
+    }
+
+    /// Fits the feature normalizer and applies it.
+    fn normalize(features: &Matrix) -> Result<(Normalizer, Matrix)> {
         let normalizer = Normalizer::fit(features).map_err(|e| RllError::InvalidConfig {
             reason: format!("feature normalization failed: {e}"),
         })?;
@@ -164,13 +225,19 @@ impl RllPipeline {
             .map_err(|e| RllError::InvalidConfig {
                 reason: format!("feature normalization failed: {e}"),
             })?;
-        let mut trainer =
-            RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
-        if let Some(threads) = self.threads {
-            trainer = trainer.with_threads(threads);
-        }
-        let (model, trace) = trainer.fit(&normalized, annotations, seed)?;
-        let embeddings = model.embed(&normalized)?;
+        Ok((normalizer, normalized))
+    }
+
+    /// Trains the downstream classifier on the encoder's embeddings and
+    /// stores every fitted part.
+    fn store_fitted(
+        &mut self,
+        normalizer: Normalizer,
+        normalized: &Matrix,
+        model: RllModel,
+        trace: TrainingTrace,
+    ) -> Result<()> {
+        let embeddings = model.embed(normalized)?;
         let mut classifier = LogisticRegression::with_defaults();
         classifier.fit(&embeddings, &trace.inferred_labels)?;
         self.normalizer = Some(normalizer);
@@ -342,6 +409,41 @@ mod tests {
         // The exposed parts reproduce the pipeline's own embedding exactly.
         let direct = model.embed(&normalizer.transform(&x).unwrap()).unwrap();
         assert_eq!(direct, pipeline.embed(&x).unwrap());
+    }
+
+    #[test]
+    fn resume_fit_matches_uninterrupted_fit() {
+        let (x, ann, _) = crowd_dataset(60, 11);
+        let mut golden = RllPipeline::new(fast_config());
+        golden.fit(&x, &ann, 12).unwrap();
+
+        let dir = std::env::temp_dir().join("rll_core_pipeline_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipe.rllstate");
+        let mut broken = RllPipeline::new(fast_config())
+            .with_checkpoint_policy(CheckpointPolicy::every(&path, 4).unwrap())
+            .with_fault_plan(FaultPlan {
+                kill_after_epoch: 9,
+            });
+        assert!(matches!(
+            broken.fit(&x, &ann, 12),
+            Err(RllError::Interrupted { epochs_done: 10 })
+        ));
+        // The interrupted pipeline stored nothing.
+        assert!(broken.model().is_none());
+
+        let state = TrainState::load(&path).unwrap();
+        assert_eq!(state.meta.epochs_done, 8);
+        let mut resumed = RllPipeline::new(fast_config());
+        resumed.resume_fit(&x, &ann, state).unwrap();
+        // Bitwise-identical end state: embeddings AND downstream classifier
+        // probabilities match the never-interrupted pipeline exactly.
+        assert_eq!(resumed.embed(&x).unwrap(), golden.embed(&x).unwrap());
+        assert_eq!(
+            resumed.predict_proba(&x).unwrap(),
+            golden.predict_proba(&x).unwrap()
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

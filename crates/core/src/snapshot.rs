@@ -1,0 +1,179 @@
+//! Shared machinery for checksummed, atomically-written snapshot files.
+//!
+//! Both snapshot formats in this workspace — the train→serve handoff
+//! checkpoint (`RLLCKPT`, in `rll-serve`) and the crash-safe training state
+//! (`RLLSTATE`, in [`crate::state`]) — share one envelope layout:
+//!
+//! ```text
+//! <header JSON, one line>\n
+//! <payload JSON>
+//! ```
+//!
+//! where the header carries the byte length and FNV-1a checksum of the
+//! payload that follows. This module owns the format-agnostic pieces: the
+//! envelope encoder/splitter and the crash-safe [`atomic_write`] that every
+//! snapshot goes through. Magic strings, versions, and field validation stay
+//! with each format's own module.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Why [`split_envelope`] could not take an envelope apart. Structural only:
+/// checksum/version/semantic validation belongs to the format that owns the
+/// header fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// No newline separating header from payload.
+    MissingSeparator,
+    /// The header bytes before the separator are not UTF-8.
+    HeaderNotUtf8,
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvelopeError::MissingSeparator => {
+                write!(f, "no header/payload separator (expected a newline)")
+            }
+            EnvelopeError::HeaderNotUtf8 => write!(f, "header is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Joins a one-line JSON header and a JSON payload into the on-disk envelope.
+pub fn encode_envelope(header_json: &str, payload_json: &str) -> Vec<u8> {
+    debug_assert!(
+        !header_json.contains('\n'),
+        "envelope headers must be single-line JSON"
+    );
+    let mut bytes = Vec::with_capacity(header_json.len() + 1 + payload_json.len());
+    bytes.extend_from_slice(header_json.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload_json.as_bytes());
+    bytes
+}
+
+/// Splits an envelope into `(header_str, payload_bytes)` at the first
+/// newline. The payload stays raw bytes so the caller can checksum exactly
+/// what was on disk before trusting it as UTF-8.
+pub fn split_envelope(bytes: &[u8]) -> std::result::Result<(&str, &[u8]), EnvelopeError> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(EnvelopeError::MissingSeparator)?;
+    let header =
+        std::str::from_utf8(&bytes[..newline]).map_err(|_| EnvelopeError::HeaderNotUtf8)?;
+    Ok((header, &bytes[newline + 1..]))
+}
+
+/// Crash-safe file write: readers of `path` observe either the previous
+/// content or the complete new content, never a torn prefix.
+///
+/// The bytes go to a same-directory temporary file, are fsynced, and the
+/// temporary is renamed over `path` — rename within one filesystem is atomic
+/// on POSIX. A crash mid-write leaves at worst a stale `.tmp.<pid>` sibling,
+/// never a truncated snapshot, which is what lets training resume trust any
+/// `.rllstate` it finds (the checksum then catches on-disk bit rot).
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic_write target {} has no file name", path.display()),
+        )
+    })?;
+    let dir: PathBuf = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    // The pid suffix keeps concurrent writers from clobbering each other's
+    // temporaries; the final rename still serializes on the target name.
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write_result = (|| {
+        // lint: allow(no-nonatomic-write) — this IS the atomic writer; the
+        // create targets the private temporary, not the published path.
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Flush file content to stable storage *before* the rename publishes
+        // it; otherwise a crash could expose a complete-looking empty file.
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if write_result.is_err() {
+        // Best-effort cleanup; the original error is the one worth reporting.
+        let _ = fs::remove_file(&tmp);
+    }
+    write_result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let bytes = encode_envelope("{\"v\":1}", "{\"data\":[1,2,3]}");
+        let (header, payload) = split_envelope(&bytes).unwrap();
+        assert_eq!(header, "{\"v\":1}");
+        assert_eq!(payload, b"{\"data\":[1,2,3]}");
+    }
+
+    #[test]
+    fn payload_newlines_do_not_confuse_the_split() {
+        let bytes = encode_envelope("{}", "line1\nline2");
+        let (header, payload) = split_envelope(&bytes).unwrap();
+        assert_eq!(header, "{}");
+        assert_eq!(payload, b"line1\nline2");
+    }
+
+    #[test]
+    fn missing_separator_and_bad_utf8_are_typed() {
+        assert_eq!(
+            split_envelope(b"no newline here"),
+            Err(EnvelopeError::MissingSeparator)
+        );
+        assert_eq!(
+            split_envelope(&[0xFF, 0xFE, b'\n', b'x']),
+            Err(EnvelopeError::HeaderNotUtf8)
+        );
+        assert!(!EnvelopeError::MissingSeparator.to_string().is_empty());
+        assert!(!EnvelopeError::HeaderNotUtf8.to_string().is_empty());
+    }
+
+    #[test]
+    fn atomic_write_replaces_content_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("rll_core_atomic_write_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temporaries: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_rejects_pathological_targets() {
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
+        // Missing parent directory: the temp-file create fails cleanly.
+        let missing = std::env::temp_dir()
+            .join("rll_core_atomic_write_test_missing")
+            .join("nested")
+            .join("snap.bin");
+        assert!(atomic_write(&missing, b"x").is_err());
+    }
+}

@@ -4,11 +4,14 @@ use crate::error::RllError;
 use crate::group::{GroupSampler, SamplingStrategy};
 use crate::loss::group_softmax_loss;
 use crate::model::{RllModel, RllModelConfig};
+use crate::state::{config_hash, CheckpointPolicy, FaultPlan, TrainState};
 use crate::Result;
 use rll_crowd::aggregate::{Aggregator, MajorityVote};
 use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
 use rll_nn::{Adam, GradClip, Optimizer};
-use rll_obs::{EpochStats, EventKind, Recorder, SamplerStats, Stopwatch};
+use rll_obs::{
+    CheckpointStats, EpochStats, EventKind, Recorder, ResumeStats, SamplerStats, Stopwatch,
+};
 use rll_tensor::{debug_assert_finite, Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
@@ -166,6 +169,8 @@ pub struct RllTrainer {
     config: RllConfig,
     recorder: Recorder,
     threads: usize,
+    checkpoint: Option<CheckpointPolicy>,
+    fault: Option<FaultPlan>,
 }
 
 impl RllTrainer {
@@ -179,7 +184,27 @@ impl RllTrainer {
             config,
             recorder: Recorder::disabled(),
             threads: rll_par::configured_threads(),
+            checkpoint: None,
+            fault: None,
         })
+    }
+
+    /// Enables crash-safe checkpointing: [`Self::fit`] atomically writes a
+    /// [`TrainState`] snapshot to the policy's path after every
+    /// `every_epochs` completed epochs. A later [`Self::resume`] from that
+    /// snapshot finishes the run with bitwise-identical results.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Injects a crash for the fault-injection harness: [`Self::fit`]
+    /// returns [`RllError::Interrupted`] right after the plan's epoch
+    /// completes (and after any due checkpoint write). Test-only plumbing —
+    /// production runs never set this.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 
     /// Attaches a telemetry recorder; [`Self::fit`] will emit per-epoch
@@ -271,6 +296,57 @@ impl RllTrainer {
         annotations: &AnnotationMatrix,
         seed: u64,
     ) -> Result<(RllModel, TrainingTrace)> {
+        self.fit_from(features, annotations, seed, None)
+    }
+
+    /// Continues an interrupted run from a [`TrainState`] snapshot, finishing
+    /// with **bitwise-identical** weights, trace, and embeddings to the run
+    /// that was never interrupted (`features`/`annotations` must be the same
+    /// data the snapshot's run trained on; the seed comes from the snapshot).
+    ///
+    /// Rejects snapshots from a different config or incompatible data with
+    /// [`RllError::ResumeMismatch`].
+    pub fn resume(
+        &self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        state: TrainState,
+    ) -> Result<(RllModel, TrainingTrace)> {
+        let seed = state.meta.seed;
+        self.fit_from(features, annotations, seed, Some(state))
+    }
+
+    /// Rejects snapshots that do not belong to this trainer + data.
+    fn check_resumable(&self, state: &TrainState, features: &Matrix) -> Result<()> {
+        let expected = config_hash(&self.config)?;
+        if state.meta.config_hash != expected {
+            return Err(RllError::ResumeMismatch {
+                reason: format!(
+                    "snapshot was written under config hash {:#018x}, this trainer is {expected:#018x}",
+                    state.meta.config_hash
+                ),
+            });
+        }
+        let snapshot_dim = state.model.config().input_dim;
+        if snapshot_dim != features.cols() {
+            return Err(RllError::ResumeMismatch {
+                reason: format!(
+                    "snapshot encoder expects input_dim {snapshot_dim}, features have {} columns",
+                    features.cols()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared fresh-start / resume training loop.
+    fn fit_from(
+        &self,
+        features: &Matrix,
+        annotations: &AnnotationMatrix,
+        seed: u64,
+        resume: Option<TrainState>,
+    ) -> Result<(RllModel, TrainingTrace)> {
         if features.rows() != annotations.num_items() {
             return Err(RllError::InvalidConfig {
                 reason: format!(
@@ -327,7 +403,29 @@ impl RllTrainer {
         let mut grad_norms_pre_clip = Vec::with_capacity(self.config.epochs);
         let mut grad_norms_post_clip = Vec::with_capacity(self.config.epochs);
         let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
-        for epoch in 0..self.config.epochs {
+        let mut start_epoch = 0;
+        if let Some(state) = resume {
+            self.check_resumable(&state, features)?;
+            // Swap in the snapshot: weights, optimizer moments, and the
+            // sampling RNG continue exactly where the interrupted run left
+            // off. Labels/confidences/sampler above were recomputed rather
+            // than stored — they are pure functions of the data and config,
+            // so they match the original run's by construction.
+            model = state.model;
+            opt.restore(state.optimizer)?;
+            rng = Rng64::from_state(&state.rng)?;
+            start_epoch = state.meta.epochs_done;
+            epoch_losses = state.trace.epoch_losses;
+            grad_norms_pre_clip = state.trace.grad_norms_pre_clip;
+            grad_norms_post_clip = state.trace.grad_norms_post_clip;
+            epoch_wall_secs = state.trace.epoch_wall_secs;
+            self.recorder.emit(EventKind::ResumeFrom(ResumeStats {
+                epochs_done: start_epoch,
+                total_epochs: self.config.epochs,
+                seed,
+            }));
+        }
+        for epoch in start_epoch..self.config.epochs {
             let epoch_start = Stopwatch::start();
             let learning_rate = match &self.config.lr_schedule {
                 Some(schedule) => {
@@ -459,6 +557,46 @@ impl RllTrainer {
             grad_norms_pre_clip.push(grad_norm_pre_clip);
             grad_norms_post_clip.push(grad_norm_post_clip);
             epoch_wall_secs.push(wall_secs);
+
+            let epochs_done = epoch + 1;
+            if let Some(policy) = &self.checkpoint {
+                if policy.due_after(epochs_done) {
+                    let write_start = Stopwatch::start();
+                    let state = TrainState::new(
+                        &self.config,
+                        seed,
+                        epochs_done,
+                        self.recorder.run_id(),
+                        model.clone(),
+                        opt.state(),
+                        rng.state(),
+                        TrainingTrace {
+                            epoch_losses: epoch_losses.clone(),
+                            inferred_labels: labels.clone(),
+                            confidences: confidences.clone(),
+                            grad_norms_pre_clip: grad_norms_pre_clip.clone(),
+                            grad_norms_post_clip: grad_norms_post_clip.clone(),
+                            epoch_wall_secs: epoch_wall_secs.clone(),
+                        },
+                    )?;
+                    let bytes = state.save(policy.path())?;
+                    self.recorder
+                        .emit(EventKind::CheckpointWritten(CheckpointStats {
+                            epochs_done,
+                            path: policy.path().display().to_string(),
+                            bytes,
+                            write_secs: write_start.elapsed_secs(),
+                        }));
+                    metrics.counter("train.checkpoints_written").add(1);
+                }
+            }
+            // The injected crash fires *after* any due snapshot write — a
+            // real crash between epochs lands the same way.
+            if let Some(plan) = &self.fault {
+                if plan.kill_after_epoch == epoch {
+                    return Err(RllError::Interrupted { epochs_done });
+                }
+            }
         }
 
         Ok((
@@ -635,6 +773,105 @@ mod tests {
         // 0 is clamped to 1, not an error.
         let clamped = RllTrainer::new(cfg).unwrap().with_threads(0);
         assert_eq!(clamped.threads(), 1);
+    }
+
+    #[test]
+    fn resume_from_snapshot_is_bitwise_identical() {
+        // The crash-safety contract in miniature: kill training at assorted
+        // epochs, resume from the snapshot on disk, and require the final
+        // weights and per-epoch losses to be *exactly* the uninterrupted
+        // run's — assert_eq! on raw f64, no tolerances.
+        let (x, ann, _) = crowd_dataset(50, 31);
+        let cfg = fast_config(RllVariant::Bayesian);
+        let golden = RllTrainer::new(cfg.clone()).unwrap();
+        let (gold_model, gold_trace) = golden.fit(&x, &ann, 32).unwrap();
+
+        let dir = std::env::temp_dir().join("rll_core_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for kill_after in [1usize, 4, 7, 13] {
+            let path = dir.join(format!("resume_{kill_after}.rllstate"));
+            let interrupted = RllTrainer::new(cfg.clone())
+                .unwrap()
+                .with_checkpoint_policy(CheckpointPolicy::every(&path, 2).unwrap())
+                .with_fault_plan(FaultPlan {
+                    kill_after_epoch: kill_after,
+                });
+            match interrupted.fit(&x, &ann, 32) {
+                Err(RllError::Interrupted { epochs_done }) => {
+                    assert_eq!(epochs_done, kill_after + 1)
+                }
+                other => panic!("expected Interrupted, got {other:?}"),
+            }
+            let state = TrainState::load(&path).unwrap();
+            assert!(state.meta.epochs_done <= kill_after + 1);
+            assert_eq!(state.meta.seed, 32);
+            // Resume on a *different* thread count: snapshot + thread-count
+            // determinism compose.
+            let resumed = RllTrainer::new(cfg.clone()).unwrap().with_threads(4);
+            let (model, trace) = resumed.resume(&x, &ann, state).unwrap();
+            for (got, want) in model.mlp().layers().iter().zip(gold_model.mlp().layers()) {
+                assert_eq!(got.weights(), want.weights(), "kill_after={kill_after}");
+                assert_eq!(got.bias(), want.bias(), "kill_after={kill_after}");
+            }
+            assert_eq!(trace.epoch_losses, gold_trace.epoch_losses);
+            assert_eq!(trace.grad_norms_pre_clip, gold_trace.grad_norms_pre_clip);
+            assert_eq!(trace.grad_norms_post_clip, gold_trace.grad_norms_post_clip);
+            assert_eq!(model.embed(&x).unwrap(), gold_model.embed(&x).unwrap());
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_foreign_snapshots() {
+        let (x, ann, _) = crowd_dataset(40, 33);
+        let cfg = fast_config(RllVariant::Bayesian);
+        let dir = std::env::temp_dir().join("rll_core_resume_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.rllstate");
+        let trainer = RllTrainer::new(cfg.clone())
+            .unwrap()
+            .with_checkpoint_policy(CheckpointPolicy::every(&path, 3).unwrap())
+            .with_fault_plan(FaultPlan {
+                kill_after_epoch: 5,
+            });
+        assert!(matches!(
+            trainer.fit(&x, &ann, 34),
+            Err(RllError::Interrupted { epochs_done: 6 })
+        ));
+        // Different hyperparameters → different config hash → rejected.
+        let other_cfg = RllConfig {
+            eta: 5.0,
+            ..cfg.clone()
+        };
+        let other = RllTrainer::new(other_cfg).unwrap();
+        let state = TrainState::load(&path).unwrap();
+        assert!(matches!(
+            other.resume(&x, &ann, state),
+            Err(RllError::ResumeMismatch { .. })
+        ));
+        // Same config, wrong feature width → rejected.
+        let same = RllTrainer::new(cfg).unwrap();
+        let state = TrainState::load(&path).unwrap();
+        let narrow = Matrix::from_fn(x.rows(), 2, |r, c| (r % 3) as f64 - 0.5 * c as f64);
+        assert!(matches!(
+            same.resume(&narrow, &ann, state),
+            Err(RllError::ResumeMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_without_checkpointing_still_interrupts() {
+        let (x, ann, _) = crowd_dataset(40, 37);
+        let trainer = RllTrainer::new(fast_config(RllVariant::Bayesian))
+            .unwrap()
+            .with_fault_plan(FaultPlan {
+                kill_after_epoch: 0,
+            });
+        assert!(matches!(
+            trainer.fit(&x, &ann, 38),
+            Err(RllError::Interrupted { epochs_done: 1 })
+        ));
     }
 
     #[test]

@@ -65,9 +65,15 @@ impl ConfusionMatrix {
         self.tp + self.fp + self.tn + self.fn_
     }
 
-    /// Fraction correct.
+    /// Fraction correct (0 for an empty matrix, not NaN — a matrix built by
+    /// hand rather than via [`from_predictions`](Self::from_predictions) can
+    /// be all-zero, and `0/0` would poison every downstream mean).
     pub fn accuracy(&self) -> f64 {
-        (self.tp + self.tn) as f64 / self.total() as f64
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / self.total() as f64
+        }
     }
 
     /// Positive-class precision (0 when nothing was predicted positive).
@@ -172,6 +178,8 @@ pub fn roc_auc(scores: &[f64], truth: &[u8]) -> Result<f64> {
         .filter(|(&t, _)| t == 1)
         .map(|(_, &r)| r)
         .sum();
+    // n_pos * n_neg > 0: the single-class check above already rejected any
+    // input that would make this a 0/0.
     Ok((pos_rank_sum - (n_pos * (n_pos + 1)) as f64 / 2.0) / (n_pos * n_neg) as f64)
 }
 
@@ -213,6 +221,25 @@ mod tests {
         assert_eq!(m.f1(), 0.0);
         assert_eq!(m.mcc(), 0.0);
         assert!(m.accuracy() > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero_not_nan() {
+        // `from_predictions` refuses zero samples, but an all-zero matrix is
+        // constructible by hand (e.g. accumulating per-slice tallies where a
+        // slice is empty). Every metric must stay finite.
+        let m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.mcc(), 0.0);
     }
 
     #[test]

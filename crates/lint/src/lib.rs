@@ -11,7 +11,12 @@
 //! - **no-raw-stdout** — output routes through `rll-obs` sinks;
 //! - **no-wallclock** — `Instant`/`SystemTime` stay behind the observability
 //!   boundary so seeded runs are comparable;
-//! - **no-unseeded-rng** — all randomness is seed-threaded.
+//! - **no-unseeded-rng** — all randomness is seed-threaded;
+//! - **no-nonatomic-write** — snapshot/checkpoint files are published via
+//!   `rll_core::snapshot::atomic_write`, never a bare `File::create`/
+//!   `fs::write` that a crash could leave torn;
+//! - **no-unordered-reduce** — no lock-and-accumulate reductions in
+//!   float-summing parallel paths (completion order is nondeterministic).
 //!
 //! Violations can be suppressed inline with a *justified* pragma:
 //!

@@ -49,6 +49,14 @@ pub const RULES: &[Rule] = &[
         hint: "thread a seeded `Rng64` (or a child seed derived from it) through the call path",
     },
     Rule {
+        id: "no-nonatomic-write",
+        summary: "File::create/fs::write publish a file non-atomically; a crash mid-write leaves \
+                  a torn artifact that resume/reload would then trust",
+        hint: "route snapshot and checkpoint writes through `rll_core::snapshot::atomic_write` \
+               (same-dir temp + fsync + rename), or justify with a pragma when the file is \
+               ephemeral coordination data",
+    },
+    Rule {
         id: "no-unordered-reduce",
         summary: "accumulating into a lock (`.lock()` + `+=`/`.push(`) reduces in completion \
                   order, which is nondeterministic for float sums",
@@ -90,6 +98,7 @@ pub fn scan(rule_id: &str, code: &[String]) -> Vec<Hit> {
             code,
             &["thread_rng", "from_entropy", "OsRng", "StdRng::from_os_rng"],
         ),
+        "no-nonatomic-write" => scan_tokens(code, &["File::create(", "fs::write("]),
         "no-unordered-reduce" => scan_unordered_reduce(code),
         _ => Vec::new(),
     }
@@ -402,6 +411,18 @@ mod tests {
             scan_unordered_reduce(&one_line("v.try_lock() += 1;")).len(),
             0
         );
+    }
+
+    #[test]
+    fn nonatomic_write_scanner() {
+        let hits = |s: &str| scan("no-nonatomic-write", &one_line(s)).len();
+        assert_eq!(hits("let f = File::create(&path)?;"), 1);
+        assert_eq!(hits("std::fs::write(path, bytes)?;"), 1);
+        assert_eq!(hits("fs::write(&tmp, contents)"), 1);
+        // The sanctioned writer and read-side APIs stay clean.
+        assert_eq!(hits("atomic_write(&path, &bytes)?;"), 0);
+        assert_eq!(hits("fs::read_to_string(path)?"), 0);
+        assert_eq!(hits("MyFile::create(x)"), 0);
     }
 
     #[test]

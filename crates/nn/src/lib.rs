@@ -34,8 +34,8 @@ pub use activation::Activation;
 pub use error::NnError;
 pub use layer::Dense;
 pub use mlp::{Mlp, MlpCache, MlpConfig};
-pub use optimizer::{Adam, AdamW, GradClip, Momentum, Optimizer, RmsProp, Sgd};
-pub use scheduler::LrSchedule;
+pub use optimizer::{Adam, AdamState, AdamW, GradClip, Momentum, Optimizer, RmsProp, Sgd};
+pub use scheduler::{LrSchedule, LR_FLOOR_RATIO};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, NnError>;

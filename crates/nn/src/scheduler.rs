@@ -4,6 +4,26 @@ use crate::error::NnError;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
+/// Relative learning-rate floor for the decaying schedules: [`LrSchedule::Step`]
+/// and [`LrSchedule::Exponential`] never return below `lr * LR_FLOOR_RATIO`.
+///
+/// Without a floor, `gamma^epoch` underflows to a subnormal and then to
+/// exactly `0.0` on long horizons (e.g. `0.9^7000`), silently freezing
+/// training — a realistic regime now that checkpoint/resume makes very long
+/// epoch counts cheap to accumulate. The floor is relative to the initial
+/// rate so the clamp is scale-invariant.
+pub const LR_FLOOR_RATIO: f64 = 1e-9;
+
+/// `lr * gamma^steps`, clamped to the relative floor.
+///
+/// `gamma.powi(steps as i32)` would be doubly wrong on long horizons: the
+/// `usize → i32` cast wraps past `i32::MAX` (a *negative* exponent turns
+/// decay into explosive growth), and the power underflows to subnormal/zero.
+/// `powf` on the exact `f64` exponent is monotone and safe for every `usize`.
+fn decayed(lr: f64, gamma: f64, steps: usize) -> f64 {
+    (lr * gamma.powf(steps as f64)).max(lr * LR_FLOOR_RATIO)
+}
+
 /// A learning-rate schedule mapping an epoch index to a learning rate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum LrSchedule {
@@ -110,8 +130,8 @@ impl LrSchedule {
                 lr,
                 step_size,
                 gamma,
-            } => lr * gamma.powi((epoch / step_size) as i32),
-            LrSchedule::Exponential { lr, gamma } => lr * gamma.powi(epoch as i32),
+            } => decayed(lr, gamma, epoch / step_size),
+            LrSchedule::Exponential { lr, gamma } => decayed(lr, gamma, epoch),
             LrSchedule::Cosine {
                 lr,
                 min_lr,
@@ -167,6 +187,41 @@ mod tests {
             prev = lr;
         }
         assert!((s.at_epoch(2) - 0.5 * 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_is_floored_not_underflowed_on_long_horizons() {
+        // 0.9^7000 underflows f64 to exactly 0; the floor must catch it.
+        let exp = LrSchedule::Exponential {
+            lr: 1e-3,
+            gamma: 0.9,
+        };
+        let step = LrSchedule::Step {
+            lr: 1e-3,
+            step_size: 2,
+            gamma: 0.5,
+        };
+        for schedule in [&exp, &step] {
+            for &epoch in &[0usize, 100, 7_000, 1_000_000, usize::MAX] {
+                let lr = schedule.at_epoch(epoch);
+                assert!(
+                    lr.is_finite() && lr > 0.0 && lr.is_normal(),
+                    "epoch {epoch}: lr = {lr:e}"
+                );
+                assert!(lr <= 1e-3, "epoch {epoch}: lr = {lr:e} grew above lr0");
+            }
+            assert!((schedule.at_epoch(usize::MAX) - 1e-3 * LR_FLOOR_RATIO).abs() < 1e-24);
+        }
+        // `powi((epoch) as i32)` would have wrapped to a negative exponent
+        // past i32::MAX and *grown* the rate; pin the non-wrap explicitly.
+        let past_i32 = (i32::MAX as usize) + 7;
+        assert!(exp.at_epoch(past_i32) <= 1e-3);
+        // gamma = 1.0 never decays and never hits the floor.
+        let flat = LrSchedule::Exponential {
+            lr: 0.2,
+            gamma: 1.0,
+        };
+        assert_eq!(flat.at_epoch(usize::MAX), 0.2);
     }
 
     #[test]

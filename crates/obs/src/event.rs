@@ -38,6 +38,10 @@ pub enum EventKind {
     FoldEnd(FoldStats),
     /// All folds finished for a method.
     MethodEnd(MethodStats),
+    /// A training-state snapshot was written (crash-safe checkpointing).
+    CheckpointWritten(CheckpointStats),
+    /// Training resumed from a snapshot instead of starting fresh.
+    ResumeFrom(ResumeStats),
     /// Free-form progress note.
     Note(String),
     /// A rendered results table (kept as text for human replay).
@@ -123,6 +127,31 @@ pub struct MethodStats {
     pub mean_accuracy: f64,
     pub std_accuracy: f64,
     pub wall_secs: f64,
+}
+
+/// Emitted by the trainer each time it persists a `.rllstate` snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Epochs completed when the snapshot was taken (the resume cursor).
+    pub epochs_done: usize,
+    /// Where the snapshot landed on disk.
+    pub path: String,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+    /// Wall time spent serializing + atomically writing the snapshot.
+    pub write_secs: f64,
+}
+
+/// Emitted once when a training run restarts from a persisted snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeStats {
+    /// Epochs already completed inside the snapshot; training continues at
+    /// this epoch index.
+    pub epochs_done: usize,
+    /// Total epochs the resumed run will stop at.
+    pub total_epochs: usize,
+    /// Seed of the original run (resume continues its RNG stream).
+    pub seed: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

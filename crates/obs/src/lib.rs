@@ -41,8 +41,8 @@ pub mod span;
 
 pub use clock::Stopwatch;
 pub use event::{
-    ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats, MethodStats, RunInfo,
-    RunSummary, SamplerStats, TableText,
+    CheckpointStats, ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats,
+    MethodStats, ResumeStats, RunInfo, RunSummary, SamplerStats, TableText,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::Recorder;

@@ -160,6 +160,8 @@ fn kind_counter(kind: &EventKind) -> &'static str {
         EventKind::ConfidenceSummary(_) => "events.confidence_summary",
         EventKind::FoldEnd(_) => "events.fold_end",
         EventKind::MethodEnd(_) => "events.method_end",
+        EventKind::CheckpointWritten(_) => "events.checkpoint_written",
+        EventKind::ResumeFrom(_) => "events.resume_from",
         EventKind::Note(_) => "events.note",
         EventKind::Table(_) => "events.table",
         EventKind::RunEnd(_) => "events.run_end",

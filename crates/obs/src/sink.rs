@@ -114,6 +114,18 @@ impl Sink for StdoutSink {
                     m.wall_secs
                 );
             }
+            EventKind::CheckpointWritten(c) => {
+                println!(
+                    "[{:>9.3}s] checkpoint: {} epochs -> {} ({} bytes, {:.3}s)",
+                    event.elapsed_secs, c.epochs_done, c.path, c.bytes, c.write_secs,
+                );
+            }
+            EventKind::ResumeFrom(r) => {
+                println!(
+                    "[{:>9.3}s] resume: continuing at epoch {}/{} (seed {})",
+                    event.elapsed_secs, r.epochs_done, r.total_epochs, r.seed,
+                );
+            }
             EventKind::Note(text) => {
                 println!("[{:>9.3}s] {text}", event.elapsed_secs);
             }

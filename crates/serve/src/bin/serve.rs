@@ -11,9 +11,11 @@
 //! `train-demo` trains a small RLL pipeline on a simulated preset and writes
 //! a checkpoint — the train→checkpoint handoff in miniature, stamping the
 //! rll-obs run id of the training run into the checkpoint header. The serving
-//! mode loads any checkpoint and listens until killed. `--addr` with port 0
-//! binds an ephemeral port; `--port-file` writes the resolved `host:port` so
-//! scripts (e.g. the CI smoke test) can find it.
+//! mode loads any checkpoint and listens until killed; `POST /reload`
+//! re-reads the `--checkpoint` file to hot-swap a newer model without a
+//! restart. `--addr` with port 0 binds an ephemeral port; `--port-file`
+//! writes the resolved `host:port` so scripts (e.g. the CI smoke test) can
+//! find it.
 
 use rll_core::{RllConfig, RllPipeline};
 use rll_serve::{
@@ -210,6 +212,7 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         engine,
         ServerConfig {
             addr: args.addr.clone(),
+            checkpoint_path: Some(args.checkpoint.clone().into()),
             ..ServerConfig::default()
         },
         recorder,

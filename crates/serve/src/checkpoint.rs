@@ -24,14 +24,19 @@
 //! JSON is byte-exact for `f64` here: the vendored writer renders floats via
 //! Rust's shortest-round-trip formatting, so a save→load cycle reproduces
 //! bit-identical weights and therefore bit-identical embeddings.
+//!
+//! The envelope layout and the crash-safe (atomic temp+fsync+rename) writer
+//! are shared with the `RLLSTATE` training snapshot via
+//! [`rll_core::snapshot`]; this module owns only the `RLLCKPT` header fields
+//! and their validation.
 
 use crate::error::ServeError;
 use crate::Result;
+use rll_core::snapshot::{atomic_write, encode_envelope, split_envelope};
 use rll_core::{RllModel, RllPipeline};
 use rll_data::Normalizer;
 use rll_tensor::hash::fnv1a;
 use serde::{Deserialize, Serialize};
-use std::io::Write as _;
 use std::path::Path;
 
 /// Magic string opening every checkpoint header.
@@ -136,25 +141,15 @@ impl Checkpoint {
         let header_json = serde_json::to_string(&meta).map_err(|e| ServeError::InvalidConfig {
             reason: format!("cannot serialize checkpoint header: {e}"),
         })?;
-        let mut bytes = Vec::with_capacity(header_json.len() + 1 + payload_json.len());
-        bytes.extend_from_slice(header_json.as_bytes());
-        bytes.push(b'\n');
-        bytes.extend_from_slice(payload_json.as_bytes());
-        Ok(bytes)
+        Ok(encode_envelope(&header_json, &payload_json))
     }
 
     /// Parses and fully validates the on-disk byte format.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let newline = bytes.iter().position(|&b| b == b'\n').ok_or_else(|| {
-            ServeError::MalformedCheckpoint {
-                reason: "no header/payload separator (expected a newline)".into(),
-            }
-        })?;
-        let header_str = std::str::from_utf8(&bytes[..newline]).map_err(|_| {
-            ServeError::MalformedCheckpoint {
-                reason: "header is not UTF-8".into(),
-            }
-        })?;
+        let (header_str, payload_bytes) =
+            split_envelope(bytes).map_err(|e| ServeError::MalformedCheckpoint {
+                reason: e.to_string(),
+            })?;
         let meta: CheckpointMeta =
             serde_json::from_str(header_str).map_err(|e| ServeError::MalformedCheckpoint {
                 reason: format!("header is not valid JSON: {e}"),
@@ -170,7 +165,6 @@ impl Checkpoint {
                 supported: FORMAT_VERSION,
             });
         }
-        let payload_bytes = &bytes[newline + 1..];
         let actual_hash = fnv1a(payload_bytes);
         if payload_bytes.len() as u64 != meta.payload_bytes || actual_hash != meta.payload_fnv1a {
             return Err(ServeError::ChecksumMismatch {
@@ -212,15 +206,14 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` (parent directories must exist).
+    /// Writes the checkpoint to `path` atomically (parent directories must
+    /// exist): the serving hot-reload endpoint may re-read this file at any
+    /// moment, so it must never observe a torn prefix.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
         let path = path.as_ref();
         let bytes = self.to_bytes()?;
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| ServeError::io(format!("create {}", path.display()), e))?;
-        file.write_all(&bytes)
-            .map_err(|e| ServeError::io(format!("write {}", path.display()), e))?;
-        Ok(())
+        atomic_write(path, &bytes)
+            .map_err(|e| ServeError::io(format!("write {}", path.display()), e))
     }
 
     /// Reads and validates a checkpoint from `path`.

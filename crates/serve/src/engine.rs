@@ -15,6 +15,12 @@
 //! Caching: results are memoized in a hand-rolled [`LruCache`] keyed on the
 //! FNV-1a hash of the *raw* feature vector, so repeated queries skip the
 //! queue and the forward pass entirely.
+//!
+//! Hot reload: the serving model lives behind an `RwLock<Arc<ServingModel>>`.
+//! [`InferenceEngine::reload`] swaps in a new model without restarting the
+//! worker pool, and clears the embedding cache (cached rows were computed by
+//! the old weights). Each batch captures one `Arc` for its whole forward
+//! pass, so a swap mid-flight never mixes weights within a batch.
 
 use crate::checkpoint::Checkpoint;
 use crate::error::ServeError;
@@ -28,7 +34,7 @@ use rll_tensor::Matrix;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 
 /// Tuning knobs for the worker pool.
@@ -119,7 +125,7 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     shutdown: AtomicBool,
-    model: ServingModel,
+    model: RwLock<Arc<ServingModel>>,
     cache: Mutex<LruCache<Vec<f64>>>,
     recorder: Recorder,
     config: EngineConfig,
@@ -135,6 +141,12 @@ impl Shared {
 
     fn lock_cache(&self) -> MutexGuard<'_, LruCache<Vec<f64>>> {
         self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Snapshot of the current model. Callers hold the `Arc`, not the lock,
+    /// so a concurrent reload never blocks on an in-flight forward pass.
+    fn model(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.model.read().unwrap_or_else(|p| p.into_inner()))
     }
 }
 
@@ -154,7 +166,7 @@ impl InferenceEngine {
             queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
             not_empty: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            model,
+            model: RwLock::new(Arc::new(model)),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             recorder,
             config: config.clone(),
@@ -174,9 +186,29 @@ impl InferenceEngine {
         })
     }
 
-    /// The model being served.
-    pub fn model(&self) -> &ServingModel {
-        &self.shared.model
+    /// The model currently being served. Returns an owned `Arc` snapshot: a
+    /// concurrent [`reload`](Self::reload) does not invalidate it.
+    pub fn model(&self) -> Arc<ServingModel> {
+        self.shared.model()
+    }
+
+    /// Hot-swaps the serving model without restarting the worker pool.
+    ///
+    /// The embedding cache is cleared (its entries were computed by the old
+    /// weights), and in-flight batches finish on whichever model snapshot
+    /// they captured — a batch never mixes weights. The new model may have
+    /// different dimensions; subsequent requests are validated against it.
+    pub fn reload(&self, model: ServingModel) {
+        {
+            let mut slot = self.shared.model.write().unwrap_or_else(|p| p.into_inner());
+            *slot = Arc::new(model);
+        }
+        self.shared.lock_cache().clear();
+        self.shared
+            .recorder
+            .metrics()
+            .counter("serve.model.reloads")
+            .inc();
     }
 
     /// Embeds one raw feature vector, waiting for the batch it lands in.
@@ -267,7 +299,7 @@ impl InferenceEngine {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::EngineShutdown);
         }
-        let expected = self.shared.model.input_dim();
+        let expected = self.shared.model().input_dim();
         if features.len() != expected {
             return Err(ServeError::DimMismatch {
                 what: "request feature vector",
@@ -348,7 +380,10 @@ fn worker_loop(shared: &Shared) {
 /// every job in the batch and feeds the cache.
 fn run_batch(shared: &Shared, jobs: Vec<Job>) {
     let _span = shared.recorder.span("serve.batch");
-    let dim = shared.model.input_dim();
+    // One snapshot for the whole batch: a concurrent reload must not swap
+    // weights between assembling the matrix and running the forward pass.
+    let model = shared.model();
+    let dim = model.input_dim();
     let mut data = Vec::with_capacity(jobs.len() * dim);
     for job in &jobs {
         data.extend_from_slice(&job.features);
@@ -364,7 +399,7 @@ fn run_batch(shared: &Shared, jobs: Vec<Job>) {
             return;
         }
     };
-    match shared.model.embed_matrix(&batch) {
+    match model.embed_matrix(&batch) {
         Ok(embeddings) => {
             let mut cache = shared.lock_cache();
             for (i, job) in jobs.into_iter().enumerate() {
@@ -507,6 +542,58 @@ mod tests {
             InferenceEngine::start(tiny_model(7), bad, Recorder::disabled()),
             Err(ServeError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn reload_swaps_model_and_clears_cache() {
+        let eng = engine(9, EngineConfig::default());
+        let x = vec![0.25, -0.5, 1.5];
+        let before = eng.embed(x.clone()).unwrap();
+        let cached = eng.embed(x.clone()).unwrap();
+        assert_eq!(before, cached);
+        assert_eq!(eng.cache_stats(), (1, 1));
+
+        let new_model = tiny_model(10);
+        let expected = new_model
+            .embed_matrix(&Matrix::from_rows(std::slice::from_ref(&x)).unwrap())
+            .unwrap()
+            .row(0)
+            .unwrap()
+            .to_vec();
+        eng.reload(new_model);
+        let after = eng.embed(x.clone()).unwrap();
+        assert_ne!(before, after);
+        assert_eq!(after, expected);
+        // Hit/miss counters are lifetime stats; the post-reload lookup was a
+        // miss because the cache was cleared.
+        assert_eq!(eng.cache_stats(), (1, 2));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn reload_revalidates_dims_against_the_new_model() {
+        let eng = engine(11, EngineConfig::default());
+        let mut rng = Rng64::seed_from_u64(12);
+        let config = RllModelConfig {
+            hidden_dims: vec![5],
+            embedding_dim: 2,
+            ..RllModelConfig::for_input(2)
+        };
+        let model = RllModel::new(config, &mut rng).unwrap();
+        let features = Matrix::from_fn(9, 2, |r, c| (r as f64) * 0.4 - c as f64);
+        let normalizer = Normalizer::fit(&features).unwrap();
+        eng.reload(ServingModel { model, normalizer });
+        assert!(matches!(
+            eng.embed(vec![1.0, 2.0, 3.0]),
+            Err(ServeError::DimMismatch {
+                expected: 2,
+                actual: 3,
+                ..
+            })
+        ));
+        assert_eq!(eng.embed(vec![1.0, 2.0]).unwrap().len(), 2);
+        assert_eq!(eng.model().embedding_dim(), 2);
+        eng.shutdown();
     }
 
     #[test]

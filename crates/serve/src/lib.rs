@@ -17,8 +17,9 @@
 //!    keyed on FNV-1a feature hashes.
 //! 3. **[`http`] / [`server`]** — a zero-dependency HTTP/1.1 server on
 //!    `std::net::TcpListener` exposing `POST /embed`, `POST /score`,
-//!    `GET /healthz`, and `GET /metrics` (rll-obs counters, batch sizes,
-//!    cache hit rate, queue depth, latency quantiles).
+//!    `GET /healthz`, `GET /metrics` (rll-obs counters, batch sizes,
+//!    cache hit rate, queue depth, latency quantiles), and `POST /reload`
+//!    (hot-swap a newer checkpoint from disk without dropping connections).
 //! 4. **bins** — `serve` (train-demo + load checkpoint + listen) and
 //!    `loadgen` (seeded deterministic load generator writing a
 //!    latency/throughput summary to `results/serve_bench.json`).
@@ -39,8 +40,8 @@ pub use checkpoint::{Checkpoint, CheckpointMeta};
 pub use engine::{EngineConfig, InferenceEngine, ServingModel};
 pub use error::ServeError;
 pub use server::{
-    EmbedRequest, EmbedResponse, EmbedServer, ErrorResponse, HealthResponse, ScoreRequest,
-    ScoreResponse, ServerConfig,
+    EmbedRequest, EmbedResponse, EmbedServer, ErrorResponse, HealthResponse, ReloadResponse,
+    ScoreRequest, ScoreResponse, ServerConfig,
 };
 
 /// Result alias used across the crate.

@@ -119,6 +119,16 @@ impl<V: Clone> LruCache<V> {
         self.push_front(idx);
     }
 
+    /// Drops every entry (hit/miss counters survive — they are lifetime
+    /// stats). Used on model hot-reload: cached embeddings were computed by
+    /// the old weights and must not outlive them.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         if prev != NIL {

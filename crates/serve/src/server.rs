@@ -6,6 +6,7 @@
 //! | `/score` | POST | `{"a": [f64; d], "b": [f64; d]}` | `{"score": f64}` (cosine relevance, eq. 3 sans confidence) |
 //! | `/healthz` | GET | — | `{"status":"ok", …}` with checkpoint identity |
 //! | `/metrics` | GET | — | rll-obs [`MetricsSnapshot`] JSON (`?format=text` for plain text) |
+//! | `/reload` | POST | — | `{"status":"reloaded", …}` after hot-swapping the checkpoint from disk |
 //!
 //! Error contract: JSON `{"error": …}` with `400` (bad input), `404`/`405`
 //! (routing), `411`/`413` (framing), `503` (queue backpressure / shutdown),
@@ -15,7 +16,8 @@
 //!
 //! [`MetricsSnapshot`]: rll_obs::MetricsSnapshot
 
-use crate::engine::InferenceEngine;
+use crate::checkpoint::Checkpoint;
+use crate::engine::{InferenceEngine, ServingModel};
 use crate::error::ServeError;
 use crate::http::{self, HttpError, ReadOutcome, Request};
 use crate::Result;
@@ -23,8 +25,9 @@ use rll_obs::{Recorder, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -38,6 +41,9 @@ pub struct ServerConfig {
     /// Per-connection read timeout; an idle keep-alive peer is disconnected
     /// after this long.
     pub read_timeout_secs: u64,
+    /// Checkpoint file `POST /reload` re-reads to hot-swap the model. `None`
+    /// disables the endpoint (it answers `400`).
+    pub checkpoint_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +52,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_body_bytes: 1 << 20,
             read_timeout_secs: 30,
+            checkpoint_path: None,
         }
     }
 }
@@ -97,6 +104,19 @@ pub struct HealthResponse {
     pub uptime_secs: f64,
 }
 
+/// `POST /reload` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// Always `"reloaded"` on success.
+    pub status: String,
+    /// Training-run id of the freshly loaded checkpoint.
+    pub train_run_id: String,
+    /// Feature dimension requests must carry after the swap.
+    pub input_dim: usize,
+    /// Embedding dimension responses carry after the swap.
+    pub embedding_dim: usize,
+}
+
 /// Error body for every non-2xx response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorResponse {
@@ -116,10 +136,22 @@ pub struct EmbedServer {
 struct Ctx {
     engine: InferenceEngine,
     recorder: Recorder,
-    train_run_id: String,
+    /// Behind a lock because `/reload` replaces it with the run id of the
+    /// newly loaded checkpoint.
+    train_run_id: RwLock<String>,
+    checkpoint_path: Option<PathBuf>,
     started: Stopwatch,
     max_body_bytes: usize,
     shutdown: Arc<AtomicBool>,
+}
+
+impl Ctx {
+    fn train_run_id(&self) -> String {
+        self.train_run_id
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
 }
 
 impl EmbedServer {
@@ -139,7 +171,8 @@ impl EmbedServer {
         let ctx = Arc::new(Ctx {
             engine: engine.clone(),
             recorder,
-            train_run_id: train_run_id.to_string(),
+            train_run_id: RwLock::new(train_run_id.to_string()),
+            checkpoint_path: config.checkpoint_path.clone(),
             started: Stopwatch::start(),
             max_body_bytes: config.max_body_bytes,
             shutdown: Arc::clone(&shutdown),
@@ -263,7 +296,8 @@ fn route(ctx: &Ctx, request: &Request) -> Routed {
         ("POST", "/score") => handle_score(ctx, &request.body),
         ("GET", "/healthz") => handle_healthz(ctx),
         ("GET", "/metrics") => handle_metrics(ctx, &request.query),
-        ("GET", "/embed" | "/score") | ("POST", "/healthz" | "/metrics") => (
+        ("POST", "/reload") => handle_reload(ctx),
+        ("GET", "/embed" | "/score" | "/reload") | ("POST", "/healthz" | "/metrics") => (
             405,
             "Method Not Allowed",
             "application/json",
@@ -304,12 +338,54 @@ fn handle_score(ctx: &Ctx, body: &[u8]) -> Routed {
 }
 
 fn handle_healthz(ctx: &Ctx) -> Routed {
+    let model = ctx.engine.model();
     json_ok(&HealthResponse {
         status: "ok".to_string(),
-        train_run_id: ctx.train_run_id.clone(),
-        input_dim: ctx.engine.model().input_dim(),
-        embedding_dim: ctx.engine.model().embedding_dim(),
+        train_run_id: ctx.train_run_id(),
+        input_dim: model.input_dim(),
+        embedding_dim: model.embedding_dim(),
         uptime_secs: ctx.started.elapsed_secs(),
+    })
+}
+
+/// Re-reads the configured checkpoint file and hot-swaps the serving model.
+/// The checkpoint's own validation (checksum, version, dims) gates the swap:
+/// a corrupt or half-written file is rejected with `500` and the old model
+/// keeps serving.
+fn handle_reload(ctx: &Ctx) -> Routed {
+    let Some(path) = &ctx.checkpoint_path else {
+        return (
+            400,
+            "Bad Request",
+            "application/json",
+            error_body("reload is not configured (server started without a checkpoint path)"),
+        );
+    };
+    let checkpoint = match Checkpoint::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                500,
+                "Internal Server Error",
+                "application/json",
+                error_body(&format!("reload failed, old model still serving: {e}")),
+            );
+        }
+    };
+    let train_run_id = checkpoint.meta.train_run_id.clone();
+    let model = ServingModel::from_checkpoint(checkpoint);
+    let (input_dim, embedding_dim) = (model.input_dim(), model.embedding_dim());
+    ctx.engine.reload(model);
+    *ctx.train_run_id.write().unwrap_or_else(|p| p.into_inner()) = train_run_id.clone();
+    ctx.recorder.note(format!(
+        "reloaded checkpoint {} ({train_run_id})",
+        path.display()
+    ));
+    json_ok(&ReloadResponse {
+        status: "reloaded".to_string(),
+        train_run_id,
+        input_dim,
+        embedding_dim,
     })
 }
 

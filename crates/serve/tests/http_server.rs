@@ -9,7 +9,7 @@ use rll_obs::Recorder;
 use rll_serve::http;
 use rll_serve::{
     Checkpoint, EmbedRequest, EmbedResponse, EmbedServer, EngineConfig, HealthResponse,
-    InferenceEngine, ScoreRequest, ScoreResponse, ServerConfig, ServingModel,
+    InferenceEngine, ReloadResponse, ScoreRequest, ScoreResponse, ServerConfig, ServingModel,
 };
 use rll_tensor::{Matrix, Rng64};
 use std::io::{BufReader, Read, Write};
@@ -347,4 +347,84 @@ fn server_survives_malformed_traffic_then_serves_normally() {
     let health = h.roundtrip("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(health.status, 200);
     h.stop();
+}
+
+#[test]
+fn reload_unconfigured_gets_400_and_wrong_method_405() {
+    let h = Harness::start(16, ServerConfig::default());
+    let response = h.post_json("/reload", "");
+    assert_eq!(response.status, 400);
+    let err: rll_serve::ErrorResponse = json(&response);
+    assert!(err.error.contains("not configured"), "got: {}", err.error);
+    assert_eq!(
+        h.roundtrip("GET /reload HTTP/1.1\r\nHost: t\r\n\r\n")
+            .status,
+        405
+    );
+    h.stop();
+}
+
+#[test]
+fn reload_hot_swaps_checkpoint_and_survives_corruption() {
+    let dir = std::env::temp_dir().join(format!("rll_serve_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("serving.rllckpt");
+
+    // Serve checkpoint A, with /reload pointed at its file.
+    let ckpt_a = test_checkpoint(17);
+    ckpt_a.save(&path).expect("save A");
+    let h = Harness::start(
+        17,
+        ServerConfig {
+            checkpoint_path: Some(path.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let x = vec![0.5, -1.0, 2.0];
+    let body = serde_json::to_string(&EmbedRequest {
+        features: vec![x.clone()],
+    })
+    .unwrap();
+    let before: EmbedResponse = json(&h.post_json("/embed", &body));
+
+    // A newer training run overwrites the checkpoint file; /reload picks
+    // it up without a server restart.
+    let mut rng = Rng64::seed_from_u64(18);
+    let config = RllModelConfig {
+        hidden_dims: vec![8],
+        embedding_dim: 4,
+        ..RllModelConfig::for_input(INPUT_DIM)
+    };
+    let model_b = RllModel::new(config, &mut rng).expect("model B");
+    let features = Matrix::from_fn(16, INPUT_DIM, |r, c| (r as f64) * 0.9 + (c as f64) * 0.2);
+    let normalizer_b = Normalizer::fit(&features).expect("normalizer B");
+    let ckpt_b = Checkpoint::new(model_b, normalizer_b, "newer-run").expect("checkpoint B");
+    ckpt_b.save(&path).expect("save B");
+
+    let reloaded: ReloadResponse = json(&h.post_json("/reload", ""));
+    assert_eq!(reloaded.status, "reloaded");
+    assert_eq!(reloaded.train_run_id, "newer-run");
+    assert_eq!(reloaded.input_dim, INPUT_DIM);
+    let health: HealthResponse = json(&h.roundtrip("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+    assert_eq!(health.train_run_id, "newer-run");
+
+    // Same query now answers with checkpoint B's weights, bit-exactly.
+    let after: EmbedResponse = json(&h.post_json("/embed", &body));
+    assert_ne!(before.embeddings, after.embeddings);
+    let direct = ServingModel::from_checkpoint(ckpt_b)
+        .embed_matrix(&Matrix::from_rows(&[x]).unwrap())
+        .unwrap();
+    assert_eq!(after.embeddings[0], direct.row(0).unwrap().to_vec());
+
+    // A corrupt file on disk is rejected; the old model keeps serving.
+    std::fs::write(&path, b"not a checkpoint").expect("corrupt");
+    let failed = h.post_json("/reload", "");
+    assert_eq!(failed.status, 500);
+    let health: HealthResponse = json(&h.roundtrip("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+    assert_eq!(health.train_run_id, "newer-run");
+    let still: EmbedResponse = json(&h.post_json("/embed", &body));
+    assert_eq!(still.embeddings, after.embeddings);
+
+    h.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }

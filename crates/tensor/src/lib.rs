@@ -33,7 +33,7 @@ pub mod stats;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
-pub use rng::Rng64;
+pub use rng::{Rng64, Rng64State};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -58,4 +58,25 @@ cmp "$SMOKE_DIR/det_t1.rllckpt" "$SMOKE_DIR/det_t4.rllckpt" || {
 }
 echo "determinism gate ok (1-thread and 4-thread checkpoints are identical)"
 
+echo "== crash-safety gate (kill, resume, byte-compare) =="
+# Fault-injected training must be losslessly resumable: crashtest kills a run
+# after chosen epochs, resumes from the latest .rllstate snapshot, and fails
+# unless the resumed .rllckpt is byte-identical to an uninterrupted run's.
+# Run at both thread counts; each resume deliberately uses the *other*
+# thread count to prove snapshots are portable across parallelism settings.
+cargo build -q --release -p rll-bench --bin crashtest
+RLL_RUN_ID=crash-gate RLL_THREADS=1 ./target/release/crashtest \
+    --n 100 --epochs 10 --every 3 --kill-at 2,5,8 --resume-threads 4 \
+    --out-dir "$SMOKE_DIR/crash_t1"
+RLL_RUN_ID=crash-gate RLL_THREADS=4 ./target/release/crashtest \
+    --n 100 --epochs 10 --every 3 --kill-at 2,5,8 --resume-threads 1 \
+    --out-dir "$SMOKE_DIR/crash_t4"
+# The two golden checkpoints came from independent processes at different
+# thread counts — they must agree too.
+cmp "$SMOKE_DIR/crash_t1/golden.rllckpt" "$SMOKE_DIR/crash_t4/golden.rllckpt" || {
+    echo "crash-safety gate FAILED: goldens differ across thread counts"
+    exit 1
+}
+echo "crash-safety gate ok (resume is bitwise lossless at RLL_THREADS=1 and 4)"
+
 echo "All checks passed."

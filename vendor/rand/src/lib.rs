@@ -32,6 +32,19 @@ pub mod rngs {
             StdRng { s }
         }
 
+        /// The raw xoshiro256++ state words. Together with [`Self::from_state`]
+        /// this lets callers snapshot a stream position and continue it later
+        /// bit-exactly (the basis of crash-safe training resume upstream).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured by
+        /// [`Self::state`]. The next outputs continue the original stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+
         pub(crate) fn next(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])
@@ -200,6 +213,19 @@ mod tests {
         let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
         assert_eq!(xs, ys);
         assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn state_snapshot_continues_the_stream() {
+        let mut rng = rngs::StdRng::seed_from_u64(11);
+        for _ in 0..37 {
+            rng.next_u64();
+        }
+        let snapshot = rng.state();
+        let tail: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        let mut resumed = rngs::StdRng::from_state(snapshot);
+        let resumed_tail: Vec<u64> = (0..16).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
     }
 
     #[test]
