@@ -91,6 +91,7 @@ pub struct RllPipeline {
     threads: Option<usize>,
     checkpoint: Option<CheckpointPolicy>,
     fault: Option<FaultPlan>,
+    profile: bool,
     normalizer: Option<Normalizer>,
     model: Option<RllModel>,
     classifier: Option<LogisticRegression>,
@@ -106,6 +107,7 @@ impl RllPipeline {
             threads: None,
             checkpoint: None,
             fault: None,
+            profile: false,
             normalizer: None,
             model: None,
             classifier: None,
@@ -133,6 +135,14 @@ impl RllPipeline {
     /// [`Self::fit`], so training emits per-epoch events through it.
     pub fn with_recorder(mut self, recorder: rll_obs::Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Enables the trainer's per-epoch phase profiler — see
+    /// [`RllTrainer::with_profiling`]. Pure observation: the fitted model is
+    /// bitwise identical with profiling on or off.
+    pub fn with_profiling(mut self, profile: bool) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -201,8 +211,9 @@ impl RllPipeline {
 
     /// Builds the trainer with every configured override applied.
     fn trainer(&self) -> Result<RllTrainer> {
-        let mut trainer =
-            RllTrainer::new(self.config.clone())?.with_recorder(self.recorder.clone());
+        let mut trainer = RllTrainer::new(self.config.clone())?
+            .with_recorder(self.recorder.clone())
+            .with_profiling(self.profile);
         if let Some(threads) = self.threads {
             trainer = trainer.with_threads(threads);
         }

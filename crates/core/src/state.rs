@@ -330,6 +330,7 @@ mod tests {
             grad_norms_pre_clip: vec![0.5; epochs_done],
             grad_norms_post_clip: vec![0.4; epochs_done],
             epoch_wall_secs: vec![0.01; epochs_done],
+            epoch_profiles: Vec::new(),
         };
         let state = TrainState::new(
             &config,

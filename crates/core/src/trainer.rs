@@ -10,7 +10,8 @@ use rll_crowd::aggregate::{Aggregator, MajorityVote};
 use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
 use rll_nn::{Adam, GradClip, Optimizer};
 use rll_obs::{
-    CheckpointStats, EpochStats, EventKind, Recorder, ResumeStats, SamplerStats, Stopwatch,
+    CheckpointStats, EpochProfileStats, EpochStats, EventKind, ProfileNode, Recorder, ResumeStats,
+    SamplerStats, Stopwatch,
 };
 use rll_tensor::{debug_assert_finite, Matrix, Rng64};
 use serde::{Deserialize, Serialize};
@@ -155,6 +156,11 @@ pub struct TrainingTrace {
     pub grad_norms_post_clip: Vec<f64>,
     /// Wall-clock seconds per epoch.
     pub epoch_wall_secs: Vec<f64>,
+    /// Per-epoch profiler frame trees ([`RllTrainer::with_profiling`]);
+    /// empty when profiling is off. Timings are observability data only —
+    /// they never influence the math, so a profiled run's model is bitwise
+    /// identical to an unprofiled one's.
+    pub epoch_profiles: Vec<EpochProfileStats>,
 }
 
 /// Groups per gradient shard. Shard boundaries are a pure function of the
@@ -171,6 +177,7 @@ pub struct RllTrainer {
     threads: usize,
     checkpoint: Option<CheckpointPolicy>,
     fault: Option<FaultPlan>,
+    profile: bool,
 }
 
 impl RllTrainer {
@@ -186,7 +193,19 @@ impl RllTrainer {
             threads: rll_par::configured_threads(),
             checkpoint: None,
             fault: None,
+            profile: false,
         })
+    }
+
+    /// Enables the per-epoch phase profiler: every epoch [`Self::fit`] emits
+    /// an `EpochProfile` event (sample / shard fan-out {forward, backward} /
+    /// shard-reduce / adam step / snapshot write) and appends the frame tree
+    /// to [`TrainingTrace::epoch_profiles`]. Profiling only reads clocks —
+    /// the trained model is bitwise identical with it on or off (gated in
+    /// `scripts/check.sh`).
+    pub fn with_profiling(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// Enables crash-safe checkpointing: [`Self::fit`] atomically writes a
@@ -403,6 +422,7 @@ impl RllTrainer {
         let mut grad_norms_pre_clip = Vec::with_capacity(self.config.epochs);
         let mut grad_norms_post_clip = Vec::with_capacity(self.config.epochs);
         let mut epoch_wall_secs = Vec::with_capacity(self.config.epochs);
+        let mut epoch_profiles: Vec<EpochProfileStats> = Vec::new();
         let mut start_epoch = 0;
         if let Some(state) = resume {
             self.check_resumable(&state, features)?;
@@ -419,6 +439,7 @@ impl RllTrainer {
             grad_norms_pre_clip = state.trace.grad_norms_pre_clip;
             grad_norms_post_clip = state.trace.grad_norms_post_clip;
             epoch_wall_secs = state.trace.epoch_wall_secs;
+            epoch_profiles = state.trace.epoch_profiles;
             self.recorder.emit(EventKind::ResumeFrom(ResumeStats {
                 epochs_done: start_epoch,
                 total_epochs: self.config.epochs,
@@ -468,11 +489,12 @@ impl RllTrainer {
             // `self.threads` — never which floats are added in which order.
             model.mlp_mut().zero_grad();
             let shards = rll_par::fixed_shards(groups.len(), SHARD_GROUPS);
-            let shard_outputs = {
+            let fanout_start = Stopwatch::start();
+            let (shard_outputs, shard_secs) = {
                 let mlp = model.mlp();
                 let groups = &groups;
                 let confidences = &confidences;
-                rll_par::try_map_ordered(&shards, self.threads, |shard_idx, range| {
+                rll_par::try_map_ordered_timed(&shards, self.threads, |shard_idx, range| {
                     // The RLL encoder trains with dropout 0, so this rng is
                     // never consulted; seeding it from (seed, epoch, shard)
                     // keeps the stream thread-count-independent if a future
@@ -505,6 +527,14 @@ impl RllTrainer {
                     Ok::<_, RllError>((loss_sum, forward_secs, backward_secs, local))
                 })?
             };
+            let fanout_secs = fanout_start.elapsed_secs();
+            // Per-shard wall times (worker-side, so at >1 thread they overlap
+            // and can sum past the fan-out wall — CPU time, not elapsed).
+            let shard_histogram = metrics.duration_histogram("train.shard.secs");
+            for &secs in &shard_secs {
+                shard_histogram.observe(secs);
+            }
+            let reduce_start = Stopwatch::start();
             let mut total_loss = 0.0;
             let mut forward_secs = 0.0;
             let mut backward_secs = 0.0;
@@ -514,6 +544,7 @@ impl RllTrainer {
                 backward_secs += bwd;
                 model.mlp_mut().add_grads_from(shard_mlp)?;
             }
+            let reduce_secs = reduce_start.elapsed_secs();
 
             let step_start = Stopwatch::start();
             model.mlp_mut().scale_grads(1.0 / groups.len() as f64);
@@ -559,6 +590,7 @@ impl RllTrainer {
             epoch_wall_secs.push(wall_secs);
 
             let epochs_done = epoch + 1;
+            let mut snapshot_write_secs = None;
             if let Some(policy) = &self.checkpoint {
                 if policy.due_after(epochs_done) {
                     let write_start = Stopwatch::start();
@@ -577,18 +609,42 @@ impl RllTrainer {
                             grad_norms_pre_clip: grad_norms_pre_clip.clone(),
                             grad_norms_post_clip: grad_norms_post_clip.clone(),
                             epoch_wall_secs: epoch_wall_secs.clone(),
+                            epoch_profiles: epoch_profiles.clone(),
                         },
                     )?;
                     let bytes = state.save(policy.path())?;
+                    let write_secs = write_start.elapsed_secs();
                     self.recorder
                         .emit(EventKind::CheckpointWritten(CheckpointStats {
                             epochs_done,
                             path: policy.path().display().to_string(),
                             bytes,
-                            write_secs: write_start.elapsed_secs(),
+                            write_secs,
                         }));
                     metrics.counter("train.checkpoints_written").add(1);
+                    snapshot_write_secs = Some(write_secs);
                 }
+            }
+            if self.profile {
+                // The root's total is re-read here so it covers the snapshot
+                // write; forward/backward are worker-side sums, so under
+                // parallelism they can exceed the fan-out wall (CPU time
+                // inside a wall-time frame — self time floors at zero).
+                let mut root = ProfileNode::new("epoch");
+                root.add(epoch_start.elapsed_secs());
+                root.child("sample").add(sample_secs);
+                let fanout = root.child("shard_fanout");
+                fanout.add(fanout_secs);
+                fanout.child("forward").add(forward_secs);
+                fanout.child("backward").add(backward_secs);
+                root.child("shard_reduce").add(reduce_secs);
+                root.child("adam_step").add(step_secs);
+                if let Some(secs) = snapshot_write_secs {
+                    root.child("snapshot_write").add(secs);
+                }
+                let profile = EpochProfileStats { epoch, root };
+                self.recorder.emit(EventKind::EpochProfile(profile.clone()));
+                epoch_profiles.push(profile);
             }
             // The injected crash fires *after* any due snapshot write — a
             // real crash between epochs lands the same way.
@@ -608,6 +664,7 @@ impl RllTrainer {
                 grad_norms_pre_clip,
                 grad_norms_post_clip,
                 epoch_wall_secs,
+                epoch_profiles,
             },
         ))
     }
@@ -773,6 +830,94 @@ mod tests {
         // 0 is clamped to 1, not an error.
         let clamped = RllTrainer::new(cfg).unwrap().with_threads(0);
         assert_eq!(clamped.threads(), 1);
+    }
+
+    #[test]
+    fn profiling_never_changes_training_results() {
+        // The tracing-determinism contract at trainer level: a profiled run
+        // must produce bitwise-identical weights, losses, and grad norms to
+        // an unprofiled one — the profiler may read clocks, nothing else.
+        let (x, ann, _) = crowd_dataset(50, 41);
+        let cfg = fast_config(RllVariant::Bayesian);
+        let plain = RllTrainer::new(cfg.clone()).unwrap();
+        let (plain_model, plain_trace) = plain.fit(&x, &ann, 42).unwrap();
+        assert!(plain_trace.epoch_profiles.is_empty());
+
+        let profiled = RllTrainer::new(cfg).unwrap().with_profiling(true);
+        let (model, trace) = profiled.fit(&x, &ann, 42).unwrap();
+        for (got, want) in model.mlp().layers().iter().zip(plain_model.mlp().layers()) {
+            assert_eq!(got.weights(), want.weights());
+            assert_eq!(got.bias(), want.bias());
+        }
+        assert_eq!(trace.epoch_losses, plain_trace.epoch_losses);
+        assert_eq!(trace.grad_norms_pre_clip, plain_trace.grad_norms_pre_clip);
+        assert_eq!(trace.grad_norms_post_clip, plain_trace.grad_norms_post_clip);
+
+        // One frame tree per epoch, with the documented phase taxonomy.
+        assert_eq!(trace.epoch_profiles.len(), trace.epoch_losses.len());
+        for (i, profile) in trace.epoch_profiles.iter().enumerate() {
+            assert_eq!(profile.epoch, i);
+            assert_eq!(profile.root.name, "epoch");
+            assert!(profile.root.total_secs > 0.0);
+            let names: Vec<&str> = profile
+                .root
+                .children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect();
+            assert_eq!(
+                names,
+                vec!["sample", "shard_fanout", "shard_reduce", "adam_step"]
+            );
+            let fanout = &profile.root.children[1];
+            assert!(fanout.children.iter().any(|c| c.name == "forward"));
+            assert!(fanout.children.iter().any(|c| c.name == "backward"));
+        }
+        // The EpochProfile events flowed through the recorder too.
+        assert_eq!(
+            profiled
+                .recorder()
+                .metrics()
+                .counter("events.epoch_profile")
+                .get(),
+            trace.epoch_losses.len() as u64
+        );
+        // Per-shard timings landed in the shard histogram.
+        assert!(
+            profiled
+                .recorder()
+                .metrics()
+                .duration_histogram("train.shard.secs")
+                .count()
+                > 0
+        );
+    }
+
+    #[test]
+    fn profiled_checkpoint_includes_snapshot_write_frame() {
+        let (x, ann, _) = crowd_dataset(40, 43);
+        let dir = std::env::temp_dir().join("rll_core_profile_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiled.rllstate");
+        let trainer = RllTrainer::new(fast_config(RllVariant::Bayesian))
+            .unwrap()
+            .with_profiling(true)
+            .with_checkpoint_policy(CheckpointPolicy::every(&path, 5).unwrap());
+        let (_, trace) = trainer.fit(&x, &ann, 44).unwrap();
+        // Epochs 4 and 9 (1-based 5 and 10) wrote snapshots; their profiles
+        // carry the snapshot_write frame, the others don't.
+        let with_write: Vec<usize> = trace
+            .epoch_profiles
+            .iter()
+            .filter(|p| p.root.children.iter().any(|c| c.name == "snapshot_write"))
+            .map(|p| p.epoch)
+            .collect();
+        assert_eq!(with_write, vec![4, 9, 14]);
+        // The persisted snapshot round-trips the profiles it has seen.
+        let state = TrainState::load(&path).unwrap();
+        assert_eq!(state.meta.epochs_done, 15);
+        assert!(!state.trace.epoch_profiles.is_empty());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

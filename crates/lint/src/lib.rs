@@ -16,7 +16,9 @@
 //!   `rll_core::snapshot::atomic_write`, never a bare `File::create`/
 //!   `fs::write` that a crash could leave torn;
 //! - **no-unordered-reduce** — no lock-and-accumulate reductions in
-//!   float-summing parallel paths (completion order is nondeterministic).
+//!   float-summing parallel paths (completion order is nondeterministic);
+//! - **no-untimed-handler** — every HTTP handler (`fn handle_*`) records its
+//!   latency, so no route is invisible in `/metrics` and traces.
 //!
 //! Violations can be suppressed inline with a *justified* pragma:
 //!

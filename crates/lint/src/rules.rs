@@ -63,6 +63,14 @@ pub const RULES: &[Rule] = &[
         hint: "collect per-shard partials with `rll_par::map_ordered`/`try_map_ordered` and \
                fold them in shard-index order after the join",
     },
+    Rule {
+        id: "no-untimed-handler",
+        summary: "an HTTP handler (`fn handle_*`) with no latency instrumentation is a blind \
+                  spot: its route never shows up in /metrics or traces",
+        hint: "open the handler with `let _latency = ctx.handler_latency(\"<route>\");` (or \
+               record through `.observe(`/`.span(`), or justify with \
+               `// lint: allow(no-untimed-handler) — <why this route stays untimed>`",
+    },
 ];
 
 /// Meta-rule id reported when a suppression pragma omits its justification.
@@ -100,6 +108,7 @@ pub fn scan(rule_id: &str, code: &[String]) -> Vec<Hit> {
         ),
         "no-nonatomic-write" => scan_tokens(code, &["File::create(", "fs::write("]),
         "no-unordered-reduce" => scan_unordered_reduce(code),
+        "no-untimed-handler" => scan_untimed_handler(code),
         _ => Vec::new(),
     }
 }
@@ -210,6 +219,69 @@ fn scan_unordered_reduce(code: &[String]) -> Vec<Hit> {
                 token: ".lock()".into(),
             });
         }
+    }
+    hits
+}
+
+/// Finds a `fn handle_<route>` declaration on the line, returning the column
+/// of `fn` and the handler's name. Not [`find_bounded`]: the needle ends in
+/// `_`, which is an identifier char, so the route name that follows would
+/// fail the trailing-boundary check.
+fn find_handler_decl(line: &str) -> Option<(usize, String)> {
+    const NEEDLE: &str = "fn handle_";
+    let chars: Vec<char> = line.chars().collect();
+    let pat: Vec<char> = NEEDLE.chars().collect();
+    for start in 0..chars.len().saturating_sub(pat.len()) {
+        if chars[start..start + pat.len()] != pat[..] {
+            continue;
+        }
+        if start > 0 && is_ident_char(chars[start - 1]) {
+            continue; // e.g. `pub_fn handle_…` lookalike identifiers
+        }
+        let name: String = chars[start + 3..]
+            .iter()
+            .take_while(|c| is_ident_char(**c))
+            .collect();
+        return Some((start, name));
+    }
+    None
+}
+
+/// Flags `fn handle_*` functions whose body never touches a latency
+/// instrument. A handler that records nothing is invisible in `/metrics`
+/// and in request traces — exactly the route you cannot debug when it turns
+/// slow.
+///
+/// The "body" is line-granular like every other scanner: everything from the
+/// declaration down to the next line containing a `fn` token (or EOF). Any
+/// occurrence of `handler_latency`/`latency`, `.observe(`, or `.span(` in
+/// that region counts as instrumentation; the common idiom is an RAII guard
+/// on the first line (`let _latency = ctx.handler_latency("route");`), which
+/// also covers early returns.
+fn scan_untimed_handler(code: &[String]) -> Vec<Hit> {
+    const INSTRUMENTS: &[&str] = &["latency", ".observe(", ".span("];
+    let mut hits = Vec::new();
+    let mut li = 0usize;
+    while li < code.len() {
+        let Some((col, name)) = find_handler_decl(&code[li]) else {
+            li += 1;
+            continue;
+        };
+        let mut end = li + 1;
+        while end < code.len() && find_bounded(&code[end], "fn").is_empty() {
+            end += 1;
+        }
+        let timed = code[li..end]
+            .iter()
+            .any(|line| INSTRUMENTS.iter().any(|needle| line.contains(needle)));
+        if !timed {
+            hits.push(Hit {
+                line: li,
+                col,
+                token: format!("fn {name}"),
+            });
+        }
+        li = end;
     }
     hits
 }
@@ -423,6 +495,53 @@ mod tests {
         assert_eq!(hits("atomic_write(&path, &bytes)?;"), 0);
         assert_eq!(hits("fs::read_to_string(path)?"), 0);
         assert_eq!(hits("MyFile::create(x)"), 0);
+    }
+
+    #[test]
+    fn untimed_handler_scanner() {
+        let lines = |src: &[&str]| src.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A handler with the RAII latency guard passes.
+        let timed = lines(&[
+            "fn handle_embed(ctx: &Ctx) -> Response {",
+            "    let _latency = ctx.handler_latency(\"embed\");",
+            "    respond(ctx)",
+            "}",
+        ]);
+        assert!(scan_untimed_handler(&timed).is_empty());
+        // `.observe(` and `.span(` also count as instrumentation.
+        let observed = lines(&[
+            "fn handle_score(ctx: &Ctx) -> Response {",
+            "    ctx.metrics.histogram(\"h\", &b).observe(secs);",
+            "}",
+        ]);
+        assert!(scan_untimed_handler(&observed).is_empty());
+        // A bare handler is flagged at its declaration line.
+        let bare = lines(&[
+            "fn handle_healthz(ctx: &Ctx) -> Response {",
+            "    Response::ok()",
+            "}",
+        ]);
+        let hits = scan_untimed_handler(&bare);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 0);
+        assert_eq!(hits[0].token, "fn handle_healthz");
+        // The body region ends at the next `fn`: instrumentation in a later
+        // function must not excuse an earlier bare handler.
+        let two = lines(&[
+            "fn handle_reload(ctx: &Ctx) -> Response {",
+            "    Response::ok()",
+            "}",
+            "fn handle_metrics(ctx: &Ctx) -> Response {",
+            "    let _latency = ctx.handler_latency(\"metrics\");",
+            "}",
+        ]);
+        let hits = scan_untimed_handler(&two);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].token, "fn handle_reload");
+        // Non-handler functions are out of scope, as are lookalike names
+        // without the `handle_` prefix.
+        let other = lines(&["fn handler_latency(&self) -> HandlerLatency {", "}"]);
+        assert!(scan_untimed_handler(&other).is_empty());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricsSnapshot;
+use crate::profile::EpochProfileStats;
+use crate::trace::TraceRecord;
 
 /// Envelope written to every sink.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,6 +44,10 @@ pub enum EventKind {
     CheckpointWritten(CheckpointStats),
     /// Training resumed from a snapshot instead of starting fresh.
     ResumeFrom(ResumeStats),
+    /// One serving request finished with per-phase timings (`trace/v1`).
+    Trace(TraceRecord),
+    /// One epoch's aggregated profiler frame tree.
+    EpochProfile(EpochProfileStats),
     /// Free-form progress note.
     Note(String),
     /// A rendered results table (kept as text for human replay).

@@ -35,16 +35,22 @@
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use clock::Stopwatch;
 pub use event::{
     CheckpointStats, ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats,
     MethodStats, ResumeStats, RunInfo, RunSummary, SamplerStats, TableText,
 };
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use profile::{EpochProfileStats, ProfileNode};
 pub use recorder::Recorder;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, StdoutSink};
 pub use span::SpanTimer;
+pub use trace::{trace_id, Phase, PhaseSample, TraceCtx, TraceRecord, TRACE_SCHEMA};

@@ -100,6 +100,27 @@ impl Histogram {
         Histogram::with_bounds(&bounds)
     }
 
+    /// Log-spaced request-latency bounds in seconds: 100µs to 10s, three
+    /// per decade (1×/2.5×/5×). Serve-side latencies cluster below a
+    /// millisecond, where linear buckets would collapse every observation
+    /// into one bin and make p99 estimates meaningless.
+    pub fn default_latency_bounds() -> Vec<f64> {
+        let mut bounds = Vec::new();
+        for exp in -4..=0 {
+            let base = 10f64.powi(exp);
+            bounds.push(base);
+            bounds.push(2.5 * base);
+            bounds.push(5.0 * base);
+        }
+        bounds.push(10.0);
+        bounds
+    }
+
+    /// A histogram over [`Histogram::default_latency_bounds`].
+    pub fn latency_seconds() -> Self {
+        Histogram::with_bounds(&Histogram::default_latency_bounds())
+    }
+
     pub fn observe(&self, value: f64) {
         if !value.is_finite() {
             return;
@@ -152,6 +173,15 @@ impl Histogram {
             }
             state.max
         };
+        let mut buckets = Vec::with_capacity(state.bounds.len());
+        let mut cumulative = 0u64;
+        for (i, &le) in state.bounds.iter().enumerate() {
+            cumulative += state.counts[i];
+            buckets.push(HistogramBucket {
+                le,
+                count: cumulative,
+            });
+        }
         HistogramSnapshot {
             count: state.total,
             sum: state.sum,
@@ -165,8 +195,20 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
+            p999: quantile(0.999),
+            buckets,
         }
     }
+}
+
+/// One cumulative bucket of a [`HistogramSnapshot`]: how many observations
+/// were `<= le`. The implicit `+Inf` bucket is the snapshot's `count`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Upper bucket edge (inclusive).
+    pub le: f64,
+    /// Observations at or below `le` (cumulative, Prometheus-style).
+    pub count: u64,
 }
 
 /// Point-in-time summary of a [`Histogram`].
@@ -180,6 +222,10 @@ pub struct HistogramSnapshot {
     pub p50: f64,
     pub p95: f64,
     pub p99: f64,
+    /// Interpolated 99.9th percentile (meaningful once counts are large).
+    pub p999: f64,
+    /// Cumulative bucket counts at each configured bound.
+    pub buckets: Vec<HistogramBucket>,
 }
 
 /// Full registry export: every named metric with its current value.
@@ -211,7 +257,18 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{name}{{p50}} {}", h.p50);
             let _ = writeln!(out, "{name}{{p95}} {}", h.p95);
             let _ = writeln!(out, "{name}{{p99}} {}", h.p99);
+            let _ = writeln!(out, "{name}{{p999}} {}", h.p999);
             let _ = writeln!(out, "{name}{{max}} {}", h.max);
+            // Cumulative bucket exposition, Prometheus-style: the series is
+            // monotone in `le` and closed by the implicit +Inf bucket.
+            for bucket in &h.buckets {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {}",
+                    bucket.le, bucket.count
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
         }
         out
     }
@@ -273,6 +330,17 @@ impl MetricsRegistry {
             .histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::duration_seconds)
+            .clone()
+    }
+
+    /// Get-or-create a histogram with the log-spaced request-latency bounds
+    /// ([`Histogram::default_latency_bounds`]).
+    pub fn latency_histogram(&self, name: &str) -> Histogram {
+        self.state
+            .lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::latency_seconds)
             .clone()
     }
 
@@ -375,6 +443,56 @@ mod tests {
         let s = Histogram::with_bounds(&[1.0]).snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.p99, 0.0);
+        assert_eq!(s.p999, 0.0);
         assert_eq!(s.min, 0.0);
+        assert_eq!(s.buckets, vec![HistogramBucket { le: 1.0, count: 0 }]);
+    }
+
+    #[test]
+    fn default_latency_bounds_are_log_spaced_sub_ms_to_ten_seconds() {
+        let bounds = Histogram::default_latency_bounds();
+        assert_eq!(bounds.first().copied(), Some(1e-4));
+        assert_eq!(bounds.last().copied(), Some(10.0));
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "strictly increasing"
+        );
+        // Sub-millisecond resolution exists: multiple bounds below 1 ms.
+        assert!(bounds.iter().filter(|&&b| b < 1e-3).count() >= 3);
+        // Log-spaced: the ratio between consecutive decade anchors is 10.
+        assert!(bounds.contains(&1e-3) && bounds.contains(&1e-2) && bounds.contains(&1e-1));
+        // with_bounds accepts them (finite, increasing).
+        Histogram::latency_seconds().observe(0.0005);
+    }
+
+    #[test]
+    fn snapshot_buckets_are_cumulative() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 0.7, 1.5, 4.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(
+            s.buckets,
+            vec![
+                HistogramBucket { le: 1.0, count: 2 },
+                HistogramBucket { le: 2.0, count: 3 },
+                HistogramBucket { le: 5.0, count: 4 },
+            ]
+        );
+        assert_eq!(s.count, 5); // the +Inf bucket
+    }
+
+    #[test]
+    fn render_text_exposes_prometheus_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.5);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("lat_bucket{le=\"0.001\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"0.01\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("lat{p999}"), "{text}");
     }
 }

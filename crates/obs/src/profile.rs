@@ -1,0 +1,221 @@
+//! Nested span aggregation for the training profiler.
+//!
+//! A [`ProfileNode`] is one frame of a call-tree profile: a name, how many
+//! times the frame ran, its **total** (inclusive) wall seconds, and its
+//! children. *Self* time — the share not attributable to any child — is
+//! derived, not stored, so merging trees can never desynchronize the two.
+//!
+//! The trainer builds one tree per epoch (sample → shard fan-out
+//! {forward, backward} → shard-reduce → adam step → snapshot write), emits
+//! it as an [`crate::EventKind::EpochProfile`] event, and appends it to the
+//! `TrainingTrace`; the `profile` bin merges the per-epoch trees and prints
+//! a flamegraph-style table ([`ProfileNode::render_table`]).
+//!
+//! Profiling only *reads* clocks (via [`crate::Stopwatch`]) — it never
+//! touches the RNG stream or reorders float math, so a profiled run's
+//! checkpoint is byte-identical to an unprofiled one (gated in
+//! `scripts/check.sh`).
+
+use serde::{Deserialize, Serialize};
+
+/// One frame of an aggregated wall-time profile tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Frame name (e.g. `"epoch"`, `"forward"`).
+    pub name: String,
+    /// How many timed intervals were folded into this frame.
+    pub calls: u64,
+    /// Inclusive wall seconds (children included).
+    pub total_secs: f64,
+    /// Child frames, in first-recorded order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// An empty frame with zero time and no calls.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProfileNode {
+            name: name.into(),
+            calls: 0,
+            total_secs: 0.0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds one timed interval to this frame.
+    pub fn add(&mut self, secs: f64) {
+        self.calls += 1;
+        self.total_secs += secs;
+    }
+
+    /// Get-or-create the child frame named `name`.
+    pub fn child(&mut self, name: &str) -> &mut ProfileNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(ProfileNode::new(name));
+        // lint: allow(no-panic-lib) — the push on the previous line makes the vec non-empty
+        self.children.last_mut().expect("just pushed")
+    }
+
+    /// Exclusive wall seconds: total minus the children's totals, floored at
+    /// zero (clock jitter can make children sum past the parent by
+    /// nanoseconds).
+    pub fn self_secs(&self) -> f64 {
+        let child_total: f64 = self.children.iter().map(|c| c.total_secs).sum();
+        (self.total_secs - child_total).max(0.0)
+    }
+
+    /// Folds `other` into `self` by frame name, recursively. Children
+    /// present only in `other` are appended.
+    pub fn merge(&mut self, other: &ProfileNode) {
+        self.calls += other.calls;
+        self.total_secs += other.total_secs;
+        for theirs in &other.children {
+            if let Some(i) = self.children.iter().position(|c| c.name == theirs.name) {
+                self.children[i].merge(theirs);
+            } else {
+                self.children.push(theirs.clone());
+            }
+        }
+    }
+
+    /// Renders the tree as a flamegraph-style text table: one indented row
+    /// per frame with total/self seconds, call count, and share of the
+    /// root's total.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<38} {:>12} {:>12} {:>8} {:>7}",
+            "frame", "total_s", "self_s", "calls", "%root"
+        );
+        let root_total = self.total_secs;
+        self.render_rows(&mut out, 0, root_total);
+        out
+    }
+
+    fn render_rows(&self, out: &mut String, depth: usize, root_total: f64) {
+        use std::fmt::Write as _;
+        let label = format!("{}{}", "  ".repeat(depth), self.name);
+        let share = if root_total > 0.0 {
+            100.0 * self.total_secs / root_total
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<38} {:>12.6} {:>12.6} {:>8} {:>6.1}%",
+            self.total_secs,
+            self.self_secs(),
+            self.calls,
+            share
+        );
+        for child in &self.children {
+            child.render_rows(out, depth + 1, root_total);
+        }
+    }
+}
+
+/// Per-epoch profiler output: the epoch index and its frame tree, rooted at
+/// `"epoch"`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochProfileStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// The epoch's aggregated frame tree.
+    pub root: ProfileNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> ProfileNode {
+        let mut root = ProfileNode::new("epoch");
+        root.add(1.0);
+        let fanout = root.child("shard_fanout");
+        fanout.add(0.7);
+        fanout.child("forward").add(0.4);
+        fanout.child("backward").add(0.25);
+        root.child("adam_step").add(0.2);
+        root
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let root = sample_tree();
+        assert!(
+            (root.self_secs() - 0.1).abs() < 1e-12,
+            "{}",
+            root.self_secs()
+        );
+        let fanout = &root.children[0];
+        assert!((fanout.self_secs() - 0.05).abs() < 1e-12);
+        // Leaves: self == total.
+        assert_eq!(
+            fanout.children[0].self_secs(),
+            fanout.children[0].total_secs
+        );
+    }
+
+    #[test]
+    fn self_time_floors_at_zero() {
+        let mut root = ProfileNode::new("r");
+        root.add(0.1);
+        root.child("c").add(0.2); // children overshoot the parent
+        assert_eq!(root.self_secs(), 0.0);
+    }
+
+    #[test]
+    fn child_is_get_or_create() {
+        let mut root = ProfileNode::new("r");
+        root.child("a").add(1.0);
+        root.child("a").add(2.0);
+        root.child("b").add(1.0);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].calls, 2);
+        assert_eq!(root.children[0].total_secs, 3.0);
+    }
+
+    #[test]
+    fn merge_folds_by_name_recursively() {
+        let mut a = sample_tree();
+        let b = sample_tree();
+        a.merge(&b);
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_secs, 2.0);
+        let fanout = &a.children[0];
+        assert_eq!(fanout.total_secs, 1.4);
+        assert_eq!(fanout.children[0].calls, 2); // forward merged, not duplicated
+        assert_eq!(a.children.len(), 2);
+        // A child only the other tree has is appended.
+        let mut c = ProfileNode::new("epoch");
+        let mut extra = ProfileNode::new("snapshot_write");
+        extra.add(0.05);
+        c.children.push(extra);
+        a.merge(&c);
+        assert!(a.children.iter().any(|n| n.name == "snapshot_write"));
+    }
+
+    #[test]
+    fn render_table_lists_every_frame() {
+        let table = sample_tree().render_table();
+        for frame in ["epoch", "shard_fanout", "forward", "backward", "adam_step"] {
+            assert!(table.contains(frame), "missing {frame} in:\n{table}");
+        }
+        assert!(table.contains("%root"));
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let stats = EpochProfileStats {
+            epoch: 3,
+            root: sample_tree(),
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: EpochProfileStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -162,6 +162,8 @@ fn kind_counter(kind: &EventKind) -> &'static str {
         EventKind::MethodEnd(_) => "events.method_end",
         EventKind::CheckpointWritten(_) => "events.checkpoint_written",
         EventKind::ResumeFrom(_) => "events.resume_from",
+        EventKind::Trace(_) => "events.trace",
+        EventKind::EpochProfile(_) => "events.epoch_profile",
         EventKind::Note(_) => "events.note",
         EventKind::Table(_) => "events.table",
         EventKind::RunEnd(_) => "events.run_end",

@@ -126,6 +126,28 @@ impl Sink for StdoutSink {
                     event.elapsed_secs, r.epochs_done, r.total_epochs, r.seed,
                 );
             }
+            EventKind::Trace(t) => {
+                println!(
+                    "[{:>9.3}s] trace {}: {} {} -> {} in {:.6}s ({} phases)",
+                    event.elapsed_secs,
+                    t.trace_id,
+                    t.method,
+                    t.path,
+                    t.status,
+                    t.total_secs,
+                    t.phases.len(),
+                );
+            }
+            EventKind::EpochProfile(p) => {
+                println!(
+                    "[{:>9.3}s] profile epoch {:>3}: {:.3}s total, self {:.3}s, {} frames",
+                    event.elapsed_secs,
+                    p.epoch,
+                    p.root.total_secs,
+                    p.root.self_secs(),
+                    p.root.children.len(),
+                );
+            }
             EventKind::Note(text) => {
                 println!("[{:>9.3}s] {text}", event.elapsed_secs);
             }
@@ -150,6 +172,12 @@ impl Sink for StdoutSink {
 pub struct JsonlSink {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    /// Flush after every line. Training runs ([`JsonlSink::create`]) stay
+    /// buffered — `Recorder::finish` flushes them at run end. Trace files
+    /// ([`JsonlSink::open`]) flush per event: a serving process is *killed*,
+    /// never finished, and a buffered tail would silently drop every trace
+    /// since the last 8 KiB boundary.
+    line_flush: bool,
 }
 
 impl JsonlSink {
@@ -162,6 +190,26 @@ impl JsonlSink {
         Ok(JsonlSink {
             path,
             writer: Mutex::new(BufWriter::new(file)),
+            line_flush: false,
+        })
+    }
+
+    /// Opens (append) an exact file path, creating parent directories if
+    /// needed, flushing after every event. Used by the serve bin's
+    /// `--trace-out <path>`, whose process exits by signal — every line must
+    /// already be on disk when it does.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            line_flush: true,
         })
     }
 
@@ -177,6 +225,9 @@ impl Sink for JsonlSink {
         if let Ok(line) = serde_json::to_string(event) {
             let mut writer = self.writer.lock();
             let _ = writeln!(writer, "{line}");
+            if self.line_flush {
+                let _ = writer.flush();
+            }
         }
     }
 
@@ -234,6 +285,19 @@ mod tests {
         sink.emit(&note(1, "b"));
         assert_eq!(sink.len(), 2);
         assert_eq!(sink.events()[1].seq, 1);
+    }
+
+    #[test]
+    fn open_sink_is_durable_without_flush() {
+        // `open` is the trace-file constructor: its process dies by signal,
+        // so each line must hit the file at emit time, not at flush time.
+        let dir = std::env::temp_dir().join(format!("rll-obs-lf-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let sink = JsonlSink::open(dir.join("trace.jsonl")).unwrap();
+        sink.emit(&note(0, "must be on disk already"));
+        let text = fs::read_to_string(sink.path()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //!    completion order. Floating-point addition is not associative, so a
 //!    completion-order reduce would make the sum depend on the scheduler.
 //!
-//! The crate is dependency-free and uses only [`std::thread::scope`].
+//! The crate uses only [`std::thread::scope`] plus `rll-obs` for the
+//! sanctioned wall-clock reader behind the `*_timed` profiling variants —
+//! timings are observability data and never feed back into results.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
@@ -158,6 +160,39 @@ where
     Ok(out)
 }
 
+/// [`try_map_ordered`] with per-item wall-clock profiling: additionally
+/// returns each item's seconds inside `f`, index-aligned with the results.
+///
+/// Timing is a pure observation — `f` runs once per item with identical
+/// arguments and ordering guarantees, so results are bitwise identical to
+/// the untimed variant; only the clock is read (via [`rll_obs::Stopwatch`],
+/// keeping the `no-wallclock` boundary intact). On error the per-item times
+/// are discarded with the partial results.
+pub fn try_map_ordered_timed<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Result<(Vec<R>, Vec<f64>), E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = map_ordered(items, threads, |i, item| {
+        let clock = rll_obs::Stopwatch::start();
+        let result = f(i, item);
+        (result, clock.elapsed_secs())
+    });
+    let mut out = Vec::with_capacity(results.len());
+    let mut secs = Vec::with_capacity(results.len());
+    for (result, item_secs) in results {
+        out.push(result?);
+        secs.push(item_secs);
+    }
+    Ok((out, secs))
+}
+
 /// Runs `f(rows, block)` over disjoint row-blocks of a row-major buffer
 /// (`out.len() == rows * row_len`), in parallel on up to `threads` scoped
 /// threads. Each call receives the global row range it owns and the mutable
@@ -267,6 +302,28 @@ mod tests {
         }
         let ok = try_map_ordered(&items, 4, |_, &x| Ok::<_, ()>(x * 2)).unwrap();
         assert_eq!(ok, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_ordered_timed_matches_untimed_results() {
+        let items: Vec<usize> = (0..20).collect();
+        for threads in [1usize, 3, 8] {
+            let (timed, secs) =
+                try_map_ordered_timed(&items, threads, |_, &x| Ok::<_, ()>(x * 3)).unwrap();
+            let untimed = try_map_ordered(&items, threads, |_, &x| Ok::<_, ()>(x * 3)).unwrap();
+            assert_eq!(timed, untimed, "threads={threads}");
+            assert_eq!(secs.len(), items.len());
+            assert!(secs.iter().all(|&s| s >= 0.0));
+            let err = try_map_ordered_timed(&items, threads, |_, &x| {
+                if x == 4 || x == 11 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 4, "lowest-index error, threads={threads}");
+        }
     }
 
     #[test]

@@ -46,8 +46,21 @@ struct LatencySummary {
     p50: f64,
     p90: f64,
     p99: f64,
+    p999: f64,
     mean: f64,
     max: f64,
+}
+
+/// Server-side split of where request time went, from the engine's
+/// `serve.queue.wait_ms` and `serve.phase.*` histograms: total seconds spent
+/// waiting in the bounded queue vs computing (batch assembly + forward).
+/// `queue_wait_share` near 1 means the server is saturated (add workers or
+/// shed load); near 0 means latency is compute-bound.
+#[derive(Debug, Serialize, Deserialize)]
+struct PhaseBreakdown {
+    queue_wait_secs: f64,
+    compute_secs: f64,
+    queue_wait_share: f64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -79,6 +92,7 @@ struct BenchSummary {
     latency_secs: LatencySummary,
     cache: CacheSummary,
     batch: BatchSummary,
+    phases: PhaseBreakdown,
 }
 
 /// One keep-alive connection speaking the minimal client side of HTTP/1.1.
@@ -302,10 +316,15 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
         .histograms
         .get("serve.batch.size")
         .map_or((0.0, 0.0), |h| (h.mean, h.max));
+    let histogram_sum = |name: &str| metrics.histograms.get(name).map_or(0.0, |h| h.sum);
+    let queue_wait_secs = histogram_sum("serve.queue.wait_ms") / 1e3;
+    let compute_secs =
+        histogram_sum("serve.phase.batch_assembly") + histogram_sum("serve.phase.forward");
+    let busy = queue_wait_secs + compute_secs;
 
     latencies.sort_by(f64::total_cmp);
     Ok(BenchSummary {
-        schema: "serve_bench/v1".to_string(),
+        schema: "serve_bench/v2".to_string(),
         addr: args.addr.clone(),
         seed: args.seed,
         requests: args.requests,
@@ -322,6 +341,7 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
             p50: percentile(&latencies, 0.50),
             p90: percentile(&latencies, 0.90),
             p99: percentile(&latencies, 0.99),
+            p999: percentile(&latencies, 0.999),
             mean: if latencies.is_empty() {
                 0.0
             } else {
@@ -338,6 +358,15 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
             batches,
             mean_size,
             max_size,
+        },
+        phases: PhaseBreakdown {
+            queue_wait_secs,
+            compute_secs,
+            queue_wait_share: if busy > 0.0 {
+                queue_wait_secs / busy
+            } else {
+                0.0
+            },
         },
     })
 }

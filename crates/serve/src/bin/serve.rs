@@ -3,19 +3,22 @@
 //! Two modes:
 //!
 //! ```text
-//! serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N]
+//! serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N] [--profile]
 //! serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N]
-//!       [--queue N] [--cache N] [--port-file PATH]
+//!       [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]
 //! ```
 //!
 //! `train-demo` trains a small RLL pipeline on a simulated preset and writes
 //! a checkpoint — the train→checkpoint handoff in miniature, stamping the
-//! rll-obs run id of the training run into the checkpoint header. The serving
-//! mode loads any checkpoint and listens until killed; `POST /reload`
-//! re-reads the `--checkpoint` file to hot-swap a newer model without a
-//! restart. `--addr` with port 0 binds an ephemeral port; `--port-file`
-//! writes the resolved `host:port` so scripts (e.g. the CI smoke test) can
-//! find it.
+//! rll-obs run id of the training run into the checkpoint header; `--profile`
+//! turns on the per-epoch self-time profiler (EpochProfile events in the run
+//! JSONL, checkpoint bytes unaffected). The serving mode loads any checkpoint
+//! and listens until killed; `POST /reload` re-reads the `--checkpoint` file
+//! to hot-swap a newer model without a restart. `--addr` with port 0 binds an
+//! ephemeral port; `--port-file` writes the resolved `host:port` so scripts
+//! (e.g. the CI smoke test) can find it. `--trace-out` enables request
+//! tracing: every request appends one `trace/v1` JSON line to the given file
+//! (readable by `profile --trace`/`--validate`).
 
 use rll_core::{RllConfig, RllPipeline};
 use rll_serve::{
@@ -29,6 +32,7 @@ struct TrainDemoArgs {
     n: usize,
     epochs: usize,
     seed: u64,
+    profile: bool,
 }
 
 struct ServeArgs {
@@ -39,11 +43,12 @@ struct ServeArgs {
     queue: usize,
     cache: usize,
     port_file: Option<String>,
+    trace_out: Option<String>,
 }
 
 const USAGE: &str = "usage:
-  serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N]
-  serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH]";
+  serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N] [--profile]
+  serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,11 +84,13 @@ fn parse_train_demo(args: &[String]) -> Result<TrainDemoArgs, String> {
         n: 240,
         epochs: 20,
         seed: 42,
+        profile: false,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => out.out = take_value(args, &mut i, "--out")?,
+            "--profile" => out.profile = true,
             "--preset" => out.preset = take_value(args, &mut i, "--preset")?,
             "--n" => {
                 out.n = take_value(args, &mut i, "--n")?
@@ -117,6 +124,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         queue: defaults.queue_capacity,
         cache: defaults.cache_capacity,
         port_file: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -144,6 +152,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                     .map_err(|_| "invalid --cache".to_string())?
             }
             "--port-file" => out.port_file = Some(take_value(args, &mut i, "--port-file")?),
+            "--trace-out" => out.trace_out = Some(take_value(args, &mut i, "--trace-out")?),
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
@@ -167,7 +176,9 @@ fn train_demo(args: &TrainDemoArgs) -> Result<(), Box<dyn std::error::Error>> {
         groups_per_epoch: 128,
         ..RllConfig::default()
     };
-    let mut pipeline = RllPipeline::new(config).with_recorder(recorder.clone());
+    let mut pipeline = RllPipeline::new(config)
+        .with_recorder(recorder.clone())
+        .with_profiling(args.profile);
     pipeline.fit(&ds.features, &ds.annotations, args.seed)?;
     let checkpoint = Checkpoint::from_pipeline(&pipeline, recorder.run_id())?;
     if let Some(parent) = std::path::Path::new(&args.out).parent() {
@@ -195,9 +206,15 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         "loaded {} (v{}, input_dim {}, embedding_dim {}, trained by run {})",
         args.checkpoint, meta.version, meta.input_dim, meta.embedding_dim, meta.train_run_id
     );
-    // Metrics-only recorder: the server's signal surface is GET /metrics, not
-    // a stdout event stream.
-    let recorder = rll_obs::Recorder::new("serve", Vec::new());
+    // Metrics-only recorder by default: the server's signal surface is
+    // GET /metrics, not a stdout event stream. `--trace-out` adds a JSONL
+    // sink that receives one `trace/v1` line per request.
+    let mut sinks: Vec<Box<dyn rll_obs::Sink>> = Vec::new();
+    if let Some(path) = &args.trace_out {
+        sinks.push(Box::new(rll_obs::JsonlSink::open(path)?));
+        println!("tracing requests to {path}");
+    }
+    let recorder = rll_obs::Recorder::new("serve", sinks);
     let engine = InferenceEngine::start(
         ServingModel::from_checkpoint(checkpoint),
         EngineConfig {
@@ -213,6 +230,7 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         ServerConfig {
             addr: args.addr.clone(),
             checkpoint_path: Some(args.checkpoint.clone().into()),
+            trace: args.trace_out.is_some(),
             ..ServerConfig::default()
         },
         recorder,

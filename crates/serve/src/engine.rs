@@ -28,7 +28,7 @@ use crate::lru::LruCache;
 use crate::Result;
 use rll_core::RllModel;
 use rll_data::Normalizer;
-use rll_obs::Recorder;
+use rll_obs::{Histogram, Phase, Recorder, Stopwatch, TraceCtx};
 use rll_tensor::hash::fnv1a_f64s;
 use rll_tensor::Matrix;
 use std::collections::VecDeque;
@@ -119,6 +119,24 @@ struct Job {
     features: Vec<f64>,
     key: u64,
     reply: mpsc::Sender<Result<Vec<f64>>>,
+    /// Request trace this job belongs to; disabled contexts make every
+    /// `record` a no-op, so the field costs two words + a null `Arc`.
+    trace: TraceCtx,
+    /// Trace-clock offset at enqueue (`trace.now()`), for the queue-wait
+    /// phase's start timestamp.
+    queued_at: f64,
+    /// Wall clock started at enqueue; read at dequeue for the
+    /// `serve.queue.wait_ms` histogram even when tracing is off.
+    queued: Stopwatch,
+}
+
+/// Upper bucket edges for `serve.queue.wait_ms`: the latency bounds scaled
+/// to milliseconds (0.1 ms .. 10 s).
+fn queue_wait_ms_bounds() -> Vec<f64> {
+    Histogram::default_latency_bounds()
+        .into_iter()
+        .map(|b| b * 1e3)
+        .collect()
 }
 
 struct Shared {
@@ -218,7 +236,13 @@ impl InferenceEngine {
     /// [`ServeError::DimMismatch`]/[`ServeError::InvalidRequest`] on bad
     /// input.
     pub fn embed(&self, features: Vec<f64>) -> Result<Vec<f64>> {
-        let rx = self.submit(features)?;
+        self.embed_traced(features, &TraceCtx::disabled(0, 0))
+    }
+
+    /// [`embed`](Self::embed) with a request trace: queue-wait, batch
+    /// assembly, forward (or cache-hit) phases land in `trace`.
+    pub fn embed_traced(&self, features: Vec<f64>, trace: &TraceCtx) -> Result<Vec<f64>> {
+        let rx = self.submit(features, trace)?;
         match rx {
             Submitted::Cached(hit) => Ok(hit),
             Submitted::Pending(rx) => rx
@@ -231,6 +255,16 @@ impl InferenceEngine {
     /// Embeds several vectors, preserving order. Each row rides the shared
     /// micro-batching queue, so concurrent calls coalesce.
     pub fn embed_many(&self, rows: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>> {
+        self.embed_many_traced(rows, &TraceCtx::disabled(0, 0))
+    }
+
+    /// [`embed_many`](Self::embed_many) with a request trace shared by every
+    /// row (phases of different rows are distinguishable by start time only).
+    pub fn embed_many_traced(
+        &self,
+        rows: Vec<Vec<f64>>,
+        trace: &TraceCtx,
+    ) -> Result<Vec<Vec<f64>>> {
         if rows.is_empty() {
             return Err(ServeError::InvalidRequest {
                 reason: "empty feature batch".into(),
@@ -239,7 +273,7 @@ impl InferenceEngine {
         // Submit everything first so one wave of workers can coalesce it…
         let pending: Vec<Submitted> = rows
             .into_iter()
-            .map(|row| self.submit(row))
+            .map(|row| self.submit(row, trace))
             .collect::<Result<_>>()?;
         // …then collect in submission order.
         pending
@@ -258,7 +292,12 @@ impl InferenceEngine {
     /// the serving form of the paper's eq. 3 relevance score (without the
     /// training-only confidence weight).
     pub fn score(&self, a: Vec<f64>, b: Vec<f64>) -> Result<f64> {
-        let embedded = self.embed_many(vec![a, b])?;
+        self.score_traced(a, b, &TraceCtx::disabled(0, 0))
+    }
+
+    /// [`score`](Self::score) with a request trace.
+    pub fn score_traced(&self, a: Vec<f64>, b: Vec<f64>, trace: &TraceCtx) -> Result<f64> {
+        let embedded = self.embed_many_traced(vec![a, b], trace)?;
         rll_tensor::ops::cosine_similarity(&embedded[0], &embedded[1]).map_err(|e| {
             ServeError::InvalidRequest {
                 reason: format!("cosine similarity failed: {e}"),
@@ -295,7 +334,7 @@ impl InferenceEngine {
         }
     }
 
-    fn submit(&self, features: Vec<f64>) -> Result<Submitted> {
+    fn submit(&self, features: Vec<f64>, trace: &TraceCtx) -> Result<Submitted> {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(ServeError::EngineShutdown);
         }
@@ -314,8 +353,15 @@ impl InferenceEngine {
         }
         let metrics = self.shared.recorder.metrics();
         let key = fnv1a_f64s(&features);
+        let lookup_start = trace.now();
+        let lookup = Stopwatch::start();
         if let Some(hit) = self.shared.lock_cache().get(key) {
+            let secs = lookup.elapsed_secs();
             metrics.counter("serve.cache.hits").inc();
+            metrics
+                .latency_histogram("serve.phase.cache_hit")
+                .observe(secs);
+            trace.record(Phase::CacheHit, lookup_start, secs);
             return Ok(Submitted::Cached(hit));
         }
         metrics.counter("serve.cache.misses").inc();
@@ -332,6 +378,9 @@ impl InferenceEngine {
                 features,
                 key,
                 reply: tx,
+                trace: trace.clone(),
+                queued_at: trace.now(),
+                queued: Stopwatch::start(),
             });
             metrics.gauge("serve.queue.depth").set(queue.len() as f64);
         }
@@ -352,6 +401,11 @@ fn worker_loop(shared: &Shared) {
         "serve.batch.size",
         &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
     );
+    let phase_timers = PhaseTimers {
+        wait_ms: metrics.histogram("serve.queue.wait_ms", &queue_wait_ms_bounds()),
+        assembly: metrics.latency_histogram("serve.phase.batch_assembly"),
+        forward: metrics.latency_histogram("serve.phase.forward"),
+    };
     loop {
         let jobs = {
             let mut queue = shared.lock_queue();
@@ -372,18 +426,34 @@ fn worker_loop(shared: &Shared) {
         };
         batch_sizes.observe(jobs.len() as f64);
         metrics.counter("serve.engine.batches").inc();
-        run_batch(shared, jobs);
+        run_batch(shared, jobs, &phase_timers);
     }
+}
+
+/// Per-worker histogram handles for the engine-side request phases, created
+/// once so the batch loop never touches the registry map.
+struct PhaseTimers {
+    wait_ms: Histogram,
+    assembly: Histogram,
+    forward: Histogram,
 }
 
 /// One coalesced forward pass; fans results (or the failure) back out to
 /// every job in the batch and feeds the cache.
-fn run_batch(shared: &Shared, jobs: Vec<Job>) {
+fn run_batch(shared: &Shared, jobs: Vec<Job>, timers: &PhaseTimers) {
     let _span = shared.recorder.span("serve.batch");
+    // Queue wait ends now for every job in the batch: one histogram sample
+    // per job (milliseconds) plus a trace phase where tracing is on.
+    for job in &jobs {
+        let waited = job.queued.elapsed_secs();
+        timers.wait_ms.observe(waited * 1e3);
+        job.trace.record(Phase::QueueWait, job.queued_at, waited);
+    }
     // One snapshot for the whole batch: a concurrent reload must not swap
     // weights between assembling the matrix and running the forward pass.
     let model = shared.model();
     let dim = model.input_dim();
+    let assembly = Stopwatch::start();
     let mut data = Vec::with_capacity(jobs.len() * dim);
     for job in &jobs {
         data.extend_from_slice(&job.features);
@@ -399,7 +469,23 @@ fn run_batch(shared: &Shared, jobs: Vec<Job>) {
             return;
         }
     };
-    match model.embed_matrix(&batch) {
+    let assembly_secs = assembly.elapsed_secs();
+    timers.assembly.observe(assembly_secs);
+    // The assembly interval is shared by the batch; each trace places it on
+    // its own clock (it ended `assembly_secs` ago on every one of them).
+    for job in &jobs {
+        let start = (job.trace.now() - assembly_secs).max(0.0);
+        job.trace.record(Phase::BatchAssembly, start, assembly_secs);
+    }
+    let forward = Stopwatch::start();
+    let result = model.embed_matrix(&batch);
+    let forward_secs = forward.elapsed_secs();
+    timers.forward.observe(forward_secs);
+    for job in &jobs {
+        let start = (job.trace.now() - forward_secs).max(0.0);
+        job.trace.record(Phase::Forward, start, forward_secs);
+    }
+    match result {
         Ok(embeddings) => {
             let mut cache = shared.lock_cache();
             for (i, job) in jobs.into_iter().enumerate() {
@@ -519,6 +605,40 @@ mod tests {
         // Self-similarity of a cached embedding is exactly 1 (same bits).
         let self_score = eng.score(a.clone(), a).unwrap();
         assert!((self_score - 1.0).abs() < 1e-12);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn traced_embed_records_engine_phases_and_queue_wait_metric() {
+        let recorder = Recorder::disabled();
+        let eng = InferenceEngine::start(tiny_model(20), EngineConfig::default(), recorder.clone())
+            .unwrap();
+        let trace = TraceCtx::recording(0, 0);
+        let x = vec![0.5, 1.0, -2.0];
+        eng.embed_traced(x.clone(), &trace).unwrap();
+        // Repeat is a cache hit, recorded as its own phase.
+        eng.embed_traced(x, &trace).unwrap();
+        let record = trace.finish("POST", "/embed", 200).unwrap();
+        let names: Vec<&str> = record.phases.iter().map(|p| p.phase.as_str()).collect();
+        for expected in ["queue_wait", "batch_assembly", "forward", "cache_hit"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert!(record
+            .phases
+            .windows(2)
+            .all(|w| w[0].start_secs <= w[1].start_secs));
+        let snap = recorder.metrics().snapshot();
+        for histogram in [
+            "serve.queue.wait_ms",
+            "serve.phase.batch_assembly",
+            "serve.phase.forward",
+            "serve.phase.cache_hit",
+        ] {
+            assert!(
+                snap.histograms.get(histogram).is_some_and(|h| h.count >= 1),
+                "no samples in {histogram}"
+            );
+        }
         eng.shutdown();
     }
 

@@ -304,12 +304,31 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with_headers(writer, status, reason, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus caller-supplied extra headers (e.g. the
+/// `x-rll-trace` trace-id header). Header names and values must already be
+/// wire-safe; this writer does no escaping.
+pub fn write_response_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -319,8 +338,20 @@ pub fn write_response(
 pub struct Response {
     /// Status code.
     pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a (lowercased) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Largest response body [`read_response`] will buffer. The server never
@@ -339,6 +370,7 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| malformed(format!("bad status line {status_line:?}")))?;
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let line = read_line(reader, &mut budget)?
             .ok_or_else(|| HttpError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
@@ -352,6 +384,7 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
                     .parse()
                     .map_err(|_| malformed("bad Content-Length in response"))?;
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
         }
     }
     if content_length > MAX_RESPONSE_BODY {
@@ -362,7 +395,11 @@ pub fn read_response(reader: &mut impl BufRead) -> Result<Response, HttpError> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(HttpError::Io)?;
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -576,6 +613,28 @@ mod tests {
         let resp = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"ok\":1}");
+    }
+
+    #[test]
+    fn extra_headers_round_trip_to_the_client() {
+        let mut wire = Vec::new();
+        write_response_with_headers(
+            &mut wire,
+            200,
+            "OK",
+            "application/json",
+            b"{}",
+            true,
+            &[("X-RLL-Trace", "00000000deadbeef".to_string())],
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(resp.status, 200);
+        // Header names are lowercased client-side, values kept verbatim.
+        assert_eq!(resp.header("x-rll-trace"), Some("00000000deadbeef"));
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.header("missing"), None);
+        assert_eq!(resp.body, b"{}");
     }
 
     #[test]

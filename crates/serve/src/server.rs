@@ -21,12 +21,12 @@ use crate::engine::{InferenceEngine, ServingModel};
 use crate::error::ServeError;
 use crate::http::{self, HttpError, ReadOutcome, Request};
 use crate::Result;
-use rll_obs::{Recorder, Stopwatch};
+use rll_obs::{EventKind, Histogram, Phase, Recorder, Stopwatch, TraceCtx};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -44,6 +44,12 @@ pub struct ServerConfig {
     /// Checkpoint file `POST /reload` re-reads to hot-swap the model. `None`
     /// disables the endpoint (it answers `400`).
     pub checkpoint_path: Option<PathBuf>,
+    /// When true every request gets a recording [`TraceCtx`] and finishes
+    /// into a `trace/v1` event on the recorder's sinks. Off by default:
+    /// disabled tracing keeps the request path allocation-free (the
+    /// `x-rll-trace` header is still sent — ids are deterministic either
+    /// way).
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             read_timeout_secs: 30,
             checkpoint_path: None,
+            trace: false,
         }
     }
 }
@@ -143,6 +150,12 @@ struct Ctx {
     started: Stopwatch,
     max_body_bytes: usize,
     shutdown: Arc<AtomicBool>,
+    /// Whether requests get recording trace contexts (see
+    /// [`ServerConfig::trace`]).
+    trace: bool,
+    /// Accepted-connection counter; its value is the `conn_seq` half of
+    /// every deterministic trace id on that connection.
+    connections: AtomicU64,
 }
 
 impl Ctx {
@@ -151,6 +164,32 @@ impl Ctx {
             .read()
             .unwrap_or_else(|p| p.into_inner())
             .clone()
+    }
+
+    /// Starts the per-route handler latency guard; the elapsed time lands in
+    /// `serve.handler.<route>` when the guard drops, so early returns inside
+    /// a handler are still counted (the `no-untimed-handler` lint keys on
+    /// each handler taking one of these).
+    fn handler_latency(&self, route: &str) -> HandlerLatency {
+        HandlerLatency {
+            histogram: self
+                .recorder
+                .metrics()
+                .latency_histogram(&format!("serve.handler.{route}")),
+            clock: Stopwatch::start(),
+        }
+    }
+}
+
+/// Drop guard observing handler wall time into a latency histogram.
+struct HandlerLatency {
+    histogram: Histogram,
+    clock: Stopwatch,
+}
+
+impl Drop for HandlerLatency {
+    fn drop(&mut self) {
+        self.histogram.observe(self.clock.elapsed_secs());
     }
 }
 
@@ -176,6 +215,8 @@ impl EmbedServer {
             started: Stopwatch::start(),
             max_body_bytes: config.max_body_bytes,
             shutdown: Arc::clone(&shutdown),
+            trace: config.trace,
+            connections: AtomicU64::new(0),
         });
         let read_timeout = Duration::from_secs(config.read_timeout_secs.max(1));
         let acceptor_shutdown = Arc::clone(&shutdown);
@@ -240,27 +281,58 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let conn_seq = ctx.connections.fetch_add(1, Ordering::Relaxed);
+    let mut req_seq: u64 = 0;
     loop {
+        // The trace clock starts before the read, so a request's `parse`
+        // phase covers receiving and parsing its bytes. Under keep-alive
+        // that includes any idle gap since the previous response: a long
+        // parse phase means a slow (or idle) client, not server work.
+        let trace = if ctx.trace {
+            TraceCtx::recording(conn_seq, req_seq)
+        } else {
+            TraceCtx::disabled(conn_seq, req_seq)
+        };
+        let parse_clock = Stopwatch::start();
         match http::read_request(&mut reader, ctx.max_body_bytes) {
             Ok(ReadOutcome::Request(request)) => {
+                let parse_secs = parse_clock.elapsed_secs();
+                let metrics = ctx.recorder.metrics();
+                metrics
+                    .latency_histogram("serve.phase.parse")
+                    .observe(parse_secs);
+                trace.record(Phase::Parse, 0.0, parse_secs);
                 let _span = ctx.recorder.span("serve.request");
-                ctx.recorder.metrics().counter("serve.http.requests").inc();
+                metrics.counter("serve.http.requests").inc();
                 let keep_alive = request.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
-                let (status, reason, content_type, body) = route(ctx, &request);
+                let (status, reason, content_type, body) = route(ctx, &request, &trace);
                 if status >= 400 {
-                    ctx.recorder.metrics().counter("serve.http.errors").inc();
+                    metrics.counter("serve.http.errors").inc();
                 }
-                if http::write_response(
+                let serialize_start = trace.now();
+                let serialize_clock = Stopwatch::start();
+                let write_ok = http::write_response_with_headers(
                     &mut writer,
                     status,
                     reason,
                     content_type,
                     &body,
                     keep_alive,
+                    &[("x-rll-trace", trace.id_hex())],
                 )
-                .is_err()
-                    || !keep_alive
-                {
+                .is_ok();
+                let serialize_secs = serialize_clock.elapsed_secs();
+                metrics
+                    .latency_histogram("serve.phase.serialize")
+                    .observe(serialize_secs);
+                trace.record(Phase::Serialize, serialize_start, serialize_secs);
+                // Emitted after the response bytes are on the wire, so the
+                // record's serialize phase (and total) covers the write.
+                if let Some(record) = trace.finish(&request.method, &request.path, status) {
+                    ctx.recorder.emit(EventKind::Trace(record));
+                }
+                req_seq += 1;
+                if !write_ok || !keep_alive {
                     return;
                 }
             }
@@ -290,10 +362,10 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
 
 type Routed = (u16, &'static str, &'static str, Vec<u8>);
 
-fn route(ctx: &Ctx, request: &Request) -> Routed {
+fn route(ctx: &Ctx, request: &Request, trace: &TraceCtx) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/embed") => handle_embed(ctx, &request.body),
-        ("POST", "/score") => handle_score(ctx, &request.body),
+        ("POST", "/embed") => handle_embed(ctx, &request.body, trace),
+        ("POST", "/score") => handle_score(ctx, &request.body, trace),
         ("GET", "/healthz") => handle_healthz(ctx),
         ("GET", "/metrics") => handle_metrics(ctx, &request.query),
         ("POST", "/reload") => handle_reload(ctx),
@@ -312,12 +384,13 @@ fn route(ctx: &Ctx, request: &Request) -> Routed {
     }
 }
 
-fn handle_embed(ctx: &Ctx, body: &[u8]) -> Routed {
+fn handle_embed(ctx: &Ctx, body: &[u8], trace: &TraceCtx) -> Routed {
+    let _latency = ctx.handler_latency("embed");
     let parsed: EmbedRequest = match parse_json(body) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    match ctx.engine.embed_many(parsed.features) {
+    match ctx.engine.embed_many_traced(parsed.features, trace) {
         Ok(embeddings) => {
             let dim = ctx.engine.model().embedding_dim();
             json_ok(&EmbedResponse { embeddings, dim })
@@ -326,18 +399,20 @@ fn handle_embed(ctx: &Ctx, body: &[u8]) -> Routed {
     }
 }
 
-fn handle_score(ctx: &Ctx, body: &[u8]) -> Routed {
+fn handle_score(ctx: &Ctx, body: &[u8], trace: &TraceCtx) -> Routed {
+    let _latency = ctx.handler_latency("score");
     let parsed: ScoreRequest = match parse_json(body) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    match ctx.engine.score(parsed.a, parsed.b) {
+    match ctx.engine.score_traced(parsed.a, parsed.b, trace) {
         Ok(score) => json_ok(&ScoreResponse { score }),
         Err(e) => serve_error_response(&e),
     }
 }
 
 fn handle_healthz(ctx: &Ctx) -> Routed {
+    let _latency = ctx.handler_latency("healthz");
     let model = ctx.engine.model();
     json_ok(&HealthResponse {
         status: "ok".to_string(),
@@ -353,6 +428,7 @@ fn handle_healthz(ctx: &Ctx) -> Routed {
 /// a corrupt or half-written file is rejected with `500` and the old model
 /// keeps serving.
 fn handle_reload(ctx: &Ctx) -> Routed {
+    let _latency = ctx.handler_latency("reload");
     let Some(path) = &ctx.checkpoint_path else {
         return (
             400,
@@ -390,6 +466,7 @@ fn handle_reload(ctx: &Ctx) -> Routed {
 }
 
 fn handle_metrics(ctx: &Ctx, query: &str) -> Routed {
+    let _latency = ctx.handler_latency("metrics");
     let snapshot = ctx.recorder.metrics().snapshot();
     if query.split('&').any(|kv| kv == "format=text") {
         return (

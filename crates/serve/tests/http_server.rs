@@ -365,6 +365,128 @@ fn reload_unconfigured_gets_400_and_wrong_method_405() {
 }
 
 #[test]
+fn every_request_emits_exactly_one_complete_trace() {
+    let sink = std::sync::Arc::new(rll_obs::MemorySink::new());
+    let recorder = Recorder::new("trace-e2e", vec![Box::new(sink.clone())]);
+    let engine = InferenceEngine::start(
+        ServingModel::from_checkpoint(test_checkpoint(21)),
+        EngineConfig::default(),
+        recorder.clone(),
+    )
+    .expect("engine");
+    let server = EmbedServer::start(
+        engine.clone(),
+        ServerConfig {
+            trace: true,
+            ..ServerConfig::default()
+        },
+        recorder,
+        "trace-e2e",
+    )
+    .expect("server");
+
+    // One keep-alive connection, three requests: /embed (cache miss), the
+    // same /embed (cache hit), /healthz (never touches the engine).
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let body = r#"{"features":[[0.5,-1.0,2.0]]}"#;
+    let embed_raw = format!(
+        "POST /embed HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let health_raw = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n".to_string();
+    let mut responses = Vec::new();
+    for raw in [&embed_raw, &embed_raw, &health_raw] {
+        writer.write_all(raw.as_bytes()).expect("write");
+        responses.push(http::read_response(&mut reader).expect("response"));
+    }
+
+    // Trace events are emitted just after the response bytes hit the wire,
+    // so give the connection thread a moment to finish each record.
+    let collect = || -> Vec<rll_obs::TraceRecord> {
+        sink.events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                rll_obs::EventKind::Trace(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    };
+    let mut records = collect();
+    for _ in 0..400 {
+        if records.len() >= responses.len() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        records = collect();
+    }
+    assert_eq!(records.len(), 3, "exactly one trace per request");
+
+    for (i, (response, record)) in responses.iter().zip(&records).enumerate() {
+        assert_eq!(response.status, 200);
+        // Header, record, and the deterministic id formula all agree.
+        let expected = format!("{:016x}", rll_obs::trace_id(0, i as u64));
+        assert_eq!(
+            response.header("x-rll-trace"),
+            Some(expected.as_str()),
+            "request {i}"
+        );
+        assert_eq!(record.trace_id, expected);
+        assert_eq!(record.schema, rll_obs::TRACE_SCHEMA);
+        assert_eq!((record.conn_seq, record.req_seq), (0, i as u64));
+        assert_eq!(record.status, 200);
+        assert!(record.total_secs >= 0.0);
+        // Complete: parse and serialize bracket every request, and the
+        // phase timeline is monotone in start time.
+        let names: Vec<&str> = record.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert!(names.contains(&"parse"), "request {i}: {names:?}");
+        assert!(names.contains(&"serialize"), "request {i}: {names:?}");
+        assert!(
+            record
+                .phases
+                .windows(2)
+                .all(|w| w[0].start_secs <= w[1].start_secs),
+            "request {i} phases out of order: {:?}",
+            record.phases
+        );
+        assert!(record.phases.iter().all(|p| p.secs >= 0.0));
+    }
+
+    // Phase composition matches each request's actual path through the
+    // engine: miss → queue/forward, repeat → cache hit, healthz → neither.
+    let names =
+        |r: &rll_obs::TraceRecord| r.phases.iter().map(|p| p.phase.clone()).collect::<Vec<_>>();
+    let miss = names(&records[0]);
+    assert!(miss.iter().any(|n| n == "queue_wait"), "{miss:?}");
+    assert!(miss.iter().any(|n| n == "forward"), "{miss:?}");
+    let hit = names(&records[1]);
+    assert!(hit.iter().any(|n| n == "cache_hit"), "{hit:?}");
+    assert!(!hit.iter().any(|n| n == "forward"), "{hit:?}");
+    let health = names(&records[2]);
+    assert!(
+        !health.iter().any(|n| n == "forward" || n == "cache_hit"),
+        "{health:?}"
+    );
+
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn untraced_server_still_sends_deterministic_trace_header() {
+    let h = Harness::start(22, ServerConfig::default());
+    let response = h.roundtrip("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(response.status, 200);
+    // Tracing is off, but the id is pure arithmetic on (conn, request)
+    // counters, so the header still names this request deterministically.
+    let expected = format!("{:016x}", rll_obs::trace_id(0, 0));
+    assert_eq!(response.header("x-rll-trace"), Some(expected.as_str()));
+    h.stop();
+}
+
+#[test]
 fn reload_hot_swaps_checkpoint_and_survives_corruption() {
     let dir = std::env::temp_dir().join(format!("rll_serve_reload_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");

@@ -44,6 +44,41 @@ wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 echo "serve smoke test ok"
 
+echo "== tracing gate (trace/v1 JSONL valid; profiling never changes bytes) =="
+# Re-run the smoke serve with request tracing on, then validate the emitted
+# trace/v1 JSONL with `profile --validate` (schema, deterministic ids,
+# monotone phase ordering). Gates the tentpole contract: every request is
+# explainable end-to-end from its trace.
+cargo build -q --release -p rll-bench --bin profile
+./target/release/serve --checkpoint "$SMOKE_DIR/smoke.rllckpt" \
+    --addr 127.0.0.1:0 --port-file "$SMOKE_DIR/trace_port" \
+    --trace-out "$SMOKE_DIR/trace.jsonl" >/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    [ -s "$SMOKE_DIR/trace_port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/trace_port" ] || { echo "traced serve never wrote its port file"; exit 1; }
+./target/release/loadgen --addr "$(head -n1 "$SMOKE_DIR/trace_port")" \
+    --requests 50 --concurrency 2 --seed 42 \
+    --out "$SMOKE_DIR/traced_bench.json" >/dev/null
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+./target/release/profile --validate "$SMOKE_DIR/trace.jsonl"
+# Profiling must be observe-only: a profiled training run's checkpoint must
+# be byte-identical to an unprofiled one (profiling reads clocks, never the
+# RNG stream or the float math).
+RLL_RUN_ID=trace-gate ./target/release/serve train-demo \
+    --out "$SMOKE_DIR/prof_off.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+RLL_RUN_ID=trace-gate ./target/release/serve train-demo --profile \
+    --out "$SMOKE_DIR/prof_on.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+cmp "$SMOKE_DIR/prof_off.rllckpt" "$SMOKE_DIR/prof_on.rllckpt" || {
+    echo "tracing gate FAILED: --profile changed checkpoint bytes"
+    exit 1
+}
+echo "tracing gate ok (traces valid; profiled checkpoint is byte-identical)"
+
 echo "== determinism gate (RLL_THREADS must not change results) =="
 # Two short training runs that differ only in worker-thread count must emit
 # byte-identical checkpoints. RLL_RUN_ID pins the run id (normally it embeds
