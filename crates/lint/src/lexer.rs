@@ -7,6 +7,9 @@
 //! non-code character is replaced by a space — line and column positions are
 //! preserved, so rules can scan the mask and report accurate locations — plus
 //! the comment text per line, which the suppression-pragma parser consumes.
+//! Doc comments (`///`, `//!`, `/** … */`, `/*! … */`) are blanked like any
+//! comment but their text is *excluded* from the comments stream: prose and
+//! examples in docs must not be parsed as suppression pragmas.
 
 /// One lexed source file.
 #[derive(Debug, Clone)]
@@ -42,6 +45,9 @@ pub fn lex(src: &str) -> LexedFile {
     let mut cur_comment = String::new();
     let mut line_idx = 0usize;
     let mut i = 0usize;
+    // True while inside a doc comment (`///`, `//!`, `/**`, `/*!`): masked
+    // like any comment, but its text never reaches the pragma parser.
+    let mut doc_comment = false;
 
     macro_rules! end_line {
         () => {{
@@ -70,11 +76,15 @@ pub fn lex(src: &str) -> LexedFile {
             State::Code => match c {
                 '/' if next == Some('/') => {
                     state = State::LineComment;
+                    doc_comment = matches!(chars.get(i + 2), Some('/') | Some('!'));
                     cur_code.push_str("  ");
                     i += 2;
                 }
                 '/' if next == Some('*') => {
                     state = State::BlockComment(1);
+                    // `/**/` is an empty plain comment, not a doc comment.
+                    doc_comment = chars.get(i + 2) == Some(&'!')
+                        || (chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'/'));
                     cur_code.push_str("  ");
                     i += 2;
                 }
@@ -111,7 +121,9 @@ pub fn lex(src: &str) -> LexedFile {
                 }
             },
             State::LineComment => {
-                cur_comment.push(c);
+                if !doc_comment {
+                    cur_comment.push(c);
+                }
                 cur_code.push(' ');
                 i += 1;
             }
@@ -121,16 +133,21 @@ pub fn lex(src: &str) -> LexedFile {
                     i += 2;
                     if depth == 1 {
                         state = State::Code;
+                        doc_comment = false;
                     } else {
                         state = State::BlockComment(depth - 1);
                     }
                 } else if c == '/' && next == Some('*') {
                     state = State::BlockComment(depth + 1);
-                    cur_comment.push_str("/*");
+                    if !doc_comment {
+                        cur_comment.push_str("/*");
+                    }
                     cur_code.push_str("  ");
                     i += 2;
                 } else {
-                    cur_comment.push(c);
+                    if !doc_comment {
+                        cur_comment.push(c);
+                    }
                     cur_code.push(' ');
                     i += 1;
                 }

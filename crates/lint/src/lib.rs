@@ -28,13 +28,25 @@
 //!
 //! on the offending line or the line directly above it. A pragma without a
 //! justification is itself a violation (`suppression-needs-justification`),
-//! as is a pragma naming an unknown rule (`unknown-lint-rule`). Path-level
+//! as is a pragma naming an unknown rule (`unknown-lint-rule`), as is a
+//! justified pragma that no longer suppresses anything (`unused-suppression`
+//! — delete dead pragmas, they cannot themselves be allowed). Path-level
 //! scoping lives in the workspace-root `lint.toml`.
+//!
+//! Beyond the per-line scanners, three *structural* rules run over a token
+//! layer recovered from the mask ([`syntax`]): `lock-order-cycle` and
+//! `no-lock-held-io` from the workspace lock graph ([`lockgraph`]), and
+//! `no-iter-order-sink` from the determinism-taint pass ([`taint`]). The
+//! lock graph itself is part of the report and is committed as
+//! `results/lock_graph.json` so reviews see ordering changes as diffs.
 
 pub mod config;
 pub mod lexer;
+pub mod lockgraph;
 pub mod report;
 pub mod rules;
+pub mod syntax;
+pub mod taint;
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -42,8 +54,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
-pub use report::{human_report, json_report};
-pub use rules::{Rule, RULES};
+pub use lockgraph::LockGraph;
+pub use report::{baseline_json, check_baseline, human_report, json_report};
+pub use rules::{Rule, RULES, STRUCTURAL_RULES};
 
 /// One reported problem, pointing at `file:line:col` (1-based).
 #[derive(Debug, Clone)]
@@ -79,18 +92,14 @@ pub struct LintReport {
     pub files_scanned: usize,
     pub violations: Vec<Violation>,
     pub suppressed: Vec<Suppressed>,
+    /// The workspace lock graph recovered by [`lockgraph::analyze`].
+    pub lock_graph: LockGraph,
 }
 
 impl LintReport {
     /// True when the scan found nothing to fix.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
-    }
-
-    fn merge(&mut self, other: LintReport) {
-        self.files_scanned += other.files_scanned;
-        self.violations.extend(other.violations);
-        self.suppressed.extend(other.suppressed);
     }
 }
 
@@ -103,115 +112,211 @@ struct Pragma {
     justification: String,
 }
 
+/// Per-file suppression state carried between the phases of [`lint_files`].
+struct FileState {
+    path: String,
+    /// line -> rule -> justification, for suppression lookup.
+    allowed: BTreeMap<usize, BTreeMap<String, String>>,
+    /// `(rule, pragma line, covered lines)` per well-formed pragma, for the
+    /// `unused-suppression` pass.
+    spans: Vec<(String, usize, Vec<usize>)>,
+}
+
+impl FileState {
+    /// Looks up a justification for `rule` on 0-based `line`.
+    fn justification(&self, line: usize, rule: &str) -> Option<String> {
+        self.allowed.get(&line).and_then(|m| m.get(rule)).cloned()
+    }
+}
+
 /// Lints every in-scope `.rs` file under `root`.
 pub fn lint_workspace(root: &Path, config: &Config) -> io::Result<LintReport> {
+    let mut rels = Vec::new();
+    collect_rs_files(root, root, &mut rels)?;
+    rels.sort();
     let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut report = LintReport::default();
-    for rel in files {
+    for rel in rels {
         if !config.file_in_scope(&rel) {
             continue;
         }
         let source = fs::read_to_string(root.join(&rel))?;
-        report.merge(lint_source(&rel, &source, config));
+        files.push((rel, source));
     }
-    Ok(report)
+    Ok(lint_files(&files, config))
 }
 
 /// Lints a single source text as `path` (workspace-relative). Exposed for
 /// tests and for editors that want to lint unsaved buffers.
 pub fn lint_source(path: &str, source: &str, config: &Config) -> LintReport {
-    let lexed = lexer::lex(source);
+    lint_files(&[(path.to_string(), source.to_string())], config)
+}
+
+/// Lints a set of `(workspace-relative path, source)` pairs as one unit.
+///
+/// Per-file work (lexing, pragmas, line scanners) happens first; the
+/// structural passes ([`lockgraph`], [`taint`]) then run over the whole set —
+/// lock declarations and the call graph span files — and their findings go
+/// through the same suppression machinery. Last, any justified pragma that
+/// suppressed nothing is reported as `unused-suppression`.
+pub fn lint_files(files: &[(String, String)], config: &Config) -> LintReport {
     let mut report = LintReport {
-        files_scanned: 1,
+        files_scanned: files.len(),
         ..LintReport::default()
     };
+    let mut states: Vec<FileState> = Vec::with_capacity(files.len());
+    let mut analyzed: Vec<lockgraph::AnalyzedFile> = Vec::with_capacity(files.len());
 
-    let pragmas = parse_pragmas(&lexed.comments);
-    // line -> rule -> justification, for suppression lookup. A pragma covers
-    // its own line and the line directly below it.
-    let mut allowed: BTreeMap<usize, BTreeMap<String, String>> = BTreeMap::new();
-    for pragma in &pragmas {
-        for rule in &pragma.rules {
-            if !rules::is_known_rule(rule) {
-                report.violations.push(Violation {
-                    file: path.into(),
-                    line: pragma.line + 1,
-                    col: 1,
-                    rule: rules::RULE_UNKNOWN.into(),
-                    snippet: format!("allow({rule})"),
-                    hint: format!(
-                        "known rules: {}",
-                        RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
-                    ),
-                });
+    for (path, source) in files {
+        let lexed = lexer::lex(source);
+        let mut state = FileState {
+            path: path.clone(),
+            allowed: BTreeMap::new(),
+            spans: Vec::new(),
+        };
+
+        for pragma in parse_pragmas(&lexed.comments) {
+            for rule in &pragma.rules {
+                if !rules::is_known_rule(rule) {
+                    report.violations.push(Violation {
+                        file: path.clone(),
+                        line: pragma.line + 1,
+                        col: 1,
+                        rule: rules::RULE_UNKNOWN.into(),
+                        snippet: format!("allow({rule})"),
+                        hint: format!(
+                            "known rules: {}",
+                            RULES
+                                .iter()
+                                .chain(STRUCTURAL_RULES)
+                                .map(|r| r.id)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                if pragma.justification.is_empty() {
+                    report.violations.push(Violation {
+                        file: path.clone(),
+                        line: pragma.line + 1,
+                        col: 1,
+                        rule: rules::RULE_SUPPRESSION_JUSTIFICATION.into(),
+                        snippet: format!("allow({rule})"),
+                        hint: "write `// lint: allow(<rule>) — <why this site is safe>`; \
+                               unexplained suppressions rot"
+                            .into(),
+                    });
+                    continue;
+                }
+                // A pragma covers its own line (trailing-comment style) and
+                // the next line that actually contains code — so a multi-line
+                // justification comment between pragma and code still works.
+                let mut covered = vec![pragma.line];
+                let mut next = pragma.line + 1;
+                while let Some(code_line) = lexed.code.get(next) {
+                    if code_line.trim().is_empty() {
+                        next += 1;
+                    } else {
+                        covered.push(next);
+                        break;
+                    }
+                }
+                for line in &covered {
+                    state
+                        .allowed
+                        .entry(*line)
+                        .or_default()
+                        .insert(rule.clone(), pragma.justification.clone());
+                }
+                state.spans.push((rule.clone(), pragma.line, covered));
+            }
+        }
+
+        for rule in RULES {
+            if !config.rule_applies(rule.id, path) {
                 continue;
             }
-            if pragma.justification.is_empty() {
-                report.violations.push(Violation {
-                    file: path.into(),
-                    line: pragma.line + 1,
-                    col: 1,
-                    rule: rules::RULE_SUPPRESSION_JUSTIFICATION.into(),
-                    snippet: format!("allow({rule})"),
-                    hint: "write `// lint: allow(<rule>) — <why this site is safe>`; \
-                           unexplained suppressions rot"
-                        .into(),
-                });
-                continue;
-            }
-            // A pragma covers its own line (trailing-comment style) and the
-            // next line that actually contains code — so a multi-line
-            // justification comment between pragma and code still works.
-            let mut covered = vec![pragma.line];
-            let mut next = pragma.line + 1;
-            while let Some(code_line) = lexed.code.get(next) {
-                if code_line.trim().is_empty() {
-                    next += 1;
-                } else {
-                    covered.push(next);
-                    break;
+            for hit in rules::scan(rule.id, &lexed.code) {
+                match state.justification(hit.line, rule.id) {
+                    Some(justification) => report.suppressed.push(Suppressed {
+                        file: path.clone(),
+                        line: hit.line + 1,
+                        col: hit.col + 1,
+                        rule: rule.id.into(),
+                        snippet: hit.token,
+                        justification,
+                    }),
+                    None => report.violations.push(Violation {
+                        file: path.clone(),
+                        line: hit.line + 1,
+                        col: hit.col + 1,
+                        rule: rule.id.into(),
+                        snippet: hit.token,
+                        hint: rule.hint.into(),
+                    }),
                 }
             }
-            for line in covered {
-                allowed
-                    .entry(line)
-                    .or_default()
-                    .insert(rule.clone(), pragma.justification.clone());
-            }
+        }
+
+        analyzed.push(lockgraph::AnalyzedFile::new(path, source, &lexed.code));
+        states.push(state);
+    }
+
+    // Structural passes over the whole file set.
+    let in_scope = |rule: &str, path: &str| config.rule_applies(rule, path);
+    let (lock_graph, mut struct_hits) = lockgraph::analyze(&analyzed, &in_scope);
+    struct_hits.extend(taint::analyze(&analyzed, &in_scope));
+    report.lock_graph = lock_graph;
+    for hit in struct_hits {
+        let state = states.iter().find(|s| s.path == hit.file);
+        let justification = state.and_then(|s| s.justification(hit.line, &hit.rule));
+        match justification {
+            Some(justification) => report.suppressed.push(Suppressed {
+                file: hit.file,
+                line: hit.line + 1,
+                col: hit.col + 1,
+                rule: hit.rule,
+                snippet: hit.snippet,
+                justification,
+            }),
+            None => report.violations.push(Violation {
+                file: hit.file,
+                line: hit.line + 1,
+                col: hit.col + 1,
+                rule: hit.rule,
+                snippet: hit.snippet,
+                hint: hit.hint,
+            }),
         }
     }
 
-    for rule in RULES {
-        if !config.rule_applies(rule.id, path) {
-            continue;
-        }
-        for hit in rules::scan(rule.id, &lexed.code) {
-            let justification = allowed.get(&hit.line).and_then(|m| m.get(rule.id)).cloned();
-            match justification {
-                Some(justification) => report.suppressed.push(Suppressed {
-                    file: path.into(),
-                    line: hit.line + 1,
-                    col: hit.col + 1,
-                    rule: rule.id.into(),
-                    snippet: hit.token,
-                    justification,
-                }),
-                None => report.violations.push(Violation {
-                    file: path.into(),
-                    line: hit.line + 1,
-                    col: hit.col + 1,
-                    rule: rule.id.into(),
-                    snippet: hit.token,
-                    hint: rule.hint.into(),
-                }),
+    // A justified pragma that suppressed nothing is dead weight — and worse,
+    // it will silently swallow a *future* violation on that line. Flag it.
+    for state in &states {
+        for (rule, pragma_line, covered) in &state.spans {
+            let used = report.suppressed.iter().any(|s| {
+                s.file == state.path && &s.rule == rule && covered.contains(&(s.line - 1))
+            });
+            if !used {
+                report.violations.push(Violation {
+                    file: state.path.clone(),
+                    line: pragma_line + 1,
+                    col: 1,
+                    rule: rules::RULE_UNUSED_SUPPRESSION.into(),
+                    snippet: format!("allow({rule})"),
+                    hint: "this pragma suppresses nothing — delete it (a stale allow would \
+                           silently swallow the next real violation here)"
+                        .into(),
+                });
             }
         }
     }
 
     report
         .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    report
+        .suppressed
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     report
 }

@@ -4,11 +4,16 @@
 //! format is plain JSON and round-trips through `serde_json` — the test
 //! suite asserts that with the vendored parser.
 
-use crate::{LintReport, RULES};
+use crate::{LintReport, RULES, STRUCTURAL_RULES};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema version of the JSON report.
 pub const JSON_VERSION: u32 = 1;
+/// Schema tag of the JSON report (`--json` / `--out`).
+pub const REPORT_SCHEMA: &str = "lint_report/v1";
+/// Schema tag of the suppression-ratchet baseline file.
+pub const BASELINE_SCHEMA: &str = "lint_baseline/v1";
 
 /// The human-readable report: one `file:line:col [rule] snippet` block per
 /// violation, a suppression tally, and a verdict line.
@@ -34,10 +39,30 @@ pub fn human_report(report: &LintReport) -> String {
     out
 }
 
+/// Per-rule tallies for `violation_counts`/`suppressed_counts` and the
+/// ratchet baseline.
+fn tally<'a>(rules: impl Iterator<Item = &'a String>) -> BTreeMap<&'a str, usize> {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in rules {
+        *counts.entry(rule).or_default() += 1;
+    }
+    counts
+}
+
+fn counts_object(counts: &BTreeMap<&str, usize>) -> String {
+    let body = counts
+        .iter()
+        .map(|(rule, n)| format!("{}: {n}", json_string(rule)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
 /// The `--json` report. Stable field order, LF-separated, trailing newline.
 pub fn json_report(report: &LintReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(REPORT_SCHEMA));
     let _ = writeln!(out, "  \"version\": {JSON_VERSION},");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(
@@ -45,9 +70,20 @@ pub fn json_report(report: &LintReport) -> String {
         "  \"rules\": [{}],",
         RULES
             .iter()
+            .chain(STRUCTURAL_RULES)
             .map(|r| json_string(r.id))
             .collect::<Vec<_>>()
             .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"violation_counts\": {},",
+        counts_object(&tally(report.violations.iter().map(|v| &v.rule)))
+    );
+    let _ = writeln!(
+        out,
+        "  \"suppressed_counts\": {},",
+        counts_object(&tally(report.suppressed.iter().map(|s| &s.rule)))
     );
     out.push_str("  \"violations\": [");
     for (i, v) in report.violations.iter().enumerate() {
@@ -85,8 +121,80 @@ pub fn json_report(report: &LintReport) -> String {
     out
 }
 
+/// The committed `results/lint_baseline.json` content for this report: the
+/// per-rule justified-suppression tallies. Violations need no baseline — any
+/// violation already fails the run — so the ratchet tracks the one number
+/// that can drift upward quietly: how much code hides behind pragmas.
+pub fn baseline_json(report: &LintReport) -> String {
+    let counts = tally(report.suppressed.iter().map(|s| &s.rule));
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_string(BASELINE_SCHEMA));
+    let _ = writeln!(out, "  \"suppressed\": {}", counts_object(&counts));
+    out.push_str("}\n");
+    out
+}
+
+/// Ratchet check: fails when any rule's justified-suppression count exceeds
+/// the committed baseline. Counts *below* baseline pass (improvement); the
+/// failure message says how to re-baseline deliberately.
+pub fn check_baseline(report: &LintReport, baseline_text: &str) -> Result<(), String> {
+    let baseline = parse_baseline(baseline_text)?;
+    let current = tally(report.suppressed.iter().map(|s| &s.rule));
+    let mut regressions = Vec::new();
+    for (rule, &n) in &current {
+        let was = baseline.get(*rule).copied().unwrap_or(0);
+        if n > was {
+            regressions.push(format!("{rule}: {was} -> {n}"));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "suppression ratchet: {} (fix the new sites, or re-baseline deliberately with \
+             `rll-lint --write-baseline results/lint_baseline.json`)",
+            regressions.join(", ")
+        ))
+    }
+}
+
+/// Parses the `"suppressed": {"rule": n, …}` object out of a baseline file.
+fn parse_baseline(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    if !text.contains(BASELINE_SCHEMA) {
+        return Err(format!("baseline is not {BASELINE_SCHEMA}"));
+    }
+    let at = text
+        .find("\"suppressed\"")
+        .ok_or("baseline missing \"suppressed\" object")?;
+    let open = text[at..]
+        .find('{')
+        .ok_or("baseline missing \"suppressed\" object body")?
+        + at;
+    let close = text[open..]
+        .find('}')
+        .ok_or("baseline \"suppressed\" object is unterminated")?
+        + open;
+    let mut map = BTreeMap::new();
+    for part in text[open + 1..close].split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (rule, n) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed baseline entry: {part}"))?;
+        let n: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("malformed baseline count: {part}"))?;
+        map.insert(rule.trim().trim_matches('"').to_string(), n);
+    }
+    Ok(map)
+}
+
 /// JSON string literal with full escaping.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -114,5 +222,63 @@ mod tests {
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
         assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    fn report_with_suppressed(counts: &[(&str, usize)]) -> LintReport {
+        let mut report = LintReport::default();
+        for (rule, n) in counts {
+            for i in 0..*n {
+                report.suppressed.push(crate::Suppressed {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: i + 1,
+                    col: 1,
+                    rule: (*rule).to_string(),
+                    snippet: "tok".into(),
+                    justification: "because".into(),
+                });
+            }
+        }
+        report
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_checker() {
+        let report = report_with_suppressed(&[("no-panic-lib", 3), ("no-wallclock", 1)]);
+        let baseline = baseline_json(&report);
+        assert!(baseline.contains(BASELINE_SCHEMA));
+        assert!(check_baseline(&report, &baseline).is_ok());
+    }
+
+    #[test]
+    fn ratchet_fails_on_a_new_suppression_and_passes_on_fewer() {
+        let old = report_with_suppressed(&[("no-panic-lib", 2)]);
+        let baseline = baseline_json(&old);
+        let worse = report_with_suppressed(&[("no-panic-lib", 3)]);
+        let err = check_baseline(&worse, &baseline).unwrap_err();
+        assert!(err.contains("no-panic-lib: 2 -> 3"), "{err}");
+        let better = report_with_suppressed(&[("no-panic-lib", 1)]);
+        assert!(check_baseline(&better, &baseline).is_ok());
+        // A rule absent from the baseline ratchets from zero.
+        let new_rule = report_with_suppressed(&[("no-panic-lib", 2), ("no-wallclock", 1)]);
+        assert!(check_baseline(&new_rule, &baseline).is_err());
+    }
+
+    #[test]
+    fn baseline_rejects_wrong_schema() {
+        let report = report_with_suppressed(&[]);
+        assert!(check_baseline(&report, "{\"schema\": \"other/v1\"}").is_err());
+    }
+
+    #[test]
+    fn report_json_carries_schema_and_counts() {
+        let report = report_with_suppressed(&[("no-panic-lib", 2)]);
+        let json = json_report(&report);
+        assert!(json.contains("\"schema\": \"lint_report/v1\""));
+        assert!(json.contains("\"suppressed_counts\": {\"no-panic-lib\": 2}"));
+        assert!(json.contains("\"violation_counts\": {}"));
+        assert!(
+            json.contains("\"lock-order-cycle\""),
+            "structural rules are listed"
+        );
     }
 }

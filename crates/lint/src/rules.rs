@@ -73,14 +73,46 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// Structural rules: whole-workspace analyses over the token/item layer
+/// ([`crate::syntax`]) rather than per-line scans. They share the pragma and
+/// scoping machinery with [`RULES`] but are driven by [`crate::lockgraph`]
+/// and [`crate::taint`], not by [`scan`].
+pub const STRUCTURAL_RULES: &[Rule] = &[
+    Rule {
+        id: "lock-order-cycle",
+        summary: "lock acquisitions must follow one global rank order; a cycle (or a \
+                  rank-inverted edge) in the workspace lock graph is a latent deadlock",
+        hint: "acquire locks in strictly increasing declared-rank order (see the ladder in \
+               CONTRIBUTING.md); the runtime witness aborts debug builds on the same inversion",
+    },
+    Rule {
+        id: "no-lock-held-io",
+        summary: "blocking file/socket I/O while a lock guard is live stalls every thread \
+                  queued on that lock",
+        hint: "do the I/O first (load, serialize), then take the lock only for the in-memory \
+               swap — the `POST /reload` path is the canonical shape",
+    },
+    Rule {
+        id: "no-iter-order-sink",
+        summary: "HashMap/HashSet iteration order is per-process random; letting it reach a \
+                  serialized artifact breaks byte-identical checkpoints and traces",
+        hint: "sort the entries (or use BTreeMap/BTreeSet) before anything that feeds \
+               `.rllckpt`/`.rllstate`/trace serialization",
+    },
+];
+
 /// Meta-rule id reported when a suppression pragma omits its justification.
 pub const RULE_SUPPRESSION_JUSTIFICATION: &str = "suppression-needs-justification";
 /// Meta-rule id reported when a pragma names a rule that does not exist.
 pub const RULE_UNKNOWN: &str = "unknown-lint-rule";
+/// Meta-rule id reported when a justified pragma suppresses nothing. Not a
+/// known (allowable) rule on purpose: the fix for a dead pragma is deleting
+/// it, not suppressing the suppression.
+pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
 
-/// True if `id` names a scanning rule (not a meta-rule).
+/// True if `id` names a scanning or structural rule (not a meta-rule).
 pub fn is_known_rule(id: &str) -> bool {
-    RULES.iter().any(|r| r.id == id)
+    RULES.iter().any(|r| r.id == id) || STRUCTURAL_RULES.iter().any(|r| r.id == id)
 }
 
 /// A single rule hit: 0-based line, 0-based column (chars), and the matched

@@ -1,0 +1,281 @@
+//! Token-tree layer over the masked code.
+//!
+//! The lexer gives rules a *masked* line view; this module recovers just
+//! enough structure on top of it for whole-workspace analyses: a flat token
+//! stream with positions, brace matching, `fn` items with body extents, and
+//! call-expression detection. It is not a parser — no expressions, no types,
+//! no generics — but because it runs on the mask, braces inside strings and
+//! comments are already gone, so brace matching is exact on well-formed
+//! input.
+
+/// One token of masked code: either a word (identifier/number run) or a
+/// single punctuation character. Whitespace and blanked characters never
+/// become tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Token text: the word, or the single punct char.
+    pub text: String,
+    /// 0-based line index.
+    pub line: usize,
+    /// 0-based char column of the token's first character.
+    pub col: usize,
+    /// True for identifier/number words, false for punctuation.
+    pub word: bool,
+}
+
+impl Tok {
+    /// True when this token is the word `w`.
+    pub fn is_word(&self, w: &str) -> bool {
+        self.word && self.text == w
+    }
+
+    /// True when this token is the punct char `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        !self.word && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes masked code lines into a flat stream.
+pub fn tokenize(code: &[String]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (li, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_char(c) {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: li,
+                    col: start,
+                    word: true,
+                });
+            } else {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    line: li,
+                    col: i,
+                    word: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Index of the `}` matching the `{` at `open`, or `None` when the stream
+/// ends first (unbalanced input — the analyses then skip the item).
+pub fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
+    debug_assert!(toks[open].is_punct('{'));
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// A `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub decl: usize,
+    /// Token indices of the body's `{` and its matching `}`. Trait-method
+    /// declarations without a body are not reported as items.
+    pub body: (usize, usize),
+    /// Return-type text (tokens between `->` and the body, joined with
+    /// spaces); empty for `()`-returning functions.
+    pub ret: String,
+}
+
+/// Recovers every `fn` item (free functions and methods alike) with a body.
+pub fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_word("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if !name_tok.word {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Scan to the body `{`, stopping at `;` (a bodiless declaration).
+        // The return type and where-clause may themselves contain no braces
+        // in this codebase's style, so the first `{` at signature level opens
+        // the body. Generic bounds like `Fn(usize) -> R` sit inside
+        // parens/brackets, so track those to avoid a `{` inside a closure
+        // type (there are none, but be safe) and to skip `;` inside
+        // `[u8; 4]` array types.
+        let mut j = i + 2;
+        let mut nest = 0i64;
+        let mut arrow_at: Option<usize> = None;
+        let mut body_open: Option<usize> = None;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            } else if nest == 0 {
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('{') {
+                    body_open = Some(j);
+                    break;
+                }
+                if t.is_punct('-') && toks.get(j + 1).is_some_and(|n| n.is_punct('>')) {
+                    arrow_at = Some(j);
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i += 2;
+            continue;
+        };
+        let Some(close) = brace_match(toks, open) else {
+            i += 2;
+            continue;
+        };
+        let ret = match arrow_at {
+            Some(a) => toks[a + 2..open]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => String::new(),
+        };
+        out.push(FnItem {
+            name,
+            decl: i,
+            body: (open, close),
+            ret,
+        });
+        // Continue *inside* the body too: nested fns (and methods inside
+        // impl blocks, which this loop reaches naturally) are items of their
+        // own.
+        i += 2;
+    }
+    out
+}
+
+/// Words that look like calls when followed by `(` but are control flow.
+pub const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "loop", "move", "in", "as", "else",
+];
+
+/// True when the token at `i` is the name of a call expression we resolve:
+/// a word followed by `(`, not a keyword, not a declaration (`fn name(`),
+/// and **not** a `.method(` or path-qualified `Type::name(` call. Only bare
+/// free-function calls resolve: this crate has no type information, so
+/// resolving methods or qualified paths by bare name would conflate
+/// unrelated functions (`AtomicBool::load` with `Checkpoint::load`,
+/// `Stopwatch::start` with `Server::start`). The cost — acquisitions or I/O
+/// hidden behind methods are invisible — is covered by keeping known
+/// blocking entry points in the direct token lists (see
+/// [`crate::lockgraph`]) and by the runtime witness.
+pub fn is_resolvable_call(toks: &[Tok], i: usize) -> bool {
+    let t = &toks[i];
+    if !t.word || CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return false;
+    }
+    if !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return false;
+    }
+    !matches!(
+        i.checked_sub(1).and_then(|p| toks.get(p)),
+        Some(prev) if prev.is_word("fn") || prev.is_punct('.') || prev.is_punct(':')
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &[&str]) -> Vec<String> {
+        src.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tokenize_words_and_puncts_with_positions() {
+        let toks = tokenize(&lines(&["let x = a.b();"]));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", ".", "b", "(", ")", ";"]);
+        assert_eq!(toks[1].col, 4);
+        assert!(toks[1].word);
+        assert!(!toks[2].word);
+    }
+
+    #[test]
+    fn brace_matching_nests() {
+        let toks = tokenize(&lines(&["{ a { b } c { { } } }"]));
+        assert_eq!(brace_match(&toks, 0), Some(toks.len() - 1));
+        let inner = toks.iter().position(|t| t.is_word("b")).unwrap() - 1;
+        assert_eq!(brace_match(&toks, inner), Some(inner + 2));
+    }
+
+    #[test]
+    fn fn_items_with_bodies_and_return_types() {
+        let toks = tokenize(&lines(&[
+            "fn plain() { body(); }",
+            "pub fn guarded(&self) -> MutexGuard<'_, T> {",
+            "    self.inner.lock()",
+            "}",
+            "trait T { fn decl_only(&self); }",
+        ]));
+        let items = fn_items(&toks);
+        let names: Vec<&str> = items.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["plain", "guarded"]);
+        assert!(items[1].ret.contains("MutexGuard"));
+        assert!(items[0].ret.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_are_items_too() {
+        let toks = tokenize(&lines(&["fn outer() {", "    fn inner() {}", "}"]));
+        let items = fn_items(&toks);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].name, "inner");
+        // inner's body sits inside outer's.
+        assert!(items[1].body.0 > items[0].body.0 && items[1].body.1 < items[0].body.1);
+    }
+
+    #[test]
+    fn call_detection_skips_keywords_methods_and_paths() {
+        let toks = tokenize(&lines(&[
+            "helper(x); obj.method(y); Path::call(z); if (a) {}",
+        ]));
+        let calls: Vec<&str> = (0..toks.len())
+            .filter(|&i| is_resolvable_call(&toks, i))
+            .map(|i| toks[i].text.as_str())
+            .collect();
+        assert_eq!(calls, ["helper"]);
+    }
+}

@@ -158,3 +158,109 @@ fn empty_and_comment_only_sources() {
     assert_eq!(lexed.code[0].trim(), "");
     assert!(comment_on(&lexed, 0).contains("only a comment"));
 }
+
+// ── hardening: doc comments, tricky literals, test blocks ───────────────────
+
+#[test]
+fn doc_comment_text_is_masked_but_not_in_comment_stream() {
+    // A pragma example quoted inside doc text must never reach the pragma
+    // parser — otherwise every documented example becomes a (dead)
+    // suppression.
+    let src = "/// Example: `// lint: allow(no-panic-lib) — doc prose`\n\
+               pub fn f() {}\n\
+               //! inner docs with lint: allow(no-float-eq) text\n";
+    let lexed = lex(src);
+    assert_eq!(comment_on(&lexed, 0), "", "outer doc text leaked");
+    assert_eq!(comment_on(&lexed, 2), "", "inner doc text leaked");
+    assert!(!lexed.code[0].contains("lint"), "mask: {:?}", lexed.code[0]);
+}
+
+#[test]
+fn block_doc_comments_are_excluded_too() {
+    let src = "/** block doc with lint: allow(no-wallclock) */\n\
+               /*! inner block doc */\n\
+               /* plain comment is captured */\n\
+               pub fn f() {}\n";
+    let lexed = lex(src);
+    assert_eq!(comment_on(&lexed, 0), "");
+    assert_eq!(comment_on(&lexed, 1), "");
+    assert!(comment_on(&lexed, 2).contains("plain comment is captured"));
+}
+
+#[test]
+fn empty_block_comment_is_not_a_doc_comment() {
+    // `/**/` opens with `/**` but is the empty plain comment; the lexer must
+    // not treat the rest of the file as doc text.
+    let src = "/**/ let x = 1; // trailing comment\n";
+    let lexed = lex(src);
+    assert!(lexed.code[0].contains("let x = 1;"));
+    assert!(comment_on(&lexed, 0).contains("trailing comment"));
+}
+
+#[test]
+fn lifetimes_next_to_char_literals() {
+    // `'a,` and `'static` are lifetimes; `'{'` and `'\''` are char literals
+    // whose contents (braces! quotes!) must be blanked from the mask.
+    let src = "fn f<'a, 'b: 'a>(x: &'static str) { let open = '{'; let q = '\\''; }\n";
+    let lexed = lex(src);
+    let mask = &lexed.code[0];
+    assert!(mask.contains("<'a, 'b: 'a>"), "mask: {mask:?}");
+    assert!(mask.contains("&'static str"), "mask: {mask:?}");
+    assert!(
+        !mask.contains("'{'"),
+        "brace in char literal leaked: {mask:?}"
+    );
+    let opens = mask.matches('{').count();
+    let closes = mask.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces in mask: {mask:?}");
+}
+
+#[test]
+fn raw_string_with_hashes_containing_quotes_and_braces() {
+    let src = "let re = r##\"quote \" hash # brace { \"# not the end\"##; let after = 1;\n";
+    let lexed = lex(src);
+    let mask = &lexed.code[0];
+    assert!(mask.contains("let after = 1;"), "mask: {mask:?}");
+    assert!(
+        !mask.contains("brace"),
+        "raw-string content leaked: {mask:?}"
+    );
+    assert!(
+        !mask.contains('{'),
+        "brace inside raw string leaked: {mask:?}"
+    );
+}
+
+#[test]
+fn nested_block_comments_with_code_after() {
+    let src = "/* outer /* inner */ still comment */ let live = 1;\n";
+    let lexed = lex(src);
+    assert!(
+        lexed.code[0].contains("let live = 1;"),
+        "{:?}",
+        lexed.code[0]
+    );
+    assert!(!lexed.code[0].contains("still"), "{:?}", lexed.code[0]);
+}
+
+#[test]
+fn cfg_test_block_with_braces_in_strings() {
+    // A `{` inside a string inside the test module must not desynchronize
+    // the brace matching that finds the module's end — because the blanking
+    // runs on the mask, where string contents are already gone.
+    let src = "pub fn live() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   #[test]\n\
+               \x20   fn t() { let s = \"{ unbalanced {\"; x.unwrap(); }\n\
+               }\n\
+               pub fn also_live() { let keep = 1; }\n";
+    let lexed = lex(src);
+    let joined = lexed.code.join("\n");
+    assert!(!joined.contains("unwrap"), "test body leaked: {joined}");
+    assert!(joined.contains("pub fn live()"));
+    assert!(
+        joined.contains("pub fn also_live() { let keep = 1; }"),
+        "code after the test module was swallowed: {joined}"
+    );
+}

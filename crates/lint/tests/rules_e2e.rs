@@ -207,6 +207,84 @@ fn unordered_reduce_suppressed() {
     assert_eq!(report.suppressed.len(), 1);
 }
 
+// ── no-nonatomic-write ──────────────────────────────────────────────────────
+
+#[test]
+fn nonatomic_write_true_positives() {
+    let report = lint(
+        "pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {\n\
+         \x20   let mut f = File::create(path)?;\n\
+         \x20   fs::write(path, bytes)\n\
+         }\n",
+    );
+    let hits = rules_hit(&report);
+    assert_eq!(hits.len(), 2, "violations: {:?}", report.violations);
+    assert!(hits.iter().all(|r| *r == "no-nonatomic-write"));
+}
+
+#[test]
+fn atomic_write_and_reads_are_clean() {
+    let report = lint(
+        "pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {\n\
+         \x20   atomic_write(path, bytes)\n\
+         }\n\
+         pub fn load(path: &Path) -> io::Result<String> {\n\
+         \x20   fs::read_to_string(path)\n\
+         }\n",
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn nonatomic_write_suppressed() {
+    let report = lint(
+        "pub fn mark(path: &Path) -> io::Result<()> {\n\
+         \x20   // lint: allow(no-nonatomic-write) — ephemeral pid file, never trusted\n\
+         \x20   fs::write(path, b\"1\")\n\
+         }\n",
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "no-nonatomic-write");
+}
+
+// ── no-untimed-handler ──────────────────────────────────────────────────────
+
+#[test]
+fn untimed_handler_true_positive() {
+    let report = lint(
+        "fn handle_healthz(ctx: &Ctx) -> Response {\n\
+         \x20   Response::ok()\n\
+         }\n",
+    );
+    assert_eq!(rules_hit(&report), ["no-untimed-handler"]);
+    assert_eq!(report.violations[0].snippet, "fn handle_healthz");
+}
+
+#[test]
+fn instrumented_handler_is_clean() {
+    let report = lint(
+        "fn handle_embed(ctx: &Ctx) -> Response {\n\
+         \x20   let _latency = ctx.handler_latency(\"embed\");\n\
+         \x20   respond(ctx)\n\
+         }\n",
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn untimed_handler_suppressed() {
+    let report = lint(
+        "// lint: allow(no-untimed-handler) — fuzz-only stub, never routed\n\
+         fn handle_fuzz(ctx: &Ctx) -> Response {\n\
+         \x20   Response::ok()\n\
+         }\n",
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "no-untimed-handler");
+}
+
 // ── masking and scope interplay ─────────────────────────────────────────────
 
 #[test]

@@ -68,8 +68,12 @@ fn json_report_round_trips_through_serde_json() {
     );
 
     let rules = value.field("rules").and_then(JsonValue::as_array).unwrap();
-    assert_eq!(rules.len(), rll_lint::RULES.len());
+    assert_eq!(
+        rules.len(),
+        rll_lint::RULES.len() + rll_lint::STRUCTURAL_RULES.len()
+    );
     assert!(rules.iter().any(|r| r.as_str() == Some("no-float-eq")));
+    assert!(rules.iter().any(|r| r.as_str() == Some("lock-order-cycle")));
 
     let violations = value
         .field("violations")
@@ -117,5 +121,44 @@ fn empty_report_is_valid_json_too() {
             .and_then(JsonValue::as_array)
             .map(<[JsonValue]>::len),
         Some(0)
+    );
+}
+
+#[test]
+fn workspace_lock_graph_is_acyclic_and_matches_committed_artifact() {
+    let root = workspace_root();
+    let config = load_config(root).expect("lint.toml parses");
+    let report = lint_workspace(root, &config).expect("workspace scan succeeds");
+    let graph = &report.lock_graph;
+    assert!(
+        graph.cycles.is_empty(),
+        "the real workspace must have zero lock-order cycles: {:?}",
+        graph.cycles
+    );
+    assert!(
+        graph.locks.len() >= 5,
+        "the serve rank ladder (workers/model/queue/cache/train_run_id) \
+         should all be declared; found {:?}",
+        graph.locks
+    );
+    // Ranks are strictly increasing in the sorted declaration list — the
+    // ladder has no duplicate ranks.
+    for pair in graph.locks.windows(2) {
+        assert!(
+            pair[0].rank < pair[1].rank,
+            "duplicate or unsorted ranks: {:?}",
+            graph.locks
+        );
+    }
+    // The committed artifact must match what the analysis produces now, so
+    // any ordering change shows up as a reviewable diff (check.sh enforces
+    // the same thing; this keeps `cargo test` self-sufficient).
+    let committed = std::fs::read_to_string(root.join("results/lock_graph.json"))
+        .expect("results/lock_graph.json is committed");
+    assert_eq!(
+        rll_lint::lockgraph::to_json(graph),
+        committed,
+        "results/lock_graph.json is stale — regenerate with \
+         `rll-lint --lock-graph results/lock_graph.json`"
     );
 }

@@ -25,6 +25,10 @@
 //! sanctioned wall-clock reader behind the `*_timed` profiling variants —
 //! timings are observability data and never feed back into results.
 
+pub mod lockorder;
+
+pub use lockorder::{OrderedCondvar, OrderedMutex, OrderedRwLock};
+
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::OnceLock;

@@ -21,6 +21,12 @@
 //! worker pool, and clears the embedding cache (cached rows were computed by
 //! the old weights). Each batch captures one `Arc` for its whole forward
 //! pass, so a swap mid-flight never mixes weights within a batch.
+//!
+//! Locking: every lock is a rank-annotated wrapper from
+//! [`rll_par::lockorder`] — workers(10) < model(20) < queue(30) < cache(40)
+//! — so any nested acquisition must climb the ladder. The ranks mirror the
+//! static lock graph `rll-lint` emits (`results/lock_graph.json`), and debug
+//! builds assert them at runtime on every acquisition.
 
 use crate::checkpoint::Checkpoint;
 use crate::error::ServeError;
@@ -29,12 +35,13 @@ use crate::Result;
 use rll_core::RllModel;
 use rll_data::Normalizer;
 use rll_obs::{Histogram, Phase, Recorder, Stopwatch, TraceCtx};
+use rll_par::{OrderedCondvar, OrderedMutex, OrderedRwLock};
 use rll_tensor::hash::fnv1a_f64s;
 use rll_tensor::Matrix;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Tuning knobs for the worker pool.
@@ -140,31 +147,25 @@ fn queue_wait_ms_bounds() -> Vec<f64> {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    not_empty: Condvar,
+    queue: OrderedMutex<VecDeque<Job>>,
+    not_empty: OrderedCondvar,
     shutdown: AtomicBool,
-    model: RwLock<Arc<ServingModel>>,
-    cache: Mutex<LruCache<Vec<f64>>>,
+    model: OrderedRwLock<Arc<ServingModel>>,
+    cache: OrderedMutex<LruCache<Vec<f64>>>,
     recorder: Recorder,
     config: EngineConfig,
 }
 
 impl Shared {
-    /// Locks ignoring poisoning: a panicking worker must not wedge the whole
-    /// server, and both guarded structures are valid after any partial
-    /// mutation (the queue is a VecDeque, the cache re-checks its own links).
-    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
-        self.queue.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
-    fn lock_cache(&self) -> MutexGuard<'_, LruCache<Vec<f64>>> {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
     /// Snapshot of the current model. Callers hold the `Arc`, not the lock,
     /// so a concurrent reload never blocks on an in-flight forward pass.
+    ///
+    /// The ordered wrappers already recover from poisoning: a panicking
+    /// worker must not wedge the whole server, and every guarded structure
+    /// here is valid after any partial mutation (the queue is a VecDeque,
+    /// the cache re-checks its own links).
     fn model(&self) -> Arc<ServingModel> {
-        Arc::clone(&self.model.read().unwrap_or_else(|p| p.into_inner()))
+        Arc::clone(&self.model.read())
     }
 }
 
@@ -173,7 +174,7 @@ impl Shared {
 #[derive(Clone)]
 pub struct InferenceEngine {
     shared: Arc<Shared>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Arc<OrderedMutex<Vec<JoinHandle<()>>>>,
 }
 
 impl InferenceEngine {
@@ -181,11 +182,11 @@ impl InferenceEngine {
     pub fn start(model: ServingModel, config: EngineConfig, recorder: Recorder) -> Result<Self> {
         config.validate()?;
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::with_capacity(config.queue_capacity)),
-            not_empty: Condvar::new(),
+            queue: OrderedMutex::new("queue", 30, VecDeque::with_capacity(config.queue_capacity)),
+            not_empty: OrderedCondvar::new(),
             shutdown: AtomicBool::new(false),
-            model: RwLock::new(Arc::new(model)),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            model: OrderedRwLock::new("model", 20, Arc::new(model)),
+            cache: OrderedMutex::new("cache", 40, LruCache::new(config.cache_capacity)),
             recorder,
             config: config.clone(),
         });
@@ -200,7 +201,7 @@ impl InferenceEngine {
         }
         Ok(InferenceEngine {
             shared,
-            workers: Arc::new(Mutex::new(workers)),
+            workers: Arc::new(OrderedMutex::new("workers", 10, workers)),
         })
     }
 
@@ -218,10 +219,10 @@ impl InferenceEngine {
     /// different dimensions; subsequent requests are validated against it.
     pub fn reload(&self, model: ServingModel) {
         {
-            let mut slot = self.shared.model.write().unwrap_or_else(|p| p.into_inner());
+            let mut slot = self.shared.model.write();
             *slot = Arc::new(model);
         }
-        self.shared.lock_cache().clear();
+        self.shared.cache.lock().clear();
         self.shared
             .recorder
             .metrics()
@@ -307,12 +308,12 @@ impl InferenceEngine {
 
     /// Current queue depth (for metrics/tests).
     pub fn queue_depth(&self) -> usize {
-        self.shared.lock_queue().len()
+        self.shared.queue.lock().len()
     }
 
     /// Lifetime cache hit/miss counts.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let cache = self.shared.lock_cache();
+        let cache = self.shared.cache.lock();
         (cache.hits(), cache.misses())
     }
 
@@ -321,14 +322,17 @@ impl InferenceEngine {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.not_empty.notify_all();
-        let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+        // workers(10) is held across the join and the queue(30) drain below —
+        // the one deliberately nested acquisition in the engine, and it
+        // climbs the rank ladder.
+        let mut workers = self.workers.lock();
         for handle in workers.drain(..) {
             // A worker that panicked already poisoned nothing we rely on;
             // ignore its join error and keep shutting down.
             let _ = handle.join();
         }
         // Anything still queued will never be drained: fail it explicitly.
-        let mut queue = self.shared.lock_queue();
+        let mut queue = self.shared.queue.lock();
         for job in queue.drain(..) {
             let _ = job.reply.send(Err(ServeError::EngineShutdown));
         }
@@ -355,7 +359,7 @@ impl InferenceEngine {
         let key = fnv1a_f64s(&features);
         let lookup_start = trace.now();
         let lookup = Stopwatch::start();
-        if let Some(hit) = self.shared.lock_cache().get(key) {
+        if let Some(hit) = self.shared.cache.lock().get(key) {
             let secs = lookup.elapsed_secs();
             metrics.counter("serve.cache.hits").inc();
             metrics
@@ -367,7 +371,7 @@ impl InferenceEngine {
         metrics.counter("serve.cache.misses").inc();
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.lock_queue();
+            let mut queue = self.shared.queue.lock();
             if queue.len() >= self.shared.config.queue_capacity {
                 metrics.counter("serve.queue.rejected").inc();
                 return Err(ServeError::QueueFull {
@@ -408,12 +412,9 @@ fn worker_loop(shared: &Shared) {
     };
     loop {
         let jobs = {
-            let mut queue = shared.lock_queue();
+            let mut queue = shared.queue.lock();
             while queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                queue = shared
-                    .not_empty
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                queue = shared.not_empty.wait(queue);
             }
             if queue.is_empty() {
                 // Shutdown with nothing left to drain.
@@ -487,7 +488,7 @@ fn run_batch(shared: &Shared, jobs: Vec<Job>, timers: &PhaseTimers) {
     }
     match result {
         Ok(embeddings) => {
-            let mut cache = shared.lock_cache();
+            let mut cache = shared.cache.lock();
             for (i, job) in jobs.into_iter().enumerate() {
                 let row = embeddings.row(i).map(<[f64]>::to_vec).unwrap_or_default();
                 cache.insert(job.key, row.clone());

@@ -22,12 +22,13 @@ use crate::error::ServeError;
 use crate::http::{self, HttpError, ReadOutcome, Request};
 use crate::Result;
 use rll_obs::{EventKind, Histogram, Phase, Recorder, Stopwatch, TraceCtx};
+use rll_par::OrderedRwLock;
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -144,8 +145,9 @@ struct Ctx {
     engine: InferenceEngine,
     recorder: Recorder,
     /// Behind a lock because `/reload` replaces it with the run id of the
-    /// newly loaded checkpoint.
-    train_run_id: RwLock<String>,
+    /// newly loaded checkpoint. Rank 50: above every engine lock, so holding
+    /// it can never nest under (or over) the inference path illegally.
+    train_run_id: OrderedRwLock<String>,
     checkpoint_path: Option<PathBuf>,
     started: Stopwatch,
     max_body_bytes: usize,
@@ -160,10 +162,7 @@ struct Ctx {
 
 impl Ctx {
     fn train_run_id(&self) -> String {
-        self.train_run_id
-            .read()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone()
+        self.train_run_id.read().clone()
     }
 
     /// Starts the per-route handler latency guard; the elapsed time lands in
@@ -210,7 +209,7 @@ impl EmbedServer {
         let ctx = Arc::new(Ctx {
             engine: engine.clone(),
             recorder,
-            train_run_id: RwLock::new(train_run_id.to_string()),
+            train_run_id: OrderedRwLock::new("train_run_id", 50, train_run_id.to_string()),
             checkpoint_path: config.checkpoint_path.clone(),
             started: Stopwatch::start(),
             max_body_bytes: config.max_body_bytes,
@@ -452,7 +451,7 @@ fn handle_reload(ctx: &Ctx) -> Routed {
     let model = ServingModel::from_checkpoint(checkpoint);
     let (input_dim, embedding_dim) = (model.input_dim(), model.embedding_dim());
     ctx.engine.reload(model);
-    *ctx.train_run_id.write().unwrap_or_else(|p| p.into_inner()) = train_run_id.clone();
+    *ctx.train_run_id.write() = train_run_id.clone();
     ctx.recorder.note(format!(
         "reloaded checkpoint {} ({train_run_id})",
         path.display()

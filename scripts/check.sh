@@ -9,9 +9,22 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== rll-lint (workspace invariants) =="
+echo "== rll-lint (workspace invariants, suppression ratchet, lock graph) =="
 mkdir -p results
-cargo run -q -p rll-lint --release -- --out results/lint.json
+LINT_TMP=$(mktemp -d)
+cargo run -q -p rll-lint --release -- --out results/lint.json \
+    --baseline results/lint_baseline.json \
+    --lock-graph "$LINT_TMP/lock_graph.json"
+# The committed lock graph is part of the review surface: any change to lock
+# declarations, ranks, or nesting edges must show up as a diff. (A cycle is
+# already a lint violation, so the run above fails outright on one.)
+diff -u results/lock_graph.json "$LINT_TMP/lock_graph.json" || {
+    echo "lock graph drifted from results/lock_graph.json — regenerate with"
+    echo "  cargo run -q -p rll-lint --release -- --lock-graph results/lock_graph.json"
+    rm -rf "$LINT_TMP"
+    exit 1
+}
+rm -rf "$LINT_TMP"
 
 echo "== cargo build (all targets, incl. examples and bins) =="
 cargo build --workspace --all-targets
@@ -23,6 +36,13 @@ echo "== serve smoke test =="
 # One real round trip through the serving stack: train a tiny checkpoint,
 # serve it on an ephemeral port, fire a seeded load burst, shut down. Gates
 # on loadgen's exit status (non-zero when no request succeeds).
+#
+# RLL_LOCK_WITNESS=1 arms the runtime lock-order witness in these release
+# binaries (it defaults to debug builds only): every lock acquisition on the
+# serve/train paths below asserts the declared rank ladder, so an ordering
+# inversion aborts the smoke/determinism/crash gates instead of deadlocking
+# in production.
+export RLL_LOCK_WITNESS=1
 cargo build -q --release -p rll-serve
 SMOKE_DIR=$(mktemp -d)
 trap 'kill "${SERVE_PID:-}" 2>/dev/null || true; rm -rf "$SMOKE_DIR"' EXIT
