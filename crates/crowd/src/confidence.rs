@@ -127,8 +127,28 @@ impl ConfidenceEstimator {
                 }
                 Ok(positive_votes as f64 / total_votes as f64)
             }
-            ConfidenceEstimator::Bayesian(prior) => Ok((prior.alpha + positive_votes as f64)
-                / (prior.alpha + prior.beta + total_votes as f64)),
+            ConfidenceEstimator::Bayesian(prior) => {
+                // `BetaPrior`'s fields are public, so a degenerate prior
+                // (non-positive or non-finite α/β) can reach this point
+                // without going through `BetaPrior::new`. With zero votes a
+                // `Beta(0, 0)` prior would yield 0/0 = NaN, which then leaks
+                // into /metrics gauges and trace output; reject it here with
+                // the same open-interval rule `new` enforces.
+                if !(prior.alpha > 0.0
+                    && prior.beta > 0.0
+                    && prior.alpha.is_finite()
+                    && prior.beta.is_finite())
+                {
+                    return Err(CrowdError::InvalidConfig {
+                        reason: format!(
+                            "Bayesian confidence requires a prior with finite positive (α, β), got ({}, {})",
+                            prior.alpha, prior.beta
+                        ),
+                    });
+                }
+                Ok((prior.alpha + positive_votes as f64)
+                    / (prior.alpha + prior.beta + total_votes as f64))
+            }
         }
     }
 
@@ -305,6 +325,48 @@ mod tests {
         // As d grows the two converge.
         let b_big = bay.positiveness(500, 500).unwrap();
         assert!((b_big - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bayesian_rejects_degenerate_priors_instead_of_nan() {
+        // `BetaPrior`'s fields are public, so these can be constructed
+        // without `new`'s validation. Before the guard, zero votes under a
+        // Beta(0, 0) prior produced 0/0 = NaN.
+        for prior in [
+            BetaPrior {
+                alpha: 0.0,
+                beta: 0.0,
+            },
+            BetaPrior {
+                alpha: -1.0,
+                beta: 2.0,
+            },
+            BetaPrior {
+                alpha: f64::NAN,
+                beta: 1.0,
+            },
+            BetaPrior {
+                alpha: f64::INFINITY,
+                beta: 1.0,
+            },
+        ] {
+            let est = ConfidenceEstimator::Bayesian(prior);
+            // Zero votes, unanimous votes, and mixed votes all error —
+            // never NaN.
+            assert!(est.positiveness(0, 0).is_err(), "prior {prior:?}");
+            assert!(est.positiveness(5, 5).is_err(), "prior {prior:?}");
+            assert!(est.positiveness(2, 5).is_err(), "prior {prior:?}");
+        }
+    }
+
+    #[test]
+    fn bayesian_is_finite_at_vote_extremes() {
+        let est = ConfidenceEstimator::Bayesian(BetaPrior::uniform());
+        for (pos, total) in [(0, 0), (0, 1), (1, 1), (0, 1000), (1000, 1000)] {
+            let c = est.positiveness(pos, total).unwrap();
+            assert!(c.is_finite());
+            assert!(c > 0.0 && c < 1.0, "open interval: {c} for {pos}/{total}");
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Typed errors for the label subsystem.
+
+use std::fmt;
+
+/// Everything that can go wrong ingesting, persisting, or retraining from
+/// crowd votes. WAL *corruption* is deliberately not an error variant:
+/// replay degrades gracefully (truncate at the first bad record) and reports
+/// what it dropped through [`crate::wal::Corruption`] values instead of
+/// failing the whole recovery.
+#[derive(Debug)]
+pub enum LabelError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// Short verb for the failed operation (`"create"`, `"append"`, …).
+        op: &'static str,
+        /// The underlying I/O error, stringified.
+        reason: String,
+    },
+    /// A vote failed validation before touching the WAL.
+    InvalidVote { reason: String },
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig { reason: String },
+    /// The WAL is structurally unrecoverable (not per-record corruption —
+    /// e.g. the same sequence number recovered from two shards).
+    Corrupt { reason: String },
+    /// Confidence estimation failed (degenerate prior, vote bookkeeping).
+    Confidence(rll_crowd::CrowdError),
+    /// An incremental retrain round failed inside the training stack.
+    Train { reason: String },
+    /// The publish hook (checkpoint write / reload) rejected a round.
+    Publish { reason: String },
+}
+
+pub type Result<T> = std::result::Result<T, LabelError>;
+
+impl LabelError {
+    /// Shorthand for wrapping an `io::Error` with its path and operation.
+    pub fn io(path: &std::path::Path, op: &'static str, err: std::io::Error) -> Self {
+        LabelError::Io {
+            path: path.display().to_string(),
+            op,
+            reason: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::Io { path, op, reason } => {
+                write!(f, "wal {op} failed for {path}: {reason}")
+            }
+            LabelError::InvalidVote { reason } => write!(f, "invalid vote: {reason}"),
+            LabelError::InvalidConfig { reason } => write!(f, "invalid label config: {reason}"),
+            LabelError::Corrupt { reason } => write!(f, "unrecoverable WAL state: {reason}"),
+            LabelError::Confidence(e) => write!(f, "confidence update failed: {e}"),
+            LabelError::Train { reason } => write!(f, "incremental retrain failed: {reason}"),
+            LabelError::Publish { reason } => write!(f, "model publish failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabelError::Confidence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rll_crowd::CrowdError> for LabelError {
+    fn from(e: rll_crowd::CrowdError) -> Self {
+        LabelError::Confidence(e)
+    }
+}

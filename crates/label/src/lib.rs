@@ -1,0 +1,43 @@
+//! # rll-label — streaming crowd-vote ingestion and continuous learning
+//!
+//! The live half of the crowdsourced-labeling pipeline (paper §3): where the
+//! batch crates train once from a frozen annotation matrix, this crate keeps
+//! accepting votes after deployment and feeds them back into the model.
+//!
+//! Three layers:
+//!
+//! 1. **Ingestion** ([`wal`]) — a sharded, checksummed write-ahead log built
+//!    on the workspace snapshot codec. Every vote is fsynced before it is
+//!    acknowledged; replay truncates at the first corrupt record per shard
+//!    and reports exactly what it dropped.
+//! 2. **Online confidence** ([`confidence`]) — an incremental tracker that
+//!    recomputes each example's confidence (paper eq. 1–2) with the *same*
+//!    estimator arithmetic as the batch path, so replayed state matches the
+//!    batch estimator bitwise.
+//! 3. **The loop** ([`retrain`]) — a background retrainer that watches the
+//!    WAL high-water mark, folds new votes into the dataset, resumes or
+//!    reruns training from the latest `.rllstate`, and publishes the fitted
+//!    model through a [`retrain::PublishSink`] (the serving binary's sink
+//!    writes an atomic checkpoint and hot-swaps it via `POST /reload`).
+//!
+//! [`store::LabelStore`] ties layers 1 and 2 together behind two new rungs
+//! of the workspace lock ladder (`wal` at 60, `votes` at 70); the retrainer
+//! adds `retrain` at 80.
+
+pub mod confidence;
+pub mod error;
+pub mod retrain;
+pub mod store;
+pub mod wal;
+
+pub use confidence::{ConfidenceTracker, ExampleConfidence, LabelsSnapshot, LABELS_SCHEMA};
+pub use error::{LabelError, Result};
+pub use retrain::{
+    read_manifest, write_manifest, PublishSink, RetrainBase, RetrainConfig, RetrainManifest,
+    RetrainShared, RetrainStatus, Retrainer, MANIFEST_SCHEMA,
+};
+pub use store::{IngestReceipt, LabelStore, LabelStoreConfig};
+pub use wal::{
+    replay_read_only, shard_of, Corruption, CorruptionKind, ShardedWal, Vote, VoteRecord,
+    WalConfig, WalReplay,
+};

@@ -1,0 +1,492 @@
+//! The incremental retrain → publish loop.
+//!
+//! A background thread watches the WAL high-water mark; once enough new
+//! votes accumulate it folds them into the base dataset, retrains the
+//! pipeline (checkpointing `.rllstate` snapshots on a cadence), evaluates
+//! against expert labels when available, and hands the fitted pipeline to a
+//! [`PublishSink`] — in the serving binary, that writes an atomic `.rllckpt`
+//! and hot-swaps it through `POST /reload`.
+//!
+//! ## Crash contract
+//!
+//! Before training, the round writes a *manifest* (atomic) recording the
+//! round number, the folded high-water sequence, and the round seed. On
+//! restart an incomplete manifest is recovered: the WAL is re-read up to the
+//! manifest's sequence (read-only — appends may already be flowing), the
+//! fold is rebuilt deterministically, and training resumes from the latest
+//! `.rllstate` via `resume_fit` (bitwise-identical to the uninterrupted
+//! round) — or reruns from scratch with the manifest's seed when no usable
+//! snapshot exists. Either way the published model is a pure function of
+//! (base dataset, votes ≤ folded_seq, seed).
+//!
+//! ## Locks
+//!
+//! The retrainer owns one lock: `retrain` (rank **80**), guarding its
+//! status. It is the top of the ladder — the loop never holds it across
+//! calls into the store (`votes`, rank 70) or the training stack.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rll_core::{pipeline::score_predictions, CheckpointPolicy, RllConfig, RllPipeline, TrainState};
+use rll_crowd::AnnotationMatrix;
+use rll_obs::{EventKind, Recorder, RetrainRoundStats, Stopwatch};
+use rll_par::OrderedMutex;
+use rll_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{LabelError, Result};
+use crate::store::LabelStore;
+
+/// Schema tag of the round manifest file.
+pub const MANIFEST_SCHEMA: &str = "retrain_manifest/v1";
+
+/// Durable record of a retrain round, written (atomically) *before*
+/// training starts and marked complete after publish.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainManifest {
+    /// Always [`MANIFEST_SCHEMA`].
+    pub schema: String,
+    /// 1-based round counter.
+    pub round: u64,
+    /// WAL high-water sequence folded into the round's dataset.
+    pub folded_seq: u64,
+    /// Seed the round trains with (derived deterministically from the base
+    /// seed and round number).
+    pub seed: u64,
+    /// `false` from fold until successful publish.
+    pub complete: bool,
+}
+
+/// Static retrain policy.
+#[derive(Debug, Clone)]
+pub struct RetrainConfig {
+    /// Training hyperparameters for every round.
+    pub train: RllConfig,
+    /// Base seed; round `r` trains with a seed derived from `(base_seed, r)`.
+    pub base_seed: u64,
+    /// New votes (by sequence distance) required to trigger a round.
+    pub min_new_votes: u64,
+    /// How often the loop re-checks the high-water mark.
+    pub poll_interval: Duration,
+    /// Where rounds checkpoint their `.rllstate` snapshots.
+    pub state_path: PathBuf,
+    /// Where the round manifest lives.
+    pub manifest_path: PathBuf,
+    /// Checkpoint cadence in epochs.
+    pub snapshot_every_epochs: usize,
+    /// Trainer thread override (`None` inherits `RLL_THREADS`).
+    pub threads: Option<usize>,
+}
+
+/// The frozen training substrate votes are folded into.
+#[derive(Debug, Clone)]
+pub struct RetrainBase {
+    /// Raw (unnormalized) features, one row per example.
+    pub features: Matrix,
+    /// Offline crowd annotations; live votes append worker columns.
+    pub annotations: AnnotationMatrix,
+    /// Expert labels for the round eval metric, when available.
+    pub expert_labels: Option<Vec<u8>>,
+}
+
+/// Where a round's fitted pipeline goes. The serving binary's sink writes an
+/// atomic checkpoint and POSTs `/reload` over loopback.
+pub trait PublishSink: Send {
+    /// Publishes one round's pipeline. An `Err` fails the round (the
+    /// manifest stays incomplete, so restart retries it).
+    fn publish(&mut self, pipeline: &RllPipeline, round: u64) -> std::result::Result<(), String>;
+}
+
+/// Observable state of the retrainer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainStatus {
+    /// Completed (published) rounds.
+    pub rounds_completed: u64,
+    /// High-water sequence of the last completed round.
+    pub last_folded_seq: u64,
+    /// Vote cells folded in the last completed round.
+    pub votes_last_round: u64,
+    /// Eval accuracy of the last completed round (`-1` before the first, or
+    /// when no expert labels are configured).
+    pub last_accuracy: f64,
+    /// Whether a round is currently training.
+    pub in_progress: bool,
+    /// Last round failure, if any (cleared by the next success).
+    pub last_error: Option<String>,
+}
+
+impl Default for RetrainStatus {
+    fn default() -> Self {
+        RetrainStatus {
+            rounds_completed: 0,
+            last_folded_seq: 0,
+            votes_last_round: 0,
+            last_accuracy: -1.0,
+            in_progress: false,
+            last_error: None,
+        }
+    }
+}
+
+/// Shared status handle, readable from the serving layer (`/metrics`, the
+/// labels routes) while the loop trains.
+#[derive(Debug)]
+pub struct RetrainShared {
+    retrain: OrderedMutex<RetrainStatus>,
+}
+
+impl RetrainShared {
+    fn new() -> Self {
+        RetrainShared {
+            retrain: OrderedMutex::new("retrain", 80, RetrainStatus::default()),
+        }
+    }
+
+    /// A copy of the current status.
+    pub fn status(&self) -> RetrainStatus {
+        self.retrain.lock().clone()
+    }
+
+    fn update(&self, f: impl FnOnce(&mut RetrainStatus)) {
+        f(&mut self.retrain.lock());
+    }
+}
+
+/// Handle to the background retrain loop; join with [`Retrainer::stop`].
+pub struct Retrainer {
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<RetrainShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Retrainer {
+    /// Recovers any interrupted round, then starts the watch loop.
+    pub fn start(
+        store: Arc<LabelStore>,
+        base: RetrainBase,
+        config: RetrainConfig,
+        recorder: Recorder,
+        publish: Box<dyn PublishSink>,
+    ) -> Result<Retrainer> {
+        if config.min_new_votes == 0 {
+            return Err(LabelError::InvalidConfig {
+                reason: "retrain min_new_votes must be >= 1".into(),
+            });
+        }
+        if base.features.rows() != base.annotations.num_items() {
+            return Err(LabelError::InvalidConfig {
+                reason: format!(
+                    "{} feature rows for {} annotated items",
+                    base.features.rows(),
+                    base.annotations.num_items()
+                ),
+            });
+        }
+        if let Some(expert) = &base.expert_labels {
+            if expert.len() != base.features.rows() {
+                return Err(LabelError::InvalidConfig {
+                    reason: format!(
+                        "{} expert labels for {} rows",
+                        expert.len(),
+                        base.features.rows()
+                    ),
+                });
+            }
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(RetrainShared::new());
+        let loop_shutdown = Arc::clone(&shutdown);
+        let loop_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("rll-retrain".into())
+            .spawn(move || {
+                run_loop(
+                    store,
+                    base,
+                    config,
+                    recorder,
+                    publish,
+                    loop_shared,
+                    loop_shutdown,
+                );
+            })
+            .map_err(|e| LabelError::Train {
+                reason: format!("retrainer thread spawn failed: {e}"),
+            })?;
+        Ok(Retrainer {
+            shutdown,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The shareable status handle.
+    pub fn shared(&self) -> Arc<RetrainShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Signals the loop and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Retrainer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Deterministic per-round seed.
+fn round_seed(base_seed: u64, round: u64) -> u64 {
+    base_seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn run_loop(
+    store: Arc<LabelStore>,
+    base: RetrainBase,
+    config: RetrainConfig,
+    recorder: Recorder,
+    mut publish: Box<dyn PublishSink>,
+    shared: Arc<RetrainShared>,
+    shutdown: Arc<AtomicBool>,
+) {
+    if let Err(e) = recover(&store, &base, &config, &recorder, &mut publish, &shared) {
+        shared.update(|s| s.last_error = Some(e.to_string()));
+        recorder.note(format!("retrain recovery failed: {e}"));
+    }
+    while !shutdown.load(Ordering::SeqCst) {
+        match run_if_due(&store, &base, &config, &recorder, &mut publish, &shared) {
+            Ok(ran) => {
+                if !ran {
+                    sleep_interruptibly(&shutdown, config.poll_interval);
+                }
+            }
+            Err(e) => {
+                shared.update(|s| {
+                    s.in_progress = false;
+                    s.last_error = Some(e.to_string());
+                });
+                recorder.note(format!("retrain round failed: {e}"));
+                sleep_interruptibly(&shutdown, config.poll_interval);
+            }
+        }
+    }
+}
+
+fn sleep_interruptibly(shutdown: &AtomicBool, total: Duration) {
+    let slice = Duration::from_millis(10);
+    let mut slept = Duration::ZERO;
+    while slept < total && !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(slice.min(total - slept));
+        slept += slice;
+    }
+}
+
+/// Finishes an interrupted round left behind by a crash, if any.
+fn recover(
+    store: &LabelStore,
+    base: &RetrainBase,
+    config: &RetrainConfig,
+    recorder: &Recorder,
+    publish: &mut Box<dyn PublishSink>,
+    shared: &RetrainShared,
+) -> Result<()> {
+    let Some(manifest) = read_manifest(&config.manifest_path)? else {
+        return Ok(());
+    };
+    if manifest.complete {
+        shared.update(|s| {
+            s.rounds_completed = manifest.round;
+            s.last_folded_seq = manifest.folded_seq;
+        });
+        return Ok(());
+    }
+    // Interrupted mid-round: rebuild the exact fold from the WAL (read-only,
+    // filtered to the manifest's sequence) and finish the round.
+    let tracker = store.replay_up_to(manifest.folded_seq)?;
+    let folded = tracker.fold_into(&base.annotations, store.config().max_workers)?;
+    let votes = tracker.vote_cells();
+    // A usable snapshot lets the round resume bitwise-identically; without
+    // one the round reruns in full with the manifest's seed — same output
+    // either way.
+    let state = TrainState::load(&config.state_path).ok();
+    shared.update(|s| {
+        s.rounds_completed = manifest.round.saturating_sub(1);
+        s.in_progress = true;
+    });
+    let outcome = run_round(base, config, recorder, publish, &manifest, folded, state);
+    finish_round(config, recorder, shared, &manifest, votes, outcome)
+}
+
+/// Runs one round if enough votes accumulated. Returns whether it ran.
+fn run_if_due(
+    store: &LabelStore,
+    base: &RetrainBase,
+    config: &RetrainConfig,
+    recorder: &Recorder,
+    publish: &mut Box<dyn PublishSink>,
+    shared: &RetrainShared,
+) -> Result<bool> {
+    let status = shared.status();
+    let high_water = store.high_water();
+    if high_water.saturating_sub(status.last_folded_seq) < config.min_new_votes {
+        return Ok(false);
+    }
+    let (folded, folded_seq, votes) = store.fold_current(&base.annotations)?;
+    let manifest = RetrainManifest {
+        schema: MANIFEST_SCHEMA.to_string(),
+        round: status.rounds_completed + 1,
+        folded_seq,
+        seed: round_seed(config.base_seed, status.rounds_completed + 1),
+        complete: false,
+    };
+    write_manifest(&config.manifest_path, &manifest)?;
+    shared.update(|s| s.in_progress = true);
+    let outcome = run_round(base, config, recorder, publish, &manifest, folded, None);
+    finish_round(config, recorder, shared, &manifest, votes, outcome)?;
+    store.publish_gauges()?;
+    Ok(true)
+}
+
+/// Trains, evaluates, and publishes one round. Returns
+/// `(accuracy, resumed, wall_secs)`.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    base: &RetrainBase,
+    config: &RetrainConfig,
+    recorder: &Recorder,
+    publish: &mut Box<dyn PublishSink>,
+    manifest: &RetrainManifest,
+    folded: AnnotationMatrix,
+    state: Option<TrainState>,
+) -> Result<(f64, bool, f64)> {
+    let clock = Stopwatch::start();
+    let policy = CheckpointPolicy::every(&config.state_path, config.snapshot_every_epochs)
+        .map_err(|e| LabelError::Train {
+            reason: e.to_string(),
+        })?;
+    let mut pipeline = RllPipeline::new(config.train.clone())
+        .with_recorder(recorder.clone())
+        .with_checkpoint_policy(policy);
+    if let Some(threads) = config.threads {
+        pipeline = pipeline.with_threads(threads);
+    }
+    let resumed = state.is_some();
+    let fit_result = match state {
+        Some(state) => pipeline.resume_fit(&base.features, &folded, state),
+        None => pipeline.fit(&base.features, &folded, manifest.seed),
+    };
+    fit_result.map_err(|e| LabelError::Train {
+        reason: format!("round {}: {e}", manifest.round),
+    })?;
+
+    let accuracy = match &base.expert_labels {
+        Some(expert) => {
+            let predictions = pipeline
+                .predict(&base.features)
+                .map_err(|e| LabelError::Train {
+                    reason: format!("round {} eval: {e}", manifest.round),
+                })?;
+            score_predictions(&predictions, expert)
+                .map_err(|e| LabelError::Train {
+                    reason: format!("round {} eval: {e}", manifest.round),
+                })?
+                .accuracy
+        }
+        None => -1.0,
+    };
+
+    publish
+        .publish(&pipeline, manifest.round)
+        .map_err(|reason| LabelError::Publish { reason })?;
+    Ok((accuracy, resumed, clock.elapsed_secs()))
+}
+
+/// Marks the manifest complete, updates status, emits the round event.
+fn finish_round(
+    config: &RetrainConfig,
+    recorder: &Recorder,
+    shared: &RetrainShared,
+    manifest: &RetrainManifest,
+    votes: u64,
+    outcome: Result<(f64, bool, f64)>,
+) -> Result<()> {
+    let (accuracy, resumed, wall_secs) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            shared.update(|s| s.in_progress = false);
+            return Err(e);
+        }
+    };
+    let completed = RetrainManifest {
+        complete: true,
+        ..manifest.clone()
+    };
+    write_manifest(&config.manifest_path, &completed)?;
+    shared.update(|s| {
+        s.rounds_completed = manifest.round;
+        s.last_folded_seq = manifest.folded_seq;
+        s.votes_last_round = votes;
+        s.last_accuracy = accuracy;
+        s.in_progress = false;
+        s.last_error = None;
+    });
+    recorder.emit(EventKind::RetrainRound(RetrainRoundStats {
+        round: manifest.round,
+        folded_seq: manifest.folded_seq,
+        votes_folded: votes,
+        resumed,
+        epochs: config.train.epochs,
+        accuracy,
+        wall_secs,
+    }));
+    let metrics = recorder.metrics();
+    metrics.counter("label.retrain.rounds").inc();
+    metrics
+        .gauge("label.retrain.folded_seq")
+        .set(manifest.folded_seq as f64);
+    if accuracy.is_finite() && accuracy >= 0.0 {
+        metrics.gauge("label.retrain.accuracy").set(accuracy);
+    }
+    Ok(())
+}
+
+/// Reads the manifest, or `None` when it does not exist yet.
+pub fn read_manifest(path: &std::path::Path) -> Result<Option<RetrainManifest>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(LabelError::io(path, "read", e)),
+    };
+    let manifest: RetrainManifest =
+        serde_json::from_str(&text).map_err(|e| LabelError::Corrupt {
+            reason: format!("unparseable retrain manifest {}: {e}", path.display()),
+        })?;
+    if manifest.schema != MANIFEST_SCHEMA {
+        return Err(LabelError::Corrupt {
+            reason: format!(
+                "retrain manifest {} has schema {:?}, expected {MANIFEST_SCHEMA:?}",
+                path.display(),
+                manifest.schema
+            ),
+        });
+    }
+    Ok(Some(manifest))
+}
+
+/// Atomically writes the manifest.
+pub fn write_manifest(path: &std::path::Path, manifest: &RetrainManifest) -> Result<()> {
+    let json = serde_json::to_string(manifest).map_err(|e| LabelError::Corrupt {
+        reason: format!("manifest serialization failed: {e}"),
+    })?;
+    rll_core::snapshot::atomic_write(path, json.as_bytes())
+        .map_err(|e| LabelError::io(path, "write", e))
+}

@@ -1,0 +1,251 @@
+//! The live label store: WAL + tracker behind the workspace lock ladder.
+//!
+//! Two locks, both above the serving ladder (`workers(10) < model(20) <
+//! queue(30) < cache(40) < train_run_id(50)`):
+//!
+//! - `wal` (rank **60**) serializes appends and sequence assignment. The
+//!   fsync deliberately happens under it — the WAL is the one place where
+//!   I/O under a lock is the point (single-writer durability), which is why
+//!   `crates/label` is scoped into `lock-order-cycle` but not
+//!   `no-lock-held-io` (see lint.toml).
+//! - `votes` (rank **70**) guards the in-memory confidence tracker.
+//!
+//! [`LabelStore::ingest`] takes them strictly in rank order and never
+//! nested: append (wal) → ack durable → apply (votes) → respond. A crash
+//! between the two steps loses only in-memory state the WAL replays on
+//! restart, so the acked confidence state is always reproducible.
+
+use std::path::PathBuf;
+
+use rll_crowd::{AnnotationMatrix, ConfidenceEstimator};
+use rll_obs::{EventKind, Recorder, Stopwatch, WalReplayStats};
+use rll_par::OrderedMutex;
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::{ConfidenceTracker, ExampleConfidence, LabelsSnapshot};
+use crate::error::{LabelError, Result};
+use crate::wal::{replay_read_only, ShardedWal, Vote, WalConfig, WalReplay};
+
+/// Shape and policy of a label store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelStoreConfig {
+    /// WAL directory.
+    pub dir: PathBuf,
+    /// WAL shard count.
+    pub shards: u32,
+    /// Records per segment before rotation.
+    pub segment_records: u64,
+    /// Confidence estimator (must match across restarts for byte-identical
+    /// snapshots).
+    pub estimator: ConfidenceEstimator,
+    /// Dataset size; votes must target `example < num_examples`.
+    pub num_examples: u64,
+    /// Live-annotator budget; votes must carry `worker < max_workers`.
+    pub max_workers: u32,
+}
+
+impl LabelStoreConfig {
+    fn wal_config(&self) -> WalConfig {
+        WalConfig {
+            dir: self.dir.clone(),
+            shards: self.shards,
+            segment_records: self.segment_records,
+        }
+    }
+}
+
+/// What `POST /label` returns: the durable sequence number plus the
+/// example's updated confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestReceipt {
+    /// Durable global sequence number of this vote.
+    pub seq: u64,
+    pub example: u64,
+    pub worker: u32,
+    pub label: u8,
+    /// Votes currently on the example (after this one).
+    pub votes: u64,
+    /// Positive votes currently on the example.
+    pub positive: u64,
+    /// Updated confidence δ.
+    pub confidence: f64,
+}
+
+/// Streaming vote store: sharded WAL + online confidence tracker.
+#[derive(Debug)]
+pub struct LabelStore {
+    config: LabelStoreConfig,
+    wal: OrderedMutex<ShardedWal>,
+    votes: OrderedMutex<ConfidenceTracker>,
+    recorder: Recorder,
+}
+
+impl LabelStore {
+    /// Opens the store, replaying (and repairing) the WAL into a fresh
+    /// tracker. Emits a `WalReplayed` event and seeds the label metrics.
+    pub fn open(config: LabelStoreConfig, recorder: Recorder) -> Result<LabelStore> {
+        if config.num_examples == 0 {
+            return Err(LabelError::InvalidConfig {
+                reason: "label store needs num_examples >= 1".into(),
+            });
+        }
+        if config.max_workers == 0 {
+            return Err(LabelError::InvalidConfig {
+                reason: "label store needs max_workers >= 1".into(),
+            });
+        }
+        let clock = Stopwatch::start();
+        let (wal, replay) = ShardedWal::open(config.wal_config())?;
+        let mut tracker = ConfidenceTracker::new(config.estimator)?;
+        for record in &replay.records {
+            tracker.apply(record)?;
+        }
+        recorder.emit(EventKind::WalReplayed(WalReplayStats {
+            shards: config.shards,
+            segments: replay.segments_read,
+            records: replay.records.len() as u64,
+            corruptions: replay.corruptions.len() as u64,
+            dropped_records: replay.dropped_records,
+            high_water_seq: replay.high_water,
+            wall_secs: clock.elapsed_secs(),
+        }));
+        let metrics = recorder.metrics();
+        metrics
+            .counter("label.wal.replayed_records")
+            .add(replay.records.len() as u64);
+        metrics
+            .counter("label.wal.corruptions")
+            .add(replay.corruptions.len() as u64);
+        metrics
+            .counter("label.wal.dropped_records")
+            .add(replay.dropped_records);
+        let store = LabelStore {
+            wal: OrderedMutex::new("wal", 60, wal),
+            votes: OrderedMutex::new("votes", 70, tracker),
+            config,
+            recorder,
+        };
+        store.publish_gauges()?;
+        Ok(store)
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &LabelStoreConfig {
+        &self.config
+    }
+
+    /// Validates and durably ingests one vote: WAL append + fsync first,
+    /// tracker update second, so the response's `seq` is always replayable.
+    pub fn ingest(&self, vote: Vote) -> Result<IngestReceipt> {
+        if vote.example >= self.config.num_examples {
+            self.recorder
+                .metrics()
+                .counter("label.votes.rejected")
+                .inc();
+            return Err(LabelError::InvalidVote {
+                reason: format!(
+                    "example {} outside the {}-item dataset",
+                    vote.example, self.config.num_examples
+                ),
+            });
+        }
+        if vote.worker >= self.config.max_workers {
+            self.recorder
+                .metrics()
+                .counter("label.votes.rejected")
+                .inc();
+            return Err(LabelError::InvalidVote {
+                reason: format!(
+                    "worker {} outside the {}-worker budget",
+                    vote.worker, self.config.max_workers
+                ),
+            });
+        }
+        if vote.label > 1 {
+            self.recorder
+                .metrics()
+                .counter("label.votes.rejected")
+                .inc();
+            return Err(LabelError::InvalidVote {
+                reason: format!("label {} is not binary", vote.label),
+            });
+        }
+        let record = self.wal.lock().append(vote)?;
+        let conf = self.votes.lock().apply(&record)?;
+        let metrics = self.recorder.metrics();
+        metrics.counter("label.votes.ingested").inc();
+        metrics
+            .gauge("label.votes.high_water")
+            .set(record.seq as f64);
+        if conf.confidence.is_finite() {
+            metrics.gauge("label.confidence.last").set(conf.confidence);
+        }
+        Ok(IngestReceipt {
+            seq: record.seq,
+            example: record.example,
+            worker: record.worker,
+            label: record.label,
+            votes: conf.votes,
+            positive: conf.positive,
+            confidence: conf.confidence,
+        })
+    }
+
+    /// One example's current confidence, or `None` if it has no votes.
+    pub fn confidence(&self, example: u64) -> Result<Option<ExampleConfidence>> {
+        self.votes.lock().confidence(example)
+    }
+
+    /// Deterministic snapshot of every voted example (the `GET /labels`
+    /// body).
+    pub fn snapshot(&self) -> Result<LabelsSnapshot> {
+        self.votes.lock().snapshot()
+    }
+
+    /// Largest acked sequence number.
+    pub fn high_water(&self) -> u64 {
+        self.votes.lock().applied_seq()
+    }
+
+    /// Folds the current live votes into a copy of `base` for a retrain
+    /// round. Returns the folded matrix, the high-water sequence it
+    /// reflects, and the vote-cell count.
+    pub fn fold_current(&self, base: &AnnotationMatrix) -> Result<(AnnotationMatrix, u64, u64)> {
+        let tracker = self.votes.lock();
+        let folded = tracker.fold_into(base, self.config.max_workers)?;
+        Ok((folded, tracker.applied_seq(), tracker.vote_cells()))
+    }
+
+    /// Rebuilds a tracker from disk containing only votes with
+    /// `seq <= up_to_seq` — the crash-recovery path for an interrupted
+    /// retrain round. Read-only: safe while appends continue, because
+    /// records at or below an acked high-water mark are immutable.
+    pub fn replay_up_to(&self, up_to_seq: u64) -> Result<ConfidenceTracker> {
+        let replay: WalReplay = replay_read_only(&self.config.wal_config())?;
+        let mut tracker = ConfidenceTracker::new(self.config.estimator)?;
+        for record in &replay.records {
+            if record.seq <= up_to_seq {
+                tracker.apply(record)?;
+            }
+        }
+        Ok(tracker)
+    }
+
+    /// Refreshes the aggregate label gauges (vote cells, voted examples,
+    /// mean confidence — the NaN-free path `/metrics` serves).
+    pub fn publish_gauges(&self) -> Result<()> {
+        let tracker = self.votes.lock();
+        let mean = tracker.mean_confidence()?;
+        let metrics = self.recorder.metrics();
+        metrics
+            .gauge("label.votes.cells")
+            .set(tracker.vote_cells() as f64);
+        metrics
+            .gauge("label.examples.voted")
+            .set(tracker.examples_voted() as f64);
+        if mean.is_finite() {
+            metrics.gauge("label.confidence.mean").set(mean);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,284 @@
+//! End-to-end tests of the incremental retrain loop: vote-triggered rounds,
+//! manifest lifecycle, and crash recovery of an interrupted round.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rll_core::{RllConfig, RllPipeline, RllVariant};
+use rll_crowd::{AnnotationMatrix, ConfidenceEstimator};
+use rll_label::{
+    read_manifest, write_manifest, LabelStore, LabelStoreConfig, PublishSink, RetrainBase,
+    RetrainConfig, RetrainManifest, Retrainer, Vote, MANIFEST_SCHEMA,
+};
+use rll_obs::Recorder;
+use rll_tensor::{Matrix, Rng64};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rll_retrain_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tiny separable dataset: 40 examples, 2 features, 3 offline workers.
+fn tiny_base(seed: u64) -> (RetrainBase, Vec<u8>) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    let mut truth = Vec::new();
+    for _ in 0..40 {
+        let l = u8::from(rng.bernoulli(0.5));
+        let c = if l == 1 { 1.0 } else { -1.0 };
+        rows.push(vec![
+            rng.normal(c, 0.4).unwrap(),
+            rng.normal(-c, 0.4).unwrap(),
+        ]);
+        truth.push(l);
+    }
+    let features = Matrix::from_rows(&rows).unwrap();
+    let mut annotations = AnnotationMatrix::new(40, 3, 2).unwrap();
+    for (i, &t) in truth.iter().enumerate() {
+        for w in 0..3 {
+            // Mostly honest offline votes with a deterministic error sprinkle.
+            let label = if (i + w) % 7 == 0 { 1 - t } else { t };
+            annotations.set(i, w, label).unwrap();
+        }
+    }
+    (
+        RetrainBase {
+            features,
+            annotations,
+            expert_labels: Some(truth.clone()),
+        },
+        truth,
+    )
+}
+
+fn tiny_train_config() -> RllConfig {
+    RllConfig {
+        variant: RllVariant::Bayesian,
+        epochs: 4,
+        groups_per_epoch: 16,
+        hidden_dims: vec![8],
+        embedding_dim: 4,
+        ..RllConfig::default()
+    }
+}
+
+fn store_config(dir: &Path) -> LabelStoreConfig {
+    LabelStoreConfig {
+        dir: dir.join("wal"),
+        shards: 2,
+        segment_records: 16,
+        estimator: ConfidenceEstimator::Mle,
+        num_examples: 40,
+        max_workers: 4,
+    }
+}
+
+fn retrain_config(dir: &Path, min_new_votes: u64) -> RetrainConfig {
+    RetrainConfig {
+        train: tiny_train_config(),
+        base_seed: 11,
+        min_new_votes,
+        poll_interval: Duration::from_millis(20),
+        state_path: dir.join("retrain.rllstate"),
+        manifest_path: dir.join("retrain.manifest.json"),
+        snapshot_every_epochs: 1,
+        threads: Some(1),
+    }
+}
+
+/// Publish sink that counts rounds and remembers the last one.
+struct CountingSink {
+    rounds: Arc<AtomicU64>,
+}
+
+impl PublishSink for CountingSink {
+    fn publish(&mut self, pipeline: &RllPipeline, round: u64) -> Result<(), String> {
+        // The pipeline must be fitted — prove it by asking for the model.
+        if pipeline.model().is_none() {
+            return Err("unfitted pipeline published".to_string());
+        }
+        self.rounds.store(round, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+fn wait_for_rounds(retrainer: &Retrainer, want: u64, timeout: Duration) -> bool {
+    let shared = retrainer.shared();
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if shared.status().rounds_completed >= want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+#[test]
+fn votes_trigger_a_round_and_complete_the_manifest() {
+    let dir = fresh_dir("trigger");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (base, truth) = tiny_base(3);
+    // 10 live votes from one honest live annotator.
+    for i in 0..10u64 {
+        store
+            .ingest(Vote {
+                example: i,
+                worker: 0,
+                label: truth[i as usize],
+            })
+            .unwrap();
+    }
+    let config = retrain_config(&dir, 10);
+    let mut retrainer = Retrainer::start(
+        Arc::clone(&store),
+        base,
+        config.clone(),
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::new(AtomicU64::new(0)),
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_for_rounds(&retrainer, 1, Duration::from_secs(60)),
+        "retrain round never completed"
+    );
+    let status = retrainer.shared().status();
+    assert_eq!(status.rounds_completed, 1);
+    assert_eq!(status.last_folded_seq, 10);
+    assert_eq!(status.votes_last_round, 10);
+    assert!(status.last_accuracy >= 0.0 && status.last_accuracy <= 1.0);
+    assert!(status.last_error.is_none());
+    let manifest = read_manifest(&config.manifest_path).unwrap().unwrap();
+    assert!(manifest.complete);
+    assert_eq!(manifest.round, 1);
+    assert_eq!(manifest.folded_seq, 10);
+    // The checkpoint cadence left a resumable state file behind.
+    assert!(config.state_path.exists());
+    retrainer.stop();
+    // No second round without new votes.
+    assert_eq!(retrainer.shared().status().rounds_completed, 1);
+}
+
+#[test]
+fn interrupted_round_is_recovered_on_start() {
+    let dir = fresh_dir("recover");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (base, truth) = tiny_base(5);
+    for i in 0..12u64 {
+        store
+            .ingest(Vote {
+                example: i,
+                worker: (i % 2) as u32,
+                label: truth[i as usize],
+            })
+            .unwrap();
+    }
+    // Simulate a crash mid-round: the manifest was written (incomplete) but
+    // the process died before training finished. min_new_votes is set higher
+    // than the backlog so only the recovery path can produce a round.
+    let config = retrain_config(&dir, 1000);
+    write_manifest(
+        &config.manifest_path,
+        &RetrainManifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            round: 1,
+            folded_seq: 12,
+            seed: 99,
+            complete: false,
+        },
+    )
+    .unwrap();
+
+    let rounds = Arc::new(AtomicU64::new(0));
+    let mut retrainer = Retrainer::start(
+        Arc::clone(&store),
+        base,
+        config.clone(),
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::clone(&rounds),
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_for_rounds(&retrainer, 1, Duration::from_secs(60)),
+        "recovery round never completed"
+    );
+    retrainer.stop();
+    let status = retrainer.shared().status();
+    assert_eq!(status.rounds_completed, 1);
+    assert_eq!(status.last_folded_seq, 12);
+    assert_eq!(rounds.load(Ordering::SeqCst), 1, "publish ran exactly once");
+    let manifest = read_manifest(&config.manifest_path).unwrap().unwrap();
+    assert!(manifest.complete);
+    assert_eq!(manifest.seed, 99, "recovery keeps the manifest's seed");
+}
+
+#[test]
+fn completed_manifest_is_not_rerun() {
+    let dir = fresh_dir("norerun");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (base, _) = tiny_base(7);
+    let config = retrain_config(&dir, 1000);
+    write_manifest(
+        &config.manifest_path,
+        &RetrainManifest {
+            schema: MANIFEST_SCHEMA.to_string(),
+            round: 3,
+            folded_seq: 44,
+            seed: 5,
+            complete: true,
+        },
+    )
+    .unwrap();
+    let rounds = Arc::new(AtomicU64::new(0));
+    let mut retrainer = Retrainer::start(
+        store,
+        base,
+        config,
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::clone(&rounds),
+        }),
+    )
+    .unwrap();
+    // Give the loop a few polls to (wrongly) start something.
+    std::thread::sleep(Duration::from_millis(200));
+    retrainer.stop();
+    let status = retrainer.shared().status();
+    assert_eq!(
+        status.rounds_completed, 3,
+        "status seeded from the manifest"
+    );
+    assert_eq!(status.last_folded_seq, 44);
+    assert_eq!(
+        rounds.load(Ordering::SeqCst),
+        0,
+        "no publish without new votes"
+    );
+}
+
+#[test]
+fn start_rejects_mismatched_base() {
+    let dir = fresh_dir("badbase");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (mut base, _) = tiny_base(9);
+    base.expert_labels = Some(vec![0; 7]);
+    let err = Retrainer::start(
+        store,
+        base,
+        retrain_config(&dir, 10),
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::new(AtomicU64::new(0)),
+        }),
+    );
+    assert!(err.is_err());
+}

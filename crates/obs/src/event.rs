@@ -48,6 +48,10 @@ pub enum EventKind {
     Trace(TraceRecord),
     /// One epoch's aggregated profiler frame tree.
     EpochProfile(EpochProfileStats),
+    /// A label WAL was replayed (startup recovery or retrain re-read).
+    WalReplayed(WalReplayStats),
+    /// One incremental retrain round finished (vote fold → fit → publish).
+    RetrainRound(RetrainRoundStats),
     /// Free-form progress note.
     Note(String),
     /// A rendered results table (kept as text for human replay).
@@ -158,6 +162,46 @@ pub struct ResumeStats {
     pub total_epochs: usize,
     /// Seed of the original run (resume continues its RNG stream).
     pub seed: u64,
+}
+
+/// Emitted after a label WAL replay (see `rll-label`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalReplayStats {
+    /// Shard directories scanned.
+    pub shards: u32,
+    /// Segment files read across all shards.
+    pub segments: u64,
+    /// Vote records recovered.
+    pub records: u64,
+    /// Corruptions encountered (each truncates its shard at the bad record).
+    pub corruptions: u64,
+    /// Records dropped past the first bad record, summed over shards.
+    pub dropped_records: u64,
+    /// Highest vote sequence number recovered (0 when the WAL is empty).
+    pub high_water_seq: u64,
+    /// Wall time of the replay in seconds.
+    pub wall_secs: f64,
+}
+
+/// Emitted after each incremental retrain round (see `rll-label`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainRoundStats {
+    /// 1-based retrain round counter.
+    pub round: u64,
+    /// WAL high-water sequence folded into this round's dataset.
+    pub folded_seq: u64,
+    /// Crowd votes folded into the annotation matrix.
+    pub votes_folded: u64,
+    /// Whether the round resumed from a `.rllstate` snapshot (crash
+    /// recovery) instead of training fresh.
+    pub resumed: bool,
+    /// Epochs trained this round.
+    pub epochs: usize,
+    /// Eval accuracy of the retrained model against expert labels, or `-1`
+    /// when no eval labels were configured.
+    pub accuracy: f64,
+    /// Wall time of the round (fold + fit + publish) in seconds.
+    pub wall_secs: f64,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

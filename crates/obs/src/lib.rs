@@ -44,7 +44,8 @@ pub mod trace;
 pub use clock::Stopwatch;
 pub use event::{
     CheckpointStats, ConfidenceStats, DistSummary, EpochStats, Event, EventKind, FoldStats,
-    MethodStats, ResumeStats, RunInfo, RunSummary, SamplerStats, TableText,
+    MethodStats, ResumeStats, RetrainRoundStats, RunInfo, RunSummary, SamplerStats, TableText,
+    WalReplayStats,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,

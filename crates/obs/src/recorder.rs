@@ -164,6 +164,8 @@ fn kind_counter(kind: &EventKind) -> &'static str {
         EventKind::ResumeFrom(_) => "events.resume_from",
         EventKind::Trace(_) => "events.trace",
         EventKind::EpochProfile(_) => "events.epoch_profile",
+        EventKind::WalReplayed(_) => "events.wal_replayed",
+        EventKind::RetrainRound(_) => "events.retrain_round",
         EventKind::Note(_) => "events.note",
         EventKind::Table(_) => "events.table",
         EventKind::RunEnd(_) => "events.run_end",

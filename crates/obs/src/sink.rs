@@ -148,6 +148,34 @@ impl Sink for StdoutSink {
                     p.root.children.len(),
                 );
             }
+            EventKind::WalReplayed(w) => {
+                println!(
+                    "[{:>9.3}s] wal replay: {} records over {} segments / {} shards \
+                     (hw seq {}, {} corruptions, {} dropped, {:.3}s)",
+                    event.elapsed_secs,
+                    w.records,
+                    w.segments,
+                    w.shards,
+                    w.high_water_seq,
+                    w.corruptions,
+                    w.dropped_records,
+                    w.wall_secs,
+                );
+            }
+            EventKind::RetrainRound(r) => {
+                println!(
+                    "[{:>9.3}s] retrain round {}: folded {} votes (seq {}), {} epochs{}, \
+                     accuracy {:.4} ({:.2}s)",
+                    event.elapsed_secs,
+                    r.round,
+                    r.votes_folded,
+                    r.folded_seq,
+                    r.epochs,
+                    if r.resumed { " [resumed]" } else { "" },
+                    r.accuracy,
+                    r.wall_secs,
+                );
+            }
             EventKind::Note(text) => {
                 println!("[{:>9.3}s] {text}", event.elapsed_secs);
             }

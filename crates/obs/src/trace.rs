@@ -68,6 +68,12 @@ pub enum Phase {
     Forward,
     /// Served from the LRU cache; replaces the queue/batch/forward phases.
     CacheHit,
+    /// Validating a crowd vote and appending it to the label WAL.
+    Ingest,
+    /// Replaying (or re-reading) label WAL segments from disk.
+    WalReplay,
+    /// An incremental retrain round folding WAL votes into the dataset.
+    Retrain,
     /// Encoding the response body and writing it to the socket.
     Serialize,
 }
@@ -81,19 +87,27 @@ impl Phase {
             Phase::BatchAssembly => "batch_assembly",
             Phase::Forward => "forward",
             Phase::CacheHit => "cache_hit",
+            Phase::Ingest => "ingest",
+            Phase::WalReplay => "wal_replay",
+            Phase::Retrain => "retrain",
             Phase::Serialize => "serialize",
         }
     }
 
     /// Every phase, in lifecycle order (the order a cache-missing request
-    /// passes through them; `cache_hit` short-circuits the middle four).
-    pub fn all() -> [Phase; 6] {
+    /// passes through them; `cache_hit` short-circuits the middle four, and
+    /// the label-path phases only appear on `/label` requests or retrain
+    /// round traces).
+    pub fn all() -> [Phase; 9] {
         [
             Phase::Parse,
             Phase::QueueWait,
             Phase::BatchAssembly,
             Phase::Forward,
             Phase::CacheHit,
+            Phase::Ingest,
+            Phase::WalReplay,
+            Phase::Retrain,
             Phase::Serialize,
         ]
     }
@@ -325,6 +339,9 @@ mod tests {
                 "batch_assembly",
                 "forward",
                 "cache_hit",
+                "ingest",
+                "wal_replay",
+                "retrain",
                 "serialize"
             ]
         );

@@ -3,6 +3,10 @@
 //! ```text
 //! loadgen --addr HOST:PORT [--requests N] [--concurrency C] [--seed S]
 //!         [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH]
+//!         [--labels] [--label-frac F] [--label-preset oral|class]
+//!         [--label-n N] [--label-seed S] [--label-workers N] [--label-flip F]
+//!         [--churn-every N] [--expect-reloads N] [--reload-wait SECS]
+//!         [--labels-out PATH] [--strict]
 //! ```
 //!
 //! Workers hold keep-alive connections and issue a mixed `/embed` + `/score`
@@ -14,8 +18,23 @@
 //! (default `results/serve_bench.json`) — the schema is documented in
 //! EXPERIMENTS.md and pinned by the `schema` field.
 //!
-//! Exit status: non-zero when no request succeeded (used by the CI smoke
-//! test) or when the server is unreachable.
+//! `--labels` turns the run into a **live-labeling soak**: a `--label-frac`
+//! slice of each worker's requests becomes `POST /label` votes, interleaved
+//! with the embed/score reads on the same keep-alive connections, and every
+//! `--churn-every` requests the worker drops its connection and reconnects
+//! (exercising accept-path churn during ingestion). Votes are *truthful with
+//! noise*: the generator regenerates the server's `--live-preset` dataset
+//! from `--label-preset`/`--label-n`/`--label-seed` and votes each example's
+//! expert label, flipped with probability `--label-flip` — so a server
+//! running the retrain loop genuinely learns from the stream. After the load,
+//! the generator polls `/metrics` (up to `--reload-wait` seconds) until it
+//! has seen `--expect-reloads` hot swaps, then writes a `label_soak/v1`
+//! summary to `--labels-out`. `--strict` fails the run on ANY dropped or
+//! failed request — the zero-drop bar the CI soak gate holds the loop to.
+//!
+//! Exit status: non-zero when no request succeeded, when the server is
+//! unreachable, when `--strict` saw a failure, or when `--expect-reloads`
+//! was not reached in time.
 
 use rll_obs::Stopwatch;
 use rll_serve::http;
@@ -36,10 +55,25 @@ struct Args {
     repeat_frac: f64,
     score_frac: f64,
     out: String,
+    labels: bool,
+    label_frac: f64,
+    label_preset: String,
+    label_n: usize,
+    label_seed: u64,
+    label_workers: u32,
+    label_flip: f64,
+    churn_every: usize,
+    expect_reloads: u64,
+    reload_wait_secs: u64,
+    labels_out: String,
+    strict: bool,
 }
 
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
-[--seed S] [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH]";
+[--seed S] [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH] \
+[--labels] [--label-frac F] [--label-preset oral|class] [--label-n N] [--label-seed S] \
+[--label-workers N] [--label-flip F] [--churn-every N] [--expect-reloads N] \
+[--reload-wait SECS] [--labels-out PATH] [--strict]";
 
 #[derive(Debug, Serialize, Deserialize)]
 struct LatencySummary {
@@ -75,6 +109,34 @@ struct BatchSummary {
     batches: u64,
     mean_size: f64,
     max_size: f64,
+}
+
+/// The `results/label_soak.json` artifact (`--labels` mode), version-pinned
+/// by `schema`. `zero_dropped` is the soak gate's headline bit: every read
+/// and every vote got a well-formed success response, across connection
+/// churn and any hot swaps that happened mid-run.
+#[derive(Debug, Serialize, Deserialize)]
+struct LabelSoakSummary {
+    schema: String,
+    addr: String,
+    seed: u64,
+    votes_sent: usize,
+    votes_acked: usize,
+    vote_failures: usize,
+    reads_sent: usize,
+    reads_succeeded: usize,
+    read_failures: usize,
+    reconnects: usize,
+    zero_dropped: bool,
+    /// Largest durable vote sequence the server reported after the run.
+    high_water_seq: u64,
+    /// `serve.model.reloads` observed after waiting.
+    reloads_observed: u64,
+    /// `label.retrain.rounds` observed after waiting.
+    retrain_rounds: u64,
+    /// Last `label.retrain.accuracy` gauge (−1 when no round evaluated).
+    retrain_accuracy: f64,
+    wall_secs: f64,
 }
 
 /// The `results/serve_bench.json` artifact, version-pinned by `schema`.
@@ -142,7 +204,7 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(summary) => {
+        Ok((summary, soak)) => {
             let json = match serde_json::to_string_pretty(&summary) {
                 Ok(j) => j,
                 Err(e) => {
@@ -151,17 +213,44 @@ fn main() -> ExitCode {
                 }
             };
             println!("{json}");
-            if let Some(parent) = std::path::Path::new(&args.out).parent() {
-                if !parent.as_os_str().is_empty() {
-                    let _ = std::fs::create_dir_all(parent);
-                }
-            }
-            if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
-                eprintln!("loadgen: cannot write {}: {e}", args.out);
+            if let Err(e) = write_artifact(&args.out, &json) {
+                eprintln!("loadgen: {e}");
                 return ExitCode::FAILURE;
             }
             if summary.succeeded == 0 {
                 eprintln!("loadgen: no request succeeded");
+                return ExitCode::FAILURE;
+            }
+            if let Some(soak) = soak {
+                let soak_json = match serde_json::to_string_pretty(&soak) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("loadgen: cannot serialize soak summary: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("{soak_json}");
+                if let Err(e) = write_artifact(&args.labels_out, &soak_json) {
+                    eprintln!("loadgen: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if args.strict && !soak.zero_dropped {
+                    eprintln!(
+                        "loadgen: --strict and requests were dropped ({} votes, {} reads)",
+                        soak.vote_failures, soak.read_failures
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if soak.reloads_observed < args.expect_reloads {
+                    eprintln!(
+                        "loadgen: expected {} hot reloads, observed {}",
+                        args.expect_reloads, soak.reloads_observed
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            if args.strict && summary.failed > 0 {
+                eprintln!("loadgen: --strict and {} requests failed", summary.failed);
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
@@ -171,6 +260,15 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn write_artifact(path: &str, json: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(path, format!("{json}\n")).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn parse(args: &[String]) -> Result<Args, String> {
@@ -183,6 +281,18 @@ fn parse(args: &[String]) -> Result<Args, String> {
         repeat_frac: 0.5,
         score_frac: 0.2,
         out: "results/serve_bench.json".to_string(),
+        labels: false,
+        label_frac: 0.35,
+        label_preset: "oral".to_string(),
+        label_n: 240,
+        label_seed: 42,
+        label_workers: 4,
+        label_flip: 0.1,
+        churn_every: 0,
+        expect_reloads: 0,
+        reload_wait_secs: 90,
+        labels_out: "results/label_soak.json".to_string(),
+        strict: false,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -225,6 +335,50 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .map_err(|_| "invalid --score-frac".to_string())?
             }
             "--out" => out.out = take(args, &mut i, "--out")?,
+            "--labels" => out.labels = true,
+            "--label-frac" => {
+                out.label_frac = take(args, &mut i, "--label-frac")?
+                    .parse()
+                    .map_err(|_| "invalid --label-frac".to_string())?
+            }
+            "--label-preset" => out.label_preset = take(args, &mut i, "--label-preset")?,
+            "--label-n" => {
+                out.label_n = take(args, &mut i, "--label-n")?
+                    .parse()
+                    .map_err(|_| "invalid --label-n".to_string())?
+            }
+            "--label-seed" => {
+                out.label_seed = take(args, &mut i, "--label-seed")?
+                    .parse()
+                    .map_err(|_| "invalid --label-seed".to_string())?
+            }
+            "--label-workers" => {
+                out.label_workers = take(args, &mut i, "--label-workers")?
+                    .parse()
+                    .map_err(|_| "invalid --label-workers".to_string())?
+            }
+            "--label-flip" => {
+                out.label_flip = take(args, &mut i, "--label-flip")?
+                    .parse()
+                    .map_err(|_| "invalid --label-flip".to_string())?
+            }
+            "--churn-every" => {
+                out.churn_every = take(args, &mut i, "--churn-every")?
+                    .parse()
+                    .map_err(|_| "invalid --churn-every".to_string())?
+            }
+            "--expect-reloads" => {
+                out.expect_reloads = take(args, &mut i, "--expect-reloads")?
+                    .parse()
+                    .map_err(|_| "invalid --expect-reloads".to_string())?
+            }
+            "--reload-wait" => {
+                out.reload_wait_secs = take(args, &mut i, "--reload-wait")?
+                    .parse()
+                    .map_err(|_| "invalid --reload-wait".to_string())?
+            }
+            "--labels-out" => out.labels_out = take(args, &mut i, "--labels-out")?,
+            "--strict" => out.strict = true,
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
@@ -238,10 +392,34 @@ fn parse(args: &[String]) -> Result<Args, String> {
     if !(0.0..=1.0).contains(&out.repeat_frac) || !(0.0..=1.0).contains(&out.score_frac) {
         return Err("--repeat-frac and --score-frac must be in [0, 1]".to_string());
     }
+    if !(0.0..=1.0).contains(&out.label_frac) || !(0.0..=1.0).contains(&out.label_flip) {
+        return Err("--label-frac and --label-flip must be in [0, 1]".to_string());
+    }
+    if out.labels {
+        if out.label_n == 0 || out.label_workers == 0 {
+            return Err("--label-n and --label-workers must be positive".to_string());
+        }
+        // Churn is the point of the soak: default it on.
+        if out.churn_every == 0 {
+            out.churn_every = 25;
+        }
+    }
     Ok(out)
 }
 
-fn run(args: &Args) -> Result<BenchSummary, String> {
+/// Per-worker outcome counts.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    succeeded: usize,
+    failed: usize,
+    latencies: Vec<f64>,
+    votes_sent: usize,
+    votes_acked: usize,
+    vote_failures: usize,
+    reconnects: usize,
+}
+
+fn run(args: &Args) -> Result<(BenchSummary, Option<LabelSoakSummary>), String> {
     // Discover the model's input dimension from the server itself.
     let mut probe =
         Client::connect(&args.addr).map_err(|e| format!("cannot connect to {}: {e}", args.addr))?;
@@ -253,6 +431,20 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
     }
     let health: HealthResponse = parse_body(&health.body)?;
     let dim = health.input_dim;
+
+    // Truthful vote stream: the same preset the live server folds and
+    // retrains on, so the soak's votes carry real signal.
+    let truth: std::sync::Arc<Vec<u8>> = std::sync::Arc::new(if args.labels {
+        let ds = match args.label_preset.as_str() {
+            "oral" => rll_data::presets::oral_scaled(args.label_n, args.label_seed),
+            "class" => rll_data::presets::class_scaled(args.label_n, args.label_seed),
+            other => return Err(format!("unknown preset {other:?} (use oral|class)")),
+        }
+        .map_err(|e| format!("cannot generate {} preset: {e}", args.label_preset))?;
+        ds.expert_labels
+    } else {
+        Vec::new()
+    });
 
     // Seeded query pool shared by all workers: the repeated fraction of the
     // workload draws from here, which is what produces cache hits.
@@ -272,20 +464,25 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
             + usize::from(worker < args.requests % args.concurrency);
         let args = args.clone();
         let pool = pool.clone();
+        let truth = std::sync::Arc::clone(&truth);
         handles.push(std::thread::spawn(move || {
-            worker_loop(&args, worker as u64, share, dim, &pool)
+            worker_loop(&args, worker as u64, share, dim, &pool, &truth)
         }));
     }
-    let mut latencies = Vec::with_capacity(args.requests);
-    let mut succeeded = 0usize;
-    let mut failed = 0usize;
+    let mut stats = WorkerStats::default();
     for handle in handles {
-        let (ok, bad, mut lats) = handle.join().unwrap_or_else(|_| (0, 0, Vec::new()));
-        succeeded += ok;
-        failed += bad;
-        latencies.append(&mut lats);
+        let mut w = handle.join().unwrap_or_default();
+        stats.succeeded += w.succeeded;
+        stats.failed += w.failed;
+        stats.votes_sent += w.votes_sent;
+        stats.votes_acked += w.votes_acked;
+        stats.vote_failures += w.vote_failures;
+        stats.reconnects += w.reconnects;
+        stats.latencies.append(&mut w.latencies);
     }
     let wall_secs = clock.elapsed_secs();
+    let mut latencies = stats.latencies;
+    let (succeeded, failed) = (stats.succeeded, stats.failed);
 
     // Server-side counters for cache and batching behaviour.
     let metrics = probe
@@ -323,7 +520,7 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
     let busy = queue_wait_secs + compute_secs;
 
     latencies.sort_by(f64::total_cmp);
-    Ok(BenchSummary {
+    let summary = BenchSummary {
         schema: "serve_bench/v2".to_string(),
         addr: args.addr.clone(),
         seed: args.seed,
@@ -368,28 +565,139 @@ fn run(args: &Args) -> Result<BenchSummary, String> {
                 0.0
             },
         },
-    })
+    };
+
+    let soak = if args.labels {
+        // The retrain → hot-reload loop is asynchronous: keep polling
+        // /metrics until the expected number of swaps has landed (or the
+        // wait budget runs out — the caller's --expect-reloads check will
+        // then fail the run).
+        let wait = Stopwatch::start();
+        let (mut reloads, mut rounds, mut accuracy) = (0u64, 0u64, -1.0f64);
+        loop {
+            if let Some(m) = fetch_json::<rll_obs::MetricsSnapshot>(&args.addr, "/metrics") {
+                reloads = m.counters.get("serve.model.reloads").copied().unwrap_or(0);
+                rounds = m.counters.get("label.retrain.rounds").copied().unwrap_or(0);
+                accuracy = m
+                    .gauges
+                    .get("label.retrain.accuracy")
+                    .copied()
+                    .unwrap_or(-1.0);
+            }
+            if reloads >= args.expect_reloads || wait.elapsed_secs() >= args.reload_wait_secs as f64
+            {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        }
+        let high_water_seq = fetch_json::<rll_label::LabelsSnapshot>(&args.addr, "/labels")
+            .map_or(0, |s| s.high_water_seq);
+        Some(LabelSoakSummary {
+            schema: "label_soak/v1".to_string(),
+            addr: args.addr.clone(),
+            seed: args.seed,
+            votes_sent: stats.votes_sent,
+            votes_acked: stats.votes_acked,
+            vote_failures: stats.vote_failures,
+            reads_sent: succeeded + failed,
+            reads_succeeded: succeeded,
+            read_failures: failed,
+            reconnects: stats.reconnects,
+            zero_dropped: stats.vote_failures == 0 && failed == 0,
+            high_water_seq,
+            reloads_observed: reloads,
+            retrain_rounds: rounds,
+            retrain_accuracy: accuracy,
+            wall_secs: clock.elapsed_secs(),
+        })
+    } else {
+        None
+    };
+    Ok((summary, soak))
+}
+
+/// GET `path` on a fresh connection and parse the JSON body. Fresh because
+/// the soak polls across a window where the server may be mid-hot-swap and
+/// old keep-alive connections may have been idle-closed.
+fn fetch_json<T: serde::Deserialize>(addr: &str, path: &str) -> Option<T> {
+    let mut client = Client::connect(addr).ok()?;
+    let response = client.call("GET", path, None)?;
+    if response.status != 200 {
+        return None;
+    }
+    parse_body(&response.body).ok()
 }
 
 /// One worker: a keep-alive connection issuing its share of the workload.
-/// Returns `(succeeded, failed, latencies)`.
+/// In `--labels` mode a `--label-frac` slice of the share becomes votes and
+/// the connection is dropped/reopened every `--churn-every` requests.
 fn worker_loop(
     args: &Args,
     worker: u64,
     share: usize,
     dim: usize,
     pool: &[Vec<f64>],
-) -> (usize, usize, Vec<f64>) {
+    truth: &[u8],
+) -> WorkerStats {
     let mut rng =
         Rng64::seed_from_u64(args.seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(worker + 1)));
+    let mut stats = WorkerStats::default();
     let mut client = match Client::connect(&args.addr) {
         Ok(c) => c,
-        Err(_) => return (0, share, Vec::new()),
+        Err(_) => {
+            stats.failed = share;
+            return stats;
+        }
     };
-    let mut succeeded = 0;
-    let mut failed = 0;
-    let mut latencies = Vec::with_capacity(share);
-    for _ in 0..share {
+    for sent in 0..share {
+        // Deliberate connection churn: ingestion must survive clients that
+        // come and go mid-stream.
+        if args.labels && sent > 0 && sent % args.churn_every == 0 {
+            if let Ok(fresh) = Client::connect(&args.addr) {
+                client = fresh;
+                stats.reconnects += 1;
+            }
+        }
+        if args.labels && rng.bernoulli(args.label_frac) {
+            let example = rng.below(truth.len()).unwrap_or(0);
+            let mut label = truth[example];
+            if rng.bernoulli(args.label_flip) {
+                label = 1 - label;
+            }
+            let vote = rll_label::Vote {
+                example: example as u64,
+                worker: rng.below(args.label_workers as usize).unwrap_or(0) as u32,
+                label,
+            };
+            stats.votes_sent += 1;
+            let body = match serde_json::to_string(&vote) {
+                Ok(b) => b,
+                Err(_) => {
+                    stats.vote_failures += 1;
+                    continue;
+                }
+            };
+            match client.call("POST", "/label", Some(&body)) {
+                Some(r) if r.status == 200 && vote_ack_is_sane(&r.body, &vote) => {
+                    stats.votes_acked += 1;
+                }
+                Some(_) => stats.vote_failures += 1,
+                None => {
+                    stats.vote_failures += 1;
+                    match Client::connect(&args.addr) {
+                        Ok(fresh) => {
+                            client = fresh;
+                            stats.reconnects += 1;
+                        }
+                        Err(_) => {
+                            stats.failed += share - sent - 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
         let pick_pool = rng.bernoulli(args.repeat_frac);
         let vector = |rng: &mut Rng64, pool: &[Vec<f64>], pick_pool: bool| -> Vec<f64> {
             if pick_pool {
@@ -407,7 +715,7 @@ fn worker_loop(
             match serde_json::to_string(&ScoreRequest { a, b }) {
                 Ok(b) => ("/score", b),
                 Err(_) => {
-                    failed += 1;
+                    stats.failed += 1;
                     continue;
                 }
             }
@@ -416,7 +724,7 @@ fn worker_loop(
             match serde_json::to_string(&EmbedRequest { features }) {
                 Ok(b) => ("/embed", b),
                 Err(_) => {
-                    failed += 1;
+                    stats.failed += 1;
                     continue;
                 }
             }
@@ -426,25 +734,47 @@ fn worker_loop(
         let elapsed = timer.elapsed_secs();
         match response {
             Some(r) if r.status == 200 && response_is_sane(path, &r.body) => {
-                succeeded += 1;
-                latencies.push(elapsed);
+                stats.succeeded += 1;
+                stats.latencies.push(elapsed);
             }
-            Some(_) => failed += 1,
+            Some(_) => stats.failed += 1,
             None => {
-                failed += 1;
+                stats.failed += 1;
                 // The connection is dead (timeout, server restart): reconnect
                 // once and keep going.
                 match Client::connect(&args.addr) {
-                    Ok(c) => client = c,
+                    Ok(c) => {
+                        client = c;
+                        stats.reconnects += 1;
+                    }
                     Err(_) => {
-                        failed += share - succeeded - failed;
+                        stats.failed += share - sent - 1;
                         break;
                     }
                 }
             }
         }
     }
-    (succeeded, failed, latencies)
+    stats
+}
+
+/// A vote ack is sane when it echoes the vote and carries a durable, finite
+/// receipt: positive sequence number, a vote count that includes this vote,
+/// and a finite confidence.
+fn vote_ack_is_sane(body: &[u8], vote: &rll_label::Vote) -> bool {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return false;
+    };
+    serde_json::from_str::<rll_label::IngestReceipt>(text)
+        .map(|r| {
+            r.seq >= 1
+                && r.example == vote.example
+                && r.worker == vote.worker
+                && r.label == vote.label
+                && r.votes >= 1
+                && r.confidence.is_finite()
+        })
+        .unwrap_or(false)
 }
 
 /// Cheap response validation so "succeeded" means a well-formed payload, not

@@ -6,6 +6,10 @@
 //! serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N] [--profile]
 //! serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N]
 //!       [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]
+//!       [--labels-dir DIR] [--labels-shards N] [--labels-segment N]
+//!       [--labels-estimator mle|bayesian] [--live-preset oral|class]
+//!       [--live-n N] [--live-seed N] [--live-workers N]
+//!       [--retrain-votes N] [--retrain-epochs N]
 //! ```
 //!
 //! `train-demo` trains a small RLL pipeline on a simulated preset and writes
@@ -19,6 +23,17 @@
 //! (e.g. the CI smoke test) can find it. `--trace-out` enables request
 //! tracing: every request appends one `trace/v1` JSON line to the given file
 //! (readable by `profile --trace`/`--validate`).
+//!
+//! `--labels-dir` turns on **live labeling**: crowd votes posted to
+//! `POST /label` are appended to a sharded WAL in that directory (replayed on
+//! restart) and exposed as online confidences under `GET /labels`. The live
+//! dataset is the `--live-preset`/`--live-n`/`--live-seed` simulation — the
+//! same generator `train-demo` trains from, so the served checkpoint and the
+//! vote stream agree on example ids. With `--retrain-votes N` a background
+//! retrainer additionally folds every `N` new votes into the dataset,
+//! retrains, writes the checkpoint atomically, and hot-swaps it through its
+//! own `POST /reload` — the full ingest → retrain → reload loop in one
+//! process.
 
 use rll_core::{RllConfig, RllPipeline};
 use rll_serve::{
@@ -44,11 +59,24 @@ struct ServeArgs {
     cache: usize,
     port_file: Option<String>,
     trace_out: Option<String>,
+    labels_dir: Option<String>,
+    labels_shards: u32,
+    labels_segment: u64,
+    labels_estimator: String,
+    live_preset: String,
+    live_n: usize,
+    live_seed: u64,
+    live_workers: u32,
+    retrain_votes: u64,
+    retrain_epochs: usize,
 }
 
 const USAGE: &str = "usage:
   serve train-demo [--out PATH] [--preset oral|class] [--n N] [--epochs N] [--seed N] [--profile]
-  serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]";
+  serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]
+        [--labels-dir DIR] [--labels-shards N] [--labels-segment N] [--labels-estimator mle|bayesian]
+        [--live-preset oral|class] [--live-n N] [--live-seed N] [--live-workers N]
+        [--retrain-votes N] [--retrain-epochs N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +153,16 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         cache: defaults.cache_capacity,
         port_file: None,
         trace_out: None,
+        labels_dir: None,
+        labels_shards: 4,
+        labels_segment: 256,
+        labels_estimator: "bayesian".to_string(),
+        live_preset: "oral".to_string(),
+        live_n: 240,
+        live_seed: 42,
+        live_workers: 8,
+        retrain_votes: 0,
+        retrain_epochs: 10,
     };
     let mut i = 0;
     while i < args.len() {
@@ -153,6 +191,46 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
             }
             "--port-file" => out.port_file = Some(take_value(args, &mut i, "--port-file")?),
             "--trace-out" => out.trace_out = Some(take_value(args, &mut i, "--trace-out")?),
+            "--labels-dir" => out.labels_dir = Some(take_value(args, &mut i, "--labels-dir")?),
+            "--labels-shards" => {
+                out.labels_shards = take_value(args, &mut i, "--labels-shards")?
+                    .parse()
+                    .map_err(|_| "invalid --labels-shards".to_string())?
+            }
+            "--labels-segment" => {
+                out.labels_segment = take_value(args, &mut i, "--labels-segment")?
+                    .parse()
+                    .map_err(|_| "invalid --labels-segment".to_string())?
+            }
+            "--labels-estimator" => {
+                out.labels_estimator = take_value(args, &mut i, "--labels-estimator")?
+            }
+            "--live-preset" => out.live_preset = take_value(args, &mut i, "--live-preset")?,
+            "--live-n" => {
+                out.live_n = take_value(args, &mut i, "--live-n")?
+                    .parse()
+                    .map_err(|_| "invalid --live-n".to_string())?
+            }
+            "--live-seed" => {
+                out.live_seed = take_value(args, &mut i, "--live-seed")?
+                    .parse()
+                    .map_err(|_| "invalid --live-seed".to_string())?
+            }
+            "--live-workers" => {
+                out.live_workers = take_value(args, &mut i, "--live-workers")?
+                    .parse()
+                    .map_err(|_| "invalid --live-workers".to_string())?
+            }
+            "--retrain-votes" => {
+                out.retrain_votes = take_value(args, &mut i, "--retrain-votes")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-votes".to_string())?
+            }
+            "--retrain-epochs" => {
+                out.retrain_epochs = take_value(args, &mut i, "--retrain-epochs")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-epochs".to_string())?
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
@@ -199,6 +277,59 @@ fn train_demo(args: &TrainDemoArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Publishes a retrain round by writing the checkpoint atomically and
+/// hot-swapping it through the server's own `POST /reload`.
+struct ReloadSink {
+    checkpoint: std::path::PathBuf,
+    addr: std::net::SocketAddr,
+}
+
+impl rll_label::PublishSink for ReloadSink {
+    fn publish(&mut self, pipeline: &RllPipeline, round: u64) -> Result<(), String> {
+        let run_id = format!("retrain-round-{round}");
+        let checkpoint = Checkpoint::from_pipeline(pipeline, &run_id).map_err(|e| e.to_string())?;
+        checkpoint
+            .save(&self.checkpoint)
+            .map_err(|e| format!("checkpoint write: {e}"))?;
+        post_reload(self.addr)
+    }
+}
+
+/// One loopback `POST /reload`, expecting a `200`.
+fn post_reload(addr: std::net::SocketAddr) -> Result<(), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream
+        .write_all(
+            b"POST /reload HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let status = response.lines().next().unwrap_or("");
+    if status.contains(" 200 ") {
+        Ok(())
+    } else {
+        Err(format!("reload answered {status:?}"))
+    }
+}
+
+fn live_dataset(args: &ServeArgs) -> Result<rll_data::Dataset, Box<dyn std::error::Error>> {
+    match args.live_preset.as_str() {
+        "oral" => Ok(rll_data::presets::oral_scaled(args.live_n, args.live_seed)?),
+        "class" => Ok(rll_data::presets::class_scaled(
+            args.live_n,
+            args.live_seed,
+        )?),
+        other => Err(format!("unknown preset {other:?} (use oral|class)").into()),
+    }
+}
+
 fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
     let checkpoint = Checkpoint::load(&args.checkpoint)?;
     let meta = checkpoint.meta.clone();
@@ -225,7 +356,44 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
         },
         recorder.clone(),
     )?;
-    let server = EmbedServer::start(
+
+    // Live labeling: the label store replays its WAL before the listener
+    // opens, so the first request already sees the recovered state.
+    let labels = match &args.labels_dir {
+        Some(dir) => {
+            let ds = live_dataset(args)?;
+            let estimator = match args.labels_estimator.as_str() {
+                "mle" => rll_crowd::ConfidenceEstimator::Mle,
+                "bayesian" => rll_crowd::ConfidenceEstimator::Bayesian(rll_crowd::BetaPrior {
+                    alpha: 1.0,
+                    beta: 1.0,
+                }),
+                other => {
+                    return Err(format!("unknown estimator {other:?} (use mle|bayesian)").into())
+                }
+            };
+            let store = rll_label::LabelStore::open(
+                rll_label::LabelStoreConfig {
+                    dir: dir.clone().into(),
+                    shards: args.labels_shards,
+                    segment_records: args.labels_segment,
+                    estimator,
+                    num_examples: ds.features.rows() as u64,
+                    max_workers: args.live_workers,
+                },
+                recorder.clone(),
+            )?;
+            println!(
+                "live labeling in {dir} ({} examples, high water {})",
+                ds.features.rows(),
+                store.high_water()
+            );
+            Some(std::sync::Arc::new(store))
+        }
+        None => None,
+    };
+
+    let server = EmbedServer::start_with_labels(
         engine,
         ServerConfig {
             addr: args.addr.clone(),
@@ -233,14 +401,60 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
             trace: args.trace_out.is_some(),
             ..ServerConfig::default()
         },
-        recorder,
+        recorder.clone(),
         &meta.train_run_id,
+        labels.clone(),
     )?;
     let addr = server.local_addr();
     println!("rll-serve listening on {addr}");
     if let Some(path) = &args.port_file {
         std::fs::write(path, format!("{addr}\n"))?;
     }
+
+    // The retrain → hot-reload loop, once the listener is up (its publish
+    // sink reloads through the server's own socket).
+    let _retrainer = match &labels {
+        Some(store) if args.retrain_votes > 0 => {
+            let dir = std::path::PathBuf::from(args.labels_dir.as_deref().unwrap_or_default());
+            let ds = live_dataset(args)?;
+            let base = rll_label::RetrainBase {
+                features: ds.features,
+                annotations: ds.annotations,
+                expert_labels: Some(ds.expert_labels),
+            };
+            let config = rll_label::RetrainConfig {
+                train: RllConfig {
+                    epochs: args.retrain_epochs,
+                    groups_per_epoch: 128,
+                    ..RllConfig::default()
+                },
+                base_seed: args.live_seed,
+                min_new_votes: args.retrain_votes,
+                poll_interval: std::time::Duration::from_millis(200),
+                state_path: dir.join("retrain.rllstate"),
+                manifest_path: dir.join("retrain.manifest.json"),
+                snapshot_every_epochs: 1,
+                threads: None,
+            };
+            let retrainer = rll_label::Retrainer::start(
+                std::sync::Arc::clone(store),
+                base,
+                config,
+                recorder.clone(),
+                Box::new(ReloadSink {
+                    checkpoint: args.checkpoint.clone().into(),
+                    addr,
+                }),
+            )?;
+            println!(
+                "retrain loop armed: every {} votes, {} epochs",
+                args.retrain_votes, args.retrain_epochs
+            );
+            Some(retrainer)
+        }
+        _ => None,
+    };
+
     // Serve until killed; the acceptor and workers own all the activity.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

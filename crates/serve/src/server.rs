@@ -7,6 +7,12 @@
 //! | `/healthz` | GET | — | `{"status":"ok", …}` with checkpoint identity |
 //! | `/metrics` | GET | — | rll-obs [`MetricsSnapshot`] JSON (`?format=text` for plain text) |
 //! | `/reload` | POST | — | `{"status":"reloaded", …}` after hot-swapping the checkpoint from disk |
+//! | `/label` | POST | `{"example": u64, "worker": u32, "label": 0\|1}` | [`rll_label::IngestReceipt`] after the vote is fsynced |
+//! | `/labels` | GET | — | [`rll_label::LabelsSnapshot`] (every voted example, deterministic order) |
+//! | `/labels/<id>` | GET | — | [`rll_label::ExampleConfidence`] for one example (`404` if unvoted) |
+//!
+//! The three label routes answer `400` unless the server was started with a
+//! [`rll_label::LabelStore`] via [`EmbedServer::start_with_labels`].
 //!
 //! Error contract: JSON `{"error": …}` with `400` (bad input), `404`/`405`
 //! (routing), `411`/`413` (framing), `503` (queue backpressure / shutdown),
@@ -144,6 +150,9 @@ pub struct EmbedServer {
 struct Ctx {
     engine: InferenceEngine,
     recorder: Recorder,
+    /// Live label store backing `POST /label` / `GET /labels*`; `None`
+    /// leaves those routes answering `400`.
+    labels: Option<Arc<rll_label::LabelStore>>,
     /// Behind a lock because `/reload` replaces it with the run id of the
     /// newly loaded checkpoint. Rank 50: above every engine lock, so holding
     /// it can never nest under (or over) the inference path illegally.
@@ -200,6 +209,18 @@ impl EmbedServer {
         recorder: Recorder,
         train_run_id: &str,
     ) -> Result<Self> {
+        Self::start_with_labels(engine, config, recorder, train_run_id, None)
+    }
+
+    /// Like [`EmbedServer::start`], but with a live [`rll_label::LabelStore`]
+    /// behind the `/label` and `/labels*` routes.
+    pub fn start_with_labels(
+        engine: InferenceEngine,
+        config: ServerConfig,
+        recorder: Recorder,
+        train_run_id: &str,
+        labels: Option<Arc<rll_label::LabelStore>>,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::io(format!("bind {}", config.addr), e))?;
         let local_addr = listener
@@ -209,6 +230,7 @@ impl EmbedServer {
         let ctx = Arc::new(Ctx {
             engine: engine.clone(),
             recorder,
+            labels,
             train_run_id: OrderedRwLock::new("train_run_id", 50, train_run_id.to_string()),
             checkpoint_path: config.checkpoint_path.clone(),
             started: Stopwatch::start(),
@@ -368,7 +390,13 @@ fn route(ctx: &Ctx, request: &Request, trace: &TraceCtx) -> Routed {
         ("GET", "/healthz") => handle_healthz(ctx),
         ("GET", "/metrics") => handle_metrics(ctx, &request.query),
         ("POST", "/reload") => handle_reload(ctx),
-        ("GET", "/embed" | "/score" | "/reload") | ("POST", "/healthz" | "/metrics") => (
+        ("POST", "/label") => handle_label(ctx, &request.body, trace),
+        ("GET", "/labels") => handle_labels_snapshot(ctx),
+        ("GET", path) if path.starts_with("/labels/") => {
+            handle_label_get(ctx, path.trim_start_matches("/labels/"))
+        }
+        ("GET", "/embed" | "/score" | "/reload" | "/label")
+        | ("POST", "/healthz" | "/metrics" | "/labels") => (
             405,
             "Method Not Allowed",
             "application/json",
@@ -462,6 +490,96 @@ fn handle_reload(ctx: &Ctx) -> Routed {
         input_dim,
         embedding_dim,
     })
+}
+
+/// The `400` every label route answers when the server has no store.
+fn labels_disabled() -> Routed {
+    (
+        400,
+        "Bad Request",
+        "application/json",
+        error_body("live labeling is not enabled (server started without a label store)"),
+    )
+}
+
+fn label_error_response(e: &rll_label::LabelError) -> Routed {
+    let (status, reason) = match e {
+        rll_label::LabelError::InvalidVote { .. } | rll_label::LabelError::InvalidConfig { .. } => {
+            (400, "Bad Request")
+        }
+        _ => (500, "Internal Server Error"),
+    };
+    (
+        status,
+        reason,
+        "application/json",
+        error_body(&e.to_string()),
+    )
+}
+
+/// `POST /label` — validate, append to the WAL (fsync), update the online
+/// confidence, and answer with the durable receipt. The vote is on disk
+/// before the `200` leaves the socket.
+fn handle_label(ctx: &Ctx, body: &[u8], trace: &TraceCtx) -> Routed {
+    let _latency = ctx.handler_latency("label");
+    let Some(store) = &ctx.labels else {
+        return labels_disabled();
+    };
+    let vote: rll_label::Vote = match parse_json(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let ingest_start = trace.now();
+    let ingest_clock = Stopwatch::start();
+    let result = store.ingest(vote);
+    let ingest_secs = ingest_clock.elapsed_secs();
+    trace.record(Phase::Ingest, ingest_start, ingest_secs);
+    ctx.recorder
+        .metrics()
+        .latency_histogram("serve.phase.ingest")
+        .observe(ingest_secs);
+    match result {
+        Ok(receipt) => json_ok(&receipt),
+        Err(e) => label_error_response(&e),
+    }
+}
+
+/// `GET /labels` — deterministic snapshot of every voted example.
+fn handle_labels_snapshot(ctx: &Ctx) -> Routed {
+    let _latency = ctx.handler_latency("labels");
+    let Some(store) = &ctx.labels else {
+        return labels_disabled();
+    };
+    match store.snapshot() {
+        Ok(snapshot) => json_ok(&snapshot),
+        Err(e) => label_error_response(&e),
+    }
+}
+
+/// `GET /labels/<id>` — one example's live confidence.
+fn handle_label_get(ctx: &Ctx, id: &str) -> Routed {
+    let _latency = ctx.handler_latency("labels_id");
+    let Some(store) = &ctx.labels else {
+        return labels_disabled();
+    };
+    let Ok(example) = id.parse::<u64>() else {
+        return (
+            400,
+            "Bad Request",
+            "application/json",
+            error_body(&format!("invalid example id {id:?}")),
+        );
+    };
+    match store.confidence(example) {
+        Ok(Some(conf)) => json_ok(&conf),
+        Ok(None) => (
+            404,
+            "Not Found",
+            "application/json",
+            error_body(&format!("example {example} has no votes")),
+        ),
+        Err(e) => label_error_response(&e),
+    }
 }
 
 fn handle_metrics(ctx: &Ctx, query: &str) -> Routed {

@@ -550,3 +550,130 @@ fn reload_hot_swaps_checkpoint_and_survives_corruption() {
     h.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Harness variant with a live label store behind the `/label` routes.
+fn start_with_labels(seed: u64, dir: &std::path::Path) -> Harness {
+    let engine = InferenceEngine::start(
+        ServingModel::from_checkpoint(test_checkpoint(seed)),
+        EngineConfig::default(),
+        Recorder::disabled(),
+    )
+    .expect("engine");
+    let store = rll_label::LabelStore::open(
+        rll_label::LabelStoreConfig {
+            dir: dir.to_path_buf(),
+            shards: 2,
+            segment_records: 8,
+            estimator: rll_crowd::ConfidenceEstimator::Mle,
+            num_examples: 16,
+            max_workers: 4,
+        },
+        Recorder::disabled(),
+    )
+    .expect("label store");
+    let server = EmbedServer::start_with_labels(
+        engine.clone(),
+        ServerConfig::default(),
+        Recorder::disabled(),
+        "http-test-run",
+        Some(std::sync::Arc::new(store)),
+    )
+    .expect("server");
+    Harness { server, engine }
+}
+
+#[test]
+fn label_routes_roundtrip_and_validate() {
+    let dir = std::env::temp_dir().join(format!("rll_serve_labels_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let h = start_with_labels(5, &dir);
+
+    // Two votes on example 3: one positive, one negative → MLE δ = 0.5.
+    let first: rll_label::IngestReceipt =
+        json(&h.post_json("/label", r#"{"example":3,"worker":0,"label":1}"#));
+    assert_eq!(first.seq, 1);
+    assert_eq!(first.votes, 1);
+    assert_eq!(first.confidence, 1.0);
+    let second: rll_label::IngestReceipt =
+        json(&h.post_json("/label", r#"{"example":3,"worker":1,"label":0}"#));
+    assert_eq!(second.seq, 2);
+    assert_eq!(second.votes, 2);
+    assert_eq!(second.confidence, 0.5);
+
+    // Single-example lookup agrees with the receipt.
+    let one = h.roundtrip("GET /labels/3 HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(one.status, 200);
+    let conf: rll_label::ExampleConfidence = json(&one);
+    assert_eq!(conf.votes, 2);
+    assert_eq!(conf.confidence, 0.5);
+
+    // Snapshot lists exactly the voted example.
+    let all = h.roundtrip("GET /labels HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(all.status, 200);
+    let snapshot: rll_label::LabelsSnapshot = json(&all);
+    assert_eq!(snapshot.high_water_seq, 2);
+    assert_eq!(snapshot.examples.len(), 1);
+
+    // Validation: bad example, bad worker, bad label, bad id, unvoted id.
+    assert_eq!(
+        h.post_json("/label", r#"{"example":99,"worker":0,"label":1}"#)
+            .status,
+        400
+    );
+    assert_eq!(
+        h.post_json("/label", r#"{"example":0,"worker":9,"label":1}"#)
+            .status,
+        400
+    );
+    assert_eq!(
+        h.post_json("/label", r#"{"example":0,"worker":0,"label":7}"#)
+            .status,
+        400
+    );
+    assert_eq!(h.post_json("/label", "not json").status, 400);
+    assert_eq!(
+        h.roundtrip("GET /labels/abc HTTP/1.1\r\nHost: t\r\n\r\n")
+            .status,
+        400
+    );
+    assert_eq!(
+        h.roundtrip("GET /labels/7 HTTP/1.1\r\nHost: t\r\n\r\n")
+            .status,
+        404
+    );
+    // Rejected votes never advanced the WAL.
+    let snapshot2: rll_label::LabelsSnapshot =
+        json(&h.roundtrip("GET /labels HTTP/1.1\r\nHost: t\r\n\r\n"));
+    assert_eq!(snapshot2.high_water_seq, 2);
+
+    // Method discipline.
+    assert_eq!(
+        h.roundtrip("GET /label HTTP/1.1\r\nHost: t\r\n\r\n").status,
+        405
+    );
+    assert_eq!(h.post_json("/labels", "").status, 405);
+
+    h.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn label_routes_answer_400_when_not_enabled() {
+    let h = Harness::start(6, ServerConfig::default());
+    assert_eq!(
+        h.post_json("/label", r#"{"example":0,"worker":0,"label":1}"#)
+            .status,
+        400
+    );
+    assert_eq!(
+        h.roundtrip("GET /labels HTTP/1.1\r\nHost: t\r\n\r\n")
+            .status,
+        400
+    );
+    assert_eq!(
+        h.roundtrip("GET /labels/0 HTTP/1.1\r\nHost: t\r\n\r\n")
+            .status,
+        400
+    );
+    h.stop();
+}

@@ -134,4 +134,75 @@ cmp "$SMOKE_DIR/crash_t1/golden.rllckpt" "$SMOKE_DIR/crash_t4/golden.rllckpt" ||
 }
 echo "crash-safety gate ok (resume is bitwise lossless at RLL_THREADS=1 and 4)"
 
+echo "== label soak gate (live ingest + retrain hot-swap + WAL crash replay) =="
+# A live-labeling server takes an interleaved vote + embed/score load with
+# connection churn, must complete at least one background retrain → hot
+# reload with ZERO dropped requests (loadgen --strict --expect-reloads 1),
+# and must survive kill -9: a restart on the same WAL directory replays to
+# the exact same confidence state, byte for byte.
+cp "$SMOKE_DIR/smoke.rllckpt" "$SMOKE_DIR/label.rllckpt"
+LABEL_DIR="$SMOKE_DIR/labels"
+start_label_serve() { # $1 = port file, $2 = retrain vote threshold
+    ./target/release/serve --checkpoint "$SMOKE_DIR/label.rllckpt" \
+        --addr 127.0.0.1:0 --port-file "$1" \
+        --labels-dir "$LABEL_DIR" --labels-shards 2 --labels-segment 64 \
+        --live-preset oral --live-n 80 --live-seed 42 --live-workers 8 \
+        --retrain-votes "$2" --retrain-epochs 3 >/dev/null &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        [ -s "$1" ] && break
+        sleep 0.1
+    done
+    [ -s "$1" ] || { echo "label serve never wrote its port file"; exit 1; }
+}
+start_label_serve "$SMOKE_DIR/label_port" 40
+LABEL_ADDR=$(head -n1 "$SMOKE_DIR/label_port")
+./target/release/loadgen --addr "$LABEL_ADDR" \
+    --requests 300 --concurrency 3 --seed 42 \
+    --labels --label-frac 0.4 --label-preset oral --label-n 80 --label-seed 42 \
+    --label-workers 8 --label-flip 0.1 \
+    --expect-reloads 1 --reload-wait 120 --strict \
+    --out "$SMOKE_DIR/label_bench.json" \
+    --labels-out "$SMOKE_DIR/label_soak.json" >/dev/null
+# Quiesced acked state, then kill -9 with the active WAL segments unsealed
+# (no graceful shutdown exists to seal them) and a fresh vote burst racing
+# the kill — the on-disk shape is a mid-ingest crash, torn tail and all.
+curl -sf "http://$LABEL_ADDR/labels" > "$SMOKE_DIR/labels_before.json"
+./target/release/loadgen --addr "$LABEL_ADDR" \
+    --requests 400 --concurrency 2 --seed 7 \
+    --labels --label-frac 1.0 --label-preset oral --label-n 80 --label-seed 42 \
+    --label-workers 8 \
+    --out "$SMOKE_DIR/burst_bench.json" \
+    --labels-out "$SMOKE_DIR/burst_soak.json" >/dev/null 2>&1 &
+BURST_PID=$!
+sleep 0.2
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$BURST_PID" 2>/dev/null || true
+# Two independent restarts must replay the crashed WAL to identical state
+# (replay determinism), and that state must contain every pre-kill acked
+# vote (durability): the quiesced snapshot's high-water mark can only grow.
+start_label_serve "$SMOKE_DIR/label_port2" 0
+LABEL_ADDR2=$(head -n1 "$SMOKE_DIR/label_port2")
+curl -sf "http://$LABEL_ADDR2/labels" > "$SMOKE_DIR/labels_replay1.json"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+start_label_serve "$SMOKE_DIR/label_port3" 0
+LABEL_ADDR3=$(head -n1 "$SMOKE_DIR/label_port3")
+curl -sf "http://$LABEL_ADDR3/labels" > "$SMOKE_DIR/labels_replay2.json"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+cmp "$SMOKE_DIR/labels_replay1.json" "$SMOKE_DIR/labels_replay2.json" || {
+    echo "label soak gate FAILED: two replays of the same WAL disagree"
+    exit 1
+}
+BEFORE_HW=$(sed -n 's/.*"high_water_seq": *\([0-9]*\).*/\1/p' "$SMOKE_DIR/labels_before.json")
+AFTER_HW=$(sed -n 's/.*"high_water_seq": *\([0-9]*\).*/\1/p' "$SMOKE_DIR/labels_replay1.json")
+[ -n "$BEFORE_HW" ] && [ -n "$AFTER_HW" ] && [ "$AFTER_HW" -ge "$BEFORE_HW" ] || {
+    echo "label soak gate FAILED: replayed high water $AFTER_HW < acked $BEFORE_HW"
+    exit 1
+}
+echo "label soak gate ok (zero-drop soak with hot reload; kill -9 replay is deterministic and lossless)"
+
 echo "All checks passed."
