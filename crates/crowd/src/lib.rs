@@ -33,6 +33,7 @@ pub use confidence::{
     worker_aware_label_confidences_observed, BetaPrior, ConfidenceEstimator,
 };
 pub use error::CrowdError;
+pub use quality::{detect_spammers, live_worker_qualities, rank_workers, WorkerQuality};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CrowdError>;

@@ -80,6 +80,15 @@ pub fn worker_qualities(
     Ok(out)
 }
 
+/// One-call quality estimation for a *live* annotation table: fits the
+/// deterministic Dawid–Skene EM on `annotations` and derives per-worker
+/// quality from the fitted confusions. This is the streaming path's entry
+/// point — the retrainer has a raw vote table, not a pre-existing fit.
+pub fn live_worker_qualities(annotations: &AnnotationMatrix) -> Result<Vec<WorkerQuality>> {
+    let fit = crate::aggregate::DawidSkene::default().fit(annotations)?;
+    worker_qualities(&fit, annotations)
+}
+
 /// Indices of workers whose informativeness falls below `threshold`
 /// (probable spammers). A common operating point is 0.2.
 pub fn detect_spammers(qualities: &[WorkerQuality], threshold: f64) -> Vec<usize> {

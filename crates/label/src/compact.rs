@@ -1,0 +1,456 @@
+//! WAL compaction: fold sealed history into a checksummed snapshot.
+//!
+//! Without compaction the vote WAL grows without bound and every restart
+//! replays the whole history. Once the retrainer *completes* a round, every
+//! record at or below the round manifest's `folded_seq` is already baked
+//! into the published model, so the sealed segments wholly below that mark
+//! can collapse into a single **confidence snapshot** artifact:
+//!
+//! ```text
+//! {"magic":"RLLSNAP","version":1,"covered_seq":128,"payload_fnv1a":...}\n
+//! {"schema":"confidence_snapshot/v1","estimator":"bayesian",...}
+//! ```
+//!
+//! The file reuses the workspace envelope codec ([`rll_core::snapshot`]) and
+//! is written atomically; the payload carries the exact tracker cell state
+//! (example → worker → label, plus per-example `last_seq`) and the dedup
+//! receipt table at `covered_seq`. Replay becomes snapshot-load +
+//! tail-replay of the surviving segments, filtered to `seq > covered_seq` —
+//! byte-identical to a full-log replay because the cell state is the same
+//! last-write-wins table either way.
+//!
+//! ## Crash contract
+//!
+//! Compaction has exactly two effects, strictly ordered:
+//!
+//! 1. **Snapshot write** — atomic (temp + fsync + rename). A crash before
+//!    the rename leaves the old snapshot (or none) and every segment: state
+//!    unchanged. A crash after it leaves a complete new snapshot *and* all
+//!    segments — records in `(old_covered, covered_seq]` exist twice, which
+//!    replay tolerates by filtering the tail to `seq > covered_seq`.
+//! 2. **Segment deletion** — covered segments are removed in ascending
+//!    segment order per shard, so a crash part-way leaves each shard's chain
+//!    with at most a *leading* gap, which replay treats as an
+//!    already-compacted prefix (never a mid-chain `MissingSegment` fault).
+//!    Every deleted record is ≤ `covered_seq`, hence in the snapshot.
+//!
+//! At no point can both the snapshot and the covering segments be missing —
+//! the deletion target is re-derived from the snapshot actually on disk,
+//! never from the in-memory request.
+//!
+//! The *caller* picks `target_seq`; the store's policy
+//! ([`crate::store::LabelStore::compact_below_manifest`]) only ever passes
+//! the `folded_seq` of a **complete** retrain manifest, so a crash between
+//! fold and publish can never compact away votes the published model has
+//! not folded.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rll_core::snapshot::{atomic_write, encode_envelope, split_envelope};
+use rll_crowd::ConfidenceEstimator;
+use rll_tensor::hash::fnv1a;
+use serde::{Deserialize, Serialize};
+
+use crate::confidence::ConfidenceTracker;
+use crate::error::{LabelError, Result};
+use crate::store::{DedupMap, IngestReceipt};
+use crate::wal::{compactable_segments, replay_read_only, wal_dir_bytes, VoteRecord, WalConfig};
+
+/// Magic string in the snapshot header.
+pub const SNAPSHOT_MAGIC: &str = "RLLSNAP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Schema tag of the snapshot payload.
+pub const SNAPSHOT_SCHEMA: &str = "confidence_snapshot/v1";
+/// File name of the snapshot inside the WAL directory.
+pub const SNAPSHOT_FILE: &str = "confidence.rllsnap";
+
+/// Snapshot envelope header (one-line JSON before the payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SnapshotHeader {
+    magic: String,
+    version: u32,
+    /// Largest sequence number the payload covers.
+    covered_seq: u64,
+    /// FNV-1a over the payload bytes.
+    payload_fnv1a: u64,
+}
+
+/// One example's frozen cell state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotExample {
+    /// Dataset row.
+    pub example: u64,
+    /// Largest sequence number that touched the example.
+    pub last_seq: u64,
+    /// Current `(worker, label)` cells, sorted by worker.
+    pub votes: Vec<(u32, u8)>,
+}
+
+/// One frozen dedup receipt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotReceipt {
+    /// Client session id (idempotency-key half).
+    pub session: u64,
+    /// Per-session request counter (the other half).
+    pub request: u64,
+    /// The receipt originally returned for this key.
+    pub receipt: IngestReceipt,
+}
+
+/// The snapshot payload: the exact tracker + dedup state at `covered_seq`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceSnapshot {
+    /// Always [`SNAPSHOT_SCHEMA`].
+    pub schema: String,
+    /// Estimator variant name; must match the store's estimator on load.
+    pub estimator: String,
+    /// Largest sequence number folded into this snapshot. Tail replay
+    /// applies only records with `seq > covered_seq`.
+    pub covered_seq: u64,
+    /// Largest sequence number actually applied (≤ `covered_seq`; they
+    /// differ only when repair dropped records below the target).
+    pub applied_seq: u64,
+    /// Per-example cell state, sorted by example id.
+    pub examples: Vec<SnapshotExample>,
+    /// Dedup receipt table, sorted by `(session, request)`.
+    pub receipts: Vec<SnapshotReceipt>,
+}
+
+/// Where (if anywhere) a compaction run should stop or crash — the hook the
+/// interrupted-compaction tests and the `check.sh` kill-gate are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactInterrupt {
+    /// Run to completion.
+    #[default]
+    None,
+    /// Return early right after the snapshot write, before any deletion.
+    StopAfterSnapshot,
+    /// Return early right after the first segment deletion.
+    StopAfterFirstDelete,
+    /// `abort()` the process right after the snapshot write.
+    AbortAfterSnapshot,
+    /// `abort()` the process right after the first segment deletion.
+    AbortAfterFirstDelete,
+}
+
+impl CompactInterrupt {
+    /// Parses the `RLL_COMPACT_FAULT` values the crash gate uses
+    /// (`before-delete`, `mid-delete`); anything else is [`Self::None`].
+    pub fn from_env_value(value: &str) -> CompactInterrupt {
+        match value {
+            "before-delete" => CompactInterrupt::AbortAfterSnapshot,
+            "mid-delete" => CompactInterrupt::AbortAfterFirstDelete,
+            _ => CompactInterrupt::None,
+        }
+    }
+}
+
+/// What one compaction run did.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// The requested compaction target.
+    pub target_seq: u64,
+    /// `covered_seq` of the snapshot on disk after the run.
+    pub covered_seq: u64,
+    /// Whether this run wrote a new snapshot (false when the existing one
+    /// already covered the target).
+    pub snapshot_written: bool,
+    /// Segment files deleted.
+    pub segments_deleted: u64,
+    /// Verified records inside the deleted segments.
+    pub records_dropped: u64,
+    /// Bytes of deleted segment files.
+    pub bytes_reclaimed: u64,
+    /// Total `.rllwal` bytes remaining after the run.
+    pub wal_bytes_after: u64,
+    /// True when the run was cut short by a stop-style [`CompactInterrupt`].
+    pub interrupted: bool,
+}
+
+/// The snapshot path for a WAL directory.
+pub fn snapshot_path(config: &WalConfig) -> PathBuf {
+    config.dir().join(SNAPSHOT_FILE)
+}
+
+/// Reads and fully verifies the snapshot, or `None` when the file does not
+/// exist. Corruption is a hard [`LabelError::Corrupt`]: unlike a torn WAL
+/// tail there is no good prefix to fall back to, and the covering segments
+/// may already be gone.
+pub fn read_snapshot(path: &Path) -> Result<Option<ConfidenceSnapshot>> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(LabelError::io(path, "read", e)),
+    };
+    let corrupt = |reason: String| LabelError::Corrupt {
+        reason: format!("confidence snapshot {}: {reason}", path.display()),
+    };
+    let (header_str, payload) =
+        split_envelope(&bytes).map_err(|e| corrupt(format!("bad envelope: {e}")))?;
+    let header: SnapshotHeader =
+        serde_json::from_str(header_str).map_err(|e| corrupt(format!("bad header: {e}")))?;
+    if header.magic != SNAPSHOT_MAGIC || header.version != SNAPSHOT_VERSION {
+        return Err(corrupt(format!(
+            "magic/version {}/{} unsupported",
+            header.magic, header.version
+        )));
+    }
+    let actual = fnv1a(payload);
+    if header.payload_fnv1a != actual {
+        return Err(corrupt(format!(
+            "payload checksum {actual:016x} != header {:016x}",
+            header.payload_fnv1a
+        )));
+    }
+    let payload_str =
+        std::str::from_utf8(payload).map_err(|_| corrupt("payload not UTF-8".into()))?;
+    let snapshot: ConfidenceSnapshot =
+        serde_json::from_str(payload_str).map_err(|e| corrupt(format!("bad payload: {e}")))?;
+    if snapshot.schema != SNAPSHOT_SCHEMA {
+        return Err(corrupt(format!(
+            "schema {:?}, expected {SNAPSHOT_SCHEMA:?}",
+            snapshot.schema
+        )));
+    }
+    if header.covered_seq != snapshot.covered_seq {
+        return Err(corrupt(format!(
+            "header covers seq {} but payload claims {}",
+            header.covered_seq, snapshot.covered_seq
+        )));
+    }
+    Ok(Some(snapshot))
+}
+
+/// Atomically writes the snapshot (checksummed envelope, temp + fsync +
+/// rename): after a crash the directory holds either the previous snapshot
+/// state or this one, never a torn mix.
+pub fn write_snapshot(path: &Path, snapshot: &ConfidenceSnapshot) -> Result<()> {
+    let payload = serde_json::to_string(snapshot).map_err(|e| LabelError::Corrupt {
+        reason: format!("snapshot serialization failed: {e}"),
+    })?;
+    let header = SnapshotHeader {
+        magic: SNAPSHOT_MAGIC.to_string(),
+        version: SNAPSHOT_VERSION,
+        covered_seq: snapshot.covered_seq,
+        payload_fnv1a: fnv1a(payload.as_bytes()),
+    };
+    let header_json = serde_json::to_string(&header).map_err(|e| LabelError::Corrupt {
+        reason: format!("snapshot header serialization failed: {e}"),
+    })?;
+    let bytes = encode_envelope(&header_json, &payload);
+    atomic_write(path, &bytes).map_err(|e| LabelError::io(path, "write", e))
+}
+
+/// Freezes the tracker + dedup state into a snapshot covering `covered_seq`.
+pub fn build_snapshot(
+    tracker: &ConfidenceTracker,
+    dedup: &DedupMap,
+    covered_seq: u64,
+) -> ConfidenceSnapshot {
+    let mut examples = Vec::with_capacity(tracker.table.len());
+    for (&example, workers) in &tracker.table {
+        examples.push(SnapshotExample {
+            example,
+            last_seq: tracker.last_seq.get(&example).copied().unwrap_or(0),
+            votes: workers.iter().map(|(&w, &l)| (w, l)).collect(),
+        });
+    }
+    let receipts = dedup
+        .entries()
+        .map(|((session, request), receipt)| SnapshotReceipt {
+            session,
+            request,
+            receipt: *receipt,
+        })
+        .collect();
+    ConfidenceSnapshot {
+        schema: SNAPSHOT_SCHEMA.to_string(),
+        estimator: tracker.estimator().name().to_string(),
+        covered_seq,
+        applied_seq: tracker.applied_seq,
+        examples,
+        receipts,
+    }
+}
+
+/// Rebuilds a tracker from a snapshot, validating the estimator matches.
+pub fn restore_tracker(
+    snapshot: &ConfidenceSnapshot,
+    estimator: ConfidenceEstimator,
+) -> Result<ConfidenceTracker> {
+    if snapshot.estimator != estimator.name() {
+        return Err(LabelError::InvalidConfig {
+            reason: format!(
+                "confidence snapshot was taken with estimator {:?}, store uses {:?} — \
+                 confidences would not be comparable",
+                snapshot.estimator,
+                estimator.name()
+            ),
+        });
+    }
+    let mut tracker = ConfidenceTracker::new(estimator)?;
+    for ex in &snapshot.examples {
+        let mut workers = BTreeMap::new();
+        for &(worker, label) in &ex.votes {
+            if label > 1 {
+                return Err(LabelError::Corrupt {
+                    reason: format!(
+                        "snapshot cell ({}, {worker}) holds non-binary label {label}",
+                        ex.example
+                    ),
+                });
+            }
+            workers.insert(worker, label);
+        }
+        tracker.table.insert(ex.example, workers);
+        tracker.last_seq.insert(ex.example, ex.last_seq);
+    }
+    tracker.applied_seq = snapshot.applied_seq;
+    Ok(tracker)
+}
+
+/// Rebuilds the dedup table from a snapshot.
+pub(crate) fn restore_dedup(snapshot: &ConfidenceSnapshot, capacity: usize) -> DedupMap {
+    let mut dedup = DedupMap::new(capacity);
+    for entry in &snapshot.receipts {
+        dedup.insert((entry.session, entry.request), entry.receipt);
+    }
+    dedup
+}
+
+/// Applies one replayed record to the rebuilt state, mirroring what live
+/// ingest did: tracker cell update, then (for keyed votes) the dedup receipt
+/// recorded with exactly the post-apply counts.
+pub(crate) fn apply_replayed(
+    tracker: &mut ConfidenceTracker,
+    dedup: &mut DedupMap,
+    record: &VoteRecord,
+) -> Result<()> {
+    let conf = tracker.apply(record)?;
+    if let Some(key) = record.key() {
+        dedup.insert(
+            key,
+            IngestReceipt {
+                seq: record.seq,
+                example: record.example,
+                worker: record.worker,
+                label: record.label,
+                votes: conf.votes,
+                positive: conf.positive,
+                confidence: conf.confidence,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Rebuilds `(tracker, dedup)` at `up_to_seq` from the snapshot on disk plus
+/// the given replayed records: snapshot state first, then every record with
+/// `covered_seq < seq <= up_to_seq` in order. The `seq > covered_seq` filter
+/// is load-bearing — surviving segments may still hold records the snapshot
+/// already covers, and re-applying one would roll a last-write-wins cell
+/// back to an older value.
+pub(crate) fn rebuild_state(
+    snapshot: Option<&ConfidenceSnapshot>,
+    estimator: ConfidenceEstimator,
+    dedup_capacity: usize,
+    records: &[VoteRecord],
+    up_to_seq: u64,
+) -> Result<(ConfidenceTracker, DedupMap, u64)> {
+    let covered = snapshot.map(|s| s.covered_seq).unwrap_or(0);
+    let mut tracker = match snapshot {
+        Some(s) => restore_tracker(s, estimator)?,
+        None => ConfidenceTracker::new(estimator)?,
+    };
+    let mut dedup = match snapshot {
+        Some(s) => restore_dedup(s, dedup_capacity),
+        None => DedupMap::new(dedup_capacity),
+    };
+    for record in records {
+        if record.seq > covered && record.seq <= up_to_seq {
+            apply_replayed(&mut tracker, &mut dedup, record)?;
+        }
+    }
+    Ok((tracker, dedup, covered))
+}
+
+/// Runs one compaction: fold everything at or below `target_seq` into the
+/// snapshot, then delete the sealed segments it covers. Safe to run while
+/// appends continue (it only reads immutable records below the target and
+/// deletes segments the snapshot covers); concurrent *compactions* are
+/// excluded by the store's `compact` lock.
+///
+/// This is the raw mechanism; it trusts `target_seq`. Use
+/// [`crate::store::LabelStore::compact_below_manifest`] for the
+/// manifest-gated policy.
+pub fn compact_wal(
+    config: &WalConfig,
+    estimator: ConfidenceEstimator,
+    dedup_capacity: usize,
+    target_seq: u64,
+    interrupt: CompactInterrupt,
+) -> Result<CompactionStats> {
+    let path = snapshot_path(config);
+    let existing = read_snapshot(&path)?;
+    let covered_before = existing.as_ref().map(|s| s.covered_seq).unwrap_or(0);
+
+    let mut stats = CompactionStats {
+        target_seq,
+        covered_seq: covered_before,
+        snapshot_written: false,
+        segments_deleted: 0,
+        records_dropped: 0,
+        bytes_reclaimed: 0,
+        wal_bytes_after: 0,
+        interrupted: false,
+    };
+
+    if target_seq > covered_before {
+        let replay = replay_read_only(config)?;
+        let (tracker, dedup, _) = rebuild_state(
+            existing.as_ref(),
+            estimator,
+            dedup_capacity,
+            &replay.records,
+            target_seq,
+        )?;
+        write_snapshot(&path, &build_snapshot(&tracker, &dedup, target_seq))?;
+        stats.snapshot_written = true;
+        stats.covered_seq = target_seq;
+        match interrupt {
+            CompactInterrupt::AbortAfterSnapshot => std::process::abort(),
+            CompactInterrupt::StopAfterSnapshot => {
+                stats.interrupted = true;
+                stats.wal_bytes_after = wal_dir_bytes(config)?;
+                return Ok(stats);
+            }
+            _ => {}
+        }
+    }
+
+    // Deletion eligibility is derived from what the snapshot on disk
+    // actually covers — never ahead of it.
+    let delete_below = target_seq.min(stats.covered_seq);
+    for seg in compactable_segments(config, delete_below)? {
+        fs::remove_file(&seg.path).map_err(|e| LabelError::io(&seg.path, "delete", e))?;
+        stats.segments_deleted += 1;
+        stats.records_dropped += seg.records;
+        stats.bytes_reclaimed += seg.bytes;
+        if stats.segments_deleted == 1 {
+            match interrupt {
+                CompactInterrupt::AbortAfterFirstDelete => std::process::abort(),
+                CompactInterrupt::StopAfterFirstDelete => {
+                    stats.interrupted = true;
+                    stats.wal_bytes_after = wal_dir_bytes(config)?;
+                    return Ok(stats);
+                }
+                _ => {}
+            }
+        }
+    }
+    stats.wal_bytes_after = wal_dir_bytes(config)?;
+    Ok(stats)
+}

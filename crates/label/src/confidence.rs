@@ -61,11 +61,13 @@ pub struct LabelsSnapshot {
 pub struct ConfidenceTracker {
     estimator: ConfidenceEstimator,
     /// example → (worker → label); BTreeMaps keep every derived view (and
-    /// the snapshot serialization) deterministic.
-    table: BTreeMap<u64, BTreeMap<u32, u8>>,
+    /// the snapshot serialization) deterministic. Crate-visible so the
+    /// compaction codec ([`crate::compact`]) can export/restore the exact
+    /// cell state without an intermediate copy.
+    pub(crate) table: BTreeMap<u64, BTreeMap<u32, u8>>,
     /// example → largest seq that touched it.
-    last_seq: BTreeMap<u64, u64>,
-    applied_seq: u64,
+    pub(crate) last_seq: BTreeMap<u64, u64>,
+    pub(crate) applied_seq: u64,
 }
 
 impl ConfidenceTracker {
@@ -191,6 +193,20 @@ impl ConfidenceTracker {
     /// voted, so the fold is deterministic across restarts. The row count is
     /// unchanged — `resume_fit`'s input-dimension check stays satisfied.
     pub fn fold_into(&self, base: &AnnotationMatrix, max_workers: u32) -> Result<AnnotationMatrix> {
+        self.fold_into_filtered(base, max_workers, &[])
+    }
+
+    /// [`ConfidenceTracker::fold_into`] with a live-worker exclusion list:
+    /// votes from `excluded` workers are left out of the fold (their columns
+    /// stay empty, so the output width — and `resume_fit`'s dimension check —
+    /// is unchanged). This is how the retrainer down-weights annotators whose
+    /// fitted confusion rows carry no signal.
+    pub fn fold_into_filtered(
+        &self,
+        base: &AnnotationMatrix,
+        max_workers: u32,
+        excluded: &[u32],
+    ) -> Result<AnnotationMatrix> {
         let base_workers = base.num_workers();
         let width = base_workers + max_workers as usize;
         let mut folded =
@@ -218,9 +234,39 @@ impl ConfidenceTracker {
                         reason: format!("worker {worker} outside the {max_workers}-worker budget"),
                     });
                 }
+                if excluded.contains(&worker) {
+                    continue;
+                }
                 folded.set(item, base_workers + worker as usize, label)?;
             }
         }
         Ok(folded)
+    }
+
+    /// The live votes alone as an annotation table (`num_examples` rows ×
+    /// `max_workers` columns) — the input for fitting a Dawid–Skene model
+    /// over the *live* annotators only, from which per-worker quality is
+    /// derived.
+    pub fn live_matrix(&self, num_examples: u64, max_workers: u32) -> Result<AnnotationMatrix> {
+        let mut live = AnnotationMatrix::new(num_examples as usize, max_workers as usize, 2)
+            .map_err(LabelError::Confidence)?;
+        for (&example, workers) in &self.table {
+            if example >= num_examples {
+                return Err(LabelError::InvalidVote {
+                    reason: format!(
+                        "vote for example {example} outside the {num_examples}-item dataset"
+                    ),
+                });
+            }
+            for (&worker, &label) in workers {
+                if worker >= max_workers {
+                    return Err(LabelError::InvalidVote {
+                        reason: format!("worker {worker} outside the {max_workers}-worker budget"),
+                    });
+                }
+                live.set(example as usize, worker as usize, label)?;
+            }
+        }
+        Ok(live)
     }
 }

@@ -20,24 +20,36 @@
 //!    model through a [`retrain::PublishSink`] (the serving binary's sink
 //!    writes an atomic checkpoint and hot-swaps it via `POST /reload`).
 //!
-//! [`store::LabelStore`] ties layers 1 and 2 together behind two new rungs
-//! of the workspace lock ladder (`wal` at 60, `votes` at 70); the retrainer
-//! adds `retrain` at 80.
+//! A fourth layer bounds the log: **compaction** ([`compact`]) folds sealed
+//! WAL history below the retrainer's published `folded_seq` into a
+//! checksummed confidence snapshot and deletes the covered segments, so the
+//! log (and every restart replay) stays proportional to the un-retrained
+//! tail rather than the full vote history.
+//!
+//! [`store::LabelStore`] ties the layers together behind four new rungs of
+//! the workspace lock ladder (`dedup` at 55, `wal` at 60, `votes` at 70,
+//! `compact` at 90); the retrainer adds `retrain` at 80.
 
+pub mod compact;
 pub mod confidence;
 pub mod error;
 pub mod retrain;
 pub mod store;
 pub mod wal;
 
+pub use compact::{
+    build_snapshot, compact_wal, read_snapshot, restore_tracker, snapshot_path, write_snapshot,
+    CompactInterrupt, CompactionStats, ConfidenceSnapshot, SnapshotExample, SnapshotReceipt,
+    SNAPSHOT_FILE, SNAPSHOT_MAGIC, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION,
+};
 pub use confidence::{ConfidenceTracker, ExampleConfidence, LabelsSnapshot, LABELS_SCHEMA};
 pub use error::{LabelError, Result};
 pub use retrain::{
     read_manifest, write_manifest, PublishSink, RetrainBase, RetrainConfig, RetrainManifest,
-    RetrainShared, RetrainStatus, Retrainer, MANIFEST_SCHEMA,
+    RetrainShared, RetrainStatus, RetrainTrigger, Retrainer, WorkerWeighting, MANIFEST_SCHEMA,
 };
-pub use store::{IngestReceipt, LabelStore, LabelStoreConfig};
+pub use store::{DedupMap, IngestReceipt, LabelStore, LabelStoreConfig, DEFAULT_DEDUP_CAPACITY};
 pub use wal::{
-    replay_read_only, shard_of, Corruption, CorruptionKind, ShardedWal, Vote, VoteRecord,
-    WalConfig, WalReplay,
+    compactable_segments, replay_read_only, shard_of, wal_dir_bytes, CompactableSegment,
+    Corruption, CorruptionKind, ShardedWal, Vote, VoteRecord, WalConfig, WalReplay,
 };

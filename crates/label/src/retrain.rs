@@ -19,12 +19,29 @@
 //! snapshot exists. Either way the published model is a pure function of
 //! (base dataset, votes ≤ folded_seq, seed).
 //!
+//! ## Triggers and worker weighting
+//!
+//! Rounds fire on a [`RetrainTrigger`]: either the legacy fixed vote count,
+//! or (the default in the serving binary) a **drift** trigger that watches
+//! how far the live confidence field has moved since the last fold — total
+//! absolute confidence drift, plus a disagreement score (how close voted
+//! examples sit to δ = ½). Votes that merely re-confirm settled examples no
+//! longer force a round; votes that flip or contest labels do.
+//!
+//! When [`RetrainConfig::weighting`] is set, each round first fits a
+//! Dawid–Skene model over the live votes alone and derives per-worker
+//! quality ([`rll_crowd::worker_qualities`]); live annotators whose fitted
+//! confusion rows carry no signal (informativeness below the spam
+//! threshold) are excluded from the fold. The exclusion list is pinned in
+//! the round manifest so crash recovery rebuilds the exact same fold.
+//!
 //! ## Locks
 //!
 //! The retrainer owns one lock: `retrain` (rank **80**), guarding its
-//! status. It is the top of the ladder — the loop never holds it across
-//! calls into the store (`votes`, rank 70) or the training stack.
+//! status. The loop never holds it across calls into the store (`votes`,
+//! rank 70; `compact`, rank 90) or the training stack.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,12 +49,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rll_core::{pipeline::score_predictions, CheckpointPolicy, RllConfig, RllPipeline, TrainState};
-use rll_crowd::AnnotationMatrix;
+use rll_crowd::{AnnotationMatrix, ConfidenceEstimator};
 use rll_obs::{EventKind, Recorder, RetrainRoundStats, Stopwatch};
 use rll_par::OrderedMutex;
 use rll_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
+use crate::confidence::ConfidenceTracker;
 use crate::error::{LabelError, Result};
 use crate::store::LabelStore;
 
@@ -59,6 +77,110 @@ pub struct RetrainManifest {
     pub seed: u64,
     /// `false` from fold until successful publish.
     pub complete: bool,
+    /// Live workers excluded from the fold by quality weighting, pinned
+    /// here so crash recovery rebuilds the identical fold. `None` (absent)
+    /// in manifests written before weighting existed.
+    pub excluded_workers: Option<Vec<u32>>,
+    /// What fired the round (`"votes"`, `"drift"`, `"disagreement"`).
+    pub trigger: Option<String>,
+}
+
+impl RetrainManifest {
+    /// The pinned exclusion list (empty for pre-weighting manifests).
+    pub fn excluded(&self) -> &[u32] {
+        self.excluded_workers.as_deref().unwrap_or(&[])
+    }
+}
+
+/// When a retrain round fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrainTrigger {
+    /// Fixed sequence-distance trigger: fire once `min_new_votes` new votes
+    /// accumulate, regardless of what they say.
+    Votes {
+        /// New votes (by sequence distance) required to trigger a round.
+        min_new_votes: u64,
+    },
+    /// Confidence-drift trigger: fire only when the live confidence field
+    /// moved or is contested, with `min_new_votes` as a floor so a single
+    /// flip cannot thrash the trainer.
+    Drift {
+        /// Minimum new votes before the drift scores are even consulted.
+        min_new_votes: u64,
+        /// Fire when the summed |δ_now − δ_last_fold| across examples
+        /// (unseen examples count from the estimator's prior mean) reaches
+        /// this.
+        drift_threshold: f64,
+        /// Fire when the mean disagreement `2·min(δ, 1−δ)` over voted
+        /// examples reaches this.
+        disagreement_threshold: f64,
+    },
+}
+
+impl RetrainTrigger {
+    /// The vote floor common to both variants.
+    pub fn min_new_votes(&self) -> u64 {
+        match self {
+            RetrainTrigger::Votes { min_new_votes }
+            | RetrainTrigger::Drift { min_new_votes, .. } => *min_new_votes,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.min_new_votes() == 0 {
+            return Err(LabelError::InvalidConfig {
+                reason: "retrain min_new_votes must be >= 1".into(),
+            });
+        }
+        if let RetrainTrigger::Drift {
+            drift_threshold,
+            disagreement_threshold,
+            ..
+        } = self
+        {
+            if !(drift_threshold.is_finite() && *drift_threshold > 0.0) {
+                return Err(LabelError::InvalidConfig {
+                    reason: format!(
+                        "drift threshold must be finite and > 0, got {drift_threshold}"
+                    ),
+                });
+            }
+            if !(disagreement_threshold.is_finite() && *disagreement_threshold > 0.0) {
+                return Err(LabelError::InvalidConfig {
+                    reason: format!(
+                        "disagreement threshold must be finite and > 0, got \
+                         {disagreement_threshold}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Worker-quality weighting policy for the fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerWeighting {
+    /// Live workers with Dawid–Skene informativeness below this are
+    /// excluded from the fold (0.2 is the usual operating point).
+    pub spam_threshold: f64,
+    /// Workers with fewer live votes than this are never excluded — too
+    /// little evidence to call anyone a spammer.
+    pub min_votes: u64,
+}
+
+impl WorkerWeighting {
+    fn validate(&self) -> Result<()> {
+        if !(self.spam_threshold.is_finite() && (0.0..=1.0).contains(&self.spam_threshold)) {
+            return Err(LabelError::InvalidConfig {
+                reason: format!(
+                    "spam threshold must be within [0, 1], got {}",
+                    self.spam_threshold
+                ),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Static retrain policy.
@@ -68,8 +190,13 @@ pub struct RetrainConfig {
     pub train: RllConfig,
     /// Base seed; round `r` trains with a seed derived from `(base_seed, r)`.
     pub base_seed: u64,
-    /// New votes (by sequence distance) required to trigger a round.
-    pub min_new_votes: u64,
+    /// What fires a round.
+    pub trigger: RetrainTrigger,
+    /// Worker-quality weighting for the fold; `None` folds every vote.
+    pub weighting: Option<WorkerWeighting>,
+    /// Compact the WAL below the manifest's `folded_seq` after every
+    /// completed round.
+    pub auto_compact: bool,
     /// How often the loop re-checks the high-water mark.
     pub poll_interval: Duration,
     /// Where rounds checkpoint their `.rllstate` snapshots.
@@ -117,6 +244,10 @@ pub struct RetrainStatus {
     pub in_progress: bool,
     /// Last round failure, if any (cleared by the next success).
     pub last_error: Option<String>,
+    /// What fired the last completed round.
+    pub last_trigger: Option<String>,
+    /// Workers the last completed round excluded by quality weighting.
+    pub excluded_workers: Vec<u32>,
 }
 
 impl Default for RetrainStatus {
@@ -128,6 +259,8 @@ impl Default for RetrainStatus {
             last_accuracy: -1.0,
             in_progress: false,
             last_error: None,
+            last_trigger: None,
+            excluded_workers: Vec::new(),
         }
     }
 }
@@ -172,10 +305,9 @@ impl Retrainer {
         recorder: Recorder,
         publish: Box<dyn PublishSink>,
     ) -> Result<Retrainer> {
-        if config.min_new_votes == 0 {
-            return Err(LabelError::InvalidConfig {
-                reason: "retrain min_new_votes must be >= 1".into(),
-            });
+        config.trigger.validate()?;
+        if let Some(weighting) = &config.weighting {
+            weighting.validate()?;
         }
         if base.features.rows() != base.annotations.num_items() {
             return Err(LabelError::InvalidConfig {
@@ -258,12 +390,33 @@ fn run_loop(
     shared: Arc<RetrainShared>,
     shutdown: Arc<AtomicBool>,
 ) {
-    if let Err(e) = recover(&store, &base, &config, &recorder, &mut publish, &shared) {
+    // Per-example confidence at the last completed fold — the drift
+    // trigger's reference point. `None` until a round completes (or is
+    // recovered); examples absent from the map count from the estimator's
+    // prior mean.
+    let mut baseline: Option<BTreeMap<u64, f64>> = None;
+    if let Err(e) = recover(
+        &store,
+        &base,
+        &config,
+        &recorder,
+        &mut publish,
+        &shared,
+        &mut baseline,
+    ) {
         shared.update(|s| s.last_error = Some(e.to_string()));
         recorder.note(format!("retrain recovery failed: {e}"));
     }
     while !shutdown.load(Ordering::SeqCst) {
-        match run_if_due(&store, &base, &config, &recorder, &mut publish, &shared) {
+        match run_if_due(
+            &store,
+            &base,
+            &config,
+            &recorder,
+            &mut publish,
+            &shared,
+            &mut baseline,
+        ) {
             Ok(ran) => {
                 if !ran {
                     sleep_interruptibly(&shutdown, config.poll_interval);
@@ -290,7 +443,90 @@ fn sleep_interruptibly(shutdown: &AtomicBool, total: Duration) {
     }
 }
 
-/// Finishes an interrupted round left behind by a crash, if any.
+/// The drift reference for examples never seen at the last fold: the
+/// estimator's prior mean (what `positiveness` would return with no votes).
+fn prior_mean(estimator: ConfidenceEstimator) -> f64 {
+    match estimator {
+        ConfidenceEstimator::Bayesian(prior) => prior.alpha / (prior.alpha + prior.beta),
+        _ => 0.5,
+    }
+}
+
+/// `example → δ` for every voted example.
+fn confidence_map(tracker: &ConfidenceTracker) -> Result<BTreeMap<u64, f64>> {
+    Ok(tracker
+        .snapshot()?
+        .examples
+        .into_iter()
+        .map(|e| (e.example, e.confidence))
+        .collect())
+}
+
+/// Drift scores of the current confidence field against a baseline:
+/// `(total |δ_now − δ_then|, mean disagreement 2·min(δ, 1−δ))`.
+fn drift_scores(
+    current: &BTreeMap<u64, f64>,
+    baseline: Option<&BTreeMap<u64, f64>>,
+    prior: f64,
+) -> (f64, f64) {
+    let mut drift = 0.0;
+    let mut disagreement = 0.0;
+    for (example, &now) in current {
+        let then = baseline
+            .and_then(|b| b.get(example).copied())
+            .unwrap_or(prior);
+        drift += (now - then).abs();
+        disagreement += 2.0 * now.min(1.0 - now);
+    }
+    let mean_disagreement = if current.is_empty() {
+        0.0
+    } else {
+        disagreement / current.len() as f64
+    };
+    (drift, mean_disagreement)
+}
+
+/// Live workers the fold should exclude under the weighting policy: fit
+/// Dawid–Skene over the live votes alone, derive per-worker quality, and
+/// drop annotators whose responses carry no signal. Degenerate live tables
+/// (nothing to fit) fall back to an empty exclusion list — weighting never
+/// fails a round.
+fn excluded_workers(
+    tracker: &ConfidenceTracker,
+    num_examples: u64,
+    max_workers: u32,
+    weighting: &WorkerWeighting,
+    recorder: &Recorder,
+) -> Result<Vec<u32>> {
+    let live = tracker.live_matrix(num_examples, max_workers)?;
+    if live.total_annotations() == 0 {
+        return Ok(Vec::new());
+    }
+    let qualities = match rll_crowd::live_worker_qualities(&live) {
+        Ok(q) => q,
+        Err(e) => {
+            recorder.note(format!(
+                "worker-quality fit failed ({e}); folding unweighted this round"
+            ));
+            return Ok(Vec::new());
+        }
+    };
+    let mut excluded = Vec::new();
+    for spammer in rll_crowd::detect_spammers(&qualities, weighting.spam_threshold) {
+        let enough_votes = qualities
+            .iter()
+            .find(|q| q.worker == spammer)
+            .is_some_and(|q| q.annotation_count as u64 >= weighting.min_votes);
+        if enough_votes {
+            excluded.push(spammer as u32);
+        }
+    }
+    Ok(excluded)
+}
+
+/// Finishes an interrupted round left behind by a crash, if any, and seeds
+/// the drift baseline from the last fold.
+#[allow(clippy::too_many_arguments)]
 fn recover(
     store: &LabelStore,
     base: &RetrainBase,
@@ -298,6 +534,7 @@ fn recover(
     recorder: &Recorder,
     publish: &mut Box<dyn PublishSink>,
     shared: &RetrainShared,
+    baseline: &mut Option<BTreeMap<u64, f64>>,
 ) -> Result<()> {
     let Some(manifest) = read_manifest(&config.manifest_path)? else {
         return Ok(());
@@ -306,13 +543,24 @@ fn recover(
         shared.update(|s| {
             s.rounds_completed = manifest.round;
             s.last_folded_seq = manifest.folded_seq;
+            s.excluded_workers = manifest.excluded().to_vec();
+            s.last_trigger = manifest.trigger.clone();
         });
+        if matches!(config.trigger, RetrainTrigger::Drift { .. }) {
+            let tracker = store.replay_up_to(manifest.folded_seq)?;
+            *baseline = Some(confidence_map(&tracker)?);
+        }
         return Ok(());
     }
     // Interrupted mid-round: rebuild the exact fold from the WAL (read-only,
-    // filtered to the manifest's sequence) and finish the round.
+    // filtered to the manifest's sequence, minus the manifest's pinned
+    // exclusion list) and finish the round.
     let tracker = store.replay_up_to(manifest.folded_seq)?;
-    let folded = tracker.fold_into(&base.annotations, store.config().max_workers)?;
+    let folded = tracker.fold_into_filtered(
+        &base.annotations,
+        store.config().max_workers,
+        manifest.excluded(),
+    )?;
     let votes = tracker.vote_cells();
     // A usable snapshot lets the round resume bitwise-identically; without
     // one the round reruns in full with the manifest's seed — same output
@@ -323,10 +571,14 @@ fn recover(
         s.in_progress = true;
     });
     let outcome = run_round(base, config, recorder, publish, &manifest, folded, state);
-    finish_round(config, recorder, shared, &manifest, votes, outcome)
+    finish_round(config, recorder, shared, &manifest, votes, outcome)?;
+    *baseline = Some(confidence_map(&tracker)?);
+    compact_after_round(store, config, recorder);
+    Ok(())
 }
 
-/// Runs one round if enough votes accumulated. Returns whether it ran.
+/// Runs one round if the trigger fires. Returns whether it ran.
+#[allow(clippy::too_many_arguments)]
 fn run_if_due(
     store: &LabelStore,
     base: &RetrainBase,
@@ -334,26 +586,86 @@ fn run_if_due(
     recorder: &Recorder,
     publish: &mut Box<dyn PublishSink>,
     shared: &RetrainShared,
+    baseline: &mut Option<BTreeMap<u64, f64>>,
 ) -> Result<bool> {
     let status = shared.status();
     let high_water = store.high_water();
-    if high_water.saturating_sub(status.last_folded_seq) < config.min_new_votes {
+    if high_water.saturating_sub(status.last_folded_seq) < config.trigger.min_new_votes() {
         return Ok(false);
     }
-    let (folded, folded_seq, votes) = store.fold_current(&base.annotations)?;
+    // One point-in-time tracker copy: trigger evaluation, worker-quality
+    // fitting, the fold, and the recorded folded_seq all see the same state.
+    let tracker = store.tracker_clone();
+    let trigger_name = match &config.trigger {
+        RetrainTrigger::Votes { .. } => "votes",
+        RetrainTrigger::Drift {
+            drift_threshold,
+            disagreement_threshold,
+            ..
+        } => {
+            let current = confidence_map(&tracker)?;
+            let (drift, disagreement) = drift_scores(
+                &current,
+                baseline.as_ref(),
+                prior_mean(store.config().estimator),
+            );
+            let metrics = recorder.metrics();
+            metrics.gauge("label.retrain.drift").set(drift);
+            metrics
+                .gauge("label.retrain.disagreement")
+                .set(disagreement);
+            if drift >= *drift_threshold {
+                "drift"
+            } else if disagreement >= *disagreement_threshold {
+                "disagreement"
+            } else {
+                return Ok(false);
+            }
+        }
+    };
+    let excluded = match &config.weighting {
+        Some(weighting) => excluded_workers(
+            &tracker,
+            store.config().num_examples,
+            store.config().max_workers,
+            weighting,
+            recorder,
+        )?,
+        None => Vec::new(),
+    };
+    let folded =
+        tracker.fold_into_filtered(&base.annotations, store.config().max_workers, &excluded)?;
+    let folded_seq = tracker.applied_seq();
+    let votes = tracker.vote_cells();
     let manifest = RetrainManifest {
         schema: MANIFEST_SCHEMA.to_string(),
         round: status.rounds_completed + 1,
         folded_seq,
         seed: round_seed(config.base_seed, status.rounds_completed + 1),
         complete: false,
+        excluded_workers: Some(excluded),
+        trigger: Some(trigger_name.to_string()),
     };
     write_manifest(&config.manifest_path, &manifest)?;
     shared.update(|s| s.in_progress = true);
     let outcome = run_round(base, config, recorder, publish, &manifest, folded, None);
     finish_round(config, recorder, shared, &manifest, votes, outcome)?;
+    *baseline = Some(confidence_map(&tracker)?);
+    compact_after_round(store, config, recorder);
     store.publish_gauges()?;
     Ok(true)
+}
+
+/// Post-round WAL compaction (when enabled). Fail-soft: the round already
+/// published, so a compaction error is reported but does not fail the loop.
+fn compact_after_round(store: &LabelStore, config: &RetrainConfig, recorder: &Recorder) {
+    if !config.auto_compact {
+        return;
+    }
+    if let Err(e) = store.compact_below_manifest() {
+        recorder.metrics().counter("label.compact.failures").inc();
+        recorder.note(format!("post-round compaction failed: {e}"));
+    }
 }
 
 /// Trains, evaluates, and publishes one round. Returns
@@ -438,6 +750,8 @@ fn finish_round(
         s.last_accuracy = accuracy;
         s.in_progress = false;
         s.last_error = None;
+        s.last_trigger = manifest.trigger.clone();
+        s.excluded_workers = manifest.excluded().to_vec();
     });
     recorder.emit(EventKind::RetrainRound(RetrainRoundStats {
         round: manifest.round,
@@ -453,6 +767,9 @@ fn finish_round(
     metrics
         .gauge("label.retrain.folded_seq")
         .set(manifest.folded_seq as f64);
+    metrics
+        .gauge("label.retrain.excluded_workers")
+        .set(manifest.excluded().len() as f64);
     if accuracy.is_finite() && accuracy >= 0.0 {
         metrics.gauge("label.retrain.accuracy").set(accuracy);
     }

@@ -33,6 +33,7 @@
 
 use std::fs;
 use std::io::Write as _;
+use std::num::{NonZeroU32, NonZeroU64};
 use std::path::{Path, PathBuf};
 
 use rll_core::snapshot::{atomic_write, split_envelope};
@@ -57,6 +58,42 @@ pub struct Vote {
     pub worker: u32,
     /// Binary label: 0 or 1.
     pub label: u8,
+    /// Client annotator-session id, half of the optional idempotency key.
+    /// Missing from old (and unkeyed) submissions — the vendored serde shim
+    /// maps an absent field to `None`.
+    pub session: Option<u64>,
+    /// Client per-session request counter, the other half. A retried POST
+    /// resends the same `(session, request)` pair; ingest then returns the
+    /// original receipt instead of appending a second record.
+    pub request: Option<u64>,
+}
+
+impl Vote {
+    /// An unkeyed vote (no idempotency key — every submission appends).
+    pub fn new(example: u64, worker: u32, label: u8) -> Vote {
+        Vote {
+            example,
+            worker,
+            label,
+            session: None,
+            request: None,
+        }
+    }
+
+    /// Attaches a client `(session, request)` idempotency key.
+    pub fn with_key(mut self, session: u64, request: u64) -> Vote {
+        self.session = Some(session);
+        self.request = Some(request);
+        self
+    }
+
+    /// The idempotency key, if both halves were supplied.
+    pub fn key(&self) -> Option<(u64, u64)> {
+        match (self.session, self.request) {
+            (Some(s), Some(r)) => Some((s, r)),
+            _ => None,
+        }
+    }
 }
 
 /// A vote with its durable, globally monotone sequence number.
@@ -68,6 +105,22 @@ pub struct VoteRecord {
     pub example: u64,
     pub worker: u32,
     pub label: u8,
+    /// Idempotency-key halves, persisted so the dedup table rebuilds
+    /// identically on replay. `None` for unkeyed votes — and for every
+    /// record written before this field existed, since an absent field
+    /// deserializes to `None`, keeping old segments parseable.
+    pub session: Option<u64>,
+    pub request: Option<u64>,
+}
+
+impl VoteRecord {
+    /// The idempotency key, if the originating vote carried one.
+    pub fn key(&self) -> Option<(u64, u64)> {
+        match (self.session, self.request) {
+            (Some(s), Some(r)) => Some((s, r)),
+            _ => None,
+        }
+    }
 }
 
 /// Segment-file header (the envelope's one-line JSON head).
@@ -143,29 +196,50 @@ pub struct WalReplay {
 }
 
 /// WAL shape: directory, shard fan-out, rotation cadence.
+///
+/// Constructed only through [`WalConfig::new`], which rejects zero shard or
+/// segment-record counts with a typed [`LabelError::InvalidConfig`] — the
+/// fields are non-zero by type, so a degenerate shape is unrepresentable and
+/// no call site needs a defensive `max(1)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WalConfig {
-    /// Directory holding the segment files (created on open).
-    pub dir: PathBuf,
-    /// Shard count; votes hash to shards by example id.
-    pub shards: u32,
-    /// Records per segment before rotation seals it.
-    pub segment_records: u64,
+    dir: PathBuf,
+    shards: NonZeroU32,
+    segment_records: NonZeroU64,
 }
 
 impl WalConfig {
-    fn validate(&self) -> Result<()> {
-        if self.shards == 0 {
-            return Err(LabelError::InvalidConfig {
-                reason: "wal shards must be >= 1".into(),
-            });
-        }
-        if self.segment_records == 0 {
-            return Err(LabelError::InvalidConfig {
+    /// Validates and builds a WAL shape. `shards == 0` or
+    /// `segment_records == 0` is a typed config error, caught here rather
+    /// than silently masked at hash time.
+    pub fn new(dir: impl Into<PathBuf>, shards: u32, segment_records: u64) -> Result<WalConfig> {
+        let shards = NonZeroU32::new(shards).ok_or_else(|| LabelError::InvalidConfig {
+            reason: "wal shards must be >= 1".into(),
+        })?;
+        let segment_records =
+            NonZeroU64::new(segment_records).ok_or_else(|| LabelError::InvalidConfig {
                 reason: "wal segment_records must be >= 1".into(),
-            });
-        }
-        Ok(())
+            })?;
+        Ok(WalConfig {
+            dir: dir.into(),
+            shards,
+            segment_records,
+        })
+    }
+
+    /// Directory holding the segment files (created on open).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shard count; votes hash to shards by example id.
+    pub fn shards(&self) -> NonZeroU32 {
+        self.shards
+    }
+
+    /// Records per segment before rotation seals it.
+    pub fn segment_records(&self) -> NonZeroU64 {
+        self.segment_records
     }
 
     fn segment_path(&self, shard: u32, segment: u64) -> PathBuf {
@@ -197,9 +271,9 @@ pub struct ShardedWal {
 }
 
 /// Which shard a vote lands in: FNV-1a of the example id, mod shard count.
-pub fn shard_of(example: u64, shards: u32) -> u32 {
-    // `shards` is validated >= 1, so the modulo is well-defined.
-    (fnv1a(&example.to_le_bytes()) % u64::from(shards.max(1))) as u32
+/// The non-zero type makes the modulo well-defined without a runtime mask.
+pub fn shard_of(example: u64, shards: NonZeroU32) -> u32 {
+    (fnv1a(&example.to_le_bytes()) % u64::from(shards.get())) as u32
 }
 
 impl ShardedWal {
@@ -207,12 +281,11 @@ impl ShardedWal {
     /// every shard. Returns the WAL positioned for appends plus everything
     /// the replay recovered.
     pub fn open(config: WalConfig) -> Result<(ShardedWal, WalReplay)> {
-        config.validate()?;
         fs::create_dir_all(&config.dir)
             .map_err(|e| LabelError::io(&config.dir, "create dir", e))?;
         let replay = replay_dir(&config, true)?;
-        let mut shards = Vec::with_capacity(config.shards as usize);
-        for shard in 0..config.shards {
+        let mut shards = Vec::with_capacity(config.shards.get() as usize);
+        for shard in 0..config.shards.get() {
             let segs = list_segments(&config, shard)?;
             match segs.last() {
                 Some(&(segment, _)) => {
@@ -252,6 +325,14 @@ impl ShardedWal {
         self.records_total
     }
 
+    /// Raises the next sequence number to at least `floor_seq + 1`. Called
+    /// after a compacted open: the deleted segments' sequence range lives on
+    /// only in the confidence snapshot, so the replayed high-water mark can
+    /// undercount and fresh appends must never reuse a compacted sequence.
+    pub fn raise_seq_floor(&mut self, floor_seq: u64) {
+        self.next_seq = self.next_seq.max(floor_seq + 1);
+    }
+
     /// Assigns the next sequence number and durably appends the vote: the
     /// record line is written and fsynced before this returns, so an acked
     /// vote survives `kill -9`. Rotation seals the outgoing segment with an
@@ -264,6 +345,8 @@ impl ShardedWal {
             example: vote.example,
             worker: vote.worker,
             label: vote.label,
+            session: vote.session,
+            request: vote.request,
         };
 
         let state =
@@ -274,7 +357,7 @@ impl ShardedWal {
                     reason: format!("shard {shard} out of range"),
                 })?;
         let (segment, records_in) = match state.active_segment {
-            Some(seg) if state.active_records >= self.config.segment_records => {
+            Some(seg) if state.active_records >= self.config.segment_records.get() => {
                 self.seal_segment(shard, seg)?;
                 let next = seg + 1;
                 self.create_segment(shard, next, seq)?;
@@ -367,7 +450,6 @@ fn payload_line_count(payload: &[u8]) -> u64 {
 /// record below an already-observed high-water mark is immutable, and a torn
 /// in-flight tail merely ends the scan of its shard.
 pub fn replay_read_only(config: &WalConfig) -> Result<WalReplay> {
-    config.validate()?;
     replay_dir(config, false)
 }
 
@@ -375,7 +457,7 @@ pub fn replay_read_only(config: &WalConfig) -> Result<WalReplay> {
 fn replay_dir(config: &WalConfig, repair: bool) -> Result<WalReplay> {
     let mut replay = WalReplay::default();
     let mut merged: std::collections::BTreeMap<u64, VoteRecord> = std::collections::BTreeMap::new();
-    for shard in 0..config.shards {
+    for shard in 0..config.shards.get() {
         let shard_records = replay_shard(config, shard, repair, &mut replay)?;
         for rec in shard_records {
             if let Some(previous) = merged.insert(rec.seq, rec) {
@@ -683,6 +765,90 @@ fn count_records(path: &Path) -> Result<u64> {
         Ok((_, payload)) => Ok(payload_line_count(payload)),
         Err(_) => Ok(0),
     }
+}
+
+/// One sealed segment whose records all sit at or below a compaction target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactableSegment {
+    pub shard: u32,
+    pub segment: u64,
+    pub path: PathBuf,
+    /// Verified record-line count.
+    pub records: u64,
+    /// On-disk size in bytes.
+    pub bytes: u64,
+}
+
+/// Finds the segments a compaction at `target_seq` may delete: per shard, the
+/// longest *prefix* of the segment chain in which every segment is sealed,
+/// verifies cleanly, and contains only records with `seq <= target_seq`.
+///
+/// The prefix rule is what keeps an interrupted deletion recoverable: covered
+/// segments are removed in ascending order, so a crash part-way leaves each
+/// shard's chain with (at most) a leading gap — which replay treats as an
+/// already-compacted prefix, never as a [`CorruptionKind::MissingSegment`]
+/// mid-chain fault. Any corruption stops the prefix for that shard;
+/// compaction never repairs, that stays [`ShardedWal::open`]'s job.
+pub fn compactable_segments(
+    config: &WalConfig,
+    target_seq: u64,
+) -> Result<Vec<CompactableSegment>> {
+    let mut out = Vec::new();
+    for shard in 0..config.shards.get() {
+        let segments = list_segments(config, shard)?;
+        let mut last_seq = 0u64;
+        let mut expected: Option<u64> = None;
+        for &(segment, ref path) in &segments {
+            if expected.is_some_and(|e| segment != e) {
+                break; // mid-chain gap: leave it for open()'s repair
+            }
+            expected = Some(segment + 1);
+            let bytes = fs::metadata(path)
+                .map_err(|e| LabelError::io(path, "stat", e))?
+                .len();
+            let raw = fs::read(path).map_err(|e| LabelError::io(path, "read", e))?;
+            let Ok((header_str, _)) = split_envelope(&raw) else {
+                break;
+            };
+            let Ok(header) = serde_json::from_str::<SegmentHeader>(header_str) else {
+                break;
+            };
+            if !header.sealed {
+                break;
+            }
+            let scan = scan_segment(path, shard, segment, last_seq)?;
+            if scan.corruption.is_some() {
+                break;
+            }
+            if let Some(last) = scan.records.last() {
+                last_seq = last.seq;
+            }
+            if last_seq > target_seq {
+                break;
+            }
+            out.push(CompactableSegment {
+                shard,
+                segment,
+                path: path.clone(),
+                records: scan.records.len() as u64,
+                bytes,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Total on-disk bytes of the WAL's live (non-quarantined) segment files.
+pub fn wal_dir_bytes(config: &WalConfig) -> Result<u64> {
+    let mut total = 0u64;
+    for shard in 0..config.shards.get() {
+        for (_, path) in list_segments(config, shard)? {
+            total += fs::metadata(&path)
+                .map_err(|e| LabelError::io(&path, "stat", e))?
+                .len();
+        }
+    }
+    Ok(total)
 }
 
 /// Lists a shard's segment files sorted by segment index.

@@ -1,0 +1,518 @@
+//! Compaction suite (issue 9): snapshot+tail replay equivalence, the
+//! crash contract of an interrupted compaction, the manifest-gated target
+//! policy, idempotent keyed ingest, and sequence-floor preservation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rll_crowd::{BetaPrior, ConfidenceEstimator};
+use rll_label::{
+    compact_wal, read_manifest, read_snapshot, replay_read_only, snapshot_path, write_manifest,
+    CompactInterrupt, LabelError, LabelStore, LabelStoreConfig, RetrainManifest, Vote,
+    MANIFEST_SCHEMA,
+};
+use rll_obs::Recorder;
+use rll_tensor::Rng64;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rll_compact_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn store_config(dir: &Path, shards: u32, segment_records: u64) -> LabelStoreConfig {
+    LabelStoreConfig {
+        dir: dir.join("wal"),
+        shards,
+        segment_records,
+        estimator: ConfidenceEstimator::Bayesian(BetaPrior {
+            alpha: 1.0,
+            beta: 1.0,
+        }),
+        num_examples: 29,
+        max_workers: 6,
+        dedup_capacity: 64,
+        manifest_path: Some(dir.join("retrain.manifest.json")),
+    }
+}
+
+/// Seeded vote stream; roughly half the votes carry idempotency keys so the
+/// dedup table is exercised through snapshots and replays too.
+fn random_votes(seed: u64, n: usize) -> Vec<Vote> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let vote = Vote::new(
+                rng.below(29).unwrap_or(0) as u64,
+                rng.below(6).unwrap_or(0) as u32,
+                u8::from(rng.bernoulli(0.6)),
+            );
+            if rng.bernoulli(0.5) {
+                vote.with_key(seed ^ 0xabc, i as u64)
+            } else {
+                vote
+            }
+        })
+        .collect()
+}
+
+fn complete_manifest(folded_seq: u64) -> RetrainManifest {
+    RetrainManifest {
+        schema: MANIFEST_SCHEMA.to_string(),
+        round: 1,
+        folded_seq,
+        seed: 7,
+        complete: true,
+        excluded_workers: None,
+        trigger: None,
+    }
+}
+
+/// `/labels` equality down to the confidence *bits* — the bar the whole
+/// snapshot+tail design is held to.
+fn assert_snapshots_bit_identical(store: &LabelStore, control: &LabelStore, context: &str) {
+    let a = store.snapshot().unwrap();
+    let b = control.snapshot().unwrap();
+    assert_eq!(a.high_water_seq, b.high_water_seq, "{context}: high water");
+    assert_eq!(a.votes, b.votes, "{context}: vote cells");
+    assert_eq!(a.examples.len(), b.examples.len(), "{context}: examples");
+    for (x, y) in a.examples.iter().zip(&b.examples) {
+        assert_eq!(x.example, y.example, "{context}");
+        assert_eq!(x.votes, y.votes, "{context}: example {}", x.example);
+        assert_eq!(x.positive, y.positive, "{context}: example {}", x.example);
+        assert_eq!(x.last_seq, y.last_seq, "{context}: example {}", x.example);
+        assert_eq!(
+            x.confidence.to_bits(),
+            y.confidence.to_bits(),
+            "{context}: example {} confidence {} != {}",
+            x.example,
+            x.confidence,
+            y.confidence
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "{context}: serialized snapshot"
+    );
+}
+
+/// Property: for random vote streams, shard shapes, and compaction points,
+/// snapshot-load + tail-replay is bit-identical to replaying the full log.
+#[test]
+fn compacted_replay_equals_full_replay_property() {
+    for (case, &(seed, n, shards, segment_records)) in [
+        (11u64, 60usize, 1u32, 4u64),
+        (12, 90, 3, 8),
+        (13, 120, 4, 5),
+        (14, 45, 2, 64), // segments never seal: compaction must be a no-op
+    ]
+    .iter()
+    .enumerate()
+    {
+        let dir = fresh_dir(&format!("prop{case}"));
+        let control_dir = fresh_dir(&format!("prop{case}_ctl"));
+        let config = store_config(&dir, shards, segment_records);
+        let control_config = store_config(&control_dir, shards, segment_records);
+        let votes = random_votes(seed, n);
+        {
+            let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+            let control = LabelStore::open(control_config.clone(), Recorder::disabled()).unwrap();
+            for &v in &votes {
+                store.ingest(v).unwrap();
+                control.ingest(v).unwrap();
+            }
+            // Three compaction points per case, strictly increasing.
+            let mut rng = Rng64::seed_from_u64(seed ^ 0x55);
+            let mut target = 0u64;
+            for _ in 0..3 {
+                target = (target + 1 + rng.below(n / 2).unwrap_or(0) as u64).min(n as u64);
+                write_manifest(
+                    config.manifest_path.as_ref().unwrap(),
+                    &complete_manifest(target),
+                )
+                .unwrap();
+                let stats = store.compact_below_manifest().unwrap();
+                assert!(stats.covered_seq >= target.min(stats.covered_seq));
+                assert_snapshots_bit_identical(
+                    &store,
+                    &control,
+                    &format!("case {case} live after compact to {target}"),
+                );
+            }
+        }
+        // Kill + restart both stores: the compacted one rebuilds from
+        // snapshot + tail, the control from the full log.
+        let store = LabelStore::open(config, Recorder::disabled()).unwrap();
+        let control = LabelStore::open(control_config, Recorder::disabled()).unwrap();
+        assert_snapshots_bit_identical(&store, &control, &format!("case {case} after restart"));
+    }
+}
+
+/// Compaction actually shrinks the log once segments seal, and replay
+/// tolerates the leading segment gap it leaves.
+#[test]
+fn compaction_reclaims_sealed_segments() {
+    let dir = fresh_dir("reclaim");
+    let config = store_config(&dir, 2, 4);
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    for &v in &random_votes(21, 80) {
+        store.ingest(v).unwrap();
+    }
+    let bytes_before = store.wal_bytes().unwrap();
+    write_manifest(
+        config.manifest_path.as_ref().unwrap(),
+        &complete_manifest(80),
+    )
+    .unwrap();
+    let stats = store.compact_below_manifest().unwrap();
+    assert!(stats.snapshot_written);
+    assert!(stats.segments_deleted > 0, "{stats:?}");
+    assert!(stats.bytes_reclaimed > 0);
+    assert!(
+        stats.wal_bytes_after < bytes_before,
+        "{} !< {bytes_before}",
+        stats.wal_bytes_after
+    );
+    assert_eq!(stats.covered_seq, 80);
+    // A second run with the same target is a no-op (idempotent).
+    let again = store.compact_below_manifest().unwrap();
+    assert!(!again.snapshot_written);
+    assert_eq!(again.segments_deleted, 0);
+}
+
+/// Sequence numbers are never reused after compacting away every segment of
+/// a shard: the floor comes from the snapshot, not the surviving files.
+#[test]
+fn sequence_floor_survives_full_compaction() {
+    let dir = fresh_dir("floor");
+    let config = store_config(&dir, 2, 2);
+    {
+        let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+        for &v in &random_votes(31, 40) {
+            store.ingest(v).unwrap();
+        }
+        write_manifest(
+            config.manifest_path.as_ref().unwrap(),
+            &complete_manifest(40),
+        )
+        .unwrap();
+        store.compact_below_manifest().unwrap();
+    }
+    let store = LabelStore::open(config, Recorder::disabled()).unwrap();
+    assert_eq!(store.high_water(), 40, "state restored from snapshot");
+    let receipt = store.ingest(Vote::new(0, 0, 1)).unwrap();
+    assert_eq!(receipt.seq, 41, "compacted sequence numbers are not reused");
+}
+
+/// Crash contract, stop-after-snapshot: the snapshot exists, every segment
+/// still exists, and a reopened store sees identical state (covered records
+/// exist twice; the tail filter must not double-apply them).
+#[test]
+fn interrupted_before_delete_loses_nothing() {
+    let dir = fresh_dir("before_delete");
+    let control_dir = fresh_dir("before_delete_ctl");
+    let config = store_config(&dir, 2, 4);
+    let control_config = store_config(&control_dir, 2, 4);
+    let votes = random_votes(41, 60);
+    {
+        let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+        let control = LabelStore::open(control_config.clone(), Recorder::disabled()).unwrap();
+        for &v in &votes {
+            store.ingest(v).unwrap();
+            control.ingest(v).unwrap();
+        }
+    }
+    let wal_config = config.wal_config().unwrap();
+    let bytes_before = fs::read_dir(dir.join("wal")).unwrap().count();
+    let stats = compact_wal(
+        &wal_config,
+        config.estimator,
+        config.dedup_capacity,
+        45,
+        CompactInterrupt::StopAfterSnapshot,
+    )
+    .unwrap();
+    assert!(stats.interrupted);
+    assert!(stats.snapshot_written);
+    assert_eq!(stats.segments_deleted, 0);
+    assert!(snapshot_path(&wal_config).exists());
+    assert_eq!(
+        fs::read_dir(dir.join("wal")).unwrap().count(),
+        bytes_before + 1,
+        "only the snapshot was added; no segment deleted"
+    );
+
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    let control = LabelStore::open(control_config, Recorder::disabled()).unwrap();
+    assert_snapshots_bit_identical(&store, &control, "interrupted before delete");
+    drop(store);
+
+    // Resuming the compaction finishes the deletion phase.
+    let resumed = compact_wal(
+        &wal_config,
+        config.estimator,
+        config.dedup_capacity,
+        45,
+        CompactInterrupt::None,
+    )
+    .unwrap();
+    assert!(!resumed.snapshot_written, "snapshot already covers 45");
+    assert!(resumed.segments_deleted > 0);
+    let store = LabelStore::open(config, Recorder::disabled()).unwrap();
+    assert_eq!(store.high_water(), 60);
+}
+
+/// Crash contract, stop-mid-delete: some covered segments are gone, the rest
+/// remain; replay treats the leading gap as compacted prefix and state is
+/// still bit-identical.
+#[test]
+fn interrupted_mid_delete_loses_nothing() {
+    let dir = fresh_dir("mid_delete");
+    let control_dir = fresh_dir("mid_delete_ctl");
+    let config = store_config(&dir, 2, 4);
+    let control_config = store_config(&control_dir, 2, 4);
+    let votes = random_votes(51, 60);
+    {
+        let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+        let control = LabelStore::open(control_config.clone(), Recorder::disabled()).unwrap();
+        for &v in &votes {
+            store.ingest(v).unwrap();
+            control.ingest(v).unwrap();
+        }
+    }
+    let wal_config = config.wal_config().unwrap();
+    let stats = compact_wal(
+        &wal_config,
+        config.estimator,
+        config.dedup_capacity,
+        45,
+        CompactInterrupt::StopAfterFirstDelete,
+    )
+    .unwrap();
+    assert!(stats.interrupted);
+    assert_eq!(stats.segments_deleted, 1, "exactly one segment deleted");
+
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    let control = LabelStore::open(control_config, Recorder::disabled()).unwrap();
+    assert_snapshots_bit_identical(&store, &control, "interrupted mid delete");
+    drop(store);
+
+    let resumed = compact_wal(
+        &wal_config,
+        config.estimator,
+        config.dedup_capacity,
+        45,
+        CompactInterrupt::None,
+    )
+    .unwrap();
+    assert!(resumed.segments_deleted >= 1, "{resumed:?}");
+}
+
+/// A crash *during* the snapshot write leaves only an atomic-writer temp
+/// file, which every reader ignores; a *torn final* snapshot is a hard typed
+/// error, never a silent empty store (the covering segments may be gone).
+#[test]
+fn torn_snapshot_is_hard_error_and_tmp_is_ignored() {
+    let dir = fresh_dir("torn_snap");
+    let config = store_config(&dir, 1, 4);
+    {
+        let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+        for &v in &random_votes(61, 20) {
+            store.ingest(v).unwrap();
+        }
+    }
+    let wal_config = config.wal_config().unwrap();
+    // Mid-write crash: a half-written temp beside the (absent) snapshot.
+    let tmp = dir.join("wal").join(format!(
+        ".{}.tmp.{}",
+        rll_label::SNAPSHOT_FILE,
+        std::process::id()
+    ));
+    fs::write(&tmp, b"{\"magic\":\"RLLSNAP\",\"version\":1,\"cover").unwrap();
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    assert_eq!(store.high_water(), 20, "temp file is invisible to replay");
+    drop(store);
+
+    // Torn *final* snapshot: typed corruption, not data loss by fallback.
+    fs::write(
+        snapshot_path(&wal_config),
+        b"{\"magic\":\"RLLSNAP\",\"version\":1,\"cover",
+    )
+    .unwrap();
+    let err = read_snapshot(&snapshot_path(&wal_config)).unwrap_err();
+    assert!(matches!(err, LabelError::Corrupt { .. }), "{err:?}");
+    let err = LabelStore::open(config, Recorder::disabled()).unwrap_err();
+    assert!(matches!(err, LabelError::Corrupt { .. }), "{err:?}");
+}
+
+/// Satellite regression: the compaction high-water comes from the on-disk
+/// *complete* manifest, never the in-memory tracker. In the crash window
+/// between a round's fold and its publish (manifest incomplete), compaction
+/// is a no-op.
+#[test]
+fn incomplete_manifest_never_compacts() {
+    let dir = fresh_dir("incomplete");
+    let config = store_config(&dir, 2, 4);
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    for &v in &random_votes(71, 40) {
+        store.ingest(v).unwrap();
+    }
+    // No manifest at all → no-op.
+    let stats = store.compact_below_manifest().unwrap();
+    assert_eq!(stats.target_seq, 0);
+    assert!(!stats.snapshot_written);
+    assert_eq!(stats.segments_deleted, 0);
+    assert!(store.disk_snapshot().unwrap().is_none());
+
+    // Fold happened (folded_seq = 40 in the manifest) but the round died
+    // before publish: complete=false → still a no-op.
+    let mut manifest = complete_manifest(40);
+    manifest.complete = false;
+    write_manifest(config.manifest_path.as_ref().unwrap(), &manifest).unwrap();
+    assert!(
+        !read_manifest(config.manifest_path.as_ref().unwrap())
+            .unwrap()
+            .unwrap()
+            .complete
+    );
+    let stats = store.compact_below_manifest().unwrap();
+    assert_eq!(stats.target_seq, 0, "incomplete manifest must be ignored");
+    assert_eq!(stats.segments_deleted, 0);
+    assert!(store.disk_snapshot().unwrap().is_none());
+
+    // Publish lands (complete=true): now — and only now — it compacts.
+    write_manifest(
+        config.manifest_path.as_ref().unwrap(),
+        &complete_manifest(40),
+    )
+    .unwrap();
+    let stats = store.compact_below_manifest().unwrap();
+    assert_eq!(stats.target_seq, 40);
+    assert!(stats.snapshot_written);
+    assert!(stats.segments_deleted > 0);
+}
+
+/// Asking for history below the snapshot's coverage is a typed error — that
+/// state no longer exists on disk.
+#[test]
+fn replay_below_covered_seq_is_typed_error() {
+    let dir = fresh_dir("replay_below");
+    let config = store_config(&dir, 2, 4);
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    for &v in &random_votes(81, 40) {
+        store.ingest(v).unwrap();
+    }
+    write_manifest(
+        config.manifest_path.as_ref().unwrap(),
+        &complete_manifest(30),
+    )
+    .unwrap();
+    store.compact_below_manifest().unwrap();
+    // At or above coverage: fine.
+    assert_eq!(store.replay_up_to(30).unwrap().applied_seq(), 30);
+    assert_eq!(store.replay_up_to(40).unwrap().applied_seq(), 40);
+    // Below coverage: typed corruption error, not a silently wrong tracker.
+    let err = store.replay_up_to(29).unwrap_err();
+    assert!(matches!(err, LabelError::Corrupt { .. }), "{err:?}");
+}
+
+/// Keyed ingest is idempotent: a duplicate `(session, request)` answers the
+/// original receipt without appending; a *conflicting* reuse of the key is a
+/// typed invalid-vote error.
+#[test]
+fn duplicate_votes_return_original_receipt() {
+    let dir = fresh_dir("dedup");
+    let config = store_config(&dir, 2, 8);
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    let vote = Vote::new(3, 1, 1).with_key(900, 1);
+    let original = store.ingest(vote).unwrap();
+    assert_eq!(store.high_water(), 1);
+    // Same key, same vote → same receipt, no new record, unchanged state.
+    let duplicate = store.ingest(vote).unwrap();
+    assert_eq!(duplicate, original);
+    assert_eq!(store.high_water(), 1, "duplicate never touched the WAL");
+    // Contradicting content under a used key is rejected.
+    let err = store
+        .ingest(Vote::new(3, 1, 0).with_key(900, 1))
+        .unwrap_err();
+    assert!(matches!(err, LabelError::InvalidVote { .. }), "{err:?}");
+    // A fresh request id under the same session appends normally (even the
+    // same ballot content — it is a *new* submission).
+    let second = store.ingest(Vote::new(3, 1, 1).with_key(900, 2)).unwrap();
+    assert_eq!(second.seq, 2);
+    drop(store);
+
+    // The receipt table is rebuilt by replay: the retry still answers the
+    // original receipt after a restart.
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    let replayed = store.ingest(vote).unwrap();
+    assert_eq!(replayed, original);
+    assert_eq!(store.high_water(), 2);
+
+    // …and it survives compaction of the whole log: the receipts ride in
+    // the confidence snapshot.
+    write_manifest(
+        config.manifest_path.as_ref().unwrap(),
+        &complete_manifest(2),
+    )
+    .unwrap();
+    store.compact_below_manifest().unwrap();
+    drop(store);
+    let store = LabelStore::open(config, Recorder::disabled()).unwrap();
+    let compacted = store.ingest(vote).unwrap();
+    assert_eq!(compacted, original);
+    assert_eq!(store.high_water(), 2);
+}
+
+/// The dedup table is bounded: oldest-sequence receipts are evicted first,
+/// after which a retried key appends a fresh record (documented fallback).
+#[test]
+fn dedup_capacity_evicts_oldest_first() {
+    let dir = fresh_dir("dedup_cap");
+    let mut config = store_config(&dir, 1, 64);
+    config.dedup_capacity = 4;
+    let store = LabelStore::open(config, Recorder::disabled()).unwrap();
+    for i in 0..8u64 {
+        store
+            .ingest(Vote::new(i % 5, 0, (i % 2) as u8).with_key(1, i))
+            .unwrap();
+    }
+    // Keys 0..4 were evicted (capacity 4 keeps requests 4..8): the retry of
+    // request 0 is treated as new and appends.
+    let retry = store.ingest(Vote::new(0, 0, 0).with_key(1, 0)).unwrap();
+    assert_eq!(retry.seq, 9);
+    // A recent key is still deduplicated.
+    let recent = store.ingest(Vote::new(7 % 5, 0, 1).with_key(1, 7)).unwrap();
+    assert_eq!(recent.seq, 8);
+    assert_eq!(store.high_water(), 9);
+}
+
+/// The raw WAL replay agrees with the store about what the tail holds after
+/// compaction (sanity on the replay_read_only + leading-gap contract).
+#[test]
+fn read_only_replay_sees_only_the_tail_after_compaction() {
+    let dir = fresh_dir("tail_only");
+    let config = store_config(&dir, 2, 4);
+    let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
+    for &v in &random_votes(91, 50) {
+        store.ingest(v).unwrap();
+    }
+    write_manifest(
+        config.manifest_path.as_ref().unwrap(),
+        &complete_manifest(50),
+    )
+    .unwrap();
+    let stats = store.compact_below_manifest().unwrap();
+    assert!(stats.segments_deleted > 0);
+    let replay = replay_read_only(&config.wal_config().unwrap()).unwrap();
+    assert!(
+        replay.corruptions.is_empty(),
+        "leading gaps are not corruption: {:?}",
+        replay.corruptions
+    );
+    assert!(replay.records.iter().all(|r| r.seq <= 50));
+    // Tail records all sit above what some sealed, deleted segment covered.
+    assert!(replay.records.len() < 50);
+}

@@ -11,7 +11,8 @@ use rll_core::{RllConfig, RllPipeline, RllVariant};
 use rll_crowd::{AnnotationMatrix, ConfidenceEstimator};
 use rll_label::{
     read_manifest, write_manifest, LabelStore, LabelStoreConfig, PublishSink, RetrainBase,
-    RetrainConfig, RetrainManifest, Retrainer, Vote, MANIFEST_SCHEMA,
+    RetrainConfig, RetrainManifest, RetrainStatus, RetrainTrigger, Retrainer, Vote,
+    WorkerWeighting, DEFAULT_DEDUP_CAPACITY, MANIFEST_SCHEMA,
 };
 use rll_obs::Recorder;
 use rll_tensor::{Matrix, Rng64};
@@ -75,6 +76,8 @@ fn store_config(dir: &Path) -> LabelStoreConfig {
         estimator: ConfidenceEstimator::Mle,
         num_examples: 40,
         max_workers: 4,
+        dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+        manifest_path: Some(dir.join("retrain.manifest.json")),
     }
 }
 
@@ -82,7 +85,9 @@ fn retrain_config(dir: &Path, min_new_votes: u64) -> RetrainConfig {
     RetrainConfig {
         train: tiny_train_config(),
         base_seed: 11,
-        min_new_votes,
+        trigger: RetrainTrigger::Votes { min_new_votes },
+        weighting: None,
+        auto_compact: false,
         poll_interval: Duration::from_millis(20),
         state_path: dir.join("retrain.rllstate"),
         manifest_path: dir.join("retrain.manifest.json"),
@@ -126,13 +131,7 @@ fn votes_trigger_a_round_and_complete_the_manifest() {
     let (base, truth) = tiny_base(3);
     // 10 live votes from one honest live annotator.
     for i in 0..10u64 {
-        store
-            .ingest(Vote {
-                example: i,
-                worker: 0,
-                label: truth[i as usize],
-            })
-            .unwrap();
+        store.ingest(Vote::new(i, 0, truth[i as usize])).unwrap();
     }
     let config = retrain_config(&dir, 10);
     let mut retrainer = Retrainer::start(
@@ -173,11 +172,7 @@ fn interrupted_round_is_recovered_on_start() {
     let (base, truth) = tiny_base(5);
     for i in 0..12u64 {
         store
-            .ingest(Vote {
-                example: i,
-                worker: (i % 2) as u32,
-                label: truth[i as usize],
-            })
+            .ingest(Vote::new(i, (i % 2) as u32, truth[i as usize]))
             .unwrap();
     }
     // Simulate a crash mid-round: the manifest was written (incomplete) but
@@ -192,6 +187,8 @@ fn interrupted_round_is_recovered_on_start() {
             folded_seq: 12,
             seed: 99,
             complete: false,
+            excluded_workers: None,
+            trigger: None,
         },
     )
     .unwrap();
@@ -235,6 +232,8 @@ fn completed_manifest_is_not_rerun() {
             folded_seq: 44,
             seed: 5,
             complete: true,
+            excluded_workers: None,
+            trigger: None,
         },
     )
     .unwrap();
@@ -263,6 +262,214 @@ fn completed_manifest_is_not_rerun() {
         0,
         "no publish without new votes"
     );
+}
+
+/// A deliberately weak base: the same separable features as [`tiny_base`]
+/// but only ONE offline annotator, so the live annotators dominate the fold
+/// and spam actually moves the trained model.
+fn weak_base(seed: u64) -> (RetrainBase, Vec<u8>) {
+    let (base, truth) = tiny_base(seed);
+    let mut annotations = AnnotationMatrix::new(40, 1, 2).unwrap();
+    for (i, &t) in truth.iter().enumerate() {
+        let label = if i % 7 == 0 { 1 - t } else { t };
+        annotations.set(i, 0, label).unwrap();
+    }
+    (
+        RetrainBase {
+            features: base.features,
+            annotations,
+            expert_labels: base.expert_labels,
+        },
+        truth,
+    )
+}
+
+/// Ingests the spammer-heavy live stream: worker 0 votes the truth on every
+/// example, workers 1–3 are constant-1 spammers (informativeness exactly 0:
+/// their fitted confusion rows are identical no matter what truth the
+/// Dawid–Skene fit anchors on, so collusion cannot make them look useful).
+/// The last five truth-0 examples are left unspammed so the unweighted fold
+/// keeps enough negatives for the grouping stage — it must produce a *bad*
+/// model, not a failed round.
+fn ingest_spammy_stream(store: &LabelStore, truth: &[u8]) -> u64 {
+    let spared: Vec<usize> = truth
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t == 0)
+        .map(|(i, _)| i)
+        .rev()
+        .take(5)
+        .collect();
+    let mut ingested = 0;
+    for (i, &t) in truth.iter().enumerate() {
+        store.ingest(Vote::new(i as u64, 0, t)).unwrap();
+        ingested += 1;
+        if spared.contains(&i) {
+            continue;
+        }
+        for spammer in 1..4u32 {
+            store.ingest(Vote::new(i as u64, spammer, 1)).unwrap();
+            ingested += 1;
+        }
+    }
+    ingested
+}
+
+fn run_one_round(dir: &Path, weighting: Option<WorkerWeighting>, truth: &[u8]) -> RetrainStatus {
+    let store = Arc::new(LabelStore::open(store_config(dir), Recorder::disabled()).unwrap());
+    let votes = ingest_spammy_stream(&store, truth);
+    let (base, _) = weak_base(3);
+    let mut config = retrain_config(dir, votes);
+    config.weighting = weighting;
+    let mut retrainer = Retrainer::start(
+        Arc::clone(&store),
+        base,
+        config,
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::new(AtomicU64::new(0)),
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_for_rounds(&retrainer, 1, Duration::from_secs(60)),
+        "round never completed: {:?}",
+        retrainer.shared().status()
+    );
+    retrainer.stop();
+    retrainer.shared().status()
+}
+
+/// Acceptance: on a spammer-heavy stream, quality weighting strictly
+/// improves post-retrain eval accuracy over the unweighted fold.
+#[test]
+fn weighting_beats_unweighted_fold_on_spammy_stream() {
+    let (_, truth) = weak_base(3);
+    let weighted = run_one_round(
+        &fresh_dir("weight_on"),
+        Some(WorkerWeighting {
+            spam_threshold: 0.2,
+            min_votes: 3,
+        }),
+        &truth,
+    );
+    let unweighted = run_one_round(&fresh_dir("weight_off"), None, &truth);
+    // The constant-1 spammers are always excluded; the honest live worker
+    // may or may not survive the fit (a spam-majority consensus can drown
+    // it), but the spam never reaches the fold.
+    for spammer in [1u32, 2, 3] {
+        assert!(
+            weighted.excluded_workers.contains(&spammer),
+            "spammer {spammer} not excluded: {:?}",
+            weighted.excluded_workers
+        );
+    }
+    assert!(unweighted.excluded_workers.is_empty());
+    assert!(
+        weighted.last_accuracy > unweighted.last_accuracy,
+        "weighted {} !> unweighted {}",
+        weighted.last_accuracy,
+        unweighted.last_accuracy
+    );
+}
+
+/// The excluded workers are pinned in the manifest so a crash-recovered
+/// round reproduces the same fold.
+#[test]
+fn weighting_pins_exclusions_in_manifest() {
+    let dir = fresh_dir("weight_manifest");
+    let (_, truth) = weak_base(3);
+    let status = run_one_round(
+        &dir,
+        Some(WorkerWeighting {
+            spam_threshold: 0.2,
+            min_votes: 3,
+        }),
+        &truth,
+    );
+    let manifest = read_manifest(&dir.join("retrain.manifest.json"))
+        .unwrap()
+        .unwrap();
+    assert!(manifest.complete);
+    assert_eq!(manifest.excluded(), &status.excluded_workers[..]);
+    assert_eq!(manifest.trigger.as_deref(), Some("votes"));
+}
+
+/// Drift trigger: the vote floor alone must NOT fire a round when the
+/// confidence field is stable and uncontested under huge thresholds.
+#[test]
+fn drift_trigger_holds_fire_below_thresholds() {
+    let dir = fresh_dir("drift_quiet");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (base, truth) = tiny_base(3);
+    // Unanimous single votes: every voted example sits at δ∈{0,1}, so
+    // disagreement is exactly 0 and only the (huge) drift bar remains.
+    for i in 0..10u64 {
+        store.ingest(Vote::new(i, 0, truth[i as usize])).unwrap();
+    }
+    let mut config = retrain_config(&dir, 5);
+    config.trigger = RetrainTrigger::Drift {
+        min_new_votes: 5,
+        drift_threshold: 1e6,
+        disagreement_threshold: 0.99,
+    };
+    let mut retrainer = Retrainer::start(
+        Arc::clone(&store),
+        base,
+        config,
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::new(AtomicU64::new(0)),
+        }),
+    )
+    .unwrap();
+    // Well past the vote floor and many poll intervals: still no round.
+    std::thread::sleep(Duration::from_millis(300));
+    retrainer.stop();
+    let status = retrainer.shared().status();
+    assert_eq!(
+        status.rounds_completed, 0,
+        "vote floor alone fired a drift-triggered round"
+    );
+}
+
+/// …and the same backlog DOES fire once the drift bar is reachable, stamping
+/// the manifest with the trigger that released it.
+#[test]
+fn drift_trigger_fires_past_threshold() {
+    let dir = fresh_dir("drift_fire");
+    let store = Arc::new(LabelStore::open(store_config(&dir), Recorder::disabled()).unwrap());
+    let (base, truth) = tiny_base(3);
+    for i in 0..10u64 {
+        store.ingest(Vote::new(i, 0, truth[i as usize])).unwrap();
+    }
+    let mut config = retrain_config(&dir, 5);
+    config.trigger = RetrainTrigger::Drift {
+        min_new_votes: 5,
+        drift_threshold: 0.01,
+        disagreement_threshold: 0.99,
+    };
+    let manifest_path = config.manifest_path.clone();
+    let mut retrainer = Retrainer::start(
+        Arc::clone(&store),
+        base,
+        config,
+        Recorder::disabled(),
+        Box::new(CountingSink {
+            rounds: Arc::new(AtomicU64::new(0)),
+        }),
+    )
+    .unwrap();
+    assert!(
+        wait_for_rounds(&retrainer, 1, Duration::from_secs(60)),
+        "drift round never fired"
+    );
+    retrainer.stop();
+    let status = retrainer.shared().status();
+    assert_eq!(status.rounds_completed, 1);
+    assert_eq!(status.last_trigger.as_deref(), Some("drift"));
+    let manifest = read_manifest(&manifest_path).unwrap().unwrap();
+    assert_eq!(manifest.trigger.as_deref(), Some("drift"));
 }
 
 #[test]

@@ -7,12 +7,13 @@
 //! confidence and the batch estimator.
 
 use std::fs;
+use std::num::NonZeroU32;
 use std::path::{Path, PathBuf};
 
 use rll_crowd::{AnnotationMatrix, BetaPrior, ConfidenceEstimator};
 use rll_label::{
-    replay_read_only, shard_of, ConfidenceTracker, CorruptionKind, IngestReceipt, LabelStore,
-    LabelStoreConfig, ShardedWal, Vote, WalConfig,
+    replay_read_only, shard_of, ConfidenceTracker, CorruptionKind, IngestReceipt, LabelError,
+    LabelStore, LabelStoreConfig, ShardedWal, Vote, WalConfig, DEFAULT_DEDUP_CAPACITY,
 };
 use rll_obs::Recorder;
 
@@ -24,22 +25,14 @@ fn fresh_dir(tag: &str) -> PathBuf {
 }
 
 fn wal_config(dir: &Path, shards: u32, segment_records: u64) -> WalConfig {
-    WalConfig {
-        dir: dir.to_path_buf(),
-        shards,
-        segment_records,
-    }
+    WalConfig::new(dir.to_path_buf(), shards, segment_records).unwrap()
 }
 
 /// A deterministic little vote stream that exercises several shards,
 /// repeat-voters (last-write-wins), and both labels.
 fn vote_stream(n: usize) -> Vec<Vote> {
     (0..n)
-        .map(|i| Vote {
-            example: (i as u64 * 7) % 13,
-            worker: (i as u32) % 5,
-            label: ((i / 3) % 2) as u8,
-        })
+        .map(|i| Vote::new((i as u64 * 7) % 13, (i as u32) % 5, ((i / 3) % 2) as u8))
         .collect()
 }
 
@@ -135,13 +128,7 @@ fn torn_tail_is_truncated_and_survives_reopen() {
 
     // The repair rewrote the file; a second open is clean and appends resume
     // at the next sequence number.
-    let rec = wal
-        .append(Vote {
-            example: 1,
-            worker: 1,
-            label: 1,
-        })
-        .unwrap();
+    let rec = wal.append(Vote::new(1, 1, 1)).unwrap();
     assert_eq!(rec.seq, votes.len() as u64 + 1);
     let (_, replay2) = ShardedWal::open(wal_config(&dir, 2, 100)).unwrap();
     assert!(replay2.corruptions.is_empty());
@@ -273,9 +260,40 @@ fn cross_shard_merge_order_is_deterministic() {
         assert_eq!(rec.label, votes[i].label);
     }
     // And the shard routing itself is a pure function.
+    let five = NonZeroU32::new(5).unwrap();
     for v in &votes {
-        assert_eq!(shard_of(v.example, 5), shard_of(v.example, 5));
+        assert_eq!(shard_of(v.example, five), shard_of(v.example, five));
     }
+}
+
+/// Satellite: a zero shard count (or segment size) is a typed config error
+/// at construction, not a silently masked `.max(1)` at hash time.
+#[test]
+fn wal_config_rejects_zero_shards_and_zero_segment() {
+    let dir = fresh_dir("zero_config");
+    for (shards, segment_records) in [(0u32, 8u64), (4, 0), (0, 0)] {
+        let err = WalConfig::new(dir.clone(), shards, segment_records).unwrap_err();
+        assert!(
+            matches!(err, LabelError::InvalidConfig { .. }),
+            "({shards}, {segment_records}) gave {err:?}"
+        );
+    }
+    // The store surfaces the same typed error instead of opening.
+    let err = LabelStore::open(
+        LabelStoreConfig {
+            dir,
+            shards: 0,
+            segment_records: 8,
+            estimator: ConfidenceEstimator::Mle,
+            num_examples: 4,
+            max_workers: 2,
+            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+            manifest_path: None,
+        },
+        Recorder::disabled(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, LabelError::InvalidConfig { .. }));
 }
 
 /// Replayed online confidence must equal the batch estimator **bitwise** on
@@ -352,6 +370,8 @@ fn store_reopen_snapshot_is_byte_identical() {
         }),
         num_examples: 13,
         max_workers: 5,
+        dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+        manifest_path: None,
     };
     let before = {
         let store = LabelStore::open(config.clone(), Recorder::disabled()).unwrap();
@@ -380,39 +400,21 @@ fn store_rejects_out_of_range_votes() {
             estimator: ConfidenceEstimator::Mle,
             num_examples: 4,
             max_workers: 2,
+            dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+            manifest_path: None,
         },
         Recorder::disabled(),
     )
     .unwrap();
-    assert!(store
-        .ingest(Vote {
-            example: 4,
-            worker: 0,
-            label: 1
-        })
-        .is_err());
-    assert!(store
-        .ingest(Vote {
-            example: 0,
-            worker: 2,
-            label: 1
-        })
-        .is_err());
-    assert!(store
-        .ingest(Vote {
-            example: 0,
-            worker: 0,
-            label: 2
-        })
-        .is_err());
+    assert!(store.ingest(Vote::new(4, 0, 1)).is_err());
+    assert!(store.ingest(Vote::new(0, 2, 1)).is_err());
+    assert!(store.ingest(Vote::new(0, 0, 2)).is_err());
+    // Half an idempotency key is invalid, not silently unkeyed.
+    let mut half_keyed = Vote::new(0, 0, 1);
+    half_keyed.session = Some(7);
+    assert!(store.ingest(half_keyed).is_err());
     assert_eq!(store.high_water(), 0, "rejected votes never touch the WAL");
-    store
-        .ingest(Vote {
-            example: 0,
-            worker: 0,
-            label: 1,
-        })
-        .unwrap();
+    store.ingest(Vote::new(0, 0, 1)).unwrap();
     assert_eq!(store.high_water(), 1);
 }
 
@@ -428,6 +430,8 @@ fn fold_is_deterministic_across_restart() {
         estimator: ConfidenceEstimator::Mle,
         num_examples: 13,
         max_workers: 5,
+        dedup_capacity: DEFAULT_DEDUP_CAPACITY,
+        manifest_path: None,
     };
     let base = {
         let mut m = AnnotationMatrix::new(13, 3, 2).unwrap();

@@ -5,7 +5,8 @@
 //!         [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH]
 //!         [--labels] [--label-frac F] [--label-preset oral|class]
 //!         [--label-n N] [--label-seed S] [--label-workers N] [--label-flip F]
-//!         [--churn-every N] [--expect-reloads N] [--reload-wait SECS]
+//!         [--label-dup-frac F] [--churn-every N] [--expect-reloads N]
+//!         [--expect-compactions N] [--reload-wait SECS]
 //!         [--labels-out PATH] [--strict]
 //! ```
 //!
@@ -26,15 +27,20 @@
 //! noise*: the generator regenerates the server's `--live-preset` dataset
 //! from `--label-preset`/`--label-n`/`--label-seed` and votes each example's
 //! expert label, flipped with probability `--label-flip` — so a server
-//! running the retrain loop genuinely learns from the stream. After the load,
-//! the generator polls `/metrics` (up to `--reload-wait` seconds) until it
-//! has seen `--expect-reloads` hot swaps, then writes a `label_soak/v1`
-//! summary to `--labels-out`. `--strict` fails the run on ANY dropped or
-//! failed request — the zero-drop bar the CI soak gate holds the loop to.
+//! running the retrain loop genuinely learns from the stream. Every vote
+//! carries a deterministic `(session, request)` idempotency key, and a
+//! `--label-dup-frac` slice of acked votes is immediately re-sent with the
+//! same key — the duplicate must answer the *original* receipt verbatim or
+//! the run counts a failure. After the load, the generator polls `/metrics`
+//! (up to `--reload-wait` seconds) until it has seen `--expect-reloads` hot
+//! swaps and `--expect-compactions` WAL compactions, then writes a
+//! `label_soak/v2` summary to `--labels-out`. `--strict` fails the run on
+//! ANY dropped or failed request — the zero-drop bar the CI soak gate holds
+//! the loop to.
 //!
 //! Exit status: non-zero when no request succeeded, when the server is
 //! unreachable, when `--strict` saw a failure, or when `--expect-reloads`
-//! was not reached in time.
+//! or `--expect-compactions` was not reached in time.
 
 use rll_obs::Stopwatch;
 use rll_serve::http;
@@ -62,8 +68,10 @@ struct Args {
     label_seed: u64,
     label_workers: u32,
     label_flip: f64,
+    label_dup_frac: f64,
     churn_every: usize,
     expect_reloads: u64,
+    expect_compactions: u64,
     reload_wait_secs: u64,
     labels_out: String,
     strict: bool,
@@ -72,8 +80,8 @@ struct Args {
 const USAGE: &str = "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency C] \
 [--seed S] [--pool P] [--repeat-frac F] [--score-frac F] [--out PATH] \
 [--labels] [--label-frac F] [--label-preset oral|class] [--label-n N] [--label-seed S] \
-[--label-workers N] [--label-flip F] [--churn-every N] [--expect-reloads N] \
-[--reload-wait SECS] [--labels-out PATH] [--strict]";
+[--label-workers N] [--label-flip F] [--label-dup-frac F] [--churn-every N] \
+[--expect-reloads N] [--expect-compactions N] [--reload-wait SECS] [--labels-out PATH] [--strict]";
 
 #[derive(Debug, Serialize, Deserialize)]
 struct LatencySummary {
@@ -112,9 +120,10 @@ struct BatchSummary {
 }
 
 /// The `results/label_soak.json` artifact (`--labels` mode), version-pinned
-/// by `schema`. `zero_dropped` is the soak gate's headline bit: every read
-/// and every vote got a well-formed success response, across connection
-/// churn and any hot swaps that happened mid-run.
+/// by `schema` (`label_soak/v2`). `zero_dropped` is the soak gate's headline
+/// bit: every read and every vote got a well-formed success response, across
+/// connection churn, duplicate retries, and any hot swaps that happened
+/// mid-run.
 #[derive(Debug, Serialize, Deserialize)]
 struct LabelSoakSummary {
     schema: String,
@@ -123,6 +132,10 @@ struct LabelSoakSummary {
     votes_sent: usize,
     votes_acked: usize,
     vote_failures: usize,
+    /// Deliberate duplicate re-sends of an already-acked idempotency key.
+    dup_retries_sent: usize,
+    /// Duplicates whose response matched the original receipt exactly.
+    dup_receipts_matched: usize,
     reads_sent: usize,
     reads_succeeded: usize,
     read_failures: usize,
@@ -136,6 +149,20 @@ struct LabelSoakSummary {
     retrain_rounds: u64,
     /// Last `label.retrain.accuracy` gauge (−1 when no round evaluated).
     retrain_accuracy: f64,
+    /// `label.compact.runs` observed after waiting.
+    compactions: u64,
+    /// `label.compact.segments_deleted` observed after waiting.
+    segments_deleted: u64,
+    /// `label.compact.bytes_reclaimed` observed after waiting.
+    bytes_reclaimed: u64,
+    /// Live `.rllwal` bytes on disk (`label.wal.bytes` gauge) after waiting.
+    wal_bytes: u64,
+    /// `label.votes.deduped` — duplicate submissions answered from the
+    /// receipt table instead of re-appended.
+    votes_deduped: u64,
+    /// Workers the last retrain round excluded as probable spammers
+    /// (`label.retrain.excluded_workers` gauge; −1 before any round).
+    excluded_workers: f64,
     wall_secs: f64,
 }
 
@@ -248,6 +275,21 @@ fn main() -> ExitCode {
                     );
                     return ExitCode::FAILURE;
                 }
+                if soak.compactions < args.expect_compactions {
+                    eprintln!(
+                        "loadgen: expected {} compactions, observed {}",
+                        args.expect_compactions, soak.compactions
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if soak.dup_receipts_matched < soak.dup_retries_sent {
+                    eprintln!(
+                        "loadgen: {} of {} duplicate retries did not echo the original receipt",
+                        soak.dup_retries_sent - soak.dup_receipts_matched,
+                        soak.dup_retries_sent
+                    );
+                    return ExitCode::FAILURE;
+                }
             }
             if args.strict && summary.failed > 0 {
                 eprintln!("loadgen: --strict and {} requests failed", summary.failed);
@@ -288,8 +330,10 @@ fn parse(args: &[String]) -> Result<Args, String> {
         label_seed: 42,
         label_workers: 4,
         label_flip: 0.1,
+        label_dup_frac: 0.0,
         churn_every: 0,
         expect_reloads: 0,
+        expect_compactions: 0,
         reload_wait_secs: 90,
         labels_out: "results/label_soak.json".to_string(),
         strict: false,
@@ -362,6 +406,11 @@ fn parse(args: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "invalid --label-flip".to_string())?
             }
+            "--label-dup-frac" => {
+                out.label_dup_frac = take(args, &mut i, "--label-dup-frac")?
+                    .parse()
+                    .map_err(|_| "invalid --label-dup-frac".to_string())?
+            }
             "--churn-every" => {
                 out.churn_every = take(args, &mut i, "--churn-every")?
                     .parse()
@@ -371,6 +420,11 @@ fn parse(args: &[String]) -> Result<Args, String> {
                 out.expect_reloads = take(args, &mut i, "--expect-reloads")?
                     .parse()
                     .map_err(|_| "invalid --expect-reloads".to_string())?
+            }
+            "--expect-compactions" => {
+                out.expect_compactions = take(args, &mut i, "--expect-compactions")?
+                    .parse()
+                    .map_err(|_| "invalid --expect-compactions".to_string())?
             }
             "--reload-wait" => {
                 out.reload_wait_secs = take(args, &mut i, "--reload-wait")?
@@ -395,6 +449,9 @@ fn parse(args: &[String]) -> Result<Args, String> {
     if !(0.0..=1.0).contains(&out.label_frac) || !(0.0..=1.0).contains(&out.label_flip) {
         return Err("--label-frac and --label-flip must be in [0, 1]".to_string());
     }
+    if !(0.0..=1.0).contains(&out.label_dup_frac) {
+        return Err("--label-dup-frac must be in [0, 1]".to_string());
+    }
     if out.labels {
         if out.label_n == 0 || out.label_workers == 0 {
             return Err("--label-n and --label-workers must be positive".to_string());
@@ -416,6 +473,8 @@ struct WorkerStats {
     votes_sent: usize,
     votes_acked: usize,
     vote_failures: usize,
+    dup_retries_sent: usize,
+    dup_receipts_matched: usize,
     reconnects: usize,
 }
 
@@ -477,6 +536,8 @@ fn run(args: &Args) -> Result<(BenchSummary, Option<LabelSoakSummary>), String> 
         stats.votes_sent += w.votes_sent;
         stats.votes_acked += w.votes_acked;
         stats.vote_failures += w.vote_failures;
+        stats.dup_retries_sent += w.dup_retries_sent;
+        stats.dup_receipts_matched += w.dup_receipts_matched;
         stats.reconnects += w.reconnects;
         stats.latencies.append(&mut w.latencies);
     }
@@ -568,23 +629,38 @@ fn run(args: &Args) -> Result<(BenchSummary, Option<LabelSoakSummary>), String> 
     };
 
     let soak = if args.labels {
-        // The retrain → hot-reload loop is asynchronous: keep polling
-        // /metrics until the expected number of swaps has landed (or the
-        // wait budget runs out — the caller's --expect-reloads check will
+        // The retrain → hot-reload → compact loop is asynchronous: keep
+        // polling /metrics until the expected number of swaps *and*
+        // compactions has landed (or the wait budget runs out — the
+        // caller's --expect-reloads / --expect-compactions checks will
         // then fail the run).
         let wait = Stopwatch::start();
         let (mut reloads, mut rounds, mut accuracy) = (0u64, 0u64, -1.0f64);
+        let (mut compactions, mut segments_deleted, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
+        let (mut wal_bytes, mut votes_deduped, mut excluded_workers) = (0u64, 0u64, -1.0f64);
         loop {
             if let Some(m) = fetch_json::<rll_obs::MetricsSnapshot>(&args.addr, "/metrics") {
-                reloads = m.counters.get("serve.model.reloads").copied().unwrap_or(0);
-                rounds = m.counters.get("label.retrain.rounds").copied().unwrap_or(0);
+                let counter = |name: &str| m.counters.get(name).copied().unwrap_or(0);
+                reloads = counter("serve.model.reloads");
+                rounds = counter("label.retrain.rounds");
+                compactions = counter("label.compact.runs");
+                segments_deleted = counter("label.compact.segments_deleted");
+                bytes_reclaimed = counter("label.compact.bytes_reclaimed");
+                votes_deduped = counter("label.votes.deduped");
                 accuracy = m
                     .gauges
                     .get("label.retrain.accuracy")
                     .copied()
                     .unwrap_or(-1.0);
+                wal_bytes = m.gauges.get("label.wal.bytes").copied().unwrap_or(0.0) as u64;
+                excluded_workers = m
+                    .gauges
+                    .get("label.retrain.excluded_workers")
+                    .copied()
+                    .unwrap_or(-1.0);
             }
-            if reloads >= args.expect_reloads || wait.elapsed_secs() >= args.reload_wait_secs as f64
+            if (reloads >= args.expect_reloads && compactions >= args.expect_compactions)
+                || wait.elapsed_secs() >= args.reload_wait_secs as f64
             {
                 break;
             }
@@ -593,21 +669,31 @@ fn run(args: &Args) -> Result<(BenchSummary, Option<LabelSoakSummary>), String> 
         let high_water_seq = fetch_json::<rll_label::LabelsSnapshot>(&args.addr, "/labels")
             .map_or(0, |s| s.high_water_seq);
         Some(LabelSoakSummary {
-            schema: "label_soak/v1".to_string(),
+            schema: "label_soak/v2".to_string(),
             addr: args.addr.clone(),
             seed: args.seed,
             votes_sent: stats.votes_sent,
             votes_acked: stats.votes_acked,
             vote_failures: stats.vote_failures,
+            dup_retries_sent: stats.dup_retries_sent,
+            dup_receipts_matched: stats.dup_receipts_matched,
             reads_sent: succeeded + failed,
             reads_succeeded: succeeded,
             read_failures: failed,
             reconnects: stats.reconnects,
-            zero_dropped: stats.vote_failures == 0 && failed == 0,
+            zero_dropped: stats.vote_failures == 0
+                && failed == 0
+                && stats.dup_receipts_matched == stats.dup_retries_sent,
             high_water_seq,
             reloads_observed: reloads,
             retrain_rounds: rounds,
             retrain_accuracy: accuracy,
+            compactions,
+            segments_deleted,
+            bytes_reclaimed,
+            wal_bytes,
+            votes_deduped,
+            excluded_workers,
             wall_secs: clock.elapsed_secs(),
         })
     } else {
@@ -642,6 +728,11 @@ fn worker_loop(
     let mut rng =
         Rng64::seed_from_u64(args.seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(worker + 1)));
     let mut stats = WorkerStats::default();
+    // Idempotency-key halves: one client session per load worker, one
+    // strictly increasing request counter per session. Deterministic, so a
+    // re-run of the same seed replays the same keys.
+    let session = args.seed ^ (worker + 1);
+    let mut request_no: u64 = 0;
     let mut client = match Client::connect(&args.addr) {
         Ok(c) => c,
         Err(_) => {
@@ -664,11 +755,13 @@ fn worker_loop(
             if rng.bernoulli(args.label_flip) {
                 label = 1 - label;
             }
-            let vote = rll_label::Vote {
-                example: example as u64,
-                worker: rng.below(args.label_workers as usize).unwrap_or(0) as u32,
+            let vote = rll_label::Vote::new(
+                example as u64,
+                rng.below(args.label_workers as usize).unwrap_or(0) as u32,
                 label,
-            };
+            )
+            .with_key(session, request_no);
+            request_no += 1;
             stats.votes_sent += 1;
             let body = match serde_json::to_string(&vote) {
                 Ok(b) => b,
@@ -680,6 +773,17 @@ fn worker_loop(
             match client.call("POST", "/label", Some(&body)) {
                 Some(r) if r.status == 200 && vote_ack_is_sane(&r.body, &vote) => {
                     stats.votes_acked += 1;
+                    // Simulated client retry: re-send the identical keyed
+                    // body and require the byte-level receipt fields to
+                    // match the original ack (idempotent ingest).
+                    if rng.bernoulli(args.label_dup_frac) {
+                        stats.dup_retries_sent += 1;
+                        if let Some(dup) = client.call("POST", "/label", Some(&body)) {
+                            if dup.status == 200 && receipts_match(&r.body, &dup.body) {
+                                stats.dup_receipts_matched += 1;
+                            }
+                        }
+                    }
                 }
                 Some(_) => stats.vote_failures += 1,
                 None => {
@@ -777,6 +881,20 @@ fn vote_ack_is_sane(body: &[u8], vote: &rll_label::Vote) -> bool {
         .unwrap_or(false)
 }
 
+/// Two `/label` ack bodies carry the same durable receipt. Parsed (rather
+/// than byte-compared) so header/whitespace differences can never matter;
+/// `IngestReceipt` equality covers seq, echo fields, counts, and confidence.
+fn receipts_match(original: &[u8], duplicate: &[u8]) -> bool {
+    let parse = |body: &[u8]| -> Option<rll_label::IngestReceipt> {
+        let text = std::str::from_utf8(body).ok()?;
+        serde_json::from_str(text).ok()
+    };
+    match (parse(original), parse(duplicate)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
 /// Cheap response validation so "succeeded" means a well-formed payload, not
 /// just a 200 status line.
 fn response_is_sane(path: &str, body: &[u8]) -> bool {
@@ -787,8 +905,10 @@ fn response_is_sane(path: &str, body: &[u8]) -> bool {
         "/embed" => serde_json::from_str::<EmbedResponse>(text)
             .map(|r| !r.embeddings.is_empty() && r.embeddings.iter().all(|e| e.len() == r.dim))
             .unwrap_or(false),
+        // Cosine of a vector with itself can land an ulp above 1.0, so the
+        // bound is float-tolerant rather than exact.
         "/score" => serde_json::from_str::<ScoreResponse>(text)
-            .map(|r| r.score.is_finite() && (-1.0..=1.0).contains(&r.score))
+            .map(|r| r.score.is_finite() && r.score.abs() <= 1.0 + 1e-9)
             .unwrap_or(false),
         _ => false,
     }

@@ -10,6 +10,10 @@
 //!       [--labels-estimator mle|bayesian] [--live-preset oral|class]
 //!       [--live-n N] [--live-seed N] [--live-workers N]
 //!       [--retrain-votes N] [--retrain-epochs N]
+//!       [--retrain-trigger votes|drift] [--retrain-drift F]
+//!       [--retrain-disagreement F] [--retrain-weighting on|off]
+//!       [--retrain-spam-threshold F] [--retrain-spam-min-votes N]
+//!       [--compact on|off]
 //! ```
 //!
 //! `train-demo` trains a small RLL pipeline on a simulated preset and writes
@@ -30,10 +34,18 @@
 //! dataset is the `--live-preset`/`--live-n`/`--live-seed` simulation — the
 //! same generator `train-demo` trains from, so the served checkpoint and the
 //! vote stream agree on example ids. With `--retrain-votes N` a background
-//! retrainer additionally folds every `N` new votes into the dataset,
-//! retrains, writes the checkpoint atomically, and hot-swaps it through its
-//! own `POST /reload` — the full ingest → retrain → reload loop in one
-//! process.
+//! retrainer additionally watches the vote stream, folds new votes into the
+//! dataset, retrains, writes the checkpoint atomically, and hot-swaps it
+//! through its own `POST /reload` — the full ingest → retrain → reload loop
+//! in one process. `N` is the new-vote floor; by default the round only
+//! fires when the confidence field actually moved (`--retrain-trigger
+//! drift`, tuned by `--retrain-drift`/`--retrain-disagreement`), and
+//! `--retrain-trigger votes` restores the fixed every-N behaviour. The fold
+//! weights annotators by live Dawid–Skene quality and drops probable
+//! spammers (`--retrain-weighting off` folds everyone); after each
+//! completed round the WAL history below the published `folded_seq` is
+//! compacted into a checksummed confidence snapshot (`--compact off`
+//! disables the automatic pass; `POST /compact` always works).
 
 use rll_core::{RllConfig, RllPipeline};
 use rll_serve::{
@@ -69,6 +81,13 @@ struct ServeArgs {
     live_workers: u32,
     retrain_votes: u64,
     retrain_epochs: usize,
+    retrain_trigger: String,
+    retrain_drift: f64,
+    retrain_disagreement: f64,
+    retrain_weighting: String,
+    retrain_spam_threshold: f64,
+    retrain_spam_min_votes: u64,
+    compact: String,
 }
 
 const USAGE: &str = "usage:
@@ -76,7 +95,9 @@ const USAGE: &str = "usage:
   serve --checkpoint PATH [--addr HOST:PORT] [--workers N] [--batch N] [--queue N] [--cache N] [--port-file PATH] [--trace-out PATH]
         [--labels-dir DIR] [--labels-shards N] [--labels-segment N] [--labels-estimator mle|bayesian]
         [--live-preset oral|class] [--live-n N] [--live-seed N] [--live-workers N]
-        [--retrain-votes N] [--retrain-epochs N]";
+        [--retrain-votes N] [--retrain-epochs N] [--retrain-trigger votes|drift]
+        [--retrain-drift F] [--retrain-disagreement F] [--retrain-weighting on|off]
+        [--retrain-spam-threshold F] [--retrain-spam-min-votes N] [--compact on|off]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -163,6 +184,13 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         live_workers: 8,
         retrain_votes: 0,
         retrain_epochs: 10,
+        retrain_trigger: "drift".to_string(),
+        retrain_drift: 4.0,
+        retrain_disagreement: 0.35,
+        retrain_weighting: "on".to_string(),
+        retrain_spam_threshold: 0.2,
+        retrain_spam_min_votes: 3,
+        compact: "on".to_string(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -231,12 +259,53 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|_| "invalid --retrain-epochs".to_string())?
             }
+            "--retrain-trigger" => {
+                out.retrain_trigger = take_value(args, &mut i, "--retrain-trigger")?
+            }
+            "--retrain-drift" => {
+                out.retrain_drift = take_value(args, &mut i, "--retrain-drift")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-drift".to_string())?
+            }
+            "--retrain-disagreement" => {
+                out.retrain_disagreement = take_value(args, &mut i, "--retrain-disagreement")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-disagreement".to_string())?
+            }
+            "--retrain-weighting" => {
+                out.retrain_weighting = take_value(args, &mut i, "--retrain-weighting")?
+            }
+            "--retrain-spam-threshold" => {
+                out.retrain_spam_threshold = take_value(args, &mut i, "--retrain-spam-threshold")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-spam-threshold".to_string())?
+            }
+            "--retrain-spam-min-votes" => {
+                out.retrain_spam_min_votes = take_value(args, &mut i, "--retrain-spam-min-votes")?
+                    .parse()
+                    .map_err(|_| "invalid --retrain-spam-min-votes".to_string())?
+            }
+            "--compact" => out.compact = take_value(args, &mut i, "--compact")?,
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
     if out.checkpoint.is_empty() {
         return Err("--checkpoint is required".to_string());
+    }
+    if !matches!(out.retrain_trigger.as_str(), "votes" | "drift") {
+        return Err(format!(
+            "--retrain-trigger must be votes|drift, got {:?}",
+            out.retrain_trigger
+        ));
+    }
+    for (flag, value) in [
+        ("--retrain-weighting", out.retrain_weighting.as_str()),
+        ("--compact", out.compact.as_str()),
+    ] {
+        if !matches!(value, "on" | "off") {
+            return Err(format!("{flag} must be on|off, got {value:?}"));
+        }
     }
     Ok(out)
 }
@@ -380,6 +449,8 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
                     estimator,
                     num_examples: ds.features.rows() as u64,
                     max_workers: args.live_workers,
+                    dedup_capacity: rll_label::DEFAULT_DEDUP_CAPACITY,
+                    manifest_path: Some(std::path::Path::new(dir).join("retrain.manifest.json")),
                 },
                 recorder.clone(),
             )?;
@@ -422,6 +493,23 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
                 annotations: ds.annotations,
                 expert_labels: Some(ds.expert_labels),
             };
+            let trigger = match args.retrain_trigger.as_str() {
+                "votes" => rll_label::RetrainTrigger::Votes {
+                    min_new_votes: args.retrain_votes,
+                },
+                _ => rll_label::RetrainTrigger::Drift {
+                    min_new_votes: args.retrain_votes,
+                    drift_threshold: args.retrain_drift,
+                    disagreement_threshold: args.retrain_disagreement,
+                },
+            };
+            let weighting = match args.retrain_weighting.as_str() {
+                "off" => None,
+                _ => Some(rll_label::WorkerWeighting {
+                    spam_threshold: args.retrain_spam_threshold,
+                    min_votes: args.retrain_spam_min_votes,
+                }),
+            };
             let config = rll_label::RetrainConfig {
                 train: RllConfig {
                     epochs: args.retrain_epochs,
@@ -429,7 +517,9 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
                     ..RllConfig::default()
                 },
                 base_seed: args.live_seed,
-                min_new_votes: args.retrain_votes,
+                trigger,
+                weighting,
+                auto_compact: args.compact == "on",
                 poll_interval: std::time::Duration::from_millis(200),
                 state_path: dir.join("retrain.rllstate"),
                 manifest_path: dir.join("retrain.manifest.json"),
@@ -447,8 +537,12 @@ fn run_server(args: &ServeArgs) -> Result<(), Box<dyn std::error::Error>> {
                 }),
             )?;
             println!(
-                "retrain loop armed: every {} votes, {} epochs",
-                args.retrain_votes, args.retrain_epochs
+                "retrain loop armed: trigger {} (floor {} votes), {} epochs, weighting {}, compact {}",
+                args.retrain_trigger,
+                args.retrain_votes,
+                args.retrain_epochs,
+                args.retrain_weighting,
+                args.compact
             );
             Some(retrainer)
         }

@@ -7,11 +7,12 @@
 //! | `/healthz` | GET | — | `{"status":"ok", …}` with checkpoint identity |
 //! | `/metrics` | GET | — | rll-obs [`MetricsSnapshot`] JSON (`?format=text` for plain text) |
 //! | `/reload` | POST | — | `{"status":"reloaded", …}` after hot-swapping the checkpoint from disk |
-//! | `/label` | POST | `{"example": u64, "worker": u32, "label": 0\|1}` | [`rll_label::IngestReceipt`] after the vote is fsynced |
+//! | `/label` | POST | `{"example": u64, "worker": u32, "label": 0\|1, "session"?, "request"?}` | [`rll_label::IngestReceipt`] after the vote is fsynced (duplicate keys re-answer the original receipt) |
 //! | `/labels` | GET | — | [`rll_label::LabelsSnapshot`] (every voted example, deterministic order) |
 //! | `/labels/<id>` | GET | — | [`rll_label::ExampleConfidence`] for one example (`404` if unvoted) |
+//! | `/compact` | POST | — | [`rll_label::CompactionStats`] after folding WAL history below the published `folded_seq` |
 //!
-//! The three label routes answer `400` unless the server was started with a
+//! The label routes answer `400` unless the server was started with a
 //! [`rll_label::LabelStore`] via [`EmbedServer::start_with_labels`].
 //!
 //! Error contract: JSON `{"error": …}` with `400` (bad input), `404`/`405`
@@ -391,11 +392,12 @@ fn route(ctx: &Ctx, request: &Request, trace: &TraceCtx) -> Routed {
         ("GET", "/metrics") => handle_metrics(ctx, &request.query),
         ("POST", "/reload") => handle_reload(ctx),
         ("POST", "/label") => handle_label(ctx, &request.body, trace),
+        ("POST", "/compact") => handle_compact(ctx),
         ("GET", "/labels") => handle_labels_snapshot(ctx),
         ("GET", path) if path.starts_with("/labels/") => {
             handle_label_get(ctx, path.trim_start_matches("/labels/"))
         }
-        ("GET", "/embed" | "/score" | "/reload" | "/label")
+        ("GET", "/embed" | "/score" | "/reload" | "/label" | "/compact")
         | ("POST", "/healthz" | "/metrics" | "/labels") => (
             405,
             "Method Not Allowed",
@@ -540,6 +542,22 @@ fn handle_label(ctx: &Ctx, body: &[u8], trace: &TraceCtx) -> Routed {
         .observe(ingest_secs);
     match result {
         Ok(receipt) => json_ok(&receipt),
+        Err(e) => label_error_response(&e),
+    }
+}
+
+/// `POST /compact` — fold sealed WAL history below the retrain manifest's
+/// published `folded_seq` into the checksummed confidence snapshot and
+/// delete the covered segments. Answers the [`rll_label::CompactionStats`]
+/// for the run; a no-op (nothing deleted) until a completed retrain round
+/// has published a manifest.
+fn handle_compact(ctx: &Ctx) -> Routed {
+    let _latency = ctx.handler_latency("compact");
+    let Some(store) = &ctx.labels else {
+        return labels_disabled();
+    };
+    match store.compact_below_manifest() {
+        Ok(stats) => json_ok(&stats),
         Err(e) => label_error_response(&e),
     }
 }

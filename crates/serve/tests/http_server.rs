@@ -567,6 +567,8 @@ fn start_with_labels(seed: u64, dir: &std::path::Path) -> Harness {
             estimator: rll_crowd::ConfidenceEstimator::Mle,
             num_examples: 16,
             max_workers: 4,
+            dedup_capacity: rll_label::DEFAULT_DEDUP_CAPACITY,
+            manifest_path: None,
         },
         Recorder::disabled(),
     )

@@ -134,20 +134,23 @@ cmp "$SMOKE_DIR/crash_t1/golden.rllckpt" "$SMOKE_DIR/crash_t4/golden.rllckpt" ||
 }
 echo "crash-safety gate ok (resume is bitwise lossless at RLL_THREADS=1 and 4)"
 
-echo "== label soak gate (live ingest + retrain hot-swap + WAL crash replay) =="
+echo "== label soak gate (live ingest + drift retrain + compaction + WAL crash replay) =="
 # A live-labeling server takes an interleaved vote + embed/score load with
-# connection churn, must complete at least one background retrain → hot
-# reload with ZERO dropped requests (loadgen --strict --expect-reloads 1),
-# and must survive kill -9: a restart on the same WAL directory replays to
-# the exact same confidence state, byte for byte.
+# connection churn and duplicate vote retries, must complete at least one
+# drift-triggered retrain → hot reload AND one log compaction with ZERO
+# dropped requests and every duplicate answered by its original receipt
+# (loadgen --strict --expect-reloads 1 --expect-compactions 1), and must
+# survive kill -9 anywhere: mid-ingest, and mid-compaction at both fault
+# boundaries.
 cp "$SMOKE_DIR/smoke.rllckpt" "$SMOKE_DIR/label.rllckpt"
 LABEL_DIR="$SMOKE_DIR/labels"
-start_label_serve() { # $1 = port file, $2 = retrain vote threshold
+start_label_serve() { # $1 = port file, $2 = vote floor, $3 = trigger, $4 = compact
     ./target/release/serve --checkpoint "$SMOKE_DIR/label.rllckpt" \
         --addr 127.0.0.1:0 --port-file "$1" \
-        --labels-dir "$LABEL_DIR" --labels-shards 2 --labels-segment 64 \
+        --labels-dir "$LABEL_DIR" --labels-shards 2 --labels-segment 16 \
         --live-preset oral --live-n 80 --live-seed 42 --live-workers 8 \
-        --retrain-votes "$2" --retrain-epochs 3 >/dev/null &
+        --retrain-votes "$2" --retrain-epochs 3 \
+        --retrain-trigger "$3" --compact "$4" >/dev/null &
     SERVE_PID=$!
     for _ in $(seq 1 50); do
         [ -s "$1" ] && break
@@ -155,15 +158,27 @@ start_label_serve() { # $1 = port file, $2 = retrain vote threshold
     done
     [ -s "$1" ] || { echo "label serve never wrote its port file"; exit 1; }
 }
-start_label_serve "$SMOKE_DIR/label_port" 40
+wal_bytes() { find "$LABEL_DIR" -name '*.rllwal' -printf '%s\n' 2>/dev/null | awk '{s+=$1} END {print s+0}'; }
+soak_field() { sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" "$SMOKE_DIR/label_soak.json" | head -n1; }
+start_label_serve "$SMOKE_DIR/label_port" 40 drift on
 LABEL_ADDR=$(head -n1 "$SMOKE_DIR/label_port")
 ./target/release/loadgen --addr "$LABEL_ADDR" \
     --requests 300 --concurrency 3 --seed 42 \
     --labels --label-frac 0.4 --label-preset oral --label-n 80 --label-seed 42 \
-    --label-workers 8 --label-flip 0.1 \
-    --expect-reloads 1 --reload-wait 120 --strict \
+    --label-workers 8 --label-flip 0.1 --label-dup-frac 0.1 \
+    --expect-reloads 1 --expect-compactions 1 --reload-wait 120 --strict \
     --out "$SMOKE_DIR/label_bench.json" \
     --labels-out "$SMOKE_DIR/label_soak.json" >/dev/null
+# The soak's auto-compaction must have actually reclaimed log bytes.
+RECLAIMED=$(soak_field bytes_reclaimed)
+[ -n "$RECLAIMED" ] && [ "$RECLAIMED" -gt 0 ] || {
+    echo "label soak gate FAILED: compaction ran but reclaimed ${RECLAIMED:-0} bytes"
+    exit 1
+}
+[ -f "$LABEL_DIR/confidence.rllsnap" ] || {
+    echo "label soak gate FAILED: no confidence snapshot after compaction"
+    exit 1
+}
 # Quiesced acked state, then kill -9 with the active WAL segments unsealed
 # (no graceful shutdown exists to seal them) and a fresh vote burst racing
 # the kill — the on-disk shape is a mid-ingest crash, torn tail and all.
@@ -179,20 +194,18 @@ sleep 0.2
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 wait "$BURST_PID" 2>/dev/null || true
-# Two independent restarts must replay the crashed WAL to identical state
-# (replay determinism), and that state must contain every pre-kill acked
-# vote (durability): the quiesced snapshot's high-water mark can only grow.
-start_label_serve "$SMOKE_DIR/label_port2" 0
-LABEL_ADDR2=$(head -n1 "$SMOKE_DIR/label_port2")
-curl -sf "http://$LABEL_ADDR2/labels" > "$SMOKE_DIR/labels_replay1.json"
+# Two independent restarts must replay the crashed WAL (snapshot + tail) to
+# identical state (replay determinism), and that state must contain every
+# pre-kill acked vote (durability): the quiesced snapshot's high-water mark
+# can only grow.
+start_label_serve "$SMOKE_DIR/label_port2" 0 drift off
+curl -sf "http://$(head -n1 "$SMOKE_DIR/label_port2")/labels" > "$SMOKE_DIR/labels_replay1.json"
 kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
-start_label_serve "$SMOKE_DIR/label_port3" 0
-LABEL_ADDR3=$(head -n1 "$SMOKE_DIR/label_port3")
-curl -sf "http://$LABEL_ADDR3/labels" > "$SMOKE_DIR/labels_replay2.json"
-kill "$SERVE_PID"
+start_label_serve "$SMOKE_DIR/label_port3" 0 drift off
+curl -sf "http://$(head -n1 "$SMOKE_DIR/label_port3")/labels" > "$SMOKE_DIR/labels_replay2.json"
+kill -9 "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
-SERVE_PID=""
 cmp "$SMOKE_DIR/labels_replay1.json" "$SMOKE_DIR/labels_replay2.json" || {
     echo "label soak gate FAILED: two replays of the same WAL disagree"
     exit 1
@@ -203,6 +216,110 @@ AFTER_HW=$(sed -n 's/.*"high_water_seq": *\([0-9]*\).*/\1/p' "$SMOKE_DIR/labels_
     echo "label soak gate FAILED: replayed high water $AFTER_HW < acked $BEFORE_HW"
     exit 1
 }
-echo "label soak gate ok (zero-drop soak with hot reload; kill -9 replay is deterministic and lossless)"
+
+echo "== compaction crash gate (kill -9 at both fault boundaries) =="
+# Ingest a fresh vote batch (no kill racing it — the burst above may have
+# landed anywhere from zero to all of its votes) and advance the manifest
+# with one more (vote-triggered) retrain round, compaction off — leaving
+# plenty of sealed, compactable segments below the new folded_seq for the
+# fault injection below.
+start_label_serve "$SMOKE_DIR/label_port4" 50 votes off
+LABEL_ADDR4=$(head -n1 "$SMOKE_DIR/label_port4")
+./target/release/loadgen --addr "$LABEL_ADDR4" \
+    --requests 150 --concurrency 2 --seed 9 \
+    --labels --label-frac 0.8 --label-preset oral --label-n 80 --label-seed 42 \
+    --label-workers 8 \
+    --out "$SMOKE_DIR/backlog_bench.json" \
+    --labels-out "$SMOKE_DIR/backlog_soak.json" >/dev/null
+for _ in $(seq 1 120); do
+    ROUNDS=$(curl -sf "http://$LABEL_ADDR4/metrics?format=text" \
+        | sed -n 's/^label\.retrain\.rounds \([0-9]*\)$/\1/p' || true)
+    [ "${ROUNDS:-0}" -ge 1 ] && break
+    sleep 1
+done
+[ "${ROUNDS:-0}" -ge 1 ] || { echo "compaction gate FAILED: backlog round never fired"; exit 1; }
+curl -sf "http://$LABEL_ADDR4/labels" > "$SMOKE_DIR/labels_pre_compact.json"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+B0=$(wal_bytes)
+# Fault 1: abort right after the snapshot write, before any deletion. The
+# server process dies mid-/compact; every segment must still be on disk and
+# a clean restart must serve the identical confidence surface.
+RLL_COMPACT_FAULT=before-delete start_label_serve "$SMOKE_DIR/label_port5" 0 drift off
+curl -s -m 30 -X POST -H 'Content-Length: 0' \
+    "http://$(head -n1 "$SMOKE_DIR/label_port5")/compact" >/dev/null 2>&1 || true
+for _ in $(seq 1 50); do kill -0 "$SERVE_PID" 2>/dev/null || break; sleep 0.2; done
+kill -0 "$SERVE_PID" 2>/dev/null && {
+    echo "compaction gate FAILED: before-delete fault never fired"
+    exit 1
+}
+wait "$SERVE_PID" 2>/dev/null || true
+[ "$(wal_bytes)" -eq "$B0" ] || {
+    echo "compaction gate FAILED: before-delete abort lost segment bytes"
+    exit 1
+}
+start_label_serve "$SMOKE_DIR/label_port6" 0 drift off
+curl -sf "http://$(head -n1 "$SMOKE_DIR/label_port6")/labels" > "$SMOKE_DIR/labels_fault1.json"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+cmp "$SMOKE_DIR/labels_pre_compact.json" "$SMOKE_DIR/labels_fault1.json" || {
+    echo "compaction gate FAILED: before-delete abort changed /labels"
+    exit 1
+}
+# Fault 2: abort after the first segment deletion — the snapshot now covers
+# records whose segments are partially gone. Replay must treat the leading
+# gap as compacted prefix and still reproduce the exact surface.
+RLL_COMPACT_FAULT=mid-delete start_label_serve "$SMOKE_DIR/label_port7" 0 drift off
+curl -s -m 30 -X POST -H 'Content-Length: 0' \
+    "http://$(head -n1 "$SMOKE_DIR/label_port7")/compact" >/dev/null 2>&1 || true
+for _ in $(seq 1 50); do kill -0 "$SERVE_PID" 2>/dev/null || break; sleep 0.2; done
+kill -0 "$SERVE_PID" 2>/dev/null && {
+    echo "compaction gate FAILED: mid-delete fault never fired"
+    exit 1
+}
+wait "$SERVE_PID" 2>/dev/null || true
+[ "$(wal_bytes)" -lt "$B0" ] || {
+    echo "compaction gate FAILED: mid-delete abort deleted nothing"
+    exit 1
+}
+start_label_serve "$SMOKE_DIR/label_port8" 0 drift off
+LABEL_ADDR8=$(head -n1 "$SMOKE_DIR/label_port8")
+curl -sf "http://$LABEL_ADDR8/labels" > "$SMOKE_DIR/labels_fault2.json"
+cmp "$SMOKE_DIR/labels_pre_compact.json" "$SMOKE_DIR/labels_fault2.json" || {
+    echo "compaction gate FAILED: mid-delete abort changed /labels"
+    exit 1
+}
+# Clean completion on the survivor: the interrupted run resumes, deletes the
+# remaining covered segments, shrinks the log — and /labels still does not
+# move, before or after one more kill -9.
+curl -sf -X POST -H 'Content-Length: 0' \
+    "http://$LABEL_ADDR8/compact" > "$SMOKE_DIR/compact_stats.json"
+DELETED=$(sed -n 's/.*"segments_deleted": *\([0-9]*\).*/\1/p' "$SMOKE_DIR/compact_stats.json")
+[ -n "$DELETED" ] && [ "$DELETED" -ge 1 ] || {
+    echo "compaction gate FAILED: resumed compaction deleted no segments"
+    exit 1
+}
+[ "$(wal_bytes)" -lt "$B0" ] || {
+    echo "compaction gate FAILED: completed compaction did not shrink the WAL"
+    exit 1
+}
+curl -sf "http://$LABEL_ADDR8/labels" > "$SMOKE_DIR/labels_compacted.json"
+cmp "$SMOKE_DIR/labels_pre_compact.json" "$SMOKE_DIR/labels_compacted.json" || {
+    echo "compaction gate FAILED: compaction changed /labels"
+    exit 1
+}
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+start_label_serve "$SMOKE_DIR/label_port9" 0 drift off
+curl -sf "http://$(head -n1 "$SMOKE_DIR/label_port9")/labels" > "$SMOKE_DIR/labels_final.json"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+cmp "$SMOKE_DIR/labels_pre_compact.json" "$SMOKE_DIR/labels_final.json" || {
+    echo "compaction gate FAILED: post-compaction replay changed /labels"
+    exit 1
+}
+echo "label soak gate ok (zero-drop soak with hot reload, idempotent retries, and ≥1 compaction)"
+echo "compaction crash gate ok (aborts at both boundaries are lossless; log shrank, /labels did not move)"
 
 echo "All checks passed."
