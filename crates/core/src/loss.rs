@@ -24,7 +24,7 @@
 use crate::error::RllError;
 use crate::Result;
 use rll_tensor::ops;
-use rll_tensor::{debug_assert_finite, Matrix};
+use rll_tensor::{debug_assert_finite, kernels, Kernel, Matrix};
 
 /// Computes the loss and embedding gradients for one group.
 ///
@@ -36,10 +36,34 @@ use rll_tensor::{debug_assert_finite, Matrix};
 ///
 /// Returns `(loss, gradients)` where `gradients` has the same shape as
 /// `embeddings`.
+///
+/// Runs on the configured kernel variant (the `RLL_KERNEL` knob): the
+/// `tiled` variant fuses the per-candidate cosine, the softmax, and the
+/// gradient passes into single sweeps over each embedding row, and is
+/// bitwise identical to the scalar composition-of-`ops` oracle — see
+/// [`group_softmax_loss_with`].
 pub fn group_softmax_loss(
     embeddings: &Matrix,
     confidences: &[f64],
     eta: f64,
+) -> Result<(f64, Matrix)> {
+    group_softmax_loss_with(embeddings, confidences, eta, kernels::configured_kernel())
+}
+
+/// [`group_softmax_loss`] with an explicit kernel variant.
+///
+/// The fused path preserves the scalar path's reduction trees exactly: the
+/// dot product and squared-norm accumulate in the same element order as
+/// [`ops::dot`]/[`ops::norm`] (two independent chains in one sweep), the
+/// inline softmax keeps [`ops::softmax`]'s max-fold/exp/sum/normalize order,
+/// and the gradient expressions are verbatim — so `Scalar` and `Tiled`
+/// return byte-identical `(loss, gradients)` (asserted by the tests below
+/// and the trainer's checkpoint byte-compare gate).
+pub fn group_softmax_loss_with(
+    embeddings: &Matrix,
+    confidences: &[f64],
+    eta: f64,
+    kernel: Kernel,
 ) -> Result<(f64, Matrix)> {
     let members = embeddings.rows();
     if members < 3 {
@@ -68,7 +92,17 @@ pub fn group_softmax_loss(
             reason: format!("confidence {bad} outside [0, 1]"),
         });
     }
+    match kernel {
+        Kernel::Scalar => loss_scalar(embeddings, confidences, eta),
+        Kernel::Tiled => loss_fused(embeddings, confidences, eta),
+    }
+}
 
+/// The oracle: the loss composed from the `ops::` building blocks, one pass
+/// per quantity.
+fn loss_scalar(embeddings: &Matrix, confidences: &[f64], eta: f64) -> Result<(f64, Matrix)> {
+    let members = embeddings.rows();
+    let candidates = members - 1;
     let anchor = embeddings.row(0)?;
     let anchor_norm = ops::norm(anchor);
 
@@ -106,6 +140,95 @@ pub fn group_softmax_loss(
         // dr/d(cand) = a/(|a||c|) - r * c / |c|^2
         let grad_cand = grads.row_mut(c + 1)?;
         for d in 0..dim {
+            grad_cand[d] = dl_dr * (anchor[d] * inv - r * cand[d] / (cand_norm * cand_norm));
+        }
+    }
+    grads.row_mut(0)?.copy_from_slice(&grad_anchor);
+    debug_assert_finite!([loss], "group softmax loss");
+    debug_assert_finite!(grads, "group softmax gradients");
+    Ok((loss, grads))
+}
+
+/// The fused kernel: one sweep per candidate row for the forward quantities
+/// (dot product and squared norm as two independent chains), an inline
+/// softmax, and one sweep per candidate row for both gradient rows.
+///
+/// Bitwise-identity notes, matched against [`loss_scalar`] term by term:
+/// the anchor norm is computed once and reused (same chain, same bits as
+/// recomputing), each candidate's norm is stashed from the forward sweep
+/// for the gradient sweep, and the gradient expressions keep the oracle's
+/// exact operation order — in particular the `r·x/(norm·norm)` divisions
+/// are *not* strength-reduced to a reciprocal multiply, which would round
+/// differently.
+fn loss_fused(embeddings: &Matrix, confidences: &[f64], eta: f64) -> Result<(f64, Matrix)> {
+    let members = embeddings.rows();
+    let candidates = members - 1;
+    let dim = embeddings.cols();
+    let anchor = embeddings.row(0)?;
+    let anchor_norm = ops::norm(anchor);
+
+    // Forward sweep: cosine and score per candidate, candidate norms kept
+    // for the gradient sweep.
+    let mut cosines = vec![0.0; candidates];
+    let mut cand_norms = vec![0.0; candidates];
+    let mut scores = vec![0.0; candidates];
+    for c in 0..candidates {
+        let cand = embeddings.row(c + 1)?;
+        let mut dot = 0.0;
+        let mut sq = 0.0;
+        for (&x, &y) in anchor.iter().zip(cand) {
+            dot += x * y;
+            sq += y * y;
+        }
+        let cand_norm = sq.sqrt();
+        let r = if anchor_norm <= f64::EPSILON || cand_norm <= f64::EPSILON {
+            0.0
+        } else {
+            dot / (anchor_norm * cand_norm)
+        };
+        cosines[c] = r;
+        cand_norms[c] = cand_norm;
+        scores[c] = eta * confidences[c] * r;
+    }
+
+    // Inline softmax, preserving ops::softmax's fold/exp/sum/normalize order
+    // (exps and probs reuse the scores buffer in place).
+    let m = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() && m < 0.0 {
+        return Err(RllError::Tensor(rll_tensor::TensorError::NonFinite {
+            op: "softmax",
+            reason: "the maximum input is -inf (no finite score to normalize against)",
+        }));
+    }
+    for s in scores.iter_mut() {
+        *s = (*s - m).exp();
+    }
+    let z: f64 = scores.iter().sum();
+    for e in scores.iter_mut() {
+        *e /= z;
+    }
+    let probs = scores;
+    let loss = -probs[0].max(1e-300).ln();
+
+    // Gradient sweep: both gradient rows of candidate c in one pass over d.
+    let mut grads = Matrix::zeros(members, dim);
+    let mut grad_anchor = vec![0.0; dim];
+    for c in 0..candidates {
+        let dl_ds = probs[c] - if c == 0 { 1.0 } else { 0.0 };
+        let dl_dr = dl_ds * eta * confidences[c];
+        let cand = embeddings.row(c + 1)?;
+        let cand_norm = cand_norms[c];
+        if anchor_norm <= f64::EPSILON || cand_norm <= f64::EPSILON {
+            // cosine() returned the neutral 0 here; use the zero subgradient.
+            continue;
+        }
+        let inv = 1.0 / (anchor_norm * cand_norm);
+        let r = cosines[c];
+        let grad_cand = grads.row_mut(c + 1)?;
+        for d in 0..dim {
+            // dr/d(anchor) = cand/(|a||c|) - r * a / |a|^2
+            grad_anchor[d] += dl_dr * (cand[d] * inv - r * anchor[d] / (anchor_norm * anchor_norm));
+            // dr/d(cand) = a/(|a||c|) - r * c / |c|^2
             grad_cand[d] = dl_dr * (anchor[d] * inv - r * cand[d] / (cand_norm * cand_norm));
         }
     }
@@ -286,6 +409,78 @@ mod tests {
         let tiny = random_group(2, 3, 11);
         assert!(group_softmax_loss(&tiny, &[1.0], 10.0).is_err()); // too small
         assert!(group_posterior(&tiny, &[1.0], 10.0).is_err());
+    }
+
+    #[test]
+    fn fused_kernel_is_bitwise_scalar() {
+        // The tiled loss kernel must reproduce the scalar oracle exactly —
+        // same bits, not just close — across group sizes, dims, and
+        // confidence patterns (including exact 0/1 confidences).
+        for seed in 0..20 {
+            let members = 3 + (seed as usize % 5);
+            let dim = 1 + (seed as usize % 7);
+            let emb = random_group(members, dim, seed);
+            let mut conf = vec![0.0; members - 1];
+            let mut rng = Rng64::seed_from_u64(seed ^ 0x5eed);
+            for (i, c) in conf.iter_mut().enumerate() {
+                *c = match i % 3 {
+                    0 => 1.0,
+                    1 => 0.0,
+                    _ => rng.uniform(),
+                };
+            }
+            let eta = 0.5 + (seed as f64) * 1.7;
+            let (ls, gs) = group_softmax_loss_with(&emb, &conf, eta, Kernel::Scalar).unwrap();
+            let (lf, gf) = group_softmax_loss_with(&emb, &conf, eta, Kernel::Tiled).unwrap();
+            assert_eq!(ls.to_bits(), lf.to_bits(), "loss bits, seed {seed}");
+            assert_eq!(gs, gf, "gradient bits, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fused_kernel_handles_zero_norm_members() {
+        // The zero-subgradient guard must behave identically in both paths.
+        let emb = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![0.0, 0.0], // degenerate positive
+            vec![-1.0, 0.2],
+        ])
+        .unwrap();
+        let (ls, gs) = group_softmax_loss_with(&emb, &[1.0, 0.8], 9.0, Kernel::Scalar).unwrap();
+        let (lf, gf) = group_softmax_loss_with(&emb, &[1.0, 0.8], 9.0, Kernel::Tiled).unwrap();
+        assert_eq!(ls.to_bits(), lf.to_bits());
+        assert_eq!(gs, gf);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_fused() {
+        // Gradcheck stays green through the fused kernel, not just the
+        // scalar oracle.
+        let emb = random_group(5, 4, 21);
+        let conf = [0.9, 0.7, 0.8, 0.6];
+        let eta = 8.0;
+        let (_, grads) = group_softmax_loss_with(&emb, &conf, eta, Kernel::Tiled).unwrap();
+        let eps = 1e-6;
+        for r in 0..emb.rows() {
+            for c in 0..emb.cols() {
+                let mut up = emb.clone();
+                up.set(r, c, emb.get(r, c).unwrap() + eps).unwrap();
+                let mut down = emb.clone();
+                down.set(r, c, emb.get(r, c).unwrap() - eps).unwrap();
+                let lu = group_softmax_loss_with(&up, &conf, eta, Kernel::Tiled)
+                    .unwrap()
+                    .0;
+                let ld = group_softmax_loss_with(&down, &conf, eta, Kernel::Tiled)
+                    .unwrap()
+                    .0;
+                let numeric = (lu - ld) / (2.0 * eps);
+                let analytic = grads.get(r, c).unwrap();
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "fused grad[{r}][{c}]: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,9 +59,11 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "no-unordered-reduce",
         summary: "accumulating into a lock (`.lock()` + `+=`/`.push(`) reduces in completion \
-                  order, which is nondeterministic for float sums",
+                  order, and `mul_add(` contracts `a*b + c` with a single rounding — both \
+                  change float reduction bits",
         hint: "collect per-shard partials with `rll_par::map_ordered`/`try_map_ordered` and \
-               fold them in shard-index order after the join",
+               fold them in shard-index order after the join; write `a * b + c` out so scalar \
+               and tiled kernels round identically (the RLL_KERNEL byte contract)",
     },
     Rule {
         id: "no-untimed-handler",
@@ -229,9 +231,23 @@ fn scan_panic(code: &[String]) -> Vec<Hit> {
 /// named guard variable that code review can see. The deterministic
 /// alternative — `rll_par`'s ordered map + shard-index-order fold — needs no
 /// lock at all.
+///
+/// Also flags `.mul_add(` anywhere in scope: a fused multiply-add rounds
+/// `a*b + c` **once**, where the plain expression rounds twice. The tiled
+/// kernels in `rll-tensor` stay byte-identical to the scalar oracle precisely
+/// because both spell out `a * b + c` (rustc never auto-contracts); one
+/// `mul_add` in an accumulation chain silently breaks the `RLL_KERNEL`
+/// contract while looking like an innocent speedup.
 fn scan_unordered_reduce(code: &[String]) -> Vec<Hit> {
     let mut hits = Vec::new();
     for (li, line) in code.iter().enumerate() {
+        for col in find_bounded(line, "mul_add(") {
+            hits.push(Hit {
+                line: li,
+                col,
+                token: "mul_add(".into(),
+            });
+        }
         let locks = find_bounded(line, ".lock()");
         if locks.is_empty() {
             continue;
@@ -252,6 +268,7 @@ fn scan_unordered_reduce(code: &[String]) -> Vec<Hit> {
             });
         }
     }
+    hits.sort_by_key(|h| (h.line, h.col));
     hits
 }
 
@@ -513,6 +530,29 @@ mod tests {
         // `.unlock()`-style lookalikes don't match the bounded needle.
         assert_eq!(
             scan_unordered_reduce(&one_line("v.try_lock() += 1;")).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn unordered_reduce_flags_mul_add() {
+        // FMA contracts `a*b + c` with one rounding, so scalar-vs-tiled
+        // byte identity breaks: flagged wherever it appears, lock or not.
+        let hits = scan_unordered_reduce(&one_line("acc = x.mul_add(y, acc);"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].token, "mul_add(");
+        // The fully-qualified form contracts just the same.
+        assert_eq!(
+            scan_unordered_reduce(&one_line("*o += f64::mul_add(a, b, c);")).len(),
+            1
+        );
+        // Lookalike identifiers don't match the bounded needle.
+        assert_eq!(
+            scan_unordered_reduce(&one_line("let z = v.fancy_mul_add(1);")).len(),
+            0
+        );
+        assert_eq!(
+            scan_unordered_reduce(&one_line("acc += a * b; // write it out")).len(),
             0
         );
     }

@@ -103,7 +103,7 @@ impl Dense {
 
     /// Inference-mode forward pass (no cache, no dropout).
     pub fn forward(&self, input: &Matrix) -> Result<Matrix> {
-        let z = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        let z = input.matmul_bias(&self.weights, &self.bias)?;
         Ok(z.map(|v| self.activation.apply(v)))
     }
 
@@ -116,7 +116,7 @@ impl Dense {
         dropout_rate: Option<f64>,
         rng: &mut Rng64,
     ) -> Result<DenseCache> {
-        let pre = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        let pre = input.matmul_bias(&self.weights, &self.bias)?;
         let mut output = pre.map(|v| self.activation.apply(v));
         let dropout_mask = match dropout_rate {
             Some(rate) if rate > 0.0 => {
@@ -168,13 +168,27 @@ impl Dense {
         // post-mask, so recover a = f(z) from the pre-activation instead.
         let act = self.activation;
         let mut grad_pre = grad_after_dropout;
-        for idx in 0..grad_pre.len() {
-            let z = cache.pre_activation.as_slice()[idx];
-            let a = match &cache.dropout_mask {
-                Some(_) => act.apply(z),
-                None => cache.output.as_slice()[idx],
-            };
-            grad_pre.as_mut_slice()[idx] *= act.derivative(z, a);
+        match &cache.dropout_mask {
+            Some(_) => {
+                for (g, &z) in grad_pre
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.pre_activation.as_slice())
+                {
+                    let a = act.apply(z);
+                    *g *= act.derivative(z, a);
+                }
+            }
+            None => {
+                for ((g, &z), &a) in grad_pre
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.pre_activation.as_slice())
+                    .zip(cache.output.as_slice())
+                {
+                    *g *= act.derivative(z, a);
+                }
+            }
         }
         // dL/dW = x^T * dL/dz, dL/db = column sums of dL/dz.
         let gw = cache.input.matmul_tn(&grad_pre)?;

@@ -66,6 +66,33 @@ pub fn configured_threads() -> usize {
     })
 }
 
+// ----------------------------------------------------------------------
+// Block geometry
+// ----------------------------------------------------------------------
+
+/// Saturating product of workload dimensions, e.g. `m·k·n` multiply-adds for
+/// a matmul. Adversarial shapes (`usize::MAX x 1` times `1 x usize::MAX`)
+/// would overflow a plain product and panic in debug builds — or, worse,
+/// wrap in release builds and schedule a huge product onto one thread.
+/// Saturating at `usize::MAX` keeps the heuristic monotone: bigger shapes
+/// never report *less* work.
+pub fn saturating_work(dims: &[usize]) -> usize {
+    dims.iter().fold(1usize, |acc, &d| acc.saturating_mul(d))
+}
+
+/// Effective worker count for `work` units against a `min_work` threshold:
+/// small problems stay on the calling thread (scoped-thread spawns cost more
+/// than they save), everything else uses `threads` workers. Purely a
+/// scheduling decision — per the crate contract, results are bitwise
+/// identical for every return value.
+pub fn threads_for_work(work: usize, min_work: usize, threads: usize) -> usize {
+    if work < min_work {
+        1
+    } else {
+        threads.max(1)
+    }
+}
+
 /// Splits `0..len` into at most `chunks` contiguous, non-empty, balanced
 /// ranges. The first `len % chunks` ranges are one element longer. Returns
 /// fewer ranges when `len < chunks` and an empty vec when `len == 0`.
@@ -234,6 +261,29 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn saturating_work_survives_shape_extremes() {
+        // Adversarial shapes must saturate, not wrap: a wrapped product could
+        // land under the parallelism threshold and serialize a huge matmul.
+        assert_eq!(saturating_work(&[usize::MAX, 2, 3]), usize::MAX);
+        assert_eq!(saturating_work(&[usize::MAX, usize::MAX]), usize::MAX);
+        assert_eq!(saturating_work(&[1 << 40, 1 << 40]), usize::MAX);
+        // Ordinary and degenerate shapes are exact.
+        assert_eq!(saturating_work(&[5, 14, 64]), 5 * 14 * 64);
+        assert_eq!(saturating_work(&[usize::MAX, 0, 7]), 0);
+        assert_eq!(saturating_work(&[]), 1);
+    }
+
+    #[test]
+    fn threads_for_work_thresholds() {
+        assert_eq!(threads_for_work(0, 1 << 18, 8), 1);
+        assert_eq!(threads_for_work((1 << 18) - 1, 1 << 18, 8), 1);
+        assert_eq!(threads_for_work(1 << 18, 1 << 18, 8), 8);
+        assert_eq!(threads_for_work(usize::MAX, 1 << 18, 8), 8);
+        // threads = 0 is treated as 1, mirroring the matmul entry points.
+        assert_eq!(threads_for_work(usize::MAX, 1 << 18, 0), 1);
+    }
 
     #[test]
     fn chunk_ranges_cover_exactly_once() {

@@ -45,6 +45,15 @@ pub enum TensorError {
         /// Human-readable constraint description.
         reason: String,
     },
+    /// An operation's input was degenerate in a way that admits no finite
+    /// result (e.g. softmax over inputs whose maximum is `-inf`, where every
+    /// output would be `NaN`). Returned instead of silently producing NaNs.
+    NonFinite {
+        /// Operation name.
+        op: &'static str,
+        /// What about the input was degenerate.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -67,6 +76,9 @@ impl fmt::Display for TensorError {
             TensorError::Empty { op } => write!(f, "{op} requires a non-empty input"),
             TensorError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
+            }
+            TensorError::NonFinite { op, reason } => {
+                write!(f, "{op} has no finite result: {reason}")
             }
         }
     }
@@ -121,6 +133,17 @@ mod tests {
             reason: "must be positive".into(),
         };
         assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn display_non_finite() {
+        let e = TensorError::NonFinite {
+            op: "softmax",
+            reason: "every input is -inf",
+        };
+        assert!(e.to_string().contains("softmax"));
+        assert!(e.to_string().contains("no finite result"));
+        assert!(e.to_string().contains("-inf"));
     }
 
     #[test]

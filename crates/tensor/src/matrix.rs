@@ -6,6 +6,7 @@
 //! `n x 1` matrices, or plain slices for the kernels in [`crate::ops`]).
 
 use crate::error::TensorError;
+use crate::kernels::{self, Kernel};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -16,14 +17,17 @@ use std::fmt;
 /// backward products sit far above this line.
 const PAR_MIN_WORK: usize = 1 << 18;
 
-/// Effective worker count for a product of `work` multiply-adds. Purely a
-/// scheduling decision — results are bitwise identical either way.
-fn par_threads_for(work: usize, threads: usize) -> usize {
-    if work < PAR_MIN_WORK {
-        1
-    } else {
-        threads.max(1)
-    }
+/// Effective worker count for an `m·k·n` product. The work estimate uses
+/// [`rll_par::saturating_work`] so adversarial shapes saturate instead of
+/// wrapping (a wrapped product would land under [`PAR_MIN_WORK`] and
+/// serialize a huge matmul). Purely a scheduling decision — results are
+/// bitwise identical either way.
+fn par_threads_for(m: usize, k: usize, n: usize) -> usize {
+    rll_par::threads_for_work(
+        rll_par::saturating_work(&[m, k, n]),
+        PAR_MIN_WORK,
+        rll_par::configured_threads(),
+    )
 }
 
 /// A dense row-major matrix of `f64` values.
@@ -480,24 +484,34 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Plain ikj-ordered GEMM: the inner loop runs over contiguous memory of
-    /// both the output row and the `other` row, which vectorizes well without
-    /// unsafe code. Large products are row-blocked across
-    /// [`rll_par::configured_threads`] workers; see
-    /// [`Self::matmul_with_threads`] for the determinism contract.
+    /// Runs on the configured kernel variant
+    /// ([`crate::kernels::configured_kernel`], the `RLL_KERNEL` knob); large
+    /// products are row-blocked across [`rll_par::configured_threads`]
+    /// workers. See [`Self::matmul_with`] for the determinism contract.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
-        let work = self.rows * self.cols * other.cols;
-        self.matmul_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+        self.matmul_with(
+            other,
+            par_threads_for(self.rows, self.cols, other.cols),
+            kernels::configured_kernel(),
+        )
     }
 
     /// [`Self::matmul`] with an explicit worker-thread count (no size
     /// heuristic — the caller decides).
-    ///
-    /// Bitwise-deterministic: output rows are partitioned into contiguous
-    /// blocks and every element is produced by exactly one worker running
-    /// the serial loop's per-element arithmetic, so the result is identical
-    /// for every `threads` value (including 1).
     pub fn matmul_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
+        self.matmul_with(other, threads, kernels::configured_kernel())
+    }
+
+    /// [`Self::matmul`] with an explicit worker-thread count **and** kernel
+    /// variant.
+    ///
+    /// Bitwise-deterministic on both axes: output rows are partitioned into
+    /// contiguous blocks and every element is produced by exactly one worker
+    /// running the same single-accumulator, ascending-`p` reduction chain as
+    /// the serial scalar loop (see [`crate::kernels`]), so the result is
+    /// identical for every `threads` value (including 1) and for every
+    /// [`Kernel`].
+    pub fn matmul_with(&self, other: &Matrix, threads: usize, kernel: Kernel) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -507,24 +521,72 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        let threads = threads.max(1);
-        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                let out_row = &mut block[local * n..(local + 1) * n];
-                for (p, &a) in a_row.iter().enumerate() {
-                    // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
-                    // take it, every other value (subnormals, NaN) multiplies normally.
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        kernels::matmul_nn(
+            &self.data,
+            &other.data,
+            None,
+            &mut out,
+            k,
+            n,
+            threads.max(1),
+            kernel,
+        );
+        Ok(Matrix {
+            rows: m,
+            cols: n,
+            data: out,
+        })
+    }
+
+    /// Fused `self * other + bias` (bias broadcast over rows): bitwise
+    /// identical to `self.matmul(other)?.add_row_broadcast(bias)?` — the
+    /// bias joins each element after its accumulation chain completes — but
+    /// without materializing the intermediate product. This is the affine
+    /// layer's hot path.
+    pub fn matmul_bias(&self, other: &Matrix, bias: &Matrix) -> Result<Matrix> {
+        self.matmul_bias_with(
+            other,
+            bias,
+            par_threads_for(self.rows, self.cols, other.cols),
+            kernels::configured_kernel(),
+        )
+    }
+
+    /// [`Self::matmul_bias`] with an explicit worker-thread count and kernel
+    /// variant.
+    pub fn matmul_bias_with(
+        &self,
+        other: &Matrix,
+        bias: &Matrix,
+        threads: usize,
+        kernel: Kernel,
+    ) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        if bias.rows != 1 || bias.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_bias",
+                lhs: (1, other.cols),
+                rhs: bias.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0; m * n];
+        kernels::matmul_nn(
+            &self.data,
+            &other.data,
+            Some(&bias.data),
+            &mut out,
+            k,
+            n,
+            threads.max(1),
+            kernel,
+        );
         Ok(Matrix {
             rows: m,
             cols: n,
@@ -535,14 +597,23 @@ impl Matrix {
     /// Computes `self^T * other` without materializing the transpose. Large
     /// products are row-blocked like [`Self::matmul`].
     pub fn matmul_tn(&self, other: &Matrix) -> Result<Matrix> {
-        let work = self.rows * self.cols * other.cols;
-        self.matmul_tn_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+        self.matmul_tn_with(
+            other,
+            par_threads_for(self.rows, self.cols, other.cols),
+            kernels::configured_kernel(),
+        )
     }
 
-    /// [`Self::matmul_tn`] with an explicit worker-thread count; bitwise
-    /// identical for every `threads` value (each output row accumulates over
-    /// `p` in the same ascending order as the serial kernel).
+    /// [`Self::matmul_tn`] with an explicit worker-thread count.
     pub fn matmul_tn_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
+        self.matmul_tn_with(other, threads, kernels::configured_kernel())
+    }
+
+    /// [`Self::matmul_tn`] with an explicit worker-thread count and kernel
+    /// variant; bitwise identical for every combination (each output element
+    /// accumulates over `p` in the same ascending order as the serial scalar
+    /// kernel).
+    pub fn matmul_tn_with(&self, other: &Matrix, threads: usize, kernel: Kernel) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_tn",
@@ -552,24 +623,16 @@ impl Matrix {
         }
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        let threads = threads.max(1);
-        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let out_row = &mut block[local * n..(local + 1) * n];
-                for p in 0..k {
-                    let a = self.data[p * m + i];
-                    // lint: allow(no-float-eq) — exact-zero sparsity skip: only true zeros
-                    // take it, every other value (subnormals, NaN) multiplies normally.
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        kernels::matmul_tn(
+            &self.data,
+            &other.data,
+            &mut out,
+            m,
+            k,
+            n,
+            threads.max(1),
+            kernel,
+        );
         Ok(Matrix {
             rows: m,
             cols: n,
@@ -580,14 +643,22 @@ impl Matrix {
     /// Computes `self * other^T` without materializing the transpose. Large
     /// products are row-blocked like [`Self::matmul`].
     pub fn matmul_nt(&self, other: &Matrix) -> Result<Matrix> {
-        let work = self.rows * self.cols * other.rows;
-        self.matmul_nt_with_threads(other, par_threads_for(work, rll_par::configured_threads()))
+        self.matmul_nt_with(
+            other,
+            par_threads_for(self.rows, self.cols, other.rows),
+            kernels::configured_kernel(),
+        )
     }
 
-    /// [`Self::matmul_nt`] with an explicit worker-thread count; bitwise
-    /// identical for every `threads` value (each output element is one
-    /// serial dot product owned by a single worker).
+    /// [`Self::matmul_nt`] with an explicit worker-thread count.
     pub fn matmul_nt_with_threads(&self, other: &Matrix, threads: usize) -> Result<Matrix> {
+        self.matmul_nt_with(other, threads, kernels::configured_kernel())
+    }
+
+    /// [`Self::matmul_nt`] with an explicit worker-thread count and kernel
+    /// variant; bitwise identical for every combination (each output element
+    /// is one serial dot product owned by a single worker).
+    pub fn matmul_nt_with(&self, other: &Matrix, threads: usize, kernel: Kernel) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul_nt",
@@ -597,20 +668,15 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0; m * n];
-        let threads = threads.max(1);
-        rll_par::for_each_row_block(&mut out, n, threads, |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    block[local * n + j] = acc;
-                }
-            }
-        });
+        kernels::matmul_nt(
+            &self.data,
+            &other.data,
+            &mut out,
+            k,
+            n,
+            threads.max(1),
+            kernel,
+        );
         Ok(Matrix {
             rows: m,
             cols: n,

@@ -75,11 +75,23 @@ pub fn log_sum_exp(xs: &[f64]) -> Result<f64> {
 
 /// Numerically-stable softmax. The output sums to 1 (up to rounding) and is
 /// invariant to adding a constant to every input.
+///
+/// Individual `-inf` entries are fine (their probability is exactly `0.0`),
+/// but when the *maximum* is `-inf` — every entry is `-inf`, or the inputs
+/// are all `NaN`/`-inf` — there is no distribution to normalize: the shifted
+/// exponentials would all be `exp(-inf - -inf) = NaN`. That case returns
+/// [`TensorError::NonFinite`] instead of a silent all-NaN vector.
 pub fn softmax(xs: &[f64]) -> Result<Vec<f64>> {
     if xs.is_empty() {
         return Err(TensorError::Empty { op: "softmax" });
     }
     let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() && m < 0.0 {
+        return Err(TensorError::NonFinite {
+            op: "softmax",
+            reason: "the maximum input is -inf (no finite score to normalize against)",
+        });
+    }
     let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
     let z: f64 = exps.iter().sum();
     Ok(exps.into_iter().map(|e| e / z).collect())
@@ -218,6 +230,31 @@ mod tests {
         assert!((p[0] - 1.0).abs() < 1e-12);
         assert!(p.iter().all(|x| x.is_finite()));
         assert!(softmax(&[]).is_err());
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_is_typed_error() {
+        // Degenerate input: every score -inf used to yield a silent all-NaN
+        // vector (`-inf - -inf = NaN`); it must be a typed error instead.
+        let err = softmax(&[f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(err, TensorError::NonFinite { op: "softmax", .. }));
+        // Single-element -inf hits the same degenerate case.
+        let err = softmax(&[f64::NEG_INFINITY]).unwrap_err();
+        assert!(matches!(err, TensorError::NonFinite { op: "softmax", .. }));
+    }
+
+    #[test]
+    fn softmax_mixed_neg_inf_zeroes_those_entries() {
+        // A finite maximum keeps the distribution well-defined: -inf entries
+        // get probability exactly 0.0 and the rest renormalize.
+        let p = softmax(&[1.0, f64::NEG_INFINITY, 3.0]).unwrap();
+        assert_eq!(p[1], 0.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[0] && p[0] > 0.0);
+        // All-but-one -inf degenerates to a point mass, still finite.
+        let p = softmax(&[f64::NEG_INFINITY, 2.0]).unwrap();
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[1], 1.0);
     }
 
     #[test]

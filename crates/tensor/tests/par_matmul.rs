@@ -4,7 +4,13 @@
 //! foundation the trainer's any-thread-count reproducibility stands on.
 
 use proptest::prelude::*;
-use rll_tensor::Matrix;
+use rll_tensor::{Kernel, Matrix};
+
+/// Element bits, for comparisons that must treat equal-bit NaNs as equal
+/// (`Matrix`'s `PartialEq` uses float `==`, which NaN breaks).
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
 
 /// Strategy: a multiplication-compatible pair with ragged shapes (including
 /// rows ≪ threads and rows that leave a remainder chunk) and values that
@@ -59,6 +65,248 @@ proptest! {
         for threads in THREAD_COUNTS {
             let par = a.matmul_nt_with_threads(&bt, threads).unwrap();
             prop_assert_eq!(&par, &serial, "matmul_nt threads={}", threads);
+        }
+    }
+}
+
+proptest! {
+    // The tiled kernel must be bitwise identical to the scalar oracle for
+    // every variant x thread count, on shapes that exercise every tile
+    // tail (ragged rows, ragged columns, rows ≪ MR).
+    #[test]
+    fn tiled_is_bitwise_scalar_all_variants((a, b) in ragged_pair()) {
+        let oracle_nn = a.matmul_with(&b, 1, Kernel::Scalar).unwrap();
+        let at = a.transpose();
+        let oracle_tn = at.matmul_tn_with(&b, 1, Kernel::Scalar).unwrap();
+        let bt = b.transpose();
+        let oracle_nt = a.matmul_nt_with(&bt, 1, Kernel::Scalar).unwrap();
+        for threads in [1usize, 2, 4, 8, 16] {
+            for kernel in [Kernel::Scalar, Kernel::Tiled] {
+                let nn = a.matmul_with(&b, threads, kernel).unwrap();
+                prop_assert_eq!(bits(&nn), bits(&oracle_nn),
+                    "nn kernel={:?} threads={}", kernel, threads);
+                let tn = at.matmul_tn_with(&b, threads, kernel).unwrap();
+                prop_assert_eq!(bits(&tn), bits(&oracle_tn),
+                    "tn kernel={:?} threads={}", kernel, threads);
+                let nt = a.matmul_nt_with(&bt, threads, kernel).unwrap();
+                prop_assert_eq!(bits(&nt), bits(&oracle_nt),
+                    "nt kernel={:?} threads={}", kernel, threads);
+            }
+        }
+    }
+
+    // The fused bias kernel must match the two-pass
+    // matmul-then-add_row_broadcast composition bit-for-bit.
+    #[test]
+    fn matmul_bias_is_bitwise_two_pass((a, b, bias) in ragged_pair_with_bias()) {
+        let two_pass = a
+            .matmul_with(&b, 1, Kernel::Scalar)
+            .unwrap()
+            .add_row_broadcast(&bias)
+            .unwrap();
+        for threads in [1usize, 3, 8] {
+            for kernel in [Kernel::Scalar, Kernel::Tiled] {
+                let fused = a.matmul_bias_with(&b, &bias, threads, kernel).unwrap();
+                prop_assert_eq!(bits(&fused), bits(&two_pass),
+                    "bias kernel={:?} threads={}", kernel, threads);
+            }
+        }
+        prop_assert_eq!(bits(&a.matmul_bias(&b, &bias).unwrap()), bits(&two_pass));
+    }
+}
+
+/// Like [`ragged_pair`] plus a broadcast bias row of matching width.
+fn ragged_pair_with_bias() -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (1usize..=17, 1usize..=9, 1usize..=13).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap()),
+            prop::collection::vec(-10.0f64..10.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap()),
+            prop::collection::vec(-3.0f64..3.0, n)
+                .prop_map(move |d| Matrix::from_vec(1, n, d).unwrap()),
+        )
+    })
+}
+
+#[test]
+fn degenerate_shapes_bitwise_across_kernels_and_threads() {
+    // Empty dimensions, single rows/columns, and 1x1 — every tile-loop tail
+    // at once. (0-sized operands are legal: the product is the 0-element or
+    // all-zero matrix.)
+    let shapes = [
+        (0, 0, 0),
+        (0, 3, 2),
+        (3, 0, 2),
+        (3, 2, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (7, 1, 3),
+        (1, 5, 8),
+        (5, 1, 1),
+        (6, 4, 4),
+    ];
+    let mut v = 0.61f64;
+    let mut next = move || {
+        v = (v * 883.0 + 0.071).fract();
+        v * 4.0 - 2.0
+    };
+    for (m, k, n) in shapes {
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|_| next()).collect()).unwrap();
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| next()).collect()).unwrap();
+        let at = a.transpose();
+        let bt = b.transpose();
+        let oracle_nn = a.matmul_with(&b, 1, Kernel::Scalar).unwrap();
+        let oracle_tn = at.matmul_tn_with(&b, 1, Kernel::Scalar).unwrap();
+        let oracle_nt = a.matmul_nt_with(&bt, 1, Kernel::Scalar).unwrap();
+        for threads in [1usize, 2, 16] {
+            for kernel in [Kernel::Scalar, Kernel::Tiled] {
+                let ctx = format!("shape {m}x{k}x{n} kernel={kernel:?} threads={threads}");
+                assert_eq!(
+                    bits(&a.matmul_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle_nn),
+                    "nn {ctx}"
+                );
+                assert_eq!(
+                    bits(&at.matmul_tn_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle_tn),
+                    "tn {ctx}"
+                );
+                assert_eq!(
+                    bits(&a.matmul_nt_with(&bt, threads, kernel).unwrap()),
+                    bits(&oracle_nt),
+                    "nt {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_rhs_propagates_past_zero_lhs() {
+    // Regression: the exact-zero sparsity skip used to drop `0.0 · NaN` and
+    // `0.0 · ±inf` terms, silently producing a finite result where IEEE 754
+    // dense semantics require NaN. The lhs zeros below sit exactly where the
+    // rhs is poisoned, so a skipping kernel gets the wrong (finite) answer.
+    for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let a = Matrix::from_vec(
+            3,
+            4,
+            vec![
+                0.0, 1.0, 0.0, 2.0, // row 0: zero at p = 0 (the poisoned row of b)
+                1.0, 0.5, -1.0, 0.0, // row 1: no zero at p = 0
+                0.0, 0.0, 0.0, 0.0, // row 2: all-zero row
+            ],
+        )
+        .unwrap();
+        let mut b = Matrix::ones(4, 3);
+        b.set(0, 0, poison).unwrap();
+        let at = a.transpose();
+        let bt = b.transpose();
+        let oracle = a.matmul_with(&b, 1, Kernel::Scalar).unwrap();
+        // Rows whose lhs factor at the poisoned position is exactly 0.0 are
+        // the regression: `0.0 · NaN` and `0.0 · ±inf` are both NaN, which
+        // the old sparsity skip silently replaced with a finite sum.
+        for r in [0usize, 2] {
+            assert!(
+                oracle.get(r, 0).unwrap().is_nan(),
+                "poison {poison}: row {r} must be NaN"
+            );
+        }
+        // Row 1 multiplies the poison by 1.0: NaN stays NaN, ±inf stays inf.
+        assert!(
+            !oracle.get(1, 0).unwrap().is_finite(),
+            "poison {poison}: row 1 must be non-finite"
+        );
+        // Columns that never meet the poison stay finite.
+        assert!(oracle.get(0, 1).unwrap().is_finite());
+        for threads in [1usize, 2, 4, 8] {
+            for kernel in [Kernel::Scalar, Kernel::Tiled] {
+                let ctx = format!("poison {poison} kernel={kernel:?} threads={threads}");
+                assert_eq!(
+                    bits(&a.matmul_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "nn {ctx}"
+                );
+                assert_eq!(
+                    bits(&at.matmul_tn_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "tn {ctx}"
+                );
+                assert_eq!(
+                    bits(&a.matmul_nt_with(&bt, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "nt {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_lhs_propagates_and_matches_across_kernels() {
+    // Poison on the *other* side: NaN/inf in the lhs while the rhs carries
+    // the exact zeros. The skip keys on lhs zeros, so these were never
+    // dropped — this pins the dense behavior and the cross-kernel identity.
+    for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut a = Matrix::from_vec(
+            3,
+            4,
+            vec![
+                1.0, 2.0, 0.0, 1.0, //
+                0.0, 1.0, 1.0, 0.5, //
+                2.0, 0.0, 1.0, 1.0,
+            ],
+        )
+        .unwrap();
+        a.set(0, 1, poison).unwrap();
+        let b = Matrix::from_vec(
+            4,
+            3,
+            vec![
+                1.0, 0.0, 2.0, //
+                0.0, 1.0, 1.0, //
+                1.0, 1.0, 0.0, //
+                0.5, 0.0, 1.0,
+            ],
+        )
+        .unwrap();
+        let at = a.transpose();
+        let bt = b.transpose();
+        let oracle = a.matmul_with(&b, 1, Kernel::Scalar).unwrap();
+        // Row 0 crosses the poison at p = 1. Where b[1][c] is exactly 0.0
+        // (column 0) the product is `poison · 0.0` — NaN for NaN *and* for
+        // ±inf; where b[1][c] is nonzero, NaN stays NaN and ±inf stays inf.
+        assert!(
+            oracle.get(0, 0).unwrap().is_nan(),
+            "poison {poison}: out[0][0] must be NaN"
+        );
+        for c in 1..3 {
+            assert!(
+                !oracle.get(0, c).unwrap().is_finite(),
+                "poison {poison}: out[0][{c}] must be non-finite"
+            );
+        }
+        assert!(oracle.get(1, 0).unwrap().is_finite());
+        for threads in [1usize, 2, 4, 8] {
+            for kernel in [Kernel::Scalar, Kernel::Tiled] {
+                let ctx = format!("poison {poison} kernel={kernel:?} threads={threads}");
+                assert_eq!(
+                    bits(&a.matmul_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "nn {ctx}"
+                );
+                assert_eq!(
+                    bits(&at.matmul_tn_with(&b, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "tn {ctx}"
+                );
+                assert_eq!(
+                    bits(&a.matmul_nt_with(&bt, threads, kernel).unwrap()),
+                    bits(&oracle),
+                    "nt {ctx}"
+                );
+            }
         }
     }
 }

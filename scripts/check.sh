@@ -113,6 +113,27 @@ cmp "$SMOKE_DIR/det_t1.rllckpt" "$SMOKE_DIR/det_t4.rllckpt" || {
 }
 echo "determinism gate ok (1-thread and 4-thread checkpoints are identical)"
 
+echo "== kernel gate (RLL_KERNEL must not change results; bench_train/v2) =="
+# The scalar kernels are the oracle: training with the tiled kernels must
+# emit byte-identical checkpoints, at 1 worker thread and at 4.
+for T in 1 4; do
+    RLL_RUN_ID=kern-gate RLL_THREADS=$T RLL_KERNEL=scalar ./target/release/serve train-demo \
+        --out "$SMOKE_DIR/kern_scalar_t$T.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+    RLL_RUN_ID=kern-gate RLL_THREADS=$T RLL_KERNEL=tiled ./target/release/serve train-demo \
+        --out "$SMOKE_DIR/kern_tiled_t$T.rllckpt" --n 80 --epochs 5 --seed 42 >/dev/null
+    cmp "$SMOKE_DIR/kern_scalar_t$T.rllckpt" "$SMOKE_DIR/kern_tiled_t$T.rllckpt" || {
+        echo "kernel gate FAILED: RLL_KERNEL changed checkpoint bytes at RLL_THREADS=$T"
+        exit 1
+    }
+done
+# bench_train/v2 re-times both kernels at both thread counts in child
+# processes and aborts unless all four runs hash to the same embeddings and
+# training trace. Timings land in the temp dir; the committed
+# results/bench_train.json is regenerated manually on a quiet box.
+cargo build -q --release -p rll-bench --bin time_fold
+./target/release/time_fold --bench-train --out "$SMOKE_DIR/bench_train.json" >/dev/null
+echo "kernel gate ok (scalar and tiled agree bitwise at 1 and 4 threads)"
+
 echo "== crash-safety gate (kill, resume, byte-compare) =="
 # Fault-injected training must be losslessly resumable: crashtest kills a run
 # after chosen epochs, resumes from the latest .rllstate snapshot, and fails
